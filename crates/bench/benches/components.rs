@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the toolkit's components: the classifier,
+//! the PTX parser and CFG analyses, the coalescer, the cache, and a whole
+//! small kernel launch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcl_core::classify;
+use gcl_mem::{AccessOutcome, Cache, CacheConfig, ClassTag, MemRequest};
+use gcl_ptx::{parse_kernel, Cfg};
+use gcl_sim::{coalesce, pack_params, Dim3, Gpu, GpuConfig};
+use gcl_workloads::graph_apps::Bfs;
+use std::hint::black_box;
+
+fn bench_classifier(c: &mut Criterion) {
+    let kernel = Bfs::expand_kernel();
+    c.bench_function("classify_bfs_expand", |b| b.iter(|| black_box(classify(&kernel))));
+}
+
+fn bench_ptx(c: &mut Criterion) {
+    let kernel = Bfs::expand_kernel();
+    let text = kernel.to_string();
+    c.bench_function("parse_bfs_expand", |b| {
+        b.iter(|| black_box(parse_kernel(&text).unwrap()))
+    });
+    c.bench_function("cfg_build_bfs_expand", |b| b.iter(|| black_box(Cfg::build(&kernel))));
+    let cfg = Cfg::build(&kernel);
+    c.bench_function("ipdom_bfs_expand", |b| {
+        b.iter(|| black_box(cfg.immediate_post_dominators()))
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let coalesced: Vec<(u32, u64)> = (0..32).map(|l| (l, 0x1000 + 4 * u64::from(l))).collect();
+    let scattered: Vec<(u32, u64)> =
+        (0..32).map(|l| (l, 4096 * u64::from(l * 2_654_435_761 % 977))).collect();
+    c.bench_function("coalesce_sequential", |b| {
+        b.iter(|| black_box(coalesce(&coalesced, 4, 128)))
+    });
+    c.bench_function("coalesce_scattered", |b| {
+        b.iter(|| black_box(coalesce(&scattered, 4, 128)))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l1_access_storm", |b| {
+        b.iter(|| {
+            let mut l1 = Cache::new(CacheConfig::fermi_l1());
+            let mut completed = 0u64;
+            for i in 0..512u64 {
+                let req =
+                    MemRequest::read(i, (i % 96) * 128, 0, ClassTag::NonDeterministic, 0, i);
+                match l1.access(req, i) {
+                    AccessOutcome::MissIssued => {
+                        // Service misses immediately to keep the storm going.
+                        let m = l1.pop_miss().unwrap();
+                        completed += l1.fill(m.block_addr, i).len() as u64;
+                    }
+                    _ => {}
+                }
+            }
+            black_box(completed)
+        })
+    });
+}
+
+fn bench_launch(c: &mut Criterion) {
+    // A whole small launch through the full simulator stack.
+    let mut b = gcl_ptx::KernelBuilder::new("axpy");
+    let px = b.param("x", gcl_ptx::Type::U64);
+    let py = b.param("y", gcl_ptx::Type::U64);
+    let x = b.ld_param(gcl_ptx::Type::U64, px);
+    let y = b.ld_param(gcl_ptx::Type::U64, py);
+    let tid = b.thread_linear_id();
+    let xa = b.index64(x, tid, 4);
+    let xv = b.ld_global(gcl_ptx::Type::F32, xa);
+    let ya = b.index64(y, tid, 4);
+    let yv = b.ld_global(gcl_ptx::Type::F32, ya);
+    let r = b.mad(gcl_ptx::Type::F32, xv, gcl_ptx::Operand::f32(2.0), yv);
+    b.st_global(gcl_ptx::Type::F32, ya, r);
+    b.exit();
+    let kernel = b.build().unwrap();
+
+    let mut g = c.benchmark_group("launch");
+    g.sample_size(20);
+    g.bench_function("axpy_8_ctas", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::small());
+            let xb = gpu.mem().alloc_array(gcl_ptx::Type::F32, 1024);
+            let yb = gpu.mem().alloc_array(gcl_ptx::Type::F32, 1024);
+            let params = pack_params(&kernel, &[xb, yb]);
+            black_box(gpu.launch(&kernel, Dim3::x(8), Dim3::x(128), &params).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classifier,
+    bench_ptx,
+    bench_coalescer,
+    bench_cache,
+    bench_launch
+);
+criterion_main!(benches);

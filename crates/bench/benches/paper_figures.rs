@@ -1,0 +1,59 @@
+//! Criterion benchmarks over the paper-figure pipeline: how long each
+//! table/figure takes to regenerate at tiny scale, and how long individual
+//! workloads take to simulate.
+//!
+//! The authoritative figure data comes from the `fig1..fig12` binaries at
+//! full scale; these benches exist to track the harness's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcl_bench::figures;
+use gcl_bench::harness::{run_all, run_one, Scale};
+use gcl_sim::GpuConfig;
+use gcl_workloads::{graph_apps, linear};
+use std::hint::black_box;
+
+fn bench_workloads(c: &mut Criterion) {
+    let cfg = GpuConfig::small();
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    g.bench_function("bfs_tiny", |b| {
+        b.iter(|| black_box(run_one(&graph_apps::Bfs::tiny(), &cfg)))
+    });
+    g.bench_function("spmv_tiny", |b| {
+        b.iter(|| black_box(run_one(&linear::Spmv::tiny(), &cfg)))
+    });
+    g.bench_function("mm2_tiny", |b| {
+        b.iter(|| black_box(run_one(&linear::Mm2::tiny(), &cfg)))
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    // One shared tiny-scale harness run; the builders are then benchmarked
+    // on its results.
+    let cfg = GpuConfig::small();
+    let results = run_all(&cfg, Scale::Tiny);
+    let unloaded = cfg.unloaded_miss_latency();
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("table1", |b| b.iter(|| black_box(figures::table1(&results))));
+    g.bench_function("fig1", |b| b.iter(|| black_box(figures::fig1(&results))));
+    g.bench_function("fig2", |b| b.iter(|| black_box(figures::fig2(&results))));
+    g.bench_function("fig3", |b| b.iter(|| black_box(figures::fig3(&results))));
+    g.bench_function("fig4", |b| b.iter(|| black_box(figures::fig4(&results))));
+    g.bench_function("fig5", |b| b.iter(|| black_box(figures::fig5(&results, unloaded))));
+    g.bench_function("fig6", |b| {
+        b.iter(|| black_box(figures::fig6(&results, &["bfs", "sssp", "spmv"])))
+    });
+    g.bench_function("fig7", |b| b.iter(|| black_box(figures::fig7(&results, "bfs", unloaded))));
+    g.bench_function("fig8", |b| b.iter(|| black_box(figures::fig8(&results))));
+    g.bench_function("fig9", |b| b.iter(|| black_box(figures::fig9(&results))));
+    g.bench_function("fig10", |b| b.iter(|| black_box(figures::fig10(&results))));
+    g.bench_function("fig11", |b| b.iter(|| black_box(figures::fig11(&results))));
+    g.bench_function("fig12", |b| {
+        b.iter(|| black_box(figures::fig12(&results, gcl_workloads::Category::Graph)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_figures);
+criterion_main!(benches);

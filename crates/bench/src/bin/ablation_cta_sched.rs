@@ -1,0 +1,10 @@
+//! Ablation A1: clustered CTA scheduling (paper Section X-B).
+
+use gcl_bench::ablation::cta_sched;
+use gcl_bench::harness::{save_json, Scale};
+
+fn main() {
+    let t = cta_sched(Scale::from_args());
+    println!("{t}");
+    save_json("ablation_cta_sched", &t.to_json());
+}

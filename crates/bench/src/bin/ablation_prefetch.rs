@@ -1,0 +1,10 @@
+//! Ablation A4: class-selective next-line prefetching (paper Section X-A).
+
+use gcl_bench::ablation::prefetch;
+use gcl_bench::harness::{save_json, Scale};
+
+fn main() {
+    let t = prefetch(Scale::from_args());
+    println!("{t}");
+    save_json("ablation_prefetch", &t.to_json());
+}

@@ -1,0 +1,10 @@
+//! Ablation A2: semi-global L2 topology (paper Section X-C).
+
+use gcl_bench::ablation::semiglobal_l2;
+use gcl_bench::harness::{save_json, Scale};
+
+fn main() {
+    let t = semiglobal_l2(Scale::from_args());
+    println!("{t}");
+    save_json("ablation_semiglobal_l2", &t.to_json());
+}

@@ -1,0 +1,11 @@
+//! Ablation A3: warp splitting of non-deterministic loads (paper
+//! Section X-A).
+
+use gcl_bench::ablation::warp_split;
+use gcl_bench::harness::{save_json, Scale};
+
+fn main() {
+    let t = warp_split(Scale::from_args(), 4);
+    println!("{t}");
+    save_json("ablation_warp_split", &t.to_json());
+}

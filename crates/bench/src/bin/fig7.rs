@@ -1,0 +1,14 @@
+//! Regenerates Figure 7: per-request-count turnaround breakdown for the
+//! busiest non-deterministic load of bfs.
+
+use gcl_bench::figures::fig7;
+use gcl_bench::harness::{run_all, save_json, Scale};
+use gcl_sim::GpuConfig;
+
+fn main() {
+    let cfg = GpuConfig::fermi();
+    let results = run_all(&cfg, Scale::from_args());
+    let fig = fig7(&results, "bfs", cfg.unloaded_miss_latency());
+    println!("{fig}");
+    save_json("fig7", &fig.to_json());
+}

@@ -1,0 +1,106 @@
+//! Shared harness: run every workload on a configured GPU and collect the
+//! per-workload results every figure draws from.
+
+use gcl_sim::{BlockSummary, Gpu, GpuConfig, LaunchStats};
+use gcl_workloads::{all_workloads, tiny_workloads, Category, Workload};
+
+/// Everything one workload produced in one full run.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload name (Table I).
+    pub name: &'static str,
+    /// Application category.
+    pub category: Category,
+    /// Merged launch statistics.
+    pub stats: LaunchStats,
+    /// Total CTAs launched.
+    pub total_ctas: u64,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// Static classification counts over the workload's kernels (D, N).
+    pub static_loads: (usize, usize),
+    /// Block-locality summary (Figures 10–11).
+    pub blocks: BlockSummary,
+    /// CTA-distance histogram (Figure 12).
+    pub distance_hist: Vec<(u64, f64)>,
+}
+
+/// Input-size selection for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Default benchmark scale (used for the reported figures).
+    Full,
+    /// Tiny scale for tests and smoke runs.
+    Tiny,
+}
+
+impl Scale {
+    /// Parse from a CLI argument (`--tiny` selects [`Scale::Tiny`]).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--tiny") {
+            Scale::Tiny
+        } else {
+            Scale::Full
+        }
+    }
+}
+
+/// Run every workload of the paper on `cfg`, each on a fresh GPU.
+///
+/// # Panics
+///
+/// Panics if any workload fails to simulate — the harness is only useful
+/// when every benchmark completes.
+pub fn run_all(cfg: &GpuConfig, scale: Scale) -> Vec<BenchResult> {
+    let workloads = match scale {
+        Scale::Full => all_workloads(),
+        Scale::Tiny => tiny_workloads(),
+    };
+    workloads
+        .iter()
+        .map(|w| run_one(w.as_ref(), cfg))
+        .collect()
+}
+
+/// Run a single workload on a fresh GPU with `cfg`.
+///
+/// # Panics
+///
+/// Panics if the simulation errors.
+pub fn run_one(w: &dyn Workload, cfg: &GpuConfig) -> BenchResult {
+    let mut gpu = Gpu::new(cfg.clone());
+    let run = w
+        .run(&mut gpu)
+        .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name()));
+    let static_loads = run
+        .kernels
+        .iter()
+        .map(|k| gcl_core::classify(k).global_load_counts())
+        .fold((0, 0), |acc, (d, n)| (acc.0 + d, acc.1 + n));
+    BenchResult {
+        name: w.name(),
+        category: w.category(),
+        stats: run.stats,
+        total_ctas: run.total_ctas,
+        threads_per_cta: run.threads_per_cta,
+        static_loads,
+        blocks: gpu.block_summary(),
+        distance_hist: gpu.distance_histogram(),
+    }
+}
+
+/// The benchmark names in Table I order.
+pub fn names(results: &[BenchResult]) -> Vec<&'static str> {
+    results.iter().map(|r| r.name).collect()
+}
+
+/// Write a JSON artifact under `results/` (best effort; prints the path).
+pub fn save_json(id: &str, json: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{id}.json"));
+        if std::fs::write(&path, json).is_ok() {
+            eprintln!("(wrote {})", path.display());
+        }
+    }
+}

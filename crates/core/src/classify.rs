@@ -1,0 +1,647 @@
+//! Backward-dataflow classification of loads into deterministic and
+//! non-deterministic classes.
+//!
+//! This module implements Section V of the paper: starting from each load's
+//! address register, trace the definition chains backwards until every
+//! terminal source is known. If every terminal is *parameterized data*
+//! (`ld.param`, `ld.const`, special registers, immediates) the load is
+//! **deterministic**; if any terminal is a prior memory load
+//! (`ld.global/local/shared/tex` or an atomic result) the load is
+//! **non-deterministic**.
+
+use crate::reaching::{DefSite, ReachingDefs};
+use gcl_ptx::{Kernel, Op, Operand, Reg, Space, Special};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// The two load classes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LoadClass {
+    /// Address derives only from parameterized data (thread/CTA ids, kernel
+    /// parameters, constants). Tends to coalesce.
+    Deterministic,
+    /// Address derives (transitively) from data produced by prior loads or
+    /// other non-parameterized values. Tends not to coalesce.
+    NonDeterministic,
+}
+
+impl LoadClass {
+    /// One-letter label used in the paper's figures (`D` / `N`).
+    pub fn letter(self) -> char {
+        match self {
+            LoadClass::Deterministic => 'D',
+            LoadClass::NonDeterministic => 'N',
+        }
+    }
+}
+
+impl fmt::Display for LoadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadClass::Deterministic => write!(f, "deterministic"),
+            LoadClass::NonDeterministic => write!(f, "non-deterministic"),
+        }
+    }
+}
+
+/// A terminal source reached by the backward trace of an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AddressSource {
+    /// `ld.param` at `pc` — parameterized.
+    Param {
+        /// The defining `ld.param` instruction.
+        pc: usize,
+    },
+    /// `ld.const` at `pc` — parameterized (host-initialized constant bank).
+    Const {
+        /// The defining `ld.const` instruction.
+        pc: usize,
+    },
+    /// A special register (`%tid.x`, `%ctaid.x`, ...) — parameterized.
+    Special(Special),
+    /// An immediate operand — parameterized.
+    Immediate,
+    /// A memory load at `pc` from `space` — **not** parameterized.
+    MemoryLoad {
+        /// The defining load instruction.
+        pc: usize,
+        /// The space it reads.
+        space: Space,
+    },
+    /// The result of an atomic RMW at `pc` — **not** parameterized.
+    AtomicResult {
+        /// The defining atomic instruction.
+        pc: usize,
+    },
+    /// A register read with no reaching definition — treated as
+    /// non-parameterized (and worth a diagnostic).
+    Uninitialized {
+        /// The register that was read undefined.
+        reg: Reg,
+    },
+}
+
+impl AddressSource {
+    /// Whether this source is parameterized (launch-invariant).
+    pub fn is_parameterized(self) -> bool {
+        match self {
+            AddressSource::Param { .. }
+            | AddressSource::Const { .. }
+            | AddressSource::Special(_)
+            | AddressSource::Immediate => true,
+            AddressSource::MemoryLoad { .. }
+            | AddressSource::AtomicResult { .. }
+            | AddressSource::Uninitialized { .. } => false,
+        }
+    }
+}
+
+/// Classification result for one load instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadInfo {
+    /// Instruction index of the load.
+    pub pc: usize,
+    /// The space the load reads.
+    pub space: Space,
+    /// Deterministic / non-deterministic verdict.
+    pub class: LoadClass,
+    /// Every terminal source the backward trace reached.
+    pub sources: BTreeSet<AddressSource>,
+    /// For non-deterministic loads: one witness def-chain from the load's
+    /// address register back to a non-parameterized source (instruction
+    /// indices, load first). Empty for deterministic loads.
+    pub witness: Vec<usize>,
+}
+
+/// Classification of every load in one kernel.
+///
+/// # Examples
+///
+/// Code 1 of the paper (`bfs`): `g_graph_mask[tid]` is deterministic,
+/// `g_graph_visited[id]` with `id` loaded from `g_graph_edges` is not.
+///
+/// ```
+/// use gcl_core::{classify, LoadClass};
+///
+/// let k = gcl_ptx::parse_kernel(r#"
+/// .entry bfs_like (.param .u64 mask, .param .u64 edges, .param .u64 visited)
+/// {
+///   ld.param.u64 %rd1, [mask];
+///   ld.param.u64 %rd2, [edges];
+///   ld.param.u64 %rd3, [visited];
+///   mov.u32 %r1, %ctaid.x;
+///   mov.u32 %r2, %ntid.x;
+///   mov.u32 %r3, %tid.x;
+///   mad.lo.u32 %r4, %r1, %r2, %r3;      // tid
+///   mul.wide.u32 %rd4, %r4, 4;
+///   add.u64 %rd5, %rd1, %rd4;
+///   ld.global.u32 %r5, [%rd5];          // mask[tid]     -> D
+///   add.u64 %rd6, %rd2, %rd4;
+///   ld.global.u32 %r6, [%rd6];          // id = edges[i] -> D
+///   mul.wide.u32 %rd7, %r6, 4;
+///   add.u64 %rd8, %rd3, %rd7;
+///   ld.global.u32 %r7, [%rd8];          // visited[id]   -> N
+///   exit;
+/// }
+/// "#).unwrap();
+/// let c = classify(&k);
+/// assert_eq!(c.class_of(9), Some(LoadClass::Deterministic));
+/// assert_eq!(c.class_of(11), Some(LoadClass::Deterministic));
+/// assert_eq!(c.class_of(14), Some(LoadClass::NonDeterministic));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classification {
+    kernel_name: String,
+    loads: BTreeMap<usize, LoadInfo>,
+}
+
+impl Classification {
+    /// Name of the classified kernel.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
+    }
+
+    /// The class of the load at `pc`, or `None` if `pc` is not a load.
+    pub fn class_of(&self, pc: usize) -> Option<LoadClass> {
+        self.loads.get(&pc).map(|l| l.class)
+    }
+
+    /// Full info for the load at `pc`.
+    pub fn load(&self, pc: usize) -> Option<&LoadInfo> {
+        self.loads.get(&pc)
+    }
+
+    /// All classified loads, in pc order.
+    pub fn loads(&self) -> impl Iterator<Item = &LoadInfo> {
+        self.loads.values()
+    }
+
+    /// Only the global-memory loads (the set the paper reports on).
+    pub fn global_loads(&self) -> impl Iterator<Item = &LoadInfo> {
+        self.loads
+            .values()
+            .filter(|l| matches!(l.space, Space::Global | Space::Local | Space::Tex))
+    }
+
+    /// Static counts of (deterministic, non-deterministic) global loads.
+    pub fn global_load_counts(&self) -> (usize, usize) {
+        let mut d = 0;
+        let mut n = 0;
+        for l in self.global_loads() {
+            match l.class {
+                LoadClass::Deterministic => d += 1,
+                LoadClass::NonDeterministic => n += 1,
+            }
+        }
+        (d, n)
+    }
+}
+
+/// Classify every load instruction of `kernel`.
+///
+/// Atomics are classified too (their address is traced the same way); shared
+/// and other non-global loads appear in the result but are excluded from
+/// [`Classification::global_loads`].
+pub fn classify(kernel: &Kernel) -> Classification {
+    Classifier::new(kernel).run()
+}
+
+struct Classifier<'k> {
+    kernel: &'k Kernel,
+    reaching: ReachingDefs,
+    /// Memoized terminal-source sets per definition site.
+    memo: HashMap<DefSite, BTreeSet<AddressSource>>,
+    /// Cycle guard: definition sites on the current DFS stack.
+    in_progress: BTreeSet<DefSite>,
+}
+
+impl<'k> Classifier<'k> {
+    fn new(kernel: &'k Kernel) -> Classifier<'k> {
+        Classifier {
+            kernel,
+            reaching: ReachingDefs::compute(kernel),
+            memo: HashMap::new(),
+            in_progress: BTreeSet::new(),
+        }
+    }
+
+    fn run(mut self) -> Classification {
+        let mut loads = BTreeMap::new();
+        for (pc, inst) in self.kernel.insts().iter().enumerate() {
+            let (space, addr) = match &inst.op {
+                Op::Ld { space, addr, .. } => (*space, *addr),
+                Op::Atom { addr, .. } => (Space::Global, *addr),
+                _ => continue,
+            };
+            // `ld.param`/`ld.const` themselves are parameterized reads; they
+            // are sources for other loads, not classification subjects.
+            if space.is_parameterized() {
+                continue;
+            }
+            let sources = match addr.base {
+                Some(base) => self.sources_of_use(pc, base),
+                // Absolute address: launch-invariant.
+                None => BTreeSet::from([AddressSource::Immediate]),
+            };
+            let class = if sources.iter().all(|s| s.is_parameterized()) {
+                LoadClass::Deterministic
+            } else {
+                LoadClass::NonDeterministic
+            };
+            let witness = if class == LoadClass::NonDeterministic {
+                addr.base.map(|b| self.witness_path(pc, b)).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            loads.insert(pc, LoadInfo { pc, space, class, sources, witness });
+        }
+        Classification { kernel_name: self.kernel.name().to_string(), loads }
+    }
+
+    /// Terminal sources of register `reg` as used at `use_pc`.
+    fn sources_of_use(&mut self, use_pc: usize, reg: Reg) -> BTreeSet<AddressSource> {
+        let defs = self.reaching.defs_reaching_use(self.kernel, use_pc, reg);
+        if defs.is_empty() {
+            return BTreeSet::from([AddressSource::Uninitialized { reg }]);
+        }
+        let mut out = BTreeSet::new();
+        for def in defs {
+            out.extend(self.sources_of_def(def));
+        }
+        out
+    }
+
+    /// Terminal sources contributed by one definition site.
+    fn sources_of_def(&mut self, def: DefSite) -> BTreeSet<AddressSource> {
+        if let Some(cached) = self.memo.get(&def) {
+            return cached.clone();
+        }
+        // A definition currently being traced is a loop-carried dependence
+        // on itself; the cycle contributes nothing beyond its entry values
+        // (e.g. `i = i + 1` is as deterministic as `i`'s initialization).
+        if !self.in_progress.insert(def) {
+            return BTreeSet::new();
+        }
+
+        let inst = &self.kernel.insts()[def.pc];
+        let mut out = BTreeSet::new();
+        match &inst.op {
+            Op::Ld { space, addr, .. } => match space {
+                Space::Param => {
+                    out.insert(AddressSource::Param { pc: def.pc });
+                }
+                Space::Const => {
+                    out.insert(AddressSource::Const { pc: def.pc });
+                }
+                _ => {
+                    out.insert(AddressSource::MemoryLoad { pc: def.pc, space: *space });
+                    // The load's own address chain is irrelevant: the loaded
+                    // *value* is what taints.
+                    let _ = addr;
+                }
+            },
+            Op::Atom { .. } => {
+                out.insert(AddressSource::AtomicResult { pc: def.pc });
+            }
+            Op::Mov { src, .. }
+            | Op::Cvt { src, .. }
+            | Op::Sfu { a: src, .. }
+            | Op::Unary { a: src, .. } => {
+                out.extend(self.sources_of_operand(def.pc, *src));
+            }
+            Op::Alu { a, b, .. } | Op::Setp { a, b, .. } => {
+                out.extend(self.sources_of_operand(def.pc, *a));
+                out.extend(self.sources_of_operand(def.pc, *b));
+            }
+            Op::Mad { a, b, c, .. } => {
+                out.extend(self.sources_of_operand(def.pc, *a));
+                out.extend(self.sources_of_operand(def.pc, *b));
+                out.extend(self.sources_of_operand(def.pc, *c));
+            }
+            Op::Selp { a, b, pred, .. } => {
+                out.extend(self.sources_of_operand(def.pc, *a));
+                out.extend(self.sources_of_operand(def.pc, *b));
+                // The predicate is a data dependence of the selected value.
+                out.extend(self.sources_of_use(def.pc, *pred));
+            }
+            Op::St { .. } | Op::Bra { .. } | Op::Bar | Op::Exit => {
+                // These never define registers; unreachable for a DefSite.
+                debug_assert!(false, "definition site at non-defining instruction");
+            }
+        }
+
+        self.in_progress.remove(&def);
+        self.memo.insert(def, out.clone());
+        out
+    }
+
+    fn sources_of_operand(&mut self, pc: usize, op: Operand) -> BTreeSet<AddressSource> {
+        match op {
+            Operand::Reg(r) => self.sources_of_use(pc, r),
+            Operand::Imm(_) | Operand::FImm(_) => BTreeSet::from([AddressSource::Immediate]),
+            Operand::Special(s) => BTreeSet::from([AddressSource::Special(s)]),
+        }
+    }
+
+    /// A shortest-found def-chain from the use of `reg` at `use_pc` to any
+    /// non-parameterized source, as instruction indices starting with
+    /// `use_pc`. Best-effort (DFS order), for diagnostics.
+    fn witness_path(&mut self, use_pc: usize, reg: Reg) -> Vec<usize> {
+        let mut path = vec![use_pc];
+        let mut visited = BTreeSet::new();
+        if self.witness_dfs(use_pc, reg, &mut path, &mut visited) {
+            path
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn witness_dfs(
+        &mut self,
+        use_pc: usize,
+        reg: Reg,
+        path: &mut Vec<usize>,
+        visited: &mut BTreeSet<DefSite>,
+    ) -> bool {
+        let defs = self.reaching.defs_reaching_use(self.kernel, use_pc, reg);
+        if defs.is_empty() {
+            return true; // uninitialized register: the path ends here
+        }
+        for def in defs {
+            if !visited.insert(def) {
+                continue;
+            }
+            // Does this def lead to a non-parameterized source at all?
+            if self.sources_of_def(def).iter().all(|s| s.is_parameterized()) {
+                continue;
+            }
+            path.push(def.pc);
+            let inst = &self.kernel.insts()[def.pc];
+            match &inst.op {
+                Op::Ld { space, .. } if !space.is_parameterized() => return true,
+                Op::Atom { .. } => return true,
+                _ => {
+                    let mut operand_regs: Vec<Reg> = inst.op.src_regs();
+                    // Selp's pred is already in src_regs.
+                    operand_regs.dedup();
+                    for r in operand_regs {
+                        if self.witness_dfs(def.pc, r, path, visited) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            path.pop();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_ptx::{AtomOp, CmpOp, KernelBuilder, Type};
+
+    fn classify_built(b: KernelBuilder) -> Classification {
+        classify(&b.build().unwrap())
+    }
+
+    /// Deterministic: address = param + f(tid).
+    #[test]
+    fn param_indexed_load_is_deterministic() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("data", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.thread_linear_id();
+        let addr = b.index64(base, tid, 4);
+        let _ = b.ld_global(Type::U32, addr);
+        b.exit();
+        let c = classify_built(b);
+        let (d, n) = c.global_load_counts();
+        assert_eq!((d, n), (1, 0));
+        let info = c.global_loads().next().unwrap();
+        assert!(info.witness.is_empty());
+        assert!(info.sources.contains(&AddressSource::Param { pc: 0 }));
+    }
+
+    /// Non-deterministic: address uses a value loaded from global memory.
+    #[test]
+    fn load_fed_address_is_non_deterministic() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("idx", Type::U64);
+        let q = b.param("data", Type::U64);
+        let idx_base = b.ld_param(Type::U64, p);
+        let data_base = b.ld_param(Type::U64, q);
+        let tid = b.thread_linear_id();
+        let idx_addr = b.index64(idx_base, tid, 4);
+        let idx = b.ld_global(Type::U32, idx_addr); // D
+        let data_addr = b.index64(data_base, idx, 4);
+        let _ = b.ld_global(Type::U32, data_addr); // N
+        b.exit();
+        let c = classify_built(b);
+        assert_eq!(c.global_load_counts(), (1, 1));
+        let nd = c
+            .global_loads()
+            .find(|l| l.class == LoadClass::NonDeterministic)
+            .unwrap();
+        assert!(!nd.witness.is_empty());
+        // The witness chain must end at the feeding load's pc.
+        let feeder = c
+            .global_loads()
+            .find(|l| l.class == LoadClass::Deterministic)
+            .unwrap();
+        assert_eq!(*nd.witness.last().unwrap(), feeder.pc);
+    }
+
+    /// Loop induction variables derived from parameters stay deterministic.
+    #[test]
+    fn param_derived_loop_induction_is_deterministic() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("data", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let i = b.reg();
+        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: i, src: 0i64.into() });
+        let head = b.new_label();
+        b.place(head);
+        let addr = b.index64(base, i, 4);
+        let _ = b.ld_global(Type::U32, addr);
+        b.push(gcl_ptx::Op::Alu {
+            op: gcl_ptx::AluOp::Add,
+            ty: Type::U32,
+            dst: i,
+            a: i.into(),
+            b: 1i64.into(),
+        });
+        let pr = b.setp(CmpOp::Lt, Type::U32, i, 16i64);
+        b.bra_if(pr, head);
+        b.exit();
+        let c = classify_built(b);
+        assert_eq!(c.global_load_counts(), (1, 0));
+    }
+
+    /// A loop that accumulates loaded values taints the address.
+    #[test]
+    fn load_carried_loop_variable_is_non_deterministic() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("data", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let i = b.reg();
+        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: i, src: 0i64.into() });
+        let head = b.new_label();
+        b.place(head);
+        let addr = b.index64(base, i, 4);
+        let v = b.ld_global(Type::U32, addr);
+        // i = v (pointer chasing)
+        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: i, src: v.into() });
+        let pr = b.setp(CmpOp::Ne, Type::U32, i, 0i64);
+        b.bra_if(pr, head);
+        b.exit();
+        let c = classify_built(b);
+        // The single static load is reached with i=0 (D path) and i=v (N
+        // path); the merged verdict must be non-deterministic.
+        assert_eq!(c.global_load_counts(), (0, 1));
+    }
+
+    /// Flow-sensitivity: a register that held a loaded value but is
+    /// unconditionally overwritten with parameterized data is clean.
+    #[test]
+    fn overwritten_register_is_not_tainted() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("data", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let r = b.reg();
+        let tid = b.thread_linear_id();
+        let addr0 = b.index64(base, tid, 4);
+        let loaded = b.ld_global(Type::U32, addr0);
+        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: loaded.into() });
+        // Unconditional overwrite with tid.
+        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: tid.into() });
+        let addr1 = b.index64(base, r, 4);
+        let _ = b.ld_global(Type::U32, addr1);
+        b.exit();
+        let c = classify_built(b);
+        assert_eq!(c.global_load_counts(), (2, 0));
+    }
+
+    /// Shared-memory loads taint like any other load (the paper lists
+    /// ld.shared among non-deterministic sources).
+    #[test]
+    fn shared_load_taints_address() {
+        let mut b = KernelBuilder::new("k");
+        b.shared(128);
+        let p = b.param("data", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(gcl_ptx::Special::TidX);
+        let shaddr = b.mul(Type::U32, tid, 4i64);
+        let idx = b.ld_shared(Type::U32, shaddr);
+        let addr = b.index64(base, idx, 4);
+        let _ = b.ld_global(Type::U32, addr);
+        b.exit();
+        let c = classify_built(b);
+        assert_eq!(c.global_load_counts(), (0, 1));
+        let info = c.global_loads().next().unwrap();
+        assert!(info
+            .sources
+            .iter()
+            .any(|s| matches!(s, AddressSource::MemoryLoad { space: Space::Shared, .. })));
+    }
+
+    /// Atomic results are non-parameterized sources.
+    #[test]
+    fn atomic_result_taints_address() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("ctr", Type::U64);
+        let q = b.param("data", Type::U64);
+        let ctr = b.ld_param(Type::U64, p);
+        let base = b.ld_param(Type::U64, q);
+        let slot = b.atom(AtomOp::Add, Type::U32, ctr, 1i64);
+        let addr = b.index64(base, slot, 4);
+        let _ = b.ld_global(Type::U32, addr);
+        b.exit();
+        let c = classify_built(b);
+        // The atomic itself is classified (its address is param-derived, so
+        // deterministic) and the dependent load is non-deterministic.
+        let atom_info = c.loads().find(|l| l.pc == 2).expect("atomic classified");
+        assert_eq!(atom_info.class, LoadClass::Deterministic);
+        let n: usize = c
+            .global_loads()
+            .filter(|l| l.class == LoadClass::NonDeterministic)
+            .count();
+        assert_eq!(n, 1);
+        let nd = c
+            .global_loads()
+            .find(|l| l.class == LoadClass::NonDeterministic)
+            .unwrap();
+        assert!(nd
+            .sources
+            .iter()
+            .any(|s| matches!(s, AddressSource::AtomicResult { pc: 2 })));
+    }
+
+    /// Uninitialized registers are flagged and classified non-deterministic.
+    #[test]
+    fn uninitialized_address_is_non_deterministic() {
+        let mut b = KernelBuilder::new("k");
+        let ghost = b.reg();
+        let _ = b.ld_global(Type::U32, ghost);
+        b.exit();
+        let c = classify_built(b);
+        let info = c.global_loads().next().unwrap();
+        assert_eq!(info.class, LoadClass::NonDeterministic);
+        assert!(info
+            .sources
+            .iter()
+            .any(|s| matches!(s, AddressSource::Uninitialized { .. })));
+    }
+
+    /// selp's predicate is a data dependence.
+    #[test]
+    fn selp_predicate_taints_selected_value() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("data", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(gcl_ptx::Special::TidX);
+        let addr0 = b.index64(base, tid, 4);
+        let v = b.ld_global(Type::U32, addr0);
+        let cond = b.setp(CmpOp::Gt, Type::U32, v, 0i64); // tainted predicate
+        let sel = b.selp(Type::U32, 1i64, 2i64, cond);
+        let addr1 = b.index64(base, sel, 4);
+        let _ = b.ld_global(Type::U32, addr1);
+        b.exit();
+        let c = classify_built(b);
+        assert_eq!(c.global_load_counts(), (1, 1));
+    }
+
+    /// Texture loads count as global-backed loads and as tainting sources.
+    #[test]
+    fn tex_load_is_classified_and_taints() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("data", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(gcl_ptx::Special::TidX);
+        let a0 = b.index64(base, tid, 4);
+        let t = b.ld(Space::Tex, Type::U32, gcl_ptx::Address::reg(a0));
+        let a1 = b.index64(base, t, 4);
+        let _ = b.ld_global(Type::U32, a1);
+        b.exit();
+        let c = classify_built(b);
+        assert_eq!(c.global_load_counts(), (1, 1));
+    }
+
+    /// Classification is stable: classifying twice yields identical results.
+    #[test]
+    fn classification_is_deterministic_itself() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("idx", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.thread_linear_id();
+        let a0 = b.index64(base, tid, 4);
+        let i = b.ld_global(Type::U32, a0);
+        let a1 = b.index64(base, i, 4);
+        let _ = b.ld_global(Type::U32, a1);
+        b.exit();
+        let k = b.build().unwrap();
+        assert_eq!(classify(&k), classify(&k));
+    }
+}

@@ -1,0 +1,121 @@
+//! Address-to-partition mapping, including the Section X "semi-global L2"
+//! topology used by the A2 ablation.
+
+use serde::{Deserialize, Serialize};
+
+/// How SMs and addresses map onto L2 partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L2Topology {
+    /// The baseline: one unified L2, all partitions shared by all SMs;
+    /// addresses interleave across all partitions.
+    Unified,
+    /// Section X-C's proposal: partitions are grouped into clusters, each
+    /// serving a contiguous group of SMs. An SM only accesses the partitions
+    /// of its own cluster (addresses interleave within the cluster), trading
+    /// aggregate capacity for locality and shorter interconnect paths.
+    Clustered {
+        /// Number of SM/partition clusters.
+        clusters: usize,
+    },
+}
+
+/// Maps block addresses (and, for clustered topologies, the issuing SM) to a
+/// memory partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrMap {
+    n_partitions: usize,
+    n_sms: usize,
+    topology: L2Topology,
+    /// Interleave granule in bytes (256 B, i.e. two 128 B lines, like Fermi).
+    granule: u64,
+}
+
+impl AddrMap {
+    /// Create a mapping for `n_partitions` partitions and `n_sms` SMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clustered topology does not divide the partitions and SMs
+    /// evenly, or if any count is zero.
+    pub fn new(n_partitions: usize, n_sms: usize, topology: L2Topology) -> AddrMap {
+        assert!(n_partitions > 0 && n_sms > 0);
+        if let L2Topology::Clustered { clusters } = topology {
+            assert!(clusters > 0, "need at least one cluster");
+            assert_eq!(
+                n_partitions % clusters,
+                0,
+                "partitions ({n_partitions}) must divide evenly into {clusters} clusters"
+            );
+            assert_eq!(
+                n_sms % clusters,
+                0,
+                "SMs ({n_sms}) must divide evenly into {clusters} clusters"
+            );
+        }
+        AddrMap { n_partitions, n_sms, topology, granule: 256 }
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    /// The partition servicing `block_addr` for a request from `sm`.
+    pub fn partition_of(&self, block_addr: u64, sm: usize) -> usize {
+        debug_assert!(sm < self.n_sms);
+        let g = (block_addr / self.granule) as usize;
+        match self.topology {
+            L2Topology::Unified => g % self.n_partitions,
+            L2Topology::Clustered { clusters } => {
+                let per_cluster = self.n_partitions / clusters;
+                let sms_per_cluster = self.n_sms / clusters;
+                let cluster = sm / sms_per_cluster;
+                cluster * per_cluster + g % per_cluster
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_interleaves_across_all_partitions() {
+        let m = AddrMap::new(6, 14, L2Topology::Unified);
+        let parts: Vec<usize> = (0..6u64).map(|i| m.partition_of(i * 256, 0)).collect();
+        assert_eq!(parts, vec![0, 1, 2, 3, 4, 5]);
+        // SM id is irrelevant in unified mode.
+        assert_eq!(m.partition_of(256, 0), m.partition_of(256, 13));
+    }
+
+    #[test]
+    fn both_lines_of_a_granule_share_a_partition() {
+        let m = AddrMap::new(6, 14, L2Topology::Unified);
+        assert_eq!(m.partition_of(0, 0), m.partition_of(128, 0));
+        assert_ne!(m.partition_of(0, 0), m.partition_of(256, 0));
+    }
+
+    #[test]
+    fn clustered_routes_sm_to_its_cluster() {
+        let m = AddrMap::new(6, 12, L2Topology::Clustered { clusters: 3 });
+        // 2 partitions and 4 SMs per cluster.
+        for sm in 0..4 {
+            let p = m.partition_of(0, sm);
+            assert!(p < 2, "sm {sm} -> partition {p}");
+        }
+        for sm in 8..12 {
+            let p = m.partition_of(0, sm);
+            assert!((4..6).contains(&p), "sm {sm} -> partition {p}");
+        }
+        // Addresses still interleave within the cluster.
+        assert_ne!(m.partition_of(0, 0), m.partition_of(256, 0));
+        assert_eq!(m.partition_of(0, 0), m.partition_of(512, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_clusters_panic() {
+        let _ = AddrMap::new(6, 14, L2Topology::Clustered { clusters: 4 });
+    }
+}

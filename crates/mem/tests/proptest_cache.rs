@@ -1,0 +1,147 @@
+//! Property tests of the cache's reservation semantics under random access
+//! interleavings: conservation of requests, resource bounds, and the
+//! retry/fill protocol.
+
+use gcl_mem::{AccessOutcome, Cache, CacheConfig, ClassTag, MemRequest};
+use proptest::prelude::*;
+
+fn tiny_cfg() -> CacheConfig {
+    CacheConfig {
+        sets: 4,
+        ways: 2,
+        line_bytes: 128,
+        mshr_entries: 4,
+        mshr_max_merge: 2,
+        miss_queue_len: 3,
+        hit_latency: 1,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Read the block with this index (scaled to a block address).
+    Read(u8),
+    /// Write a block.
+    Write(u8),
+    /// Pull one miss and complete it (downstream service).
+    Service,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..24).prop_map(Step::Read),
+        (0u8..24).prop_map(Step::Write),
+        Just(Step::Service),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every read request is eventually either completed (hit or fill) or
+    /// still pending as a reservation failure retry — none are lost or
+    /// duplicated. Resource counters never exceed their configured bounds.
+    #[test]
+    fn conservation_and_bounds(steps in proptest::collection::vec(step(), 1..120)) {
+        let cfg = tiny_cfg();
+        let mut cache = Cache::new(cfg);
+        let mut issued: u64 = 0;      // reads accepted (hit/merged/missed)
+        let mut completed: u64 = 0;   // reads that produced data
+        let mut in_mshr: u64 = 0;     // accepted, awaiting fill
+        let mut cycle = 0u64;
+
+        for (i, s) in steps.iter().enumerate() {
+            cycle += 1;
+            match s {
+                Step::Read(blk) => {
+                    let addr = u64::from(*blk) * 128;
+                    let req = MemRequest::read(
+                        i as u64, addr, 0, ClassTag::Deterministic, 0, cycle);
+                    match cache.access(req, cycle) {
+                        AccessOutcome::Hit => {
+                            issued += 1;
+                            completed += 1;
+                        }
+                        AccessOutcome::HitReserved | AccessOutcome::MissIssued => {
+                            issued += 1;
+                            in_mshr += 1;
+                        }
+                        AccessOutcome::ReservationFailTags
+                        | AccessOutcome::ReservationFailMshr
+                        | AccessOutcome::ReservationFailIcnt => {}
+                    }
+                }
+                Step::Write(blk) => {
+                    let addr = u64::from(*blk) * 128;
+                    let req = MemRequest::write(i as u64, addr, 0, cycle);
+                    let _ = cache.access(req, cycle);
+                }
+                Step::Service => {
+                    if let Some(m) = cache.pop_miss() {
+                        if !m.is_write {
+                            let done = cache.fill(m.block_addr, cycle);
+                            prop_assert!(!done.is_empty(), "fill released nobody");
+                            completed += done.len() as u64;
+                            in_mshr -= done.len() as u64;
+                        }
+                    }
+                }
+            }
+            prop_assert!(cache.inflight() <= cfg.mshr_entries);
+        }
+
+        // Drain everything still in flight.
+        while let Some(m) = cache.pop_miss() {
+            if !m.is_write {
+                let done = cache.fill(m.block_addr, cycle);
+                completed += done.len() as u64;
+                in_mshr -= done.len() as u64;
+            }
+        }
+        prop_assert_eq!(in_mshr, 0, "requests stuck in MSHRs");
+        prop_assert_eq!(issued, completed, "requests lost or duplicated");
+        prop_assert_eq!(cache.inflight(), 0);
+
+        // Stats agree with our external accounting.
+        let s = cache.stats();
+        let accepted = s.accepted(ClassTag::Deterministic);
+        prop_assert_eq!(accepted, issued);
+    }
+
+    /// After a fill, re-reading the same block hits (LRU keeps it unless
+    /// capacity-evicted by the interleaving — so use a single block).
+    #[test]
+    fn fill_then_hit(blk in 0u8..32) {
+        let mut cache = Cache::new(tiny_cfg());
+        let addr = u64::from(blk) * 128;
+        let r = MemRequest::read(1, addr, 0, ClassTag::NonDeterministic, 0, 0);
+        prop_assert_eq!(cache.access(r, 0), AccessOutcome::MissIssued);
+        let m = cache.pop_miss().unwrap();
+        let done = cache.fill(m.block_addr, 10);
+        prop_assert_eq!(done.len(), 1);
+        let r2 = MemRequest::read(2, addr, 0, ClassTag::NonDeterministic, 0, 11);
+        prop_assert_eq!(cache.access(r2, 11), AccessOutcome::Hit);
+    }
+
+    /// A failed access leaves the cache state unchanged: retrying after
+    /// draining resources succeeds.
+    #[test]
+    fn failed_access_is_retryable(fill_blocks in 1u8..8) {
+        let cfg = tiny_cfg();
+        let mut cache = Cache::new(cfg);
+        // Saturate the miss queue.
+        let mut accepted = 0;
+        for i in 0..16u64 {
+            let addr = (u64::from(fill_blocks) + i) * 128;
+            let req = MemRequest::read(i, addr, 0, ClassTag::Deterministic, 0, i);
+            if cache.access(req, i).accepted() {
+                accepted += 1;
+            }
+        }
+        prop_assert!(accepted <= cfg.miss_queue_len as u64 + 1);
+        // Drain and retry one blocked request: must now be accepted.
+        while cache.pop_miss().is_some() {}
+        let retry = MemRequest::read(99, 0x7F00, 0, ClassTag::Deterministic, 0, 100);
+        prop_assert!(cache.access(retry, 100).accepted());
+    }
+}

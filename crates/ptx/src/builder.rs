@@ -1,0 +1,567 @@
+//! Ergonomic programmatic construction of kernels.
+
+use crate::{
+    Address, AluOp, AtomOp, CmpOp, Guard, Instruction, Kernel, Op, Operand, ParamDecl, Reg, SfuOp,
+    Space, Special, Type, UnaryOp, ValidateError,
+};
+
+/// Handle to a declared kernel parameter, returned by [`KernelBuilder::param`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamRef(usize);
+
+/// Handle to a not-yet-placed branch destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Kernel`] values.
+///
+/// The builder hands out fresh virtual registers, resolves forward branch
+/// labels, and provides convenience emitters for the address-computation
+/// patterns NVCC produces (e.g. [`thread_linear_id`](Self::thread_linear_id),
+/// [`index64`](Self::index64)).
+///
+/// # Examples
+///
+/// ```
+/// use gcl_ptx::{CmpOp, KernelBuilder, Type};
+///
+/// let mut b = KernelBuilder::new("clamp");
+/// let data = b.param("data", Type::U64);
+/// let n = b.param("n", Type::U32);
+/// let base = b.ld_param(Type::U64, data);
+/// let n = b.ld_param(Type::U32, n);
+/// let tid = b.thread_linear_id();
+/// let in_range = b.setp(CmpOp::Lt, Type::U32, tid, n);
+/// let done = b.new_label();
+/// b.bra_unless(in_range, done);
+/// let addr = b.index64(base, tid, 4);
+/// let v = b.ld_global(Type::U32, addr);
+/// b.st_global(Type::U32, addr, v);
+/// b.place(done);
+/// b.exit();
+/// let kernel = b.build()?;
+/// assert_eq!(kernel.name(), "clamp");
+/// # Ok::<(), gcl_ptx::ValidateError>(())
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<ParamDecl>,
+    shared_bytes: u32,
+    insts: Vec<Instruction>,
+    next_reg: u32,
+    labels: Vec<Option<usize>>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, Label)>,
+    guard: Option<Guard>,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            shared_bytes: 0,
+            insts: Vec::new(),
+            next_reg: 0,
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            guard: None,
+        }
+    }
+
+    /// Declare a kernel parameter. Parameters must be declared before the
+    /// first `ld_param` that reads them.
+    pub fn param(&mut self, name: impl Into<String>, ty: Type) -> ParamRef {
+        self.params.push(ParamDecl::new(name, ty));
+        ParamRef(self.params.len() - 1)
+    }
+
+    /// Declare `bytes` of statically-allocated shared memory.
+    pub fn shared(&mut self, bytes: u32) {
+        self.shared_bytes = bytes;
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Current instruction index (the pc the next emitted instruction gets).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Create a label to branch to; place it later with [`place`](Self::place).
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Pin `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.insts.len());
+    }
+
+    /// Apply a guard (`@%p` if `negate` is false, `@!%p` otherwise) to the
+    /// *next* emitted instruction only.
+    pub fn guard_next(&mut self, pred: Reg, negate: bool) {
+        self.guard = Some(Guard { pred, negate });
+    }
+
+    /// Emit a raw op, consuming any pending guard. Returns its pc.
+    pub fn push(&mut self, op: Op) -> usize {
+        let guard = self.guard.take();
+        let pc = self.insts.len();
+        self.insts.push(Instruction { op, guard });
+        pc
+    }
+
+    // ---- moves & conversions -------------------------------------------
+
+    /// `mov ty dst, src` into a fresh register.
+    pub fn mov(&mut self, ty: Type, src: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Mov { ty, dst, src: src.into() });
+        dst
+    }
+
+    /// Materialize a special register (`%tid.x`, ...) as a `u32` value.
+    pub fn sreg(&mut self, s: Special) -> Reg {
+        self.mov(Type::U32, s)
+    }
+
+    /// Materialize a 32-bit unsigned immediate.
+    pub fn imm32(&mut self, v: u32) -> Reg {
+        self.mov(Type::U32, i64::from(v))
+    }
+
+    /// Materialize a 64-bit unsigned immediate.
+    pub fn imm64(&mut self, v: u64) -> Reg {
+        self.mov(Type::U64, v as i64)
+    }
+
+    /// Materialize an `f32` immediate.
+    pub fn immf32(&mut self, v: f32) -> Reg {
+        self.mov(Type::F32, Operand::f32(v))
+    }
+
+    /// `cvt dst_ty src_ty` into a fresh register.
+    pub fn cvt(&mut self, dst_ty: Type, src_ty: Type, src: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Cvt { dst_ty, src_ty, dst, src: src.into() });
+        dst
+    }
+
+    // ---- ALU -------------------------------------------------------------
+
+    /// Generic two-source ALU op into a fresh register.
+    pub fn alu(
+        &mut self,
+        op: AluOp,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Alu { op, ty, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// `add`
+    pub fn add(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Add, ty, a, b)
+    }
+
+    /// `sub`
+    pub fn sub(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Sub, ty, a, b)
+    }
+
+    /// `mul.lo` (or floating multiply)
+    pub fn mul(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Mul, ty, a, b)
+    }
+
+    /// `mul.wide` — product at twice the operand width.
+    pub fn mul_wide(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::MulWide, ty, a, b)
+    }
+
+    /// `div`
+    pub fn div(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Div, ty, a, b)
+    }
+
+    /// `rem`
+    pub fn rem(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Rem, ty, a, b)
+    }
+
+    /// `min`
+    pub fn min(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Min, ty, a, b)
+    }
+
+    /// `max`
+    pub fn max(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Max, ty, a, b)
+    }
+
+    /// `and`
+    pub fn and(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::And, ty, a, b)
+    }
+
+    /// `or`
+    pub fn or(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Or, ty, a, b)
+    }
+
+    /// `xor`
+    pub fn xor(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Xor, ty, a, b)
+    }
+
+    /// `shl`
+    pub fn shl(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Shl, ty, a, b)
+    }
+
+    /// `shr`
+    pub fn shr(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Shr, ty, a, b)
+    }
+
+    /// `mad.lo ty dst, a, b, c` (dst = a*b + c).
+    pub fn mad(
+        &mut self,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Mad { ty, dst, a: a.into(), b: b.into(), c: c.into(), wide: false });
+        dst
+    }
+
+    /// `mad.wide ty dst, a, b, c` — product and sum at twice the width.
+    pub fn mad_wide(
+        &mut self,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Mad { ty, dst, a: a.into(), b: b.into(), c: c.into(), wide: true });
+        dst
+    }
+
+    /// One-source ALU op into a fresh register.
+    pub fn unary(&mut self, op: UnaryOp, ty: Type, a: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Unary { op, ty, dst, a: a.into() });
+        dst
+    }
+
+    /// `neg`
+    pub fn neg(&mut self, ty: Type, a: impl Into<Operand>) -> Reg {
+        self.unary(UnaryOp::Neg, ty, a)
+    }
+
+    /// `not`
+    pub fn not(&mut self, ty: Type, a: impl Into<Operand>) -> Reg {
+        self.unary(UnaryOp::Not, ty, a)
+    }
+
+    /// `abs`
+    pub fn abs(&mut self, ty: Type, a: impl Into<Operand>) -> Reg {
+        self.unary(UnaryOp::Abs, ty, a)
+    }
+
+    /// `popc`
+    pub fn popc(&mut self, ty: Type, a: impl Into<Operand>) -> Reg {
+        self.unary(UnaryOp::Popc, ty, a)
+    }
+
+    /// Special-function op (`sin`, `sqrt`, ...) into a fresh register.
+    pub fn sfu(&mut self, op: SfuOp, ty: Type, a: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Sfu { op, ty, dst, a: a.into() });
+        dst
+    }
+
+    // ---- predicates & control -------------------------------------------
+
+    /// `setp.cmp.ty p, a, b` into a fresh predicate register.
+    pub fn setp(
+        &mut self,
+        cmp: CmpOp,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Setp { cmp, ty, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// `selp ty dst, a, b, pred` into a fresh register.
+    pub fn selp(
+        &mut self,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        pred: Reg,
+    ) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Selp { ty, dst, a: a.into(), b: b.into(), pred });
+        dst
+    }
+
+    /// Unconditional branch to `label`.
+    pub fn bra(&mut self, label: Label) {
+        let pc = self.push(Op::Bra { target: usize::MAX });
+        self.fixups.push((pc, label));
+    }
+
+    /// Branch to `label` when `pred` is true (`@%p bra`).
+    pub fn bra_if(&mut self, pred: Reg, label: Label) {
+        self.guard_next(pred, false);
+        self.bra(label);
+    }
+
+    /// Branch to `label` when `pred` is false (`@!%p bra`).
+    pub fn bra_unless(&mut self, pred: Reg, label: Label) {
+        self.guard_next(pred, true);
+        self.bra(label);
+    }
+
+    /// CTA barrier (`bar.sync 0`).
+    pub fn bar(&mut self) {
+        self.push(Op::Bar);
+    }
+
+    /// Thread exit.
+    pub fn exit(&mut self) {
+        self.push(Op::Exit);
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    /// Load a declared parameter value (`ld.param`).
+    pub fn ld_param(&mut self, ty: Type, p: ParamRef) -> Reg {
+        let offset = param_offset(&self.params, p.0);
+        let dst = self.reg();
+        self.push(Op::Ld {
+            space: Space::Param,
+            ty,
+            dst,
+            addr: Address::abs(i64::from(offset)),
+        });
+        dst
+    }
+
+    /// Generic load into a fresh register.
+    pub fn ld(&mut self, space: Space, ty: Type, addr: Address) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Ld { space, ty, dst, addr });
+        dst
+    }
+
+    /// `ld.global ty dst, [addr]`.
+    pub fn ld_global(&mut self, ty: Type, addr: Reg) -> Reg {
+        self.ld(Space::Global, ty, Address::reg(addr))
+    }
+
+    /// `ld.global` with a byte offset.
+    pub fn ld_global_off(&mut self, ty: Type, addr: Reg, offset: i64) -> Reg {
+        self.ld(Space::Global, ty, Address::reg_offset(addr, offset))
+    }
+
+    /// `ld.shared ty dst, [addr]`.
+    pub fn ld_shared(&mut self, ty: Type, addr: Reg) -> Reg {
+        self.ld(Space::Shared, ty, Address::reg(addr))
+    }
+
+    /// Generic store.
+    pub fn st(&mut self, space: Space, ty: Type, addr: Address, src: impl Into<Operand>) {
+        self.push(Op::St { space, ty, addr, src: src.into() });
+    }
+
+    /// `st.global ty [addr], src`.
+    pub fn st_global(&mut self, ty: Type, addr: Reg, src: impl Into<Operand>) {
+        self.st(Space::Global, ty, Address::reg(addr), src);
+    }
+
+    /// `st.shared ty [addr], src`.
+    pub fn st_shared(&mut self, ty: Type, addr: Reg, src: impl Into<Operand>) {
+        self.st(Space::Shared, ty, Address::reg(addr), src);
+    }
+
+    /// Atomic RMW on global memory; returns the register holding the old value.
+    pub fn atom(&mut self, op: AtomOp, ty: Type, addr: Reg, src: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Op::Atom { op, ty, dst, addr: Address::reg(addr), src: src.into() });
+        dst
+    }
+
+    // ---- NVCC-style composite helpers -------------------------------------
+
+    /// The canonical global thread id:
+    /// `%ctaid.x * %ntid.x + %tid.x`, as a `u32` register.
+    pub fn thread_linear_id(&mut self) -> Reg {
+        let ctaid = self.sreg(Special::CtaIdX);
+        let ntid = self.sreg(Special::NTidX);
+        let tid = self.sreg(Special::TidX);
+        self.mad(Type::U32, ctaid, ntid, tid)
+    }
+
+    /// Compute `base + index * elem_size` as a 64-bit address, the way NVCC
+    /// lowers array indexing (`mul.wide.u32` + `add.u64`).
+    pub fn index64(&mut self, base: Reg, index: Reg, elem_size: u32) -> Reg {
+        let byte_off = self.mul_wide(Type::U32, index, i64::from(elem_size));
+        self.add(Type::U64, base, byte_off)
+    }
+
+    /// Finish the kernel, resolving labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if the kernel fails validation (see
+    /// [`Kernel::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branched-to label was never [`place`](Self::place)d.
+    pub fn build(mut self) -> Result<Kernel, ValidateError> {
+        for (pc, label) in self.fixups.drain(..) {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {label:?} branched to but never placed"));
+            if let Op::Bra { target: t } = &mut self.insts[pc].op {
+                *t = target;
+            }
+        }
+        Kernel::new(self.name, self.params, self.shared_bytes, self.insts)
+    }
+}
+
+fn param_offset(params: &[ParamDecl], index: usize) -> u32 {
+    let mut off = 0u32;
+    for (i, p) in params.iter().enumerate() {
+        let sz = p.ty.size_bytes();
+        off = off.div_ceil(sz) * sz;
+        if i == index {
+            return off;
+        }
+        off += sz;
+    }
+    panic!("parameter index {index} out of range");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_kernel() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("data", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.thread_linear_id();
+        let addr = b.index64(base, tid, 4);
+        let v = b.ld_global(Type::U32, addr);
+        b.st_global(Type::U32, addr, v);
+        b.exit();
+        let k = b.build().unwrap();
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.global_load_pcs().len(), 1);
+        assert!(k.num_regs() >= 6);
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.setp(CmpOp::Eq, Type::U32, Special::TidX, 0i64);
+        let skip = b.new_label();
+        b.bra_if(p, skip);
+        b.imm32(1);
+        b.place(skip);
+        b.exit();
+        let k = b.build().unwrap();
+        // bra is pc 1 (after setp), target should be the exit at pc 3.
+        match k.insts()[1].op {
+            Op::Bra { target } => assert_eq!(target, 3),
+            ref other => panic!("expected bra, got {other:?}"),
+        }
+        assert!(k.insts()[1].guard.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn unplaced_label_panics() {
+        let mut b = KernelBuilder::new("k");
+        let l = b.new_label();
+        b.bra(l);
+        b.exit();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "label placed twice")]
+    fn double_place_panics() {
+        let mut b = KernelBuilder::new("k");
+        let l = b.new_label();
+        b.place(l);
+        b.place(l);
+    }
+
+    #[test]
+    fn guard_applies_to_next_instruction_only() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.setp(CmpOp::Ne, Type::U32, Special::TidX, 0i64);
+        b.guard_next(p, false);
+        b.imm32(5);
+        b.imm32(6);
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(k.insts()[1].guard.is_some());
+        assert!(k.insts()[2].guard.is_none());
+    }
+
+    #[test]
+    fn backward_branch_builds_loop() {
+        let mut b = KernelBuilder::new("loop");
+        let i0 = b.imm32(0);
+        let head = b.new_label();
+        b.place(head);
+        let i1 = b.add(Type::U32, i0, 1i64);
+        // Not a real loop body; just checks backward target resolution.
+        let p = b.setp(CmpOp::Lt, Type::U32, i1, 10i64);
+        b.bra_if(p, head);
+        b.exit();
+        let k = b.build().unwrap();
+        match k.insts()[3].op {
+            Op::Bra { target } => assert_eq!(target, 1),
+            ref other => panic!("expected bra, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_bytes_recorded() {
+        let mut b = KernelBuilder::new("k");
+        b.shared(4096);
+        b.exit();
+        assert_eq!(b.build().unwrap().shared_bytes(), 4096);
+    }
+}

@@ -1,0 +1,216 @@
+//! Textual (disassembly) form of instructions and kernels.
+//!
+//! The output round-trips through [`parse_kernel`](crate::parse_kernel);
+//! see the property tests in the crate's test suite.
+
+use crate::{Instruction, Kernel, Op, Space};
+use std::collections::BTreeSet;
+use std::fmt;
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Ld { space, ty, dst, addr } => write!(f, "ld.{space}.{ty} {dst}, {addr}"),
+            Op::St { space, ty, addr, src } => write!(f, "st.{space}.{ty} {addr}, {src}"),
+            Op::Mov { ty, dst, src } => write!(f, "mov.{ty} {dst}, {src}"),
+            Op::Cvt { dst_ty, src_ty, dst, src } => {
+                write!(f, "cvt.{dst_ty}.{src_ty} {dst}, {src}")
+            }
+            Op::Unary { op, ty, dst, a } => {
+                write!(f, "{}.{ty} {dst}, {a}", op.mnemonic())
+            }
+            Op::Alu { op, ty, dst, a, b } => {
+                write!(f, "{}.{ty} {dst}, {a}, {b}", op.mnemonic())
+            }
+            Op::Mad { ty, dst, a, b, c, wide } => {
+                let m = if *wide { "mad.wide" } else { "mad.lo" };
+                write!(f, "{m}.{ty} {dst}, {a}, {b}, {c}")
+            }
+            Op::Sfu { op, ty, dst, a } => write!(f, "{}.{ty} {dst}, {a}", op.mnemonic()),
+            Op::Setp { cmp, ty, dst, a, b } => {
+                write!(f, "setp.{}.{ty} {dst}, {a}, {b}", cmp.mnemonic())
+            }
+            Op::Selp { ty, dst, a, b, pred } => {
+                write!(f, "selp.{ty} {dst}, {a}, {b}, {pred}")
+            }
+            Op::Bra { target } => write!(f, "bra L{target}"),
+            Op::Bar => write!(f, "bar.sync 0"),
+            Op::Atom { op, ty, dst, addr, src } => {
+                write!(f, "atom.global.{}.{ty} {dst}, {addr}, {src}", op.mnemonic())
+            }
+            Op::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "{g} ")?;
+        }
+        write!(f, "{};", self.op)
+    }
+}
+
+impl fmt::Display for Kernel {
+    /// Disassemble the kernel into the textual form accepted by
+    /// [`parse_kernel`](crate::parse_kernel).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".entry {} (", self.name())?;
+        for (i, p) in self.params().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, ".param .{} {}", p.ty, p.name)?;
+        }
+        writeln!(f, ")")?;
+        if self.shared_bytes() > 0 {
+            writeln!(f, ".shared {}", self.shared_bytes())?;
+        }
+        writeln!(f, "{{")?;
+
+        // Collect branch targets so we can emit labels.
+        let targets: BTreeSet<usize> = self
+            .insts()
+            .iter()
+            .filter_map(|i| match i.op {
+                Op::Bra { target } => Some(target),
+                _ => None,
+            })
+            .collect();
+
+        for (pc, inst) in self.insts().iter().enumerate() {
+            if targets.contains(&pc) {
+                writeln!(f, "L{pc}:")?;
+            }
+            // Param loads with a resolvable offset are printed by name for
+            // readability; the parser accepts both forms.
+            if let Op::Ld { space: Space::Param, ty, dst, addr } = &inst.op {
+                if addr.base.is_none() {
+                    if let Some(idx) = (0..self.params().len())
+                        .find(|&i| i64::from(self.param_offset(i)) == addr.offset)
+                    {
+                        if let Some(g) = inst.guard {
+                            write!(f, "  {g} ")?;
+                        } else {
+                            write!(f, "  ")?;
+                        }
+                        writeln!(f, "ld.param.{ty} {dst}, [{}];", self.params()[idx].name)?;
+                        continue;
+                    }
+                }
+            }
+            writeln!(f, "  {inst}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Address, AluOp, AtomOp, CmpOp, Guard, Operand, Reg, SfuOp, Type};
+
+    #[test]
+    fn op_display_forms() {
+        let cases: Vec<(Op, &str)> = vec![
+            (
+                Op::Ld {
+                    space: Space::Global,
+                    ty: Type::U32,
+                    dst: Reg(1),
+                    addr: Address::reg_offset(Reg(2), 8),
+                },
+                "ld.global.u32 %r1, [%r2+8]",
+            ),
+            (
+                Op::St {
+                    space: Space::Shared,
+                    ty: Type::F32,
+                    addr: Address::reg(Reg(3)),
+                    src: Operand::Reg(Reg(4)),
+                },
+                "st.shared.f32 [%r3], %r4",
+            ),
+            (
+                Op::Alu {
+                    op: AluOp::MulWide,
+                    ty: Type::U32,
+                    dst: Reg(5),
+                    a: Operand::Reg(Reg(6)),
+                    b: Operand::Imm(4),
+                },
+                "mul.wide.u32 %r5, %r6, 4",
+            ),
+            (
+                Op::Mad {
+                    ty: Type::U32,
+                    dst: Reg(0),
+                    a: Operand::Reg(Reg(1)),
+                    b: Operand::Reg(Reg(2)),
+                    c: Operand::Reg(Reg(3)),
+                    wide: false,
+                },
+                "mad.lo.u32 %r0, %r1, %r2, %r3",
+            ),
+            (
+                Op::Sfu { op: SfuOp::Rsqrt, ty: Type::F32, dst: Reg(1), a: Operand::Reg(Reg(2)) },
+                "rsqrt.approx.f32 %r1, %r2",
+            ),
+            (
+                Op::Setp {
+                    cmp: CmpOp::Ge,
+                    ty: Type::S32,
+                    dst: Reg(7),
+                    a: Operand::Reg(Reg(8)),
+                    b: Operand::Imm(-1),
+                },
+                "setp.ge.s32 %r7, %r8, -1",
+            ),
+            (Op::Bra { target: 12 }, "bra L12"),
+            (Op::Bar, "bar.sync 0"),
+            (
+                Op::Atom {
+                    op: AtomOp::Add,
+                    ty: Type::U32,
+                    dst: Reg(1),
+                    addr: Address::reg(Reg(2)),
+                    src: Operand::Imm(1),
+                },
+                "atom.global.add.u32 %r1, [%r2], 1",
+            ),
+            (Op::Exit, "exit"),
+        ];
+        for (op, want) in cases {
+            assert_eq!(format!("{op}"), want);
+        }
+    }
+
+    #[test]
+    fn guarded_instruction_display() {
+        let i = Instruction::guarded(Guard::unless(Reg(3)), Op::Exit);
+        assert_eq!(format!("{i}"), "@!%r3 exit;");
+        let i = Instruction::guarded(Guard::when(Reg(3)), Op::Bra { target: 0 });
+        assert_eq!(format!("{i}"), "@%r3 bra L0;");
+    }
+
+    #[test]
+    fn kernel_display_contains_labels_and_params() {
+        use crate::KernelBuilder;
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("data", Type::U64);
+        let _base = b.ld_param(Type::U64, p);
+        let c = b.setp(CmpOp::Eq, Type::U32, crate::Special::TidX, 0i64);
+        let l = b.new_label();
+        b.bra_if(c, l);
+        b.imm32(1);
+        b.place(l);
+        b.exit();
+        let k = b.build().unwrap();
+        let text = format!("{k}");
+        assert!(text.contains(".entry k (.param .u64 data)"));
+        assert!(text.contains("ld.param.u64 %r0, [data];"));
+        assert!(text.contains("L4:"));
+        assert!(text.contains("bra L4"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Virtual registers and special (read-only, thread-identity) registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register identifier within one kernel.
+///
+/// Registers are untyped storage; the instruction supplies the interpretation
+/// (as real PTX does through its type suffixes). The register file of a
+/// kernel is dense: ids run from `0` to [`Kernel::num_regs`] `- 1`.
+///
+/// [`Kernel::num_regs`]: crate::Kernel::num_regs
+///
+/// # Examples
+///
+/// ```
+/// use gcl_ptx::Reg;
+/// let r = Reg(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(format!("{r}"), "%r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The register id as a usize index into a register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// Special read-only registers holding thread/CTA identity and geometry.
+///
+/// These are the paper's "parameterized data" sources together with
+/// `ld.param`: their values are fixed when the kernel launches, so an address
+/// computed only from them is *deterministic*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Special {
+    /// `%tid.x` — thread index within the CTA, x dimension.
+    TidX,
+    /// `%tid.y`
+    TidY,
+    /// `%tid.z`
+    TidZ,
+    /// `%ntid.x` — CTA size, x dimension.
+    NTidX,
+    /// `%ntid.y`
+    NTidY,
+    /// `%ntid.z`
+    NTidZ,
+    /// `%ctaid.x` — CTA index within the grid, x dimension.
+    CtaIdX,
+    /// `%ctaid.y`
+    CtaIdY,
+    /// `%ctaid.z`
+    CtaIdZ,
+    /// `%nctaid.x` — grid size in CTAs, x dimension.
+    NCtaIdX,
+    /// `%nctaid.y`
+    NCtaIdY,
+    /// `%nctaid.z`
+    NCtaIdZ,
+    /// `%laneid` — lane within the warp (0..32).
+    LaneId,
+    /// `%warpid` — warp index within the CTA.
+    WarpId,
+}
+
+impl Special {
+    /// All special registers, in a fixed order.
+    pub const ALL: [Special; 14] = [
+        Special::TidX,
+        Special::TidY,
+        Special::TidZ,
+        Special::NTidX,
+        Special::NTidY,
+        Special::NTidZ,
+        Special::CtaIdX,
+        Special::CtaIdY,
+        Special::CtaIdZ,
+        Special::NCtaIdX,
+        Special::NCtaIdY,
+        Special::NCtaIdZ,
+        Special::LaneId,
+        Special::WarpId,
+    ];
+
+    /// The PTX spelling, including the leading `%`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Special::TidX => "%tid.x",
+            Special::TidY => "%tid.y",
+            Special::TidZ => "%tid.z",
+            Special::NTidX => "%ntid.x",
+            Special::NTidY => "%ntid.y",
+            Special::NTidZ => "%ntid.z",
+            Special::CtaIdX => "%ctaid.x",
+            Special::CtaIdY => "%ctaid.y",
+            Special::CtaIdZ => "%ctaid.z",
+            Special::NCtaIdX => "%nctaid.x",
+            Special::NCtaIdY => "%nctaid.y",
+            Special::NCtaIdZ => "%nctaid.z",
+            Special::LaneId => "%laneid",
+            Special::WarpId => "%warpid",
+        }
+    }
+
+    /// Parse a PTX special-register spelling (with the leading `%`).
+    pub fn from_name(s: &str) -> Option<Special> {
+        Special::ALL.iter().copied().find(|sp| sp.name() == s)
+    }
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(format!("{}", Reg(0)), "%r0");
+        assert_eq!(format!("{}", Reg(42)), "%r42");
+        assert_eq!(Reg(7).index(), 7);
+    }
+
+    #[test]
+    fn special_name_round_trip() {
+        for sp in Special::ALL {
+            assert_eq!(Special::from_name(sp.name()), Some(sp));
+        }
+        assert_eq!(Special::from_name("%tid.w"), None);
+        assert_eq!(Special::from_name("tid.x"), None);
+    }
+
+    #[test]
+    fn special_all_is_exhaustive_and_unique() {
+        let mut names: Vec<_> = Special::ALL.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Special::ALL.len());
+    }
+}

@@ -1,0 +1,187 @@
+//! Data-block access tracking across CTAs: cold misses, reuse, and the
+//! hidden inter-CTA locality of the paper's Figures 10–12.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary statistics extracted from a [`BlockTracker`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockSummary {
+    /// Distinct 128 B blocks touched.
+    pub blocks: u64,
+    /// Total (global-load) memory requests.
+    pub accesses: u64,
+    /// Cold-miss ratio: first-touches over all accesses (Figure 10).
+    pub cold_miss_ratio: f64,
+    /// Mean accesses per block (Figure 10's line).
+    pub mean_accesses_per_block: f64,
+    /// Fraction of blocks touched by ≥ 2 CTAs (Figure 11, blue bars).
+    pub shared_block_ratio: f64,
+    /// Fraction of accesses that go to such shared blocks (Figure 11, red).
+    pub shared_access_ratio: f64,
+    /// Mean number of CTAs touching a shared block (Figure 11, line).
+    pub mean_ctas_per_shared_block: f64,
+}
+
+/// Tracks, per 128 B data block, how often and by which CTAs it is accessed.
+///
+/// CTA distances (Figure 12) use the *consecutive-accessor* definition: each
+/// access to a block by a CTA different from the block's previous accessor
+/// contributes one sample `|cta - prev_cta|`. This is linear in the access
+/// count (the all-pairs definition is quadratic in sharers) and reflects the
+/// runtime proximity of sharing that a scheduler could actually exploit.
+#[derive(Debug, Default)]
+pub struct BlockTracker {
+    blocks: HashMap<u64, BlockInfo>,
+    total_accesses: u64,
+    distance_hist: HashMap<u64, u64>,
+}
+
+#[derive(Debug, Default)]
+struct BlockInfo {
+    count: u64,
+    ctas: HashMap<u64, u64>,
+    last_cta: u64,
+}
+
+impl BlockTracker {
+    /// An empty tracker.
+    pub fn new() -> BlockTracker {
+        BlockTracker::default()
+    }
+
+    /// Record one memory request for `block_addr` issued by (linearized)
+    /// CTA `cta`.
+    pub fn record(&mut self, block_addr: u64, cta: u64) {
+        self.total_accesses += 1;
+        let info = self.blocks.entry(block_addr).or_default();
+        if info.count > 0 && info.last_cta != cta {
+            let d = info.last_cta.abs_diff(cta);
+            *self.distance_hist.entry(d).or_insert(0) += 1;
+        }
+        info.count += 1;
+        info.last_cta = cta;
+        *info.ctas.entry(cta).or_insert(0) += 1;
+    }
+
+    /// Whether `block_addr` has been touched before (i.e. the next access
+    /// would *not* be a cold miss).
+    pub fn is_warm(&self, block_addr: u64) -> bool {
+        self.blocks.contains_key(&block_addr)
+    }
+
+    /// Total recorded accesses.
+    pub fn accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Compute the Figure 10/11 summary.
+    pub fn summary(&self) -> BlockSummary {
+        let blocks = self.blocks.len() as u64;
+        let accesses = self.total_accesses;
+        let shared: Vec<&BlockInfo> =
+            self.blocks.values().filter(|b| b.ctas.len() >= 2).collect();
+        let shared_blocks = shared.len() as u64;
+        let shared_accesses: u64 = shared.iter().map(|b| b.count).sum();
+        let shared_cta_total: u64 = shared.iter().map(|b| b.ctas.len() as u64).sum();
+        BlockSummary {
+            blocks,
+            accesses,
+            cold_miss_ratio: ratio(blocks, accesses),
+            mean_accesses_per_block: ratio(accesses, blocks),
+            shared_block_ratio: ratio(shared_blocks, blocks),
+            shared_access_ratio: ratio(shared_accesses, accesses),
+            mean_ctas_per_shared_block: ratio(shared_cta_total, shared_blocks),
+        }
+    }
+
+    /// The CTA-distance histogram (Figure 12), normalized to fractions.
+    /// Returns `(distance, fraction)` pairs sorted by distance.
+    pub fn distance_histogram(&self) -> Vec<(u64, f64)> {
+        let total: u64 = self.distance_hist.values().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(u64, f64)> = self
+            .distance_hist
+            .iter()
+            .map(|(&d, &c)| (d, c as f64 / total as f64))
+            .collect();
+        out.sort_unstable_by_key(|(d, _)| *d);
+        out
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_ratio_counts_first_touches() {
+        let mut t = BlockTracker::new();
+        t.record(0, 0);
+        t.record(0, 0);
+        t.record(128, 0);
+        t.record(0, 0);
+        let s = t.summary();
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.accesses, 4);
+        assert!((s.cold_miss_ratio - 0.5).abs() < 1e-12);
+        assert!((s.mean_accesses_per_block - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_ratios() {
+        let mut t = BlockTracker::new();
+        // Block 0: CTAs 0 and 1 (shared). Block 128: only CTA 0.
+        t.record(0, 0);
+        t.record(0, 1);
+        t.record(0, 1);
+        t.record(128, 0);
+        let s = t.summary();
+        assert!((s.shared_block_ratio - 0.5).abs() < 1e-12);
+        assert!((s.shared_access_ratio - 0.75).abs() < 1e-12);
+        assert!((s.mean_ctas_per_shared_block - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_histogram_uses_consecutive_accessors() {
+        let mut t = BlockTracker::new();
+        t.record(0, 0); // first touch: no sample
+        t.record(0, 1); // |1-0| = 1
+        t.record(0, 1); // same CTA: no sample
+        t.record(0, 33); // |33-1| = 32
+        t.record(0, 1); // |1-33| = 32
+        let h = t.distance_histogram();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].0, 1);
+        assert!((h[0].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h[1].0, 32);
+        assert!((h[1].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_has_nan_ratios_and_empty_hist() {
+        let t = BlockTracker::new();
+        let s = t.summary();
+        assert!(s.cold_miss_ratio.is_nan());
+        assert!(t.distance_histogram().is_empty());
+        assert!(!t.is_warm(0));
+    }
+
+    #[test]
+    fn is_warm_after_first_touch() {
+        let mut t = BlockTracker::new();
+        assert!(!t.is_warm(256));
+        t.record(256, 5);
+        assert!(t.is_warm(256));
+    }
+}

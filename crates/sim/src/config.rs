@@ -1,0 +1,244 @@
+//! GPU configuration (the paper's Table II, Tesla C2050-like defaults).
+
+use gcl_mem::{CacheConfig, IcntConfig, L2Topology, PartitionConfig};
+use serde::{Deserialize, Serialize};
+
+/// CTA-to-SM dispatch policy (Section X-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CtaSchedPolicy {
+    /// Baseline: CTAs are handed out in issue order to whichever SM has a
+    /// free slot, which interleaves neighbors across SMs (the paper's
+    /// "round-robin" behavior).
+    RoundRobin,
+    /// Section X-B proposal: consecutive groups of `group` CTAs go to the
+    /// same SM, so neighboring CTAs share an L1.
+    Clustered {
+        /// CTAs per group.
+        group: u32,
+    },
+}
+
+/// Which load classes a next-line L1 prefetcher reacts to (Section X-A:
+/// "instruction-feature-aware mechanisms that can be selectively applied to
+/// load instructions according to their characteristics").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetchFilter {
+    /// No prefetching (baseline).
+    Off,
+    /// Prefetch only on deterministic-load misses (streaming-friendly).
+    DeterministicOnly,
+    /// Prefetch only on non-deterministic-load misses.
+    NonDeterministicOnly,
+    /// Prefetch on every global-load miss (class-oblivious).
+    All,
+}
+
+impl PrefetchFilter {
+    /// Whether a miss of class `tag` should trigger a prefetch.
+    pub fn triggers(self, tag: gcl_mem::ClassTag) -> bool {
+        match self {
+            PrefetchFilter::Off => false,
+            PrefetchFilter::DeterministicOnly => tag == gcl_mem::ClassTag::Deterministic,
+            PrefetchFilter::NonDeterministicOnly => {
+                tag == gcl_mem::ClassTag::NonDeterministic
+            }
+            PrefetchFilter::All => tag != gcl_mem::ClassTag::Other,
+        }
+    }
+}
+
+/// Warp scheduler policy within an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarpSchedPolicy {
+    /// Loose round-robin.
+    Lrr,
+    /// Greedy-then-oldest.
+    Gto,
+}
+
+/// Full GPU configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of SMs (paper: 14).
+    pub n_sms: usize,
+    /// Threads per warp (paper: 32).
+    pub warp_size: u32,
+    /// Max resident threads per SM (paper: 1536).
+    pub max_threads_per_sm: u32,
+    /// Max resident CTAs per SM (Fermi: 8).
+    pub max_ctas_per_sm: u32,
+    /// Shared memory per SM in bytes (paper: 48 KB).
+    pub shared_mem_per_sm: u32,
+    /// Warp schedulers per SM (Fermi: 2).
+    pub n_schedulers: usize,
+    /// Warp scheduling policy.
+    pub warp_sched: WarpSchedPolicy,
+    /// CTA dispatch policy.
+    pub cta_sched: CtaSchedPolicy,
+    /// SP (ALU) result latency in cycles.
+    pub sp_latency: u32,
+    /// SFU result latency in cycles.
+    pub sfu_latency: u32,
+    /// Latency of `ld.param` / `ld.const` (ideal constant cache).
+    pub const_latency: u32,
+    /// Shared-memory access latency (no bank conflicts).
+    pub shared_latency: u32,
+    /// LD/ST queue depth per SM (pending warp memory instructions).
+    pub ldst_queue_len: usize,
+    /// L1 accesses attempted per cycle (cache ports).
+    pub l1_ports: usize,
+    /// L1 data cache configuration.
+    pub l1: CacheConfig,
+    /// Number of L2 partitions / DRAM channels (Fermi C2050: 6).
+    pub n_partitions: usize,
+    /// One L2 slice + DRAM channel.
+    pub partition: PartitionConfig,
+    /// L2 topology (unified baseline or Section X-C clusters).
+    pub l2_topology: L2Topology,
+    /// Interconnect configuration.
+    pub icnt: IcntConfig,
+    /// Split non-deterministic loads into sub-warps generating at most this
+    /// many requests each (Section X-A proposal). `None` = off.
+    pub warp_split_nd: Option<usize>,
+    /// Class-selective next-line L1 prefetcher (Section X-A proposal).
+    pub prefetch: PrefetchFilter,
+    /// Safety limit on simulated cycles per launch.
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The paper's simulated configuration (Table II): Tesla C2050,
+    /// 14 SMs @ 32 lanes, 16 KB L1 (128 B lines, 4-way, 64 MSHRs),
+    /// 768 KB unified L2, GDDR5 with ~100-cycle latency.
+    pub fn fermi() -> GpuConfig {
+        GpuConfig {
+            n_sms: 14,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_ctas_per_sm: 8,
+            shared_mem_per_sm: 48 * 1024,
+            n_schedulers: 2,
+            warp_sched: WarpSchedPolicy::Lrr,
+            cta_sched: CtaSchedPolicy::RoundRobin,
+            sp_latency: 4,
+            sfu_latency: 16,
+            const_latency: 8,
+            shared_latency: 24,
+            ldst_queue_len: 8,
+            l1_ports: 1,
+            l1: CacheConfig::fermi_l1(),
+            n_partitions: 6,
+            partition: PartitionConfig::fermi(),
+            l2_topology: L2Topology::Unified,
+            icnt: IcntConfig::fermi(),
+            warp_split_nd: None,
+            prefetch: PrefetchFilter::Off,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests: 2 SMs, 2 partitions,
+    /// small caches. Behavior-preserving, just smaller.
+    pub fn small() -> GpuConfig {
+        let mut cfg = GpuConfig::fermi();
+        cfg.n_sms = 2;
+        cfg.n_partitions = 2;
+        cfg.max_threads_per_sm = 256;
+        cfg.max_ctas_per_sm = 4;
+        cfg.max_cycles = 20_000_000;
+        cfg
+    }
+
+    /// Unloaded L1-miss round-trip latency implied by this configuration:
+    /// L1 hit check + two interconnect hops + L2 hit + DRAM access. Used as
+    /// the "un-loaded memory system latency" baseline of Figures 5 and 7.
+    pub fn unloaded_miss_latency(&self) -> u64 {
+        u64::from(self.l1.hit_latency)
+            + 2 * u64::from(self.icnt.hop_latency)
+            + u64::from(self.partition.l2.hit_latency)
+            + u64::from(self.partition.dram.access_latency)
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configurations (zero SMs, zero warp size, a
+    /// clustered L2 that does not divide evenly, ...).
+    pub fn validate(&self) {
+        assert!(self.n_sms > 0, "need at least one SM");
+        assert!(self.warp_size > 0 && self.warp_size <= 64, "warp size must be 1..=64");
+        assert!(self.max_threads_per_sm >= self.warp_size);
+        assert!(self.max_ctas_per_sm > 0);
+        assert!(self.n_schedulers > 0);
+        assert!(self.n_partitions > 0);
+        assert!(self.ldst_queue_len > 0);
+        assert!(self.l1_ports > 0);
+        if let L2Topology::Clustered { clusters } = self.l2_topology {
+            assert!(clusters > 0);
+            assert_eq!(self.n_partitions % clusters, 0);
+            assert_eq!(self.n_sms % clusters, 0);
+        }
+        if let Some(k) = self.warp_split_nd {
+            assert!(k > 0, "warp split chunk must be positive");
+        }
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        GpuConfig::fermi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_matches_table_ii() {
+        let c = GpuConfig::fermi();
+        c.validate();
+        assert_eq!(c.n_sms, 14);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.max_threads_per_sm, 1536);
+        assert_eq!(c.l1.capacity_bytes(), 16 * 1024);
+        assert_eq!(c.n_partitions * c.partition.l2.capacity_bytes(), 768 * 1024);
+        assert_eq!(c.partition.dram.access_latency, 100);
+    }
+
+    #[test]
+    fn unloaded_latency_is_sum_of_stages() {
+        let c = GpuConfig::fermi();
+        let want = 1 + 16 + 4 + 100;
+        assert_eq!(c.unloaded_miss_latency(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn zero_sms_rejected() {
+        let mut c = GpuConfig::fermi();
+        c.n_sms = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn prefetch_filter_triggers() {
+        use gcl_mem::ClassTag;
+        assert!(!PrefetchFilter::Off.triggers(ClassTag::Deterministic));
+        assert!(PrefetchFilter::DeterministicOnly.triggers(ClassTag::Deterministic));
+        assert!(!PrefetchFilter::DeterministicOnly.triggers(ClassTag::NonDeterministic));
+        assert!(PrefetchFilter::NonDeterministicOnly.triggers(ClassTag::NonDeterministic));
+        assert!(PrefetchFilter::All.triggers(ClassTag::Deterministic));
+        assert!(PrefetchFilter::All.triggers(ClassTag::NonDeterministic));
+        assert!(!PrefetchFilter::All.triggers(ClassTag::Other));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_l2_clustering_rejected() {
+        let mut c = GpuConfig::fermi();
+        c.l2_topology = L2Topology::Clustered { clusters: 4 }; // 6 % 4 != 0
+        c.validate();
+    }
+}

@@ -1,0 +1,190 @@
+//! Device global memory: a sparse byte-addressable store plus a bump
+//! allocator, playing the role of `cudaMalloc` + device DRAM contents.
+
+use gcl_ptx::Type;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Base of the device heap. Nonzero so that address 0 stays an obvious
+/// "null" and accidental null derefs read zeros rather than real data.
+pub const HEAP_BASE: u64 = 0x1000_0000;
+
+/// Sparse device memory image with functional reads/writes.
+///
+/// Unwritten memory reads as zero (convenient for synthetic workloads).
+///
+/// # Examples
+///
+/// ```
+/// use gcl_sim::GlobalMem;
+/// use gcl_ptx::Type;
+///
+/// let mut mem = GlobalMem::new();
+/// let buf = mem.alloc(16, 4);
+/// mem.write_scalar(buf, Type::U32, 42);
+/// assert_eq!(mem.read_scalar(buf, Type::U32), 42);
+/// assert_eq!(mem.read_scalar(buf + 4, Type::U32), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct GlobalMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    next_alloc: u64,
+}
+
+impl GlobalMem {
+    /// An empty memory image.
+    pub fn new() -> GlobalMem {
+        GlobalMem { pages: HashMap::new(), next_alloc: HEAP_BASE }
+    }
+
+    /// Allocate `bytes` of device memory aligned to `align` (a power of
+    /// two). Returns the device address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next_alloc + align - 1) & !(align - 1);
+        self.next_alloc = base + bytes.max(1);
+        base
+    }
+
+    /// Allocate room for `n` elements of `ty`, 128-byte aligned (so buffers
+    /// start on cache-line boundaries like `cudaMalloc`'s 256 B alignment).
+    pub fn alloc_array(&mut self, ty: Type, n: u64) -> u64 {
+        self.alloc(n * u64::from(ty.size_bytes()), 128)
+    }
+
+    /// Read one byte (zero if never written).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let page = addr >> PAGE_SHIFT;
+        match self.pages.get(&page) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let page = addr >> PAGE_SHIFT;
+        let p = self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        p[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Read `n` bytes little-endian into a u64 (n ≤ 8).
+    pub fn read_le(&self, addr: u64, n: u32) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..u64::from(n) {
+            v |= u64::from(self.read_u8(addr + i)) << (8 * i);
+        }
+        v
+    }
+
+    /// Write the low `n` bytes of `v` little-endian (n ≤ 8).
+    pub fn write_le(&mut self, addr: u64, n: u32, v: u64) {
+        debug_assert!(n <= 8);
+        for i in 0..u64::from(n) {
+            self.write_u8(addr + i, (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Read a typed scalar as raw bits (sign/float interpretation is the
+    /// caller's concern). Integers narrower than 64 bits are zero-extended.
+    pub fn read_scalar(&self, addr: u64, ty: Type) -> u64 {
+        self.read_le(addr, ty.size_bytes())
+    }
+
+    /// Write a typed scalar from raw bits.
+    pub fn write_scalar(&mut self, addr: u64, ty: Type, bits: u64) {
+        self.write_le(addr, ty.size_bytes(), bits);
+    }
+
+    /// Write a slice of `u32` values starting at `addr`.
+    pub fn write_u32_slice(&mut self, addr: u64, data: &[u32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_le(addr + 4 * i as u64, 4, u64::from(v));
+        }
+    }
+
+    /// Read `n` consecutive `u32` values.
+    pub fn read_u32_slice(&self, addr: u64, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_le(addr + 4 * i as u64, 4) as u32).collect()
+    }
+
+    /// Write a slice of `f32` values starting at `addr`.
+    pub fn write_f32_slice(&mut self, addr: u64, data: &[f32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_le(addr + 4 * i as u64, 4, u64::from(v.to_bits()));
+        }
+    }
+
+    /// Read `n` consecutive `f32` values.
+    pub fn read_f32_slice(&self, addr: u64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| f32::from_bits(self.read_le(addr + 4 * i as u64, 4) as u32))
+            .collect()
+    }
+
+    /// Number of resident (written) pages, for memory-footprint sanity.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let mem = GlobalMem::new();
+        assert_eq!(mem.read_u8(0xdead_beef), 0);
+        assert_eq!(mem.read_scalar(0x42, Type::U64), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip_across_pages() {
+        let mut mem = GlobalMem::new();
+        // Straddle a page boundary.
+        let addr = (1 << PAGE_SHIFT) - 3;
+        mem.write_le(addr, 8, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read_le(addr, 8), 0x1122_3344_5566_7788);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_no_overlap() {
+        let mut mem = GlobalMem::new();
+        let a = mem.alloc(100, 128);
+        let b = mem.alloc(10, 128);
+        assert_eq!(a % 128, 0);
+        assert_eq!(b % 128, 0);
+        assert!(b >= a + 100);
+        assert!(a >= HEAP_BASE);
+    }
+
+    #[test]
+    fn typed_slices() {
+        let mut mem = GlobalMem::new();
+        let a = mem.alloc_array(Type::U32, 4);
+        mem.write_u32_slice(a, &[1, 2, 3, 4]);
+        assert_eq!(mem.read_u32_slice(a, 4), vec![1, 2, 3, 4]);
+        let f = mem.alloc_array(Type::F32, 2);
+        mem.write_f32_slice(f, &[1.5, -2.25]);
+        assert_eq!(mem.read_f32_slice(f, 2), vec![1.5, -2.25]);
+    }
+
+    #[test]
+    fn narrow_writes_do_not_clobber_neighbors() {
+        let mut mem = GlobalMem::new();
+        mem.write_le(100, 4, 0xAAAA_AAAA);
+        mem.write_le(104, 4, 0xBBBB_BBBB);
+        mem.write_le(100, 2, 0x1111);
+        assert_eq!(mem.read_le(100, 4), 0xAAAA_1111);
+        assert_eq!(mem.read_le(104, 4), 0xBBBB_BBBB);
+    }
+}

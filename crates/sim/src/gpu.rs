@@ -1,0 +1,370 @@
+//! The whole GPU: SMs, interconnect, memory partitions, CTA dispatch, and
+//! the cycle loop.
+
+use crate::sm::TickCtx;
+use crate::{
+    BlockSummary, BlockTracker, CtaSchedPolicy, Dim3, GlobalMem, GpuConfig, LaunchStats, Sm,
+};
+use gcl_core::classify;
+use gcl_mem::{AddrMap, Icnt, L2Partition};
+use gcl_ptx::Kernel;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors from [`Gpu::launch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The launch did not finish within [`GpuConfig::max_cycles`].
+    Timeout {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+    },
+    /// The kernel's CTA cannot fit on an SM under this configuration.
+    CtaTooLarge {
+        /// Threads per CTA requested.
+        threads: u64,
+        /// The limiting resource.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { cycles } => {
+                write!(f, "kernel did not finish within {cycles} cycles")
+            }
+            SimError::CtaTooLarge { threads, reason } => {
+                write!(f, "CTA of {threads} threads does not fit on an SM: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Pack kernel parameter values (one raw 64-bit value per declared
+/// parameter) into the launch's parameter block.
+///
+/// # Panics
+///
+/// Panics if the value count does not match the kernel's parameter count.
+pub fn pack_params(kernel: &Kernel, values: &[u64]) -> Vec<u8> {
+    assert_eq!(
+        values.len(),
+        kernel.params().len(),
+        "kernel `{}` takes {} parameters, got {}",
+        kernel.name(),
+        kernel.params().len(),
+        values.len()
+    );
+    let mut block = vec![0u8; kernel.param_bytes() as usize];
+    for (i, &v) in values.iter().enumerate() {
+        let off = kernel.param_offset(i) as usize;
+        let n = kernel.params()[i].ty.size_bytes() as usize;
+        for k in 0..n {
+            block[off + k] = (v >> (8 * k)) as u8;
+        }
+    }
+    block
+}
+
+/// A simulated GPU: owns device memory and cross-launch locality tracking;
+/// cores and the memory hierarchy are instantiated per launch.
+///
+/// # Examples
+///
+/// ```
+/// use gcl_sim::{pack_params, Dim3, Gpu, GpuConfig};
+/// use gcl_ptx::{KernelBuilder, Type};
+///
+/// // out[tid] = tid
+/// let mut b = KernelBuilder::new("iota");
+/// let p = b.param("out", Type::U64);
+/// let base = b.ld_param(Type::U64, p);
+/// let tid = b.thread_linear_id();
+/// let a = b.index64(base, tid, 4);
+/// b.st_global(Type::U32, a, tid);
+/// b.exit();
+/// let k = b.build()?;
+///
+/// let mut gpu = Gpu::new(GpuConfig::small());
+/// let out = gpu.mem().alloc_array(Type::U32, 64);
+/// let params = pack_params(&k, &[out]);
+/// let stats = gpu.launch(&k, Dim3::x(2), Dim3::x(32), &params).unwrap();
+/// assert!(stats.cycles > 0);
+/// assert_eq!(gpu.mem().read_u32_slice(out, 4), vec![0, 1, 2, 3]);
+/// # Ok::<(), gcl_ptx::ValidateError>(())
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    gmem: GlobalMem,
+    blocktrack: BlockTracker,
+    /// Per-SM L1 caches, kept warm across kernel launches (slots are taken
+    /// during a launch and returned afterwards).
+    l1s: Vec<Option<gcl_mem::Cache>>,
+    icnt: Icnt,
+    partitions: Vec<L2Partition>,
+    /// Monotonic device clock: launches continue from where the previous
+    /// one ended, so persistent component timestamps stay consistent.
+    now: gcl_mem::Cycle,
+}
+
+impl Gpu {
+    /// Create a GPU with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`GpuConfig::validate`]).
+    pub fn new(cfg: GpuConfig) -> Gpu {
+        cfg.validate();
+        let l1s = (0..cfg.n_sms).map(|_| Some(gcl_mem::Cache::new(cfg.l1))).collect();
+        let icnt = Icnt::new(cfg.icnt, cfg.n_sms, cfg.n_partitions);
+        let partitions =
+            (0..cfg.n_partitions).map(|_| L2Partition::new(cfg.partition)).collect();
+        Gpu { cfg, gmem: GlobalMem::new(), blocktrack: BlockTracker::new(), l1s, icnt, partitions, now: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Device memory (allocate and initialize buffers here, inspect results
+    /// after launches).
+    pub fn mem(&mut self) -> &mut GlobalMem {
+        &mut self.gmem
+    }
+
+    /// Read-only view of device memory.
+    pub fn mem_ref(&self) -> &GlobalMem {
+        &self.gmem
+    }
+
+    /// Cross-launch block locality summary (the paper's Figures 10–11).
+    pub fn block_summary(&self) -> BlockSummary {
+        self.blocktrack.summary()
+    }
+
+    /// Cross-launch CTA-distance histogram (Figure 12).
+    pub fn distance_histogram(&self) -> Vec<(u64, f64)> {
+        self.blocktrack.distance_histogram()
+    }
+
+    /// Resident CTAs per SM for this kernel/launch geometry.
+    fn occupancy(&self, kernel: &Kernel, block: Dim3) -> Result<usize, SimError> {
+        let threads = block.count();
+        let cfg = &self.cfg;
+        if threads > u64::from(cfg.max_threads_per_sm) {
+            return Err(SimError::CtaTooLarge { threads, reason: "thread limit" });
+        }
+        if kernel.shared_bytes() > cfg.shared_mem_per_sm {
+            return Err(SimError::CtaTooLarge { threads, reason: "shared memory" });
+        }
+        let by_threads = u64::from(cfg.max_threads_per_sm) / threads;
+        let by_shared = if kernel.shared_bytes() == 0 {
+            u64::MAX
+        } else {
+            u64::from(cfg.shared_mem_per_sm / kernel.shared_bytes())
+        };
+        let ctas = by_threads
+            .min(by_shared)
+            .min(u64::from(cfg.max_ctas_per_sm))
+            .max(1) as usize;
+        Ok(ctas)
+    }
+
+    /// Run one kernel to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if the launch exceeds
+    /// [`GpuConfig::max_cycles`], or [`SimError::CtaTooLarge`] if a CTA
+    /// cannot fit on an SM.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        grid: Dim3,
+        block: Dim3,
+        params: &[u8],
+    ) -> Result<LaunchStats, SimError> {
+        let mut trace = None;
+        self.launch_inner(kernel, grid, block, params, &mut trace)
+    }
+
+    /// Run one kernel, recording up to `capacity` issued instructions.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Gpu::launch`].
+    pub fn launch_traced(
+        &mut self,
+        kernel: &Kernel,
+        grid: Dim3,
+        block: Dim3,
+        params: &[u8],
+        capacity: usize,
+    ) -> Result<(LaunchStats, crate::Trace), SimError> {
+        let mut trace = Some(crate::Trace::new(capacity));
+        let stats = self.launch_inner(kernel, grid, block, params, &mut trace)?;
+        Ok((stats, trace.expect("trace preserved across launch")))
+    }
+
+    fn launch_inner(
+        &mut self,
+        kernel: &Kernel,
+        grid: Dim3,
+        block: Dim3,
+        params: &[u8],
+        trace: &mut Option<crate::Trace>,
+    ) -> Result<LaunchStats, SimError> {
+        let cfg = self.cfg.clone();
+        let ctas_per_sm = self.occupancy(kernel, block)?;
+        let classification = classify(kernel);
+        let cfg_ptx = gcl_ptx::Cfg::build(kernel);
+        let reconv = cfg_ptx.reconvergence_pcs(kernel);
+
+        let mut sms: Vec<Sm> = (0..cfg.n_sms)
+            .map(|i| {
+                let l1 = self.l1s[i].take().expect("L1 not returned by previous launch");
+                Sm::new(i as u16, &cfg, kernel, ctas_per_sm, l1)
+            })
+            .collect();
+        let addrmap = AddrMap::new(cfg.n_partitions, cfg.n_sms, cfg.l2_topology);
+
+        // CTA work queues per dispatch policy.
+        let n_ctas = grid.count();
+        let mut global_queue: VecDeque<u64> = VecDeque::new();
+        let mut per_sm_queue: Vec<VecDeque<u64>> = vec![VecDeque::new(); cfg.n_sms];
+        match cfg.cta_sched {
+            CtaSchedPolicy::RoundRobin => {
+                global_queue.extend(0..n_ctas);
+            }
+            CtaSchedPolicy::Clustered { group } => {
+                for cta in 0..n_ctas {
+                    let sm = ((cta / u64::from(group.max(1))) % cfg.n_sms as u64) as usize;
+                    per_sm_queue[sm].push_back(cta);
+                }
+            }
+        }
+
+        let start_cycle = self.now;
+        let mut cycle: u64 = start_cycle;
+        loop {
+            // Dispatch CTAs to free slots (one per SM per cycle).
+            for (i, sm) in sms.iter_mut().enumerate() {
+                if !sm.has_free_cta_slot() {
+                    continue;
+                }
+                let next = match cfg.cta_sched {
+                    CtaSchedPolicy::RoundRobin => global_queue.pop_front(),
+                    CtaSchedPolicy::Clustered { .. } => per_sm_queue[i].pop_front(),
+                };
+                if let Some(cta) = next {
+                    let (x, y, z) = grid.coords(cta);
+                    sm.dispatch_cta(cta, (x, y, z), block, &cfg, kernel);
+                }
+            }
+
+            // Cores.
+            for sm in sms.iter_mut() {
+                let mut ctx = TickCtx {
+                    cycle,
+                    kernel,
+                    reconv: &reconv,
+                    classification: &classification,
+                    params,
+                    gmem: &mut self.gmem,
+                    icnt: &mut self.icnt,
+                    addrmap: &addrmap,
+                    blocktrack: &mut self.blocktrack,
+                    cfg: &cfg,
+                    ntid: block,
+                    nctaid: grid,
+                    trace,
+                };
+                sm.tick(&mut ctx);
+            }
+
+            // Interconnect and memory partitions.
+            self.icnt.tick(cycle);
+            for (p, part) in self.partitions.iter_mut().enumerate() {
+                if part.can_enqueue() {
+                    if let Some(req) = self.icnt.pop_request(p, cycle) {
+                        let ok = part.enqueue(req);
+                        debug_assert!(ok);
+                    }
+                }
+                part.tick(cycle);
+                while self.icnt.can_inject_response(p) {
+                    match part.pop_response(cycle) {
+                        Some(resp) => {
+                            let ok = self.icnt.inject_response(p, resp);
+                            debug_assert!(ok);
+                        }
+                        None => break,
+                    }
+                }
+            }
+
+            cycle += 1;
+
+            // Completion: all work dispatched, all SMs drained, hierarchy
+            // empty.
+            let work_left = !global_queue.is_empty()
+                || per_sm_queue.iter().any(|q| !q.is_empty());
+            if !work_left
+                && sms.iter().all(Sm::is_idle)
+                && self.icnt.is_empty()
+                && self.partitions.iter().all(L2Partition::is_empty)
+            {
+                break;
+            }
+            if cycle - start_cycle >= cfg.max_cycles {
+                return Err(SimError::Timeout { cycles: cycle - start_cycle });
+            }
+        }
+        self.now = cycle;
+
+        // Assemble stats.
+        let mut stats = LaunchStats {
+            name: kernel.name().to_string(),
+            launches: 1,
+            cycles: cycle - start_cycle,
+            static_loads: classification.global_load_counts(),
+            ..LaunchStats::default()
+        };
+        for (i, sm) in sms.into_iter().enumerate() {
+            let (sm_stats, mut l1, loadtrack) = sm.into_parts();
+            stats.sm.merge(&sm_stats);
+            stats.l1.merge(&l1.take_stats());
+            self.l1s[i] = Some(l1);
+            let (class_agg, per_pc) = loadtrack.into_parts();
+            for i in 0..2 {
+                stats.class_agg[i].merge(&class_agg[i]);
+            }
+            let mut per_pc: Vec<_> = per_pc.into_iter().collect();
+            per_pc.sort_by_key(|&((pc, n), _)| (pc, n));
+            for ((pc, n_requests), v) in per_pc {
+                let class = classification
+                    .class_of(pc)
+                    .unwrap_or(gcl_core::LoadClass::Deterministic);
+                let key = crate::stats::PcKey {
+                    kernel: kernel.name().to_string(),
+                    pc,
+                    class,
+                    n_requests,
+                };
+                stats.add_pc(key, &v);
+            }
+        }
+        for part in &mut self.partitions {
+            let (l2_stats, dram_stats) = part.take_stats();
+            stats.l2.merge(&l2_stats);
+            stats.add_dram(&dram_stats);
+        }
+        Ok(stats)
+    }
+}

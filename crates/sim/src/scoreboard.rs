@@ -1,0 +1,105 @@
+//! Per-warp register scoreboard: blocks issue of instructions whose source
+//! or destination registers have writes in flight.
+
+use gcl_ptx::{Instruction, Reg};
+
+/// Scoreboard for all warps of one SM running one kernel.
+#[derive(Debug)]
+pub struct Scoreboard {
+    /// One bitset per warp, one bit per register.
+    pending: Vec<Vec<u64>>,
+    words: usize,
+}
+
+impl Scoreboard {
+    /// Create a scoreboard for `n_warps` warps of a kernel with `num_regs`
+    /// registers.
+    pub fn new(n_warps: usize, num_regs: u32) -> Scoreboard {
+        let words = (num_regs as usize).div_ceil(64).max(1);
+        Scoreboard { pending: vec![vec![0; words]; n_warps], words }
+    }
+
+    fn bit(&self, warp: usize, reg: Reg) -> bool {
+        let i = reg.index();
+        self.pending[warp][i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Whether `inst` can issue for `warp` (no RAW/WAW hazards pending).
+    pub fn can_issue(&self, warp: usize, inst: &Instruction) -> bool {
+        if let Some(d) = inst.dst_reg() {
+            if self.bit(warp, d) {
+                return false;
+            }
+        }
+        inst.src_regs().iter().all(|r| !self.bit(warp, *r))
+    }
+
+    /// Mark `reg` as having a write in flight for `warp`.
+    pub fn reserve(&mut self, warp: usize, reg: Reg) {
+        let i = reg.index();
+        self.pending[warp][i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clear the in-flight write of `reg` for `warp` (writeback).
+    pub fn release(&mut self, warp: usize, reg: Reg) {
+        let i = reg.index();
+        self.pending[warp][i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether `warp` has any writes in flight.
+    pub fn busy(&self, warp: usize) -> bool {
+        self.pending[warp][..self.words].iter().any(|w| *w != 0)
+    }
+
+    /// Drop all reservations of `warp` (when a warp slot is recycled).
+    pub fn clear(&mut self, warp: usize) {
+        self.pending[warp].iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_ptx::{AluOp, Instruction, Op, Operand, Type};
+
+    fn add(dst: u32, a: u32, b: u32) -> Instruction {
+        Instruction::new(Op::Alu {
+            op: AluOp::Add,
+            ty: Type::U32,
+            dst: Reg(dst),
+            a: Operand::Reg(Reg(a)),
+            b: Operand::Reg(Reg(b)),
+        })
+    }
+
+    #[test]
+    fn raw_hazard_blocks_issue() {
+        let mut sb = Scoreboard::new(2, 8);
+        let inst = add(2, 0, 1);
+        assert!(sb.can_issue(0, &inst));
+        sb.reserve(0, Reg(1));
+        assert!(!sb.can_issue(0, &inst));
+        // Other warps unaffected.
+        assert!(sb.can_issue(1, &inst));
+        sb.release(0, Reg(1));
+        assert!(sb.can_issue(0, &inst));
+    }
+
+    #[test]
+    fn waw_hazard_blocks_issue() {
+        let mut sb = Scoreboard::new(1, 8);
+        sb.reserve(0, Reg(2));
+        assert!(!sb.can_issue(0, &add(2, 0, 1)));
+    }
+
+    #[test]
+    fn busy_and_clear() {
+        let mut sb = Scoreboard::new(1, 130);
+        assert!(!sb.busy(0));
+        sb.reserve(0, Reg(129));
+        assert!(sb.busy(0));
+        sb.clear(0);
+        assert!(!sb.busy(0));
+        assert!(sb.can_issue(0, &add(129, 0, 1)));
+    }
+}

@@ -1,0 +1,810 @@
+//! The streaming multiprocessor: warp scheduling, issue, LD/ST unit with
+//! coalescing and L1 access retry, writeback, barriers and CTA retirement.
+
+use crate::warp::{ExecCtx, MemAccess, StepResult, Warp};
+use crate::{
+    coalesce, BlockTracker, Dim3, GlobalMem, GpuConfig, LoadTracker, Scoreboard, Trace,
+    WarpScheduler,
+};
+use gcl_core::{Classification, LoadClass};
+use gcl_mem::{AccessOutcome, AddrMap, Cache, ClassTag, Cycle, Icnt, MemRequest};
+use gcl_ptx::{Kernel, Reg, Space, Unit};
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::cmp::Reverse;
+
+/// Sentinel `meta` value marking prefetch requests (no load-tracker entry).
+const PREFETCH_META: u64 = u64::MAX;
+
+/// Per-SM execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmStats {
+    /// Warp-level instructions issued.
+    pub warp_insts: u64,
+    /// Thread-level instructions (warp instructions × active lanes).
+    pub thread_insts: u64,
+    /// Dynamic global-load warp instructions by class `[D, N]`.
+    pub global_load_warps: [u64; 2],
+    /// Dynamic shared-load warp instructions (profiler `shared_load`).
+    pub shared_load_warps: u64,
+    /// Cycles each unit's first stage was occupied `[SP, SFU, LDST]`.
+    pub unit_busy: [u64; 3],
+    /// Cycles this SM was ticked.
+    pub cycles: u64,
+    /// Extra cycles spent serializing shared-memory bank conflicts.
+    pub bank_conflict_cycles: u64,
+    /// CTAs retired.
+    pub ctas_retired: u64,
+    /// Next-line prefetches issued into the L1.
+    pub prefetches_issued: u64,
+    /// Branch warp instructions executed.
+    pub branches: u64,
+    /// Branches that split the warp (control-flow divergence).
+    pub divergent_branches: u64,
+}
+
+impl SmStats {
+    /// Merge another SM's stats into this one.
+    pub fn merge(&mut self, o: &SmStats) {
+        self.warp_insts += o.warp_insts;
+        self.thread_insts += o.thread_insts;
+        self.global_load_warps[0] += o.global_load_warps[0];
+        self.global_load_warps[1] += o.global_load_warps[1];
+        self.shared_load_warps += o.shared_load_warps;
+        for u in 0..3 {
+            self.unit_busy[u] += o.unit_busy[u];
+        }
+        self.cycles += o.cycles;
+        self.bank_conflict_cycles += o.bank_conflict_cycles;
+        self.ctas_retired += o.ctas_retired;
+        self.prefetches_issued += o.prefetches_issued;
+        self.branches += o.branches;
+        self.divergent_branches += o.divergent_branches;
+    }
+}
+
+/// Shared-memory bank-conflict degree: the maximum number of distinct words
+/// mapped to one of the 32 four-byte-interleaved banks (broadcasts of the
+/// same word are conflict-free).
+pub fn bank_conflict_degree(lane_addrs: &[(u32, u64)]) -> u32 {
+    let mut per_bank: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(_, addr) in lane_addrs {
+        let word = addr / 4;
+        let bank = word % 32;
+        let words = per_bank.entry(bank).or_default();
+        if !words.contains(&word) {
+            words.push(word);
+        }
+    }
+    per_bank.values().map(|w| w.len() as u32).max().unwrap_or(1).max(1)
+}
+
+#[derive(Debug)]
+struct CtaState {
+    warp_slots: Vec<usize>,
+}
+
+#[derive(Debug)]
+enum LdstEntry {
+    /// Global-backed access: requests retried against the L1 until accepted.
+    Global {
+        warp_slot: usize,
+        /// Load-tracker handle (loads only).
+        meta: Option<u64>,
+        is_store: bool,
+        pending: VecDeque<MemRequest>,
+        /// Warp-split chunk (Section X-A): rotate to the back of the queue
+        /// after accepting this many requests.
+        split: Option<usize>,
+        accepted_since_rotate: usize,
+    },
+    /// Shared-memory access: occupies the unit for the conflict-serialized
+    /// cycles, then completes after the shared latency.
+    Shared { warp_slot: usize, dst: Option<Reg>, cycles_left: u32 },
+    /// Parameter/constant-cache access: ideal, fixed latency.
+    Const { warp_slot: usize, dst: Option<Reg>, cycles_left: u32 },
+}
+
+/// Events completing inside the SM (L1 hits, shared/const loads).
+#[derive(Debug, PartialEq, Eq)]
+struct LocalDone {
+    at: Cycle,
+    seq: u64,
+    meta: Option<u64>,
+    req: Option<MemRequestOrd>,
+    warp_slot: usize,
+    dst: Option<Reg>,
+}
+
+/// Wrapper to keep `MemRequest` out of the heap's Ord.
+#[derive(Debug, PartialEq, Eq)]
+struct MemRequestOrd(u64);
+
+impl Ord for LocalDone {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for LocalDone {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Everything an SM needs from the GPU for one cycle.
+pub struct TickCtx<'a> {
+    /// Current cycle.
+    pub cycle: Cycle,
+    /// The running kernel.
+    pub kernel: &'a Kernel,
+    /// Branch reconvergence table.
+    pub reconv: &'a HashMap<usize, usize>,
+    /// Load classification of the kernel.
+    pub classification: &'a Classification,
+    /// Kernel parameter block.
+    pub params: &'a [u8],
+    /// Device memory.
+    pub gmem: &'a mut GlobalMem,
+    /// Interconnect.
+    pub icnt: &'a mut Icnt,
+    /// Address-to-partition mapping.
+    pub addrmap: &'a AddrMap,
+    /// Cross-SM block locality tracker.
+    pub blocktrack: &'a mut BlockTracker,
+    /// GPU configuration.
+    pub cfg: &'a GpuConfig,
+    /// CTA dimensions of the launch.
+    pub ntid: Dim3,
+    /// Grid dimensions of the launch.
+    pub nctaid: Dim3,
+    /// Optional bounded issue trace.
+    pub trace: &'a mut Option<Trace>,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    id: u16,
+    l1: Cache,
+    warps: Vec<Option<Warp>>,
+    warp_age: Vec<u64>,
+    pending_ops: Vec<u32>,
+    next_age: u64,
+    cta_slots: Vec<Option<CtaState>>,
+    smem: Vec<Vec<u8>>,
+    scoreboard: Scoreboard,
+    schedulers: Vec<WarpScheduler>,
+    ldst_queue: VecDeque<LdstEntry>,
+    local_done: BinaryHeap<Reverse<LocalDone>>,
+    /// Side table for requests riding `local_done` (L1 hits keep stamps).
+    local_reqs: HashMap<u64, MemRequest>,
+    writebacks: BinaryHeap<Reverse<(Cycle, usize, Reg)>>,
+    loadtrack: LoadTracker,
+    stats: SmStats,
+    next_seq: u64,
+    issued_mem_this_cycle: bool,
+}
+
+impl Sm {
+    /// Create an SM for one kernel launch, attaching a (possibly warm) L1.
+    pub fn new(id: u16, cfg: &GpuConfig, kernel: &Kernel, n_cta_slots: usize, l1: Cache) -> Sm {
+        let max_warps = (cfg.max_threads_per_sm / cfg.warp_size) as usize;
+        Sm {
+            id,
+            l1,
+            warps: (0..max_warps).map(|_| None).collect(),
+            warp_age: vec![0; max_warps],
+            pending_ops: vec![0; max_warps],
+            next_age: 0,
+            cta_slots: (0..n_cta_slots).map(|_| None).collect(),
+            smem: (0..n_cta_slots)
+                .map(|_| vec![0u8; kernel.shared_bytes() as usize])
+                .collect(),
+            scoreboard: Scoreboard::new(max_warps, kernel.num_regs()),
+            schedulers: (0..cfg.n_schedulers).map(|_| WarpScheduler::new(cfg.warp_sched)).collect(),
+            ldst_queue: VecDeque::new(),
+            local_done: BinaryHeap::new(),
+            local_reqs: HashMap::new(),
+            writebacks: BinaryHeap::new(),
+            loadtrack: LoadTracker::new(),
+            stats: SmStats::default(),
+            next_seq: 0,
+            issued_mem_this_cycle: false,
+        }
+    }
+
+    /// Whether a CTA slot is free.
+    pub fn has_free_cta_slot(&self) -> bool {
+        self.cta_slots.iter().any(Option::is_none)
+    }
+
+    /// Whether this SM has any resident work.
+    pub fn is_idle(&self) -> bool {
+        self.cta_slots.iter().all(Option::is_none)
+            && self.ldst_queue.is_empty()
+            && self.local_done.is_empty()
+            && self.writebacks.is_empty()
+            && self.l1.inflight() == 0
+    }
+
+    /// Place one CTA onto this SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no CTA slot or not enough warp slots are free (the GPU's
+    /// occupancy computation should prevent this).
+    pub fn dispatch_cta(
+        &mut self,
+        linear_cta: u64,
+        ctaid: (u32, u32, u32),
+        ntid: Dim3,
+        cfg: &GpuConfig,
+        kernel: &Kernel,
+    ) {
+        let cta_slot = self
+            .cta_slots
+            .iter()
+            .position(Option::is_none)
+            .expect("no free CTA slot");
+        let n_warps = ntid.count().div_ceil(u64::from(cfg.warp_size)) as usize;
+        let free_slots: Vec<usize> = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_none())
+            .map(|(i, _)| i)
+            .take(n_warps)
+            .collect();
+        assert_eq!(free_slots.len(), n_warps, "not enough free warp slots");
+        for (w, &slot) in free_slots.iter().enumerate() {
+            self.warps[slot] = Some(Warp::new(
+                slot,
+                cta_slot,
+                linear_cta,
+                ctaid,
+                w as u32,
+                ntid,
+                cfg.warp_size,
+                kernel.num_regs(),
+            ));
+            self.warp_age[slot] = self.next_age;
+            self.next_age += 1;
+            self.pending_ops[slot] = 0;
+        }
+        self.smem[cta_slot].iter_mut().for_each(|b| *b = 0);
+        self.cta_slots[cta_slot] = Some(CtaState { warp_slots: free_slots });
+    }
+
+    fn class_tag(class: LoadClass) -> ClassTag {
+        match class {
+            LoadClass::Deterministic => ClassTag::Deterministic,
+            LoadClass::NonDeterministic => ClassTag::NonDeterministic,
+        }
+    }
+
+    /// Advance this SM one cycle.
+    pub fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        let cycle = ctx.cycle;
+        self.stats.cycles += 1;
+        self.issued_mem_this_cycle = false;
+
+        self.process_writebacks(cycle);
+        self.process_responses(ctx);
+        self.process_local_done(cycle);
+        let (sp_issued, sfu_issued) = self.issue(ctx);
+        self.release_barriers();
+        let ldst_active = !self.ldst_queue.is_empty();
+        self.process_ldst(ctx);
+        self.drain_misses(ctx);
+
+        if sp_issued {
+            self.stats.unit_busy[0] += 1;
+        }
+        if sfu_issued {
+            self.stats.unit_busy[1] += 1;
+        }
+        if ldst_active || self.issued_mem_this_cycle {
+            self.stats.unit_busy[2] += 1;
+        }
+
+        self.retire_ctas();
+    }
+
+    fn process_writebacks(&mut self, cycle: Cycle) {
+        while let Some(&Reverse((at, slot, reg))) = self.writebacks.peek() {
+            if at > cycle {
+                break;
+            }
+            self.writebacks.pop();
+            self.scoreboard.release(slot, reg);
+            self.pending_ops[slot] -= 1;
+        }
+    }
+
+    /// Accept fills coming back from the interconnect.
+    fn process_responses(&mut self, ctx: &mut TickCtx<'_>) {
+        let cycle = ctx.cycle;
+        while let Some(resp) = ctx.icnt.pop_response(self.id.into(), cycle) {
+            if resp.is_write {
+                continue; // stores are fire-and-forget
+            }
+            let waiters = self.l1.fill(resp.block_addr, cycle);
+            debug_assert!(!waiters.is_empty(), "fill with no waiters");
+            for mut w in waiters {
+                w.t_icnt_inject = resp.t_icnt_inject;
+                w.t_l2_done = resp.t_l2_done;
+                w.t_returned = cycle;
+                self.finish_request(w, cycle);
+            }
+        }
+    }
+
+    fn finish_request(&mut self, req: MemRequest, cycle: Cycle) {
+        let meta = req.meta;
+        if meta == PREFETCH_META {
+            return; // prefetched data is now resident; nothing waits on it
+        }
+        if self.loadtrack.complete_request(meta, &req, cycle) {
+            // Whole warp load finished: find its record (dst/warp) via the
+            // request's packed routing info.
+            let warp_slot = (req.id >> 32) as usize;
+            let dst = Reg((req.id & 0xFFFF_FFFF) as u32);
+            self.scoreboard.release(warp_slot, dst);
+            self.pending_ops[warp_slot] -= 1;
+        }
+    }
+
+    fn process_local_done(&mut self, cycle: Cycle) {
+        while let Some(Reverse(head)) = self.local_done.peek() {
+            if head.at > cycle {
+                break;
+            }
+            let Reverse(done) = self.local_done.pop().unwrap();
+            match (done.meta, done.req) {
+                // An L1-hit request of a tracked load.
+                (Some(_meta), Some(MemRequestOrd(key))) => {
+                    let mut req = self.local_reqs.remove(&key).expect("missing local request");
+                    req.t_returned = cycle;
+                    self.finish_request(req, cycle);
+                }
+                // Shared/const load completion.
+                _ => {
+                    if let Some(dst) = done.dst {
+                        self.scoreboard.release(done.warp_slot, dst);
+                    }
+                    self.pending_ops[done.warp_slot] -= 1;
+                }
+            }
+        }
+    }
+
+    /// Issue up to one instruction per scheduler. Returns (sp, sfu) issue
+    /// flags for occupancy accounting.
+    fn issue(&mut self, ctx: &mut TickCtx<'_>) -> (bool, bool) {
+        let n_sched = self.schedulers.len();
+        let mut sp = false;
+        let mut sfu = false;
+        for s in 0..n_sched {
+            let candidates: Vec<usize> = (0..self.warps.len())
+                .filter(|slot| slot % n_sched == s && self.warps[*slot].is_some())
+                .collect();
+            let ldst_space =
+                self.ldst_queue.len() < ctx.cfg.ldst_queue_len;
+            let picked = {
+                let warps = &self.warps;
+                let sb = &self.scoreboard;
+                let kernel = ctx.kernel;
+                self.schedulers[s].pick(
+                    &candidates,
+                    |slot| {
+                        let Some(w) = warps[slot].as_ref() else { return false };
+                        if w.is_finished() || w.at_barrier {
+                            return false;
+                        }
+                        let Some(inst) = w.next_inst(kernel) else { return false };
+                        if !sb.can_issue(slot, inst) {
+                            return false;
+                        }
+                        if inst.op.unit() == Unit::LdSt && !ldst_space {
+                            return false;
+                        }
+                        true
+                    },
+                    |slot| self.warp_age[slot],
+                )
+            };
+            let Some(slot) = picked else { continue };
+            let unit = {
+                let w = self.warps[slot].as_ref().unwrap();
+                w.next_inst(ctx.kernel).unwrap().op.unit()
+            };
+            match unit {
+                Unit::Sp => sp = true,
+                Unit::Sfu => sfu = true,
+                _ => {}
+            }
+            self.issue_warp(slot, ctx);
+        }
+        (sp, sfu)
+    }
+
+    fn issue_warp(&mut self, slot: usize, ctx: &mut TickCtx<'_>) {
+        let cycle = ctx.cycle;
+        let mut warp = self.warps[slot].take().expect("issuing empty warp slot");
+        let active_mask = warp.active_mask();
+        let active = active_mask.count_ones();
+        let cta_slot = warp.cta_slot;
+        let pc = warp.pc();
+        let inst_unit = warp.next_inst(ctx.kernel).unwrap().op.unit();
+        let result = {
+            let mut ectx = ExecCtx {
+                kernel: ctx.kernel,
+                reconv: ctx.reconv,
+                params: ctx.params,
+                gmem: ctx.gmem,
+                smem: &mut self.smem[cta_slot],
+                ntid: ctx.ntid,
+                nctaid: ctx.nctaid,
+            };
+            warp.step(&mut ectx)
+        };
+        self.stats.warp_insts += 1;
+        self.stats.thread_insts += u64::from(active);
+        let linear_cta = warp.linear_cta;
+        if let Some(trace) = ctx.trace.as_mut() {
+            trace.record(cycle, self.id, slot as u16, linear_cta, pc as u32, active_mask);
+        }
+        self.warps[slot] = Some(warp);
+
+        match result {
+            StepResult::Alu { dst } => {
+                let latency = match inst_unit {
+                    Unit::Sfu => ctx.cfg.sfu_latency,
+                    _ => ctx.cfg.sp_latency,
+                };
+                if let Some(d) = dst {
+                    self.scoreboard.reserve(slot, d);
+                    self.pending_ops[slot] += 1;
+                    self.writebacks.push(Reverse((cycle + Cycle::from(latency), slot, d)));
+                }
+            }
+            StepResult::Mem(access) => {
+                self.issued_mem_this_cycle = true;
+                self.dispatch_mem(slot, linear_cta, pc, access, ctx);
+            }
+            StepResult::Branch { diverged } => {
+                self.stats.branches += 1;
+                if diverged {
+                    self.stats.divergent_branches += 1;
+                }
+            }
+            StepResult::Predicated | StepResult::Exit => {}
+            StepResult::Barrier => {}
+        }
+    }
+
+    fn dispatch_mem(
+        &mut self,
+        slot: usize,
+        linear_cta: u64,
+        pc: usize,
+        access: MemAccess,
+        ctx: &mut TickCtx<'_>,
+    ) {
+        let cycle = ctx.cycle;
+        match access.space {
+            Space::Param | Space::Const => {
+                if let Some(d) = access.dst {
+                    self.scoreboard.reserve(slot, d);
+                }
+                self.pending_ops[slot] += 1;
+                self.ldst_queue.push_back(LdstEntry::Const {
+                    warp_slot: slot,
+                    dst: access.dst,
+                    cycles_left: 1,
+                });
+            }
+            Space::Shared => {
+                if !access.is_store {
+                    self.stats.shared_load_warps += 1;
+                }
+                let degree = bank_conflict_degree(&access.lane_addrs);
+                self.stats.bank_conflict_cycles += u64::from(degree - 1);
+                if let Some(d) = access.dst {
+                    self.scoreboard.reserve(slot, d);
+                }
+                self.pending_ops[slot] += 1;
+                self.ldst_queue.push_back(LdstEntry::Shared {
+                    warp_slot: slot,
+                    dst: access.dst,
+                    cycles_left: degree,
+                });
+            }
+            Space::Global | Space::Local | Space::Tex => {
+                let blocks =
+                    coalesce(&access.lane_addrs, access.bytes, ctx.cfg.l1.line_bytes);
+                let n_requests = blocks.len() as u32;
+                let is_store = access.is_store;
+                let (class_tag, meta) = if is_store {
+                    (ClassTag::Other, None)
+                } else {
+                    let class = ctx
+                        .classification
+                        .class_of(pc)
+                        .unwrap_or(LoadClass::Deterministic);
+                    self.stats.global_load_warps[match class {
+                        LoadClass::Deterministic => 0,
+                        LoadClass::NonDeterministic => 1,
+                    }] += 1;
+                    let active = access.lane_addrs.len() as u32;
+                    let meta = self.loadtrack.begin(pc, class, n_requests, active, cycle);
+                    for &b in &blocks {
+                        ctx.blocktrack.record(b, linear_cta);
+                    }
+                    (Self::class_tag(class), Some(meta))
+                };
+                let dst = access.dst;
+                if let Some(d) = dst {
+                    self.scoreboard.reserve(slot, d);
+                }
+                self.pending_ops[slot] += 1;
+                let mut pending = VecDeque::with_capacity(blocks.len());
+                for b in blocks {
+                    let id = (slot as u64) << 32
+                        | u64::from(dst.map_or(0, |d| d.0));
+                    let mut req = if is_store {
+                        MemRequest::write(id, b, self.id, cycle)
+                    } else {
+                        MemRequest::read(id, b, self.id, class_tag, meta.unwrap_or(0), cycle)
+                    };
+                    req.class = class_tag;
+                    pending.push_back(req);
+                }
+                let split = match (ctx.cfg.warp_split_nd, class_tag) {
+                    (Some(k), ClassTag::NonDeterministic) => Some(k),
+                    _ => None,
+                };
+                self.ldst_queue.push_back(LdstEntry::Global {
+                    warp_slot: slot,
+                    meta,
+                    is_store,
+                    pending,
+                    split,
+                    accepted_since_rotate: 0,
+                });
+            }
+        }
+    }
+
+    fn release_barriers(&mut self) {
+        for cta in self.cta_slots.iter().flatten() {
+            let mut all_at_barrier = true;
+            let mut any_live = false;
+            for &slot in &cta.warp_slots {
+                if let Some(w) = &self.warps[slot] {
+                    if !w.is_finished() {
+                        any_live = true;
+                        if !w.at_barrier {
+                            all_at_barrier = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if any_live && all_at_barrier {
+                for &slot in &cta.warp_slots {
+                    if let Some(w) = self.warps[slot].as_mut() {
+                        w.at_barrier = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Process the head of the LD/ST queue: shared/const countdowns and L1
+    /// access attempts for global requests.
+    fn process_ldst(&mut self, ctx: &mut TickCtx<'_>) {
+        let cycle = ctx.cycle;
+        let Some(head) = self.ldst_queue.front_mut() else { return };
+        match head {
+            LdstEntry::Const { warp_slot, dst, cycles_left } => {
+                *cycles_left -= 1;
+                if *cycles_left == 0 {
+                    let done = LocalDone {
+                        at: cycle + Cycle::from(ctx.cfg.const_latency),
+                        seq: self.next_seq,
+                        meta: None,
+                        req: None,
+                        warp_slot: *warp_slot,
+                        dst: *dst,
+                    };
+                    self.next_seq += 1;
+                    self.local_done.push(Reverse(done));
+                    self.ldst_queue.pop_front();
+                }
+            }
+            LdstEntry::Shared { warp_slot, dst, cycles_left } => {
+                *cycles_left -= 1;
+                if *cycles_left == 0 {
+                    let done = LocalDone {
+                        at: cycle + Cycle::from(ctx.cfg.shared_latency),
+                        seq: self.next_seq,
+                        meta: None,
+                        req: None,
+                        warp_slot: *warp_slot,
+                        dst: *dst,
+                    };
+                    self.next_seq += 1;
+                    self.local_done.push(Reverse(done));
+                    self.ldst_queue.pop_front();
+                }
+            }
+            LdstEntry::Global { .. } => self.process_global_head(ctx),
+        }
+    }
+
+    fn process_global_head(&mut self, ctx: &mut TickCtx<'_>) {
+        let cycle = ctx.cycle;
+        let hit_latency = Cycle::from(ctx.cfg.l1.hit_latency);
+        let mut rotate = false;
+        let mut finished = false;
+        let mut hits: Vec<(u64, MemRequest)> = Vec::new();
+        {
+            let Some(LdstEntry::Global {
+                meta,
+                is_store,
+                pending,
+                split,
+                accepted_since_rotate,
+                warp_slot,
+                ..
+            }) = self.ldst_queue.front_mut()
+            else {
+                unreachable!()
+            };
+            let warp_slot = *warp_slot;
+            for _port in 0..ctx.cfg.l1_ports {
+                let Some(req) = pending.front().copied() else { break };
+                let outcome = self.l1.access(req, cycle);
+                if !outcome.accepted() {
+                    break; // retry next cycle; head-of-line blocks
+                }
+                pending.pop_front();
+                if let Some(m) = meta {
+                    self.loadtrack.note_accept(*m, cycle);
+                }
+                if outcome == AccessOutcome::Hit && !*is_store {
+                    let mut r = req;
+                    r.t_l1_accepted = cycle;
+                    hits.push((cycle + hit_latency, r));
+                }
+                if outcome == AccessOutcome::MissIssued
+                    && !*is_store
+                    && ctx.cfg.prefetch.triggers(req.class)
+                {
+                    // Section X-A: class-selective next-line prefetch. Best
+                    // effort — reservation failures are simply dropped.
+                    let mut pf = MemRequest::read(
+                        req.id,
+                        req.block_addr + u64::from(ctx.cfg.l1.line_bytes),
+                        self.id,
+                        ClassTag::Other,
+                        PREFETCH_META,
+                        cycle,
+                    );
+                    pf.meta = PREFETCH_META;
+                    if self.l1.access(pf, cycle) == AccessOutcome::MissIssued {
+                        self.stats.prefetches_issued += 1;
+                    }
+                }
+                if let Some(k) = split {
+                    *accepted_since_rotate += 1;
+                    if *accepted_since_rotate >= *k && !pending.is_empty() {
+                        *accepted_since_rotate = 0;
+                        rotate = true;
+                        break;
+                    }
+                }
+            }
+            if pending.is_empty() {
+                finished = true;
+                if *is_store {
+                    // All store requests handed to the memory system; the
+                    // LD/ST slot is free.
+                    self.pending_ops[warp_slot] -= 1;
+                }
+            }
+        }
+        for (at, req) in hits {
+            let key = self.next_seq;
+            self.next_seq += 1;
+            self.local_reqs.insert(key, req);
+            self.local_done.push(Reverse(LocalDone {
+                at,
+                seq: key,
+                meta: Some(req.meta),
+                req: Some(MemRequestOrd(key)),
+                warp_slot: 0,
+                dst: None,
+            }));
+        }
+        if finished {
+            self.ldst_queue.pop_front();
+        } else if rotate {
+            let entry = self.ldst_queue.pop_front().unwrap();
+            self.ldst_queue.push_back(entry);
+        }
+    }
+
+    /// Move L1 misses into the interconnect.
+    fn drain_misses(&mut self, ctx: &mut TickCtx<'_>) {
+        let cycle = ctx.cycle;
+        while self.l1.peek_miss().is_some() && ctx.icnt.can_inject_request(self.id.into()) {
+            let mut req = self.l1.pop_miss().unwrap();
+            req.t_icnt_inject = cycle;
+            let part = ctx.addrmap.partition_of(req.block_addr, self.id.into());
+            let ok = ctx.icnt.inject_request(self.id.into(), part, req);
+            debug_assert!(ok, "inject after can_inject check");
+        }
+    }
+
+    /// Retire CTAs whose warps have finished and drained.
+    fn retire_ctas(&mut self) {
+        for cta_idx in 0..self.cta_slots.len() {
+            let Some(cta) = &self.cta_slots[cta_idx] else { continue };
+            let done = cta.warp_slots.iter().all(|&slot| {
+                self.warps[slot].as_ref().is_some_and(|w| w.is_finished())
+                    && self.pending_ops[slot] == 0
+            });
+            if done {
+                let cta = self.cta_slots[cta_idx].take().unwrap();
+                for slot in cta.warp_slots {
+                    self.warps[slot] = None;
+                    self.scoreboard.clear(slot);
+                }
+                self.stats.ctas_retired += 1;
+            }
+        }
+    }
+
+    /// This SM's L1 cache (for statistics).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// This SM's execution statistics.
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+
+    /// This SM's load tracker.
+    pub fn loadtrack(&self) -> &LoadTracker {
+        &self.loadtrack
+    }
+
+    /// Consume the SM, returning (stats, the L1 cache, load tracker). The
+    /// cache keeps its contents so it can stay warm across launches.
+    pub fn into_parts(self) -> (SmStats, Cache, LoadTracker) {
+        (self.stats, self.l1, self.loadtrack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_conflicts_counted() {
+        // All lanes hit the same bank, different words: degree 4.
+        let addrs: Vec<(u32, u64)> = (0..4).map(|l| (l, u64::from(l) * 128)).collect();
+        assert_eq!(bank_conflict_degree(&addrs), 4);
+        // Conflict-free: consecutive words.
+        let addrs: Vec<(u32, u64)> = (0..32).map(|l| (l, u64::from(l) * 4)).collect();
+        assert_eq!(bank_conflict_degree(&addrs), 1);
+        // Broadcast: same word everywhere.
+        let addrs: Vec<(u32, u64)> = (0..32).map(|l| (l, 64)).collect();
+        assert_eq!(bank_conflict_degree(&addrs), 1);
+        assert_eq!(bank_conflict_degree(&[]), 1);
+    }
+}

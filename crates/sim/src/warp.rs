@@ -1,0 +1,741 @@
+//! Warp state and functional execution of the PTX subset.
+//!
+//! The simulator is *execution-driven*: when an instruction issues, its
+//! architectural effects (register writes, memory reads/writes, atomics)
+//! happen immediately and exactly, while the *timing* of result availability
+//! is modeled separately (scoreboard + writeback events + the memory
+//! hierarchy). Intra-warp dependences are ordered by the scoreboard;
+//! inter-warp communication is ordered by barriers and kernel relaunches,
+//! matching the synchronization the workloads actually use.
+
+use crate::value::{canon, eval_alu, eval_atom, eval_cmp, eval_cvt, eval_mad, eval_sfu, eval_unary};
+use crate::{Dim3, GlobalMem, SimtStack};
+use gcl_ptx::{Address, Instruction, Kernel, Op, Operand, Reg, Space, Special, Type};
+use std::collections::HashMap;
+
+/// Execution context shared by the warps of one CTA during one step.
+pub struct ExecCtx<'a> {
+    /// The kernel being executed.
+    pub kernel: &'a Kernel,
+    /// Branch pc → reconvergence pc (from [`gcl_ptx::Cfg::reconvergence_pcs`]).
+    pub reconv: &'a HashMap<usize, usize>,
+    /// The launch's parameter block.
+    pub params: &'a [u8],
+    /// Device global memory.
+    pub gmem: &'a mut GlobalMem,
+    /// This CTA's shared memory.
+    pub smem: &'a mut [u8],
+    /// CTA dimensions.
+    pub ntid: Dim3,
+    /// Grid dimensions.
+    pub nctaid: Dim3,
+}
+
+/// A memory access produced by one warp instruction, for the LD/ST unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemAccess {
+    /// Instruction index.
+    pub pc: usize,
+    /// Space accessed.
+    pub space: Space,
+    /// True for stores.
+    pub is_store: bool,
+    /// Destination register for loads/atomics (already written functionally;
+    /// the LD/ST unit releases its scoreboard entry on completion).
+    pub dst: Option<Reg>,
+    /// Per-lane effective byte addresses: `(lane, addr)`.
+    pub lane_addrs: Vec<(u32, u64)>,
+    /// Bytes accessed per lane.
+    pub bytes: u32,
+}
+
+/// Outcome of issuing one instruction for a warp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepResult {
+    /// Arithmetic/move executed; if `dst` is set, a writeback should be
+    /// scheduled on the instruction's unit latency.
+    Alu {
+        /// Register awaiting writeback.
+        dst: Option<Reg>,
+    },
+    /// A memory access for the LD/ST unit (global/shared/param/...).
+    Mem(MemAccess),
+    /// Control transfer handled inside the warp (branch). `diverged` is
+    /// true when the warp split (some active lanes took it, some did not).
+    Branch {
+        /// Whether this branch split the warp.
+        diverged: bool,
+    },
+    /// The warp reached a CTA barrier; the SM must hold it until release.
+    Barrier,
+    /// Lanes exited (possibly retiring the warp — check
+    /// [`Warp::is_finished`]).
+    Exit,
+    /// All lanes were predicated off; nothing happened.
+    Predicated,
+}
+
+/// One warp's architectural state.
+#[derive(Debug)]
+pub struct Warp {
+    /// Warp index within the SM (slot id).
+    pub slot: usize,
+    /// Resident-CTA slot this warp belongs to.
+    pub cta_slot: usize,
+    /// Linearized CTA id (for locality tracking).
+    pub linear_cta: u64,
+    /// Warp index within its CTA.
+    pub warp_in_cta: u32,
+    /// SIMT divergence stack.
+    pub stack: SimtStack,
+    /// Lanes that have executed `exit`.
+    pub exited: u32,
+    /// Lanes that exist (tail warps of odd-sized CTAs have fewer).
+    pub valid: u32,
+    /// Register file: `num_regs × warp_size`, indexed `reg * warp_size + lane`.
+    regs: Vec<u64>,
+    /// Per-lane thread coordinates.
+    lane_tid: Vec<(u32, u32, u32)>,
+    /// CTA coordinates.
+    ctaid: (u32, u32, u32),
+    /// Waiting at a barrier.
+    pub at_barrier: bool,
+    warp_size: u32,
+}
+
+impl Warp {
+    /// Create the `warp_in_cta`-th warp of a CTA.
+    ///
+    /// `threads_in_cta` bounds the valid lanes of the tail warp.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        slot: usize,
+        cta_slot: usize,
+        linear_cta: u64,
+        ctaid: (u32, u32, u32),
+        warp_in_cta: u32,
+        ntid: Dim3,
+        warp_size: u32,
+        num_regs: u32,
+    ) -> Warp {
+        let threads_in_cta = ntid.count();
+        let base = u64::from(warp_in_cta) * u64::from(warp_size);
+        let mut valid = 0u32;
+        let mut lane_tid = Vec::with_capacity(warp_size as usize);
+        for lane in 0..warp_size {
+            let t = base + u64::from(lane);
+            if t < threads_in_cta {
+                valid |= 1 << lane;
+                lane_tid.push(ntid.coords(t));
+            } else {
+                lane_tid.push((0, 0, 0));
+            }
+        }
+        Warp {
+            slot,
+            cta_slot,
+            linear_cta,
+            warp_in_cta,
+            stack: SimtStack::new(valid),
+            exited: 0,
+            valid,
+            regs: vec![0; num_regs as usize * warp_size as usize],
+            lane_tid,
+            ctaid,
+            at_barrier: false,
+            warp_size,
+        }
+    }
+
+    /// Whether every lane has retired.
+    pub fn is_finished(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Current pc (only valid while not finished).
+    pub fn pc(&self) -> usize {
+        self.stack.pc()
+    }
+
+    /// Lanes that would execute the next instruction.
+    pub fn active_mask(&self) -> u32 {
+        self.stack.active_mask(self.exited)
+    }
+
+    /// The next instruction to issue, or `None` if finished.
+    pub fn next_inst<'k>(&self, kernel: &'k Kernel) -> Option<&'k Instruction> {
+        if self.is_finished() {
+            None
+        } else {
+            Some(&kernel.insts()[self.pc()])
+        }
+    }
+
+    /// Read a register for one lane.
+    pub fn reg(&self, lane: u32, r: Reg) -> u64 {
+        self.regs[r.index() * self.warp_size as usize + lane as usize]
+    }
+
+    /// Write a register for one lane.
+    pub fn set_reg(&mut self, lane: u32, r: Reg, v: u64) {
+        self.regs[r.index() * self.warp_size as usize + lane as usize] = v;
+    }
+
+    fn special(&self, lane: u32, s: Special, ctx: &ExecCtx<'_>) -> u64 {
+        let (tx, ty_, tz) = self.lane_tid[lane as usize];
+        let v = match s {
+            Special::TidX => tx,
+            Special::TidY => ty_,
+            Special::TidZ => tz,
+            Special::NTidX => ctx.ntid.x,
+            Special::NTidY => ctx.ntid.y,
+            Special::NTidZ => ctx.ntid.z,
+            Special::CtaIdX => self.ctaid.0,
+            Special::CtaIdY => self.ctaid.1,
+            Special::CtaIdZ => self.ctaid.2,
+            Special::NCtaIdX => ctx.nctaid.x,
+            Special::NCtaIdY => ctx.nctaid.y,
+            Special::NCtaIdZ => ctx.nctaid.z,
+            Special::LaneId => lane,
+            Special::WarpId => self.warp_in_cta,
+        };
+        u64::from(v)
+    }
+
+    /// Read an operand as the raw bits an instruction of type `ty` expects.
+    /// Float immediates are stored as `f64` bits ([`Operand::FImm`]); for
+    /// `f32`-typed instructions they are narrowed here.
+    fn operand(&self, lane: u32, op: Operand, ty: Type, ctx: &ExecCtx<'_>) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(lane, r),
+            Operand::Imm(v) => v as u64,
+            Operand::FImm(bits) => {
+                if ty == Type::F32 {
+                    u64::from((f64::from_bits(bits) as f32).to_bits())
+                } else {
+                    bits
+                }
+            }
+            Operand::Special(s) => self.special(lane, s, ctx),
+        }
+    }
+
+    fn effective_addr(&self, lane: u32, addr: Address) -> u64 {
+        let base = addr.base.map_or(0, |r| self.reg(lane, r));
+        base.wrapping_add(addr.offset as u64)
+    }
+
+    /// Lanes (⊆ `active`) whose guard predicate allows execution.
+    fn guard_mask(&self, inst: &Instruction, active: u32) -> u32 {
+        let Some(g) = inst.guard else { return active };
+        let mut mask = 0u32;
+        for lane in 0..self.warp_size {
+            if active >> lane & 1 == 1 {
+                let p = self.reg(lane, g.pred) != 0;
+                if p != g.negate {
+                    mask |= 1 << lane;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Issue and functionally execute the instruction at the current pc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp is finished, or on out-of-bounds shared-memory
+    /// accesses (a kernel bug worth failing loudly on).
+    pub fn step(&mut self, ctx: &mut ExecCtx<'_>) -> StepResult {
+        assert!(!self.is_finished(), "stepping a finished warp");
+        let pc = self.pc();
+        let inst = &ctx.kernel.insts()[pc].clone();
+        let active = self.active_mask();
+        debug_assert_ne!(active, 0, "active entry with no live lanes at pc {pc}");
+        let exec = self.guard_mask(inst, active);
+
+        // Branches consume the guard as the branch condition.
+        if let Op::Bra { target } = inst.op {
+            let reconv = if inst.guard.is_some() {
+                *ctx.reconv.get(&pc).expect("missing reconvergence pc for branch")
+            } else {
+                gcl_ptx::RECONV_EXIT // unused: uniform
+            };
+            let diverged = exec != 0 && exec != active;
+            self.stack.branch(exec, active, target, pc + 1, reconv);
+            return StepResult::Branch { diverged };
+        }
+
+        if exec == 0 {
+            self.stack.advance();
+            return StepResult::Predicated;
+        }
+
+        let result = match &inst.op {
+            Op::Exit => {
+                self.exited |= exec;
+                self.stack.advance();
+                self.stack.prune_exited(self.exited);
+                return StepResult::Exit;
+            }
+            Op::Bar => {
+                self.at_barrier = true;
+                StepResult::Barrier
+            }
+            Op::Mov { ty, dst, src } => {
+                for lane in lanes(exec, self.warp_size) {
+                    let v = self.operand(lane, *src, *ty, ctx);
+                    self.set_reg(lane, *dst, canon(*ty, v));
+                }
+                StepResult::Alu { dst: Some(*dst) }
+            }
+            Op::Cvt { dst_ty, src_ty, dst, src } => {
+                for lane in lanes(exec, self.warp_size) {
+                    let v = self.operand(lane, *src, *src_ty, ctx);
+                    self.set_reg(lane, *dst, eval_cvt(*dst_ty, *src_ty, v));
+                }
+                StepResult::Alu { dst: Some(*dst) }
+            }
+            Op::Unary { op, ty, dst, a } => {
+                for lane in lanes(exec, self.warp_size) {
+                    let v = self.operand(lane, *a, *ty, ctx);
+                    self.set_reg(lane, *dst, eval_unary(*op, *ty, v));
+                }
+                StepResult::Alu { dst: Some(*dst) }
+            }
+            Op::Alu { op, ty, dst, a, b } => {
+                for lane in lanes(exec, self.warp_size) {
+                    let va = self.operand(lane, *a, *ty, ctx);
+                    let vb = self.operand(lane, *b, *ty, ctx);
+                    self.set_reg(lane, *dst, eval_alu(*op, *ty, va, vb));
+                }
+                StepResult::Alu { dst: Some(*dst) }
+            }
+            Op::Mad { ty, dst, a, b, c, wide } => {
+                for lane in lanes(exec, self.warp_size) {
+                    let va = self.operand(lane, *a, *ty, ctx);
+                    let vb = self.operand(lane, *b, *ty, ctx);
+                    let vc = self.operand(lane, *c, *ty, ctx);
+                    self.set_reg(lane, *dst, eval_mad(*ty, *wide, va, vb, vc));
+                }
+                StepResult::Alu { dst: Some(*dst) }
+            }
+            Op::Sfu { op, ty, dst, a } => {
+                for lane in lanes(exec, self.warp_size) {
+                    let v = self.operand(lane, *a, *ty, ctx);
+                    self.set_reg(lane, *dst, eval_sfu(*op, *ty, v));
+                }
+                StepResult::Alu { dst: Some(*dst) }
+            }
+            Op::Setp { cmp, ty, dst, a, b } => {
+                for lane in lanes(exec, self.warp_size) {
+                    let va = self.operand(lane, *a, *ty, ctx);
+                    let vb = self.operand(lane, *b, *ty, ctx);
+                    self.set_reg(lane, *dst, eval_cmp(*cmp, *ty, va, vb));
+                }
+                StepResult::Alu { dst: Some(*dst) }
+            }
+            Op::Selp { ty, dst, a, b, pred } => {
+                for lane in lanes(exec, self.warp_size) {
+                    let p = self.reg(lane, *pred) != 0;
+                    let v = if p {
+                        self.operand(lane, *a, *ty, ctx)
+                    } else {
+                        self.operand(lane, *b, *ty, ctx)
+                    };
+                    self.set_reg(lane, *dst, canon(*ty, v));
+                }
+                StepResult::Alu { dst: Some(*dst) }
+            }
+            Op::Ld { space, ty, dst, addr } => {
+                let mut lane_addrs = Vec::new();
+                for lane in lanes(exec, self.warp_size) {
+                    let ea = self.effective_addr(lane, *addr);
+                    let bits = match space {
+                        Space::Param => read_param(ctx.params, ea, *ty),
+                        Space::Shared => read_smem(ctx.smem, ea, *ty),
+                        // Const and the global-backed spaces read device
+                        // memory functionally.
+                        _ => ctx.gmem.read_scalar(ea, *ty),
+                    };
+                    let bits = sign_extend_load(*ty, bits);
+                    self.set_reg(lane, *dst, bits);
+                    lane_addrs.push((lane, ea));
+                }
+                StepResult::Mem(MemAccess {
+                    pc,
+                    space: *space,
+                    is_store: false,
+                    dst: Some(*dst),
+                    lane_addrs,
+                    bytes: ty.size_bytes(),
+                })
+            }
+            Op::St { space, ty, addr, src } => {
+                let mut lane_addrs = Vec::new();
+                for lane in lanes(exec, self.warp_size) {
+                    let ea = self.effective_addr(lane, *addr);
+                    let v = self.operand(lane, *src, *ty, ctx);
+                    match space {
+                        Space::Shared => write_smem(ctx.smem, ea, *ty, v),
+                        Space::Param => panic!("stores to param space are invalid"),
+                        _ => ctx.gmem.write_scalar(ea, *ty, v),
+                    }
+                    lane_addrs.push((lane, ea));
+                }
+                StepResult::Mem(MemAccess {
+                    pc,
+                    space: *space,
+                    is_store: true,
+                    dst: None,
+                    lane_addrs,
+                    bytes: ty.size_bytes(),
+                })
+            }
+            Op::Atom { op, ty, dst, addr, src } => {
+                // Lanes of a warp perform the RMW in lane order, which is a
+                // valid serialization.
+                let mut lane_addrs = Vec::new();
+                for lane in lanes(exec, self.warp_size) {
+                    let ea = self.effective_addr(lane, *addr);
+                    let old = ctx.gmem.read_scalar(ea, *ty);
+                    let v = self.operand(lane, *src, *ty, ctx);
+                    ctx.gmem.write_scalar(ea, *ty, eval_atom(*op, *ty, old, v));
+                    self.set_reg(lane, *dst, sign_extend_load(*ty, old));
+                    lane_addrs.push((lane, ea));
+                }
+                StepResult::Mem(MemAccess {
+                    pc,
+                    space: Space::Global,
+                    is_store: false,
+                    dst: Some(*dst),
+                    lane_addrs,
+                    bytes: ty.size_bytes(),
+                })
+            }
+            Op::Bra { .. } => unreachable!("handled above"),
+        };
+
+        self.stack.advance();
+        result
+    }
+}
+
+/// Iterate over the set lanes of a mask.
+pub fn lanes(mask: u32, warp_size: u32) -> impl Iterator<Item = u32> {
+    (0..warp_size).filter(move |l| mask >> l & 1 == 1)
+}
+
+fn sign_extend_load(ty: Type, bits: u64) -> u64 {
+    match ty {
+        Type::S32 => bits as u32 as i32 as i64 as u64,
+        _ => bits,
+    }
+}
+
+fn read_param(params: &[u8], addr: u64, ty: Type) -> u64 {
+    let n = ty.size_bytes() as usize;
+    let start = addr as usize;
+    assert!(
+        start + n <= params.len(),
+        "ld.param reads [{start}, {}) past the {}-byte parameter block",
+        start + n,
+        params.len()
+    );
+    let mut v = 0u64;
+    for (i, b) in params[start..start + n].iter().enumerate() {
+        v |= u64::from(*b) << (8 * i);
+    }
+    v
+}
+
+fn read_smem(smem: &[u8], addr: u64, ty: Type) -> u64 {
+    let n = ty.size_bytes() as usize;
+    let start = addr as usize;
+    assert!(
+        start + n <= smem.len(),
+        "ld.shared reads [{start}, {}) past the {}-byte shared memory",
+        start + n,
+        smem.len()
+    );
+    let mut v = 0u64;
+    for (i, b) in smem[start..start + n].iter().enumerate() {
+        v |= u64::from(*b) << (8 * i);
+    }
+    v
+}
+
+fn write_smem(smem: &mut [u8], addr: u64, ty: Type, v: u64) {
+    let n = ty.size_bytes() as usize;
+    let start = addr as usize;
+    assert!(
+        start + n <= smem.len(),
+        "st.shared writes [{start}, {}) past the {}-byte shared memory",
+        start + n,
+        smem.len()
+    );
+    for i in 0..n {
+        smem[start + i] = (v >> (8 * i)) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_ptx::{Cfg, CmpOp, KernelBuilder};
+
+    fn make_ctx<'a>(
+        kernel: &'a Kernel,
+        reconv: &'a HashMap<usize, usize>,
+        params: &'a [u8],
+        gmem: &'a mut GlobalMem,
+        smem: &'a mut [u8],
+        ntid: Dim3,
+    ) -> ExecCtx<'a> {
+        ExecCtx { kernel, reconv, params, gmem, smem, ntid, nctaid: Dim3::x(4) }
+    }
+
+    fn run_warp(kernel: &Kernel, params: &[u8], gmem: &mut GlobalMem, ntid: Dim3) -> Warp {
+        let cfg = Cfg::build(kernel);
+        let reconv = cfg.reconvergence_pcs(kernel);
+        let mut smem = vec![0u8; kernel.shared_bytes() as usize];
+        let mut warp = Warp::new(0, 0, 0, (0, 0, 0), 0, ntid, 32, kernel.num_regs());
+        let mut ctx = make_ctx(kernel, &reconv, params, gmem, &mut smem, ntid);
+        let mut steps = 0;
+        while !warp.is_finished() {
+            let r = warp.step(&mut ctx);
+            if matches!(r, StepResult::Barrier) {
+                warp.at_barrier = false; // single-warp CTA: barrier is a no-op
+            }
+            steps += 1;
+            assert!(steps < 100_000, "warp did not finish");
+        }
+        warp
+    }
+
+    #[test]
+    fn straight_line_arithmetic_per_lane() {
+        // out[tid] = tid * 3 + 1
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("out", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(Special::TidX);
+        let v = b.mad(Type::U32, tid, 3i64, 1i64);
+        let a = b.index64(base, tid, 4);
+        b.st_global(Type::U32, a, v);
+        b.exit();
+        let k = b.build().unwrap();
+
+        let mut gmem = GlobalMem::new();
+        let out = gmem.alloc_array(Type::U32, 32);
+        let params = out.to_le_bytes().to_vec();
+        run_warp(&k, &params, &mut gmem, Dim3::x(32));
+        let vals = gmem.read_u32_slice(out, 32);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn divergent_branch_gives_per_lane_results() {
+        // out[tid] = tid < 16 ? 7 : 9
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("out", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(Special::TidX);
+        let pr = b.setp(CmpOp::Lt, Type::U32, tid, 16i64);
+        let val = b.reg();
+        let else_l = b.new_label();
+        let done = b.new_label();
+        b.bra_unless(pr, else_l);
+        b.push(Op::Mov { ty: Type::U32, dst: val, src: 7i64.into() });
+        b.bra(done);
+        b.place(else_l);
+        b.push(Op::Mov { ty: Type::U32, dst: val, src: 9i64.into() });
+        b.place(done);
+        let a = b.index64(base, tid, 4);
+        b.st_global(Type::U32, a, val);
+        b.exit();
+        let k = b.build().unwrap();
+
+        let mut gmem = GlobalMem::new();
+        let out = gmem.alloc_array(Type::U32, 32);
+        run_warp(&k, &out.to_le_bytes(), &mut gmem, Dim3::x(32));
+        let vals = gmem.read_u32_slice(out, 32);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(*v, if i < 16 { 7 } else { 9 }, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn tail_warp_masks_invalid_lanes() {
+        // CTA of 20 threads: lanes 20..32 must not store.
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("out", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(Special::TidX);
+        let a = b.index64(base, tid, 4);
+        b.st_global(Type::U32, a, 1i64);
+        b.exit();
+        let k = b.build().unwrap();
+
+        let mut gmem = GlobalMem::new();
+        let out = gmem.alloc_array(Type::U32, 32);
+        let w = run_warp(&k, &out.to_le_bytes(), &mut gmem, Dim3::x(20));
+        assert_eq!(w.valid.count_ones(), 20);
+        let vals = gmem.read_u32_slice(out, 32);
+        assert!(vals[..20].iter().all(|&v| v == 1));
+        assert!(vals[20..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn shared_memory_round_trip() {
+        // smem[tid] = tid*2; out[tid] = smem[tid]
+        let mut b = KernelBuilder::new("k");
+        b.shared(128);
+        let p = b.param("out", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(Special::TidX);
+        let two_tid = b.mul(Type::U32, tid, 2i64);
+        let saddr = b.mul(Type::U32, tid, 4i64);
+        b.st_shared(Type::U32, saddr, two_tid);
+        b.bar();
+        let v = b.ld_shared(Type::U32, saddr);
+        let a = b.index64(base, tid, 4);
+        b.st_global(Type::U32, a, v);
+        b.exit();
+        let k = b.build().unwrap();
+
+        let mut gmem = GlobalMem::new();
+        let out = gmem.alloc_array(Type::U32, 32);
+        run_warp(&k, &out.to_le_bytes(), &mut gmem, Dim3::x(32));
+        let vals = gmem.read_u32_slice(out, 32);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u32);
+        }
+    }
+
+    #[test]
+    fn loop_executes_correct_trip_count() {
+        // out[tid] = sum(0..tid)
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("out", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(Special::TidX);
+        let acc = b.reg();
+        let i = b.reg();
+        b.push(Op::Mov { ty: Type::U32, dst: acc, src: 0i64.into() });
+        b.push(Op::Mov { ty: Type::U32, dst: i, src: 0i64.into() });
+        let head = b.new_label();
+        let done = b.new_label();
+        b.place(head);
+        let cond = b.setp(CmpOp::Ge, Type::U32, i, tid);
+        b.bra_if(cond, done);
+        b.push(Op::Alu {
+            op: gcl_ptx::AluOp::Add,
+            ty: Type::U32,
+            dst: acc,
+            a: acc.into(),
+            b: i.into(),
+        });
+        b.push(Op::Alu {
+            op: gcl_ptx::AluOp::Add,
+            ty: Type::U32,
+            dst: i,
+            a: i.into(),
+            b: 1i64.into(),
+        });
+        b.bra(head);
+        b.place(done);
+        let a = b.index64(base, tid, 4);
+        b.st_global(Type::U32, a, acc);
+        b.exit();
+        let k = b.build().unwrap();
+
+        let mut gmem = GlobalMem::new();
+        let out = gmem.alloc_array(Type::U32, 32);
+        run_warp(&k, &out.to_le_bytes(), &mut gmem, Dim3::x(32));
+        let vals = gmem.read_u32_slice(out, 32);
+        for (t, v) in vals.iter().enumerate() {
+            let want: u32 = (0..t as u32).sum();
+            assert_eq!(*v, want, "lane {t}");
+        }
+    }
+
+    #[test]
+    fn atomics_serialize_within_warp() {
+        // Every lane atomically increments the same counter; old values must
+        // be a permutation of 0..n_active.
+        let mut b = KernelBuilder::new("k");
+        let pc_ = b.param("ctr", Type::U64);
+        let po = b.param("out", Type::U64);
+        let ctr = b.ld_param(Type::U64, pc_);
+        let outb = b.ld_param(Type::U64, po);
+        let old = b.atom(gcl_ptx::AtomOp::Add, Type::U32, ctr, 1i64);
+        let tid = b.sreg(Special::TidX);
+        let a = b.index64(outb, tid, 4);
+        b.st_global(Type::U32, a, old);
+        b.exit();
+        let k = b.build().unwrap();
+
+        let mut gmem = GlobalMem::new();
+        let ctr = gmem.alloc_array(Type::U32, 1);
+        let out = gmem.alloc_array(Type::U32, 32);
+        let mut params = ctr.to_le_bytes().to_vec();
+        params.extend_from_slice(&out.to_le_bytes());
+        run_warp(&k, &params, &mut gmem, Dim3::x(32));
+        assert_eq!(gmem.read_u32_slice(ctr, 1)[0], 32);
+        let mut olds = gmem.read_u32_slice(out, 32);
+        olds.sort_unstable();
+        let want: Vec<u32> = (0..32).collect();
+        assert_eq!(olds, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the")]
+    fn shared_out_of_bounds_panics() {
+        let mut b = KernelBuilder::new("k");
+        b.shared(16);
+        let addr = b.imm32(64);
+        let _ = b.ld_shared(Type::U32, addr);
+        b.exit();
+        let k = b.build().unwrap();
+        let mut gmem = GlobalMem::new();
+        run_warp(&k, &[], &mut gmem, Dim3::x(1));
+    }
+
+    #[test]
+    fn mem_access_reports_active_lane_addrs() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("data", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(Special::TidX);
+        let a = b.index64(base, tid, 4);
+        let _ = b.ld_global(Type::U32, a);
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = Cfg::build(&k);
+        let reconv = cfg.reconvergence_pcs(&k);
+        let mut gmem = GlobalMem::new();
+        let buf = gmem.alloc_array(Type::U32, 32);
+        let params = buf.to_le_bytes().to_vec();
+        let mut smem = vec![];
+        let ntid = Dim3::x(8);
+        let mut warp = Warp::new(0, 0, 0, (0, 0, 0), 0, ntid, 32, k.num_regs());
+        let mut ctx = make_ctx(&k, &reconv, &params, &mut gmem, &mut smem, ntid);
+        // Step to the global load.
+        let mut access = None;
+        while !warp.is_finished() {
+            if let StepResult::Mem(m) = warp.step(&mut ctx) {
+                if m.space == Space::Global {
+                    access = Some(m);
+                }
+            }
+        }
+        let m = access.expect("no global access seen");
+        assert_eq!(m.lane_addrs.len(), 8);
+        for (lane, addr) in &m.lane_addrs {
+            assert_eq!(*addr, buf + u64::from(*lane) * 4);
+        }
+    }
+}

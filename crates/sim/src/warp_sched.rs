@@ -1,0 +1,114 @@
+//! Warp schedulers: loose round-robin and greedy-then-oldest.
+
+use crate::WarpSchedPolicy;
+
+/// One warp scheduler's selection state. The SM owns one per scheduler and
+/// asks it to pick among the ready warps it supervises.
+#[derive(Debug)]
+pub struct WarpScheduler {
+    policy: WarpSchedPolicy,
+    /// Last warp slot issued (for LRR rotation / GTO greediness).
+    last: Option<usize>,
+}
+
+impl WarpScheduler {
+    /// Create a scheduler with the given policy.
+    pub fn new(policy: WarpSchedPolicy) -> WarpScheduler {
+        WarpScheduler { policy, last: None }
+    }
+
+    /// Pick a warp slot from `candidates` (slots supervised by this
+    /// scheduler), where `ready(slot)` says whether that warp can issue and
+    /// `age(slot)` is its dispatch order (smaller = older).
+    ///
+    /// Returns `None` if nothing is ready.
+    pub fn pick(
+        &mut self,
+        candidates: &[usize],
+        mut ready: impl FnMut(usize) -> bool,
+        mut age: impl FnMut(usize) -> u64,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let chosen = match self.policy {
+            WarpSchedPolicy::Lrr => {
+                // Start after the last issued warp and wrap.
+                let start = self
+                    .last
+                    .and_then(|l| candidates.iter().position(|&c| c == l))
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                (0..candidates.len())
+                    .map(|k| candidates[(start + k) % candidates.len()])
+                    .find(|&slot| ready(slot))
+            }
+            WarpSchedPolicy::Gto => {
+                // Greedy: keep issuing the same warp while it is ready;
+                // otherwise the oldest ready warp.
+                if let Some(l) = self.last {
+                    if candidates.contains(&l) && ready(l) {
+                        Some(l)
+                    } else {
+                        candidates.iter().copied().filter(|&s| ready(s)).min_by_key(|&s| age(s))
+                    }
+                } else {
+                    candidates.iter().copied().filter(|&s| ready(s)).min_by_key(|&s| age(s))
+                }
+            }
+        };
+        if chosen.is_some() {
+            self.last = chosen;
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrr_rotates_through_ready_warps() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
+        let cands = vec![0, 2, 4];
+        let mut picks = Vec::new();
+        for _ in 0..6 {
+            picks.push(s.pick(&cands, |_| true, |x| x as u64).unwrap());
+        }
+        assert_eq!(picks, vec![0, 2, 4, 0, 2, 4]);
+    }
+
+    #[test]
+    fn lrr_skips_unready() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
+        let cands = vec![0, 1, 2];
+        assert_eq!(s.pick(&cands, |w| w != 0, |x| x as u64), Some(1));
+        assert_eq!(s.pick(&cands, |w| w != 2, |x| x as u64), Some(0));
+    }
+
+    #[test]
+    fn gto_sticks_with_current_warp() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Gto);
+        let cands = vec![0, 1, 2];
+        // Oldest is warp 1 (age 0).
+        let age = |w: usize| match w {
+            1 => 0,
+            0 => 1,
+            _ => 2,
+        };
+        assert_eq!(s.pick(&cands, |_| true, age), Some(1));
+        assert_eq!(s.pick(&cands, |_| true, age), Some(1));
+        // Warp 1 stalls: falls back to the next oldest.
+        assert_eq!(s.pick(&cands, |w| w != 1, age), Some(0));
+        // Greedy on warp 0 now.
+        assert_eq!(s.pick(&cands, |_| true, age), Some(0));
+    }
+
+    #[test]
+    fn returns_none_when_nothing_ready() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr);
+        assert_eq!(s.pick(&[0, 1], |_| false, |x| x as u64), None);
+        assert_eq!(s.pick(&[], |_| true, |x| x as u64), None);
+    }
+}

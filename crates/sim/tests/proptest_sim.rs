@@ -1,0 +1,108 @@
+//! Property tests over the simulator's pure components: typed value
+//! evaluation and the coalescer.
+
+use gcl_ptx::{AluOp, CmpOp, Type};
+use gcl_sim::{canon, coalesce, eval_alu, eval_cmp, eval_cvt};
+use proptest::prelude::*;
+
+fn int_type() -> impl Strategy<Value = Type> {
+    prop_oneof![Just(Type::U32), Just(Type::U64), Just(Type::S32), Just(Type::S64)]
+}
+
+proptest! {
+    /// `canon` is idempotent and results of integer ALU ops are canonical.
+    #[test]
+    fn alu_results_are_canonical(ty in int_type(), a in any::<u64>(), b in any::<u64>()) {
+        for op in [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::And, AluOp::Or, AluOp::Xor,
+                   AluOp::Min, AluOp::Max, AluOp::Shl, AluOp::Shr, AluOp::Div, AluOp::Rem] {
+            let r = eval_alu(op, ty, a, b);
+            prop_assert_eq!(canon(ty, r), r, "{:?} not canonical", op);
+        }
+    }
+
+    /// Commutativity of add/mul/and/or/xor/min/max on canonical inputs.
+    #[test]
+    fn commutative_ops(ty in int_type(), a in any::<u64>(), b in any::<u64>()) {
+        for op in [AluOp::Add, AluOp::Mul, AluOp::And, AluOp::Or, AluOp::Xor,
+                   AluOp::Min, AluOp::Max, AluOp::MulHi, AluOp::MulWide] {
+            prop_assert_eq!(eval_alu(op, ty, a, b), eval_alu(op, ty, b, a), "{:?}", op);
+        }
+    }
+
+    /// `a - b + b == a` (mod 2^width).
+    #[test]
+    fn sub_add_inverse(ty in int_type(), a in any::<u64>(), b in any::<u64>()) {
+        let d = eval_alu(AluOp::Sub, ty, a, b);
+        prop_assert_eq!(eval_alu(AluOp::Add, ty, d, b), canon(ty, a));
+    }
+
+    /// Comparison trichotomy: exactly one of <, ==, > holds.
+    #[test]
+    fn cmp_trichotomy(ty in int_type(), a in any::<u64>(), b in any::<u64>()) {
+        let lt = eval_cmp(CmpOp::Lt, ty, a, b);
+        let eq = eval_cmp(CmpOp::Eq, ty, a, b);
+        let gt = eval_cmp(CmpOp::Gt, ty, a, b);
+        prop_assert_eq!(lt + eq + gt, 1);
+        prop_assert_eq!(eval_cmp(CmpOp::Le, ty, a, b), lt | eq);
+        prop_assert_eq!(eval_cmp(CmpOp::Ge, ty, a, b), gt | eq);
+        prop_assert_eq!(eval_cmp(CmpOp::Ne, ty, a, b), 1 - eq);
+    }
+
+    /// Widening conversions are lossless round trips.
+    #[test]
+    fn widening_cvt_round_trips(v in any::<u32>()) {
+        let wide = eval_cvt(Type::U64, Type::U32, u64::from(v));
+        prop_assert_eq!(eval_cvt(Type::U32, Type::U64, wide), u64::from(v));
+        let swide = eval_cvt(Type::S64, Type::S32, u64::from(v));
+        prop_assert_eq!(eval_cvt(Type::S32, Type::S64, swide), u64::from(v));
+        // Small integers survive a float round trip exactly.
+        let small = v % (1 << 20);
+        let f = eval_cvt(Type::F64, Type::U32, u64::from(small));
+        prop_assert_eq!(eval_cvt(Type::U32, Type::F64, f), u64::from(small));
+    }
+
+    /// Coalescer invariants: block-aligned, deduplicated, bounded, and
+    /// covering every lane's access.
+    #[test]
+    fn coalesce_invariants(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..32),
+        bytes in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+    ) {
+        let lane_addrs: Vec<(u32, u64)> =
+            addrs.iter().enumerate().map(|(l, &a)| (l as u32, a)).collect();
+        let blocks = coalesce(&lane_addrs, bytes, 128);
+        // Aligned and unique.
+        for b in &blocks {
+            prop_assert_eq!(b % 128, 0);
+        }
+        let mut uniq = blocks.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), blocks.len());
+        // Every byte of every access is covered by some block.
+        for &(_, a) in &lane_addrs {
+            for byte in [a, a + u64::from(bytes) - 1] {
+                prop_assert!(blocks.contains(&(byte & !127)), "byte {byte} uncovered");
+            }
+        }
+        // At most two blocks per access.
+        prop_assert!(blocks.len() <= 2 * lane_addrs.len());
+    }
+
+    /// The coalescer is permutation-invariant up to ordering: the set of
+    /// blocks does not depend on lane order.
+    #[test]
+    fn coalesce_is_order_insensitive(
+        addrs in proptest::collection::vec(0u64..100_000, 2..32),
+    ) {
+        let fwd: Vec<(u32, u64)> =
+            addrs.iter().enumerate().map(|(l, &a)| (l as u32, a)).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let mut a = coalesce(&fwd, 4, 128);
+        let mut b = coalesce(&rev, 4, 128);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

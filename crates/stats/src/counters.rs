@@ -1,0 +1,195 @@
+//! The CUDA-profiler counters of the paper's Table III.
+//!
+//! Our simulator exposes the same events the paper collected on the real
+//! Tesla M2050, so that the hardware-profiler side of the evaluation can be
+//! reproduced from simulation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate profiler counters, named after Table III of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfilerCounters {
+    /// `gld_request`: executed global load instructions per warp.
+    pub gld_request: u64,
+    /// `shared_load`: executed shared load instructions per warp.
+    pub shared_load: u64,
+    /// `l1_global_load_hit`: global load hits in L1.
+    pub l1_global_load_hit: u64,
+    /// `l1_global_load_miss`: global load misses in L1.
+    pub l1_global_load_miss: u64,
+    /// `l2_read_hit_sectors`: L1→L2 read sector hits (all slices summed).
+    pub l2_read_hit_sectors: u64,
+    /// `l2_read_sector_queries`: L1→L2 read sector queries (all slices).
+    pub l2_read_sector_queries: u64,
+}
+
+impl ProfilerCounters {
+    /// L1 miss ratio for global loads, or `NaN` with no accesses.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let total = self.l1_global_load_hit + self.l1_global_load_miss;
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.l1_global_load_miss as f64 / total as f64
+        }
+    }
+
+    /// L2 read miss ratio, or `NaN` with no queries.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        if self.l2_read_sector_queries == 0 {
+            f64::NAN
+        } else {
+            1.0 - self.l2_read_hit_sectors as f64 / self.l2_read_sector_queries as f64
+        }
+    }
+
+    /// Shared loads per global load (the paper's Figure 9 metric), or 0 when
+    /// no global loads executed.
+    pub fn shared_per_global(&self) -> f64 {
+        if self.gld_request == 0 {
+            0.0
+        } else {
+            self.shared_load as f64 / self.gld_request as f64
+        }
+    }
+
+    /// Element-wise sum, for aggregating across SMs.
+    pub fn merge(&mut self, other: &ProfilerCounters) {
+        self.gld_request += other.gld_request;
+        self.shared_load += other.shared_load;
+        self.l1_global_load_hit += other.l1_global_load_hit;
+        self.l1_global_load_miss += other.l1_global_load_miss;
+        self.l2_read_hit_sectors += other.l2_read_hit_sectors;
+        self.l2_read_sector_queries += other.l2_read_sector_queries;
+    }
+}
+
+impl fmt::Display for ProfilerCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "gld_request              {}", self.gld_request)?;
+        writeln!(f, "shared_load              {}", self.shared_load)?;
+        writeln!(f, "l1_global_load_hit       {}", self.l1_global_load_hit)?;
+        writeln!(f, "l1_global_load_miss      {}", self.l1_global_load_miss)?;
+        writeln!(f, "l2_read_hit_sectors      {}", self.l2_read_hit_sectors)?;
+        writeln!(f, "l2_read_sector_queries   {}", self.l2_read_sector_queries)
+    }
+}
+
+/// Minimum / maximum / sum / count accumulator for latency-like samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl Accumulator {
+    /// Record one sample.
+    pub fn add(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Arithmetic mean, or `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let c = ProfilerCounters {
+            gld_request: 10,
+            shared_load: 25,
+            l1_global_load_hit: 30,
+            l1_global_load_miss: 70,
+            l2_read_hit_sectors: 40,
+            l2_read_sector_queries: 100,
+            ..Default::default()
+        };
+        assert!((c.l1_miss_ratio() - 0.7).abs() < 1e-12);
+        assert!((c.l2_miss_ratio() - 0.6).abs() < 1e-12);
+        assert!((c.shared_per_global() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratios_are_nan_or_zero() {
+        let c = ProfilerCounters::default();
+        assert!(c.l1_miss_ratio().is_nan());
+        assert!(c.l2_miss_ratio().is_nan());
+        assert_eq!(c.shared_per_global(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = ProfilerCounters { gld_request: 1, ..Default::default() };
+        let b = ProfilerCounters { gld_request: 2, shared_load: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.gld_request, 3);
+        assert_eq!(a.shared_load, 3);
+    }
+
+    #[test]
+    fn accumulator_tracks_extremes_and_mean() {
+        let mut acc = Accumulator::default();
+        assert!(acc.mean().is_nan());
+        acc.add(2.0);
+        acc.add(6.0);
+        acc.add(4.0);
+        assert_eq!(acc.count, 3);
+        assert_eq!(acc.min, 2.0);
+        assert_eq!(acc.max, 6.0);
+        assert!((acc.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = Accumulator::default();
+        a.add(1.0);
+        let mut b = Accumulator::default();
+        b.add(9.0);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 9.0);
+        let mut empty = Accumulator::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+}

@@ -1,0 +1,151 @@
+//! Log2-bucketed histograms for latency distributions: cheap to update in a
+//! simulator hot loop, good enough for percentile reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with one bucket per power of two (bucket `i` holds values
+/// `v` with `floor(log2(v)) == i`; zero goes to bucket 0).
+///
+/// # Examples
+///
+/// ```
+/// use gcl_stats::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 100, 1000] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(0.5) <= 8);
+/// assert!(h.percentile(1.0) >= 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { buckets: vec![0; 64], count: 0 }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// An upper bound on the `p`-quantile (`0.0 ..= 1.0`): the inclusive
+    /// upper edge of the bucket containing that quantile. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// The non-empty buckets as `(bucket_upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 }, c))
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = Histogram::new();
+        h.add(0);
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.add(4);
+        // 0,1 -> bucket 0; 2,3 -> bucket 1; 4 -> bucket 2.
+        assert_eq!(h.nonzero_buckets(), vec![(1, 2), (3, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.add(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p95 = h.percentile(0.95);
+        let p100 = h.percentile(1.0);
+        assert!(p50 <= p95 && p95 <= p100);
+        assert!(p50 >= 500, "{p50}");
+        assert!(p100 >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = Histogram::new();
+        a.add(5);
+        let mut b = Histogram::new();
+        b.add(5);
+        b.add(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    fn huge_values_saturate_gracefully() {
+        let mut h = Histogram::new();
+        h.add(u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+}

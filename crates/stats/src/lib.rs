@@ -1,0 +1,32 @@
+//! # gcl-stats — reporting primitives for the gcl toolkit
+//!
+//! Small, dependency-light building blocks used by the simulator and the
+//! benchmark harnesses to report the paper's tables and figures:
+//!
+//! * [`Table`] — aligned plain-text tables with CSV/JSON export (Table I).
+//! * [`FigureSeries`] — per-benchmark grouped/stacked series (Figures 1–12).
+//! * [`ProfilerCounters`] — the CUDA-profiler counters of Table III, exposed
+//!   by the simulator so the hardware-side measurements can be reproduced.
+//! * [`Accumulator`] — min/max/mean accumulation for latency samples.
+//!
+//! ```
+//! use gcl_stats::{FigureSeries, Series};
+//!
+//! let mut fig = FigureSeries::new("fig8", "L1 miss ratio", vec!["bfs"]);
+//! fig.push(Series::new("N", vec![0.81]));
+//! fig.push(Series::new("D", vec![0.64]));
+//! println!("{fig}");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod counters;
+mod histogram;
+mod series;
+mod table;
+
+pub use counters::{Accumulator, ProfilerCounters};
+pub use histogram::Histogram;
+pub use series::{FigureSeries, Series};
+pub use table::{Cell, Table};

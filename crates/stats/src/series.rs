@@ -1,0 +1,152 @@
+//! Figure series: grouped / stacked per-benchmark data, as the paper's
+//! figures present it.
+
+use crate::Table;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One named series of values, aligned with a [`FigureSeries`]' x labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend name (e.g. `"L1 hit"` or `"Requests per warp"`).
+    pub name: String,
+    /// One value per x label. `NaN` renders as `-` (missing).
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Create a series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Series {
+        Series { name: name.into(), values }
+    }
+}
+
+/// Data behind one paper figure: x labels (benchmarks, or benchmark×class)
+/// and one or more series (bars / stack components / lines).
+///
+/// # Examples
+///
+/// ```
+/// use gcl_stats::{FigureSeries, Series};
+///
+/// let mut f = FigureSeries::new("fig1", "Load distribution", vec!["bfs", "mst"]);
+/// f.push(Series::new("Deterministic", vec![0.6, 0.8]));
+/// f.push(Series::new("Non-deterministic", vec![0.4, 0.2]));
+/// assert!(f.to_string().contains("bfs"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Short id (`"fig3"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis labels.
+    pub labels: Vec<String>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureSeries {
+    /// Create an empty figure with the given x labels.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        labels: Vec<impl Into<String>>,
+    ) -> FigureSeries {
+        FigureSeries {
+            id: id.into(),
+            title: title.into(),
+            labels: labels.into_iter().map(Into::into).collect(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Append a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series length does not match the label count.
+    pub fn push(&mut self, s: Series) {
+        assert_eq!(
+            s.values.len(),
+            self.labels.len(),
+            "series `{}` has {} values for {} labels",
+            s.name,
+            s.values.len(),
+            self.labels.len()
+        );
+        self.series.push(s);
+    }
+
+    /// View as a [`Table`]: one row per x label, one column per series.
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["label".to_string()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        let mut t = Table::new(format!("{} — {}", self.id, self.title), headers);
+        for (i, label) in self.labels.iter().enumerate() {
+            let mut row: Vec<crate::Cell> = vec![label.as_str().into()];
+            for s in &self.series {
+                let v = s.values[i];
+                row.push(if v.is_nan() {
+                    crate::Cell::Text("-".to_string())
+                } else {
+                    crate::Cell::Float(v)
+                });
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        self.to_table().to_csv()
+    }
+
+    /// Render as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serialization cannot fail")
+    }
+}
+
+impl fmt::Display for FigureSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_view_has_label_column() {
+        let mut fig = FigureSeries::new("f", "t", vec!["a", "b"]);
+        fig.push(Series::new("s1", vec![1.0, 2.0]));
+        let t = fig.to_table();
+        assert_eq!(t.headers, vec!["label", "s1"]);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn nan_renders_as_dash() {
+        let mut fig = FigureSeries::new("f", "t", vec!["a"]);
+        fig.push(Series::new("s", vec![f64::NAN]));
+        assert!(fig.to_string().contains('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "values for")]
+    fn length_mismatch_panics() {
+        let mut fig = FigureSeries::new("f", "t", vec!["a", "b"]);
+        fig.push(Series::new("s", vec![1.0]));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut fig = FigureSeries::new("f", "t", vec!["a"]);
+        fig.push(Series::new("s", vec![0.5]));
+        let back: FigureSeries = serde_json::from_str(&fig.to_json()).unwrap();
+        assert_eq!(back, fig);
+    }
+}

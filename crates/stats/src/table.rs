@@ -1,0 +1,237 @@
+//! Plain-text tables with CSV and JSON export.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One cell of a [`Table`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// Text cell.
+    Text(String),
+    /// Integer cell.
+    Int(i64),
+    /// Unsigned integer cell.
+    UInt(u64),
+    /// Floating-point cell, printed with 3 decimal places.
+    Float(f64),
+    /// Percentage cell: `0.5` prints as `50.00%`.
+    Percent(f64),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::UInt(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.3}"),
+            Cell::Percent(v) => format!("{:.2}%", v * 100.0),
+        }
+    }
+
+    fn csv(&self) -> String {
+        match self {
+            Cell::Text(s) => {
+                if s.contains([',', '"', '\n']) {
+                    format!("\"{}\"", s.replace('"', "\"\""))
+                } else {
+                    s.clone()
+                }
+            }
+            other => other.render(),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Cell {
+        Cell::UInt(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Cell {
+        Cell::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Cell {
+        Cell::Int(v)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Cell {
+        Cell::Float(v)
+    }
+}
+
+/// A titled table: the unit of reporting for the paper's Table I and for the
+/// per-figure data dumps.
+///
+/// # Examples
+///
+/// ```
+/// use gcl_stats::Table;
+///
+/// let mut t = Table::new("demo", vec!["name", "count"]);
+/// t.row(vec!["bfs".into(), 42u64.into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("bfs"));
+/// assert!(t.to_csv().starts_with("name,count\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title, printed above the header.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows. Each row should have `headers.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Create an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<impl Into<String>>) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header count {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as CSV (headers first, no title line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(Cell::csv).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a JSON object (via serde).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "{}", rule.join("  "))?;
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("t", vec!["app", "loads"]);
+        t.row(vec!["bfs".into(), 12345u64.into()]);
+        t.row(vec!["mst".into(), 7u64.into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "## t");
+        // Data rows align on column boundaries.
+        assert!(lines[3].contains("12345"));
+        assert!(lines[4].ends_with("    7"));
+    }
+
+    #[test]
+    fn csv_escapes_special_chars() {
+        let mut t = Table::new("t", vec!["name"]);
+        t.row(vec!["a,b".into()]);
+        t.row(vec!["q\"x".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"x\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("t", vec!["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(Cell::Percent(0.5).render(), "50.00%");
+        assert_eq!(Cell::Float(1.0 / 3.0).render(), "0.333");
+        assert_eq!(Cell::Int(-3).render(), "-3");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Table::new("t", vec!["a"]);
+        t.row(vec![1u64.into()]);
+        let j = t.to_json();
+        let back: Table = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, t);
+    }
+}

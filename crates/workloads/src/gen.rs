@@ -1,0 +1,89 @@
+//! Synthetic input generators: dense matrices and images.
+//!
+//! Deterministic (seeded) so that every figure regeneration sees identical
+//! inputs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for workload inputs.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A dense `rows × cols` matrix of small positive floats (diagonally
+/// dominant enough for elimination-style kernels to stay finite).
+pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    let mut m: Vec<f32> = (0..rows * cols).map(|_| r.gen_range(0.1f32..1.0)).collect();
+    // Boost the diagonal so Gaussian elimination / LU pivots never vanish.
+    let n = rows.min(cols);
+    for i in 0..n {
+        m[i * cols + i] += cols as f32;
+    }
+    m
+}
+
+/// A vector of `n` floats in `[lo, hi)`.
+pub fn dense_vector(n: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// A `w × h` grayscale image with smooth gradients plus noise, as `f32`
+/// pixels in `[0, 256)`.
+pub fn image(w: usize, h: usize, seed: u64) -> Vec<f32> {
+    let mut r = rng(seed);
+    let mut img = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let base = 64.0
+                + 64.0 * ((x as f32 / w as f32) * std::f32::consts::PI).sin()
+                + 64.0 * ((y as f32 / h as f32) * std::f32::consts::PI).cos();
+            img.push((base + r.gen_range(-8.0f32..8.0)).clamp(0.0, 255.9));
+        }
+    }
+    img
+}
+
+/// `n` random `u32` values below `bound`.
+pub fn random_u32(n: usize, bound: u32, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(dense_matrix(8, 8, 7), dense_matrix(8, 8, 7));
+        assert_eq!(image(16, 16, 3), image(16, 16, 3));
+        assert_eq!(random_u32(10, 100, 1), random_u32(10, 100, 1));
+        assert_ne!(dense_matrix(8, 8, 7), dense_matrix(8, 8, 8));
+    }
+
+    #[test]
+    fn matrix_diagonal_dominates() {
+        let n = 16;
+        let m = dense_matrix(n, n, 42);
+        for i in 0..n {
+            let diag = m[i * n + i];
+            let row_sum: f32 = (0..n).filter(|&j| j != i).map(|j| m[i * n + j]).sum();
+            assert!(diag > row_sum / 2.0, "row {i}: diag {diag} vs sum {row_sum}");
+        }
+    }
+
+    #[test]
+    fn image_pixels_in_range() {
+        let img = image(32, 16, 9);
+        assert_eq!(img.len(), 512);
+        assert!(img.iter().all(|&p| (0.0..256.0).contains(&p)));
+    }
+
+    #[test]
+    fn random_u32_respects_bound() {
+        assert!(random_u32(1000, 50, 2).iter().all(|&v| v < 50));
+    }
+}

@@ -1,0 +1,249 @@
+//! `bfs` — breadth-first search (Rodinia), the paper's running example
+//! (Code 1): a host loop over frontier levels with two kernels. The
+//! frontier-mask and node-offset loads are deterministic; the edge and
+//! visited-flag gathers are non-deterministic.
+
+use crate::graph::Csr;
+use crate::kutil::{exit_if_ge, gid_x, loop_begin, loop_end};
+use crate::workload::{upload_u32, Category, RunResult, Runner, Workload};
+use gcl_ptx::{CmpOp, Kernel, KernelBuilder, Type};
+use gcl_sim::{Gpu, SimError};
+
+/// The `bfs` workload.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// R-MAT scale (vertices = `2^scale`).
+    pub scale: u32,
+    /// Edges per vertex.
+    pub edge_factor: usize,
+    /// Threads per CTA (paper: 512).
+    pub block: u32,
+    /// Source vertex.
+    pub source: u32,
+}
+
+impl Default for Bfs {
+    fn default() -> Bfs {
+        Bfs { scale: 12, edge_factor: 8, block: 512, source: 0 }
+    }
+}
+
+impl Bfs {
+    /// A tiny instance for tests.
+    pub fn tiny() -> Bfs {
+        Bfs { scale: 6, edge_factor: 4, block: 32, source: 0 }
+    }
+
+    /// Kernel 1: expand the frontier (the paper's Code 1).
+    pub fn expand_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("bfs_expand");
+        let pmask = b.param("mask", Type::U64);
+        let pupd = b.param("updating", Type::U64);
+        let pvis = b.param("visited", Type::U64);
+        let prp = b.param("row_ptr", Type::U64);
+        let pedg = b.param("edges", Type::U64);
+        let pcost = b.param("cost", Type::U64);
+        let pn = b.param("n", Type::U32);
+        let mask = b.ld_param(Type::U64, pmask);
+        let upd = b.ld_param(Type::U64, pupd);
+        let vis = b.ld_param(Type::U64, pvis);
+        let rp = b.ld_param(Type::U64, prp);
+        let edges = b.ld_param(Type::U64, pedg);
+        let cost = b.ld_param(Type::U64, pcost);
+        let n = b.ld_param(Type::U32, pn);
+        let tid = gid_x(&mut b);
+        exit_if_ge(&mut b, tid, n);
+        // if (!g_graph_mask[tid]) return;            — deterministic load
+        let ma = b.index64(mask, tid, 4);
+        let mv = b.ld_global(Type::U32, ma);
+        let active = b.setp(CmpOp::Ne, Type::U32, mv, 0i64);
+        let done = b.new_label();
+        b.bra_unless(active, done);
+        // g_graph_mask[tid] = false;
+        b.st_global(Type::U32, ma, 0i64);
+        // my cost (deterministic) and edge range (deterministic loads).
+        let ca = b.index64(cost, tid, 4);
+        let my_cost = b.ld_global(Type::U32, ca);
+        let next_cost = b.add(Type::U32, my_cost, 1i64);
+        let rpa = b.index64(rp, tid, 4);
+        let lo = b.ld_global(Type::U32, rpa);
+        let tid1 = b.add(Type::U32, tid, 1i64);
+        let rpa1 = b.index64(rp, tid1, 4);
+        let hi = b.ld_global(Type::U32, rpa1);
+        let l = loop_begin(&mut b, lo, hi);
+        // int id = g_graph_edges[i];               — non-deterministic load
+        let ea = b.index64(edges, l.counter, 4);
+        let id = b.ld_global(Type::U32, ea);
+        // if (!g_graph_visited[id])                — non-deterministic load
+        let va = b.index64(vis, id, 4);
+        let vv = b.ld_global(Type::U32, va);
+        let unvisited = b.setp(CmpOp::Eq, Type::U32, vv, 0i64);
+        let skip = b.new_label();
+        b.bra_unless(unvisited, skip);
+        // cost[id] = cost[tid] + 1; updating[id] = true;  (scattered stores)
+        let cia = b.index64(cost, id, 4);
+        b.st_global(Type::U32, cia, next_cost);
+        let ua = b.index64(upd, id, 4);
+        b.st_global(Type::U32, ua, 1i64);
+        b.place(skip);
+        loop_end(&mut b, l);
+        b.place(done);
+        b.exit();
+        b.build().expect("bfs expand kernel is valid")
+    }
+
+    /// Kernel 2: commit the new frontier and raise the continue flag.
+    pub fn commit_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("bfs_commit");
+        let pmask = b.param("mask", Type::U64);
+        let pupd = b.param("updating", Type::U64);
+        let pvis = b.param("visited", Type::U64);
+        let pflag = b.param("flag", Type::U64);
+        let pn = b.param("n", Type::U32);
+        let mask = b.ld_param(Type::U64, pmask);
+        let upd = b.ld_param(Type::U64, pupd);
+        let vis = b.ld_param(Type::U64, pvis);
+        let flag = b.ld_param(Type::U64, pflag);
+        let n = b.ld_param(Type::U32, pn);
+        let tid = gid_x(&mut b);
+        exit_if_ge(&mut b, tid, n);
+        let ua = b.index64(upd, tid, 4);
+        let uv = b.ld_global(Type::U32, ua);
+        let fresh = b.setp(CmpOp::Ne, Type::U32, uv, 0i64);
+        let done = b.new_label();
+        b.bra_unless(fresh, done);
+        let ma = b.index64(mask, tid, 4);
+        b.st_global(Type::U32, ma, 1i64);
+        let va = b.index64(vis, tid, 4);
+        b.st_global(Type::U32, va, 1i64);
+        b.st_global(Type::U32, ua, 0i64);
+        let zero = b.imm32(0);
+        let fa = b.index64(flag, zero, 4);
+        b.st_global(Type::U32, fa, 1i64);
+        b.place(done);
+        b.exit();
+        b.build().expect("bfs commit kernel is valid")
+    }
+
+    /// Host reference BFS levels (u32::MAX = unreachable).
+    pub fn reference(csr: &Csr, source: u32) -> Vec<u32> {
+        let mut cost = vec![u32::MAX; csr.n()];
+        cost[source as usize] = 0;
+        let mut frontier = vec![source];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &d in csr.neighbors(v as usize) {
+                    if cost[d as usize] == u32::MAX {
+                        cost[d as usize] = cost[v as usize] + 1;
+                        next.push(d);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        cost
+    }
+
+    fn graph(&self) -> Csr {
+        Csr::rmat(self.scale, self.edge_factor, 0xBF5)
+    }
+}
+
+impl Workload for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn category(&self) -> Category {
+        Category::Graph
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
+        let csr = self.graph();
+        let n = csr.n() as u32;
+        let drp = upload_u32(gpu, &csr.row_ptr);
+        let dedge = upload_u32(gpu, &csr.col_idx);
+        let mut mask = vec![0u32; csr.n()];
+        let mut visited = vec![0u32; csr.n()];
+        let mut cost = vec![0u32; csr.n()];
+        mask[self.source as usize] = 1;
+        visited[self.source as usize] = 1;
+        // Unreached cost stays 0 in the Rodinia kernel until written; we use
+        // a sentinel so the host can compare against the reference.
+        for (i, c) in cost.iter_mut().enumerate() {
+            *c = if i == self.source as usize { 0 } else { u32::MAX - 1 };
+        }
+        let dmask = upload_u32(gpu, &mask);
+        let dupd = upload_u32(gpu, &vec![0u32; csr.n()]);
+        let dvis = upload_u32(gpu, &visited);
+        let dcost = upload_u32(gpu, &cost);
+        let dflag = upload_u32(gpu, &[0u32]);
+        let expand = Bfs::expand_kernel();
+        let commit = Bfs::commit_kernel();
+        let mut r = Runner::new();
+        let grid = n.div_ceil(self.block);
+        for _level in 0..csr.n() {
+            gpu.mem().write_u32_slice(dflag, &[0]);
+            r.launch(gpu, &expand, grid, self.block, &[dmask, dupd, dvis, drp, dedge, dcost, u64::from(n)])?;
+            r.launch(gpu, &commit, grid, self.block, &[dmask, dupd, dvis, dflag, u64::from(n)])?;
+            if gpu.mem().read_u32_slice(dflag, 1)[0] == 0 {
+                break;
+            }
+        }
+        Ok(r.finish(self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_core::{classify, LoadClass};
+    use gcl_sim::GpuConfig;
+
+    #[test]
+    fn expand_kernel_matches_paper_classification() {
+        let c = classify(&Bfs::expand_kernel());
+        let (d, n) = c.global_load_counts();
+        // mask, cost[tid], row_ptr×2 are deterministic; edges[i] and
+        // visited[id] are not — exactly the paper's Code 1 discussion.
+        assert_eq!(d, 4, "{c:?}");
+        assert_eq!(n, 2, "{c:?}");
+    }
+
+    #[test]
+    fn commit_kernel_is_deterministic() {
+        let c = classify(&Bfs::commit_kernel());
+        assert_eq!(c.global_load_counts().1, 0);
+    }
+
+    #[test]
+    fn bfs_levels_match_reference() {
+        let w = Bfs::tiny();
+        let csr = w.graph();
+        let want = Bfs::reference(&csr, w.source);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let res = w.run(&mut gpu).unwrap();
+        // cost is the 7th allocation.
+        let align = |v: u64| v.div_ceil(128) * 128;
+        let mut addr = gcl_sim::HEAP_BASE;
+        for words in [
+            csr.row_ptr.len(),
+            csr.col_idx.len(),
+            csr.n(),
+            csr.n(),
+            csr.n(),
+        ] {
+            addr = align(addr) + (words * 4) as u64;
+        }
+        let dcost = align(addr);
+        let got = gpu.mem_ref().read_u32_slice(dcost, csr.n());
+        for (v, (g, w_)) in got.iter().zip(want.iter()).enumerate() {
+            let expect = if *w_ == u32::MAX { u32::MAX - 1 } else { *w_ };
+            assert_eq!(*g, expect, "cost[{v}]");
+        }
+        // The dynamic run must show substantial non-deterministic loads.
+        assert!(res.stats.class(LoadClass::NonDeterministic).warp_loads > 0);
+        assert!(res.stats.launches >= 4, "needs several frontier levels");
+    }
+}

@@ -1,0 +1,173 @@
+//! `ccl` — connected-component labeling by iterative label propagation:
+//! every vertex pulls its neighbors' labels (non-deterministic gathers) and
+//! keeps the minimum, until a fixpoint.
+
+use crate::graph::Csr;
+use crate::kutil::{exit_if_ge, gid_x, loop_begin, loop_end};
+use crate::workload::{upload_u32, Category, RunResult, Runner, Workload};
+use gcl_ptx::{AluOp, CmpOp, Kernel, KernelBuilder, Type};
+use gcl_sim::{Gpu, SimError};
+
+/// The `ccl` workload.
+#[derive(Debug, Clone)]
+pub struct Ccl {
+    /// Number of vertices.
+    pub n: usize,
+    /// Mean degree.
+    pub deg: usize,
+    /// Threads per CTA (paper: 256).
+    pub block: u32,
+}
+
+impl Default for Ccl {
+    fn default() -> Ccl {
+        Ccl { n: 4096, deg: 8, block: 256 }
+    }
+}
+
+impl Ccl {
+    /// A tiny instance for tests.
+    pub fn tiny() -> Ccl {
+        Ccl { n: 64, deg: 3, block: 32 }
+    }
+
+    /// One label-propagation step.
+    pub fn propagate_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("ccl_propagate");
+        let prp = b.param("row_ptr", Type::U64);
+        let pci = b.param("col_idx", Type::U64);
+        let pl = b.param("label", Type::U64);
+        let pflag = b.param("flag", Type::U64);
+        let pn = b.param("n", Type::U32);
+        let rp = b.ld_param(Type::U64, prp);
+        let ci = b.ld_param(Type::U64, pci);
+        let label = b.ld_param(Type::U64, pl);
+        let flag = b.ld_param(Type::U64, pflag);
+        let n = b.ld_param(Type::U32, pn);
+        let tid = gid_x(&mut b);
+        exit_if_ge(&mut b, tid, n);
+        let la = b.index64(label, tid, 4);
+        let mine = b.ld_global(Type::U32, la); // deterministic
+        let best = b.reg();
+        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: best, src: mine.into() });
+        let rpa = b.index64(rp, tid, 4);
+        let lo = b.ld_global(Type::U32, rpa); // deterministic
+        let tid1 = b.add(Type::U32, tid, 1i64);
+        let rpa1 = b.index64(rp, tid1, 4);
+        let hi = b.ld_global(Type::U32, rpa1); // deterministic
+        let l = loop_begin(&mut b, lo, hi);
+        let ca = b.index64(ci, l.counter, 4);
+        let nb = b.ld_global(Type::U32, ca); // non-deterministic
+        let nla = b.index64(label, nb, 4);
+        let nl = b.ld_global(Type::U32, nla); // non-deterministic
+        b.push(gcl_ptx::Op::Alu {
+            op: AluOp::Min,
+            ty: Type::U32,
+            dst: best,
+            a: best.into(),
+            b: nl.into(),
+        });
+        loop_end(&mut b, l);
+        let improved = b.setp(CmpOp::Lt, Type::U32, best, mine);
+        let done = b.new_label();
+        b.bra_unless(improved, done);
+        b.st_global(Type::U32, la, best);
+        let zero = b.imm32(0);
+        let fa = b.index64(flag, zero, 4);
+        b.st_global(Type::U32, fa, 1i64);
+        b.place(done);
+        b.exit();
+        b.build().expect("ccl kernel is valid")
+    }
+
+    /// Host reference: per-vertex minimum reachable label over the
+    /// *undirected closure* implied by propagation on a directed graph run
+    /// to fixpoint (pull-based, so only directed reachability applies).
+    pub fn reference(csr: &Csr) -> Vec<u32> {
+        let mut label: Vec<u32> = (0..csr.n() as u32).collect();
+        loop {
+            let mut changed = false;
+            for v in 0..csr.n() {
+                let mut best = label[v];
+                for &d in csr.neighbors(v) {
+                    best = best.min(label[d as usize]);
+                }
+                if best < label[v] {
+                    label[v] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        label
+    }
+
+    fn graph(&self) -> Csr {
+        Csr::uniform(self.n, self.deg, 0xCC1)
+    }
+}
+
+impl Workload for Ccl {
+    fn name(&self) -> &'static str {
+        "ccl"
+    }
+
+    fn category(&self) -> Category {
+        Category::Graph
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
+        let csr = self.graph();
+        let n = csr.n() as u32;
+        let drp = upload_u32(gpu, &csr.row_ptr);
+        let dci = upload_u32(gpu, &csr.col_idx);
+        let labels: Vec<u32> = (0..n).collect();
+        let dl = upload_u32(gpu, &labels);
+        let dflag = upload_u32(gpu, &[0u32]);
+        let k = Ccl::propagate_kernel();
+        let mut r = Runner::new();
+        let grid = n.div_ceil(self.block);
+        for _round in 0..csr.n() {
+            gpu.mem().write_u32_slice(dflag, &[0]);
+            r.launch(gpu, &k, grid, self.block, &[drp, dci, dl, dflag, u64::from(n)])?;
+            if gpu.mem().read_u32_slice(dflag, 1)[0] == 0 {
+                break;
+            }
+        }
+        Ok(r.finish(self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_core::classify;
+    use gcl_sim::{GpuConfig, HEAP_BASE};
+
+    #[test]
+    fn classification_matches_structure() {
+        let c = classify(&Ccl::propagate_kernel());
+        let (d, n) = c.global_load_counts();
+        assert_eq!(d, 3, "{c:?}");
+        assert_eq!(n, 2, "{c:?}");
+    }
+
+    #[test]
+    fn labels_match_reference_fixpoint() {
+        let w = Ccl::tiny();
+        let csr = w.graph();
+        let want = Ccl::reference(&csr);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        w.run(&mut gpu).unwrap();
+        let align = |v: u64| v.div_ceil(128) * 128;
+        let mut addr = HEAP_BASE;
+        for words in [csr.row_ptr.len(), csr.col_idx.len()] {
+            addr = align(addr) + (words * 4) as u64;
+        }
+        let dl = align(addr);
+        let got = gpu.mem_ref().read_u32_slice(dl, csr.n());
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,13 @@
+//! The graph workloads of Table I: `bfs`, `sssp`, `ccl`, `mst`, `mis`.
+
+mod bfs;
+mod ccl;
+mod mis;
+mod mst;
+mod sssp;
+
+pub use bfs::Bfs;
+pub use ccl::Ccl;
+pub use mis::{Mis, IN_SET, REMOVED, UNDECIDED};
+pub use mst::Mst;
+pub use sssp::{Sssp, INF};

@@ -1,0 +1,184 @@
+//! `sssp` — single-source shortest paths (LonestarGPU-style Bellman–Ford):
+//! every vertex relaxes its out-edges each round; `atom.min` scatters to
+//! neighbor distances are non-deterministic.
+
+use crate::graph::Csr;
+use crate::kutil::{exit_if_ge, gid_x, loop_begin, loop_end};
+use crate::workload::{upload_u32, Category, RunResult, Runner, Workload};
+use gcl_ptx::{AtomOp, CmpOp, Kernel, KernelBuilder, Type};
+use gcl_sim::{Gpu, SimError};
+
+/// "Infinite" distance sentinel (small enough that `d + w` cannot wrap).
+pub const INF: u32 = 0x0FFF_FFFF;
+
+/// The `sssp` workload.
+#[derive(Debug, Clone)]
+pub struct Sssp {
+    /// R-MAT scale.
+    pub scale: u32,
+    /// Edges per vertex.
+    pub edge_factor: usize,
+    /// Threads per CTA (paper: 512).
+    pub block: u32,
+    /// Source vertex.
+    pub source: u32,
+}
+
+impl Default for Sssp {
+    fn default() -> Sssp {
+        Sssp { scale: 11, edge_factor: 8, block: 512, source: 0 }
+    }
+}
+
+impl Sssp {
+    /// A tiny instance for tests.
+    pub fn tiny() -> Sssp {
+        Sssp { scale: 6, edge_factor: 4, block: 32, source: 0 }
+    }
+
+    /// The relaxation kernel.
+    pub fn relax_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("sssp_relax");
+        let prp = b.param("row_ptr", Type::U64);
+        let pci = b.param("col_idx", Type::U64);
+        let pw = b.param("weight", Type::U64);
+        let pd = b.param("dist", Type::U64);
+        let pflag = b.param("flag", Type::U64);
+        let pn = b.param("n", Type::U32);
+        let rp = b.ld_param(Type::U64, prp);
+        let ci = b.ld_param(Type::U64, pci);
+        let wt = b.ld_param(Type::U64, pw);
+        let dist = b.ld_param(Type::U64, pd);
+        let flag = b.ld_param(Type::U64, pflag);
+        let n = b.ld_param(Type::U32, pn);
+        let tid = gid_x(&mut b);
+        exit_if_ge(&mut b, tid, n);
+        let da = b.index64(dist, tid, 4);
+        let my_d = b.ld_global(Type::U32, da); // deterministic
+        let reachable = b.setp(CmpOp::Lt, Type::U32, my_d, i64::from(INF));
+        let done = b.new_label();
+        b.bra_unless(reachable, done);
+        let rpa = b.index64(rp, tid, 4);
+        let lo = b.ld_global(Type::U32, rpa); // deterministic
+        let tid1 = b.add(Type::U32, tid, 1i64);
+        let rpa1 = b.index64(rp, tid1, 4);
+        let hi = b.ld_global(Type::U32, rpa1); // deterministic
+        let l = loop_begin(&mut b, lo, hi);
+        let ca = b.index64(ci, l.counter, 4);
+        let dest = b.ld_global(Type::U32, ca); // non-deterministic
+        let wa = b.index64(wt, l.counter, 4);
+        let w = b.ld_global(Type::U32, wa); // non-deterministic
+        let alt = b.add(Type::U32, my_d, w);
+        let dda = b.index64(dist, dest, 4);
+        // old = atom.min(dist[dest], alt)       — non-deterministic atomic
+        let old = b.atom(AtomOp::Min, Type::U32, dda, alt);
+        let improved = b.setp(CmpOp::Lt, Type::U32, alt, old);
+        let skip = b.new_label();
+        b.bra_unless(improved, skip);
+        let zero = b.imm32(0);
+        let fa = b.index64(flag, zero, 4);
+        b.st_global(Type::U32, fa, 1i64);
+        b.place(skip);
+        loop_end(&mut b, l);
+        b.place(done);
+        b.exit();
+        b.build().expect("sssp relax kernel is valid")
+    }
+
+    /// Host reference: Bellman–Ford distances.
+    pub fn reference(csr: &Csr, source: u32) -> Vec<u32> {
+        let mut dist = vec![INF; csr.n()];
+        dist[source as usize] = 0;
+        loop {
+            let mut changed = false;
+            for v in 0..csr.n() {
+                if dist[v] >= INF {
+                    continue;
+                }
+                for (i, &d) in csr.neighbors(v).iter().enumerate() {
+                    let alt = dist[v] + csr.weights(v)[i];
+                    if alt < dist[d as usize] {
+                        dist[d as usize] = alt;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist
+    }
+
+    fn graph(&self) -> Csr {
+        Csr::rmat(self.scale, self.edge_factor, 0x555A)
+    }
+}
+
+impl Workload for Sssp {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn category(&self) -> Category {
+        Category::Graph
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
+        let csr = self.graph();
+        let n = csr.n() as u32;
+        let drp = upload_u32(gpu, &csr.row_ptr);
+        let dci = upload_u32(gpu, &csr.col_idx);
+        let dwt = upload_u32(gpu, &csr.weight);
+        let mut dist = vec![INF; csr.n()];
+        dist[self.source as usize] = 0;
+        let ddist = upload_u32(gpu, &dist);
+        let dflag = upload_u32(gpu, &[0u32]);
+        let relax = Sssp::relax_kernel();
+        let mut r = Runner::new();
+        let grid = n.div_ceil(self.block);
+        for _round in 0..csr.n() {
+            gpu.mem().write_u32_slice(dflag, &[0]);
+            r.launch(gpu, &relax, grid, self.block, &[drp, dci, dwt, ddist, dflag, u64::from(n)])?;
+            if gpu.mem().read_u32_slice(dflag, 1)[0] == 0 {
+                break;
+            }
+        }
+        Ok(r.finish(self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_core::{classify, LoadClass};
+    use gcl_sim::{GpuConfig, HEAP_BASE};
+
+    #[test]
+    fn classification_matches_structure() {
+        let c = classify(&Sssp::relax_kernel());
+        let (d, n) = c.global_load_counts();
+        // dist[tid], row_ptr×2 deterministic; col, weight, atom.min
+        // non-deterministic.
+        assert_eq!(d, 3, "{c:?}");
+        assert_eq!(n, 3, "{c:?}");
+    }
+
+    #[test]
+    fn distances_match_reference() {
+        let w = Sssp::tiny();
+        let csr = w.graph();
+        let want = Sssp::reference(&csr, w.source);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let res = w.run(&mut gpu).unwrap();
+        let align = |v: u64| v.div_ceil(128) * 128;
+        let mut addr = HEAP_BASE;
+        for words in [csr.row_ptr.len(), csr.col_idx.len(), csr.weight.len()] {
+            addr = align(addr) + (words * 4) as u64;
+        }
+        let ddist = align(addr);
+        let got = gpu.mem_ref().read_u32_slice(ddist, csr.n());
+        assert_eq!(got, want);
+        assert!(res.stats.class(LoadClass::NonDeterministic).warp_loads > 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! `bpr` — back-propagation layer forward pass + weight adjustment
+//! (Rodinia `backprop`): CTA-cooperative input staging into shared memory
+//! with a tree reduction per hidden unit, then an embarrassingly parallel
+//! weight update. Deterministic loads throughout.
+
+use crate::gen;
+use crate::kutil::{exit_if_ge, gid_x, gid_y, loop_begin, loop_end};
+use crate::workload::{upload_f32, Category, RunResult, Runner, Workload};
+use gcl_ptx::{CmpOp, Kernel, KernelBuilder, SfuOp, Special, Type};
+use gcl_sim::{Dim3, Gpu, SimError};
+
+/// CTA edge: 16×16 threads, 16 hidden units per CTA.
+const TILE: u32 = 16;
+
+/// The `bpr` workload.
+#[derive(Debug, Clone)]
+pub struct Bpr {
+    /// Input-layer width (multiple of 16).
+    pub in_n: u32,
+    /// Hidden-layer width (multiple of 16).
+    pub hid_n: u32,
+}
+
+impl Default for Bpr {
+    fn default() -> Bpr {
+        Bpr { in_n: 256, hid_n: 128 }
+    }
+}
+
+impl Bpr {
+    /// A tiny instance for tests.
+    pub fn tiny() -> Bpr {
+        Bpr { in_n: 32, hid_n: 16 }
+    }
+
+    /// Forward kernel: `hidden[j] = sigmoid(Σ_i w[i][j]·in[i])`.
+    /// CTA `c` computes hidden units `c*16 .. c*16+16`; thread `(tx, ty)`
+    /// accumulates input rows `ty, ty+16, ...` for unit `tx`.
+    pub fn forward_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("bpr_forward");
+        // Shared: staged input chunk (16 f32) + partial sums (16×16 f32).
+        b.shared(4 * (TILE + TILE * TILE));
+        let pin = b.param("input", Type::U64);
+        let pw = b.param("weights", Type::U64);
+        let ph = b.param("hidden", Type::U64);
+        let pinn = b.param("in_n", Type::U32);
+        let phidn = b.param("hid_n", Type::U32);
+        let input = b.ld_param(Type::U64, pin);
+        let weights = b.ld_param(Type::U64, pw);
+        let hidden = b.ld_param(Type::U64, ph);
+        let in_n = b.ld_param(Type::U32, pinn);
+        let hid_n = b.ld_param(Type::U32, phidn);
+        let tx = b.sreg(Special::TidX);
+        let ty = b.sreg(Special::TidY);
+        let cta = b.sreg(Special::CtaIdX);
+        let j = b.mad(Type::U32, cta, i64::from(TILE), tx);
+        let acc = b.immf32(0.0);
+        let n_chunks = b.div(Type::U32, in_n, i64::from(TILE));
+        let l = loop_begin(&mut b, 0i64, n_chunks);
+        // Stage in[chunk*16 + ty] into shared (one row of threads loads).
+        let row = b.mad(Type::U32, l.counter, i64::from(TILE), ty);
+        let is_loader = b.setp(CmpOp::Eq, Type::U32, tx, 0i64);
+        let skip = b.new_label();
+        b.bra_unless(is_loader, skip);
+        let ia = b.index64(input, row, 4);
+        let iv = b.ld_global(Type::F32, ia);
+        let soff = b.mul(Type::U32, ty, 4i64);
+        b.st_shared(Type::F32, soff, iv);
+        b.place(skip);
+        b.bar();
+        // acc += w[row*hid_n + j] * s_in[ty]
+        let wi = b.mad(Type::U32, row, hid_n, j);
+        let wa = b.index64(weights, wi, 4);
+        let wv = b.ld_global(Type::F32, wa);
+        let soff = b.mul(Type::U32, ty, 4i64);
+        let sv = b.ld_shared(Type::F32, soff);
+        let prod = b.mul(Type::F32, wv, sv);
+        b.push(gcl_ptx::Op::Alu {
+            op: gcl_ptx::AluOp::Add,
+            ty: Type::F32,
+            dst: acc,
+            a: acc.into(),
+            b: prod.into(),
+        });
+        b.bar();
+        loop_end(&mut b, l);
+        // partial[ty][tx] = acc, then tree-reduce over ty.
+        let pidx = b.mad(Type::U32, ty, i64::from(TILE), tx);
+        let pidx4 = b.mad(Type::U32, pidx, 4i64, i64::from(4 * TILE));
+        b.st_shared(Type::F32, pidx4, acc);
+        let mut stride = TILE / 2;
+        while stride > 0 {
+            b.bar();
+            let p = b.setp(CmpOp::Lt, Type::U32, ty, i64::from(stride));
+            let skip = b.new_label();
+            b.bra_unless(p, skip);
+            let other_row = b.add(Type::U32, ty, i64::from(stride));
+            let oidx = b.mad(Type::U32, other_row, i64::from(TILE), tx);
+            let oidx4 = b.mad(Type::U32, oidx, 4i64, i64::from(4 * TILE));
+            let theirs = b.ld_shared(Type::F32, oidx4);
+            let mine = b.ld_shared(Type::F32, pidx4);
+            let sum = b.add(Type::F32, mine, theirs);
+            b.st_shared(Type::F32, pidx4, sum);
+            b.place(skip);
+            stride /= 2;
+        }
+        b.bar();
+        // ty == 0 threads write the sigmoid output.
+        let is_top = b.setp(CmpOp::Eq, Type::U32, ty, 0i64);
+        let done = b.new_label();
+        b.bra_unless(is_top, done);
+        let tidx4 = b.mad(Type::U32, tx, 4i64, i64::from(4 * TILE));
+        let total = b.ld_shared(Type::F32, tidx4);
+        // sigmoid(x) = 1 / (1 + 2^(-x·log2 e))
+        let scaled = b.mul(
+            Type::F32,
+            total,
+            gcl_ptx::Operand::f32(-std::f32::consts::LOG2_E),
+        );
+        let e = b.sfu(SfuOp::Ex2, Type::F32, scaled);
+        let denom = b.add(Type::F32, e, gcl_ptx::Operand::f32(1.0));
+        let sig = b.sfu(SfuOp::Rcp, Type::F32, denom);
+        let ha = b.index64(hidden, j, 4);
+        b.st_global(Type::F32, ha, sig);
+        b.place(done);
+        b.exit();
+        b.build().expect("bpr forward kernel is valid")
+    }
+
+    /// Weight-adjust kernel: `w[i][j] += eta · hidden[j] · in[i]`.
+    pub fn adjust_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("bpr_adjust");
+        let pin = b.param("input", Type::U64);
+        let pw = b.param("weights", Type::U64);
+        let ph = b.param("hidden", Type::U64);
+        let pinn = b.param("in_n", Type::U32);
+        let phidn = b.param("hid_n", Type::U32);
+        let input = b.ld_param(Type::U64, pin);
+        let weights = b.ld_param(Type::U64, pw);
+        let hidden = b.ld_param(Type::U64, ph);
+        let in_n = b.ld_param(Type::U32, pinn);
+        let hid_n = b.ld_param(Type::U32, phidn);
+        let j = gid_x(&mut b);
+        let i = gid_y(&mut b);
+        exit_if_ge(&mut b, j, hid_n);
+        exit_if_ge(&mut b, i, in_n);
+        let ha = b.index64(hidden, j, 4);
+        let hv = b.ld_global(Type::F32, ha);
+        let ia = b.index64(input, i, 4);
+        let iv = b.ld_global(Type::F32, ia);
+        let wi = b.mad(Type::U32, i, hid_n, j);
+        let wa = b.index64(weights, wi, 4);
+        let wv = b.ld_global(Type::F32, wa);
+        let eta = b.mul(Type::F32, hv, gcl_ptx::Operand::f32(0.3));
+        let delta = b.mul(Type::F32, eta, iv);
+        let next = b.add(Type::F32, wv, delta);
+        b.st_global(Type::F32, wa, next);
+        b.exit();
+        b.build().expect("bpr adjust kernel is valid")
+    }
+
+    /// Host reference forward pass.
+    pub fn reference_forward(input: &[f32], w: &[f32], in_n: usize, hid_n: usize) -> Vec<f32> {
+        (0..hid_n)
+            .map(|j| {
+                let mut acc = 0.0f32;
+                for i in 0..in_n {
+                    acc += w[i * hid_n + j] * input[i];
+                }
+                1.0 / (1.0 + (-acc).exp())
+            })
+            .collect()
+    }
+}
+
+impl Workload for Bpr {
+    fn name(&self) -> &'static str {
+        "bpr"
+    }
+
+    fn category(&self) -> Category {
+        Category::Image
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
+        let (in_n, hid_n) = (self.in_n as usize, self.hid_n as usize);
+        let input = gen::dense_vector(in_n, -0.5, 0.5, 0xB201);
+        let w = gen::dense_vector(in_n * hid_n, -0.1, 0.1, 0xB202);
+        let din = upload_f32(gpu, &input);
+        let dw = upload_f32(gpu, &w);
+        let dh = gpu.mem().alloc_array(Type::F32, hid_n as u64);
+        let fwd = Bpr::forward_kernel();
+        let adj = Bpr::adjust_kernel();
+        let mut r = Runner::new();
+        let args = [din, dw, dh, u64::from(self.in_n), u64::from(self.hid_n)];
+        r.launch(gpu, &fwd, self.hid_n / TILE, Dim3::xy(TILE, TILE), &args)?;
+        let grid = Dim3::xy(self.hid_n.div_ceil(TILE), self.in_n.div_ceil(TILE));
+        r.launch(gpu, &adj, grid, Dim3::xy(TILE, TILE), &args)?;
+        Ok(r.finish(self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_core::classify;
+    use gcl_sim::GpuConfig;
+
+    #[test]
+    fn loads_are_deterministic() {
+        for k in [Bpr::forward_kernel(), Bpr::adjust_kernel()] {
+            assert_eq!(classify(&k).global_load_counts().1, 0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        let wl = Bpr::tiny();
+        let (in_n, hid_n) = (wl.in_n as usize, wl.hid_n as usize);
+        let input = gen::dense_vector(in_n, -0.5, 0.5, 0xB201);
+        let w = gen::dense_vector(in_n * hid_n, -0.1, 0.1, 0xB202);
+        let want = Bpr::reference_forward(&input, &w, in_n, hid_n);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        wl.run(&mut gpu).unwrap();
+        let align = |v: u64| v.div_ceil(128) * 128;
+        let mut addr = gcl_sim::HEAP_BASE;
+        for bytes in [in_n * 4, in_n * hid_n * 4] {
+            addr = align(addr) + bytes as u64;
+        }
+        let dh = align(addr);
+        let got = gpu.mem_ref().read_f32_slice(dh, hid_n);
+        for (i, (g, w_)) in got.iter().zip(want.iter()).enumerate() {
+            // The SFU sigmoid is an approximation path; allow slack.
+            assert!((g - w_).abs() < 5e-3, "hidden[{i}] = {g}, want {w_}");
+        }
+    }
+}

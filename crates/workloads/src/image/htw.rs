@@ -1,0 +1,246 @@
+//! `htw` — Heartwall-style template tracking (Rodinia `heartwall` proxy):
+//! one CTA per tracked sample point. The CTA stages a search region and the
+//! template into shared memory, then every thread computes the SSD of the
+//! template at its candidate offset. Shared-memory loads dominate — the
+//! signature behavior of the paper's image category (Figure 9).
+
+use crate::gen;
+use crate::kutil::{loop_begin, loop_end};
+use crate::workload::{upload_f32, upload_u32, Category, RunResult, Runner, Workload};
+use gcl_ptx::{CmpOp, Kernel, KernelBuilder, Special, Type};
+use gcl_sim::{Dim3, Gpu, SimError};
+
+/// Template edge (pixels).
+const TMPL: u32 = 8;
+/// Search-window edge (candidate offsets per axis; also the CTA edge).
+const WIN: u32 = 16;
+/// Staged region edge.
+const REGION: u32 = WIN + TMPL;
+
+/// The `htw` workload.
+#[derive(Debug, Clone)]
+pub struct Htw {
+    /// Image width.
+    pub w: u32,
+    /// Image height.
+    pub h: u32,
+    /// Number of tracked points (CTAs; paper: 51).
+    pub n_points: u32,
+}
+
+impl Default for Htw {
+    fn default() -> Htw {
+        Htw { w: 128, h: 96, n_points: 24 }
+    }
+}
+
+impl Htw {
+    /// A tiny instance for tests.
+    pub fn tiny() -> Htw {
+        Htw { w: 48, h: 40, n_points: 2 }
+    }
+
+    /// The tracking kernel: CTA `p` stages `REGION×REGION` pixels at point
+    /// `p`'s corner plus the template, and writes a `WIN×WIN` SSD map.
+    pub fn kernel() -> Kernel {
+        let region_px = REGION * REGION;
+        let tmpl_px = TMPL * TMPL;
+        let mut b = KernelBuilder::new("htw_track");
+        b.shared(4 * (region_px + tmpl_px));
+        let pimg = b.param("img", Type::U64);
+        let ptm = b.param("tmpl", Type::U64);
+        let ppx = b.param("px", Type::U64);
+        let ppy = b.param("py", Type::U64);
+        let pout = b.param("out", Type::U64);
+        let pw = b.param("w", Type::U32);
+        let img = b.ld_param(Type::U64, pimg);
+        let tmpl = b.ld_param(Type::U64, ptm);
+        let px = b.ld_param(Type::U64, ppx);
+        let py = b.ld_param(Type::U64, ppy);
+        let out = b.ld_param(Type::U64, pout);
+        let w = b.ld_param(Type::U32, pw);
+        let cta = b.sreg(Special::CtaIdX);
+        let tx = b.sreg(Special::TidX);
+        let ty = b.sreg(Special::TidY);
+        let lin = b.mad(Type::U32, ty, i64::from(WIN), tx);
+        // Point corner (deterministic loads of the point arrays).
+        let pxa = b.index64(px, cta, 4);
+        let corner_x = b.ld_global(Type::U32, pxa);
+        let pya = b.index64(py, cta, 4);
+        let corner_y = b.ld_global(Type::U32, pya);
+        // Cooperative staging of the region: threads stride over pixels.
+        let l = loop_begin(&mut b, lin, i64::from(region_px));
+        let ry = b.div(Type::U32, l.counter, i64::from(REGION));
+        let rx = b.rem(Type::U32, l.counter, i64::from(REGION));
+        // NOTE: corner_x/corner_y come from a prior load, so this image
+        // gather is a *non-deterministic* load — heartwall really does index
+        // frames by tracked point coordinates.
+        let gy = b.add(Type::U32, corner_y, ry);
+        let gx = b.add(Type::U32, corner_x, rx);
+        let gi = b.mad(Type::U32, gy, w, gx);
+        let ga = b.index64(img, gi, 4);
+        let pixel = b.ld_global(Type::F32, ga);
+        let soff = b.mul(Type::U32, l.counter, 4i64);
+        b.st_shared(Type::F32, soff, pixel);
+        crate::kutil::add_assign(&mut b, l.counter, i64::from(WIN * WIN) - 1);
+        loop_end(&mut b, l);
+        // Stage the template after the region.
+        let pt = b.setp(CmpOp::Lt, Type::U32, lin, i64::from(tmpl_px));
+        let skip_t = b.new_label();
+        b.bra_unless(pt, skip_t);
+        let ta = b.index64(tmpl, lin, 4);
+        let tv = b.ld_global(Type::F32, ta);
+        let toff0 = b.add(Type::U32, lin, i64::from(region_px));
+        let toff = b.mul(Type::U32, toff0, 4i64);
+        b.st_shared(Type::F32, toff, tv);
+        b.place(skip_t);
+        b.bar();
+        // SSD of the template at offset (tx, ty), all from shared memory.
+        let acc = b.immf32(0.0);
+        let lj = loop_begin(&mut b, 0i64, i64::from(TMPL));
+        let li = loop_begin(&mut b, 0i64, i64::from(TMPL));
+        let ry = b.add(Type::U32, ty, lj.counter);
+        let rx = b.add(Type::U32, tx, li.counter);
+        let ri = b.mad(Type::U32, ry, i64::from(REGION), rx);
+        let roff = b.mul(Type::U32, ri, 4i64);
+        let rv = b.ld_shared(Type::F32, roff);
+        let ti = b.mad(Type::U32, lj.counter, i64::from(TMPL), li.counter);
+        let ti2 = b.add(Type::U32, ti, i64::from(region_px));
+        let toff = b.mul(Type::U32, ti2, 4i64);
+        let tv = b.ld_shared(Type::F32, toff);
+        let diff = b.sub(Type::F32, rv, tv);
+        crate::kutil::fma_acc(&mut b, acc, diff, diff);
+        loop_end(&mut b, li);
+        loop_end(&mut b, lj);
+        // out[cta * WIN*WIN + lin] = acc
+        let oi = b.mad(Type::U32, cta, i64::from(WIN * WIN), lin);
+        let oa = b.index64(out, oi, 4);
+        b.st_global(Type::F32, oa, acc);
+        b.exit();
+        b.build().expect("htw kernel is valid")
+    }
+
+    /// Host reference SSD map for one point.
+    pub fn reference_point(
+        img: &[f32],
+        w: usize,
+        tmpl: &[f32],
+        cx: usize,
+        cy: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; (WIN * WIN) as usize];
+        for oy in 0..WIN as usize {
+            for ox in 0..WIN as usize {
+                let mut acc = 0.0f32;
+                for j in 0..TMPL as usize {
+                    for i in 0..TMPL as usize {
+                        let r = img[(cy + oy + j) * w + cx + ox + i];
+                        let t = tmpl[j * TMPL as usize + i];
+                        let d = r - t;
+                        acc = d * d + acc;
+                    }
+                }
+                out[oy * WIN as usize + ox] = acc;
+            }
+        }
+        out
+    }
+
+    fn points(&self) -> (Vec<u32>, Vec<u32>) {
+        let max_x = self.w - REGION;
+        let max_y = self.h - REGION;
+        let xs = gen::random_u32(self.n_points as usize, max_x.max(1), 0x4711);
+        let ys = gen::random_u32(self.n_points as usize, max_y.max(1), 0x4712);
+        (xs, ys)
+    }
+}
+
+impl Workload for Htw {
+    fn name(&self) -> &'static str {
+        "htw"
+    }
+
+    fn category(&self) -> Category {
+        Category::Image
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
+        let (w, h) = (self.w as usize, self.h as usize);
+        let img = gen::image(w, h, 0x4713);
+        let tmpl = gen::image(TMPL as usize, TMPL as usize, 0x4714);
+        let (xs, ys) = self.points();
+        let dimg = upload_f32(gpu, &img);
+        let dtm = upload_f32(gpu, &tmpl);
+        let dx = upload_u32(gpu, &xs);
+        let dy = upload_u32(gpu, &ys);
+        let dout =
+            gpu.mem().alloc_array(Type::F32, u64::from(self.n_points) * u64::from(WIN * WIN));
+        let k = Htw::kernel();
+        let mut r = Runner::new();
+        r.launch(
+            gpu,
+            &k,
+            self.n_points,
+            Dim3::xy(WIN, WIN),
+            &[dimg, dtm, dx, dy, dout, u64::from(self.w)],
+        )?;
+        Ok(r.finish(self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_core::{classify, LoadClass};
+    use gcl_sim::GpuConfig;
+
+    #[test]
+    fn image_gather_is_non_deterministic() {
+        let c = classify(&Htw::kernel());
+        let (d, n) = c.global_load_counts();
+        // px/py/template are deterministic; the point-indexed image gather
+        // is not.
+        assert!(d >= 3, "{c:?}");
+        assert_eq!(n, 1, "{c:?}");
+    }
+
+    #[test]
+    fn ssd_matches_reference_and_is_shared_heavy() {
+        let wl = Htw::tiny();
+        let (w, h) = (wl.w as usize, wl.h as usize);
+        let img = gen::image(w, h, 0x4713);
+        let tmpl = gen::image(TMPL as usize, TMPL as usize, 0x4714);
+        let (xs, ys) = wl.points();
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let res = wl.run(&mut gpu).unwrap();
+        // out is the 5th allocation.
+        let align = |v: u64| v.div_ceil(128) * 128;
+        let mut addr = gcl_sim::HEAP_BASE;
+        for bytes in
+            [w * h * 4, (TMPL * TMPL) as usize * 4, xs.len() * 4, ys.len() * 4]
+        {
+            addr = align(addr) + bytes as u64;
+        }
+        let dout = align(addr);
+        for p in 0..wl.n_points as usize {
+            let want = Htw::reference_point(&img, w, &tmpl, xs[p] as usize, ys[p] as usize);
+            let got = gpu
+                .mem_ref()
+                .read_f32_slice(dout + (p as u64) * u64::from(WIN * WIN) * 4, want.len());
+            for (i, (g, w_)) in got.iter().zip(want.iter()).enumerate() {
+                assert!(
+                    (g - w_).abs() <= w_.abs() * 1e-4 + 1e-2,
+                    "point {p} ssd[{i}] = {g}, want {w_}"
+                );
+            }
+        }
+        // Image category: shared loads outnumber global loads (Figure 9).
+        let gld = res.stats.profiler().gld_request;
+        assert!(
+            res.stats.sm.shared_load_warps > 2 * gld,
+            "shared {} vs global {gld}",
+            res.stats.sm.shared_load_warps
+        );
+        let _ = LoadClass::Deterministic;
+    }
+}

@@ -1,0 +1,14 @@
+//! The image-processing workloads of Table I: `htw`, `mriq`, `dwt`, `bpr`,
+//! `srad`.
+
+mod bpr;
+mod dwt;
+mod htw;
+mod mriq;
+mod srad;
+
+pub use bpr::Bpr;
+pub use dwt::Dwt;
+pub use htw::Htw;
+pub use mriq::Mriq;
+pub use srad::Srad;

@@ -1,0 +1,199 @@
+//! Kernel-construction helpers shared by the benchmark kernels: global
+//! thread ids, bounds-check exits, and counted loops.
+
+use gcl_ptx::{CmpOp, KernelBuilder, Label, Operand, Reg, Special, Type};
+
+/// Global x index: `ctaid.x * ntid.x + tid.x`.
+pub fn gid_x(b: &mut KernelBuilder) -> Reg {
+    b.thread_linear_id()
+}
+
+/// Global y index: `ctaid.y * ntid.y + tid.y`.
+pub fn gid_y(b: &mut KernelBuilder) -> Reg {
+    let ctaid = b.sreg(Special::CtaIdY);
+    let ntid = b.sreg(Special::NTidY);
+    let tid = b.sreg(Special::TidY);
+    b.mad(Type::U32, ctaid, ntid, tid)
+}
+
+/// Predicated exit for lanes where `v >= bound` (the ubiquitous
+/// `if (tid >= n) return;`).
+pub fn exit_if_ge(b: &mut KernelBuilder, v: Reg, bound: impl Into<Operand>) {
+    let p = b.setp(CmpOp::Ge, Type::U32, v, bound);
+    b.guard_next(p, false);
+    b.exit();
+}
+
+/// An open counted loop created by [`loop_begin`]; close it with
+/// [`loop_end`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoopCtx {
+    /// The loop counter register.
+    pub counter: Reg,
+    head: Label,
+    exit: Label,
+}
+
+/// Open a `for counter in init..bound` loop (u32 comparison). The body is
+/// whatever the caller emits before the matching [`loop_end`].
+pub fn loop_begin(
+    b: &mut KernelBuilder,
+    init: impl Into<Operand>,
+    bound: impl Into<Operand>,
+) -> LoopCtx {
+    let counter = b.reg();
+    b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: counter, src: init.into() });
+    let head = b.new_label();
+    let exit = b.new_label();
+    b.place(head);
+    let done = b.setp(CmpOp::Ge, Type::U32, counter, bound);
+    b.bra_if(done, exit);
+    LoopCtx { counter, head, exit }
+}
+
+/// Close a loop: increment the counter and branch back.
+pub fn loop_end(b: &mut KernelBuilder, l: LoopCtx) {
+    b.push(gcl_ptx::Op::Alu {
+        op: gcl_ptx::AluOp::Add,
+        ty: Type::U32,
+        dst: l.counter,
+        a: l.counter.into(),
+        b: 1i64.into(),
+    });
+    b.bra(l.head);
+    b.place(l.exit);
+}
+
+/// Accumulate into an existing register: `acc = a * b + acc` (f32 FMA).
+pub fn fma_acc(b: &mut KernelBuilder, acc: Reg, x: impl Into<Operand>, y: impl Into<Operand>) {
+    b.push(gcl_ptx::Op::Mad {
+        ty: Type::F32,
+        dst: acc,
+        a: x.into(),
+        b: y.into(),
+        c: acc.into(),
+        wide: false,
+    });
+}
+
+/// In-place u32 add: `dst += v`.
+pub fn add_assign(b: &mut KernelBuilder, dst: Reg, v: impl Into<Operand>) {
+    b.push(gcl_ptx::Op::Alu {
+        op: gcl_ptx::AluOp::Add,
+        ty: Type::U32,
+        dst,
+        a: dst.into(),
+        b: v.into(),
+    });
+}
+
+/// Overwrite a register: `dst = v` (u32 move onto an existing register).
+pub fn mov_into(b: &mut KernelBuilder, ty: Type, dst: Reg, v: impl Into<Operand>) {
+    b.push(gcl_ptx::Op::Mov { ty, dst, src: v.into() });
+}
+
+/// A CTA-cooperative shared-memory tree reduction (f32 sum) over
+/// `n_threads` values already stored at `smem[4 * tid]`. Leaves the total in
+/// `smem[0]`; all threads synchronize before and after each step.
+/// `n_threads` must be a power of two.
+pub fn shared_reduce_f32(b: &mut KernelBuilder, tid: Reg, n_threads: u32) {
+    assert!(n_threads.is_power_of_two(), "reduction width must be a power of two");
+    let mut stride = n_threads / 2;
+    while stride > 0 {
+        b.bar();
+        let p = b.setp(CmpOp::Lt, Type::U32, tid, i64::from(stride));
+        let skip = b.new_label();
+        b.bra_unless(p, skip);
+        let my_off = b.mul(Type::U32, tid, 4i64);
+        let partner = b.add(Type::U32, tid, i64::from(stride));
+        let their_off = b.mul(Type::U32, partner, 4i64);
+        let mine = b.ld_shared(Type::F32, my_off);
+        let theirs = b.ld_shared(Type::F32, their_off);
+        let sum = b.add(Type::F32, mine, theirs);
+        b.st_shared(Type::F32, my_off, sum);
+        b.place(skip);
+        stride /= 2;
+    }
+    b.bar();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_sim::{pack_params, Dim3, Gpu, GpuConfig};
+
+    #[test]
+    fn counted_loop_runs_exact_trip_count() {
+        // out[tid] = sum of i for i in 2..7 = 20
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("out", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = gid_x(&mut b);
+        let acc = b.imm32(0);
+        let l = loop_begin(&mut b, 2i64, 7i64);
+        add_assign(&mut b, acc, l.counter);
+        loop_end(&mut b, l);
+        let a = b.index64(base, tid, 4);
+        b.st_global(Type::U32, a, acc);
+        b.exit();
+        let k = b.build().unwrap();
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let out = gpu.mem().alloc_array(Type::U32, 32);
+        let params = pack_params(&k, &[out]);
+        gpu.launch(&k, Dim3::x(1), Dim3::x(32), &params).unwrap();
+        assert!(gpu.mem().read_u32_slice(out, 32).iter().all(|&v| v == 20));
+    }
+
+    #[test]
+    fn exit_if_ge_masks_tail() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.param("out", Type::U64);
+        let n = b.param("n", Type::U32);
+        let base = b.ld_param(Type::U64, p);
+        let nv = b.ld_param(Type::U32, n);
+        let tid = gid_x(&mut b);
+        exit_if_ge(&mut b, tid, nv);
+        let a = b.index64(base, tid, 4);
+        b.st_global(Type::U32, a, 1i64);
+        b.exit();
+        let k = b.build().unwrap();
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let out = gpu.mem().alloc_array(Type::U32, 32);
+        let params = pack_params(&k, &[out, 10]);
+        gpu.launch(&k, Dim3::x(1), Dim3::x(32), &params).unwrap();
+        let v = gpu.mem().read_u32_slice(out, 32);
+        assert!(v[..10].iter().all(|&x| x == 1));
+        assert!(v[10..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn shared_reduction_sums_block() {
+        // Each thread writes tid as f32 into smem, reduce, thread 0 stores.
+        let nt = 64u32;
+        let mut b = KernelBuilder::new("k");
+        b.shared(4 * nt);
+        let p = b.param("out", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(Special::TidX);
+        let f = b.cvt(Type::F32, Type::U32, tid);
+        let off = b.mul(Type::U32, tid, 4i64);
+        b.st_shared(Type::F32, off, f);
+        shared_reduce_f32(&mut b, tid, nt);
+        let is0 = b.setp(CmpOp::Eq, Type::U32, tid, 0i64);
+        let skip = b.new_label();
+        b.bra_unless(is0, skip);
+        let zero = b.imm32(0);
+        let total = b.ld_shared(Type::F32, zero);
+        let a = b.index64(base, zero, 4);
+        b.st_global(Type::F32, a, total);
+        b.place(skip);
+        b.exit();
+        let k = b.build().unwrap();
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let out = gpu.mem().alloc_array(Type::F32, 1);
+        let params = pack_params(&k, &[out]);
+        gpu.launch(&k, Dim3::x(1), Dim3::x(nt), &params).unwrap();
+        let want: f32 = (0..nt).map(|v| v as f32).sum();
+        assert_eq!(gpu.mem().read_f32_slice(out, 1)[0], want);
+    }
+}

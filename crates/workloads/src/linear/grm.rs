@@ -1,0 +1,217 @@
+//! `grm` — modified Gram–Schmidt QR decomposition (PolyBench): a host loop
+//! over columns with a normalization kernel (CTA-cooperative shared-memory
+//! reduction) and an orthogonalization kernel (one CTA per remaining
+//! column).
+//!
+//! The matrix is stored column-major so column vectors are contiguous and
+//! loads coalesce — the behavior the paper attributes to linear algebra.
+
+use crate::gen;
+use crate::kutil::{exit_if_ge, loop_begin, loop_end, shared_reduce_f32};
+use crate::workload::{upload_f32, Category, RunResult, Runner, Workload};
+use gcl_ptx::{Kernel, KernelBuilder, SfuOp, Special, Type};
+use gcl_sim::{Gpu, SimError};
+
+/// Threads per CTA for both kernels (power of two for the reduction).
+const BLOCK: u32 = 64;
+
+/// The `grm` workload.
+#[derive(Debug, Clone)]
+pub struct Grm {
+    /// Matrix dimension (`n × n`, column-major).
+    pub n: u32,
+}
+
+impl Default for Grm {
+    fn default() -> Grm {
+        Grm { n: 40 }
+    }
+}
+
+impl Grm {
+    /// A tiny instance for tests.
+    pub fn tiny() -> Grm {
+        Grm { n: 10 }
+    }
+
+    /// Normalize column `k`: `q[:,k] = a[:,k] / ||a[:,k]||`, computed by one
+    /// CTA with a strided-partials shared reduction.
+    pub fn norm_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("grm_norm");
+        b.shared(4 * BLOCK);
+        let pa = b.param("a", Type::U64);
+        let pq = b.param("q", Type::U64);
+        let pn = b.param("n", Type::U32);
+        let pk = b.param("k", Type::U32);
+        let a_base = b.ld_param(Type::U64, pa);
+        let q_base = b.ld_param(Type::U64, pq);
+        let n = b.ld_param(Type::U32, pn);
+        let k = b.ld_param(Type::U32, pk);
+        let tid = b.sreg(Special::TidX);
+        // Column base index = k * n.
+        let col0 = b.mul(Type::U32, k, n);
+        // Strided partial sum of squares.
+        let acc = b.immf32(0.0);
+        let l = loop_begin(&mut b, tid, n);
+        let idx = b.add(Type::U32, col0, l.counter);
+        let aa = b.index64(a_base, idx, 4);
+        let v = b.ld_global(Type::F32, aa);
+        crate::kutil::fma_acc(&mut b, acc, v, v);
+        crate::kutil::add_assign(&mut b, l.counter, i64::from(BLOCK) - 1);
+        loop_end(&mut b, l);
+        let soff = b.mul(Type::U32, tid, 4i64);
+        b.st_shared(Type::F32, soff, acc);
+        shared_reduce_f32(&mut b, tid, BLOCK);
+        let zero = b.imm32(0);
+        let total = b.ld_shared(Type::F32, zero);
+        let inv_norm = b.sfu(SfuOp::Rsqrt, Type::F32, total);
+        // q[:,k] = a[:,k] * inv_norm (strided over rows).
+        let l2 = loop_begin(&mut b, tid, n);
+        let idx = b.add(Type::U32, col0, l2.counter);
+        let aa = b.index64(a_base, idx, 4);
+        let v = b.ld_global(Type::F32, aa);
+        let qv = b.mul(Type::F32, v, inv_norm);
+        let qa = b.index64(q_base, idx, 4);
+        b.st_global(Type::F32, qa, qv);
+        crate::kutil::add_assign(&mut b, l2.counter, i64::from(BLOCK) - 1);
+        loop_end(&mut b, l2);
+        b.exit();
+        b.build().expect("grm norm kernel is valid")
+    }
+
+    /// Orthogonalize the trailing columns against `q[:,k]`: CTA `c` handles
+    /// column `j = k + 1 + ctaid.x`, computing `r = q_k · a_j` by shared
+    /// reduction and then `a_j -= r * q_k`.
+    pub fn ortho_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("grm_ortho");
+        b.shared(4 * BLOCK);
+        let pa = b.param("a", Type::U64);
+        let pq = b.param("q", Type::U64);
+        let pn = b.param("n", Type::U32);
+        let pk = b.param("k", Type::U32);
+        let a_base = b.ld_param(Type::U64, pa);
+        let q_base = b.ld_param(Type::U64, pq);
+        let n = b.ld_param(Type::U32, pn);
+        let k = b.ld_param(Type::U32, pk);
+        let tid = b.sreg(Special::TidX);
+        let cta = b.sreg(Special::CtaIdX);
+        let j0 = b.add(Type::U32, cta, k);
+        let j = b.add(Type::U32, j0, 1i64);
+        exit_if_ge(&mut b, j, n);
+        let qcol0 = b.mul(Type::U32, k, n);
+        let acol0 = b.mul(Type::U32, j, n);
+        // Partial dot product.
+        let acc = b.immf32(0.0);
+        let l = loop_begin(&mut b, tid, n);
+        let qi = b.add(Type::U32, qcol0, l.counter);
+        let qa = b.index64(q_base, qi, 4);
+        let qv = b.ld_global(Type::F32, qa);
+        let ai = b.add(Type::U32, acol0, l.counter);
+        let aa = b.index64(a_base, ai, 4);
+        let av = b.ld_global(Type::F32, aa);
+        crate::kutil::fma_acc(&mut b, acc, qv, av);
+        crate::kutil::add_assign(&mut b, l.counter, i64::from(BLOCK) - 1);
+        loop_end(&mut b, l);
+        let soff = b.mul(Type::U32, tid, 4i64);
+        b.st_shared(Type::F32, soff, acc);
+        shared_reduce_f32(&mut b, tid, BLOCK);
+        let zero = b.imm32(0);
+        let r = b.ld_shared(Type::F32, zero);
+        // a_j -= r * q_k
+        let neg_r = b.sub(Type::F32, gcl_ptx::Operand::f32(0.0), r);
+        let l2 = loop_begin(&mut b, tid, n);
+        let qi = b.add(Type::U32, qcol0, l2.counter);
+        let qa = b.index64(q_base, qi, 4);
+        let qv = b.ld_global(Type::F32, qa);
+        let ai = b.add(Type::U32, acol0, l2.counter);
+        let aa = b.index64(a_base, ai, 4);
+        let av = b.ld_global(Type::F32, aa);
+        let delta = b.mul(Type::F32, neg_r, qv);
+        let next = b.add(Type::F32, av, delta);
+        b.st_global(Type::F32, aa, next);
+        crate::kutil::add_assign(&mut b, l2.counter, i64::from(BLOCK) - 1);
+        loop_end(&mut b, l2);
+        b.exit();
+        b.build().expect("grm ortho kernel is valid")
+    }
+
+    /// Host-side check: columns of Q are orthonormal.
+    pub fn q_is_orthonormal(q: &[f32], n: usize, tol: f32) -> bool {
+        for i in 0..n {
+            for j in i..n {
+                let dot: f32 =
+                    (0..n).map(|r| q[i * n + r] * q[j * n + r]).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                if (dot - want).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Workload for Grm {
+    fn name(&self) -> &'static str {
+        "grm"
+    }
+
+    fn category(&self) -> Category {
+        Category::Linear
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
+        let n = self.n as usize;
+        // Column-major matrix.
+        let a = gen::dense_matrix(n, n, 0x9233);
+        let da = upload_f32(gpu, &a);
+        let dq = gpu.mem().alloc_array(Type::F32, (n * n) as u64);
+        let norm = Grm::norm_kernel();
+        let ortho = Grm::ortho_kernel();
+        let mut r = Runner::new();
+        for k in 0..self.n {
+            r.launch(gpu, &norm, 1u32, BLOCK, &[da, dq, u64::from(self.n), u64::from(k)])?;
+            if k + 1 < self.n {
+                let cols = self.n - k - 1;
+                r.launch(gpu, &ortho, cols, BLOCK, &[da, dq, u64::from(self.n), u64::from(k)])?;
+            }
+        }
+        Ok(r.finish(self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_core::classify;
+    use gcl_sim::{GpuConfig, HEAP_BASE};
+
+    #[test]
+    fn loads_are_deterministic() {
+        for k in [Grm::norm_kernel(), Grm::ortho_kernel()] {
+            let c = classify(&k);
+            assert_eq!(c.global_load_counts().1, 0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn produces_orthonormal_q() {
+        let w = Grm::tiny();
+        let n = w.n as usize;
+        let mut gpu = Gpu::new(GpuConfig::small());
+        w.run(&mut gpu).unwrap();
+        // Q is the second allocation: A occupies n*n f32 rounded to 128.
+        let a_bytes = ((n * n * 4) as u64).div_ceil(128) * 128;
+        let dq = HEAP_BASE + a_bytes;
+        let q = gpu.mem_ref().read_f32_slice(dq, n * n);
+        assert!(Grm::q_is_orthonormal(&q, n, 2e-2), "Q not orthonormal: {q:?}");
+    }
+
+    #[test]
+    fn uses_shared_memory_heavily() {
+        let w = Grm::tiny();
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let res = w.run(&mut gpu).unwrap();
+        assert!(res.stats.sm.shared_load_warps > 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! The linear-algebra workloads of Table I: `2mm`, `gaus`, `grm`, `lu`,
+//! `spmv`.
+
+mod gaus;
+mod grm;
+mod lu;
+mod mm2;
+mod spmv;
+
+pub use gaus::Gaus;
+pub use grm::Grm;
+pub use lu::Lu;
+pub use mm2::Mm2;
+pub use spmv::Spmv;

@@ -1,0 +1,177 @@
+//! `spmv` — sparse matrix × dense vector in CSR form (Parboil): the one
+//! linear-algebra workload with non-deterministic loads. The row bounds come
+//! from `row_ptr` (deterministic), but the loop counter they initialize is
+//! load-derived, so the `val`, `col_idx` and gathered `x[col]` loads are all
+//! non-deterministic — exactly the paper's account of spmv.
+
+use crate::gen;
+use crate::graph::Csr;
+use crate::kutil::{exit_if_ge, fma_acc, gid_x, loop_begin, loop_end};
+use crate::workload::{upload_f32, upload_u32, Category, RunResult, Runner, Workload};
+use gcl_ptx::{Kernel, KernelBuilder, Type};
+use gcl_sim::{Gpu, SimError};
+
+/// The `spmv` workload.
+#[derive(Debug, Clone)]
+pub struct Spmv {
+    /// Number of matrix rows.
+    pub n: u32,
+    /// Mean nonzeros per row.
+    pub nnz_per_row: u32,
+    /// Threads per CTA (paper: 192).
+    pub block: u32,
+}
+
+impl Default for Spmv {
+    fn default() -> Spmv {
+        Spmv { n: 4096, nnz_per_row: 24, block: 192 }
+    }
+}
+
+impl Spmv {
+    /// A tiny instance for tests.
+    pub fn tiny() -> Spmv {
+        Spmv { n: 96, nnz_per_row: 4, block: 32 }
+    }
+
+    /// The CSR `y = A·x` kernel.
+    pub fn kernel() -> Kernel {
+        let mut b = KernelBuilder::new("spmv_csr");
+        let prp = b.param("row_ptr", Type::U64);
+        let pci = b.param("col_idx", Type::U64);
+        let pv = b.param("val", Type::U64);
+        let px = b.param("x", Type::U64);
+        let py = b.param("y", Type::U64);
+        let pn = b.param("n", Type::U32);
+        let rp = b.ld_param(Type::U64, prp);
+        let ci = b.ld_param(Type::U64, pci);
+        let val = b.ld_param(Type::U64, pv);
+        let x = b.ld_param(Type::U64, px);
+        let y = b.ld_param(Type::U64, py);
+        let n = b.ld_param(Type::U32, pn);
+        let row = gid_x(&mut b);
+        exit_if_ge(&mut b, row, n);
+        // lo = row_ptr[row], hi = row_ptr[row+1]  (deterministic loads)
+        let rpa = b.index64(rp, row, 4);
+        let lo = b.ld_global(Type::U32, rpa);
+        let row1 = b.add(Type::U32, row, 1i64);
+        let rpa1 = b.index64(rp, row1, 4);
+        let hi = b.ld_global(Type::U32, rpa1);
+        let acc = b.immf32(0.0);
+        // j runs lo..hi — load-derived, so everything it indexes is
+        // non-deterministic.
+        let l = loop_begin(&mut b, lo, hi);
+        let ca = b.index64(ci, l.counter, 4);
+        let col = b.ld_global(Type::U32, ca);
+        let va = b.index64(val, l.counter, 4);
+        let v = b.ld_global(Type::F32, va);
+        let xa = b.index64(x, col, 4);
+        let xv = b.ld_global(Type::F32, xa);
+        fma_acc(&mut b, acc, v, xv);
+        loop_end(&mut b, l);
+        let ya = b.index64(y, row, 4);
+        b.st_global(Type::F32, ya, acc);
+        b.exit();
+        b.build().expect("spmv kernel is valid")
+    }
+
+    fn matrix(&self) -> Csr {
+        Csr::uniform(self.n as usize, self.nnz_per_row as usize, 0x57B7)
+    }
+
+    /// Host reference.
+    pub fn reference(csr: &Csr, vals: &[f32], x: &[f32]) -> Vec<f32> {
+        (0..csr.n())
+            .map(|r| {
+                let lo = csr.row_ptr[r] as usize;
+                let hi = csr.row_ptr[r + 1] as usize;
+                let mut acc = 0.0f32;
+                for j in lo..hi {
+                    acc = vals[j] * x[csr.col_idx[j] as usize] + acc;
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+impl Workload for Spmv {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+
+    fn category(&self) -> Category {
+        Category::Linear
+    }
+
+    fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
+        let csr = self.matrix();
+        let vals = gen::dense_vector(csr.m(), 0.1, 1.0, 0x57B8);
+        let x = gen::dense_vector(csr.n(), 0.1, 1.0, 0x57B9);
+        let drp = upload_u32(gpu, &csr.row_ptr);
+        let dci = upload_u32(gpu, &csr.col_idx);
+        let dval = upload_f32(gpu, &vals);
+        let dx = upload_f32(gpu, &x);
+        let dy = gpu.mem().alloc_array(Type::F32, csr.n() as u64);
+        let k = Spmv::kernel();
+        let mut r = Runner::new();
+        r.launch(gpu, &k, self.n.div_ceil(self.block), self.block, &[drp, dci, dval, dx, dy, u64::from(self.n)])?;
+        Ok(r.finish(self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_core::{classify, LoadClass};
+    use gcl_sim::GpuConfig;
+
+    #[test]
+    fn classification_mixes_d_and_n() {
+        let c = classify(&Spmv::kernel());
+        let (d, n) = c.global_load_counts();
+        // row_ptr loads are deterministic; col/val/x are not.
+        assert_eq!(d, 2, "{c:?}");
+        assert_eq!(n, 3, "{c:?}");
+    }
+
+    #[test]
+    fn matches_host_reference() {
+        let w = Spmv::tiny();
+        let csr = w.matrix();
+        let vals = gen::dense_vector(csr.m(), 0.1, 1.0, 0x57B8);
+        let x = gen::dense_vector(csr.n(), 0.1, 1.0, 0x57B9);
+        let want = Spmv::reference(&csr, &vals, &x);
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let res = w.run(&mut gpu).unwrap();
+        // y is the last allocation; recompute its address by sizes.
+        let align = |x: u64| x.div_ceil(128) * 128;
+        let mut addr = gcl_sim::HEAP_BASE;
+        for bytes in [
+            (csr.row_ptr.len() * 4) as u64,
+            (csr.col_idx.len() * 4) as u64,
+            (vals.len() * 4) as u64,
+            (x.len() * 4) as u64,
+        ] {
+            addr = align(addr) + bytes;
+        }
+        let dy = align(addr);
+        let got = gpu.mem_ref().read_f32_slice(dy, csr.n());
+        for (i, (g, w_)) in got.iter().zip(want.iter()).enumerate() {
+            assert!((g - w_).abs() <= w_.abs() * 1e-4 + 1e-4, "y[{i}] = {g}, want {w_}");
+        }
+        // Dynamic execution saw both load classes.
+        assert!(res.stats.class(LoadClass::Deterministic).warp_loads > 0);
+        assert!(res.stats.class(LoadClass::NonDeterministic).warp_loads > 0);
+    }
+
+    #[test]
+    fn nondet_loads_generate_more_requests_per_warp() {
+        let w = Spmv::tiny();
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let res = w.run(&mut gpu).unwrap();
+        let d = res.stats.class(LoadClass::Deterministic).requests_per_warp();
+        let n = res.stats.class(LoadClass::NonDeterministic).requests_per_warp();
+        assert!(n > d, "N {n} should exceed D {d}");
+    }
+}

@@ -1,0 +1,173 @@
+//! The workload abstraction: a host program that allocates inputs, launches
+//! kernels (possibly in a loop) and returns merged statistics.
+
+use gcl_ptx::Kernel;
+use gcl_sim::{pack_params, Dim3, Gpu, LaunchStats, SimError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's three application categories (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Linear-algebra kernels (2mm, gaus, grm, lu, spmv).
+    Linear,
+    /// Image-processing kernels (htw, mriq, dwt, bpr, srad).
+    Image,
+    /// Graph kernels (bfs, sssp, ccl, mst, mis).
+    Graph,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Linear => write!(f, "Linear"),
+            Category::Image => write!(f, "Image"),
+            Category::Graph => write!(f, "Graph"),
+        }
+    }
+}
+
+/// Result of running one workload end to end.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Statistics merged over every kernel launch.
+    pub stats: LaunchStats,
+    /// Total CTAs launched (Table I "No. of CTAs").
+    pub total_ctas: u64,
+    /// Threads per CTA (Table I).
+    pub threads_per_cta: u32,
+    /// The distinct kernels the workload ran (for static classification).
+    pub kernels: Vec<Kernel>,
+}
+
+/// A benchmark: owns its input sizes and drives its own host loop.
+pub trait Workload {
+    /// Short benchmark name as in the paper's Table I (`"bfs"`, `"2mm"`, ...).
+    fn name(&self) -> &'static str;
+    /// The application category.
+    fn category(&self) -> Category;
+    /// Run to completion on `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (timeouts, CTA sizing).
+    fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError>;
+}
+
+/// Helper that merges stats over a workload's kernel launches.
+#[derive(Debug, Default)]
+pub struct Runner {
+    stats: LaunchStats,
+    total_ctas: u64,
+    threads_per_cta: u32,
+    kernels: Vec<Kernel>,
+}
+
+impl Runner {
+    /// A fresh runner.
+    pub fn new() -> Runner {
+        Runner::default()
+    }
+
+    /// Launch `kernel` and fold its statistics in. `params` holds one raw
+    /// 64-bit value per kernel parameter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the launch.
+    pub fn launch(
+        &mut self,
+        gpu: &mut Gpu,
+        kernel: &Kernel,
+        grid: impl Into<Dim3>,
+        block: impl Into<Dim3>,
+        params: &[u64],
+    ) -> Result<(), SimError> {
+        let grid = grid.into();
+        let block = block.into();
+        let packed = pack_params(kernel, params);
+        let stats = gpu.launch(kernel, grid, block, &packed)?;
+        self.stats.merge(&stats);
+        self.total_ctas += grid.count();
+        self.threads_per_cta = block.count() as u32;
+        if !self.kernels.iter().any(|k| k.name() == kernel.name()) {
+            self.kernels.push(kernel.clone());
+        }
+        Ok(())
+    }
+
+    /// Finish, naming the merged stats after the workload.
+    pub fn finish(mut self, name: &str) -> RunResult {
+        self.stats.name = name.to_string();
+        RunResult {
+            stats: self.stats,
+            total_ctas: self.total_ctas,
+            threads_per_cta: self.threads_per_cta,
+            kernels: self.kernels,
+        }
+    }
+}
+
+/// Upload a `u32` slice to device memory; returns its address.
+pub fn upload_u32(gpu: &mut Gpu, data: &[u32]) -> u64 {
+    let addr = gpu.mem().alloc_array(gcl_ptx::Type::U32, data.len() as u64);
+    gpu.mem().write_u32_slice(addr, data);
+    addr
+}
+
+/// Upload an `f32` slice to device memory; returns its address.
+pub fn upload_f32(gpu: &mut Gpu, data: &[f32]) -> u64 {
+    let addr = gpu.mem().alloc_array(gcl_ptx::Type::F32, data.len() as u64);
+    gpu.mem().write_f32_slice(addr, data);
+    addr
+}
+
+/// Allocate `n` zeroed `u32` words on the device.
+pub fn alloc_u32(gpu: &mut Gpu, n: u64) -> u64 {
+    gpu.mem().alloc_array(gcl_ptx::Type::U32, n)
+}
+
+/// Allocate `n` zeroed `f32` words on the device.
+pub fn alloc_f32(gpu: &mut Gpu, n: u64) -> u64 {
+    gpu.mem().alloc_array(gcl_ptx::Type::F32, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_ptx::{KernelBuilder, Type};
+    use gcl_sim::GpuConfig;
+
+    #[test]
+    fn runner_merges_launches() {
+        let mut b = KernelBuilder::new("touch");
+        let p = b.param("buf", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.thread_linear_id();
+        let a = b.index64(base, tid, 4);
+        b.st_global(Type::U32, a, tid);
+        b.exit();
+        let k = b.build().unwrap();
+
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let buf = alloc_u32(&mut gpu, 64);
+        let mut r = Runner::new();
+        r.launch(&mut gpu, &k, 2u32, 32u32, &[buf]).unwrap();
+        r.launch(&mut gpu, &k, 2u32, 32u32, &[buf]).unwrap();
+        let res = r.finish("touch-twice");
+        assert_eq!(res.stats.launches, 2);
+        assert_eq!(res.total_ctas, 4);
+        assert_eq!(res.threads_per_cta, 32);
+        assert_eq!(res.kernels.len(), 1);
+        assert_eq!(res.stats.name, "touch-twice");
+    }
+
+    #[test]
+    fn upload_round_trips() {
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let a = upload_u32(&mut gpu, &[5, 6, 7]);
+        assert_eq!(gpu.mem().read_u32_slice(a, 3), vec![5, 6, 7]);
+        let f = upload_f32(&mut gpu, &[1.5, 2.5]);
+        assert_eq!(gpu.mem().read_f32_slice(f, 2), vec![1.5, 2.5]);
+    }
+}

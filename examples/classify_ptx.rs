@@ -1,0 +1,95 @@
+//! Classify loads in a textual PTX-subset kernel — the paper's Code 1
+//! (`bfs`) as it would come out of a compiler, fed to the offline analysis.
+//!
+//! ```text
+//! cargo run --example classify_ptx
+//! ```
+
+use gcl::prelude::*;
+
+/// The paper's Code 1, lowered the way NVCC would:
+///
+/// ```c
+/// int tid = blockIdx.x * MAX_THREADS_PER_BLOCK + threadIdx.x;
+/// if (tid < no_of_nodes && g_graph_mask[tid]) {
+///     g_graph_mask[tid] = false;
+///     for (int i = g_graph_nodes[tid].starting; ...) {
+///         int id = g_graph_edges[i];
+///         if (!g_graph_visited[id]) ...
+///     }
+/// }
+/// ```
+const BFS_PTX: &str = r#"
+.entry bfs_code1 (
+  .param .u64 g_graph_mask, .param .u64 g_graph_nodes,
+  .param .u64 g_graph_edges, .param .u64 g_graph_visited,
+  .param .u32 no_of_nodes
+)
+{
+  ld.param.u64 %rd1, [g_graph_mask];
+  ld.param.u64 %rd2, [g_graph_nodes];
+  ld.param.u64 %rd3, [g_graph_edges];
+  ld.param.u64 %rd4, [g_graph_visited];
+  ld.param.u32 %r1, [no_of_nodes];
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ntid.x;
+  mov.u32 %r4, %tid.x;
+  mad.lo.u32 %r5, %r2, %r3, %r4;          // tid
+  setp.ge.u32 %p1, %r5, %r1;
+@%p1 bra DONE;
+  mul.wide.u32 %rd5, %r5, 4;
+  add.u64 %rd6, %rd1, %rd5;
+  ld.global.u32 %r6, [%rd6];              // g_graph_mask[tid]      (D)
+  setp.eq.u32 %p2, %r6, 0;
+@%p2 bra DONE;
+  st.global.u32 [%rd6], 0;                // g_graph_mask[tid] = false
+  mul.wide.u32 %rd7, %r5, 8;              // nodes[tid] = {start, degree}
+  add.u64 %rd8, %rd2, %rd7;
+  ld.global.u32 %r7, [%rd8];              // start                  (D)
+  ld.global.u32 %r8, [%rd8+4];            // degree                 (D)
+  add.u32 %r9, %r7, %r8;                  // end
+  mov.u32 %r10, %r7;                      // i = start
+LOOP:
+  setp.ge.u32 %p3, %r10, %r9;
+@%p3 bra DONE;
+  mul.wide.u32 %rd9, %r10, 4;
+  add.u64 %rd10, %rd3, %rd9;
+  ld.global.u32 %r11, [%rd10];            // id = g_graph_edges[i]  (N)
+  mul.wide.u32 %rd11, %r11, 4;
+  add.u64 %rd12, %rd4, %rd11;
+  ld.global.u32 %r12, [%rd12];            // g_graph_visited[id]    (N)
+  add.u32 %r10, %r10, 1;
+  bra LOOP;
+DONE:
+  exit;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = parse_kernel(BFS_PTX)?;
+    println!("parsed `{}`: {} instructions, {} params", kernel.name(), kernel.insts().len(),
+             kernel.params().len());
+
+    let classes = classify(&kernel);
+    let (d, n) = classes.global_load_counts();
+    println!("\nglobal loads: {d} deterministic, {n} non-deterministic\n");
+
+    for load in classes.global_loads() {
+        let inst = &kernel.insts()[load.pc];
+        println!("pc {:>2}  {:<34} -> {}", load.pc, inst.to_string(), load.class);
+        if !load.witness.is_empty() {
+            let chain: Vec<String> = load
+                .witness
+                .iter()
+                .map(|&pc| format!("{}", kernel.insts()[pc].op))
+                .collect();
+            println!("        taint chain: {}", chain.join("  <-  "));
+        }
+    }
+
+    // The paper's claim, checked mechanically: the mask/nodes loads are
+    // deterministic; the edge and visited gathers are not.
+    assert_eq!((d, n), (3, 2));
+    println!("\nmatches the paper's Code 1 discussion ✔");
+    Ok(())
+}

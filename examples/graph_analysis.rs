@@ -1,0 +1,95 @@
+//! Full per-load-class characterization of one graph application (`bfs`),
+//! reproducing the paper's analysis pipeline on a single workload: load
+//! distribution, requests per warp, L1 cycle breakdown, turnaround
+//! components and inter-CTA locality.
+//!
+//! ```text
+//! cargo run --release --example graph_analysis
+//! ```
+
+use gcl::mem::AccessOutcome;
+use gcl::prelude::*;
+use gcl_workloads::graph_apps::Bfs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Bfs { scale: 11, edge_factor: 8, block: 512, source: 0 };
+    let cfg = GpuConfig::fermi();
+    let mut gpu = Gpu::new(cfg.clone());
+    let run = workload.run(&mut gpu)?;
+    let stats = &run.stats;
+
+    println!("bfs on a 2^{}-vertex R-MAT graph", workload.scale);
+    println!(
+        "  {} launches, {} cycles, {} warp instructions",
+        stats.launches, stats.cycles, stats.sm.warp_insts
+    );
+
+    // Figure 1 view: load class distribution.
+    println!("\nload distribution (dynamic warp loads):");
+    for class in [LoadClass::Deterministic, LoadClass::NonDeterministic] {
+        let agg = stats.class(class);
+        println!(
+            "  {class:<17}: {:>6} warp loads  {:>5.2} req/warp  {:>5.2} req/active thread",
+            agg.warp_loads,
+            agg.requests_per_warp(),
+            agg.requests_per_active_thread()
+        );
+    }
+
+    // Figure 3 view: where L1 cycles went.
+    println!("\nL1 cache cycles:");
+    let total: u64 = AccessOutcome::ALL.iter().map(|o| stats.l1.outcome_total(*o)).sum();
+    for (o, label) in [
+        (AccessOutcome::Hit, "hit"),
+        (AccessOutcome::HitReserved, "hit reserved"),
+        (AccessOutcome::MissIssued, "miss"),
+        (AccessOutcome::ReservationFailTags, "rsrv fail (tags)"),
+        (AccessOutcome::ReservationFailMshr, "rsrv fail (MSHR)"),
+        (AccessOutcome::ReservationFailIcnt, "rsrv fail (icnt)"),
+    ] {
+        println!(
+            "  {label:<17}: {:>6.2}%",
+            stats.l1.outcome_total(o) as f64 / total as f64 * 100.0
+        );
+    }
+
+    // Figure 5 view: turnaround components.
+    println!("\nturnaround components (mean cycles):");
+    for class in [LoadClass::Deterministic, LoadClass::NonDeterministic] {
+        let a = stats.class(class);
+        println!(
+            "  {class:<17}: total {:>7.1} = wait-prev {:>6.1} + wait-own {:>5.1} + memory {:>7.1}",
+            a.turnaround.mean(),
+            a.wait_prev_warps.mean(),
+            a.wait_current_warp.mean(),
+            a.memory_time.mean()
+        );
+    }
+
+    // Tail latency: the paper's mean-based Figure 5, extended with the
+    // distribution the histogram gives us for free.
+    println!("\nturnaround tails (upper bounds):");
+    for class in [LoadClass::Deterministic, LoadClass::NonDeterministic] {
+        let h = &stats.class(class).turnaround_hist;
+        println!(
+            "  {class:<17}: p50 ≤ {:>5}  p95 ≤ {:>5}  p99 ≤ {:>5}",
+            h.percentile(0.5),
+            h.percentile(0.95),
+            h.percentile(0.99)
+        );
+    }
+
+    // Figures 10–12 view: the hidden locality.
+    let blocks = gpu.block_summary();
+    println!("\ninter-CTA locality:");
+    println!("  cold-miss ratio            : {:>6.2}%", blocks.cold_miss_ratio * 100.0);
+    println!("  mean accesses per block    : {:>6.1}", blocks.mean_accesses_per_block);
+    println!("  blocks shared by 2+ CTAs   : {:>6.2}%", blocks.shared_block_ratio * 100.0);
+    println!("  accesses to shared blocks  : {:>6.2}%", blocks.shared_access_ratio * 100.0);
+    println!("  mean CTAs per shared block : {:>6.1}", blocks.mean_ctas_per_shared_block);
+
+    let hist = gpu.distance_histogram();
+    let near: f64 = hist.iter().filter(|(d, _)| *d <= 4).map(|(_, f)| f).sum();
+    println!("  shared accesses at CTA distance ≤ 4: {:.2}%", near * 100.0);
+    Ok(())
+}

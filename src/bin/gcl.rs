@@ -1,0 +1,225 @@
+//! `gcl` — command-line front end for the toolkit.
+//!
+//! ```text
+//! gcl classify <kernel.ptx> [--json]       classify loads, print witnesses
+//! gcl disasm   <kernel.ptx>                parse and re-print (normalize)
+//! gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param V]...
+//!                                          simulate one launch, print stats
+//! gcl suite    [--tiny]                    run the 15-benchmark suite
+//! ```
+
+use gcl::prelude::*;
+use gcl_core::LoadClass;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gcl — GPU critical-load classification and simulation
+
+USAGE:
+  gcl classify <kernel.ptx> [--json]
+  gcl disasm   <kernel.ptx>
+  gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param VALUE]...
+  gcl suite    [--tiny]
+
+`classify` runs the paper's backward-dataflow analysis and prints each
+global load's class and (for non-deterministic loads) the def-chain back to
+the tainting load. `run` simulates one launch on the Fermi configuration;
+each --alloc allocates a zeroed device buffer and passes its address as the
+next kernel parameter, each --param passes a raw integer.
+";
+
+fn load_kernel(path: &str) -> Result<Kernel, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    parse_kernel(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_module(path: &str) -> Result<Vec<Kernel>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    gcl::ptx::parse_module(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("classify: missing <kernel.ptx>")?;
+    let json = args.iter().any(|a| a == "--json");
+    let kernels = load_module(path)?;
+    for (i, kernel) in kernels.iter().enumerate() {
+        let classes = classify(kernel);
+        if json {
+            let out = serde_json::to_string_pretty(&classes)
+                .map_err(|e| format!("serialization failed: {e}"))?;
+            println!("{out}");
+            continue;
+        }
+        if i > 0 {
+            println!();
+        }
+        let (d, n) = classes.global_load_counts();
+        println!(
+            "kernel `{}`: {} global loads ({d} deterministic, {n} non-deterministic)\n",
+            kernel.name(),
+            d + n
+        );
+        for load in classes.global_loads() {
+            let inst = &kernel.insts()[load.pc];
+            println!("pc {:>3}  {:<40} {}", load.pc, inst.to_string(), load.class);
+            if !load.witness.is_empty() {
+                for (j, &pc) in load.witness.iter().enumerate().skip(1) {
+                    println!(
+                        "        {:indent$}<- {}",
+                        "",
+                        kernel.insts()[pc].op,
+                        indent = j * 2
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("disasm: missing <kernel.ptx>")?;
+    for kernel in load_module(path)? {
+        print!("{kernel}");
+    }
+    Ok(())
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    v.map_err(|e| format!("bad integer `{s}`: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run: missing <kernel.ptx>")?;
+    let kernel = load_kernel(path)?;
+    let mut grid = 1u32;
+    let mut block = 32u32;
+    let mut gpu = Gpu::new(GpuConfig::fermi());
+    let mut params: Vec<u64> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--grid" => {
+                i += 1;
+                grid = parse_u64(args.get(i).ok_or("--grid needs a value")?)? as u32;
+            }
+            "--block" => {
+                i += 1;
+                block = parse_u64(args.get(i).ok_or("--block needs a value")?)? as u32;
+            }
+            "--alloc" => {
+                i += 1;
+                let bytes = parse_u64(args.get(i).ok_or("--alloc needs a value")?)?;
+                params.push(gpu.mem().alloc(bytes, 128));
+            }
+            "--param" => {
+                i += 1;
+                params.push(parse_u64(args.get(i).ok_or("--param needs a value")?)?);
+            }
+            other => return Err(format!("run: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if params.len() != kernel.params().len() {
+        return Err(format!(
+            "kernel `{}` takes {} parameters; {} provided (use --alloc/--param)",
+            kernel.name(),
+            kernel.params().len(),
+            params.len()
+        ));
+    }
+    let packed = pack_params(&kernel, &params);
+    let stats = gpu
+        .launch(&kernel, Dim3::x(grid), Dim3::x(block), &packed)
+        .map_err(|e| e.to_string())?;
+    println!("kernel `{}`: {} CTAs x {} threads", kernel.name(), grid, block);
+    println!("cycles             {}", stats.cycles);
+    println!("warp instructions  {}", stats.sm.warp_insts);
+    println!("IPC                {:.3}", stats.sm.warp_insts as f64 / stats.cycles as f64);
+    let p = stats.profiler();
+    println!("global load warps  {} (N fraction {:.1}%)",
+        p.gld_request, stats.nondet_load_fraction() * 100.0);
+    println!("L1 miss ratio      {:.1}%", p.l1_miss_ratio() * 100.0);
+    for class in [LoadClass::Deterministic, LoadClass::NonDeterministic] {
+        let a = stats.class(class);
+        if a.warp_loads == 0 {
+            continue;
+        }
+        println!(
+            "{class:<18} {:.2} req/warp, turnaround {:.1} cycles",
+            a.requests_per_warp(),
+            a.turnaround.mean()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let workloads = if tiny {
+        gcl::workloads::tiny_workloads()
+    } else {
+        gcl::workloads::all_workloads()
+    };
+    println!(
+        "{:6} {:7} {:>9} {:>11} {:>9} {:>6} {:>9}",
+        "name", "cat", "cycles", "warp insts", "gld", "N%", "L1 miss%"
+    );
+    for w in workloads {
+        let mut gpu = Gpu::new(if tiny { GpuConfig::small() } else { GpuConfig::fermi() });
+        let run = w.run(&mut gpu).map_err(|e| format!("{}: {e}", w.name()))?;
+        let p = run.stats.profiler();
+        println!(
+            "{:6} {:7} {:>9} {:>11} {:>9} {:>5.1} {:>9.1}",
+            w.name(),
+            w.category().to_string(),
+            run.stats.cycles,
+            run.stats.sm.warp_insts,
+            p.gld_request,
+            run.stats.nondet_load_fraction() * 100.0,
+            p.l1_miss_ratio() * 100.0,
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_u64;
+
+    #[test]
+    fn integers_parse_in_both_bases() {
+        assert_eq!(parse_u64("42").unwrap(), 42);
+        assert_eq!(parse_u64("0x2a").unwrap(), 42);
+        assert!(parse_u64("nope").is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests asserting the paper's key observations
+//! hold end-to-end on (tiny-scale) runs of the actual workloads.
+
+use gcl::prelude::*;
+use gcl_core::LoadClass;
+use gcl_mem::{AccessOutcome, ClassTag};
+use gcl_workloads::{graph_apps, linear, tiny_workloads};
+
+fn run_tiny(w: &dyn Workload) -> (RunResult, gcl::sim::Gpu) {
+    let mut gpu = Gpu::new(GpuConfig::small());
+    let run = w.run(&mut gpu).unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+    (run, gpu)
+}
+
+/// Observation (Section II): "Even in an application that has highly
+/// irregular memory access patterns not all load instructions are
+/// uncoalesced" — graph kernels still have a substantial share of static
+/// deterministic loads.
+#[test]
+fn graph_kernels_keep_static_deterministic_loads() {
+    let k = graph_apps::Bfs::expand_kernel();
+    let (d, n) = gcl_core::classify(&k).global_load_counts();
+    assert!(d > n, "bfs expand: {d} deterministic vs {n} non-deterministic");
+    let k = graph_apps::Sssp::relax_kernel();
+    let (d, n) = gcl_core::classify(&k).global_load_counts();
+    assert!(d >= n - 1, "sssp relax: {d} vs {n}");
+}
+
+/// Observation (Section VI / Figure 2): non-deterministic loads generate
+/// more memory requests per warp than deterministic loads, in every
+/// workload that has both.
+#[test]
+fn nondet_loads_generate_more_requests_per_warp() {
+    for w in tiny_workloads() {
+        let (run, _) = run_tiny(w.as_ref());
+        let d = run.stats.class(LoadClass::Deterministic);
+        let n = run.stats.class(LoadClass::NonDeterministic);
+        if d.warp_loads == 0 || n.warp_loads == 0 {
+            continue;
+        }
+        assert!(
+            n.requests_per_warp() >= d.requests_per_warp(),
+            "{}: N {} < D {}",
+            w.name(),
+            n.requests_per_warp(),
+            d.requests_per_warp()
+        );
+    }
+}
+
+/// Observation (Figure 1): graph applications have far higher dynamic
+/// non-deterministic fractions than (non-spmv) linear algebra.
+#[test]
+fn category_nondet_ordering_matches_figure_1() {
+    let mm2 = run_tiny(&linear::Mm2::tiny()).0;
+    let bfs = run_tiny(&graph_apps::Bfs::tiny()).0;
+    assert_eq!(mm2.stats.nondet_load_fraction(), 0.0);
+    assert!(bfs.stats.nondet_load_fraction() > 0.5);
+}
+
+/// Observation (Figure 3 / Section VI): reservation failures are charged
+/// overwhelmingly to non-deterministic loads where both classes run.
+#[test]
+fn reservation_fails_come_from_nondet_loads() {
+    let (run, _) = run_tiny(&linear::Spmv::tiny());
+    let fails = |class: ClassTag| -> u64 {
+        [
+            AccessOutcome::ReservationFailTags,
+            AccessOutcome::ReservationFailMshr,
+            AccessOutcome::ReservationFailIcnt,
+        ]
+        .iter()
+        .map(|o| run.stats.l1.outcome_class(*o, class))
+        .sum()
+    };
+    let n_fails = fails(ClassTag::NonDeterministic);
+    let d_fails = fails(ClassTag::Deterministic);
+    assert!(
+        n_fails >= d_fails,
+        "spmv: N fails {n_fails} should dominate D fails {d_fails}"
+    );
+}
+
+/// Observation (Figure 5): non-deterministic loads have longer turnaround
+/// than deterministic ones in irregular workloads — once the working set
+/// actually stresses the memory system (at tiny scale everything fits in
+/// the L1 and the effect vanishes, as the paper's large-dataset choice
+/// anticipates).
+#[test]
+fn nondet_turnaround_exceeds_det_in_spmv() {
+    let w = linear::Spmv { n: 768, nnz_per_row: 16, block: 64 };
+    let (run, _) = run_tiny(&w);
+    let d = run.stats.class(LoadClass::Deterministic).turnaround.mean();
+    let n = run.stats.class(LoadClass::NonDeterministic).turnaround.mean();
+    assert!(n > d, "spmv turnaround: N {n} should exceed D {d}");
+}
+
+/// Observation (Figures 10–11): data blocks are reused and shared across
+/// CTAs even in graph applications — the "hidden locality".
+#[test]
+fn graph_apps_share_blocks_across_ctas() {
+    let (_, gpu) = run_tiny(&graph_apps::Ccl::tiny());
+    let s = gpu.block_summary();
+    assert!(s.mean_accesses_per_block > 2.0, "blocks barely reused: {s:?}");
+    assert!(s.shared_block_ratio > 0.2, "little inter-CTA sharing: {s:?}");
+    assert!(s.cold_miss_ratio < 0.5, "cold misses dominate: {s:?}");
+}
+
+/// Observation (Figure 12): shared accesses concentrate at short CTA
+/// distances for linear-algebra tiling.
+#[test]
+fn linear_algebra_shares_at_short_cta_distances() {
+    let (_, gpu) = run_tiny(&linear::Mm2::tiny());
+    let hist = gpu.distance_histogram();
+    assert!(!hist.is_empty(), "no shared accesses recorded");
+    let near: f64 = hist.iter().filter(|(d, _)| *d <= 2).map(|(_, f)| f).sum();
+    assert!(near > 0.3, "nearest-CTA sharing only {near}: {hist:?}");
+}
+
+/// Observation (Figure 9): image-processing workloads use shared memory far
+/// more intensively per global load than the other categories.
+#[test]
+fn image_apps_lead_shared_memory_usage() {
+    let htw = run_tiny(&gcl_workloads::image::Htw::tiny()).0;
+    let bfs = run_tiny(&graph_apps::Bfs::tiny()).0;
+    let htw_ratio = htw.stats.profiler().shared_per_global();
+    let bfs_ratio = bfs.stats.profiler().shared_per_global();
+    assert!(htw_ratio > 2.0, "htw shared/global = {htw_ratio}");
+    assert_eq!(bfs_ratio, 0.0, "bfs uses no shared memory");
+}
+
+/// Table III: the profiler counters are internally consistent.
+#[test]
+fn profiler_counters_are_consistent() {
+    for w in tiny_workloads() {
+        let (run, _) = run_tiny(w.as_ref());
+        let p = run.stats.profiler();
+        // Every accepted L1 access came from some request of a global load.
+        let accesses = p.l1_global_load_hit + p.l1_global_load_miss;
+        let requests =
+            run.stats.class(LoadClass::Deterministic).requests
+                + run.stats.class(LoadClass::NonDeterministic).requests;
+        assert_eq!(accesses, requests, "{}: L1 accesses vs requests", w.name());
+        // L2 sees no more read queries than L1 misses issued (merges only
+        // reduce traffic).
+        assert!(
+            p.l2_read_sector_queries <= p.l1_global_load_miss,
+            "{}: L2 queries {} > L1 misses {}",
+            w.name(),
+            p.l2_read_sector_queries,
+            p.l1_global_load_miss
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Every benchmark kernel round-trips through the disassembler and parser,
+//! and classification is invariant under the round trip — a cross-crate
+//! consistency check between `gcl-ptx`, `gcl-core` and `gcl-workloads`.
+
+use gcl::prelude::*;
+use gcl_workloads::{graph_apps, image, linear};
+
+fn all_kernels() -> Vec<Kernel> {
+    vec![
+        linear::Mm2::kernel(),
+        linear::Gaus::fan1(),
+        linear::Gaus::fan2(),
+        linear::Grm::norm_kernel(),
+        linear::Grm::ortho_kernel(),
+        linear::Lu::scale_kernel(),
+        linear::Lu::update_kernel(),
+        linear::Spmv::kernel(),
+        image::Htw::kernel(),
+        image::Mriq::kernel(),
+        image::Dwt::row_kernel(),
+        image::Dwt::col_kernel(),
+        image::Bpr::forward_kernel(),
+        image::Bpr::adjust_kernel(),
+        image::Srad::coeff_kernel(),
+        image::Srad::update_kernel(),
+        graph_apps::Bfs::expand_kernel(),
+        graph_apps::Bfs::commit_kernel(),
+        graph_apps::Sssp::relax_kernel(),
+        graph_apps::Ccl::propagate_kernel(),
+        graph_apps::Mst::find_kernel(),
+        graph_apps::Mst::merge_kernel(),
+        graph_apps::Mst::jump_kernel(),
+        graph_apps::Mis::select_kernel(),
+        graph_apps::Mis::remove_kernel(),
+    ]
+}
+
+#[test]
+fn every_workload_kernel_round_trips() {
+    for kernel in all_kernels() {
+        let text = kernel.to_string();
+        let parsed = parse_kernel(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", kernel.name()));
+        assert_eq!(parsed, kernel, "{} changed across round trip", kernel.name());
+    }
+}
+
+#[test]
+fn classification_is_invariant_under_round_trip() {
+    for kernel in all_kernels() {
+        let parsed = parse_kernel(&kernel.to_string()).unwrap();
+        let before = classify(&kernel);
+        let after = classify(&parsed);
+        assert_eq!(before, after, "{}", kernel.name());
+    }
+}
+
+#[test]
+fn every_workload_kernel_has_a_valid_cfg() {
+    for kernel in all_kernels() {
+        let cfg = Cfg::build(&kernel);
+        // Every block reachable from the entry in RPO.
+        let rpo = cfg.reverse_post_order();
+        assert!(!rpo.is_empty(), "{}", kernel.name());
+        assert_eq!(rpo[0], 0, "{}", kernel.name());
+        // Every conditional branch has a reconvergence pc (or the exit
+        // sentinel).
+        let reconv = cfg.reconvergence_pcs(&kernel);
+        for (pc, inst) in kernel.insts().iter().enumerate() {
+            if matches!(inst.op, gcl::ptx::Op::Bra { .. }) && inst.guard.is_some() {
+                assert!(reconv.contains_key(&pc), "{} pc {pc}", kernel.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn static_class_mix_by_category() {
+    // Aggregate static classification per category — the Figure 1 static
+    // view: graph kernels carry most of the non-deterministic loads.
+    let count = |kernels: &[Kernel]| {
+        kernels.iter().map(|k| classify(k).global_load_counts()).fold((0, 0), |a, b| {
+            (a.0 + b.0, a.1 + b.1)
+        })
+    };
+    let (_, linear_n) = count(&[
+        linear::Mm2::kernel(),
+        linear::Gaus::fan1(),
+        linear::Gaus::fan2(),
+        linear::Lu::scale_kernel(),
+        linear::Lu::update_kernel(),
+    ]);
+    assert_eq!(linear_n, 0, "dense linear algebra must be fully deterministic");
+    let (graph_d, graph_n) = count(&[
+        graph_apps::Bfs::expand_kernel(),
+        graph_apps::Sssp::relax_kernel(),
+        graph_apps::Ccl::propagate_kernel(),
+        graph_apps::Mst::find_kernel(),
+        graph_apps::Mis::select_kernel(),
+    ]);
+    assert!(graph_n >= 10, "graph kernels: {graph_n} non-deterministic loads");
+    assert!(graph_d > 0);
+}
