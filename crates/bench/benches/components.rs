@@ -1,68 +1,88 @@
-//! Criterion micro-benchmarks of the toolkit's components: the classifier,
-//! the PTX parser and CFG analyses, the coalescer, the cache, and a whole
-//! small kernel launch.
+//! Micro-benchmarks of the toolkit's components: the classifier, the PTX
+//! parser and CFG analyses, the coalescer, the cache, and a whole small
+//! kernel launch. Plain timing loops over `std::time::Instant` — run with
+//! `cargo bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gcl_core::classify;
 use gcl_mem::{AccessOutcome, Cache, CacheConfig, ClassTag, MemRequest};
 use gcl_ptx::{parse_kernel, Cfg};
 use gcl_sim::{coalesce, pack_params, Dim3, Gpu, GpuConfig};
 use gcl_workloads::graph_apps::Bfs;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_classifier(c: &mut Criterion) {
-    let kernel = Bfs::expand_kernel();
-    c.bench_function("classify_bfs_expand", |b| b.iter(|| black_box(classify(&kernel))));
+/// Time `f` over enough iterations to fill ~0.2s, after a warmup pass, and
+/// print mean time per iteration.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warmup + calibration: figure out how many iterations fill the budget.
+    let start = Instant::now();
+    let mut calib_iters = 0u64;
+    while start.elapsed().as_millis() < 50 {
+        f();
+        calib_iters += 1;
+    }
+    let per_iter = start.elapsed().as_nanos() / u128::from(calib_iters.max(1));
+    let iters = (200_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = start.elapsed().as_nanos() / u128::from(iters);
+    println!("{name:<28} {ns:>12} ns/iter  ({iters} iters)");
 }
 
-fn bench_ptx(c: &mut Criterion) {
+fn bench_classifier() {
+    let kernel = Bfs::expand_kernel();
+    bench("classify_bfs_expand", || {
+        black_box(classify(&kernel));
+    });
+}
+
+fn bench_ptx() {
     let kernel = Bfs::expand_kernel();
     let text = kernel.to_string();
-    c.bench_function("parse_bfs_expand", |b| {
-        b.iter(|| black_box(parse_kernel(&text).unwrap()))
+    bench("parse_bfs_expand", || {
+        black_box(parse_kernel(&text).unwrap());
     });
-    c.bench_function("cfg_build_bfs_expand", |b| b.iter(|| black_box(Cfg::build(&kernel))));
+    bench("cfg_build_bfs_expand", || {
+        black_box(Cfg::build(&kernel));
+    });
     let cfg = Cfg::build(&kernel);
-    c.bench_function("ipdom_bfs_expand", |b| {
-        b.iter(|| black_box(cfg.immediate_post_dominators()))
+    bench("ipdom_bfs_expand", || {
+        black_box(cfg.immediate_post_dominators());
     });
 }
 
-fn bench_coalescer(c: &mut Criterion) {
+fn bench_coalescer() {
     let coalesced: Vec<(u32, u64)> = (0..32).map(|l| (l, 0x1000 + 4 * u64::from(l))).collect();
-    let scattered: Vec<(u32, u64)> =
-        (0..32).map(|l| (l, 4096 * u64::from(l * 2_654_435_761 % 977))).collect();
-    c.bench_function("coalesce_sequential", |b| {
-        b.iter(|| black_box(coalesce(&coalesced, 4, 128)))
+    let scattered: Vec<(u32, u64)> = (0..32)
+        .map(|l| (l, 4096 * u64::from(l * 2_654_435_761 % 977)))
+        .collect();
+    bench("coalesce_sequential", || {
+        black_box(coalesce(&coalesced, 4, 128));
     });
-    c.bench_function("coalesce_scattered", |b| {
-        b.iter(|| black_box(coalesce(&scattered, 4, 128)))
+    bench("coalesce_scattered", || {
+        black_box(coalesce(&scattered, 4, 128));
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("l1_access_storm", |b| {
-        b.iter(|| {
-            let mut l1 = Cache::new(CacheConfig::fermi_l1());
-            let mut completed = 0u64;
-            for i in 0..512u64 {
-                let req =
-                    MemRequest::read(i, (i % 96) * 128, 0, ClassTag::NonDeterministic, 0, i);
-                match l1.access(req, i) {
-                    AccessOutcome::MissIssued => {
-                        // Service misses immediately to keep the storm going.
-                        let m = l1.pop_miss().unwrap();
-                        completed += l1.fill(m.block_addr, i).len() as u64;
-                    }
-                    _ => {}
-                }
+fn bench_cache() {
+    bench("l1_access_storm", || {
+        let mut l1 = Cache::new(CacheConfig::fermi_l1());
+        let mut completed = 0u64;
+        for i in 0..512u64 {
+            let req = MemRequest::read(i, (i % 96) * 128, 0, ClassTag::NonDeterministic, 0, i);
+            if let AccessOutcome::MissIssued = l1.access(req, i) {
+                // Service misses immediately to keep the storm going.
+                let m = l1.pop_miss().unwrap();
+                completed += l1.fill(m.block_addr, i).len() as u64;
             }
-            black_box(completed)
-        })
+        }
+        black_box(completed);
     });
 }
 
-fn bench_launch(c: &mut Criterion) {
+fn bench_launch() {
     // A whole small launch through the full simulator stack.
     let mut b = gcl_ptx::KernelBuilder::new("axpy");
     let px = b.param("x", gcl_ptx::Type::U64);
@@ -79,26 +99,22 @@ fn bench_launch(c: &mut Criterion) {
     b.exit();
     let kernel = b.build().unwrap();
 
-    let mut g = c.benchmark_group("launch");
-    g.sample_size(20);
-    g.bench_function("axpy_8_ctas", |b| {
-        b.iter(|| {
-            let mut gpu = Gpu::new(GpuConfig::small());
-            let xb = gpu.mem().alloc_array(gcl_ptx::Type::F32, 1024);
-            let yb = gpu.mem().alloc_array(gcl_ptx::Type::F32, 1024);
-            let params = pack_params(&kernel, &[xb, yb]);
-            black_box(gpu.launch(&kernel, Dim3::x(8), Dim3::x(128), &params).unwrap())
-        })
+    bench("launch_axpy_8_ctas", || {
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
+        let xb = gpu.mem().alloc_array(gcl_ptx::Type::F32, 1024).unwrap();
+        let yb = gpu.mem().alloc_array(gcl_ptx::Type::F32, 1024).unwrap();
+        let params = pack_params(&kernel, &[xb, yb]);
+        black_box(
+            gpu.launch(&kernel, Dim3::x(8), Dim3::x(128), &params)
+                .unwrap(),
+        );
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_classifier,
-    bench_ptx,
-    bench_coalescer,
-    bench_cache,
-    bench_launch
-);
-criterion_main!(benches);
+fn main() {
+    bench_classifier();
+    bench_ptx();
+    bench_coalescer();
+    bench_cache();
+    bench_launch();
+}

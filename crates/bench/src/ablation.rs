@@ -15,6 +15,18 @@ fn workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
     }
 }
 
+/// Run one configuration of one workload; on failure, warn and return
+/// `None` so the ablation table simply omits that row.
+fn attempt(w: &dyn Workload, cfg: &GpuConfig) -> Option<BenchResult> {
+    match run_one(w, cfg) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("warning: ablation skipped {}: {e}", w.name());
+            None
+        }
+    }
+}
+
 fn total_reservation_fails(r: &BenchResult) -> u64 {
     [
         AccessOutcome::ReservationFailTags,
@@ -27,8 +39,13 @@ fn total_reservation_fails(r: &BenchResult) -> u64 {
 }
 
 fn overall_l1_miss(r: &BenchResult) -> f64 {
-    let hits = r.stats.l1.outcome_class(AccessOutcome::Hit, ClassTag::Deterministic)
-        + r.stats.l1.outcome_class(AccessOutcome::Hit, ClassTag::NonDeterministic);
+    let hits = r
+        .stats
+        .l1
+        .outcome_class(AccessOutcome::Hit, ClassTag::Deterministic)
+        + r.stats
+            .l1
+            .outcome_class(AccessOutcome::Hit, ClassTag::NonDeterministic);
     let total = r.stats.l1.accepted(ClassTag::Deterministic)
         + r.stats.l1.accepted(ClassTag::NonDeterministic);
     if total == 0 {
@@ -57,8 +74,12 @@ pub fn cta_sched(scale: Scale) -> Table {
         let base_cfg = GpuConfig::fermi();
         let mut clustered_cfg = GpuConfig::fermi();
         clustered_cfg.cta_sched = CtaSchedPolicy::Clustered { group: 2 };
-        let base = run_one(w.as_ref(), &base_cfg);
-        let clus = run_one(w.as_ref(), &clustered_cfg);
+        let (Some(base), Some(clus)) = (
+            attempt(w.as_ref(), &base_cfg),
+            attempt(w.as_ref(), &clustered_cfg),
+        ) else {
+            continue;
+        };
         t.row(vec![
             w.name().into(),
             gcl_stats::Cell::Percent(overall_l1_miss(&base)),
@@ -90,11 +111,20 @@ pub fn semiglobal_l2(scale: Scale) -> Table {
         let base_cfg = GpuConfig::fermi();
         let mut semi_cfg = GpuConfig::fermi();
         semi_cfg.l2_topology = L2Topology::Clustered { clusters: 2 };
-        let base = run_one(w.as_ref(), &base_cfg);
-        let semi = run_one(w.as_ref(), &semi_cfg);
+        let (Some(base), Some(semi)) = (
+            attempt(w.as_ref(), &base_cfg),
+            attempt(w.as_ref(), &semi_cfg),
+        ) else {
+            continue;
+        };
         let l2_miss = |r: &BenchResult| {
-            let hits = r.stats.l2.outcome_class(AccessOutcome::Hit, ClassTag::Deterministic)
-                + r.stats.l2.outcome_class(AccessOutcome::Hit, ClassTag::NonDeterministic);
+            let hits = r
+                .stats
+                .l2
+                .outcome_class(AccessOutcome::Hit, ClassTag::Deterministic)
+                + r.stats
+                    .l2
+                    .outcome_class(AccessOutcome::Hit, ClassTag::NonDeterministic);
             let total = r.stats.l2.accepted(ClassTag::Deterministic)
                 + r.stats.l2.accepted(ClassTag::NonDeterministic);
             if total == 0 {
@@ -134,8 +164,12 @@ pub fn warp_split(scale: Scale, chunk: usize) -> Table {
         let base_cfg = GpuConfig::fermi();
         let mut split_cfg = GpuConfig::fermi();
         split_cfg.warp_split_nd = Some(chunk);
-        let base = run_one(w.as_ref(), &base_cfg);
-        let split = run_one(w.as_ref(), &split_cfg);
+        let (Some(base), Some(split)) = (
+            attempt(w.as_ref(), &base_cfg),
+            attempt(w.as_ref(), &split_cfg),
+        ) else {
+            continue;
+        };
         let nd = gcl_core::LoadClass::NonDeterministic;
         t.row(vec![
             w.name().into(),
@@ -178,11 +212,16 @@ pub fn prefetch(scale: Scale) -> Table {
         ] {
             let mut cfg = GpuConfig::fermi();
             cfg.prefetch = filter;
-            let r = run_one(w.as_ref(), &cfg);
+            let Some(r) = attempt(w.as_ref(), &cfg) else {
+                break;
+            };
             if filter == PrefetchFilter::DeterministicOnly {
                 d_prefetches = r.stats.sm.prefetches_issued;
             }
             cycles.push(r.stats.cycles);
+        }
+        if cycles.len() != 4 {
+            continue;
         }
         t.row(vec![
             w.name().into(),

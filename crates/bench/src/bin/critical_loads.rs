@@ -6,7 +6,7 @@
 //! ```
 
 use gcl_bench::figures::critical_loads;
-use gcl_bench::harness::{run_all, save_json, Scale};
+use gcl_bench::harness::{completed, run_all, save_json, Scale};
 use gcl_sim::GpuConfig;
 
 fn main() {
@@ -14,7 +14,7 @@ fn main() {
         .nth(1)
         .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "bfs".to_string());
-    let results = run_all(&GpuConfig::fermi(), Scale::from_args());
+    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
     let t = critical_loads(&results, &workload);
     println!("{t}");
     save_json(&format!("critical_loads_{workload}"), &t.to_json());

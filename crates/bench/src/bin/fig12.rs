@@ -2,15 +2,17 @@
 //! accesses, one panel per category.
 
 use gcl_bench::figures::fig12;
-use gcl_bench::harness::{run_all, save_json, Scale};
+use gcl_bench::harness::{completed, run_all, save_json, Scale};
 use gcl_sim::GpuConfig;
 use gcl_workloads::Category;
 
 fn main() {
-    let results = run_all(&GpuConfig::fermi(), Scale::from_args());
-    for (panel, cat) in
-        [("a", Category::Linear), ("b", Category::Image), ("c", Category::Graph)]
-    {
+    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
+    for (panel, cat) in [
+        ("a", Category::Linear),
+        ("b", Category::Image),
+        ("c", Category::Graph),
+    ] {
         let fig = fig12(&results, cat);
         println!("{fig}");
         save_json(&format!("fig12{panel}"), &fig.to_json());

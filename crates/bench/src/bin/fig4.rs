@@ -1,11 +1,11 @@
 //! Regenerates Figure 4 of the paper.
 
 use gcl_bench::figures::fig4;
-use gcl_bench::harness::{run_all, save_json, Scale};
+use gcl_bench::harness::{completed, run_all, save_json, Scale};
 use gcl_sim::GpuConfig;
 
 fn main() {
-    let results = run_all(&GpuConfig::fermi(), Scale::from_args());
+    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
     let fig = fig4(&results);
     println!("{fig}");
     save_json("fig4", &fig.to_json());

@@ -1,10 +1,10 @@
 //! One-line-per-workload summary of a full harness run.
 
-use gcl_bench::harness::{run_all, Scale};
+use gcl_bench::harness::{completed, run_all, Scale};
 use gcl_sim::GpuConfig;
 
 fn main() {
-    let results = run_all(&GpuConfig::fermi(), Scale::from_args());
+    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
     println!(
         "{:6} {:7} {:>9} {:>10} {:>9} {:>6} {:>8} {:>6} {:>6} {:>6}",
         "name", "cat", "cycles", "warp insts", "gld", "N%", "L1miss%", "ipc", "simd%", "bdiv%"

@@ -45,9 +45,15 @@ pub fn fig1(results: &[BenchResult]) -> FigureSeries {
         "Deterministic and non-deterministic load distribution (fraction of global load warps)",
         labels(results),
     );
-    let nd: Vec<f64> = results.iter().map(|r| r.stats.nondet_load_fraction()).collect();
+    let nd: Vec<f64> = results
+        .iter()
+        .map(|r| r.stats.nondet_load_fraction())
+        .collect();
     f.push(Series::new("Non-deterministic", nd.clone()));
-    f.push(Series::new("Deterministic", nd.iter().map(|v| 1.0 - v).collect()));
+    f.push(Series::new(
+        "Deterministic",
+        nd.iter().map(|v| 1.0 - v).collect(),
+    ));
     f
 }
 
@@ -58,10 +64,16 @@ pub fn fig2(results: &[BenchResult]) -> FigureSeries {
         "Average memory requests per warp / per active thread (N vs D)",
         labels(results),
     );
-    for (cls, tag) in [(LoadClass::NonDeterministic, "N"), (LoadClass::Deterministic, "D")] {
+    for (cls, tag) in [
+        (LoadClass::NonDeterministic, "N"),
+        (LoadClass::Deterministic, "D"),
+    ] {
         f.push(Series::new(
             format!("{tag} req/warp"),
-            results.iter().map(|r| r.stats.class(cls).requests_per_warp()).collect(),
+            results
+                .iter()
+                .map(|r| r.stats.class(cls).requests_per_warp())
+                .collect(),
         ));
         f.push(Series::new(
             format!("{tag} req/active thread"),
@@ -76,11 +88,7 @@ pub fn fig2(results: &[BenchResult]) -> FigureSeries {
 
 /// Figure 3: breakdown of L1 data-cache access cycles.
 pub fn fig3(results: &[BenchResult]) -> FigureSeries {
-    let mut f = FigureSeries::new(
-        "fig3",
-        "Breakdown of L1 data cache cycles",
-        labels(results),
-    );
+    let mut f = FigureSeries::new("fig3", "Breakdown of L1 data cache cycles", labels(results));
     let legends = [
         (AccessOutcome::Hit, "L1 hit"),
         (AccessOutcome::HitReserved, "L1 hit reserved"),
@@ -93,8 +101,10 @@ pub fn fig3(results: &[BenchResult]) -> FigureSeries {
         let vals: Vec<f64> = results
             .iter()
             .map(|r| {
-                let total: u64 =
-                    AccessOutcome::ALL.iter().map(|o| r.stats.l1.outcome_total(*o)).sum();
+                let total: u64 = AccessOutcome::ALL
+                    .iter()
+                    .map(|o| r.stats.l1.outcome_total(*o))
+                    .sum();
                 if total == 0 {
                     f64::NAN
                 } else {
@@ -113,7 +123,10 @@ pub fn fig4(results: &[BenchResult]) -> FigureSeries {
     for (i, unit) in ["SP", "SFU", "LD/ST"].iter().enumerate() {
         f.push(Series::new(
             *unit,
-            results.iter().map(|r| r.stats.unit_idle_fractions()[i]).collect(),
+            results
+                .iter()
+                .map(|r| r.stats.unit_idle_fractions()[i])
+                .collect(),
         ));
     }
     f
@@ -170,8 +183,7 @@ fn turnaround_by_requests(r: &BenchResult, kernel: &str, pc: usize, max_req: u32
 /// Pick the (kernel, pc) of the busiest load of `class` in a workload (most
 /// dynamic samples), if any.
 pub fn busiest_pc(r: &BenchResult, class: LoadClass) -> Option<(String, usize)> {
-    let mut by_pc: std::collections::HashMap<(&str, usize), u64> =
-        std::collections::HashMap::new();
+    let mut by_pc: std::collections::HashMap<(&str, usize), u64> = std::collections::HashMap::new();
     for (key, agg) in &r.stats.per_pc {
         if key.class == class {
             *by_pc.entry((key.kernel.as_str(), key.pc)).or_default() += agg.turnaround.count;
@@ -213,12 +225,20 @@ pub fn fig6(results: &[BenchResult], picks: &[&str]) -> FigureSeries {
 /// Figure 7: per-request-count turnaround breakdown for the busiest
 /// multi-request (non-deterministic) load of `workload`.
 pub fn fig7(results: &[BenchResult], workload: &str, unloaded_latency: u64) -> FigureSeries {
-    let r = results
-        .iter()
-        .find(|r| r.name == workload)
-        .unwrap_or_else(|| panic!("workload {workload} not in results"));
-    let (kernel, pc) = busiest_pc(r, LoadClass::NonDeterministic)
-        .expect("workload has no non-deterministic load");
+    let Some(r) = results.iter().find(|r| r.name == workload) else {
+        return FigureSeries::new(
+            "fig7",
+            format!("Turnaround breakdown unavailable: `{workload}` did not complete"),
+            Vec::<String>::new(),
+        );
+    };
+    let Some((kernel, pc)) = busiest_pc(r, LoadClass::NonDeterministic) else {
+        return FigureSeries::new(
+            "fig7",
+            format!("Turnaround breakdown unavailable: `{workload}` has no non-deterministic load"),
+            Vec::<String>::new(),
+        );
+    };
     let max_req = 32u32;
     let lbls: Vec<String> = (1..=max_req).map(|n| n.to_string()).collect();
     let mut f = FigureSeries::new(
@@ -235,7 +255,9 @@ pub fn fig7(results: &[BenchResult], workload: &str, unloaded_latency: u64) -> F
     ));
     f.push(Series::new(
         "Gap at L1D",
-        (1..=max_req).map(|n| get(n).map(|a| a.gap_l1d.mean()).unwrap_or(f64::NAN)).collect(),
+        (1..=max_req)
+            .map(|n| get(n).map(|a| a.gap_l1d.mean()).unwrap_or(f64::NAN))
+            .collect(),
     ));
     f.push(Series::new(
         "Gap at icnt-L2",
@@ -255,7 +277,10 @@ pub fn fig7(results: &[BenchResult], workload: &str, unloaded_latency: u64) -> F
 /// Figure 8: L1 and L2 miss ratios by load class.
 pub fn fig8(results: &[BenchResult]) -> FigureSeries {
     let mut f = FigureSeries::new("fig8", "L1 / L2 miss ratio (N vs D)", labels(results));
-    for (tag, cls) in [("N", ClassTag::NonDeterministic), ("D", ClassTag::Deterministic)] {
+    for (tag, cls) in [
+        ("N", ClassTag::NonDeterministic),
+        ("D", ClassTag::Deterministic),
+    ] {
         f.push(Series::new(
             format!("L1 miss ({tag})"),
             results.iter().map(|r| r.stats.l1.miss_ratio(cls)).collect(),
@@ -277,7 +302,10 @@ pub fn fig9(results: &[BenchResult]) -> FigureSeries {
     );
     f.push(Series::new(
         "shared/global",
-        results.iter().map(|r| r.stats.profiler().shared_per_global()).collect(),
+        results
+            .iter()
+            .map(|r| r.stats.profiler().shared_per_global())
+            .collect(),
     ));
     f
 }
@@ -295,7 +323,10 @@ pub fn fig10(results: &[BenchResult]) -> FigureSeries {
     ));
     f.push(Series::new(
         "Mean accesses per block",
-        results.iter().map(|r| r.blocks.mean_accesses_per_block).collect(),
+        results
+            .iter()
+            .map(|r| r.blocks.mean_accesses_per_block)
+            .collect(),
     ));
     f
 }
@@ -309,15 +340,24 @@ pub fn fig11(results: &[BenchResult]) -> FigureSeries {
     );
     f.push(Series::new(
         "Blocks shared by 2+ CTAs",
-        results.iter().map(|r| r.blocks.shared_block_ratio).collect(),
+        results
+            .iter()
+            .map(|r| r.blocks.shared_block_ratio)
+            .collect(),
     ));
     f.push(Series::new(
         "Accesses to shared blocks",
-        results.iter().map(|r| r.blocks.shared_access_ratio).collect(),
+        results
+            .iter()
+            .map(|r| r.blocks.shared_access_ratio)
+            .collect(),
     ));
     f.push(Series::new(
         "Mean CTAs per shared block",
-        results.iter().map(|r| r.blocks.mean_ctas_per_shared_block).collect(),
+        results
+            .iter()
+            .map(|r| r.blocks.mean_ctas_per_shared_block)
+            .collect(),
     ));
     f
 }
@@ -336,7 +376,10 @@ pub fn fig12(results: &[BenchResult], category: gcl_workloads::Category) -> Figu
     for r in results.iter().filter(|r| r.category == category) {
         let mut vals = vec![0.0f64; buckets.len() + 1];
         for &(d, frac) in &r.distance_hist {
-            let slot = buckets.iter().position(|&b| d <= b).unwrap_or(buckets.len());
+            let slot = buckets
+                .iter()
+                .position(|&b| d <= b)
+                .unwrap_or(buckets.len());
             vals[slot] += frac;
         }
         f.push(Series::new(r.name, vals));
@@ -350,10 +393,20 @@ pub fn fig12(results: &[BenchResult], category: gcl_workloads::Category) -> Figu
 /// latency. Non-deterministic loads near the top of this table are the
 /// paper's critical loads.
 pub fn critical_loads(results: &[BenchResult], workload: &str) -> gcl_stats::Table {
-    let r = results
-        .iter()
-        .find(|r| r.name == workload)
-        .unwrap_or_else(|| panic!("workload {workload} not in results"));
+    let Some(r) = results.iter().find(|r| r.name == workload) else {
+        return gcl_stats::Table::new(
+            format!("Critical loads unavailable: `{workload}` did not complete"),
+            vec![
+                "kernel",
+                "pc",
+                "class",
+                "execs",
+                "req/warp",
+                "mean turnaround",
+                "share",
+            ],
+        );
+    };
 
     // Aggregate per (kernel, pc) over request counts.
     #[derive(Default)]
@@ -379,7 +432,15 @@ pub fn critical_loads(results: &[BenchResult], workload: &str) -> gcl_stats::Tab
 
     let mut t = gcl_stats::Table::new(
         format!("Critical loads of `{workload}` (by total turnaround share)"),
-        vec!["kernel", "pc", "class", "execs", "req/warp", "mean turnaround", "share"],
+        vec![
+            "kernel",
+            "pc",
+            "class",
+            "execs",
+            "req/warp",
+            "mean turnaround",
+            "share",
+        ],
     );
     for ((kernel, pc), row) in sorted {
         let class = row.class.expect("row without class");

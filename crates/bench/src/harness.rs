@@ -1,7 +1,7 @@
 //! Shared harness: run every workload on a configured GPU and collect the
 //! per-workload results every figure draws from.
 
-use gcl_sim::{BlockSummary, Gpu, GpuConfig, LaunchStats};
+use gcl_sim::{BlockSummary, Gpu, GpuConfig, LaunchStats, SimError};
 use gcl_workloads::{all_workloads, tiny_workloads, Category, Workload};
 
 /// Everything one workload produced in one full run.
@@ -45,39 +45,77 @@ impl Scale {
     }
 }
 
-/// Run every workload of the paper on `cfg`, each on a fresh GPU.
-///
-/// # Panics
-///
-/// Panics if any workload fails to simulate — the harness is only useful
-/// when every benchmark completes.
-pub fn run_all(cfg: &GpuConfig, scale: Scale) -> Vec<BenchResult> {
+/// The outcome of attempting one workload end to end: either its results or
+/// the structured [`SimError`] that stopped it. One failed benchmark never
+/// takes down a harness sweep.
+#[derive(Debug)]
+pub struct BenchRun {
+    /// Workload name (Table I).
+    pub name: &'static str,
+    /// Application category.
+    pub category: Category,
+    /// The workload's results, or why it failed.
+    pub outcome: Result<BenchResult, SimError>,
+}
+
+impl BenchRun {
+    /// The results, if the workload completed.
+    pub fn result(&self) -> Option<&BenchResult> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// Run every workload of the paper on `cfg`, each on a fresh GPU. Failures
+/// are captured per workload, never panicked: the remaining benchmarks
+/// still run and the caller decides how to report the casualties (see
+/// [`completed`]).
+pub fn run_all(cfg: &GpuConfig, scale: Scale) -> Vec<BenchRun> {
     let workloads = match scale {
         Scale::Full => all_workloads(),
         Scale::Tiny => tiny_workloads(),
     };
     workloads
         .iter()
-        .map(|w| run_one(w.as_ref(), cfg))
+        .map(|w| BenchRun {
+            name: w.name(),
+            category: w.category(),
+            outcome: run_one(w.as_ref(), cfg),
+        })
         .collect()
+}
+
+/// Keep the completed results of a sweep, warning on stderr about each
+/// failed benchmark. Figures built from the survivors simply render the
+/// failed workloads as absent.
+pub fn completed(runs: &[BenchRun]) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for run in runs {
+        match &run.outcome {
+            Ok(r) => out.push(r.clone()),
+            Err(e) => eprintln!(
+                "warning: workload {} failed, omitted from figures: {e}",
+                run.name
+            ),
+        }
+    }
+    out
 }
 
 /// Run a single workload on a fresh GPU with `cfg`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation errors.
-pub fn run_one(w: &dyn Workload, cfg: &GpuConfig) -> BenchResult {
-    let mut gpu = Gpu::new(cfg.clone());
-    let run = w
-        .run(&mut gpu)
-        .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name()));
+/// Returns the first [`SimError`] the configuration, an allocation, or a
+/// launch produced.
+pub fn run_one(w: &dyn Workload, cfg: &GpuConfig) -> Result<BenchResult, SimError> {
+    let mut gpu = Gpu::new(cfg.clone())?;
+    let run = w.run(&mut gpu)?;
     let static_loads = run
         .kernels
         .iter()
         .map(|k| gcl_core::classify(k).global_load_counts())
         .fold((0, 0), |acc, (d, n)| (acc.0 + d, acc.1 + n));
-    BenchResult {
+    Ok(BenchResult {
         name: w.name(),
         category: w.category(),
         stats: run.stats,
@@ -86,7 +124,7 @@ pub fn run_one(w: &dyn Workload, cfg: &GpuConfig) -> BenchResult {
         static_loads,
         blocks: gpu.block_summary(),
         distance_hist: gpu.distance_histogram(),
-    }
+    })
 }
 
 /// The benchmark names in Table I order.

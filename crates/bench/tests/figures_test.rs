@@ -3,13 +3,18 @@
 //! output from a real run.
 
 use gcl_bench::figures;
-use gcl_bench::harness::{run_all, BenchResult, Scale};
+use gcl_bench::harness::{completed, run_all, BenchResult, Scale};
 use gcl_core::LoadClass;
 use gcl_sim::{BlockSummary, GpuConfig, LaunchStats, PcKey};
 use gcl_workloads::Category;
 
 fn fake_result(name: &'static str, category: Category) -> BenchResult {
-    let mut stats = LaunchStats { name: name.into(), launches: 1, cycles: 1000, ..Default::default() };
+    let mut stats = LaunchStats {
+        name: name.into(),
+        launches: 1,
+        cycles: 1000,
+        ..Default::default()
+    };
     stats.sm.cycles = 1000;
     stats.sm.warp_insts = 500;
     stats.sm.global_load_warps = [60, 40];
@@ -55,7 +60,10 @@ fn fake_result(name: &'static str, category: Category) -> BenchResult {
 }
 
 fn fakes() -> Vec<BenchResult> {
-    vec![fake_result("alpha", Category::Linear), fake_result("beta", Category::Graph)]
+    vec![
+        fake_result("alpha", Category::Linear),
+        fake_result("beta", Category::Graph),
+    ]
 }
 
 #[test]
@@ -156,8 +164,10 @@ fn critical_loads_ranks_by_share() {
 #[test]
 fn tiny_harness_feeds_every_builder() {
     let cfg = GpuConfig::small();
-    let results = run_all(&cfg, Scale::Tiny);
-    assert_eq!(results.len(), 15);
+    let runs = run_all(&cfg, Scale::Tiny);
+    assert_eq!(runs.len(), 15);
+    let results = completed(&runs);
+    assert_eq!(results.len(), 15, "every tiny workload completes");
     let t = figures::table1(&results);
     assert_eq!(t.rows.len(), 15);
     for f in [

@@ -11,12 +11,11 @@
 
 use crate::reaching::{DefSite, ReachingDefs};
 use gcl_ptx::{Kernel, Op, Operand, Reg, Space, Special};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// The two load classes of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LoadClass {
     /// Address derives only from parameterized data (thread/CTA ids, kernel
     /// parameters, constants). Tends to coalesce.
@@ -46,7 +45,7 @@ impl fmt::Display for LoadClass {
 }
 
 /// A terminal source reached by the backward trace of an address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AddressSource {
     /// `ld.param` at `pc` — parameterized.
     Param {
@@ -98,7 +97,7 @@ impl AddressSource {
 }
 
 /// Classification result for one load instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadInfo {
     /// Instruction index of the load.
     pub pc: usize,
@@ -150,7 +149,7 @@ pub struct LoadInfo {
 /// assert_eq!(c.class_of(11), Some(LoadClass::Deterministic));
 /// assert_eq!(c.class_of(14), Some(LoadClass::NonDeterministic));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Classification {
     kernel_name: String,
     loads: BTreeMap<usize, LoadInfo>,
@@ -250,13 +249,27 @@ impl<'k> Classifier<'k> {
                 LoadClass::NonDeterministic
             };
             let witness = if class == LoadClass::NonDeterministic {
-                addr.base.map(|b| self.witness_path(pc, b)).unwrap_or_default()
+                addr.base
+                    .map(|b| self.witness_path(pc, b))
+                    .unwrap_or_default()
             } else {
                 Vec::new()
             };
-            loads.insert(pc, LoadInfo { pc, space, class, sources, witness });
+            loads.insert(
+                pc,
+                LoadInfo {
+                    pc,
+                    space,
+                    class,
+                    sources,
+                    witness,
+                },
+            );
         }
-        Classification { kernel_name: self.kernel.name().to_string(), loads }
+        Classification {
+            kernel_name: self.kernel.name().to_string(),
+            loads,
+        }
     }
 
     /// Terminal sources of register `reg` as used at `use_pc`.
@@ -295,7 +308,10 @@ impl<'k> Classifier<'k> {
                     out.insert(AddressSource::Const { pc: def.pc });
                 }
                 _ => {
-                    out.insert(AddressSource::MemoryLoad { pc: def.pc, space: *space });
+                    out.insert(AddressSource::MemoryLoad {
+                        pc: def.pc,
+                        space: *space,
+                    });
                     // The load's own address chain is irrelevant: the loaded
                     // *value* is what taints.
                     let _ = addr;
@@ -325,7 +341,7 @@ impl<'k> Classifier<'k> {
                 // The predicate is a data dependence of the selected value.
                 out.extend(self.sources_of_use(def.pc, *pred));
             }
-            Op::St { .. } | Op::Bra { .. } | Op::Bar | Op::Exit => {
+            Op::St { .. } | Op::Bra { .. } | Op::Bar { .. } | Op::Exit => {
                 // These never define registers; unreachable for a DefSite.
                 debug_assert!(false, "definition site at non-defining instruction");
             }
@@ -373,7 +389,11 @@ impl<'k> Classifier<'k> {
                 continue;
             }
             // Does this def lead to a non-parameterized source at all?
-            if self.sources_of_def(def).iter().all(|s| s.is_parameterized()) {
+            if self
+                .sources_of_def(def)
+                .iter()
+                .all(|s| s.is_parameterized())
+            {
                 continue;
             }
             path.push(def.pc);
@@ -461,7 +481,11 @@ mod tests {
         let p = b.param("data", Type::U64);
         let base = b.ld_param(Type::U64, p);
         let i = b.reg();
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: i, src: 0i64.into() });
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: i,
+            src: 0i64.into(),
+        });
         let head = b.new_label();
         b.place(head);
         let addr = b.index64(base, i, 4);
@@ -487,13 +511,21 @@ mod tests {
         let p = b.param("data", Type::U64);
         let base = b.ld_param(Type::U64, p);
         let i = b.reg();
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: i, src: 0i64.into() });
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: i,
+            src: 0i64.into(),
+        });
         let head = b.new_label();
         b.place(head);
         let addr = b.index64(base, i, 4);
         let v = b.ld_global(Type::U32, addr);
         // i = v (pointer chasing)
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: i, src: v.into() });
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: i,
+            src: v.into(),
+        });
         let pr = b.setp(CmpOp::Ne, Type::U32, i, 0i64);
         b.bra_if(pr, head);
         b.exit();
@@ -514,9 +546,17 @@ mod tests {
         let tid = b.thread_linear_id();
         let addr0 = b.index64(base, tid, 4);
         let loaded = b.ld_global(Type::U32, addr0);
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: loaded.into() });
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: loaded.into(),
+        });
         // Unconditional overwrite with tid.
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: tid.into() });
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: tid.into(),
+        });
         let addr1 = b.index64(base, r, 4);
         let _ = b.ld_global(Type::U32, addr1);
         b.exit();
@@ -541,10 +581,13 @@ mod tests {
         let c = classify_built(b);
         assert_eq!(c.global_load_counts(), (0, 1));
         let info = c.global_loads().next().unwrap();
-        assert!(info
-            .sources
-            .iter()
-            .any(|s| matches!(s, AddressSource::MemoryLoad { space: Space::Shared, .. })));
+        assert!(info.sources.iter().any(|s| matches!(
+            s,
+            AddressSource::MemoryLoad {
+                space: Space::Shared,
+                ..
+            }
+        )));
     }
 
     /// Atomic results are non-parameterized sources.

@@ -78,7 +78,9 @@ impl ReachingDefs {
         }
         for (bid, block) in cfg.blocks().iter().enumerate() {
             for pc in block.pcs() {
-                let Some(&id) = def_id_at_pc.get(&pc) else { continue };
+                let Some(&id) = def_id_at_pc.get(&pc) else {
+                    continue;
+                };
                 let reg = defs[id].reg;
                 let unconditional = insts[pc].guard.is_none();
                 if unconditional {
@@ -121,7 +123,12 @@ impl ReachingDefs {
             }
         }
 
-        ReachingDefs { defs, defs_of_reg, block_in, cfg }
+        ReachingDefs {
+            defs,
+            defs_of_reg,
+            block_in,
+            cfg,
+        }
     }
 
     /// All definition sites in the kernel.
@@ -149,10 +156,13 @@ impl ReachingDefs {
             .copied()
             .filter(|&id| bit_get(&self.block_in[bid], id))
             .collect();
-        for pc in block.start..use_pc {
-            let inst = &insts[pc];
+        for (pc, inst) in insts.iter().enumerate().take(use_pc).skip(block.start) {
             if inst.dst_reg() == Some(reg) {
-                let id = ids.iter().copied().find(|&id| self.defs[id].pc == pc).unwrap();
+                let id = ids
+                    .iter()
+                    .copied()
+                    .find(|&id| self.defs[id].pc == pc)
+                    .unwrap();
                 if inst.guard.is_none() {
                     live.clear();
                 }
@@ -175,8 +185,16 @@ mod tests {
     fn straight_line_latest_def_wins() {
         let mut b = KernelBuilder::new("k");
         let r = b.reg();
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: 1i64.into() }); // pc 0
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: 2i64.into() }); // pc 1
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: 1i64.into(),
+        }); // pc 0
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: 2i64.into(),
+        }); // pc 1
         b.st_global(Type::U32, r, r); // pc 2 uses r
         b.exit();
         let k = b.build().unwrap();
@@ -189,10 +207,18 @@ mod tests {
     fn guarded_def_does_not_kill() {
         let mut b = KernelBuilder::new("k");
         let r = b.reg();
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: 1i64.into() }); // pc 0
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: 1i64.into(),
+        }); // pc 0
         let p = b.setp(CmpOp::Eq, Type::U32, Special::TidX, 0i64); // pc 1
         b.guard_next(p, false);
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: 2i64.into() }); // pc 2, guarded
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: 2i64.into(),
+        }); // pc 2, guarded
         b.st_global(Type::U32, r, r); // pc 3
         b.exit();
         let k = b.build().unwrap();
@@ -211,17 +237,28 @@ mod tests {
         let else_l = b.new_label();
         let merge = b.new_label();
         b.bra_unless(p, else_l); // pc 1
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: 1i64.into() }); // pc 2
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: 1i64.into(),
+        }); // pc 2
         b.bra(merge); // pc 3
         b.place(else_l);
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: 2i64.into() }); // pc 4
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: 2i64.into(),
+        }); // pc 4
         b.place(merge);
         b.st_global(Type::U32, r, r); // pc 5
         b.exit();
         let k = b.build().unwrap();
         let rd = ReachingDefs::compute(&k);
-        let pcs: Vec<usize> =
-            rd.defs_reaching_use(&k, 5, r).iter().map(|d| d.pc).collect();
+        let pcs: Vec<usize> = rd
+            .defs_reaching_use(&k, 5, r)
+            .iter()
+            .map(|d| d.pc)
+            .collect();
         assert_eq!(pcs, vec![2, 4]);
     }
 
@@ -230,7 +267,11 @@ mod tests {
         // r = 0; L: r = r + 1; if (r < 10) goto L
         let mut b = KernelBuilder::new("k");
         let r = b.reg();
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: 0i64.into() }); // pc 0
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: 0i64.into(),
+        }); // pc 0
         let head = b.new_label();
         b.place(head);
         b.push(gcl_ptx::Op::Alu {
@@ -247,8 +288,11 @@ mod tests {
         let rd = ReachingDefs::compute(&k);
         // The use of r inside the loop (pc 1) sees both the init (pc 0) and
         // the loop-carried def (pc 1 itself).
-        let pcs: Vec<usize> =
-            rd.defs_reaching_use(&k, 1, r).iter().map(|d| d.pc).collect();
+        let pcs: Vec<usize> = rd
+            .defs_reaching_use(&k, 1, r)
+            .iter()
+            .map(|d| d.pc)
+            .collect();
         assert_eq!(pcs, vec![0, 1]);
     }
 
@@ -268,7 +312,11 @@ mod tests {
         // r = 5; r = r + 1 — the use of r in pc 1 must see pc 0, not pc 1.
         let mut b = KernelBuilder::new("k");
         let r = b.reg();
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: r, src: 5i64.into() }); // pc 0
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: 5i64.into(),
+        }); // pc 0
         b.push(gcl_ptx::Op::Alu {
             op: gcl_ptx::AluOp::Add,
             ty: Type::U32,
@@ -279,8 +327,11 @@ mod tests {
         b.exit();
         let k = b.build().unwrap();
         let rd = ReachingDefs::compute(&k);
-        let pcs: Vec<usize> =
-            rd.defs_reaching_use(&k, 1, r).iter().map(|d| d.pc).collect();
+        let pcs: Vec<usize> = rd
+            .defs_reaching_use(&k, 1, r)
+            .iter()
+            .map(|d| d.pc)
+            .collect();
         assert_eq!(pcs, vec![0]);
     }
 }

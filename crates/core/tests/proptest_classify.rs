@@ -1,9 +1,10 @@
-//! Property tests of the load classifier: soundness of the taint rules on
-//! randomly generated dependence chains.
+//! Property-style tests of the load classifier: soundness of the taint
+//! rules on randomly generated dependence chains, driven by the in-tree
+//! seeded generator so failures are bit-reproducible.
 
 use gcl_core::{classify, LoadClass};
 use gcl_ptx::{Address, AluOp, Instruction, Kernel, Op, Operand, Reg, Space, Type};
-use proptest::prelude::*;
+use gcl_rng::{cases, Rng};
 
 /// A random arithmetic chain: each step combines two earlier registers (or
 /// launch-invariant sources). Register 0 starts as a parameter value;
@@ -15,9 +16,16 @@ struct Chain {
     steps: Vec<(u8, u8)>,
 }
 
-fn chain() -> impl Strategy<Value = Chain> {
-    (any::<bool>(), proptest::collection::vec((any::<u8>(), any::<u8>()), 1..12))
-        .prop_map(|(taint_origin, steps)| Chain { taint_origin, steps })
+fn chain(r: &mut Rng) -> Chain {
+    let taint_origin = r.chance(0.5);
+    let nsteps = 1 + r.usize_below(11);
+    let steps = (0..nsteps)
+        .map(|_| (r.u32_below(256) as u8, r.u32_below(256) as u8))
+        .collect();
+    Chain {
+        taint_origin,
+        steps,
+    }
 }
 
 /// Build the kernel for a chain. Returns (kernel, final load pc, whether any
@@ -84,18 +92,22 @@ fn build(c: &Chain) -> (Kernel, usize, bool) {
     }));
     insts.push(Instruction::new(Op::Exit));
     let expect_taint = *tainted.last().unwrap();
-    let kernel =
-        Kernel::new("chain", vec![gcl_ptx::ParamDecl::new("p", Type::U64)], 0, insts).unwrap();
+    let kernel = Kernel::new(
+        "chain",
+        vec![gcl_ptx::ParamDecl::new("p", Type::U64)],
+        0,
+        insts,
+    )
+    .unwrap();
     (kernel, load_pc, expect_taint)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// The classifier's verdict on the final load matches exact taint
-    /// propagation through the chain.
-    #[test]
-    fn classifier_matches_exact_taint(c in chain()) {
+/// The classifier's verdict on the final load matches exact taint
+/// propagation through the chain.
+#[test]
+fn classifier_matches_exact_taint() {
+    cases(0xC1A5, 512, |r| {
+        let c = chain(r);
         let (kernel, load_pc, tainted) = build(&c);
         let classes = classify(&kernel);
         let got = classes.class_of(load_pc).expect("final load classified");
@@ -104,38 +116,44 @@ proptest! {
         } else {
             LoadClass::Deterministic
         };
-        prop_assert_eq!(got, want, "chain {:?}", c);
-    }
+        assert_eq!(got, want, "chain {c:?}");
+    });
+}
 
-    /// Non-deterministic verdicts always come with a witness chain that
-    /// starts at the load and ends at a memory-read instruction.
-    #[test]
-    fn witnesses_are_well_formed(c in chain()) {
+/// Non-deterministic verdicts always come with a witness chain that starts
+/// at the load and ends at a memory-read instruction.
+#[test]
+fn witnesses_are_well_formed() {
+    cases(0xC1A6, 512, |r| {
+        let c = chain(r);
         let (kernel, load_pc, _) = build(&c);
         let classes = classify(&kernel);
         let info = classes.load(load_pc).unwrap();
         if info.class == LoadClass::NonDeterministic {
-            prop_assert!(!info.witness.is_empty());
-            prop_assert_eq!(info.witness[0], load_pc);
+            assert!(!info.witness.is_empty());
+            assert_eq!(info.witness[0], load_pc);
             let last = *info.witness.last().unwrap();
             let op = &kernel.insts()[last].op;
-            prop_assert!(
+            assert!(
                 matches!(op, Op::Ld { space, .. } if !space.is_parameterized())
                     || matches!(op, Op::Atom { .. }),
                 "witness terminal {op}"
             );
         } else {
-            prop_assert!(info.witness.is_empty());
+            assert!(info.witness.is_empty());
         }
-    }
+    });
+}
 
-    /// Classification is idempotent and source sets are non-empty.
-    #[test]
-    fn classification_is_stable(c in chain()) {
+/// Classification is idempotent and source sets are non-empty.
+#[test]
+fn classification_is_stable() {
+    cases(0xC1A7, 256, |r| {
+        let c = chain(r);
         let (kernel, load_pc, _) = build(&c);
         let a = classify(&kernel);
         let b = classify(&kernel);
-        prop_assert_eq!(&a, &b);
-        prop_assert!(!a.load(load_pc).unwrap().sources.is_empty());
-    }
+        assert_eq!(a, b);
+        assert!(!a.load(load_pc).unwrap().sources.is_empty());
+    });
 }

@@ -1,10 +1,8 @@
 //! Address-to-partition mapping, including the Section X "semi-global L2"
 //! topology used by the A2 ablation.
 
-use serde::{Deserialize, Serialize};
-
 /// How SMs and addresses map onto L2 partitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum L2Topology {
     /// The baseline: one unified L2, all partitions shared by all SMs;
     /// addresses interleave across all partitions.
@@ -21,7 +19,7 @@ pub enum L2Topology {
 
 /// Maps block addresses (and, for clustered topologies, the issuing SM) to a
 /// memory partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddrMap {
     n_partitions: usize,
     n_sms: usize,
@@ -52,7 +50,12 @@ impl AddrMap {
                 "SMs ({n_sms}) must divide evenly into {clusters} clusters"
             );
         }
-        AddrMap { n_partitions, n_sms, topology, granule: 256 }
+        AddrMap {
+            n_partitions,
+            n_sms,
+            topology,
+            granule: 256,
+        }
     }
 
     /// Number of partitions.

@@ -7,10 +7,9 @@
 //! space). Failed accesses are retried by the caller on a later cycle.
 
 use crate::{ClassTag, Cycle, MemRequest, Mshr};
-use serde::{Deserialize, Serialize};
 
 /// Geometry and resource limits of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Number of sets. Must be a power of two.
     pub sets: usize,
@@ -68,7 +67,7 @@ impl CacheConfig {
 }
 
 /// Outcome of one access attempt (the categories of the paper's Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessOutcome {
     /// Data present: completes after [`CacheConfig::hit_latency`].
     Hit,
@@ -87,7 +86,10 @@ pub enum AccessOutcome {
 impl AccessOutcome {
     /// Whether the access was accepted (no retry needed).
     pub fn accepted(self) -> bool {
-        matches!(self, AccessOutcome::Hit | AccessOutcome::HitReserved | AccessOutcome::MissIssued)
+        matches!(
+            self,
+            AccessOutcome::Hit | AccessOutcome::HitReserved | AccessOutcome::MissIssued
+        )
     }
 
     /// Dense index for counter arrays, in Figure 3's legend order.
@@ -114,7 +116,7 @@ impl AccessOutcome {
 }
 
 /// Per-cache statistics: access attempts by outcome, split by load class.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// `attempts[outcome][class]` — access attempts (cache cycles consumed).
     pub attempts: [[u64; 3]; 6],
@@ -214,12 +216,19 @@ impl Cache {
     /// resource limit is zero.
     pub fn new(cfg: CacheConfig) -> Cache {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways > 0 && cfg.miss_queue_len > 0);
         Cache {
             cfg,
             lines: vec![
-                Line { tag: 0, state: LineState::Invalid, last_use: 0 };
+                Line {
+                    tag: 0,
+                    state: LineState::Invalid,
+                    last_use: 0
+                };
                 cfg.sets * cfg.ways
             ],
             mshr: Mshr::new(cfg.mshr_entries, cfg.mshr_max_merge),
@@ -488,7 +497,10 @@ mod tests {
         assert_eq!(c.access(rd(1, S0[0]), 1), AccessOutcome::MissIssued);
         assert_eq!(c.access(rd(2, S0[1]), 2), AccessOutcome::MissIssued);
         // Set 0 now has both ways reserved; a third block cannot evict.
-        assert_eq!(c.access(rd(3, S0[2]), 3), AccessOutcome::ReservationFailTags);
+        assert_eq!(
+            c.access(rd(3, S0[2]), 3),
+            AccessOutcome::ReservationFailTags
+        );
         let stats = c.stats();
         assert_eq!(stats.outcome_total(AccessOutcome::ReservationFailTags), 1);
     }
@@ -533,7 +545,10 @@ mod tests {
     fn lru_evicts_least_recently_used_valid_line() {
         let mut c = tiny();
         for (i, &a) in S0[..2].iter().enumerate() {
-            assert_eq!(c.access(rd(i as u64, a), i as u64), AccessOutcome::MissIssued);
+            assert_eq!(
+                c.access(rd(i as u64, a), i as u64),
+                AccessOutcome::MissIssued
+            );
             c.pop_miss();
             c.fill(a, 10 + i as u64);
         }
@@ -580,8 +595,14 @@ mod tests {
         nreq.class = ClassTag::NonDeterministic;
         c.access(nreq, 2);
         let s = c.stats();
-        assert_eq!(s.outcome_class(AccessOutcome::MissIssued, ClassTag::Deterministic), 1);
-        assert_eq!(s.outcome_class(AccessOutcome::MissIssued, ClassTag::NonDeterministic), 1);
+        assert_eq!(
+            s.outcome_class(AccessOutcome::MissIssued, ClassTag::Deterministic),
+            1
+        );
+        assert_eq!(
+            s.outcome_class(AccessOutcome::MissIssued, ClassTag::NonDeterministic),
+            1
+        );
         assert_eq!(s.accepted(ClassTag::Deterministic), 1);
     }
 

@@ -7,11 +7,10 @@
 //! bandwidth-limited bus, stretching the tail of multi-request loads.
 
 use crate::{Cycle, MemRequest};
-use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// DRAM channel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Banks per channel.
     pub banks: usize,
@@ -29,7 +28,13 @@ pub struct DramConfig {
 impl DramConfig {
     /// Fermi-like defaults matching the paper's Table II (`DRAM latency 100`).
     pub fn fermi() -> DramConfig {
-        DramConfig { banks: 8, access_latency: 100, data_bus_gap: 4, bank_busy: 16, queue_len: 32 }
+        DramConfig {
+            banks: 8,
+            access_latency: 100,
+            data_bus_gap: 4,
+            bank_busy: 16,
+            queue_len: 32,
+        }
     }
 }
 
@@ -54,7 +59,7 @@ impl PartialOrd for Completion {
 }
 
 /// Per-channel statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DramStats {
     /// Requests serviced.
     pub serviced: u64,
@@ -144,7 +149,11 @@ impl DramChannel {
             self.queue.pop_front();
             let idx = self.finished.len();
             self.finished.push(Some(req));
-            self.completions.push(Completion { ready: done, seq: self.seq, req_index: idx });
+            self.completions.push(Completion {
+                ready: done,
+                seq: self.seq,
+                req_index: idx,
+            });
             self.seq += 1;
             self.stats.serviced += 1;
             self.stats.total_latency += done - arrival;
@@ -200,7 +209,13 @@ mod tests {
 
     #[test]
     fn unloaded_access_costs_fixed_latency() {
-        let cfg = DramConfig { banks: 4, access_latency: 100, data_bus_gap: 4, bank_busy: 16, queue_len: 8 };
+        let cfg = DramConfig {
+            banks: 4,
+            access_latency: 100,
+            data_bus_gap: 4,
+            bank_busy: 16,
+            queue_len: 8,
+        };
         let mut ch = DramChannel::new(cfg);
         assert!(ch.try_push(rd(1, 0), 0));
         let done = drain(&mut ch, 200);
@@ -210,7 +225,13 @@ mod tests {
 
     #[test]
     fn same_bank_requests_serialize() {
-        let cfg = DramConfig { banks: 4, access_latency: 100, data_bus_gap: 1, bank_busy: 50, queue_len: 8 };
+        let cfg = DramConfig {
+            banks: 4,
+            access_latency: 100,
+            data_bus_gap: 1,
+            bank_busy: 50,
+            queue_len: 8,
+        };
         let mut ch = DramChannel::new(cfg);
         // Same bank: addresses differing by banks*128.
         ch.try_push(rd(1, 0), 0);
@@ -223,7 +244,13 @@ mod tests {
 
     #[test]
     fn different_banks_overlap() {
-        let cfg = DramConfig { banks: 4, access_latency: 100, data_bus_gap: 1, bank_busy: 50, queue_len: 8 };
+        let cfg = DramConfig {
+            banks: 4,
+            access_latency: 100,
+            data_bus_gap: 1,
+            bank_busy: 50,
+            queue_len: 8,
+        };
         let mut ch = DramChannel::new(cfg);
         ch.try_push(rd(1, 0), 0);
         ch.try_push(rd(2, 128), 0); // next bank
@@ -235,7 +262,13 @@ mod tests {
 
     #[test]
     fn bus_gap_limits_throughput() {
-        let cfg = DramConfig { banks: 8, access_latency: 10, data_bus_gap: 20, bank_busy: 1, queue_len: 16 };
+        let cfg = DramConfig {
+            banks: 8,
+            access_latency: 10,
+            data_bus_gap: 20,
+            bank_busy: 1,
+            queue_len: 16,
+        };
         let mut ch = DramChannel::new(cfg);
         for i in 0..4 {
             ch.try_push(rd(i, i * 128), 0);
@@ -249,7 +282,13 @@ mod tests {
 
     #[test]
     fn queue_bound_back_pressures() {
-        let cfg = DramConfig { banks: 1, access_latency: 100, data_bus_gap: 1, bank_busy: 100, queue_len: 2 };
+        let cfg = DramConfig {
+            banks: 1,
+            access_latency: 100,
+            data_bus_gap: 1,
+            bank_busy: 100,
+            queue_len: 2,
+        };
         let mut ch = DramChannel::new(cfg);
         assert!(ch.try_push(rd(1, 0), 0));
         assert!(ch.try_push(rd(2, 0), 0));
@@ -260,7 +299,13 @@ mod tests {
 
     #[test]
     fn mean_latency_tracks_queueing() {
-        let cfg = DramConfig { banks: 1, access_latency: 100, data_bus_gap: 1, bank_busy: 100, queue_len: 8 };
+        let cfg = DramConfig {
+            banks: 1,
+            access_latency: 100,
+            data_bus_gap: 1,
+            bank_busy: 100,
+            queue_len: 8,
+        };
         let mut ch = DramChannel::new(cfg);
         ch.try_push(rd(1, 0), 0);
         ch.try_push(rd(2, 0), 0);

@@ -8,11 +8,10 @@
 //! serialization produces the Figure 7 "gap at L2-icnt" spread.
 
 use crate::{Cycle, MemRequest};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Interconnect configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IcntConfig {
     /// Cycles a packet spends in flight once arbitrated.
     pub hop_latency: u32,
@@ -25,7 +24,11 @@ pub struct IcntConfig {
 impl IcntConfig {
     /// Fermi-like defaults.
     pub fn fermi() -> IcntConfig {
-        IcntConfig { hop_latency: 8, input_queue_len: 8, output_bandwidth: 1 }
+        IcntConfig {
+            hop_latency: 8,
+            input_queue_len: 8,
+            output_bandwidth: 1,
+        }
     }
 }
 
@@ -132,7 +135,10 @@ pub struct Icnt {
 impl Icnt {
     /// Create an interconnect between `n_sms` cores and `n_parts` partitions.
     pub fn new(cfg: IcntConfig, n_sms: usize, n_parts: usize) -> Icnt {
-        Icnt { req: Xbar::new(cfg, n_sms, n_parts), resp: Xbar::new(cfg, n_parts, n_sms) }
+        Icnt {
+            req: Xbar::new(cfg, n_sms, n_parts),
+            resp: Xbar::new(cfg, n_parts, n_sms),
+        }
     }
 
     /// Whether SM `sm` can inject a request this cycle.
@@ -195,7 +201,11 @@ mod tests {
 
     #[test]
     fn request_traverses_with_hop_latency() {
-        let cfg = IcntConfig { hop_latency: 5, input_queue_len: 4, output_bandwidth: 1 };
+        let cfg = IcntConfig {
+            hop_latency: 5,
+            input_queue_len: 4,
+            output_bandwidth: 1,
+        };
         let mut icnt = Icnt::new(cfg, 1, 1);
         assert!(icnt.inject_request(0, 0, rd(1)));
         icnt.tick(0); // arbitrated at cycle 0, ready at 5
@@ -205,7 +215,11 @@ mod tests {
 
     #[test]
     fn input_queue_bound_back_pressures() {
-        let cfg = IcntConfig { hop_latency: 1, input_queue_len: 2, output_bandwidth: 1 };
+        let cfg = IcntConfig {
+            hop_latency: 1,
+            input_queue_len: 2,
+            output_bandwidth: 1,
+        };
         let mut icnt = Icnt::new(cfg, 1, 1);
         assert!(icnt.inject_request(0, 0, rd(1)));
         assert!(icnt.inject_request(0, 0, rd(2)));
@@ -217,7 +231,11 @@ mod tests {
 
     #[test]
     fn output_serialization_one_per_cycle() {
-        let cfg = IcntConfig { hop_latency: 0, input_queue_len: 8, output_bandwidth: 1 };
+        let cfg = IcntConfig {
+            hop_latency: 0,
+            input_queue_len: 8,
+            output_bandwidth: 1,
+        };
         let mut icnt = Icnt::new(cfg, 2, 1);
         icnt.inject_request(0, 0, rd(1));
         icnt.inject_request(1, 0, rd(2));
@@ -251,7 +269,11 @@ mod tests {
 
     #[test]
     fn round_robin_is_fair_across_inputs() {
-        let cfg = IcntConfig { hop_latency: 0, input_queue_len: 8, output_bandwidth: 1 };
+        let cfg = IcntConfig {
+            hop_latency: 0,
+            input_queue_len: 8,
+            output_bandwidth: 1,
+        };
         let mut icnt = Icnt::new(cfg, 2, 1);
         for i in 0..4 {
             icnt.inject_request(0, 0, rd(10 + i));

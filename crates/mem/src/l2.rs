@@ -7,7 +7,7 @@ use crate::{
 use std::collections::VecDeque;
 
 /// Configuration of one memory partition.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartitionConfig {
     /// The L2 slice.
     pub l2: CacheConfig,
@@ -222,7 +222,10 @@ mod tests {
 
     #[test]
     fn input_queue_bound() {
-        let cfg = PartitionConfig { input_queue_len: 2, ..PartitionConfig::fermi() };
+        let cfg = PartitionConfig {
+            input_queue_len: 2,
+            ..PartitionConfig::fermi()
+        };
         let mut part = L2Partition::new(cfg);
         assert!(part.enqueue(rd(1, 0x0)));
         assert!(part.enqueue(rd(2, 0x80)));

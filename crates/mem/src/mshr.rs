@@ -25,7 +25,11 @@ impl Mshr {
     pub fn new(capacity: usize, max_merged: usize) -> Mshr {
         assert!(capacity > 0, "MSHR capacity must be positive");
         assert!(max_merged > 0, "MSHR merge limit must be positive");
-        Mshr { entries: HashMap::new(), capacity, max_merged }
+        Mshr {
+            entries: HashMap::new(),
+            capacity,
+            max_merged,
+        }
     }
 
     /// Whether a *new* entry can be allocated.

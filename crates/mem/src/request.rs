@@ -1,7 +1,5 @@
 //! Memory requests flowing through the hierarchy.
 
-use serde::{Deserialize, Serialize};
-
 /// Simulation time, in GPU core cycles.
 pub type Cycle = u64;
 
@@ -9,7 +7,7 @@ pub type Cycle = u64;
 ///
 /// Mirrors [`gcl_core::LoadClass`](https://docs.rs/gcl-core) plus the cases
 /// the classifier does not cover (stores, instruction fills, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClassTag {
     /// Request from a deterministic load.
     Deterministic,
@@ -30,8 +28,11 @@ impl ClassTag {
     }
 
     /// All tags in [`index`](Self::index) order.
-    pub const ALL: [ClassTag; 3] =
-        [ClassTag::Deterministic, ClassTag::NonDeterministic, ClassTag::Other];
+    pub const ALL: [ClassTag; 3] = [
+        ClassTag::Deterministic,
+        ClassTag::NonDeterministic,
+        ClassTag::Other,
+    ];
 }
 
 /// One cache-line-granular memory request.
@@ -40,7 +41,7 @@ impl ClassTag {
 /// wait lists and queues. The `meta` field is opaque to the memory system —
 /// the simulator packs whatever it needs to route completions back (e.g. an
 /// index into its in-flight load table).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemRequest {
     /// Unique id, assigned by the producer.
     pub id: u64,
@@ -94,7 +95,10 @@ impl MemRequest {
 
     /// Create a write request at `cycle`.
     pub fn write(id: u64, block_addr: u64, sm_id: u16, cycle: Cycle) -> MemRequest {
-        MemRequest { is_write: true, ..MemRequest::read(id, block_addr, sm_id, ClassTag::Other, 0, cycle) }
+        MemRequest {
+            is_write: true,
+            ..MemRequest::read(id, block_addr, sm_id, ClassTag::Other, 0, cycle)
+        }
     }
 }
 

@@ -1,9 +1,10 @@
-//! Property tests of the cache's reservation semantics under random access
-//! interleavings: conservation of requests, resource bounds, and the
-//! retry/fill protocol.
+//! Property-style tests of the cache's reservation semantics under random
+//! access interleavings: conservation of requests, resource bounds, and the
+//! retry/fill protocol. Cases are driven by the in-tree seeded generator so
+//! failures are bit-reproducible.
 
 use gcl_mem::{AccessOutcome, Cache, CacheConfig, ClassTag, MemRequest};
-use proptest::prelude::*;
+use gcl_rng::{cases, Rng};
 
 fn tiny_cfg() -> CacheConfig {
     CacheConfig {
@@ -27,27 +28,27 @@ enum Step {
     Service,
 }
 
-fn step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0u8..24).prop_map(Step::Read),
-        (0u8..24).prop_map(Step::Write),
-        Just(Step::Service),
-    ]
+fn step(r: &mut Rng) -> Step {
+    match r.u32_below(3) {
+        0 => Step::Read(r.u32_below(24) as u8),
+        1 => Step::Write(r.u32_below(24) as u8),
+        _ => Step::Service,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Every read request is eventually either completed (hit or fill) or
-    /// still pending as a reservation failure retry — none are lost or
-    /// duplicated. Resource counters never exceed their configured bounds.
-    #[test]
-    fn conservation_and_bounds(steps in proptest::collection::vec(step(), 1..120)) {
+/// Every read request is eventually either completed (hit or fill) or still
+/// pending as a reservation-failure retry — none are lost or duplicated.
+/// Resource counters never exceed their configured bounds.
+#[test]
+fn conservation_and_bounds() {
+    cases(0xCAC4, 256, |r| {
+        let nsteps = 1 + r.usize_below(119);
+        let steps: Vec<Step> = (0..nsteps).map(|_| step(r)).collect();
         let cfg = tiny_cfg();
         let mut cache = Cache::new(cfg);
-        let mut issued: u64 = 0;      // reads accepted (hit/merged/missed)
-        let mut completed: u64 = 0;   // reads that produced data
-        let mut in_mshr: u64 = 0;     // accepted, awaiting fill
+        let mut issued: u64 = 0; // reads accepted (hit/merged/missed)
+        let mut completed: u64 = 0; // reads that produced data
+        let mut in_mshr: u64 = 0; // accepted, awaiting fill
         let mut cycle = 0u64;
 
         for (i, s) in steps.iter().enumerate() {
@@ -55,8 +56,8 @@ proptest! {
             match s {
                 Step::Read(blk) => {
                     let addr = u64::from(*blk) * 128;
-                    let req = MemRequest::read(
-                        i as u64, addr, 0, ClassTag::Deterministic, 0, cycle);
+                    let req =
+                        MemRequest::read(i as u64, addr, 0, ClassTag::Deterministic, 0, cycle);
                     match cache.access(req, cycle) {
                         AccessOutcome::Hit => {
                             issued += 1;
@@ -80,14 +81,14 @@ proptest! {
                     if let Some(m) = cache.pop_miss() {
                         if !m.is_write {
                             let done = cache.fill(m.block_addr, cycle);
-                            prop_assert!(!done.is_empty(), "fill released nobody");
+                            assert!(!done.is_empty(), "fill released nobody");
                             completed += done.len() as u64;
                             in_mshr -= done.len() as u64;
                         }
                     }
                 }
             }
-            prop_assert!(cache.inflight() <= cfg.mshr_entries);
+            assert!(cache.inflight() <= cfg.mshr_entries);
         }
 
         // Drain everything still in flight.
@@ -98,35 +99,41 @@ proptest! {
                 in_mshr -= done.len() as u64;
             }
         }
-        prop_assert_eq!(in_mshr, 0, "requests stuck in MSHRs");
-        prop_assert_eq!(issued, completed, "requests lost or duplicated");
-        prop_assert_eq!(cache.inflight(), 0);
+        assert_eq!(in_mshr, 0, "requests stuck in MSHRs");
+        assert_eq!(issued, completed, "requests lost or duplicated");
+        assert_eq!(cache.inflight(), 0);
 
         // Stats agree with our external accounting.
         let s = cache.stats();
         let accepted = s.accepted(ClassTag::Deterministic);
-        prop_assert_eq!(accepted, issued);
-    }
+        assert_eq!(accepted, issued);
+    });
+}
 
-    /// After a fill, re-reading the same block hits (LRU keeps it unless
-    /// capacity-evicted by the interleaving — so use a single block).
-    #[test]
-    fn fill_then_hit(blk in 0u8..32) {
+/// After a fill, re-reading the same block hits (LRU keeps it unless
+/// capacity-evicted by the interleaving — so use a single block).
+#[test]
+fn fill_then_hit() {
+    cases(0xCAC5, 32, |r| {
+        let blk = r.u32_below(32) as u8;
         let mut cache = Cache::new(tiny_cfg());
         let addr = u64::from(blk) * 128;
-        let r = MemRequest::read(1, addr, 0, ClassTag::NonDeterministic, 0, 0);
-        prop_assert_eq!(cache.access(r, 0), AccessOutcome::MissIssued);
+        let req = MemRequest::read(1, addr, 0, ClassTag::NonDeterministic, 0, 0);
+        assert_eq!(cache.access(req, 0), AccessOutcome::MissIssued);
         let m = cache.pop_miss().unwrap();
         let done = cache.fill(m.block_addr, 10);
-        prop_assert_eq!(done.len(), 1);
+        assert_eq!(done.len(), 1);
         let r2 = MemRequest::read(2, addr, 0, ClassTag::NonDeterministic, 0, 11);
-        prop_assert_eq!(cache.access(r2, 11), AccessOutcome::Hit);
-    }
+        assert_eq!(cache.access(r2, 11), AccessOutcome::Hit);
+    });
+}
 
-    /// A failed access leaves the cache state unchanged: retrying after
-    /// draining resources succeeds.
-    #[test]
-    fn failed_access_is_retryable(fill_blocks in 1u8..8) {
+/// A failed access leaves the cache state unchanged: retrying after
+/// draining resources succeeds.
+#[test]
+fn failed_access_is_retryable() {
+    cases(0xCAC6, 8, |r| {
+        let fill_blocks = 1 + r.u32_below(7) as u8;
         let cfg = tiny_cfg();
         let mut cache = Cache::new(cfg);
         // Saturate the miss queue.
@@ -138,10 +145,10 @@ proptest! {
                 accepted += 1;
             }
         }
-        prop_assert!(accepted <= cfg.miss_queue_len as u64 + 1);
+        assert!(accepted <= cfg.miss_queue_len as u64 + 1);
         // Drain and retry one blocked request: must now be accepted.
         while cache.pop_miss().is_some() {}
         let retry = MemRequest::read(99, 0x7F00, 0, ClassTag::Deterministic, 0, 100);
-        prop_assert!(cache.access(retry, 100).accepted());
-    }
+        assert!(cache.access(retry, 100).accepted());
+    });
 }

@@ -130,7 +130,11 @@ impl KernelBuilder {
     /// `mov ty dst, src` into a fresh register.
     pub fn mov(&mut self, ty: Type, src: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Op::Mov { ty, dst, src: src.into() });
+        self.push(Op::Mov {
+            ty,
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
@@ -157,7 +161,12 @@ impl KernelBuilder {
     /// `cvt dst_ty src_ty` into a fresh register.
     pub fn cvt(&mut self, dst_ty: Type, src_ty: Type, src: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Op::Cvt { dst_ty, src_ty, dst, src: src.into() });
+        self.push(Op::Cvt {
+            dst_ty,
+            src_ty,
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
@@ -172,7 +181,13 @@ impl KernelBuilder {
         b: impl Into<Operand>,
     ) -> Reg {
         let dst = self.reg();
-        self.push(Op::Alu { op, ty, dst, a: a.into(), b: b.into() });
+        self.push(Op::Alu {
+            op,
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -250,7 +265,14 @@ impl KernelBuilder {
         c: impl Into<Operand>,
     ) -> Reg {
         let dst = self.reg();
-        self.push(Op::Mad { ty, dst, a: a.into(), b: b.into(), c: c.into(), wide: false });
+        self.push(Op::Mad {
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+            c: c.into(),
+            wide: false,
+        });
         dst
     }
 
@@ -263,14 +285,26 @@ impl KernelBuilder {
         c: impl Into<Operand>,
     ) -> Reg {
         let dst = self.reg();
-        self.push(Op::Mad { ty, dst, a: a.into(), b: b.into(), c: c.into(), wide: true });
+        self.push(Op::Mad {
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+            c: c.into(),
+            wide: true,
+        });
         dst
     }
 
     /// One-source ALU op into a fresh register.
     pub fn unary(&mut self, op: UnaryOp, ty: Type, a: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Op::Unary { op, ty, dst, a: a.into() });
+        self.push(Op::Unary {
+            op,
+            ty,
+            dst,
+            a: a.into(),
+        });
         dst
     }
 
@@ -297,7 +331,12 @@ impl KernelBuilder {
     /// Special-function op (`sin`, `sqrt`, ...) into a fresh register.
     pub fn sfu(&mut self, op: SfuOp, ty: Type, a: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Op::Sfu { op, ty, dst, a: a.into() });
+        self.push(Op::Sfu {
+            op,
+            ty,
+            dst,
+            a: a.into(),
+        });
         dst
     }
 
@@ -312,7 +351,13 @@ impl KernelBuilder {
         b: impl Into<Operand>,
     ) -> Reg {
         let dst = self.reg();
-        self.push(Op::Setp { cmp, ty, dst, a: a.into(), b: b.into() });
+        self.push(Op::Setp {
+            cmp,
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -325,7 +370,13 @@ impl KernelBuilder {
         pred: Reg,
     ) -> Reg {
         let dst = self.reg();
-        self.push(Op::Selp { ty, dst, a: a.into(), b: b.into(), pred });
+        self.push(Op::Selp {
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+            pred,
+        });
         dst
     }
 
@@ -349,7 +400,13 @@ impl KernelBuilder {
 
     /// CTA barrier (`bar.sync 0`).
     pub fn bar(&mut self) {
-        self.push(Op::Bar);
+        self.push(Op::Bar { id: 0 });
+    }
+
+    /// Named CTA barrier (`bar.sync id`). Warps waiting on different ids do
+    /// not release each other.
+    pub fn bar_id(&mut self, id: u32) {
+        self.push(Op::Bar { id });
     }
 
     /// Thread exit.
@@ -375,7 +432,12 @@ impl KernelBuilder {
     /// Generic load into a fresh register.
     pub fn ld(&mut self, space: Space, ty: Type, addr: Address) -> Reg {
         let dst = self.reg();
-        self.push(Op::Ld { space, ty, dst, addr });
+        self.push(Op::Ld {
+            space,
+            ty,
+            dst,
+            addr,
+        });
         dst
     }
 
@@ -396,7 +458,12 @@ impl KernelBuilder {
 
     /// Generic store.
     pub fn st(&mut self, space: Space, ty: Type, addr: Address, src: impl Into<Operand>) {
-        self.push(Op::St { space, ty, addr, src: src.into() });
+        self.push(Op::St {
+            space,
+            ty,
+            addr,
+            src: src.into(),
+        });
     }
 
     /// `st.global ty [addr], src`.
@@ -412,7 +479,13 @@ impl KernelBuilder {
     /// Atomic RMW on global memory; returns the register holding the old value.
     pub fn atom(&mut self, op: AtomOp, ty: Type, addr: Reg, src: impl Into<Operand>) -> Reg {
         let dst = self.reg();
-        self.push(Op::Atom { op, ty, dst, addr: Address::reg(addr), src: src.into() });
+        self.push(Op::Atom {
+            op,
+            ty,
+            dst,
+            addr: Address::reg(addr),
+            src: src.into(),
+        });
         dst
     }
 

@@ -91,10 +91,8 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Op::Exit if inst.guard.is_none() => {
-                    if pc + 1 < n {
-                        leader[pc + 1] = true;
-                    }
+                Op::Exit if inst.guard.is_none() && pc + 1 < n => {
+                    leader[pc + 1] = true;
                 }
                 _ => {}
             }
@@ -104,14 +102,24 @@ impl Cfg {
         let mut blocks: Vec<BasicBlock> = Vec::new();
         let mut block_of_pc = vec![0usize; n];
         let mut start = 0usize;
-        for pc in 0..n {
-            if pc > start && leader[pc] {
-                blocks.push(BasicBlock { start, end: pc, succs: vec![], preds: vec![] });
+        for (pc, &lead) in leader.iter().enumerate() {
+            if pc > start && lead {
+                blocks.push(BasicBlock {
+                    start,
+                    end: pc,
+                    succs: vec![],
+                    preds: vec![],
+                });
                 start = pc;
             }
         }
         if n > 0 {
-            blocks.push(BasicBlock { start, end: n, succs: vec![], preds: vec![] });
+            blocks.push(BasicBlock {
+                start,
+                end: n,
+                succs: vec![],
+                preds: vec![],
+            });
         }
         for (id, b) in blocks.iter().enumerate() {
             for pc in b.pcs() {
@@ -121,8 +129,8 @@ impl Cfg {
 
         // Successors.
         let nb = blocks.len();
-        for id in 0..nb {
-            let term = blocks[id].terminator_pc();
+        for b in blocks.iter_mut() {
+            let term = b.terminator_pc();
             let inst = &insts[term];
             let mut succs = Vec::new();
             match inst.op {
@@ -140,7 +148,7 @@ impl Cfg {
                 }
             }
             succs.dedup();
-            blocks[id].succs = succs;
+            b.succs = succs;
         }
 
         // Predecessors.
@@ -151,7 +159,10 @@ impl Cfg {
             }
         }
 
-        Cfg { blocks, block_of_pc }
+        Cfg {
+            blocks,
+            block_of_pc,
+        }
     }
 
     /// The blocks, in program order. Block 0 is the entry.
@@ -224,7 +235,9 @@ impl Cfg {
         let mut visited = vec![false; n + 1];
         let rev_succs = |b: BlockId| -> Vec<BlockId> {
             if b == exit {
-                (0..n).filter(|&x| self.blocks[x].succs.is_empty()).collect()
+                (0..n)
+                    .filter(|&x| self.blocks[x].succs.is_empty())
+                    .collect()
             } else {
                 self.blocks[b].preds.clone()
             }
@@ -381,7 +394,9 @@ mod tests {
         assert_eq!(rpo.len(), 3);
         // Every successor appears after its predecessor in RPO for this
         // acyclic CFG.
-        let pos: Vec<_> = (0..3).map(|b| rpo.iter().position(|&x| x == b).unwrap()).collect();
+        let pos: Vec<_> = (0..3)
+            .map(|b| rpo.iter().position(|&x| x == b).unwrap())
+            .collect();
         assert!(pos[0] < pos[1]);
         assert!(pos[1] < pos[2]);
     }

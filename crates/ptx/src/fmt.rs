@@ -10,10 +10,25 @@ use std::fmt;
 impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Op::Ld { space, ty, dst, addr } => write!(f, "ld.{space}.{ty} {dst}, {addr}"),
-            Op::St { space, ty, addr, src } => write!(f, "st.{space}.{ty} {addr}, {src}"),
+            Op::Ld {
+                space,
+                ty,
+                dst,
+                addr,
+            } => write!(f, "ld.{space}.{ty} {dst}, {addr}"),
+            Op::St {
+                space,
+                ty,
+                addr,
+                src,
+            } => write!(f, "st.{space}.{ty} {addr}, {src}"),
             Op::Mov { ty, dst, src } => write!(f, "mov.{ty} {dst}, {src}"),
-            Op::Cvt { dst_ty, src_ty, dst, src } => {
+            Op::Cvt {
+                dst_ty,
+                src_ty,
+                dst,
+                src,
+            } => {
                 write!(f, "cvt.{dst_ty}.{src_ty} {dst}, {src}")
             }
             Op::Unary { op, ty, dst, a } => {
@@ -22,7 +37,14 @@ impl fmt::Display for Op {
             Op::Alu { op, ty, dst, a, b } => {
                 write!(f, "{}.{ty} {dst}, {a}, {b}", op.mnemonic())
             }
-            Op::Mad { ty, dst, a, b, c, wide } => {
+            Op::Mad {
+                ty,
+                dst,
+                a,
+                b,
+                c,
+                wide,
+            } => {
                 let m = if *wide { "mad.wide" } else { "mad.lo" };
                 write!(f, "{m}.{ty} {dst}, {a}, {b}, {c}")
             }
@@ -30,12 +52,24 @@ impl fmt::Display for Op {
             Op::Setp { cmp, ty, dst, a, b } => {
                 write!(f, "setp.{}.{ty} {dst}, {a}, {b}", cmp.mnemonic())
             }
-            Op::Selp { ty, dst, a, b, pred } => {
+            Op::Selp {
+                ty,
+                dst,
+                a,
+                b,
+                pred,
+            } => {
                 write!(f, "selp.{ty} {dst}, {a}, {b}, {pred}")
             }
             Op::Bra { target } => write!(f, "bra L{target}"),
-            Op::Bar => write!(f, "bar.sync 0"),
-            Op::Atom { op, ty, dst, addr, src } => {
+            Op::Bar { id } => write!(f, "bar.sync {id}"),
+            Op::Atom {
+                op,
+                ty,
+                dst,
+                addr,
+                src,
+            } => {
                 write!(f, "atom.global.{}.{ty} {dst}, {addr}, {src}", op.mnemonic())
             }
             Op::Exit => write!(f, "exit"),
@@ -85,7 +119,13 @@ impl fmt::Display for Kernel {
             }
             // Param loads with a resolvable offset are printed by name for
             // readability; the parser accepts both forms.
-            if let Op::Ld { space: Space::Param, ty, dst, addr } = &inst.op {
+            if let Op::Ld {
+                space: Space::Param,
+                ty,
+                dst,
+                addr,
+            } = &inst.op
+            {
                 if addr.base.is_none() {
                     if let Some(idx) = (0..self.params().len())
                         .find(|&i| i64::from(self.param_offset(i)) == addr.offset)
@@ -154,7 +194,12 @@ mod tests {
                 "mad.lo.u32 %r0, %r1, %r2, %r3",
             ),
             (
-                Op::Sfu { op: SfuOp::Rsqrt, ty: Type::F32, dst: Reg(1), a: Operand::Reg(Reg(2)) },
+                Op::Sfu {
+                    op: SfuOp::Rsqrt,
+                    ty: Type::F32,
+                    dst: Reg(1),
+                    a: Operand::Reg(Reg(2)),
+                },
                 "rsqrt.approx.f32 %r1, %r2",
             ),
             (
@@ -168,7 +213,7 @@ mod tests {
                 "setp.ge.s32 %r7, %r8, -1",
             ),
             (Op::Bra { target: 12 }, "bra L12"),
-            (Op::Bar, "bar.sync 0"),
+            (Op::Bar { id: 0 }, "bar.sync 0"),
             (
                 Op::Atom {
                     op: AtomOp::Add,

@@ -1,7 +1,6 @@
 //! Instructions of the PTX subset: operands, addressing, opcodes.
 
 use crate::{Reg, Space, Special, Type};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A source operand: register, immediate, or special register.
@@ -9,7 +8,7 @@ use std::fmt;
 /// Floating-point immediates are stored as raw `f64` bits so that `Operand`
 /// can implement `Eq`/`Hash`; use [`Operand::f32`]/[`Operand::f64`] to build
 /// them and [`Operand::as_f64`] to read them back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// A virtual register.
     Reg(Reg),
@@ -88,7 +87,7 @@ impl fmt::Display for Operand {
 ///
 /// `ld.param` addresses usually have no base (the offset selects the
 /// parameter); global/shared accesses usually have a register base.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Address {
     /// Base register, added to `offset` if present.
     pub base: Option<Reg>,
@@ -99,12 +98,18 @@ pub struct Address {
 impl Address {
     /// Address that is a register plus zero offset.
     pub fn reg(base: Reg) -> Address {
-        Address { base: Some(base), offset: 0 }
+        Address {
+            base: Some(base),
+            offset: 0,
+        }
     }
 
     /// Address that is a register plus a byte offset.
     pub fn reg_offset(base: Reg, offset: i64) -> Address {
-        Address { base: Some(base), offset }
+        Address {
+            base: Some(base),
+            offset,
+        }
     }
 
     /// Absolute address (no base register).
@@ -125,7 +130,7 @@ impl fmt::Display for Address {
 }
 
 /// Two-source integer/float ALU operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// `add`
     Add,
@@ -180,7 +185,7 @@ impl AluOp {
 }
 
 /// One-source ALU operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     /// `neg` — arithmetic negation (integer two's complement or float sign).
     Neg,
@@ -208,7 +213,7 @@ impl UnaryOp {
 }
 
 /// Transcendental / special-function-unit operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SfuOp {
     /// `sin.approx`
     Sin,
@@ -242,7 +247,7 @@ impl SfuOp {
 }
 
 /// Comparison operators for `setp`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `eq`
     Eq,
@@ -297,7 +302,7 @@ impl CmpOp {
 }
 
 /// Atomic read-modify-write operations on global memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomOp {
     /// `atom.add`
     Add,
@@ -331,7 +336,7 @@ impl AtomOp {
 ///
 /// Used by the simulator for Figure 4 of the paper (idle fraction of the
 /// first pipeline stage of SP / SFU / LD-ST units).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Unit {
     /// Stream processor (integer/float ALU).
     Sp,
@@ -344,7 +349,7 @@ pub enum Unit {
 }
 
 /// Opcode plus operands of one instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// Load `ty` from `addr` in `space` into `dst`.
     Ld {
@@ -471,8 +476,13 @@ pub enum Op {
         /// Destination instruction index within the kernel.
         target: usize,
     },
-    /// CTA-wide barrier (`bar.sync 0`).
-    Bar,
+    /// CTA-wide barrier (`bar.sync id`). Warps of a CTA waiting on
+    /// different barrier ids never release each other — the classic named-
+    /// barrier deadlock.
+    Bar {
+        /// Named barrier index.
+        id: u32,
+    },
     /// Atomic read-modify-write: `dst = [addr]; [addr] = dst op src`.
     Atom {
         /// The read-modify-write operation.
@@ -504,7 +514,7 @@ impl Op {
             | Op::Setp { dst, .. }
             | Op::Selp { dst, .. }
             | Op::Atom { dst, .. } => Some(dst),
-            Op::St { .. } | Op::Bra { .. } | Op::Bar | Op::Exit => None,
+            Op::St { .. } | Op::Bra { .. } | Op::Bar { .. } | Op::Exit => None,
         }
     }
 
@@ -549,7 +559,7 @@ impl Op {
                 push_addr(&mut out, addr);
                 push_op(&mut out, src);
             }
-            Op::Bra { .. } | Op::Bar | Op::Exit => {}
+            Op::Bra { .. } | Op::Bar { .. } | Op::Exit => {}
         }
         out
     }
@@ -602,10 +612,13 @@ impl Op {
         match self {
             Op::Ld { .. } | Op::St { .. } | Op::Atom { .. } => Unit::LdSt,
             Op::Sfu { .. } => Unit::Sfu,
-            Op::Bra { .. } | Op::Bar | Op::Exit => Unit::Ctrl,
+            Op::Bra { .. } | Op::Bar { .. } | Op::Exit => Unit::Ctrl,
             // Divides and remainders are iterative and execute on the SFU
             // path in Fermi-class hardware.
-            Op::Alu { op: AluOp::Div | AluOp::Rem, .. } => Unit::Sfu,
+            Op::Alu {
+                op: AluOp::Div | AluOp::Rem,
+                ..
+            } => Unit::Sfu,
             _ => Unit::Sp,
         }
     }
@@ -618,7 +631,7 @@ impl Op {
 
 /// An optional guard predicate: `@%p` executes when the predicate is true,
 /// `@!%p` when it is false.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Guard {
     /// The predicate register consulted.
     pub pred: Reg,
@@ -629,7 +642,10 @@ pub struct Guard {
 impl Guard {
     /// Guard that fires when `pred` is true (`@%p`).
     pub fn when(pred: Reg) -> Guard {
-        Guard { pred, negate: false }
+        Guard {
+            pred,
+            negate: false,
+        }
     }
 
     /// Guard that fires when `pred` is false (`@!%p`).
@@ -649,7 +665,7 @@ impl fmt::Display for Guard {
 }
 
 /// One (optionally guarded) instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instruction {
     /// The operation.
     pub op: Op,
@@ -665,7 +681,10 @@ impl Instruction {
 
     /// A guarded instruction.
     pub fn guarded(guard: Guard, op: Op) -> Instruction {
-        Instruction { op, guard: Some(guard) }
+        Instruction {
+            op,
+            guard: Some(guard),
+        }
     }
 
     /// All registers this instruction reads, including the guard predicate.
@@ -753,10 +772,16 @@ mod tests {
     fn units() {
         assert_eq!(ld_global(0, 1).unit(), Unit::LdSt);
         assert_eq!(
-            Op::Sfu { op: SfuOp::Sin, ty: Type::F32, dst: Reg(0), a: Operand::f32(1.0) }.unit(),
+            Op::Sfu {
+                op: SfuOp::Sin,
+                ty: Type::F32,
+                dst: Reg(0),
+                a: Operand::f32(1.0)
+            }
+            .unit(),
             Unit::Sfu
         );
-        assert_eq!(Op::Bar.unit(), Unit::Ctrl);
+        assert_eq!(Op::Bar { id: 0 }.unit(), Unit::Ctrl);
         assert_eq!(
             Op::Alu {
                 op: AluOp::Add,
@@ -772,7 +797,14 @@ mod tests {
 
     #[test]
     fn cmp_op_algebra() {
-        for c in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for c in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(c.negated().negated(), c);
             assert_eq!(c.swapped().swapped(), c);
         }

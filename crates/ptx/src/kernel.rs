@@ -1,11 +1,10 @@
 //! Kernel container: parameters, instructions, validation.
 
 use crate::{Instruction, Op, Type};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A kernel parameter declaration (`.param .u64 g_nodes`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParamDecl {
     /// Parameter name, used by the parser and for diagnostics.
     pub name: String,
@@ -16,7 +15,10 @@ pub struct ParamDecl {
 impl ParamDecl {
     /// Create a parameter declaration.
     pub fn new(name: impl Into<String>, ty: Type) -> ParamDecl {
-        ParamDecl { name: name.into(), ty }
+        ParamDecl {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -54,7 +56,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "control can fall through past the last instruction")
             }
             ValidateError::ParamOutOfRange { pc, offset } => {
-                write!(f, "ld.param at pc {pc} reads offset {offset} past the parameter block")
+                write!(
+                    f,
+                    "ld.param at pc {pc} reads offset {offset} past the parameter block"
+                )
             }
         }
     }
@@ -87,7 +92,7 @@ impl std::error::Error for ValidateError {}
 /// let kernel = b.build().unwrap();
 /// assert_eq!(kernel.global_load_pcs().len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     name: String,
     params: Vec<ParamDecl>,
@@ -112,13 +117,17 @@ impl Kernel {
     ) -> Result<Kernel, ValidateError> {
         let num_regs = insts
             .iter()
-            .flat_map(|i| {
-                i.src_regs().into_iter().chain(i.dst_reg())
-            })
+            .flat_map(|i| i.src_regs().into_iter().chain(i.dst_reg()))
             .map(|r| r.0 + 1)
             .max()
             .unwrap_or(0);
-        let k = Kernel { name: name.into(), params, shared_bytes, insts, num_regs };
+        let k = Kernel {
+            name: name.into(),
+            params,
+            shared_bytes,
+            insts,
+            num_regs,
+        };
         k.validate()?;
         Ok(k)
     }
@@ -133,11 +142,20 @@ impl Kernel {
                     return Err(ValidateError::BranchOutOfRange { pc, target });
                 }
             }
-            if let Op::Ld { space: crate::Space::Param, ty, addr, .. } = &inst.op {
+            if let Op::Ld {
+                space: crate::Space::Param,
+                ty,
+                addr,
+                ..
+            } = &inst.op
+            {
                 if addr.base.is_none() {
                     let end = addr.offset + i64::from(ty.size_bytes());
                     if addr.offset < 0 || end > i64::from(self.param_bytes()) {
-                        return Err(ValidateError::ParamOutOfRange { pc, offset: addr.offset });
+                        return Err(ValidateError::ParamOutOfRange {
+                            pc,
+                            offset: addr.offset,
+                        });
                     }
                 }
             }
@@ -190,7 +208,10 @@ impl Kernel {
     ///
     /// Panics if `index` is out of range.
     pub fn param_offset(&self, index: usize) -> u32 {
-        assert!(index < self.params.len(), "parameter index {index} out of range");
+        assert!(
+            index < self.params.len(),
+            "parameter index {index} out of range"
+        );
         let mut off = 0u32;
         for (i, p) in self.params.iter().enumerate() {
             let sz = p.ty.size_bytes();
@@ -240,7 +261,10 @@ mod tests {
 
     #[test]
     fn empty_kernel_rejected() {
-        assert_eq!(Kernel::new("k", vec![], 0, vec![]), Err(ValidateError::Empty));
+        assert_eq!(
+            Kernel::new("k", vec![], 0, vec![]),
+            Err(ValidateError::Empty)
+        );
     }
 
     #[test]
@@ -259,10 +283,16 @@ mod tests {
             dst: Reg(0),
             src: Operand::Imm(1),
         })];
-        assert_eq!(Kernel::new("k", vec![], 0, insts), Err(ValidateError::FallsOffEnd));
+        assert_eq!(
+            Kernel::new("k", vec![], 0, insts),
+            Err(ValidateError::FallsOffEnd)
+        );
         // A guarded exit can also fall through.
         let insts = vec![Instruction::guarded(Guard::when(Reg(0)), Op::Exit)];
-        assert_eq!(Kernel::new("k", vec![], 0, insts), Err(ValidateError::FallsOffEnd));
+        assert_eq!(
+            Kernel::new("k", vec![], 0, insts),
+            Err(ValidateError::FallsOffEnd)
+        );
     }
 
     #[test]
@@ -304,7 +334,11 @@ mod tests {
     #[test]
     fn num_regs_counts_max_plus_one() {
         let insts = vec![
-            Instruction::new(Op::Mov { ty: Type::U32, dst: Reg(11), src: Operand::Imm(0) }),
+            Instruction::new(Op::Mov {
+                ty: Type::U32,
+                dst: Reg(11),
+                src: Operand::Imm(0),
+            }),
             exit(),
         ];
         let k = Kernel::new("k", vec![], 0, insts).unwrap();

@@ -43,7 +43,10 @@ impl std::error::Error for ParseError {}
 
 impl From<ValidateError> for ParseError {
     fn from(e: ValidateError) -> ParseError {
-        ParseError { line: 0, msg: format!("invalid kernel: {e}") }
+        ParseError {
+            line: 0,
+            msg: format!("invalid kernel: {e}"),
+        }
     }
 }
 
@@ -171,7 +174,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     i += 1;
                 }
                 if i == start {
-                    return Err(ParseError { line, msg: "dangling `%`".into() });
+                    return Err(ParseError {
+                        line,
+                        msg: "dangling `%`".into(),
+                    });
                 }
                 toks.push((Tok::Percent(bytes[start..i].iter().collect()), line));
             }
@@ -182,7 +188,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     i += 1;
                 }
                 if i == start {
-                    return Err(ParseError { line, msg: "dangling `.`".into() });
+                    return Err(ParseError {
+                        line,
+                        msg: "dangling `.`".into(),
+                    });
                 }
                 toks.push((Tok::DotWord(bytes[start..i].iter().collect()), line));
             }
@@ -191,7 +200,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 if neg {
                     i += 1;
                     if i >= n || !bytes[i].is_ascii_digit() {
-                        return Err(ParseError { line, msg: "dangling `-`".into() });
+                        return Err(ParseError {
+                            line,
+                            msg: "dangling `-`".into(),
+                        });
                     }
                 }
                 let start = i;
@@ -203,10 +215,12 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         i += 1;
                     }
                     let hex: String = bytes[hstart..i].iter().collect();
-                    let bits = u64::from_str_radix(&hex, 16)
-                        .map_err(|e| ParseError { line, msg: format!("bad float bits: {e}") })?;
+                    let bits = u64::from_str_radix(&hex, 16).map_err(|e| ParseError {
+                        line,
+                        msg: format!("bad float bits: {e}"),
+                    })?;
                     let bits = if neg {
-                        (f64::from_bits(bits) * -1.0).to_bits()
+                        (-f64::from_bits(bits)).to_bits()
                     } else {
                         bits
                     };
@@ -221,8 +235,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         i += 1;
                     }
                     let hex: String = bytes[hstart..i].iter().collect();
-                    let v = i64::from_str_radix(&hex, 16)
-                        .map_err(|e| ParseError { line, msg: format!("bad hex literal: {e}") })?;
+                    let v = i64::from_str_radix(&hex, 16).map_err(|e| ParseError {
+                        line,
+                        msg: format!("bad hex literal: {e}"),
+                    })?;
                     toks.push((Tok::Int(if neg { -v } else { v }), line));
                     continue;
                 }
@@ -242,14 +258,16 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 if is_float {
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|e| ParseError { line, msg: format!("bad float: {e}") })?;
+                    let v: f64 = text.parse().map_err(|e| ParseError {
+                        line,
+                        msg: format!("bad float: {e}"),
+                    })?;
                     toks.push((Tok::Float(if neg { -v } else { v }.to_bits()), line));
                 } else {
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|e| ParseError { line, msg: format!("bad integer: {e}") })?;
+                    let v: i64 = text.parse().map_err(|e| ParseError {
+                        line,
+                        msg: format!("bad integer: {e}"),
+                    })?;
                     toks.push((Tok::Int(if neg { -v } else { v }), line));
                 }
             }
@@ -261,7 +279,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 toks.push((Tok::Word(bytes[start..i].iter().collect()), line));
             }
             other => {
-                return Err(ParseError { line, msg: format!("unexpected character `{other}`") })
+                return Err(ParseError {
+                    line,
+                    msg: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -289,7 +310,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), msg: msg.into() }
+        ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        }
     }
 
     fn next(&mut self) -> Result<Tok, ParseError> {
@@ -404,9 +428,7 @@ impl Parser {
             Tok::Int(v) => Address::abs(v),
             Tok::Word(name) => {
                 if space != Space::Param {
-                    return Err(
-                        self.err(format!("named address `{name}` only valid for ld.param"))
-                    );
+                    return Err(self.err(format!("named address `{name}` only valid for ld.param")));
                 }
                 let idx = self
                     .params
@@ -487,7 +509,10 @@ pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
     let kernels = parse_module(src)?;
     match kernels.len() {
         1 => Ok(kernels.into_iter().next().unwrap()),
-        n => Err(ParseError { line: 0, msg: format!("expected one kernel, found {n}") }),
+        n => Err(ParseError {
+            line: 0,
+            msg: format!("expected one kernel, found {n}"),
+        }),
     }
 }
 
@@ -520,7 +545,10 @@ pub fn parse_module(src: &str) -> Result<Vec<Kernel>, ParseError> {
         pos = next;
     }
     if kernels.is_empty() {
-        return Err(ParseError { line: 0, msg: "module contains no kernels".into() });
+        return Err(ParseError {
+            line: 0,
+            msg: "module contains no kernels".into(),
+        });
     }
     Ok(kernels)
 }
@@ -536,14 +564,18 @@ fn parse_one_kernel(
     let max_numeric = toks
         .iter()
         .filter_map(|(t, _)| match t {
-            Tok::Percent(name) => {
-                name.strip_prefix('r').and_then(|s| s.parse::<u32>().ok())
-            }
+            Tok::Percent(name) => name.strip_prefix('r').and_then(|s| s.parse::<u32>().ok()),
             _ => None,
         })
         .max();
     let next_reg = max_numeric.map_or(0, |m| m + 1);
-    let mut p = Parser { toks, pos: 0, regs: HashMap::new(), next_reg, params: Vec::new() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        regs: HashMap::new(),
+        next_reg,
+        params: Vec::new(),
+    };
 
     // Header: optional `.visible`, then `.entry`.
     if let Some(Tok::DotWord(w)) = p.peek() {
@@ -660,9 +692,10 @@ fn parse_one_kernel(
 
     // Resolve labels.
     for (pc, label, line) in branch_fixups {
-        let target = *labels
-            .get(&label)
-            .ok_or(ParseError { line, msg: format!("undefined label `{label}`") })?;
+        let target = *labels.get(&label).ok_or(ParseError {
+            line,
+            msg: format!("undefined label `{label}`"),
+        })?;
         if let Op::Bra { target: t } = &mut insts[pc].op {
             *t = target;
         }
@@ -690,7 +723,12 @@ fn parse_op(
             let dst = p.parse_reg()?;
             p.expect(Tok::Comma)?;
             let addr = p.parse_address(space)?;
-            Ok(Op::Ld { space, ty, dst, addr })
+            Ok(Op::Ld {
+                space,
+                ty,
+                dst,
+                addr,
+            })
         }
         "st" => {
             let space = Space::from_suffix(parts.get(1).copied().unwrap_or(""))
@@ -699,7 +737,12 @@ fn parse_op(
             let addr = p.parse_address(space)?;
             p.expect(Tok::Comma)?;
             let src = p.parse_operand()?;
-            Ok(Op::St { space, ty, addr, src })
+            Ok(Op::St {
+                space,
+                ty,
+                addr,
+                src,
+            })
         }
         "mov" => {
             let ty = p.parse_type(parts.get(1))?;
@@ -714,7 +757,12 @@ fn parse_op(
             let dst = p.parse_reg()?;
             p.expect(Tok::Comma)?;
             let src = p.parse_operand()?;
-            Ok(Op::Cvt { dst_ty, src_ty, dst, src })
+            Ok(Op::Cvt {
+                dst_ty,
+                src_ty,
+                dst,
+                src,
+            })
         }
         "mul" => {
             // mul.lo.ty / mul.hi.ty / mul.wide.ty / mul.f32
@@ -755,7 +803,14 @@ fn parse_op(
             let b = p.parse_operand()?;
             p.expect(Tok::Comma)?;
             let c = p.parse_operand()?;
-            Ok(Op::Mad { ty, dst, a, b, c, wide })
+            Ok(Op::Mad {
+                ty,
+                dst,
+                a,
+                b,
+                c,
+                wide,
+            })
         }
         "neg" | "not" | "abs" | "popc" | "clz" => {
             let op = match head {
@@ -819,7 +874,13 @@ fn parse_op(
             let b = p.parse_operand()?;
             p.expect(Tok::Comma)?;
             let pred = p.parse_reg()?;
-            Ok(Op::Selp { ty, dst, a, b, pred })
+            Ok(Op::Selp {
+                ty,
+                dst,
+                a,
+                b,
+                pred,
+            })
         }
         "bra" => {
             let label = p.expect_word()?;
@@ -827,11 +888,13 @@ fn parse_op(
             Ok(Op::Bra { target: usize::MAX })
         }
         "bar" => {
-            // `bar.sync 0`
-            if let Some(Tok::Int(_)) = p.peek() {
+            // `bar.sync id` (the id defaults to 0 when omitted)
+            let mut id = 0u32;
+            if let Some(Tok::Int(v)) = p.peek() {
+                id = *v as u32;
                 p.next()?;
             }
-            Ok(Op::Bar)
+            Ok(Op::Bar { id })
         }
         "atom" => {
             // atom.global.add.u32 %d, [a], b
@@ -843,7 +906,10 @@ fn parse_op(
                 Some(&"and") => AtomOp::And,
                 Some(&"or") => AtomOp::Or,
                 other => {
-                    return Err(ParseError { line, msg: format!("atom: unknown op {other:?}") })
+                    return Err(ParseError {
+                        line,
+                        msg: format!("atom: unknown op {other:?}"),
+                    })
                 }
             };
             let ty = p.parse_type(parts.get(3))?;
@@ -852,10 +918,19 @@ fn parse_op(
             let addr = p.parse_address(Space::Global)?;
             p.expect(Tok::Comma)?;
             let src = p.parse_operand()?;
-            Ok(Op::Atom { op, ty, dst, addr, src })
+            Ok(Op::Atom {
+                op,
+                ty,
+                dst,
+                addr,
+                src,
+            })
         }
         "exit" | "ret" => Ok(Op::Exit),
-        other => Err(ParseError { line, msg: format!("unknown mnemonic `{other}`") }),
+        other => Err(ParseError {
+            line,
+            msg: format!("unknown mnemonic `{other}`"),
+        }),
     }
 }
 
@@ -928,11 +1003,7 @@ mod tests {
     fn named_registers_do_not_collide_with_numeric() {
         let src = ".entry k () { mov.u32 %p1, 1; mov.u32 %r0, 2; mov.u32 %r1, 3; exit; }";
         let k = parse_kernel(src).unwrap();
-        let dsts: Vec<Reg> = k
-            .insts()
-            .iter()
-            .filter_map(|i| i.dst_reg())
-            .collect();
+        let dsts: Vec<Reg> = k.insts().iter().filter_map(|i| i.dst_reg()).collect();
         // All three destinations must be distinct registers.
         let mut ids: Vec<u32> = dsts.iter().map(|r| r.0).collect();
         ids.sort_unstable();
@@ -1033,8 +1104,14 @@ mod tests {
         }
         "#;
         let k = parse_kernel(src).unwrap();
-        assert!(matches!(k.insts()[1].op, Op::Atom { op: AtomOp::Add, .. }));
-        assert!(matches!(k.insts()[2].op, Op::Bar));
+        assert!(matches!(
+            k.insts()[1].op,
+            Op::Atom {
+                op: AtomOp::Add,
+                ..
+            }
+        ));
+        assert!(matches!(k.insts()[2].op, Op::Bar { id: 0 }));
     }
 
     #[test]

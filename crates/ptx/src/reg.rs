@@ -1,6 +1,5 @@
 //! Virtual registers and special (read-only, thread-identity) registers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A virtual register identifier within one kernel.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert_eq!(r.index(), 3);
 /// assert_eq!(format!("{r}"), "%r3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(pub u32);
 
 impl Reg {
@@ -40,7 +39,7 @@ impl fmt::Display for Reg {
 /// These are the paper's "parameterized data" sources together with
 /// `ld.param`: their values are fixed when the kernel launches, so an address
 /// computed only from them is *deterministic*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Special {
     /// `%tid.x` — thread index within the CTA, x dimension.
     TidX,

@@ -1,6 +1,5 @@
 //! Scalar value types and memory spaces of the PTX subset.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Scalar type of a register operand or memory access.
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(Type::F64.size_bytes(), 8);
 /// assert!(Type::S32.is_signed());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Type {
     /// 8-bit unsigned integer (`.u8`).
     U8,
@@ -103,7 +102,7 @@ impl Type {
             "b32" => Type::B32,
             "b64" => Type::B64,
             "pred" => Type::Pred,
-        _ => return None,
+            _ => return None,
         })
     }
 }
@@ -119,7 +118,7 @@ impl fmt::Display for Type {
 /// The classification analysis in [`gcl-core`](https://docs.rs/gcl-core)
 /// treats `Param` and `Const` as *parameterized* (deterministic) sources and
 /// every other space as a non-deterministic source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Space {
     /// Device global memory (`.global`) — backed by DRAM through L1/L2.
     Global,

@@ -1,202 +1,229 @@
-//! Property tests: randomly generated kernels survive a
+//! Property-style tests: randomly generated kernels survive a
 //! disassemble→parse round trip unchanged, and the CFG analyses uphold
-//! their structural invariants on arbitrary control flow.
+//! their structural invariants on arbitrary control flow. Cases are driven
+//! by the in-tree seeded generator so failures are bit-reproducible.
 
 use gcl_ptx::{
-    parse_kernel, Address, AluOp, Cfg, CmpOp, Guard, Instruction, Kernel, Op, Operand, Reg,
-    SfuOp, Space, Type, UnaryOp, RECONV_EXIT,
+    parse_kernel, Address, AluOp, Cfg, CmpOp, Guard, Instruction, Kernel, Op, Operand, Reg, SfuOp,
+    Space, Type, UnaryOp, RECONV_EXIT,
 };
-use proptest::prelude::*;
+use gcl_rng::{cases, Rng};
 
 const NREGS: u32 = 12;
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0..NREGS).prop_map(Reg)
+fn reg(r: &mut Rng) -> Reg {
+    Reg(r.u32_below(NREGS))
 }
 
-fn int_type() -> impl Strategy<Value = Type> {
-    prop_oneof![
-        Just(Type::U32),
-        Just(Type::U64),
-        Just(Type::S32),
-        Just(Type::S64),
-        Just(Type::B32),
-    ]
+fn int_type(r: &mut Rng) -> Type {
+    *r.pick(&[Type::U32, Type::U64, Type::S32, Type::S64, Type::B32])
 }
 
-fn operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        reg().prop_map(Operand::Reg),
-        (-1000i64..1000).prop_map(Operand::Imm),
-        Just(Operand::Special(gcl_ptx::Special::TidX)),
-        Just(Operand::Special(gcl_ptx::Special::CtaIdX)),
-    ]
+fn operand(r: &mut Rng) -> Operand {
+    match r.u32_below(4) {
+        0 => Operand::Reg(reg(r)),
+        1 => Operand::Imm(i64::from(r.u32_below(2000)) - 1000),
+        2 => Operand::Special(gcl_ptx::Special::TidX),
+        _ => Operand::Special(gcl_ptx::Special::CtaIdX),
+    }
 }
 
-fn address() -> impl Strategy<Value = Address> {
-    (reg(), -64i64..64).prop_map(|(base, offset)| Address::reg_offset(base, offset))
+fn address(r: &mut Rng) -> Address {
+    let offset = i64::from(r.u32_below(128)) - 64;
+    Address::reg_offset(reg(r), offset)
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::MulHi),
-        Just(AluOp::MulWide),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-        Just(AluOp::Min),
-        Just(AluOp::Max),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-    ]
+fn alu_op(r: &mut Rng) -> AluOp {
+    *r.pick(&[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::MulHi,
+        AluOp::MulWide,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::Min,
+        AluOp::Max,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+    ])
 }
 
-fn unary_op() -> impl Strategy<Value = UnaryOp> {
-    prop_oneof![
-        Just(UnaryOp::Neg),
-        Just(UnaryOp::Not),
-        Just(UnaryOp::Abs),
-        Just(UnaryOp::Popc),
-        Just(UnaryOp::Clz),
-    ]
+fn unary_op(r: &mut Rng) -> UnaryOp {
+    *r.pick(&[
+        UnaryOp::Neg,
+        UnaryOp::Not,
+        UnaryOp::Abs,
+        UnaryOp::Popc,
+        UnaryOp::Clz,
+    ])
 }
 
-fn straight_line_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (int_type(), reg(), operand()).prop_map(|(ty, dst, src)| Op::Mov { ty, dst, src }),
-        (unary_op(), int_type(), reg(), operand())
-            .prop_map(|(op, ty, dst, a)| Op::Unary { op, ty, dst, a }),
-        (alu_op(), int_type(), reg(), operand(), operand())
-            .prop_map(|(op, ty, dst, a, b)| Op::Alu { op, ty, dst, a, b }),
-        (int_type(), reg(), operand(), operand(), operand(), any::<bool>())
-            .prop_map(|(ty, dst, a, b, c, wide)| Op::Mad { ty, dst, a, b, c, wide }),
-        (reg(), operand()).prop_map(|(dst, a)| Op::Sfu {
+fn straight_line_op(r: &mut Rng) -> Op {
+    match r.u32_below(10) {
+        0 => Op::Mov {
+            ty: int_type(r),
+            dst: reg(r),
+            src: operand(r),
+        },
+        1 => Op::Unary {
+            op: unary_op(r),
+            ty: int_type(r),
+            dst: reg(r),
+            a: operand(r),
+        },
+        2 => Op::Alu {
+            op: alu_op(r),
+            ty: int_type(r),
+            dst: reg(r),
+            a: operand(r),
+            b: operand(r),
+        },
+        3 => Op::Mad {
+            ty: int_type(r),
+            dst: reg(r),
+            a: operand(r),
+            b: operand(r),
+            c: operand(r),
+            wide: r.chance(0.5),
+        },
+        4 => Op::Sfu {
             op: SfuOp::Sqrt,
             ty: Type::F32,
-            dst,
-            a
-        }),
-        (int_type(), reg(), operand(), operand()).prop_map(|(ty, dst, a, b)| Op::Setp {
+            dst: reg(r),
+            a: operand(r),
+        },
+        5 => Op::Setp {
             cmp: CmpOp::Lt,
-            ty,
-            dst,
-            a,
-            b
-        }),
-        (int_type(), reg(), operand(), operand(), reg())
-            .prop_map(|(ty, dst, a, b, pred)| Op::Selp { ty, dst, a, b, pred }),
-        (reg(), address()).prop_map(|(dst, addr)| Op::Ld {
+            ty: int_type(r),
+            dst: reg(r),
+            a: operand(r),
+            b: operand(r),
+        },
+        6 => Op::Selp {
+            ty: int_type(r),
+            dst: reg(r),
+            a: operand(r),
+            b: operand(r),
+            pred: reg(r),
+        },
+        7 => Op::Ld {
             space: Space::Global,
             ty: Type::U32,
-            dst,
-            addr
-        }),
-        (address(), operand()).prop_map(|(addr, src)| Op::St {
+            dst: reg(r),
+            addr: address(r),
+        },
+        8 => Op::St {
             space: Space::Global,
             ty: Type::U32,
-            addr,
-            src
-        }),
-        Just(Op::Bar),
-    ]
+            addr: address(r),
+            src: operand(r),
+        },
+        _ => Op::Bar { id: r.u32_below(4) },
+    }
 }
 
 /// A random structured kernel: straight-line body with optional guarded
 /// forward branches (targets resolved to valid indices), always terminated
 /// by `exit`.
-fn kernel_strategy() -> impl Strategy<Value = Kernel> {
-    (
-        proptest::collection::vec((straight_line_op(), proptest::option::of(0..NREGS)), 1..24),
-        proptest::collection::vec((1usize..24, 0..NREGS), 0..4),
-    )
-        .prop_map(|(body, branches)| {
-            let mut insts: Vec<Instruction> = body
-                .into_iter()
-                .map(|(op, guard)| Instruction {
-                    op,
-                    guard: guard.map(|p| Guard::when(Reg(p))),
-                })
-                .collect();
-            // Insert guarded forward branches at deterministic positions.
-            for (target_seed, pred) in branches {
-                let pos = target_seed % insts.len();
-                // Forward target: somewhere in [pos, len] (len = the exit).
-                let target = pos + (target_seed % (insts.len() - pos + 1));
-                insts.insert(
-                    pos,
-                    Instruction::guarded(Guard::when(Reg(pred)), Op::Bra { target: target + 1 }),
-                );
-            }
-            let exit_pc = insts.len();
-            // Clamp any branch target beyond the exit to the exit.
-            for inst in &mut insts {
-                if let Op::Bra { target } = &mut inst.op {
-                    *target = (*target).min(exit_pc);
-                }
-            }
-            insts.push(Instruction::new(Op::Exit));
-            Kernel::new("prop", vec![], 0, insts).expect("constructed kernel is valid")
+fn random_kernel(r: &mut Rng) -> Kernel {
+    let body_len = 1 + r.usize_below(23);
+    let mut insts: Vec<Instruction> = (0..body_len)
+        .map(|_| {
+            let op = straight_line_op(r);
+            let guard = if r.chance(0.3) {
+                Some(Guard::when(Reg(r.u32_below(NREGS))))
+            } else {
+                None
+            };
+            Instruction { op, guard }
         })
+        .collect();
+    // Insert guarded forward branches at deterministic positions.
+    let nbranches = r.usize_below(4);
+    for _ in 0..nbranches {
+        let target_seed = 1 + r.usize_below(23);
+        let pred = r.u32_below(NREGS);
+        let pos = target_seed % insts.len();
+        // Forward target: somewhere in [pos, len] (len = the exit).
+        let target = pos + (target_seed % (insts.len() - pos + 1));
+        insts.insert(
+            pos,
+            Instruction::guarded(Guard::when(Reg(pred)), Op::Bra { target: target + 1 }),
+        );
+    }
+    let exit_pc = insts.len();
+    // Clamp any branch target beyond the exit to the exit.
+    for inst in &mut insts {
+        if let Op::Bra { target } = &mut inst.op {
+            *target = (*target).min(exit_pc);
+        }
+    }
+    insts.push(Instruction::new(Op::Exit));
+    Kernel::new("prop", vec![], 0, insts).expect("constructed kernel is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Disassembly re-parses to the identical kernel.
-    #[test]
-    fn display_parse_round_trip(kernel in kernel_strategy()) {
+/// Disassembly re-parses to the identical kernel.
+#[test]
+fn display_parse_round_trip() {
+    cases(0x9164, 128, |r| {
+        let kernel = random_kernel(r);
         let text = kernel.to_string();
-        let reparsed = parse_kernel(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(reparsed, kernel);
-    }
+        let reparsed =
+            parse_kernel(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(reparsed, kernel);
+    });
+}
 
-    /// CFG structural invariants hold for arbitrary control flow.
-    #[test]
-    fn cfg_invariants(kernel in kernel_strategy()) {
+/// CFG structural invariants hold for arbitrary control flow.
+#[test]
+fn cfg_invariants() {
+    cases(0x9165, 128, |r| {
+        let kernel = random_kernel(r);
         let cfg = Cfg::build(&kernel);
         let blocks = cfg.blocks();
         // Blocks tile the instruction stream exactly.
         let mut covered = 0usize;
         for b in blocks {
-            prop_assert_eq!(b.start, covered);
-            prop_assert!(b.end > b.start);
+            assert_eq!(b.start, covered);
+            assert!(b.end > b.start);
             covered = b.end;
         }
-        prop_assert_eq!(covered, kernel.insts().len());
+        assert_eq!(covered, kernel.insts().len());
         // Successor/pred lists are consistent.
         for (id, b) in blocks.iter().enumerate() {
             for &s in &b.succs {
-                prop_assert!(blocks[s].preds.contains(&id));
+                assert!(blocks[s].preds.contains(&id));
             }
             for &p in &b.preds {
-                prop_assert!(blocks[p].succs.contains(&id));
+                assert!(blocks[p].succs.contains(&id));
             }
         }
         // Reconvergence pcs are either the exit sentinel or real pcs that
         // start a block.
         for (_, reconv) in cfg.reconvergence_pcs(&kernel) {
             if reconv != RECONV_EXIT {
-                prop_assert!(reconv < kernel.insts().len());
+                assert!(reconv < kernel.insts().len());
                 let b = cfg.block_of(reconv);
-                prop_assert_eq!(blocks[b].start, reconv);
+                assert_eq!(blocks[b].start, reconv);
             }
         }
-    }
+    });
+}
 
-    /// Register bookkeeping: every register an instruction names is below
-    /// `num_regs`.
-    #[test]
-    fn num_regs_covers_all_registers(kernel in kernel_strategy()) {
+/// Register bookkeeping: every register an instruction names is below
+/// `num_regs`.
+#[test]
+fn num_regs_covers_all_registers() {
+    cases(0x9166, 128, |r| {
+        let kernel = random_kernel(r);
         for inst in kernel.insts() {
-            for r in inst.src_regs().into_iter().chain(inst.dst_reg()) {
-                prop_assert!(r.0 < kernel.num_regs());
+            for reg in inst.src_regs().into_iter().chain(inst.dst_reg()) {
+                assert!(reg.0 < kernel.num_regs());
             }
         }
-    }
+    });
 }

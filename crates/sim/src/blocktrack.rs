@@ -1,11 +1,10 @@
 //! Data-block access tracking across CTAs: cold misses, reuse, and the
 //! hidden inter-CTA locality of the paper's Figures 10–12.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Summary statistics extracted from a [`BlockTracker`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockSummary {
     /// Distinct 128 B blocks touched.
     pub blocks: u64,
@@ -79,8 +78,7 @@ impl BlockTracker {
     pub fn summary(&self) -> BlockSummary {
         let blocks = self.blocks.len() as u64;
         let accesses = self.total_accesses;
-        let shared: Vec<&BlockInfo> =
-            self.blocks.values().filter(|b| b.ctas.len() >= 2).collect();
+        let shared: Vec<&BlockInfo> = self.blocks.values().filter(|b| b.ctas.len() >= 2).collect();
         let shared_blocks = shared.len() as u64;
         let shared_accesses: u64 = shared.iter().map(|b| b.count).sum();
         let shared_cta_total: u64 = shared.iter().map(|b| b.ctas.len() as u64).sum();

@@ -1,10 +1,10 @@
 //! GPU configuration (the paper's Table II, Tesla C2050-like defaults).
 
+use crate::fault::ConfigError;
 use gcl_mem::{CacheConfig, IcntConfig, L2Topology, PartitionConfig};
-use serde::{Deserialize, Serialize};
 
 /// CTA-to-SM dispatch policy (Section X-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CtaSchedPolicy {
     /// Baseline: CTAs are handed out in issue order to whichever SM has a
     /// free slot, which interleaves neighbors across SMs (the paper's
@@ -21,7 +21,7 @@ pub enum CtaSchedPolicy {
 /// Which load classes a next-line L1 prefetcher reacts to (Section X-A:
 /// "instruction-feature-aware mechanisms that can be selectively applied to
 /// load instructions according to their characteristics").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PrefetchFilter {
     /// No prefetching (baseline).
     Off,
@@ -39,16 +39,14 @@ impl PrefetchFilter {
         match self {
             PrefetchFilter::Off => false,
             PrefetchFilter::DeterministicOnly => tag == gcl_mem::ClassTag::Deterministic,
-            PrefetchFilter::NonDeterministicOnly => {
-                tag == gcl_mem::ClassTag::NonDeterministic
-            }
+            PrefetchFilter::NonDeterministicOnly => tag == gcl_mem::ClassTag::NonDeterministic,
             PrefetchFilter::All => tag != gcl_mem::ClassTag::Other,
         }
     }
 }
 
 /// Warp scheduler policy within an SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WarpSchedPolicy {
     /// Loose round-robin.
     Lrr,
@@ -57,7 +55,7 @@ pub enum WarpSchedPolicy {
 }
 
 /// Full GPU configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of SMs (paper: 14).
     pub n_sms: usize,
@@ -104,6 +102,18 @@ pub struct GpuConfig {
     pub prefetch: PrefetchFilter,
     /// Safety limit on simulated cycles per launch.
     pub max_cycles: u64,
+    /// Device memcheck: validate every global/local/tex access against the
+    /// live allocation ranges and fail the launch with
+    /// [`SimError::MemFault`](crate::SimError::MemFault) on the first
+    /// out-of-bounds access. Off by default (small but nonzero cost).
+    pub memcheck: bool,
+    /// Forward-progress watchdog: if no instruction issues, no memory
+    /// response lands, and no CTA is dispatched or retired for this many
+    /// consecutive cycles, the launch fails with
+    /// [`SimError::Hang`](crate::SimError::Hang) carrying a per-warp state
+    /// dump. Must be positive; far larger than any legitimate memory
+    /// round-trip.
+    pub hang_cycles: u64,
 }
 
 impl GpuConfig {
@@ -134,6 +144,8 @@ impl GpuConfig {
             warp_split_nd: None,
             prefetch: PrefetchFilter::Off,
             max_cycles: 200_000_000,
+            memcheck: false,
+            hang_cycles: 2_000_000,
         }
     }
 
@@ -146,6 +158,7 @@ impl GpuConfig {
         cfg.max_threads_per_sm = 256;
         cfg.max_ctas_per_sm = 4;
         cfg.max_cycles = 20_000_000;
+        cfg.hang_cycles = 100_000;
         cfg
     }
 
@@ -161,27 +174,83 @@ impl GpuConfig {
 
     /// Validate internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on inconsistent configurations (zero SMs, zero warp size, a
-    /// clustered L2 that does not divide evenly, ...).
-    pub fn validate(&self) {
-        assert!(self.n_sms > 0, "need at least one SM");
-        assert!(self.warp_size > 0 && self.warp_size <= 64, "warp size must be 1..=64");
-        assert!(self.max_threads_per_sm >= self.warp_size);
-        assert!(self.max_ctas_per_sm > 0);
-        assert!(self.n_schedulers > 0);
-        assert!(self.n_partitions > 0);
-        assert!(self.ldst_queue_len > 0);
-        assert!(self.l1_ports > 0);
+    /// Returns a [`ConfigError`] naming the offending field on
+    /// inconsistent configurations (zero SMs, zero warp size, a clustered
+    /// L2 that does not divide evenly, ...).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn err(field: &'static str, message: impl Into<String>) -> Result<(), ConfigError> {
+            Err(ConfigError {
+                field,
+                message: message.into(),
+            })
+        }
+        if self.n_sms == 0 {
+            return err("n_sms", "need at least one SM");
+        }
+        if self.warp_size == 0 || self.warp_size > 64 {
+            return err(
+                "warp_size",
+                format!("warp size must be 1..=64, got {}", self.warp_size),
+            );
+        }
+        if self.max_threads_per_sm < self.warp_size {
+            return err(
+                "max_threads_per_sm",
+                format!(
+                    "must hold at least one warp ({} < warp size {})",
+                    self.max_threads_per_sm, self.warp_size
+                ),
+            );
+        }
+        if self.max_ctas_per_sm == 0 {
+            return err("max_ctas_per_sm", "need at least one CTA slot per SM");
+        }
+        if self.n_schedulers == 0 {
+            return err("n_schedulers", "need at least one warp scheduler");
+        }
+        if self.n_partitions == 0 {
+            return err("n_partitions", "need at least one memory partition");
+        }
+        if self.ldst_queue_len == 0 {
+            return err("ldst_queue_len", "LD/ST queue must hold at least one entry");
+        }
+        if self.l1_ports == 0 {
+            return err("l1_ports", "need at least one L1 port");
+        }
         if let L2Topology::Clustered { clusters } = self.l2_topology {
-            assert!(clusters > 0);
-            assert_eq!(self.n_partitions % clusters, 0);
-            assert_eq!(self.n_sms % clusters, 0);
+            if clusters == 0 {
+                return err("l2_topology", "cluster count must be positive");
+            }
+            if !self.n_partitions.is_multiple_of(clusters) {
+                return err(
+                    "l2_topology",
+                    format!(
+                        "{} partitions do not divide into {clusters} clusters",
+                        self.n_partitions
+                    ),
+                );
+            }
+            if !self.n_sms.is_multiple_of(clusters) {
+                return err(
+                    "l2_topology",
+                    format!("{} SMs do not divide into {clusters} clusters", self.n_sms),
+                );
+            }
         }
         if let Some(k) = self.warp_split_nd {
-            assert!(k > 0, "warp split chunk must be positive");
+            if k == 0 {
+                return err("warp_split_nd", "warp split chunk must be positive");
+            }
         }
+        if self.max_cycles == 0 {
+            return err("max_cycles", "cycle budget must be positive");
+        }
+        if self.hang_cycles == 0 {
+            return err("hang_cycles", "hang watchdog threshold must be positive");
+        }
+        Ok(())
     }
 }
 
@@ -198,7 +267,7 @@ mod tests {
     #[test]
     fn fermi_matches_table_ii() {
         let c = GpuConfig::fermi();
-        c.validate();
+        c.validate().expect("fermi config is self-consistent");
         assert_eq!(c.n_sms, 14);
         assert_eq!(c.warp_size, 32);
         assert_eq!(c.max_threads_per_sm, 1536);
@@ -215,11 +284,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one SM")]
     fn zero_sms_rejected() {
         let mut c = GpuConfig::fermi();
         c.n_sms = 0;
-        c.validate();
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.field, "n_sms");
+        assert!(e.to_string().contains("at least one SM"), "{e}");
+    }
+
+    #[test]
+    fn watchdog_thresholds_must_be_positive() {
+        let mut c = GpuConfig::small();
+        c.hang_cycles = 0;
+        assert_eq!(c.validate().unwrap_err().field, "hang_cycles");
+        let mut c = GpuConfig::small();
+        c.max_cycles = 0;
+        assert_eq!(c.validate().unwrap_err().field, "max_cycles");
+    }
+
+    #[test]
+    fn memcheck_defaults_off() {
+        assert!(!GpuConfig::fermi().memcheck);
+        let mut c = GpuConfig::small();
+        c.memcheck = true;
+        c.validate().expect("memcheck is a valid mode everywhere");
     }
 
     #[test]
@@ -235,10 +323,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn bad_l2_clustering_rejected() {
         let mut c = GpuConfig::fermi();
         c.l2_topology = L2Topology::Clustered { clusters: 4 }; // 6 % 4 != 0
-        c.validate();
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.field, "l2_topology");
+        assert!(e.to_string().contains("divide"), "{e}");
     }
 }

@@ -1,6 +1,11 @@
 //! Device global memory: a sparse byte-addressable store plus a bump
 //! allocator, playing the role of `cudaMalloc` + device DRAM contents.
+//!
+//! The allocator records every live `(base, len)` range so that memcheck
+//! ([`GpuConfig::memcheck`](crate::GpuConfig::memcheck)) can reject
+//! accesses that fall outside all allocations.
 
+use crate::fault::AllocError;
 use gcl_ptx::Type;
 use std::collections::HashMap;
 
@@ -22,7 +27,7 @@ pub const HEAP_BASE: u64 = 0x1000_0000;
 /// use gcl_ptx::Type;
 ///
 /// let mut mem = GlobalMem::new();
-/// let buf = mem.alloc(16, 4);
+/// let buf = mem.alloc(16, 4).unwrap();
 /// mem.write_scalar(buf, Type::U32, 42);
 /// assert_eq!(mem.read_scalar(buf, Type::U32), 42);
 /// assert_eq!(mem.read_scalar(buf + 4, Type::U32), 0);
@@ -31,31 +36,88 @@ pub const HEAP_BASE: u64 = 0x1000_0000;
 pub struct GlobalMem {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
     next_alloc: u64,
+    /// Live allocations as `(base, len)`, sorted by base (the bump
+    /// allocator only moves upward, so pushes keep the order).
+    allocs: Vec<(u64, u64)>,
 }
 
 impl GlobalMem {
     /// An empty memory image.
     pub fn new() -> GlobalMem {
-        GlobalMem { pages: HashMap::new(), next_alloc: HEAP_BASE }
+        GlobalMem {
+            pages: HashMap::new(),
+            next_alloc: HEAP_BASE,
+            allocs: Vec::new(),
+        }
     }
 
     /// Allocate `bytes` of device memory aligned to `align` (a power of
     /// two). Returns the device address.
     ///
-    /// # Panics
+    /// Zero-byte requests still get a distinct one-byte range so every
+    /// allocation has a unique, checkable address.
     ///
-    /// Panics if `align` is not a power of two.
-    pub fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
-        assert!(align.is_power_of_two(), "alignment must be a power of two");
-        let base = (self.next_alloc + align - 1) & !(align - 1);
-        self.next_alloc = base + bytes.max(1);
-        base
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadAlign`] if `align` is zero or not a power
+    /// of two, and [`AllocError::TooLarge`] if the allocation would
+    /// overflow the 64-bit device address space.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Result<u64, AllocError> {
+        if align == 0 || !align.is_power_of_two() {
+            return Err(AllocError::BadAlign { align });
+        }
+        let base = self
+            .next_alloc
+            .checked_add(align - 1)
+            .ok_or(AllocError::TooLarge { bytes })?
+            & !(align - 1);
+        let len = bytes.max(1);
+        let end = base
+            .checked_add(len)
+            .ok_or(AllocError::TooLarge { bytes })?;
+        self.allocs.push((base, len));
+        self.next_alloc = end;
+        Ok(base)
     }
 
     /// Allocate room for `n` elements of `ty`, 128-byte aligned (so buffers
     /// start on cache-line boundaries like `cudaMalloc`'s 256 B alignment).
-    pub fn alloc_array(&mut self, ty: Type, n: u64) -> u64 {
-        self.alloc(n * u64::from(ty.size_bytes()), 128)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::CountOverflow`] if `n * size_of(ty)` does not
+    /// fit in 64 bits, or any [`AllocError`] from [`GlobalMem::alloc`].
+    pub fn alloc_array(&mut self, ty: Type, n: u64) -> Result<u64, AllocError> {
+        let elem = ty.size_bytes();
+        let bytes = n
+            .checked_mul(u64::from(elem))
+            .ok_or(AllocError::CountOverflow {
+                count: n,
+                elem_bytes: elem,
+            })?;
+        self.alloc(bytes, 128)
+    }
+
+    /// Whether `[addr, addr + bytes)` lies entirely inside one live
+    /// allocation. This is the memcheck predicate.
+    pub fn is_allocated(&self, addr: u64, bytes: u32) -> bool {
+        match self.nearest_allocation(addr) {
+            Some((base, len)) => addr - base < len && u64::from(bytes) <= len - (addr - base),
+            None => false,
+        }
+    }
+
+    /// The live allocation `(base, len)` with the greatest base at or below
+    /// `addr` — the buffer an out-of-bounds access most likely ran off the
+    /// end of. `None` if `addr` is below every allocation.
+    pub fn nearest_allocation(&self, addr: u64) -> Option<(u64, u64)> {
+        let i = self.allocs.partition_point(|&(base, _)| base <= addr);
+        (i > 0).then(|| self.allocs[i - 1])
+    }
+
+    /// All live allocations as `(base, len)`, in address order.
+    pub fn allocations(&self) -> &[(u64, u64)] {
+        &self.allocs
     }
 
     /// Read one byte (zero if never written).
@@ -70,7 +132,10 @@ impl GlobalMem {
     /// Write one byte.
     pub fn write_u8(&mut self, addr: u64, v: u8) {
         let page = addr >> PAGE_SHIFT;
-        let p = self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         p[(addr as usize) & (PAGE_SIZE - 1)] = v;
     }
 
@@ -112,7 +177,9 @@ impl GlobalMem {
 
     /// Read `n` consecutive `u32` values.
     pub fn read_u32_slice(&self, addr: u64, n: usize) -> Vec<u32> {
-        (0..n).map(|i| self.read_le(addr + 4 * i as u64, 4) as u32).collect()
+        (0..n)
+            .map(|i| self.read_le(addr + 4 * i as u64, 4) as u32)
+            .collect()
     }
 
     /// Write a slice of `f32` values starting at `addr`.
@@ -159,8 +226,8 @@ mod tests {
     #[test]
     fn alloc_respects_alignment_and_no_overlap() {
         let mut mem = GlobalMem::new();
-        let a = mem.alloc(100, 128);
-        let b = mem.alloc(10, 128);
+        let a = mem.alloc(100, 128).unwrap();
+        let b = mem.alloc(10, 128).unwrap();
         assert_eq!(a % 128, 0);
         assert_eq!(b % 128, 0);
         assert!(b >= a + 100);
@@ -170,12 +237,69 @@ mod tests {
     #[test]
     fn typed_slices() {
         let mut mem = GlobalMem::new();
-        let a = mem.alloc_array(Type::U32, 4);
+        let a = mem.alloc_array(Type::U32, 4).unwrap();
         mem.write_u32_slice(a, &[1, 2, 3, 4]);
         assert_eq!(mem.read_u32_slice(a, 4), vec![1, 2, 3, 4]);
-        let f = mem.alloc_array(Type::F32, 2);
+        let f = mem.alloc_array(Type::F32, 2).unwrap();
         mem.write_f32_slice(f, &[1.5, -2.25]);
         assert_eq!(mem.read_f32_slice(f, 2), vec![1.5, -2.25]);
+    }
+
+    #[test]
+    fn bad_allocations_are_rejected_not_wrapped() {
+        let mut mem = GlobalMem::new();
+        assert_eq!(
+            mem.alloc(16, 0).unwrap_err(),
+            AllocError::BadAlign { align: 0 }
+        );
+        assert_eq!(
+            mem.alloc(16, 3).unwrap_err(),
+            AllocError::BadAlign { align: 3 }
+        );
+        assert!(matches!(
+            mem.alloc(u64::MAX, 4).unwrap_err(),
+            AllocError::TooLarge { .. }
+        ));
+        assert!(matches!(
+            mem.alloc_array(Type::U64, u64::MAX / 4).unwrap_err(),
+            AllocError::CountOverflow { .. }
+        ));
+        // Failed allocations must not move the bump pointer or leave
+        // phantom ranges behind.
+        assert_eq!(mem.allocations().len(), 0);
+        let a = mem.alloc(16, 4).unwrap();
+        assert_eq!(a, HEAP_BASE);
+    }
+
+    #[test]
+    fn allocation_ranges_answer_memcheck_queries() {
+        let mut mem = GlobalMem::new();
+        let a = mem.alloc(100, 128).unwrap();
+        let b = mem.alloc(64, 128).unwrap();
+        // Inside each allocation.
+        assert!(mem.is_allocated(a, 4));
+        assert!(mem.is_allocated(a + 96, 4));
+        assert!(mem.is_allocated(b + 60, 4));
+        // Straddling the end of `a` (the 128-byte alignment gap after it is
+        // not allocated).
+        assert!(!mem.is_allocated(a + 98, 4));
+        assert!(!mem.is_allocated(a + 100, 1));
+        // Below the heap, and past the last allocation.
+        assert!(!mem.is_allocated(HEAP_BASE - 8, 4));
+        assert!(!mem.is_allocated(b + 64, 1));
+        // Nearest-allocation attribution.
+        assert_eq!(mem.nearest_allocation(a + 100), Some((a, 100)));
+        assert_eq!(mem.nearest_allocation(b + 1000), Some((b, 64)));
+        assert_eq!(mem.nearest_allocation(HEAP_BASE - 1), None);
+    }
+
+    #[test]
+    fn zero_byte_allocations_stay_distinct() {
+        let mut mem = GlobalMem::new();
+        let a = mem.alloc(0, 4).unwrap();
+        let b = mem.alloc(0, 4).unwrap();
+        assert_ne!(a, b);
+        assert!(mem.is_allocated(a, 1));
     }
 
     #[test]

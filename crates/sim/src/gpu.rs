@@ -1,6 +1,7 @@
 //! The whole GPU: SMs, interconnect, memory partitions, CTA dispatch, and
 //! the cycle loop.
 
+use crate::fault::{AllocError, ConfigError, HangReport, MemFaultReport};
 use crate::sm::TickCtx;
 use crate::{
     BlockSummary, BlockTracker, CtaSchedPolicy, Dim3, GlobalMem, GpuConfig, LaunchStats, Sm,
@@ -11,10 +12,23 @@ use gcl_ptx::Kernel;
 use std::collections::VecDeque;
 use std::fmt;
 
-/// Errors from [`Gpu::launch`].
+/// Everything that can go wrong constructing a [`Gpu`] or running a
+/// launch. Each variant carries the full structured report; the `Display`
+/// form is what `gcl` prints.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// The launch did not finish within [`GpuConfig::max_cycles`].
+    /// The configuration failed [`GpuConfig::validate`].
+    InvalidConfig(ConfigError),
+    /// A device allocation failed (bad alignment, overflowing size).
+    Alloc(AllocError),
+    /// Memcheck caught an out-of-bounds device access.
+    MemFault(Box<MemFaultReport>),
+    /// The forward-progress watchdog fired (barrier deadlock, scheduler
+    /// livelock): no instruction issued, response landed, or CTA moved for
+    /// [`GpuConfig::hang_cycles`] consecutive cycles.
+    Hang(Box<HangReport>),
+    /// The launch made progress but did not finish within
+    /// [`GpuConfig::max_cycles`].
     Timeout {
         /// Cycles simulated before giving up.
         cycles: u64,
@@ -31,17 +45,44 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SimError::InvalidConfig(e) => write!(f, "{e}"),
+            SimError::Alloc(e) => write!(f, "device allocation failed: {e}"),
+            SimError::MemFault(report) => write!(f, "{report}"),
+            SimError::Hang(report) => write!(f, "{report}"),
             SimError::Timeout { cycles } => {
                 write!(f, "kernel did not finish within {cycles} cycles")
             }
             SimError::CtaTooLarge { threads, reason } => {
-                write!(f, "CTA of {threads} threads does not fit on an SM: {reason}")
+                write!(
+                    f,
+                    "CTA of {threads} threads does not fit on an SM: {reason}"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidConfig(e) => Some(e),
+            SimError::Alloc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::InvalidConfig(e)
+    }
+}
+
+impl From<AllocError> for SimError {
+    fn from(e: AllocError) -> SimError {
+        SimError::Alloc(e)
+    }
+}
 
 /// Pack kernel parameter values (one raw 64-bit value per declared
 /// parameter) into the launch's parameter block.
@@ -88,13 +129,13 @@ pub fn pack_params(kernel: &Kernel, values: &[u64]) -> Vec<u8> {
 /// b.exit();
 /// let k = b.build()?;
 ///
-/// let mut gpu = Gpu::new(GpuConfig::small());
-/// let out = gpu.mem().alloc_array(Type::U32, 64);
+/// let mut gpu = Gpu::new(GpuConfig::small())?;
+/// let out = gpu.mem().alloc_array(Type::U32, 64)?;
 /// let params = pack_params(&k, &[out]);
-/// let stats = gpu.launch(&k, Dim3::x(2), Dim3::x(32), &params).unwrap();
+/// let stats = gpu.launch(&k, Dim3::x(2), Dim3::x(32), &params)?;
 /// assert!(stats.cycles > 0);
 /// assert_eq!(gpu.mem().read_u32_slice(out, 4), vec![0, 1, 2, 3]);
-/// # Ok::<(), gcl_ptx::ValidateError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct Gpu {
@@ -114,17 +155,28 @@ pub struct Gpu {
 impl Gpu {
     /// Create a GPU with the given configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is inconsistent (see
-    /// [`GpuConfig::validate`]).
-    pub fn new(cfg: GpuConfig) -> Gpu {
-        cfg.validate();
-        let l1s = (0..cfg.n_sms).map(|_| Some(gcl_mem::Cache::new(cfg.l1))).collect();
+    /// Returns [`SimError::InvalidConfig`] if the configuration is
+    /// inconsistent (see [`GpuConfig::validate`]).
+    pub fn new(cfg: GpuConfig) -> Result<Gpu, SimError> {
+        cfg.validate()?;
+        let l1s = (0..cfg.n_sms)
+            .map(|_| Some(gcl_mem::Cache::new(cfg.l1)))
+            .collect();
         let icnt = Icnt::new(cfg.icnt, cfg.n_sms, cfg.n_partitions);
-        let partitions =
-            (0..cfg.n_partitions).map(|_| L2Partition::new(cfg.partition)).collect();
-        Gpu { cfg, gmem: GlobalMem::new(), blocktrack: BlockTracker::new(), l1s, icnt, partitions, now: 0 }
+        let partitions = (0..cfg.n_partitions)
+            .map(|_| L2Partition::new(cfg.partition))
+            .collect();
+        Ok(Gpu {
+            cfg,
+            gmem: GlobalMem::new(),
+            blocktrack: BlockTracker::new(),
+            l1s,
+            icnt,
+            partitions,
+            now: 0,
+        })
     }
 
     /// The configuration.
@@ -158,10 +210,16 @@ impl Gpu {
         let threads = block.count();
         let cfg = &self.cfg;
         if threads > u64::from(cfg.max_threads_per_sm) {
-            return Err(SimError::CtaTooLarge { threads, reason: "thread limit" });
+            return Err(SimError::CtaTooLarge {
+                threads,
+                reason: "thread limit",
+            });
         }
         if kernel.shared_bytes() > cfg.shared_mem_per_sm {
-            return Err(SimError::CtaTooLarge { threads, reason: "shared memory" });
+            return Err(SimError::CtaTooLarge {
+                threads,
+                reason: "shared memory",
+            });
         }
         let by_threads = u64::from(cfg.max_threads_per_sm) / threads;
         let by_shared = if kernel.shared_bytes() == 0 {
@@ -176,13 +234,42 @@ impl Gpu {
         Ok(ctas)
     }
 
+    /// Tear down a launch abandoned mid-flight so the GPU stays usable:
+    /// the partially-run SMs are dropped, every L1 slot (taken by the
+    /// failed launch, possibly holding MSHR entries whose fills will never
+    /// arrive) is replaced by a fresh cache, the interconnect and
+    /// partitions are rebuilt empty, and the device clock advances past
+    /// the failure. Warm-cache state is deliberately sacrificed — stale
+    /// in-flight requests must never leak into the next launch.
+    fn abandon_launch(&mut self, sms: Vec<Sm>, cycle: u64) {
+        drop(sms);
+        for slot in self.l1s.iter_mut() {
+            *slot = Some(gcl_mem::Cache::new(self.cfg.l1));
+        }
+        self.icnt = Icnt::new(self.cfg.icnt, self.cfg.n_sms, self.cfg.n_partitions);
+        self.partitions = (0..self.cfg.n_partitions)
+            .map(|_| L2Partition::new(self.cfg.partition))
+            .collect();
+        self.now = cycle;
+    }
+
     /// Run one kernel to completion.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Timeout`] if the launch exceeds
-    /// [`GpuConfig::max_cycles`], or [`SimError::CtaTooLarge`] if a CTA
-    /// cannot fit on an SM.
+    /// * [`SimError::CtaTooLarge`] if a CTA cannot fit on an SM.
+    /// * [`SimError::MemFault`] if [`GpuConfig::memcheck`] is on and the
+    ///   kernel touches memory outside every live allocation; the report
+    ///   names the faulting pc, SM/warp/lane, address, the load's D/N
+    ///   class, and its address def-chain witness.
+    /// * [`SimError::Hang`] if nothing makes forward progress for
+    ///   [`GpuConfig::hang_cycles`] consecutive cycles (e.g. a barrier
+    ///   deadlock); carries a per-SM, per-warp state dump.
+    /// * [`SimError::Timeout`] if the launch exceeds
+    ///   [`GpuConfig::max_cycles`] while still making progress.
+    ///
+    /// Any error leaves the GPU reusable: L1 caches are reclaimed and the
+    /// device clock advances past the failed launch.
     pub fn launch(
         &mut self,
         kernel: &Kernel,
@@ -228,7 +315,9 @@ impl Gpu {
 
         let mut sms: Vec<Sm> = (0..cfg.n_sms)
             .map(|i| {
-                let l1 = self.l1s[i].take().expect("L1 not returned by previous launch");
+                let l1 = self.l1s[i]
+                    .take()
+                    .expect("L1 not returned by previous launch");
                 Sm::new(i as u16, &cfg, kernel, ctas_per_sm, l1)
             })
             .collect();
@@ -252,7 +341,13 @@ impl Gpu {
 
         let start_cycle = self.now;
         let mut cycle: u64 = start_cycle;
+        // Forward-progress watchdog: the last cycle on which any SM issued
+        // an instruction, completed a memory op, or a CTA was dispatched or
+        // retired.
+        let mut last_progress = start_cycle;
         loop {
+            let mut progress = false;
+
             // Dispatch CTAs to free slots (one per SM per cycle).
             for (i, sm) in sms.iter_mut().enumerate() {
                 if !sm.has_free_cta_slot() {
@@ -265,10 +360,12 @@ impl Gpu {
                 if let Some(cta) = next {
                     let (x, y, z) = grid.coords(cta);
                     sm.dispatch_cta(cta, (x, y, z), block, &cfg, kernel);
+                    progress = true;
                 }
             }
 
             // Cores.
+            let mut fault: Option<Box<MemFaultReport>> = None;
             for sm in sms.iter_mut() {
                 let mut ctx = TickCtx {
                     cycle,
@@ -285,7 +382,24 @@ impl Gpu {
                     nctaid: grid,
                     trace,
                 };
-                sm.tick(&mut ctx);
+                match sm.tick(&mut ctx) {
+                    Ok(moved) => progress |= moved,
+                    Err(f) => {
+                        fault = Some(f);
+                        break;
+                    }
+                }
+            }
+            if let Some(mut fault) = fault {
+                // Attach what the classifier knows about the faulting
+                // instruction: its D/N class and the def-chain witness of
+                // its address.
+                if let Some(load) = classification.load(fault.violation.pc) {
+                    fault.class = Some(load.class);
+                    fault.witness = load.witness.clone();
+                }
+                self.abandon_launch(sms, cycle);
+                return Err(SimError::MemFault(fault));
             }
 
             // Interconnect and memory partitions.
@@ -310,11 +424,13 @@ impl Gpu {
             }
 
             cycle += 1;
+            if progress {
+                last_progress = cycle;
+            }
 
             // Completion: all work dispatched, all SMs drained, hierarchy
             // empty.
-            let work_left = !global_queue.is_empty()
-                || per_sm_queue.iter().any(|q| !q.is_empty());
+            let work_left = !global_queue.is_empty() || per_sm_queue.iter().any(|q| !q.is_empty());
             if !work_left
                 && sms.iter().all(Sm::is_idle)
                 && self.icnt.is_empty()
@@ -322,8 +438,22 @@ impl Gpu {
             {
                 break;
             }
+            if cycle - last_progress >= cfg.hang_cycles {
+                let report = HangReport {
+                    cycle: cycle - start_cycle,
+                    last_progress: last_progress - start_cycle,
+                    hang_cycles: cfg.hang_cycles,
+                    ctas_outstanding: global_queue.len() as u64
+                        + per_sm_queue.iter().map(|q| q.len() as u64).sum::<u64>(),
+                    sms: sms.iter().map(Sm::snapshot).collect(),
+                };
+                self.abandon_launch(sms, cycle);
+                return Err(SimError::Hang(Box::new(report)));
+            }
             if cycle - start_cycle >= cfg.max_cycles {
-                return Err(SimError::Timeout { cycles: cycle - start_cycle });
+                let cycles = cycle - start_cycle;
+                self.abandon_launch(sms, cycle);
+                return Err(SimError::Timeout { cycles });
             }
         }
         self.now = cycle;
@@ -342,8 +472,8 @@ impl Gpu {
             stats.l1.merge(&l1.take_stats());
             self.l1s[i] = Some(l1);
             let (class_agg, per_pc) = loadtrack.into_parts();
-            for i in 0..2 {
-                stats.class_agg[i].merge(&class_agg[i]);
+            for (agg, merged) in class_agg.iter().zip(stats.class_agg.iter_mut()) {
+                merged.merge(agg);
             }
             let mut per_pc: Vec<_> = per_pc.into_iter().collect();
             per_pc.sort_by_key(|&((pc, n), _)| (pc, n));

@@ -1,9 +1,7 @@
 //! Grid/CTA/thread geometry.
 
-use serde::{Deserialize, Serialize};
-
 /// A 3-component dimension, as in CUDA's `dim3`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Dim3 {
     /// X extent.
     pub x: u32,

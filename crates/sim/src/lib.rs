@@ -40,16 +40,25 @@
 //! b.exit();
 //! let kernel = b.build()?;
 //!
-//! let mut gpu = Gpu::new(GpuConfig::small());
-//! let buf = gpu.mem().alloc_array(Type::U32, 128);
+//! let mut gpu = Gpu::new(GpuConfig::small())?;
+//! let buf = gpu.mem().alloc_array(Type::U32, 128)?;
 //! gpu.mem().write_u32_slice(buf, &(0..128).collect::<Vec<_>>());
 //! let params = pack_params(&kernel, &[buf]);
-//! let stats = gpu.launch(&kernel, Dim3::x(4), Dim3::x(32), &params).unwrap();
+//! let stats = gpu.launch(&kernel, Dim3::x(4), Dim3::x(32), &params)?;
 //! assert_eq!(gpu.mem().read_u32_slice(buf, 3), vec![0, 2, 4]);
 //! // One deterministic global load per warp, fully coalesced:
 //! assert_eq!(stats.sm.global_load_warps, [4, 0]);
-//! # Ok::<(), gcl_ptx::ValidateError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Fault model
+//!
+//! Launches fail *structurally*, never by panicking: [`SimError`] covers
+//! rejected configurations ([`ConfigError`]), failed allocations
+//! ([`AllocError`]), out-of-bounds device accesses caught by memcheck
+//! ([`MemFaultReport`], with the faulting load's D/N class and def-chain
+//! witness attached), and hangs caught by the forward-progress watchdog
+//! ([`HangReport`], with a per-warp state dump).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -57,6 +66,7 @@
 mod blocktrack;
 mod coalesce;
 mod config;
+mod fault;
 mod gmem;
 mod gpu;
 mod grid;
@@ -73,6 +83,10 @@ mod warp_sched;
 pub use blocktrack::{BlockSummary, BlockTracker};
 pub use coalesce::coalesce;
 pub use config::{CtaSchedPolicy, GpuConfig, PrefetchFilter, WarpSchedPolicy};
+pub use fault::{
+    AccessKind, AllocError, ConfigError, HangReport, MemFaultReport, MemViolation, SmSnapshot,
+    WarpSnapshot,
+};
 pub use gmem::{GlobalMem, HEAP_BASE};
 pub use gpu::{pack_params, Gpu, SimError};
 pub use grid::Dim3;

@@ -4,11 +4,10 @@
 use gcl_core::LoadClass;
 use gcl_mem::{Cycle, MemRequest};
 use gcl_stats::{Accumulator, Histogram};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Aggregated behavior of one load class (Figure 2 + Figure 5).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassAgg {
     /// Dynamic warp-level load instructions.
     pub warp_loads: u64,
@@ -65,7 +64,7 @@ impl ClassAgg {
 
 /// Aggregates for one (load pc, request count) pair — the Figure 6 lines and
 /// Figure 7 stack components.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PcReqAgg {
     /// Turnaround time samples.
     pub turnaround: Accumulator,
@@ -168,7 +167,9 @@ impl LoadTracker {
 
     /// Record one request of load `meta` being accepted by the L1 at `cycle`.
     pub fn note_accept(&mut self, meta: u64, cycle: Cycle) {
-        let rec = self.inflight[meta as usize].as_mut().expect("accept on finished load");
+        let rec = self.inflight[meta as usize]
+            .as_mut()
+            .expect("accept on finished load");
         if rec.accepted == 0 {
             rec.first_accept = cycle;
         }
@@ -182,7 +183,9 @@ impl LoadTracker {
     /// load is finished (all requests returned).
     pub fn complete_request(&mut self, meta: u64, req: &MemRequest, cycle: Cycle) -> bool {
         let idx = meta as usize;
-        let rec = self.inflight[idx].as_mut().expect("completion on finished load");
+        let rec = self.inflight[idx]
+            .as_mut()
+            .expect("completion on finished load");
         if rec.completed == 0 {
             rec.first_done = cycle;
         }
@@ -202,19 +205,25 @@ impl LoadTracker {
         let turnaround = rec.last_done.saturating_sub(rec.t_issue);
         agg.turnaround.add(turnaround as f64);
         agg.turnaround_hist.add(turnaround);
-        agg.wait_prev_warps.add(rec.first_accept.saturating_sub(rec.t_issue) as f64);
-        agg.wait_current_warp.add(rec.last_accept.saturating_sub(rec.first_accept) as f64);
-        agg.memory_time.add(rec.last_done.saturating_sub(rec.last_accept) as f64);
+        agg.wait_prev_warps
+            .add(rec.first_accept.saturating_sub(rec.t_issue) as f64);
+        agg.wait_current_warp
+            .add(rec.last_accept.saturating_sub(rec.first_accept) as f64);
+        agg.memory_time
+            .add(rec.last_done.saturating_sub(rec.last_accept) as f64);
 
         let pa = self.per_pc.entry((rec.pc, rec.n_requests)).or_default();
         pa.turnaround.add(turnaround as f64);
-        pa.gap_l1d.add(rec.last_accept.saturating_sub(rec.first_accept) as f64);
+        pa.gap_l1d
+            .add(rec.last_accept.saturating_sub(rec.first_accept) as f64);
         if rec.injected > 0 {
-            pa.gap_icnt_l2.add(rec.inject_delay_sum as f64 / f64::from(rec.injected));
+            pa.gap_icnt_l2
+                .add(rec.inject_delay_sum as f64 / f64::from(rec.injected));
         } else {
             pa.gap_icnt_l2.add(0.0);
         }
-        pa.gap_l2_icnt.add(rec.last_done.saturating_sub(rec.first_done) as f64);
+        pa.gap_l2_icnt
+            .add(rec.last_done.saturating_sub(rec.first_done) as f64);
         true
     }
 
@@ -321,15 +330,19 @@ mod tests {
 
     #[test]
     fn class_agg_merge() {
-        let mut a = ClassAgg::default();
-        a.warp_loads = 2;
-        a.requests = 10;
-        a.active_threads = 40;
+        let mut a = ClassAgg {
+            warp_loads: 2,
+            requests: 10,
+            active_threads: 40,
+            ..Default::default()
+        };
         a.turnaround.add(100.0);
-        let mut b = ClassAgg::default();
-        b.warp_loads = 1;
-        b.requests = 1;
-        b.active_threads = 32;
+        let mut b = ClassAgg {
+            warp_loads: 1,
+            requests: 1,
+            active_threads: 32,
+            ..Default::default()
+        };
         b.turnaround.add(50.0);
         a.merge(&b);
         assert_eq!(a.warp_loads, 3);

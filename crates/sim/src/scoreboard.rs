@@ -16,7 +16,10 @@ impl Scoreboard {
     /// registers.
     pub fn new(n_warps: usize, num_regs: u32) -> Scoreboard {
         let words = (num_regs as usize).div_ceil(64).max(1);
-        Scoreboard { pending: vec![vec![0; words]; n_warps], words }
+        Scoreboard {
+            pending: vec![vec![0; words]; n_warps],
+            words,
+        }
     }
 
     fn bit(&self, warp: usize, reg: Reg) -> bool {

@@ -29,7 +29,13 @@ const MAX_DEPTH: usize = 64;
 impl SimtStack {
     /// A fresh stack: all `mask` lanes at pc 0, reconverging only at exit.
     pub fn new(mask: u32) -> SimtStack {
-        SimtStack { entries: vec![SimtEntry { pc: 0, mask, reconv: RECONV_EXIT }] }
+        SimtStack {
+            entries: vec![SimtEntry {
+                pc: 0,
+                mask,
+                reconv: RECONV_EXIT,
+            }],
+        }
     }
 
     /// Whether the stack has no live entries (warp retired).
@@ -93,8 +99,16 @@ impl SimtStack {
             // point; the two sides execute on top of it, fall-through first
             // (so the taken side runs first, matching GPGPU-Sim).
             top.pc = reconv;
-            self.entries.push(SimtEntry { pc: fallthrough, mask: not_taken, reconv });
-            self.entries.push(SimtEntry { pc: target, mask: taken, reconv });
+            self.entries.push(SimtEntry {
+                pc: fallthrough,
+                mask: not_taken,
+                reconv,
+            });
+            self.entries.push(SimtEntry {
+                pc: target,
+                mask: taken,
+                reconv,
+            });
             assert!(self.entries.len() <= MAX_DEPTH, "SIMT stack depth exceeded");
         }
         self.pop_reconverged();

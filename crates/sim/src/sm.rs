@@ -1,6 +1,7 @@
 //! The streaming multiprocessor: warp scheduling, issue, LD/ST unit with
 //! coalescing and L1 access retry, writeback, barriers and CTA retirement.
 
+use crate::fault::{MemFaultReport, SmSnapshot, WarpSnapshot};
 use crate::warp::{ExecCtx, MemAccess, StepResult, Warp};
 use crate::{
     coalesce, BlockTracker, Dim3, GlobalMem, GpuConfig, LoadTracker, Scoreboard, Trace,
@@ -9,15 +10,14 @@ use crate::{
 use gcl_core::{Classification, LoadClass};
 use gcl_mem::{AccessOutcome, AddrMap, Cache, ClassTag, Cycle, Icnt, MemRequest};
 use gcl_ptx::{Kernel, Reg, Space, Unit};
-use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Sentinel `meta` value marking prefetch requests (no load-tracker entry).
 const PREFETCH_META: u64 = u64::MAX;
 
 /// Per-SM execution statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SmStats {
     /// Warp-level instructions issued.
     pub warp_insts: u64,
@@ -76,7 +76,12 @@ pub fn bank_conflict_degree(lane_addrs: &[(u32, u64)]) -> u32 {
             words.push(word);
         }
     }
-    per_bank.values().map(|w| w.len() as u32).max().unwrap_or(1).max(1)
+    per_bank
+        .values()
+        .map(|w| w.len() as u32)
+        .max()
+        .unwrap_or(1)
+        .max(1)
 }
 
 #[derive(Debug)]
@@ -100,9 +105,17 @@ enum LdstEntry {
     },
     /// Shared-memory access: occupies the unit for the conflict-serialized
     /// cycles, then completes after the shared latency.
-    Shared { warp_slot: usize, dst: Option<Reg>, cycles_left: u32 },
+    Shared {
+        warp_slot: usize,
+        dst: Option<Reg>,
+        cycles_left: u32,
+    },
     /// Parameter/constant-cache access: ideal, fixed latency.
-    Const { warp_slot: usize, dst: Option<Reg>, cycles_left: u32 },
+    Const {
+        warp_slot: usize,
+        dst: Option<Reg>,
+        cycles_left: u32,
+    },
 }
 
 /// Events completing inside the SM (L1 hits, shared/const loads).
@@ -202,7 +215,9 @@ impl Sm {
                 .map(|_| vec![0u8; kernel.shared_bytes() as usize])
                 .collect(),
             scoreboard: Scoreboard::new(max_warps, kernel.num_regs()),
-            schedulers: (0..cfg.n_schedulers).map(|_| WarpScheduler::new(cfg.warp_sched)).collect(),
+            schedulers: (0..cfg.n_schedulers)
+                .map(|_| WarpScheduler::new(cfg.warp_sched))
+                .collect(),
             ldst_queue: VecDeque::new(),
             local_done: BinaryHeap::new(),
             local_reqs: HashMap::new(),
@@ -273,7 +288,9 @@ impl Sm {
             self.pending_ops[slot] = 0;
         }
         self.smem[cta_slot].iter_mut().for_each(|b| *b = 0);
-        self.cta_slots[cta_slot] = Some(CtaState { warp_slots: free_slots });
+        self.cta_slots[cta_slot] = Some(CtaState {
+            warp_slots: free_slots,
+        });
     }
 
     fn class_tag(class: LoadClass) -> ClassTag {
@@ -284,18 +301,31 @@ impl Sm {
     }
 
     /// Advance this SM one cycle.
-    pub fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+    ///
+    /// Returns whether the SM made forward progress this cycle (issued an
+    /// instruction, completed a writeback or memory response, accepted a
+    /// request into the L1, or retired a CTA) — the signal the GPU's hang
+    /// watchdog integrates.
+    ///
+    /// # Errors
+    ///
+    /// Under [`GpuConfig::memcheck`], returns a partially attributed
+    /// [`MemFaultReport`] (placement filled in; classification context is
+    /// added by the GPU) on the first out-of-bounds device access.
+    pub fn tick(&mut self, ctx: &mut TickCtx<'_>) -> Result<bool, Box<MemFaultReport>> {
         let cycle = ctx.cycle;
         self.stats.cycles += 1;
         self.issued_mem_this_cycle = false;
+        let mut progress = false;
 
-        self.process_writebacks(cycle);
-        self.process_responses(ctx);
-        self.process_local_done(cycle);
-        let (sp_issued, sfu_issued) = self.issue(ctx);
+        progress |= self.process_writebacks(cycle);
+        progress |= self.process_responses(ctx);
+        progress |= self.process_local_done(cycle);
+        let (sp_issued, sfu_issued, any_issued) = self.issue(ctx)?;
+        progress |= any_issued;
         self.release_barriers();
         let ldst_active = !self.ldst_queue.is_empty();
-        self.process_ldst(ctx);
+        progress |= self.process_ldst(ctx);
         self.drain_misses(ctx);
 
         if sp_issued {
@@ -308,10 +338,12 @@ impl Sm {
             self.stats.unit_busy[2] += 1;
         }
 
-        self.retire_ctas();
+        progress |= self.retire_ctas();
+        Ok(progress)
     }
 
-    fn process_writebacks(&mut self, cycle: Cycle) {
+    fn process_writebacks(&mut self, cycle: Cycle) -> bool {
+        let mut any = false;
         while let Some(&Reverse((at, slot, reg))) = self.writebacks.peek() {
             if at > cycle {
                 break;
@@ -319,13 +351,17 @@ impl Sm {
             self.writebacks.pop();
             self.scoreboard.release(slot, reg);
             self.pending_ops[slot] -= 1;
+            any = true;
         }
+        any
     }
 
     /// Accept fills coming back from the interconnect.
-    fn process_responses(&mut self, ctx: &mut TickCtx<'_>) {
+    fn process_responses(&mut self, ctx: &mut TickCtx<'_>) -> bool {
         let cycle = ctx.cycle;
+        let mut any = false;
         while let Some(resp) = ctx.icnt.pop_response(self.id.into(), cycle) {
+            any = true;
             if resp.is_write {
                 continue; // stores are fire-and-forget
             }
@@ -338,6 +374,7 @@ impl Sm {
                 self.finish_request(w, cycle);
             }
         }
+        any
     }
 
     fn finish_request(&mut self, req: MemRequest, cycle: Cycle) {
@@ -355,11 +392,13 @@ impl Sm {
         }
     }
 
-    fn process_local_done(&mut self, cycle: Cycle) {
+    fn process_local_done(&mut self, cycle: Cycle) -> bool {
+        let mut any = false;
         while let Some(Reverse(head)) = self.local_done.peek() {
             if head.at > cycle {
                 break;
             }
+            any = true;
             let Reverse(done) = self.local_done.pop().unwrap();
             match (done.meta, done.req) {
                 // An L1-hit request of a tracked load.
@@ -377,20 +416,22 @@ impl Sm {
                 }
             }
         }
+        any
     }
 
-    /// Issue up to one instruction per scheduler. Returns (sp, sfu) issue
-    /// flags for occupancy accounting.
-    fn issue(&mut self, ctx: &mut TickCtx<'_>) -> (bool, bool) {
+    /// Issue up to one instruction per scheduler. Returns
+    /// `(sp, sfu, any_issued)` flags for occupancy accounting and the hang
+    /// watchdog.
+    fn issue(&mut self, ctx: &mut TickCtx<'_>) -> Result<(bool, bool, bool), Box<MemFaultReport>> {
         let n_sched = self.schedulers.len();
         let mut sp = false;
         let mut sfu = false;
+        let mut any = false;
         for s in 0..n_sched {
             let candidates: Vec<usize> = (0..self.warps.len())
                 .filter(|slot| slot % n_sched == s && self.warps[*slot].is_some())
                 .collect();
-            let ldst_space =
-                self.ldst_queue.len() < ctx.cfg.ldst_queue_len;
+            let ldst_space = self.ldst_queue.len() < ctx.cfg.ldst_queue_len;
             let picked = {
                 let warps = &self.warps;
                 let sb = &self.scoreboard;
@@ -398,11 +439,15 @@ impl Sm {
                 self.schedulers[s].pick(
                     &candidates,
                     |slot| {
-                        let Some(w) = warps[slot].as_ref() else { return false };
-                        if w.is_finished() || w.at_barrier {
+                        let Some(w) = warps[slot].as_ref() else {
+                            return false;
+                        };
+                        if w.is_finished() || w.at_barrier.is_some() {
                             return false;
                         }
-                        let Some(inst) = w.next_inst(kernel) else { return false };
+                        let Some(inst) = w.next_inst(kernel) else {
+                            return false;
+                        };
                         if !sb.can_issue(slot, inst) {
                             return false;
                         }
@@ -424,12 +469,17 @@ impl Sm {
                 Unit::Sfu => sfu = true,
                 _ => {}
             }
-            self.issue_warp(slot, ctx);
+            any = true;
+            self.issue_warp(slot, ctx)?;
         }
-        (sp, sfu)
+        Ok((sp, sfu, any))
     }
 
-    fn issue_warp(&mut self, slot: usize, ctx: &mut TickCtx<'_>) {
+    fn issue_warp(
+        &mut self,
+        slot: usize,
+        ctx: &mut TickCtx<'_>,
+    ) -> Result<(), Box<MemFaultReport>> {
         let cycle = ctx.cycle;
         let mut warp = self.warps[slot].take().expect("issuing empty warp slot");
         let active_mask = warp.active_mask();
@@ -446,14 +496,42 @@ impl Sm {
                 smem: &mut self.smem[cta_slot],
                 ntid: ctx.ntid,
                 nctaid: ctx.nctaid,
+                memcheck: ctx.cfg.memcheck,
             };
             warp.step(&mut ectx)
+        };
+        let result = match result {
+            Ok(r) => r,
+            Err(violation) => {
+                // Leave the warp in place (pc still at the faulting
+                // instruction) so the state is inspectable, and hand the
+                // placement-attributed report up; the GPU attaches the
+                // classification context.
+                let cta = warp.linear_cta;
+                self.warps[slot] = Some(warp);
+                return Err(Box::new(MemFaultReport {
+                    kernel: ctx.kernel.name().to_string(),
+                    sm: self.id,
+                    warp_slot: slot,
+                    cta,
+                    violation,
+                    class: None,
+                    witness: Vec::new(),
+                }));
+            }
         };
         self.stats.warp_insts += 1;
         self.stats.thread_insts += u64::from(active);
         let linear_cta = warp.linear_cta;
         if let Some(trace) = ctx.trace.as_mut() {
-            trace.record(cycle, self.id, slot as u16, linear_cta, pc as u32, active_mask);
+            trace.record(
+                cycle,
+                self.id,
+                slot as u16,
+                linear_cta,
+                pc as u32,
+                active_mask,
+            );
         }
         self.warps[slot] = Some(warp);
 
@@ -466,7 +544,8 @@ impl Sm {
                 if let Some(d) = dst {
                     self.scoreboard.reserve(slot, d);
                     self.pending_ops[slot] += 1;
-                    self.writebacks.push(Reverse((cycle + Cycle::from(latency), slot, d)));
+                    self.writebacks
+                        .push(Reverse((cycle + Cycle::from(latency), slot, d)));
                 }
             }
             StepResult::Mem(access) => {
@@ -482,6 +561,7 @@ impl Sm {
             StepResult::Predicated | StepResult::Exit => {}
             StepResult::Barrier => {}
         }
+        Ok(())
     }
 
     fn dispatch_mem(
@@ -522,8 +602,7 @@ impl Sm {
                 });
             }
             Space::Global | Space::Local | Space::Tex => {
-                let blocks =
-                    coalesce(&access.lane_addrs, access.bytes, ctx.cfg.l1.line_bytes);
+                let blocks = coalesce(&access.lane_addrs, access.bytes, ctx.cfg.l1.line_bytes);
                 let n_requests = blocks.len() as u32;
                 let is_store = access.is_store;
                 let (class_tag, meta) = if is_store {
@@ -551,8 +630,7 @@ impl Sm {
                 self.pending_ops[slot] += 1;
                 let mut pending = VecDeque::with_capacity(blocks.len());
                 for b in blocks {
-                    let id = (slot as u64) << 32
-                        | u64::from(dst.map_or(0, |d| d.0));
+                    let id = (slot as u64) << 32 | u64::from(dst.map_or(0, |d| d.0));
                     let mut req = if is_store {
                         MemRequest::write(id, b, self.id, cycle)
                     } else {
@@ -579,23 +657,35 @@ impl Sm {
 
     fn release_barriers(&mut self) {
         for cta in self.cta_slots.iter().flatten() {
-            let mut all_at_barrier = true;
+            // A barrier releases only when every live warp of the CTA waits
+            // at the SAME named barrier. Warps parked on different ids never
+            // release each other (the named-barrier deadlock the watchdog
+            // reports as a hang).
+            let mut barrier: Option<u32> = None;
+            let mut releasable = true;
             let mut any_live = false;
             for &slot in &cta.warp_slots {
                 if let Some(w) = &self.warps[slot] {
                     if !w.is_finished() {
                         any_live = true;
-                        if !w.at_barrier {
-                            all_at_barrier = false;
-                            break;
+                        match (w.at_barrier, barrier) {
+                            (None, _) => {
+                                releasable = false;
+                                break;
+                            }
+                            (Some(id), Some(prev)) if id != prev => {
+                                releasable = false;
+                                break;
+                            }
+                            (Some(id), _) => barrier = Some(id),
                         }
                     }
                 }
             }
-            if any_live && all_at_barrier {
+            if any_live && releasable {
                 for &slot in &cta.warp_slots {
                     if let Some(w) = self.warps[slot].as_mut() {
-                        w.at_barrier = false;
+                        w.at_barrier = None;
                     }
                 }
             }
@@ -603,12 +693,19 @@ impl Sm {
     }
 
     /// Process the head of the LD/ST queue: shared/const countdowns and L1
-    /// access attempts for global requests.
-    fn process_ldst(&mut self, ctx: &mut TickCtx<'_>) {
+    /// access attempts for global requests. Returns whether the unit moved
+    /// (countdown advanced or a request was accepted by the L1).
+    fn process_ldst(&mut self, ctx: &mut TickCtx<'_>) -> bool {
         let cycle = ctx.cycle;
-        let Some(head) = self.ldst_queue.front_mut() else { return };
+        let Some(head) = self.ldst_queue.front_mut() else {
+            return false;
+        };
         match head {
-            LdstEntry::Const { warp_slot, dst, cycles_left } => {
+            LdstEntry::Const {
+                warp_slot,
+                dst,
+                cycles_left,
+            } => {
                 *cycles_left -= 1;
                 if *cycles_left == 0 {
                     let done = LocalDone {
@@ -623,8 +720,13 @@ impl Sm {
                     self.local_done.push(Reverse(done));
                     self.ldst_queue.pop_front();
                 }
+                true
             }
-            LdstEntry::Shared { warp_slot, dst, cycles_left } => {
+            LdstEntry::Shared {
+                warp_slot,
+                dst,
+                cycles_left,
+            } => {
                 *cycles_left -= 1;
                 if *cycles_left == 0 {
                     let done = LocalDone {
@@ -639,16 +741,18 @@ impl Sm {
                     self.local_done.push(Reverse(done));
                     self.ldst_queue.pop_front();
                 }
+                true
             }
             LdstEntry::Global { .. } => self.process_global_head(ctx),
         }
     }
 
-    fn process_global_head(&mut self, ctx: &mut TickCtx<'_>) {
+    fn process_global_head(&mut self, ctx: &mut TickCtx<'_>) -> bool {
         let cycle = ctx.cycle;
         let hit_latency = Cycle::from(ctx.cfg.l1.hit_latency);
         let mut rotate = false;
         let mut finished = false;
+        let mut accepted = false;
         let mut hits: Vec<(u64, MemRequest)> = Vec::new();
         {
             let Some(LdstEntry::Global {
@@ -665,12 +769,15 @@ impl Sm {
             };
             let warp_slot = *warp_slot;
             for _port in 0..ctx.cfg.l1_ports {
-                let Some(req) = pending.front().copied() else { break };
+                let Some(req) = pending.front().copied() else {
+                    break;
+                };
                 let outcome = self.l1.access(req, cycle);
                 if !outcome.accepted() {
                     break; // retry next cycle; head-of-line blocks
                 }
                 pending.pop_front();
+                accepted = true;
                 if let Some(m) = meta {
                     self.loadtrack.note_accept(*m, cycle);
                 }
@@ -735,6 +842,7 @@ impl Sm {
             let entry = self.ldst_queue.pop_front().unwrap();
             self.ldst_queue.push_back(entry);
         }
+        accepted
     }
 
     /// Move L1 misses into the interconnect.
@@ -749,10 +857,14 @@ impl Sm {
         }
     }
 
-    /// Retire CTAs whose warps have finished and drained.
-    fn retire_ctas(&mut self) {
+    /// Retire CTAs whose warps have finished and drained. Returns whether
+    /// any CTA retired.
+    fn retire_ctas(&mut self) -> bool {
+        let mut any = false;
         for cta_idx in 0..self.cta_slots.len() {
-            let Some(cta) = &self.cta_slots[cta_idx] else { continue };
+            let Some(cta) = &self.cta_slots[cta_idx] else {
+                continue;
+            };
             let done = cta.warp_slots.iter().all(|&slot| {
                 self.warps[slot].as_ref().is_some_and(|w| w.is_finished())
                     && self.pending_ops[slot] == 0
@@ -764,7 +876,37 @@ impl Sm {
                     self.scoreboard.clear(slot);
                 }
                 self.stats.ctas_retired += 1;
+                any = true;
             }
+        }
+        any
+    }
+
+    /// Freeze this SM's scheduling-relevant state for a hang report: every
+    /// resident warp's pc/barrier/in-flight status plus LD/ST queue and
+    /// MSHR occupancy.
+    pub fn snapshot(&self) -> SmSnapshot {
+        let warps = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, w)| {
+                let w = w.as_ref()?;
+                Some(WarpSnapshot {
+                    slot,
+                    cta: w.linear_cta,
+                    pc: (!w.is_finished()).then(|| w.pc()),
+                    at_barrier: w.at_barrier,
+                    pending_ops: self.pending_ops[slot],
+                    scoreboard_busy: self.scoreboard.busy(slot),
+                })
+            })
+            .collect();
+        SmSnapshot {
+            id: self.id,
+            ldst_queue: self.ldst_queue.len(),
+            l1_inflight: self.l1.inflight(),
+            warps,
         }
     }
 

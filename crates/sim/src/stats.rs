@@ -6,11 +6,10 @@ use crate::SmStats;
 use gcl_core::LoadClass;
 use gcl_mem::{AccessOutcome, CacheStats, ClassTag, DramStats};
 use gcl_stats::ProfilerCounters;
-use serde::{Deserialize, Serialize};
 
 /// Identifies one static load at one dynamic request count, across merged
 /// launches.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PcKey {
     /// Kernel the load belongs to.
     pub kernel: String,
@@ -24,7 +23,7 @@ pub struct PcKey {
 
 /// Statistics of one kernel launch; merge several with
 /// [`LaunchStats::merge`] to get whole-application numbers.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LaunchStats {
     /// Kernel (or, after merging, workload) name.
     pub name: String,
@@ -124,8 +123,7 @@ impl LaunchStats {
         if self.sm.warp_insts == 0 {
             f64::NAN
         } else {
-            self.sm.thread_insts as f64
-                / (self.sm.warp_insts as f64 * f64::from(warp_size))
+            self.sm.thread_insts as f64 / (self.sm.warp_insts as f64 * f64::from(warp_size))
         }
     }
 
@@ -216,10 +214,20 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = LaunchStats { name: "k".into(), launches: 1, cycles: 100, ..Default::default() };
+        let mut a = LaunchStats {
+            name: "k".into(),
+            launches: 1,
+            cycles: 100,
+            ..Default::default()
+        };
         a.sm.warp_insts = 10;
         a.static_loads = (2, 1);
-        let mut b = LaunchStats { name: "k".into(), launches: 1, cycles: 50, ..Default::default() };
+        let mut b = LaunchStats {
+            name: "k".into(),
+            launches: 1,
+            cycles: 50,
+            ..Default::default()
+        };
         b.sm.warp_insts = 5;
         b.static_loads = (2, 1);
         let key = PcKey {

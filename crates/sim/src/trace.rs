@@ -2,10 +2,9 @@
 //! scheduler behavior.
 
 use gcl_mem::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// One issued warp instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Issue cycle.
     pub cycle: Cycle,
@@ -35,7 +34,7 @@ pub struct TraceEvent {
 /// assert_eq!(t.events().len(), 2);
 /// assert_eq!(t.dropped(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     capacity: usize,
@@ -45,13 +44,32 @@ pub struct Trace {
 impl Trace {
     /// A trace that keeps at most `capacity` events.
     pub fn new(capacity: usize) -> Trace {
-        Trace { events: Vec::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+        Trace {
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Record one issue event.
-    pub fn record(&mut self, cycle: Cycle, sm: u16, warp_slot: u16, cta: u64, pc: u32, active: u32) {
+    pub fn record(
+        &mut self,
+        cycle: Cycle,
+        sm: u16,
+        warp_slot: u16,
+        cta: u64,
+        pc: u32,
+        active: u32,
+    ) {
         if self.events.len() < self.capacity {
-            self.events.push(TraceEvent { cycle, sm, warp_slot, cta, pc, active });
+            self.events.push(TraceEvent {
+                cycle,
+                sm,
+                warp_slot,
+                cta,
+                pc,
+                active,
+            });
         } else {
             self.dropped += 1;
         }

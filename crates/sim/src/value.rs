@@ -81,7 +81,11 @@ pub fn eval_alu(op: AluOp, ty: Type, a: u64, b: u64) -> u64 {
             if ub == 0 {
                 0
             } else if ty.is_signed() {
-                if sb == 0 { 0 } else { sa.wrapping_div(sb) as u64 }
+                if sb == 0 {
+                    0
+                } else {
+                    sa.wrapping_div(sb) as u64
+                }
             } else {
                 ua / ub
             }
@@ -90,7 +94,11 @@ pub fn eval_alu(op: AluOp, ty: Type, a: u64, b: u64) -> u64 {
             if ub == 0 {
                 0
             } else if ty.is_signed() {
-                if sb == 0 { 0 } else { sa.wrapping_rem(sb) as u64 }
+                if sb == 0 {
+                    0
+                } else {
+                    sa.wrapping_rem(sb) as u64
+                }
             } else {
                 ua % ub
             }
@@ -354,8 +362,14 @@ mod tests {
     fn float_ops() {
         let a = u64::from(2.0f32.to_bits());
         let b = u64::from(0.5f32.to_bits());
-        assert_eq!(f32::from_bits(eval_alu(AluOp::Add, Type::F32, a, b) as u32), 2.5);
-        assert_eq!(f32::from_bits(eval_alu(AluOp::Div, Type::F32, a, b) as u32), 4.0);
+        assert_eq!(
+            f32::from_bits(eval_alu(AluOp::Add, Type::F32, a, b) as u32),
+            2.5
+        );
+        assert_eq!(
+            f32::from_bits(eval_alu(AluOp::Div, Type::F32, a, b) as u32),
+            4.0
+        );
         let x = 9.0f64.to_bits();
         assert_eq!(f64::from_bits(eval_sfu(SfuOp::Sqrt, Type::F64, x)), 3.0);
     }
@@ -402,13 +416,19 @@ mod tests {
         assert_eq!(eval_cvt(Type::U32, Type::U64, 0x1_0000_0002), 2);
         // f64 -> f32 rounds.
         let d = 1.25f64.to_bits();
-        assert_eq!(f32::from_bits(eval_cvt(Type::F32, Type::F64, d) as u32), 1.25);
+        assert_eq!(
+            f32::from_bits(eval_cvt(Type::F32, Type::F64, d) as u32),
+            1.25
+        );
     }
 
     #[test]
     fn atomics_combine() {
         assert_eq!(eval_atom(AtomOp::Add, Type::U32, 10, 5), 15);
-        assert_eq!(eval_atom(AtomOp::Min, Type::S32, 0xFFFF_FFFF, 3), 0xFFFF_FFFF);
+        assert_eq!(
+            eval_atom(AtomOp::Min, Type::S32, 0xFFFF_FFFF, 3),
+            0xFFFF_FFFF
+        );
         assert_eq!(eval_atom(AtomOp::Exch, Type::U32, 10, 5), 5);
         assert_eq!(eval_atom(AtomOp::Or, Type::U32, 0b01, 0b10), 0b11);
     }
@@ -426,8 +446,14 @@ mod tests {
         assert_eq!(eval_unary(UnaryOp::Clz, Type::U64, 1), 63);
         assert_eq!(eval_unary(UnaryOp::Clz, Type::U32, 0), 32);
         let f = u64::from((-2.5f32).to_bits());
-        assert_eq!(f32::from_bits(eval_unary(UnaryOp::Abs, Type::F32, f) as u32), 2.5);
-        assert_eq!(f32::from_bits(eval_unary(UnaryOp::Neg, Type::F32, f) as u32), 2.5);
+        assert_eq!(
+            f32::from_bits(eval_unary(UnaryOp::Abs, Type::F32, f) as u32),
+            2.5
+        );
+        assert_eq!(
+            f32::from_bits(eval_unary(UnaryOp::Neg, Type::F32, f) as u32),
+            2.5
+        );
     }
 
     #[test]

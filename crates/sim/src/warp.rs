@@ -8,7 +8,10 @@
 //! inter-warp communication is ordered by barriers and kernel relaunches,
 //! matching the synchronization the workloads actually use.
 
-use crate::value::{canon, eval_alu, eval_atom, eval_cmp, eval_cvt, eval_mad, eval_sfu, eval_unary};
+use crate::fault::{AccessKind, MemViolation};
+use crate::value::{
+    canon, eval_alu, eval_atom, eval_cmp, eval_cvt, eval_mad, eval_sfu, eval_unary,
+};
 use crate::{Dim3, GlobalMem, SimtStack};
 use gcl_ptx::{Address, Instruction, Kernel, Op, Operand, Reg, Space, Special, Type};
 use std::collections::HashMap;
@@ -29,6 +32,16 @@ pub struct ExecCtx<'a> {
     pub ntid: Dim3,
     /// Grid dimensions.
     pub nctaid: Dim3,
+    /// Validate global-backed accesses against the allocation table and
+    /// fail with [`MemViolation`] on the first out-of-bounds lane.
+    pub memcheck: bool,
+}
+
+/// Whether memcheck polices `space`: the global-backed spaces whose
+/// addresses come from `cudaMalloc`-style allocations. Param, const, and
+/// shared accesses are bounds-checked against their own regions already.
+fn memchecked_space(space: Space) -> bool {
+    matches!(space, Space::Global | Space::Local | Space::Tex)
 }
 
 /// A memory access produced by one warp instruction, for the LD/ST unit.
@@ -98,8 +111,8 @@ pub struct Warp {
     lane_tid: Vec<(u32, u32, u32)>,
     /// CTA coordinates.
     ctaid: (u32, u32, u32),
-    /// Waiting at a barrier.
-    pub at_barrier: bool,
+    /// The named barrier this warp is waiting at, if any.
+    pub at_barrier: Option<u32>,
     warp_size: u32,
 }
 
@@ -142,7 +155,7 @@ impl Warp {
             regs: vec![0; num_regs as usize * warp_size as usize],
             lane_tid,
             ctaid,
-            at_barrier: false,
+            at_barrier: None,
             warp_size,
         }
     }
@@ -242,11 +255,17 @@ impl Warp {
 
     /// Issue and functionally execute the instruction at the current pc.
     ///
+    /// # Errors
+    ///
+    /// When [`ExecCtx::memcheck`] is set, returns a [`MemViolation`] for
+    /// the first global-backed access outside every live allocation. The
+    /// warp's pc stays at the faulting instruction.
+    ///
     /// # Panics
     ///
     /// Panics if the warp is finished, or on out-of-bounds shared-memory
     /// accesses (a kernel bug worth failing loudly on).
-    pub fn step(&mut self, ctx: &mut ExecCtx<'_>) -> StepResult {
+    pub fn step(&mut self, ctx: &mut ExecCtx<'_>) -> Result<StepResult, MemViolation> {
         assert!(!self.is_finished(), "stepping a finished warp");
         let pc = self.pc();
         let inst = &ctx.kernel.insts()[pc].clone();
@@ -257,18 +276,20 @@ impl Warp {
         // Branches consume the guard as the branch condition.
         if let Op::Bra { target } = inst.op {
             let reconv = if inst.guard.is_some() {
-                *ctx.reconv.get(&pc).expect("missing reconvergence pc for branch")
+                *ctx.reconv
+                    .get(&pc)
+                    .expect("missing reconvergence pc for branch")
             } else {
                 gcl_ptx::RECONV_EXIT // unused: uniform
             };
             let diverged = exec != 0 && exec != active;
             self.stack.branch(exec, active, target, pc + 1, reconv);
-            return StepResult::Branch { diverged };
+            return Ok(StepResult::Branch { diverged });
         }
 
         if exec == 0 {
             self.stack.advance();
-            return StepResult::Predicated;
+            return Ok(StepResult::Predicated);
         }
 
         let result = match &inst.op {
@@ -276,10 +297,10 @@ impl Warp {
                 self.exited |= exec;
                 self.stack.advance();
                 self.stack.prune_exited(self.exited);
-                return StepResult::Exit;
+                return Ok(StepResult::Exit);
             }
-            Op::Bar => {
-                self.at_barrier = true;
+            Op::Bar { id } => {
+                self.at_barrier = Some(*id);
                 StepResult::Barrier
             }
             Op::Mov { ty, dst, src } => {
@@ -289,7 +310,12 @@ impl Warp {
                 }
                 StepResult::Alu { dst: Some(*dst) }
             }
-            Op::Cvt { dst_ty, src_ty, dst, src } => {
+            Op::Cvt {
+                dst_ty,
+                src_ty,
+                dst,
+                src,
+            } => {
                 for lane in lanes(exec, self.warp_size) {
                     let v = self.operand(lane, *src, *src_ty, ctx);
                     self.set_reg(lane, *dst, eval_cvt(*dst_ty, *src_ty, v));
@@ -311,7 +337,14 @@ impl Warp {
                 }
                 StepResult::Alu { dst: Some(*dst) }
             }
-            Op::Mad { ty, dst, a, b, c, wide } => {
+            Op::Mad {
+                ty,
+                dst,
+                a,
+                b,
+                c,
+                wide,
+            } => {
                 for lane in lanes(exec, self.warp_size) {
                     let va = self.operand(lane, *a, *ty, ctx);
                     let vb = self.operand(lane, *b, *ty, ctx);
@@ -335,7 +368,13 @@ impl Warp {
                 }
                 StepResult::Alu { dst: Some(*dst) }
             }
-            Op::Selp { ty, dst, a, b, pred } => {
+            Op::Selp {
+                ty,
+                dst,
+                a,
+                b,
+                pred,
+            } => {
                 for lane in lanes(exec, self.warp_size) {
                     let p = self.reg(lane, *pred) != 0;
                     let v = if p {
@@ -347,10 +386,26 @@ impl Warp {
                 }
                 StepResult::Alu { dst: Some(*dst) }
             }
-            Op::Ld { space, ty, dst, addr } => {
+            Op::Ld {
+                space,
+                ty,
+                dst,
+                addr,
+            } => {
                 let mut lane_addrs = Vec::new();
                 for lane in lanes(exec, self.warp_size) {
                     let ea = self.effective_addr(lane, *addr);
+                    if ctx.memcheck && memchecked_space(*space) {
+                        check(
+                            ctx.gmem,
+                            pc,
+                            *space,
+                            AccessKind::Load,
+                            lane,
+                            ea,
+                            ty.size_bytes(),
+                        )?;
+                    }
                     let bits = match space {
                         Space::Param => read_param(ctx.params, ea, *ty),
                         Space::Shared => read_smem(ctx.smem, ea, *ty),
@@ -371,10 +426,26 @@ impl Warp {
                     bytes: ty.size_bytes(),
                 })
             }
-            Op::St { space, ty, addr, src } => {
+            Op::St {
+                space,
+                ty,
+                addr,
+                src,
+            } => {
                 let mut lane_addrs = Vec::new();
                 for lane in lanes(exec, self.warp_size) {
                     let ea = self.effective_addr(lane, *addr);
+                    if ctx.memcheck && memchecked_space(*space) {
+                        check(
+                            ctx.gmem,
+                            pc,
+                            *space,
+                            AccessKind::Store,
+                            lane,
+                            ea,
+                            ty.size_bytes(),
+                        )?;
+                    }
                     let v = self.operand(lane, *src, *ty, ctx);
                     match space {
                         Space::Shared => write_smem(ctx.smem, ea, *ty, v),
@@ -392,12 +463,29 @@ impl Warp {
                     bytes: ty.size_bytes(),
                 })
             }
-            Op::Atom { op, ty, dst, addr, src } => {
+            Op::Atom {
+                op,
+                ty,
+                dst,
+                addr,
+                src,
+            } => {
                 // Lanes of a warp perform the RMW in lane order, which is a
                 // valid serialization.
                 let mut lane_addrs = Vec::new();
                 for lane in lanes(exec, self.warp_size) {
                     let ea = self.effective_addr(lane, *addr);
+                    if ctx.memcheck {
+                        check(
+                            ctx.gmem,
+                            pc,
+                            Space::Global,
+                            AccessKind::Atomic,
+                            lane,
+                            ea,
+                            ty.size_bytes(),
+                        )?;
+                    }
                     let old = ctx.gmem.read_scalar(ea, *ty);
                     let v = self.operand(lane, *src, *ty, ctx);
                     ctx.gmem.write_scalar(ea, *ty, eval_atom(*op, *ty, old, v));
@@ -417,8 +505,34 @@ impl Warp {
         };
 
         self.stack.advance();
-        result
+        Ok(result)
     }
+}
+
+/// The memcheck predicate: `[addr, addr + bytes)` must sit inside one live
+/// allocation, otherwise a [`MemViolation`] with nearest-allocation
+/// attribution.
+fn check(
+    gmem: &GlobalMem,
+    pc: usize,
+    space: Space,
+    kind: AccessKind,
+    lane: u32,
+    addr: u64,
+    bytes: u32,
+) -> Result<(), MemViolation> {
+    if gmem.is_allocated(addr, bytes) {
+        return Ok(());
+    }
+    Err(MemViolation {
+        pc,
+        space,
+        kind,
+        lane,
+        addr,
+        bytes,
+        nearest: gmem.nearest_allocation(addr),
+    })
 }
 
 /// Iterate over the set lanes of a mask.
@@ -492,7 +606,16 @@ mod tests {
         smem: &'a mut [u8],
         ntid: Dim3,
     ) -> ExecCtx<'a> {
-        ExecCtx { kernel, reconv, params, gmem, smem, ntid, nctaid: Dim3::x(4) }
+        ExecCtx {
+            kernel,
+            reconv,
+            params,
+            gmem,
+            smem,
+            ntid,
+            nctaid: Dim3::x(4),
+            memcheck: false,
+        }
     }
 
     fn run_warp(kernel: &Kernel, params: &[u8], gmem: &mut GlobalMem, ntid: Dim3) -> Warp {
@@ -503,9 +626,9 @@ mod tests {
         let mut ctx = make_ctx(kernel, &reconv, params, gmem, &mut smem, ntid);
         let mut steps = 0;
         while !warp.is_finished() {
-            let r = warp.step(&mut ctx);
+            let r = warp.step(&mut ctx).expect("memcheck off");
             if matches!(r, StepResult::Barrier) {
-                warp.at_barrier = false; // single-warp CTA: barrier is a no-op
+                warp.at_barrier = None; // single-warp CTA: barrier is a no-op
             }
             steps += 1;
             assert!(steps < 100_000, "warp did not finish");
@@ -527,7 +650,7 @@ mod tests {
         let k = b.build().unwrap();
 
         let mut gmem = GlobalMem::new();
-        let out = gmem.alloc_array(Type::U32, 32);
+        let out = gmem.alloc_array(Type::U32, 32).unwrap();
         let params = out.to_le_bytes().to_vec();
         run_warp(&k, &params, &mut gmem, Dim3::x(32));
         let vals = gmem.read_u32_slice(out, 32);
@@ -548,10 +671,18 @@ mod tests {
         let else_l = b.new_label();
         let done = b.new_label();
         b.bra_unless(pr, else_l);
-        b.push(Op::Mov { ty: Type::U32, dst: val, src: 7i64.into() });
+        b.push(Op::Mov {
+            ty: Type::U32,
+            dst: val,
+            src: 7i64.into(),
+        });
         b.bra(done);
         b.place(else_l);
-        b.push(Op::Mov { ty: Type::U32, dst: val, src: 9i64.into() });
+        b.push(Op::Mov {
+            ty: Type::U32,
+            dst: val,
+            src: 9i64.into(),
+        });
         b.place(done);
         let a = b.index64(base, tid, 4);
         b.st_global(Type::U32, a, val);
@@ -559,7 +690,7 @@ mod tests {
         let k = b.build().unwrap();
 
         let mut gmem = GlobalMem::new();
-        let out = gmem.alloc_array(Type::U32, 32);
+        let out = gmem.alloc_array(Type::U32, 32).unwrap();
         run_warp(&k, &out.to_le_bytes(), &mut gmem, Dim3::x(32));
         let vals = gmem.read_u32_slice(out, 32);
         for (i, v) in vals.iter().enumerate() {
@@ -580,7 +711,7 @@ mod tests {
         let k = b.build().unwrap();
 
         let mut gmem = GlobalMem::new();
-        let out = gmem.alloc_array(Type::U32, 32);
+        let out = gmem.alloc_array(Type::U32, 32).unwrap();
         let w = run_warp(&k, &out.to_le_bytes(), &mut gmem, Dim3::x(20));
         assert_eq!(w.valid.count_ones(), 20);
         let vals = gmem.read_u32_slice(out, 32);
@@ -607,7 +738,7 @@ mod tests {
         let k = b.build().unwrap();
 
         let mut gmem = GlobalMem::new();
-        let out = gmem.alloc_array(Type::U32, 32);
+        let out = gmem.alloc_array(Type::U32, 32).unwrap();
         run_warp(&k, &out.to_le_bytes(), &mut gmem, Dim3::x(32));
         let vals = gmem.read_u32_slice(out, 32);
         for (i, v) in vals.iter().enumerate() {
@@ -624,8 +755,16 @@ mod tests {
         let tid = b.sreg(Special::TidX);
         let acc = b.reg();
         let i = b.reg();
-        b.push(Op::Mov { ty: Type::U32, dst: acc, src: 0i64.into() });
-        b.push(Op::Mov { ty: Type::U32, dst: i, src: 0i64.into() });
+        b.push(Op::Mov {
+            ty: Type::U32,
+            dst: acc,
+            src: 0i64.into(),
+        });
+        b.push(Op::Mov {
+            ty: Type::U32,
+            dst: i,
+            src: 0i64.into(),
+        });
         let head = b.new_label();
         let done = b.new_label();
         b.place(head);
@@ -653,7 +792,7 @@ mod tests {
         let k = b.build().unwrap();
 
         let mut gmem = GlobalMem::new();
-        let out = gmem.alloc_array(Type::U32, 32);
+        let out = gmem.alloc_array(Type::U32, 32).unwrap();
         run_warp(&k, &out.to_le_bytes(), &mut gmem, Dim3::x(32));
         let vals = gmem.read_u32_slice(out, 32);
         for (t, v) in vals.iter().enumerate() {
@@ -679,8 +818,8 @@ mod tests {
         let k = b.build().unwrap();
 
         let mut gmem = GlobalMem::new();
-        let ctr = gmem.alloc_array(Type::U32, 1);
-        let out = gmem.alloc_array(Type::U32, 32);
+        let ctr = gmem.alloc_array(Type::U32, 1).unwrap();
+        let out = gmem.alloc_array(Type::U32, 32).unwrap();
         let mut params = ctr.to_le_bytes().to_vec();
         params.extend_from_slice(&out.to_le_bytes());
         run_warp(&k, &params, &mut gmem, Dim3::x(32));
@@ -717,7 +856,7 @@ mod tests {
         let cfg = Cfg::build(&k);
         let reconv = cfg.reconvergence_pcs(&k);
         let mut gmem = GlobalMem::new();
-        let buf = gmem.alloc_array(Type::U32, 32);
+        let buf = gmem.alloc_array(Type::U32, 32).unwrap();
         let params = buf.to_le_bytes().to_vec();
         let mut smem = vec![];
         let ntid = Dim3::x(8);
@@ -726,7 +865,7 @@ mod tests {
         // Step to the global load.
         let mut access = None;
         while !warp.is_finished() {
-            if let StepResult::Mem(m) = warp.step(&mut ctx) {
+            if let StepResult::Mem(m) = warp.step(&mut ctx).unwrap() {
                 if m.space == Space::Global {
                     access = Some(m);
                 }

@@ -50,10 +50,18 @@ impl WarpScheduler {
                     if candidates.contains(&l) && ready(l) {
                         Some(l)
                     } else {
-                        candidates.iter().copied().filter(|&s| ready(s)).min_by_key(|&s| age(s))
+                        candidates
+                            .iter()
+                            .copied()
+                            .filter(|&s| ready(s))
+                            .min_by_key(|&s| age(s))
                     }
                 } else {
-                    candidates.iter().copied().filter(|&s| ready(s)).min_by_key(|&s| age(s))
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&s| ready(s))
+                        .min_by_key(|&s| age(s))
                 }
             }
         };

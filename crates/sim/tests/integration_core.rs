@@ -2,11 +2,11 @@
 //! loops, atomics across CTAs, LD/ST backpressure, prefetching, and
 //! scheduler equivalence.
 
-use gcl_ptx::{CmpOp, KernelBuilder, Operand, Special, Type};
+use gcl_ptx::{CmpOp, KernelBuilder, Special, Type};
 use gcl_sim::{pack_params, Dim3, Gpu, GpuConfig, PrefetchFilter};
 
 fn small_gpu() -> Gpu {
-    Gpu::new(GpuConfig::small())
+    Gpu::new(GpuConfig::small()).expect("small config is valid")
 }
 
 /// Multi-warp CTA barrier: warp 0 writes shared memory, all other warps
@@ -35,7 +35,7 @@ fn barrier_orders_shared_memory_across_warps() {
     let k = b.build().unwrap();
 
     let mut gpu = small_gpu();
-    let out = gpu.mem().alloc_array(Type::U32, u64::from(nt));
+    let out = gpu.mem().alloc_array(Type::U32, u64::from(nt)).unwrap();
     let params = pack_params(&k, &[out]);
     gpu.launch(&k, Dim3::x(1), Dim3::x(nt), &params).unwrap();
     let got = gpu.mem().read_u32_slice(out, nt as usize);
@@ -69,7 +69,7 @@ fn divergent_loops_converge_correctly_across_ctas() {
 
     let mut gpu = small_gpu();
     let n = 4 * 64u32;
-    let out = gpu.mem().alloc_array(Type::U32, u64::from(n));
+    let out = gpu.mem().alloc_array(Type::U32, u64::from(n)).unwrap();
     let params = pack_params(&k, &[out]);
     gpu.launch(&k, Dim3::x(4), Dim3::x(64), &params).unwrap();
     let got = gpu.mem().read_u32_slice(out, n as usize);
@@ -101,10 +101,11 @@ fn atomics_are_exact_across_ctas_and_sms() {
     let k = b.build().unwrap();
 
     let mut gpu = small_gpu();
-    let ctr = gpu.mem().alloc_array(Type::U32, 1);
+    let ctr = gpu.mem().alloc_array(Type::U32, 1).unwrap();
     let params = pack_params(&k, &[ctr]);
     let (grid, block) = (8u32, 96u32);
-    gpu.launch(&k, Dim3::x(grid), Dim3::x(block), &params).unwrap();
+    gpu.launch(&k, Dim3::x(grid), Dim3::x(block), &params)
+        .unwrap();
     assert_eq!(gpu.mem().read_u32_slice(ctr, 1)[0], grid * block);
 }
 
@@ -125,7 +126,11 @@ fn ldst_backpressure_resolves() {
     let l = gcl_workless_loop(&mut b, steps);
     let a = b.index64(p, cur, 4);
     let nxt = b.ld_global(Type::U32, a);
-    b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: cur, src: nxt.into() });
+    b.push(gcl_ptx::Op::Mov {
+        ty: Type::U32,
+        dst: cur,
+        src: nxt.into(),
+    });
     gcl_workless_loop_end(&mut b, l);
     let oa = b.index64(out, gid, 4);
     b.st_global(Type::U32, oa, cur);
@@ -133,13 +138,14 @@ fn ldst_backpressure_resolves() {
     let k = b.build().unwrap();
 
     let mut gpu = small_gpu();
-    let pbuf = gpu.mem().alloc_array(Type::U32, u64::from(n));
+    let pbuf = gpu.mem().alloc_array(Type::U32, u64::from(n)).unwrap();
     // Pointer-cycle with a large stride so loads never coalesce.
     let table: Vec<u32> = (0..n).map(|i| (i + 97) % n).collect();
     gpu.mem().write_u32_slice(pbuf, &table);
-    let outb = gpu.mem().alloc_array(Type::U32, u64::from(n));
+    let outb = gpu.mem().alloc_array(Type::U32, u64::from(n)).unwrap();
     let params = pack_params(&k, &[pbuf, outb]);
-    gpu.launch(&k, Dim3::x(n / 64), Dim3::x(64), &params).unwrap();
+    gpu.launch(&k, Dim3::x(n / 64), Dim3::x(64), &params)
+        .unwrap();
     let got = gpu.mem().read_u32_slice(outb, n as usize);
     for t in 0..n {
         let mut want = t;
@@ -176,13 +182,21 @@ mod gcl_workloads_shim {
         bound: impl Into<Operand>,
     ) -> LoopCtx {
         let counter = b.reg();
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: counter, src: init.into() });
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: counter,
+            src: init.into(),
+        });
         let head = b.new_label();
         let exit = b.new_label();
         b.place(head);
         let done = b.setp(CmpOp::Ge, Type::U32, counter, bound);
         b.bra_if(done, exit);
-        LoopCtx { counter, head, exit }
+        LoopCtx {
+            counter,
+            head,
+            exit,
+        }
     }
 
     pub fn loop_end(b: &mut KernelBuilder, l: LoopCtx) {
@@ -252,13 +266,18 @@ fn prefetcher_is_class_selective() {
     let run = |filter: PrefetchFilter| {
         let mut cfg = GpuConfig::small();
         cfg.prefetch = filter;
-        let mut gpu = Gpu::new(cfg);
-        let input = gpu.mem().alloc_array(Type::U32, u64::from(words));
-        gpu.mem().write_u32_slice(input, &(0..words).map(|v| v % 7).collect::<Vec<_>>());
-        let outb = gpu.mem().alloc_array(Type::U32, u64::from(n_threads));
+        let mut gpu = Gpu::new(cfg).unwrap();
+        let input = gpu.mem().alloc_array(Type::U32, u64::from(words)).unwrap();
+        gpu.mem()
+            .write_u32_slice(input, &(0..words).map(|v| v % 7).collect::<Vec<_>>());
+        let outb = gpu
+            .mem()
+            .alloc_array(Type::U32, u64::from(n_threads))
+            .unwrap();
         let params = pack_params(&k, &[input, outb, u64::from(iters)]);
-        let stats =
-            gpu.launch(&k, Dim3::x(n_threads / 128), Dim3::x(128), &params).unwrap();
+        let stats = gpu
+            .launch(&k, Dim3::x(n_threads / 128), Dim3::x(128), &params)
+            .unwrap();
         (stats, gpu.mem().read_u32_slice(outb, n_threads as usize))
     };
     let (off, off_result) = run(PrefetchFilter::Off);
@@ -304,8 +323,8 @@ fn schedulers_agree_functionally() {
     let run = |policy| {
         let mut cfg = GpuConfig::small();
         cfg.warp_sched = policy;
-        let mut gpu = Gpu::new(cfg);
-        let out = gpu.mem().alloc_array(Type::U32, 512);
+        let mut gpu = Gpu::new(cfg).unwrap();
+        let out = gpu.mem().alloc_array(Type::U32, 512).unwrap();
         let params = pack_params(&k, &[out]);
         gpu.launch(&k, Dim3::x(4), Dim3::x(128), &params).unwrap();
         gpu.mem().read_u32_slice(out, 512)
@@ -342,9 +361,10 @@ fn predication_masks_stores_in_2d_grids() {
 
     let mut gpu = small_gpu();
     let (w, h) = (32u32, 16u32);
-    let out = gpu.mem().alloc_array(Type::U32, u64::from(w * h));
+    let out = gpu.mem().alloc_array(Type::U32, u64::from(w * h)).unwrap();
     let params = pack_params(&k, &[out, u64::from(w)]);
-    gpu.launch(&k, Dim3::xy(2, 4), Dim3::xy(16, 4), &params).unwrap();
+    gpu.launch(&k, Dim3::xy(2, 4), Dim3::xy(16, 4), &params)
+        .unwrap();
     let got = gpu.mem().read_u32_slice(out, (w * h) as usize);
     for y in 0..h {
         for x in 0..w {
@@ -404,8 +424,9 @@ fn traced_launch_records_issues() {
     b.exit();
     let k = b.build().unwrap();
     let mut gpu = small_gpu();
-    let (stats, trace) =
-        gpu.launch_traced(&k, Dim3::x(2), Dim3::x(64), &[], 10_000).unwrap();
+    let (stats, trace) = gpu
+        .launch_traced(&k, Dim3::x(2), Dim3::x(64), &[], 10_000)
+        .unwrap();
     assert_eq!(trace.dropped(), 0);
     assert_eq!(trace.events().len() as u64, stats.sm.warp_insts);
     for w in trace.events().windows(2) {
@@ -413,12 +434,17 @@ fn traced_launch_records_issues() {
             assert!(w[0].cycle <= w[1].cycle);
         }
     }
-    assert!(trace.events().iter().all(|e| (e.pc as usize) < k.insts().len()));
+    assert!(trace
+        .events()
+        .iter()
+        .all(|e| (e.pc as usize) < k.insts().len()));
     assert!(trace.events().iter().all(|e| e.active != 0));
 
     // Capacity 2: the rest are counted as dropped.
     let mut gpu = small_gpu();
-    let (stats2, trace2) = gpu.launch_traced(&k, Dim3::x(2), Dim3::x(64), &[], 2).unwrap();
+    let (stats2, trace2) = gpu
+        .launch_traced(&k, Dim3::x(2), Dim3::x(64), &[], 2)
+        .unwrap();
     assert_eq!(trace2.events().len(), 2);
     assert_eq!(trace2.dropped(), stats2.sm.warp_insts - 2);
 }

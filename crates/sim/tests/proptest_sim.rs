@@ -1,108 +1,157 @@
-//! Property tests over the simulator's pure components: typed value
-//! evaluation and the coalescer.
+//! Property-style tests over the simulator's pure components: typed value
+//! evaluation and the coalescer. Cases are driven by the in-tree seeded
+//! generator so failures are bit-reproducible.
 
 use gcl_ptx::{AluOp, CmpOp, Type};
+use gcl_rng::{cases, Rng};
 use gcl_sim::{canon, coalesce, eval_alu, eval_cmp, eval_cvt};
-use proptest::prelude::*;
 
-fn int_type() -> impl Strategy<Value = Type> {
-    prop_oneof![Just(Type::U32), Just(Type::U64), Just(Type::S32), Just(Type::S64)]
+const INT_TYPES: [Type; 4] = [Type::U32, Type::U64, Type::S32, Type::S64];
+
+fn int_type(r: &mut Rng) -> Type {
+    *r.pick(&INT_TYPES)
 }
 
-proptest! {
-    /// `canon` is idempotent and results of integer ALU ops are canonical.
-    #[test]
-    fn alu_results_are_canonical(ty in int_type(), a in any::<u64>(), b in any::<u64>()) {
-        for op in [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::And, AluOp::Or, AluOp::Xor,
-                   AluOp::Min, AluOp::Max, AluOp::Shl, AluOp::Shr, AluOp::Div, AluOp::Rem] {
-            let r = eval_alu(op, ty, a, b);
-            prop_assert_eq!(canon(ty, r), r, "{:?} not canonical", op);
+/// `canon` is idempotent and results of integer ALU ops are canonical.
+#[test]
+fn alu_results_are_canonical() {
+    cases(0x51A1, 512, |r| {
+        let (ty, a, b) = (int_type(r), r.next_u64(), r.next_u64());
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Min,
+            AluOp::Max,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::Div,
+            AluOp::Rem,
+        ] {
+            let res = eval_alu(op, ty, a, b);
+            assert_eq!(
+                canon(ty, res),
+                res,
+                "{op:?} not canonical on {ty:?}({a:#x},{b:#x})"
+            );
         }
-    }
+    });
+}
 
-    /// Commutativity of add/mul/and/or/xor/min/max on canonical inputs.
-    #[test]
-    fn commutative_ops(ty in int_type(), a in any::<u64>(), b in any::<u64>()) {
-        for op in [AluOp::Add, AluOp::Mul, AluOp::And, AluOp::Or, AluOp::Xor,
-                   AluOp::Min, AluOp::Max, AluOp::MulHi, AluOp::MulWide] {
-            prop_assert_eq!(eval_alu(op, ty, a, b), eval_alu(op, ty, b, a), "{:?}", op);
+/// Commutativity of add/mul/and/or/xor/min/max on canonical inputs.
+#[test]
+fn commutative_ops() {
+    cases(0x51A2, 512, |r| {
+        let (ty, a, b) = (int_type(r), r.next_u64(), r.next_u64());
+        for op in [
+            AluOp::Add,
+            AluOp::Mul,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Min,
+            AluOp::Max,
+            AluOp::MulHi,
+            AluOp::MulWide,
+        ] {
+            assert_eq!(
+                eval_alu(op, ty, a, b),
+                eval_alu(op, ty, b, a),
+                "{op:?} on {ty:?}({a:#x},{b:#x})"
+            );
         }
-    }
+    });
+}
 
-    /// `a - b + b == a` (mod 2^width).
-    #[test]
-    fn sub_add_inverse(ty in int_type(), a in any::<u64>(), b in any::<u64>()) {
+/// `a - b + b == a` (mod 2^width).
+#[test]
+fn sub_add_inverse() {
+    cases(0x51A3, 512, |r| {
+        let (ty, a, b) = (int_type(r), r.next_u64(), r.next_u64());
         let d = eval_alu(AluOp::Sub, ty, a, b);
-        prop_assert_eq!(eval_alu(AluOp::Add, ty, d, b), canon(ty, a));
-    }
+        assert_eq!(eval_alu(AluOp::Add, ty, d, b), canon(ty, a));
+    });
+}
 
-    /// Comparison trichotomy: exactly one of <, ==, > holds.
-    #[test]
-    fn cmp_trichotomy(ty in int_type(), a in any::<u64>(), b in any::<u64>()) {
+/// Comparison trichotomy: exactly one of <, ==, > holds.
+#[test]
+fn cmp_trichotomy() {
+    cases(0x51A4, 512, |r| {
+        let (ty, a, b) = (int_type(r), r.next_u64(), r.next_u64());
         let lt = eval_cmp(CmpOp::Lt, ty, a, b);
         let eq = eval_cmp(CmpOp::Eq, ty, a, b);
         let gt = eval_cmp(CmpOp::Gt, ty, a, b);
-        prop_assert_eq!(lt + eq + gt, 1);
-        prop_assert_eq!(eval_cmp(CmpOp::Le, ty, a, b), lt | eq);
-        prop_assert_eq!(eval_cmp(CmpOp::Ge, ty, a, b), gt | eq);
-        prop_assert_eq!(eval_cmp(CmpOp::Ne, ty, a, b), 1 - eq);
-    }
+        assert_eq!(lt + eq + gt, 1);
+        assert_eq!(eval_cmp(CmpOp::Le, ty, a, b), lt | eq);
+        assert_eq!(eval_cmp(CmpOp::Ge, ty, a, b), gt | eq);
+        assert_eq!(eval_cmp(CmpOp::Ne, ty, a, b), 1 - eq);
+    });
+}
 
-    /// Widening conversions are lossless round trips.
-    #[test]
-    fn widening_cvt_round_trips(v in any::<u32>()) {
+/// Widening conversions are lossless round trips.
+#[test]
+fn widening_cvt_round_trips() {
+    cases(0x51A5, 512, |r| {
+        let v = r.next_u32();
         let wide = eval_cvt(Type::U64, Type::U32, u64::from(v));
-        prop_assert_eq!(eval_cvt(Type::U32, Type::U64, wide), u64::from(v));
+        assert_eq!(eval_cvt(Type::U32, Type::U64, wide), u64::from(v));
         let swide = eval_cvt(Type::S64, Type::S32, u64::from(v));
-        prop_assert_eq!(eval_cvt(Type::S32, Type::S64, swide), u64::from(v));
+        assert_eq!(eval_cvt(Type::S32, Type::S64, swide), u64::from(v));
         // Small integers survive a float round trip exactly.
         let small = v % (1 << 20);
         let f = eval_cvt(Type::F64, Type::U32, u64::from(small));
-        prop_assert_eq!(eval_cvt(Type::U32, Type::F64, f), u64::from(small));
-    }
+        assert_eq!(eval_cvt(Type::U32, Type::F64, f), u64::from(small));
+    });
+}
 
-    /// Coalescer invariants: block-aligned, deduplicated, bounded, and
-    /// covering every lane's access.
-    #[test]
-    fn coalesce_invariants(
-        addrs in proptest::collection::vec(0u64..1_000_000, 1..32),
-        bytes in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
-    ) {
-        let lane_addrs: Vec<(u32, u64)> =
-            addrs.iter().enumerate().map(|(l, &a)| (l as u32, a)).collect();
+/// Coalescer invariants: block-aligned, deduplicated, bounded, and covering
+/// every lane's access.
+#[test]
+fn coalesce_invariants() {
+    cases(0x51A6, 512, |r| {
+        let nlanes = 1 + r.usize_below(31);
+        let lane_addrs: Vec<(u32, u64)> = (0..nlanes)
+            .map(|l| (l as u32, u64::from(r.u32_below(1_000_000))))
+            .collect();
+        let bytes = *r.pick(&[1u32, 2, 4, 8]);
         let blocks = coalesce(&lane_addrs, bytes, 128);
         // Aligned and unique.
         for b in &blocks {
-            prop_assert_eq!(b % 128, 0);
+            assert_eq!(b % 128, 0);
         }
         let mut uniq = blocks.clone();
         uniq.sort_unstable();
         uniq.dedup();
-        prop_assert_eq!(uniq.len(), blocks.len());
+        assert_eq!(uniq.len(), blocks.len());
         // Every byte of every access is covered by some block.
         for &(_, a) in &lane_addrs {
             for byte in [a, a + u64::from(bytes) - 1] {
-                prop_assert!(blocks.contains(&(byte & !127)), "byte {byte} uncovered");
+                assert!(blocks.contains(&(byte & !127)), "byte {byte} uncovered");
             }
         }
         // At most two blocks per access.
-        prop_assert!(blocks.len() <= 2 * lane_addrs.len());
-    }
+        assert!(blocks.len() <= 2 * lane_addrs.len());
+    });
+}
 
-    /// The coalescer is permutation-invariant up to ordering: the set of
-    /// blocks does not depend on lane order.
-    #[test]
-    fn coalesce_is_order_insensitive(
-        addrs in proptest::collection::vec(0u64..100_000, 2..32),
-    ) {
-        let fwd: Vec<(u32, u64)> =
-            addrs.iter().enumerate().map(|(l, &a)| (l as u32, a)).collect();
+/// The coalescer is permutation-invariant up to ordering: the set of blocks
+/// does not depend on lane order.
+#[test]
+fn coalesce_is_order_insensitive() {
+    cases(0x51A7, 512, |r| {
+        let nlanes = 2 + r.usize_below(30);
+        let fwd: Vec<(u32, u64)> = (0..nlanes)
+            .map(|l| (l as u32, u64::from(r.u32_below(100_000))))
+            .collect();
         let mut rev = fwd.clone();
         rev.reverse();
         let mut a = coalesce(&fwd, 4, 128);
         let mut b = coalesce(&rev, 4, 128);
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

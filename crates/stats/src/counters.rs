@@ -4,11 +4,10 @@
 //! Tesla M2050, so that the hardware-profiler side of the evaluation can be
 //! reproduced from simulation.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Aggregate profiler counters, named after Table III of the paper.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProfilerCounters {
     /// `gld_request`: executed global load instructions per warp.
     pub gld_request: u64,
@@ -72,12 +71,16 @@ impl fmt::Display for ProfilerCounters {
         writeln!(f, "l1_global_load_hit       {}", self.l1_global_load_hit)?;
         writeln!(f, "l1_global_load_miss      {}", self.l1_global_load_miss)?;
         writeln!(f, "l2_read_hit_sectors      {}", self.l2_read_hit_sectors)?;
-        writeln!(f, "l2_read_sector_queries   {}", self.l2_read_sector_queries)
+        writeln!(
+            f,
+            "l2_read_sector_queries   {}",
+            self.l2_read_sector_queries
+        )
     }
 }
 
 /// Minimum / maximum / sum / count accumulator for latency-like samples.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Accumulator {
     /// Number of samples.
     pub count: u64,
@@ -141,7 +144,6 @@ mod tests {
             l1_global_load_miss: 70,
             l2_read_hit_sectors: 40,
             l2_read_sector_queries: 100,
-            ..Default::default()
         };
         assert!((c.l1_miss_ratio() - 0.7).abs() < 1e-12);
         assert!((c.l2_miss_ratio() - 0.6).abs() < 1e-12);
@@ -158,8 +160,15 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = ProfilerCounters { gld_request: 1, ..Default::default() };
-        let b = ProfilerCounters { gld_request: 2, shared_load: 3, ..Default::default() };
+        let mut a = ProfilerCounters {
+            gld_request: 1,
+            ..Default::default()
+        };
+        let b = ProfilerCounters {
+            gld_request: 2,
+            shared_load: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.gld_request, 3);
         assert_eq!(a.shared_load, 3);

@@ -1,8 +1,6 @@
 //! Log2-bucketed histograms for latency distributions: cheap to update in a
 //! simulator hot loop, good enough for percentile reporting.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram with one bucket per power of two (bucket `i` holds values
 /// `v` with `floor(log2(v)) == i`; zero goes to bucket 0).
 ///
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(h.percentile(0.5) <= 8);
 /// assert!(h.percentile(1.0) >= 1000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -27,7 +25,10 @@ pub struct Histogram {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Histogram {
-        Histogram { buckets: vec![0; 64], count: 0 }
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+        }
     }
 
     fn bucket_of(v: u64) -> usize {
@@ -61,7 +62,11 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         u64::MAX
@@ -81,7 +86,16 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 }, c))
+            .map(|(i, &c)| {
+                (
+                    if i >= 63 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (i + 1)) - 1
+                    },
+                    c,
+                )
+            })
             .collect()
     }
 }

@@ -23,10 +23,12 @@
 
 mod counters;
 mod histogram;
+mod json;
 mod series;
 mod table;
 
 pub use counters::{Accumulator, ProfilerCounters};
 pub use histogram::Histogram;
+pub use json::{Json, JsonError};
 pub use series::{FigureSeries, Series};
 pub use table::{Cell, Table};

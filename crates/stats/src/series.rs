@@ -1,12 +1,12 @@
 //! Figure series: grouped / stacked per-benchmark data, as the paper's
 //! figures present it.
 
+use crate::json::{Json, JsonError};
 use crate::Table;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One named series of values, aligned with a [`FigureSeries`]' x labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend name (e.g. `"L1 hit"` or `"Requests per warp"`).
     pub name: String,
@@ -17,7 +17,10 @@ pub struct Series {
 impl Series {
     /// Create a series.
     pub fn new(name: impl Into<String>, values: Vec<f64>) -> Series {
-        Series { name: name.into(), values }
+        Series {
+            name: name.into(),
+            values,
+        }
     }
 }
 
@@ -34,7 +37,7 @@ impl Series {
 /// f.push(Series::new("Non-deterministic", vec![0.4, 0.2]));
 /// assert!(f.to_string().contains("bfs"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureSeries {
     /// Short id (`"fig3"`).
     pub id: String,
@@ -103,9 +106,89 @@ impl FigureSeries {
         self.to_table().to_csv()
     }
 
-    /// Render as pretty JSON.
+    /// Render as pretty JSON. `NaN` values (missing data points) are
+    /// encoded as `null`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serialization cannot fail")
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            (
+                "labels",
+                Json::Arr(self.labels.iter().map(|l| Json::Str(l.clone())).collect()),
+            ),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::Str(s.name.clone())),
+                                (
+                                    "values",
+                                    Json::Arr(s.values.iter().map(|v| Json::Float(*v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render_pretty()
+    }
+
+    /// Parse the format produced by [`FigureSeries::to_json`]. `null`
+    /// values decode back to `NaN`.
+    pub fn from_json(text: &str) -> Result<FigureSeries, JsonError> {
+        let v = Json::parse(text)?;
+        let bad = |msg: &str| JsonError {
+            message: msg.to_string(),
+            offset: 0,
+        };
+        let field = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+        let id = field("id").ok_or_else(|| bad("missing `id`"))?;
+        let title = field("title").ok_or_else(|| bad("missing `title`"))?;
+        let labels = v
+            .get("labels")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `labels`"))?
+            .iter()
+            .map(|l| {
+                l.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| bad("label must be a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let series = v
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `series`"))?
+            .iter()
+            .map(|s| {
+                let name = s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("series missing `name`"))?
+                    .to_string();
+                let values = s
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("series missing `values`"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| bad("series value must be numeric"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Series { name, values })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(FigureSeries {
+            id,
+            title,
+            labels,
+            series,
+        })
     }
 }
 
@@ -144,9 +227,19 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let mut fig = FigureSeries::new("f", "t", vec!["a"]);
-        fig.push(Series::new("s", vec![0.5]));
-        let back: FigureSeries = serde_json::from_str(&fig.to_json()).unwrap();
+        let mut fig = FigureSeries::new("f", "t", vec!["a", "b"]);
+        fig.push(Series::new("s", vec![0.5, 2.0]));
+        let back = FigureSeries::from_json(&fig.to_json()).unwrap();
         assert_eq!(back, fig);
+    }
+
+    #[test]
+    fn json_nan_round_trips_as_missing() {
+        let mut fig = FigureSeries::new("f", "t", vec!["a"]);
+        fig.push(Series::new("s", vec![f64::NAN]));
+        let j = fig.to_json();
+        assert!(j.contains("null"));
+        let back = FigureSeries::from_json(&j).unwrap();
+        assert!(back.series[0].values[0].is_nan());
     }
 }

@@ -1,10 +1,10 @@
 //! Plain-text tables with CSV and JSON export.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 use std::fmt;
 
 /// One cell of a [`Table`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Cell {
     /// Text cell.
     Text(String),
@@ -39,6 +39,54 @@ impl Cell {
                 }
             }
             other => other.render(),
+        }
+    }
+
+    /// Encode as an externally-tagged JSON object, e.g. `{"UInt": 5}`.
+    pub fn to_json_value(&self) -> Json {
+        match self {
+            Cell::Text(s) => Json::obj(vec![("Text", Json::Str(s.clone()))]),
+            Cell::Int(v) => Json::obj(vec![("Int", Json::Int(*v))]),
+            Cell::UInt(v) => Json::obj(vec![("UInt", Json::UInt(*v))]),
+            Cell::Float(v) => Json::obj(vec![("Float", Json::Float(*v))]),
+            Cell::Percent(v) => Json::obj(vec![("Percent", Json::Float(*v))]),
+        }
+    }
+
+    /// Decode the externally-tagged form produced by [`Cell::to_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<Cell, JsonError> {
+        let bad = |msg: &str| JsonError {
+            message: msg.to_string(),
+            offset: 0,
+        };
+        let Json::Obj(pairs) = v else {
+            return Err(bad("cell must be a single-key object"));
+        };
+        let [(tag, inner)] = pairs.as_slice() else {
+            return Err(bad("cell must have exactly one tag"));
+        };
+        match tag.as_str() {
+            "Text" => inner
+                .as_str()
+                .map(|s| Cell::Text(s.to_string()))
+                .ok_or_else(|| bad("Text cell needs a string")),
+            "Int" => inner
+                .as_i64()
+                .map(Cell::Int)
+                .ok_or_else(|| bad("Int cell needs an integer")),
+            "UInt" => inner
+                .as_u64()
+                .map(Cell::UInt)
+                .ok_or_else(|| bad("UInt cell needs an integer")),
+            "Float" => inner
+                .as_f64()
+                .map(Cell::Float)
+                .ok_or_else(|| bad("Float cell needs a number")),
+            "Percent" => inner
+                .as_f64()
+                .map(Cell::Percent)
+                .ok_or_else(|| bad("Percent cell needs a number")),
+            other => Err(bad(&format!("unknown cell tag `{other}`"))),
         }
     }
 }
@@ -93,7 +141,7 @@ impl From<f64> for Cell {
 /// assert!(text.contains("bfs"));
 /// assert!(t.to_csv().starts_with("name,count\n"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table title, printed above the header.
     pub title: String,
@@ -142,9 +190,68 @@ impl Table {
         out
     }
 
-    /// Render as a JSON object (via serde).
+    /// Render as a pretty-printed JSON object.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+        Json::obj(vec![
+            ("title", Json::Str(self.title.clone())),
+            (
+                "headers",
+                Json::Arr(self.headers.iter().map(|h| Json::Str(h.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(Cell::to_json_value).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render_pretty()
+    }
+
+    /// Parse the format produced by [`Table::to_json`].
+    pub fn from_json(text: &str) -> Result<Table, JsonError> {
+        let v = Json::parse(text)?;
+        let bad = |msg: &str| JsonError {
+            message: msg.to_string(),
+            offset: 0,
+        };
+        let title = v
+            .get("title")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing `title`"))?
+            .to_string();
+        let headers = v
+            .get("headers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `headers`"))?
+            .iter()
+            .map(|h| {
+                h.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| bad("header must be a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let rows = v
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `rows`"))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or_else(|| bad("row must be an array"))?
+                    .iter()
+                    .map(Cell::from_json_value)
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Table {
+            title,
+            headers,
+            rows,
+        })
     }
 }
 
@@ -228,10 +335,26 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let mut t = Table::new("t", vec!["a"]);
-        t.row(vec![1u64.into()]);
+        let mut t = Table::new("t", vec!["a", "b", "c", "d", "e"]);
+        t.row(vec![
+            1u64.into(),
+            (-3i64).into(),
+            2.5.into(),
+            Cell::Percent(0.5),
+            "x,\"y\"".into(),
+        ]);
         let j = t.to_json();
-        let back: Table = serde_json::from_str(&j).unwrap();
+        let back = Table::from_json(&j).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_rejects_malformed_tables() {
+        assert!(Table::from_json("{}").is_err());
+        assert!(Table::from_json("{\"title\": \"t\", \"headers\": [1]}").is_err());
+        assert!(Table::from_json(
+            "{\"title\": \"t\", \"headers\": [], \"rows\": [[{\"Oops\": 1}]]}"
+        )
+        .is_err());
     }
 }

@@ -3,19 +3,18 @@
 //! Deterministic (seeded) so that every figure regeneration sees identical
 //! inputs.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gcl_rng::Rng;
 
 /// A seeded RNG for workload inputs.
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::new(seed)
 }
 
 /// A dense `rows × cols` matrix of small positive floats (diagonally
 /// dominant enough for elimination-style kernels to stay finite).
 pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
     let mut r = rng(seed);
-    let mut m: Vec<f32> = (0..rows * cols).map(|_| r.gen_range(0.1f32..1.0)).collect();
+    let mut m: Vec<f32> = (0..rows * cols).map(|_| r.f32_range(0.1, 1.0)).collect();
     // Boost the diagonal so Gaussian elimination / LU pivots never vanish.
     let n = rows.min(cols);
     for i in 0..n {
@@ -27,7 +26,7 @@ pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
 /// A vector of `n` floats in `[lo, hi)`.
 pub fn dense_vector(n: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+    (0..n).map(|_| r.f32_range(lo, hi)).collect()
 }
 
 /// A `w × h` grayscale image with smooth gradients plus noise, as `f32`
@@ -40,7 +39,7 @@ pub fn image(w: usize, h: usize, seed: u64) -> Vec<f32> {
             let base = 64.0
                 + 64.0 * ((x as f32 / w as f32) * std::f32::consts::PI).sin()
                 + 64.0 * ((y as f32 / h as f32) * std::f32::consts::PI).cos();
-            img.push((base + r.gen_range(-8.0f32..8.0)).clamp(0.0, 255.9));
+            img.push((base + r.f32_range(-8.0, 8.0)).clamp(0.0, 255.9));
         }
     }
     img
@@ -49,7 +48,7 @@ pub fn image(w: usize, h: usize, seed: u64) -> Vec<f32> {
 /// `n` random `u32` values below `bound`.
 pub fn random_u32(n: usize, bound: u32, seed: u64) -> Vec<u32> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(0..bound)).collect()
+    (0..n).map(|_| r.u32_below(bound)).collect()
 }
 
 #[cfg(test)]
@@ -71,7 +70,10 @@ mod tests {
         for i in 0..n {
             let diag = m[i * n + i];
             let row_sum: f32 = (0..n).filter(|&j| j != i).map(|j| m[i * n + j]).sum();
-            assert!(diag > row_sum / 2.0, "row {i}: diag {diag} vs sum {row_sum}");
+            assert!(
+                diag > row_sum / 2.0,
+                "row {i}: diag {diag} vs sum {row_sum}"
+            );
         }
     }
 

@@ -2,8 +2,7 @@
 //! generators, mirroring the paper's graph datasets (`rmat.gr`,
 //! `rmat12.syn.gr`, ...).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gcl_rng::Rng;
 
 /// A directed graph in compressed-sparse-row form with `u32` edge weights.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,7 +48,7 @@ impl Csr {
                 adj[s as usize].push(d);
             }
         }
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        let mut rng = Rng::new(seed ^ 0x5EED);
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx = Vec::new();
         let mut weight = Vec::new();
@@ -59,20 +58,24 @@ impl Csr {
             list.dedup();
             for &d in list.iter() {
                 col_idx.push(d);
-                weight.push(rng.gen_range(1..=64));
+                weight.push(rng.u32_range_inclusive(1, 64));
             }
             row_ptr.push(col_idx.len() as u32);
         }
-        Csr { row_ptr, col_idx, weight }
+        Csr {
+            row_ptr,
+            col_idx,
+            weight,
+        }
     }
 
     /// Uniform-random directed graph: `n` vertices, ~`deg` out-edges each.
     pub fn uniform(n: usize, deg: usize, seed: u64) -> Csr {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut edges = Vec::with_capacity(n * deg);
         for s in 0..n as u32 {
             for _ in 0..deg {
-                edges.push((s, rng.gen_range(0..n as u32)));
+                edges.push((s, rng.u32_below(n as u32)));
             }
         }
         Csr::from_edges(n, &edges, seed)
@@ -85,13 +88,13 @@ impl Csr {
     pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Csr {
         let n = 1usize << scale;
         let m = n * edge_factor;
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let (a, b, c) = (0.57f64, 0.19f64, 0.19f64);
         let mut edges = Vec::with_capacity(m);
         for _ in 0..m {
             let (mut s, mut d) = (0u32, 0u32);
             for bit in (0..scale).rev() {
-                let r: f64 = rng.gen();
+                let r: f64 = rng.f64();
                 let (sb, db) = if r < a {
                     (0, 0)
                 } else if r < a + b {
@@ -111,7 +114,10 @@ impl Csr {
 
     /// Maximum out-degree (a power-law skew check).
     pub fn max_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.neighbors(v).len()).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.neighbors(v).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean out-degree.

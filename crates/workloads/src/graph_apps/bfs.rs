@@ -24,14 +24,24 @@ pub struct Bfs {
 
 impl Default for Bfs {
     fn default() -> Bfs {
-        Bfs { scale: 12, edge_factor: 8, block: 512, source: 0 }
+        Bfs {
+            scale: 12,
+            edge_factor: 8,
+            block: 512,
+            source: 0,
+        }
     }
 }
 
 impl Bfs {
     /// A tiny instance for tests.
     pub fn tiny() -> Bfs {
-        Bfs { scale: 6, edge_factor: 4, block: 32, source: 0 }
+        Bfs {
+            scale: 6,
+            edge_factor: 4,
+            block: 32,
+            source: 0,
+        }
     }
 
     /// Kernel 1: expand the frontier (the paper's Code 1).
@@ -162,8 +172,8 @@ impl Workload for Bfs {
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.graph();
         let n = csr.n() as u32;
-        let drp = upload_u32(gpu, &csr.row_ptr);
-        let dedge = upload_u32(gpu, &csr.col_idx);
+        let drp = upload_u32(gpu, &csr.row_ptr)?;
+        let dedge = upload_u32(gpu, &csr.col_idx)?;
         let mut mask = vec![0u32; csr.n()];
         let mut visited = vec![0u32; csr.n()];
         let mut cost = vec![0u32; csr.n()];
@@ -172,21 +182,37 @@ impl Workload for Bfs {
         // Unreached cost stays 0 in the Rodinia kernel until written; we use
         // a sentinel so the host can compare against the reference.
         for (i, c) in cost.iter_mut().enumerate() {
-            *c = if i == self.source as usize { 0 } else { u32::MAX - 1 };
+            *c = if i == self.source as usize {
+                0
+            } else {
+                u32::MAX - 1
+            };
         }
-        let dmask = upload_u32(gpu, &mask);
-        let dupd = upload_u32(gpu, &vec![0u32; csr.n()]);
-        let dvis = upload_u32(gpu, &visited);
-        let dcost = upload_u32(gpu, &cost);
-        let dflag = upload_u32(gpu, &[0u32]);
+        let dmask = upload_u32(gpu, &mask)?;
+        let dupd = upload_u32(gpu, &vec![0u32; csr.n()])?;
+        let dvis = upload_u32(gpu, &visited)?;
+        let dcost = upload_u32(gpu, &cost)?;
+        let dflag = upload_u32(gpu, &[0u32])?;
         let expand = Bfs::expand_kernel();
         let commit = Bfs::commit_kernel();
         let mut r = Runner::new();
         let grid = n.div_ceil(self.block);
         for _level in 0..csr.n() {
             gpu.mem().write_u32_slice(dflag, &[0]);
-            r.launch(gpu, &expand, grid, self.block, &[dmask, dupd, dvis, drp, dedge, dcost, u64::from(n)])?;
-            r.launch(gpu, &commit, grid, self.block, &[dmask, dupd, dvis, dflag, u64::from(n)])?;
+            r.launch(
+                gpu,
+                &expand,
+                grid,
+                self.block,
+                &[dmask, dupd, dvis, drp, dedge, dcost, u64::from(n)],
+            )?;
+            r.launch(
+                gpu,
+                &commit,
+                grid,
+                self.block,
+                &[dmask, dupd, dvis, dflag, u64::from(n)],
+            )?;
             if gpu.mem().read_u32_slice(dflag, 1)[0] == 0 {
                 break;
             }
@@ -222,7 +248,7 @@ mod tests {
         let w = Bfs::tiny();
         let csr = w.graph();
         let want = Bfs::reference(&csr, w.source);
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         let res = w.run(&mut gpu).unwrap();
         // cost is the 7th allocation.
         let align = |v: u64| v.div_ceil(128) * 128;

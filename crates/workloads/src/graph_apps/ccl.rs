@@ -21,14 +21,22 @@ pub struct Ccl {
 
 impl Default for Ccl {
     fn default() -> Ccl {
-        Ccl { n: 4096, deg: 8, block: 256 }
+        Ccl {
+            n: 4096,
+            deg: 8,
+            block: 256,
+        }
     }
 }
 
 impl Ccl {
     /// A tiny instance for tests.
     pub fn tiny() -> Ccl {
-        Ccl { n: 64, deg: 3, block: 32 }
+        Ccl {
+            n: 64,
+            deg: 3,
+            block: 32,
+        }
     }
 
     /// One label-propagation step.
@@ -49,7 +57,11 @@ impl Ccl {
         let la = b.index64(label, tid, 4);
         let mine = b.ld_global(Type::U32, la); // deterministic
         let best = b.reg();
-        b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: best, src: mine.into() });
+        b.push(gcl_ptx::Op::Mov {
+            ty: Type::U32,
+            dst: best,
+            src: mine.into(),
+        });
         let rpa = b.index64(rp, tid, 4);
         let lo = b.ld_global(Type::U32, rpa); // deterministic
         let tid1 = b.add(Type::U32, tid, 1i64);
@@ -121,17 +133,23 @@ impl Workload for Ccl {
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.graph();
         let n = csr.n() as u32;
-        let drp = upload_u32(gpu, &csr.row_ptr);
-        let dci = upload_u32(gpu, &csr.col_idx);
+        let drp = upload_u32(gpu, &csr.row_ptr)?;
+        let dci = upload_u32(gpu, &csr.col_idx)?;
         let labels: Vec<u32> = (0..n).collect();
-        let dl = upload_u32(gpu, &labels);
-        let dflag = upload_u32(gpu, &[0u32]);
+        let dl = upload_u32(gpu, &labels)?;
+        let dflag = upload_u32(gpu, &[0u32])?;
         let k = Ccl::propagate_kernel();
         let mut r = Runner::new();
         let grid = n.div_ceil(self.block);
         for _round in 0..csr.n() {
             gpu.mem().write_u32_slice(dflag, &[0]);
-            r.launch(gpu, &k, grid, self.block, &[drp, dci, dl, dflag, u64::from(n)])?;
+            r.launch(
+                gpu,
+                &k,
+                grid,
+                self.block,
+                &[drp, dci, dl, dflag, u64::from(n)],
+            )?;
             if gpu.mem().read_u32_slice(dflag, 1)[0] == 0 {
                 break;
             }
@@ -159,7 +177,7 @@ mod tests {
         let w = Ccl::tiny();
         let csr = w.graph();
         let want = Ccl::reference(&csr);
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         w.run(&mut gpu).unwrap();
         let align = |v: u64| v.div_ceil(128) * 128;
         let mut addr = HEAP_BASE;

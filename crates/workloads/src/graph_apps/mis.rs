@@ -29,14 +29,22 @@ pub struct Mis {
 
 impl Default for Mis {
     fn default() -> Mis {
-        Mis { n: 4096, deg: 8, block: 256 }
+        Mis {
+            n: 4096,
+            deg: 8,
+            block: 256,
+        }
     }
 }
 
 impl Mis {
     /// A tiny instance for tests.
     pub fn tiny() -> Mis {
-        Mis { n: 64, deg: 3, block: 32 }
+        Mis {
+            n: 64,
+            deg: 3,
+            block: 32,
+        }
     }
 
     /// Select kernel: an undecided vertex with priority beating every
@@ -80,7 +88,7 @@ impl Mis {
         b.bra_unless(live, skip);
         let npa = b.index64(prio, nb, 4);
         let np = b.ld_global(Type::U32, npa); // non-deterministic
-        // Beaten if neighbor priority is greater, or equal with larger id.
+                                              // Beaten if neighbor priority is greater, or equal with larger id.
         let gt = b.setp(CmpOp::Gt, Type::U32, np, my_p);
         let eq = b.setp(CmpOp::Eq, Type::U32, np, my_p);
         let id_gt = b.setp(CmpOp::Gt, Type::U32, nb, tid);
@@ -191,20 +199,32 @@ impl Workload for Mis {
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.graph();
         let n = csr.n() as u32;
-        let drp = upload_u32(gpu, &csr.row_ptr);
-        let dci = upload_u32(gpu, &csr.col_idx);
+        let drp = upload_u32(gpu, &csr.row_ptr)?;
+        let dci = upload_u32(gpu, &csr.col_idx)?;
         let prio = gen::random_u32(csr.n(), u32::MAX, 0x317);
-        let dprio = upload_u32(gpu, &prio);
-        let dstate = upload_u32(gpu, &vec![UNDECIDED; csr.n()]);
-        let dflag = upload_u32(gpu, &[0u32]);
+        let dprio = upload_u32(gpu, &prio)?;
+        let dstate = upload_u32(gpu, &vec![UNDECIDED; csr.n()])?;
+        let dflag = upload_u32(gpu, &[0u32])?;
         let select = Mis::select_kernel();
         let remove = Mis::remove_kernel();
         let mut r = Runner::new();
         let grid = n.div_ceil(self.block);
         for _round in 0..csr.n() {
             gpu.mem().write_u32_slice(dflag, &[0]);
-            r.launch(gpu, &select, grid, self.block, &[drp, dci, dprio, dstate, dflag, u64::from(n)])?;
-            r.launch(gpu, &remove, grid, self.block, &[drp, dci, dstate, u64::from(n)])?;
+            r.launch(
+                gpu,
+                &select,
+                grid,
+                self.block,
+                &[drp, dci, dprio, dstate, dflag, u64::from(n)],
+            )?;
+            r.launch(
+                gpu,
+                &remove,
+                grid,
+                self.block,
+                &[drp, dci, dstate, u64::from(n)],
+            )?;
             if gpu.mem().read_u32_slice(dflag, 1)[0] == 0 {
                 break;
             }
@@ -231,7 +251,7 @@ mod tests {
     fn produces_a_maximal_independent_set() {
         let w = Mis::tiny();
         let csr = w.graph();
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         w.run(&mut gpu).unwrap();
         let align = |v: u64| v.div_ceil(128) * 128;
         let mut addr = HEAP_BASE;
@@ -244,6 +264,6 @@ mod tests {
             Mis::is_maximal_independent(&csr, &state),
             "invalid MIS: {state:?}"
         );
-        assert!(state.iter().any(|&s| s == IN_SET));
+        assert!(state.contains(&IN_SET));
     }
 }

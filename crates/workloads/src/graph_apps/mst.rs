@@ -28,14 +28,24 @@ pub struct Mst {
 
 impl Default for Mst {
     fn default() -> Mst {
-        Mst { n: 3072, deg: 8, block: 384, rounds: 10 }
+        Mst {
+            n: 3072,
+            deg: 8,
+            block: 384,
+            rounds: 10,
+        }
     }
 }
 
 impl Mst {
     /// A tiny instance for tests.
     pub fn tiny() -> Mst {
-        Mst { n: 48, deg: 4, block: 32, rounds: 6 }
+        Mst {
+            n: 48,
+            deg: 4,
+            block: 32,
+            rounds: 6,
+        }
     }
 
     /// Find, per vertex, the lightest edge leaving its component. Packs
@@ -154,7 +164,10 @@ impl Mst {
     /// (undirected closure of candidate merges is hard to replicate exactly;
     /// instead we check the *invariant* — see the test).
     pub fn components(comp: &[u32]) -> usize {
-        comp.iter().enumerate().filter(|(i, &c)| c as usize == *i).count()
+        comp.iter()
+            .enumerate()
+            .filter(|(i, &c)| c as usize == *i)
+            .count()
     }
 
     fn graph(&self) -> Csr {
@@ -174,13 +187,13 @@ impl Workload for Mst {
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.graph();
         let n = csr.n() as u32;
-        let drp = upload_u32(gpu, &csr.row_ptr);
-        let dci = upload_u32(gpu, &csr.col_idx);
-        let dwt = upload_u32(gpu, &csr.weight);
+        let drp = upload_u32(gpu, &csr.row_ptr)?;
+        let dci = upload_u32(gpu, &csr.col_idx)?;
+        let dwt = upload_u32(gpu, &csr.weight)?;
         let comp: Vec<u32> = (0..n).collect();
-        let dcomp = upload_u32(gpu, &comp);
-        let dcand = upload_u32(gpu, &vec![NONE; csr.n()]);
-        let dflag = upload_u32(gpu, &[0u32]);
+        let dcomp = upload_u32(gpu, &comp)?;
+        let dcand = upload_u32(gpu, &vec![NONE; csr.n()])?;
+        let dflag = upload_u32(gpu, &[0u32])?;
         let find = Mst::find_kernel();
         let merge = Mst::merge_kernel();
         let jump = Mst::jump_kernel();
@@ -189,7 +202,13 @@ impl Workload for Mst {
         let nu = u64::from(n);
         for _round in 0..self.rounds {
             gpu.mem().write_u32_slice(dcand, &vec![NONE; csr.n()]);
-            r.launch(gpu, &find, grid, self.block, &[drp, dci, dwt, dcomp, dcand, nu])?;
+            r.launch(
+                gpu,
+                &find,
+                grid,
+                self.block,
+                &[drp, dci, dwt, dcomp, dcand, nu],
+            )?;
             gpu.mem().write_u32_slice(dflag, &[0]);
             r.launch(gpu, &merge, grid, self.block, &[dcomp, dcand, dflag, nu])?;
             let merged_any = gpu.mem().read_u32_slice(dflag, 1)[0] != 0;
@@ -229,7 +248,7 @@ mod tests {
     fn merging_reaches_a_flat_valid_forest() {
         let w = Mst::tiny();
         let csr = w.graph();
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         w.run(&mut gpu).unwrap();
         let align = |v: u64| v.div_ceil(128) * 128;
         let mut addr = HEAP_BASE;

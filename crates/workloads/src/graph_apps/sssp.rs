@@ -26,14 +26,24 @@ pub struct Sssp {
 
 impl Default for Sssp {
     fn default() -> Sssp {
-        Sssp { scale: 11, edge_factor: 8, block: 512, source: 0 }
+        Sssp {
+            scale: 11,
+            edge_factor: 8,
+            block: 512,
+            source: 0,
+        }
     }
 }
 
 impl Sssp {
     /// A tiny instance for tests.
     pub fn tiny() -> Sssp {
-        Sssp { scale: 6, edge_factor: 4, block: 32, source: 0 }
+        Sssp {
+            scale: 6,
+            edge_factor: 4,
+            block: 32,
+            source: 0,
+        }
     }
 
     /// The relaxation kernel.
@@ -127,19 +137,25 @@ impl Workload for Sssp {
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.graph();
         let n = csr.n() as u32;
-        let drp = upload_u32(gpu, &csr.row_ptr);
-        let dci = upload_u32(gpu, &csr.col_idx);
-        let dwt = upload_u32(gpu, &csr.weight);
+        let drp = upload_u32(gpu, &csr.row_ptr)?;
+        let dci = upload_u32(gpu, &csr.col_idx)?;
+        let dwt = upload_u32(gpu, &csr.weight)?;
         let mut dist = vec![INF; csr.n()];
         dist[self.source as usize] = 0;
-        let ddist = upload_u32(gpu, &dist);
-        let dflag = upload_u32(gpu, &[0u32]);
+        let ddist = upload_u32(gpu, &dist)?;
+        let dflag = upload_u32(gpu, &[0u32])?;
         let relax = Sssp::relax_kernel();
         let mut r = Runner::new();
         let grid = n.div_ceil(self.block);
         for _round in 0..csr.n() {
             gpu.mem().write_u32_slice(dflag, &[0]);
-            r.launch(gpu, &relax, grid, self.block, &[drp, dci, dwt, ddist, dflag, u64::from(n)])?;
+            r.launch(
+                gpu,
+                &relax,
+                grid,
+                self.block,
+                &[drp, dci, dwt, ddist, dflag, u64::from(n)],
+            )?;
             if gpu.mem().read_u32_slice(dflag, 1)[0] == 0 {
                 break;
             }
@@ -169,7 +185,7 @@ mod tests {
         let w = Sssp::tiny();
         let csr = w.graph();
         let want = Sssp::reference(&csr, w.source);
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         let res = w.run(&mut gpu).unwrap();
         let align = |v: u64| v.div_ceil(128) * 128;
         let mut addr = HEAP_BASE;

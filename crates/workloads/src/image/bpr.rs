@@ -23,14 +23,20 @@ pub struct Bpr {
 
 impl Default for Bpr {
     fn default() -> Bpr {
-        Bpr { in_n: 256, hid_n: 128 }
+        Bpr {
+            in_n: 256,
+            hid_n: 128,
+        }
     }
 }
 
 impl Bpr {
     /// A tiny instance for tests.
     pub fn tiny() -> Bpr {
-        Bpr { in_n: 32, hid_n: 16 }
+        Bpr {
+            in_n: 32,
+            hid_n: 16,
+        }
     }
 
     /// Forward kernel: `hidden[j] = sigmoid(Σ_i w[i][j]·in[i])`.
@@ -186,9 +192,9 @@ impl Workload for Bpr {
         let (in_n, hid_n) = (self.in_n as usize, self.hid_n as usize);
         let input = gen::dense_vector(in_n, -0.5, 0.5, 0xB201);
         let w = gen::dense_vector(in_n * hid_n, -0.1, 0.1, 0xB202);
-        let din = upload_f32(gpu, &input);
-        let dw = upload_f32(gpu, &w);
-        let dh = gpu.mem().alloc_array(Type::F32, hid_n as u64);
+        let din = upload_f32(gpu, &input)?;
+        let dw = upload_f32(gpu, &w)?;
+        let dh = gpu.mem().alloc_array(Type::F32, hid_n as u64)?;
         let fwd = Bpr::forward_kernel();
         let adj = Bpr::adjust_kernel();
         let mut r = Runner::new();
@@ -220,7 +226,7 @@ mod tests {
         let input = gen::dense_vector(in_n, -0.5, 0.5, 0xB201);
         let w = gen::dense_vector(in_n * hid_n, -0.1, 0.1, 0xB202);
         let want = Bpr::reference_forward(&input, &w, in_n, hid_n);
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         wl.run(&mut gpu).unwrap();
         let align = |v: u64| v.div_ceil(128) * 128;
         let mut addr = gcl_sim::HEAP_BASE;

@@ -24,14 +24,24 @@ pub struct Dwt {
 
 impl Default for Dwt {
     fn default() -> Dwt {
-        Dwt { w: 64, h: 64, levels: 2, block: 64 }
+        Dwt {
+            w: 64,
+            h: 64,
+            levels: 2,
+            block: 64,
+        }
     }
 }
 
 impl Dwt {
     /// A tiny instance for tests.
     pub fn tiny() -> Dwt {
-        Dwt { w: 16, h: 16, levels: 1, block: 32 }
+        Dwt {
+            w: 16,
+            h: 16,
+            levels: 1,
+            block: 32,
+        }
     }
 
     /// Row pass: for each output pair position `(y, x)` with `x < half`,
@@ -161,8 +171,8 @@ impl Workload for Dwt {
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let (w, h) = (self.w as usize, self.h as usize);
         let img = gen::image(w, h, 0xD317);
-        let dsrc = upload_f32(gpu, &img);
-        let dtmp = gpu.mem().alloc_array(Type::F32, (w * h) as u64);
+        let dsrc = upload_f32(gpu, &img)?;
+        let dtmp = gpu.mem().alloc_array(Type::F32, (w * h) as u64)?;
         let rows = Dwt::row_kernel();
         let cols = Dwt::col_kernel();
         let mut r = Runner::new();
@@ -214,7 +224,7 @@ mod tests {
         let (iw, ih) = (w.w as usize, w.h as usize);
         let mut want = gen::image(iw, ih, 0xD317);
         Dwt::reference_level(&mut want, iw, iw, ih);
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         w.run(&mut gpu).unwrap();
         let got = gpu.mem_ref().read_f32_slice(HEAP_BASE, iw * ih);
         for (i, (g, w_)) in got.iter().zip(want.iter()).enumerate() {

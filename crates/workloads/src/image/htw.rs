@@ -30,14 +30,22 @@ pub struct Htw {
 
 impl Default for Htw {
     fn default() -> Htw {
-        Htw { w: 128, h: 96, n_points: 24 }
+        Htw {
+            w: 128,
+            h: 96,
+            n_points: 24,
+        }
     }
 }
 
 impl Htw {
     /// A tiny instance for tests.
     pub fn tiny() -> Htw {
-        Htw { w: 48, h: 40, n_points: 2 }
+        Htw {
+            w: 48,
+            h: 40,
+            n_points: 2,
+        }
     }
 
     /// The tracking kernel: CTA `p` stages `REGION×REGION` pixels at point
@@ -121,13 +129,7 @@ impl Htw {
     }
 
     /// Host reference SSD map for one point.
-    pub fn reference_point(
-        img: &[f32],
-        w: usize,
-        tmpl: &[f32],
-        cx: usize,
-        cy: usize,
-    ) -> Vec<f32> {
+    pub fn reference_point(img: &[f32], w: usize, tmpl: &[f32], cx: usize, cy: usize) -> Vec<f32> {
         let mut out = vec![0.0f32; (WIN * WIN) as usize];
         for oy in 0..WIN as usize {
             for ox in 0..WIN as usize {
@@ -137,7 +139,7 @@ impl Htw {
                         let r = img[(cy + oy + j) * w + cx + ox + i];
                         let t = tmpl[j * TMPL as usize + i];
                         let d = r - t;
-                        acc = d * d + acc;
+                        acc += d * d;
                     }
                 }
                 out[oy * WIN as usize + ox] = acc;
@@ -169,12 +171,13 @@ impl Workload for Htw {
         let img = gen::image(w, h, 0x4713);
         let tmpl = gen::image(TMPL as usize, TMPL as usize, 0x4714);
         let (xs, ys) = self.points();
-        let dimg = upload_f32(gpu, &img);
-        let dtm = upload_f32(gpu, &tmpl);
-        let dx = upload_u32(gpu, &xs);
-        let dy = upload_u32(gpu, &ys);
-        let dout =
-            gpu.mem().alloc_array(Type::F32, u64::from(self.n_points) * u64::from(WIN * WIN));
+        let dimg = upload_f32(gpu, &img)?;
+        let dtm = upload_f32(gpu, &tmpl)?;
+        let dx = upload_u32(gpu, &xs)?;
+        let dy = upload_u32(gpu, &ys)?;
+        let dout = gpu
+            .mem()
+            .alloc_array(Type::F32, u64::from(self.n_points) * u64::from(WIN * WIN))?;
         let k = Htw::kernel();
         let mut r = Runner::new();
         r.launch(
@@ -211,14 +214,17 @@ mod tests {
         let img = gen::image(w, h, 0x4713);
         let tmpl = gen::image(TMPL as usize, TMPL as usize, 0x4714);
         let (xs, ys) = wl.points();
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         let res = wl.run(&mut gpu).unwrap();
         // out is the 5th allocation.
         let align = |v: u64| v.div_ceil(128) * 128;
         let mut addr = gcl_sim::HEAP_BASE;
-        for bytes in
-            [w * h * 4, (TMPL * TMPL) as usize * 4, xs.len() * 4, ys.len() * 4]
-        {
+        for bytes in [
+            w * h * 4,
+            (TMPL * TMPL) as usize * 4,
+            xs.len() * 4,
+            ys.len() * 4,
+        ] {
             addr = align(addr) + bytes as u64;
         }
         let dout = align(addr);

@@ -22,14 +22,22 @@ pub struct Mriq {
 
 impl Default for Mriq {
     fn default() -> Mriq {
-        Mriq { n_voxels: 2048, n_samples: 96, block: 256 }
+        Mriq {
+            n_voxels: 2048,
+            n_samples: 96,
+            block: 256,
+        }
     }
 }
 
 impl Mriq {
     /// A tiny instance for tests.
     pub fn tiny() -> Mriq {
-        Mriq { n_voxels: 64, n_samples: 8, block: 32 }
+        Mriq {
+            n_voxels: 64,
+            n_samples: 8,
+            block: 32,
+        }
     }
 
     /// The Q-computation kernel.
@@ -93,8 +101,8 @@ impl Mriq {
         for (i, &xv) in x.iter().enumerate() {
             for j in 0..kx.len() {
                 let phase = (kx[j] + ky[j] * 0.5 + kz[j] * 0.25) * xv;
-                qr[i] = phase.cos() + qr[i];
-                qi[i] = phase.sin() + qi[i];
+                qr[i] += phase.cos();
+                qi[i] += phase.sin();
             }
         }
         (qr, qi)
@@ -117,12 +125,12 @@ impl Workload for Mriq {
         let ky = gen::dense_vector(m, -1.0, 1.0, 0x3102);
         let kz = gen::dense_vector(m, -1.0, 1.0, 0x3103);
         let x = gen::dense_vector(n, 0.0, 4.0, 0x3104);
-        let dkx = upload_f32(gpu, &kx);
-        let dky = upload_f32(gpu, &ky);
-        let dkz = upload_f32(gpu, &kz);
-        let dx = upload_f32(gpu, &x);
-        let dqr = gpu.mem().alloc_array(Type::F32, n as u64);
-        let dqi = gpu.mem().alloc_array(Type::F32, n as u64);
+        let dkx = upload_f32(gpu, &kx)?;
+        let dky = upload_f32(gpu, &ky)?;
+        let dkz = upload_f32(gpu, &kz)?;
+        let dx = upload_f32(gpu, &x)?;
+        let dqr = gpu.mem().alloc_array(Type::F32, n as u64)?;
+        let dqi = gpu.mem().alloc_array(Type::F32, n as u64)?;
         let k = Mriq::kernel();
         let mut r = Runner::new();
         r.launch(
@@ -130,7 +138,16 @@ impl Workload for Mriq {
             &k,
             self.n_voxels.div_ceil(self.block),
             self.block,
-            &[dkx, dky, dkz, dx, dqr, dqi, u64::from(self.n_voxels), u64::from(self.n_samples)],
+            &[
+                dkx,
+                dky,
+                dkz,
+                dx,
+                dqr,
+                dqi,
+                u64::from(self.n_voxels),
+                u64::from(self.n_samples),
+            ],
         )?;
         Ok(r.finish(self.name()))
     }
@@ -168,7 +185,7 @@ mod tests {
         let kz = gen::dense_vector(m, -1.0, 1.0, 0x3103);
         let x = gen::dense_vector(n, 0.0, 4.0, 0x3104);
         let (want_qr, _) = Mriq::reference(&kx, &ky, &kz, &x);
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         let res = w.run(&mut gpu).unwrap();
         let align = |v: u64| v.div_ceil(128) * 128;
         let mut addr = gcl_sim::HEAP_BASE;
@@ -178,7 +195,10 @@ mod tests {
         let dqr = align(addr);
         let got = gpu.mem_ref().read_f32_slice(dqr, n);
         for (i, (g, w_)) in got.iter().zip(want_qr.iter()).enumerate() {
-            assert!((g - w_).abs() < 1e-2 + w_.abs() * 1e-3, "qr[{i}] = {g}, want {w_}");
+            assert!(
+                (g - w_).abs() < 1e-2 + w_.abs() * 1e-3,
+                "qr[{i}] = {g}, want {w_}"
+            );
         }
         // SFU unit saw real work.
         assert!(res.stats.sm.unit_busy[1] > 0);

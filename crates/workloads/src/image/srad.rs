@@ -26,7 +26,12 @@ pub struct Srad {
 
 impl Default for Srad {
     fn default() -> Srad {
-        Srad { rows: 64, cols: 64, iters: 2, block: 256 }
+        Srad {
+            rows: 64,
+            cols: 64,
+            iters: 2,
+            block: 256,
+        }
     }
 }
 
@@ -81,7 +86,12 @@ fn load_neighborhood(
 impl Srad {
     /// A tiny instance for tests.
     pub fn tiny() -> Srad {
-        Srad { rows: 16, cols: 16, iters: 1, block: 64 }
+        Srad {
+            rows: 16,
+            cols: 16,
+            iters: 1,
+            block: 64,
+        }
     }
 
     /// `srad1`: compute the diffusion coefficient
@@ -207,7 +217,7 @@ impl Srad {
                 let je = img[r * cols + j_e[cl] as usize];
                 let mut acc = 0.0f32;
                 for d in [jn - jc, js - jc, jw - jc, je - jc] {
-                    acc = d * d + acc;
+                    acc += d * d;
                 }
                 let g2 = acc / (jc * jc);
                 c[k] = 1.0 / (1.0 + g2);
@@ -245,13 +255,13 @@ impl Workload for Srad {
         let (rows, cols) = (self.rows as usize, self.cols as usize);
         let img = gen::image(cols, rows, 0x5EAD);
         let (i_n, i_s, j_w, j_e) = Srad::index_arrays(rows, cols);
-        let dimg = upload_f32(gpu, &img);
-        let dout = gpu.mem().alloc_array(Type::F32, (rows * cols) as u64);
-        let dc = gpu.mem().alloc_array(Type::F32, (rows * cols) as u64);
-        let din = upload_u32(gpu, &i_n);
-        let dis = upload_u32(gpu, &i_s);
-        let djw = upload_u32(gpu, &j_w);
-        let dje = upload_u32(gpu, &j_e);
+        let dimg = upload_f32(gpu, &img)?;
+        let dout = gpu.mem().alloc_array(Type::F32, (rows * cols) as u64)?;
+        let dc = gpu.mem().alloc_array(Type::F32, (rows * cols) as u64)?;
+        let din = upload_u32(gpu, &i_n)?;
+        let dis = upload_u32(gpu, &i_s)?;
+        let djw = upload_u32(gpu, &j_w)?;
+        let dje = upload_u32(gpu, &j_e)?;
         let coeff = Srad::coeff_kernel();
         let update = Srad::update_kernel();
         let mut r = Runner::new();
@@ -264,14 +274,33 @@ impl Workload for Srad {
                 &coeff,
                 grid,
                 self.block,
-                &[src, dc, din, dis, djw, dje, u64::from(self.rows), u64::from(self.cols)],
+                &[
+                    src,
+                    dc,
+                    din,
+                    dis,
+                    djw,
+                    dje,
+                    u64::from(self.rows),
+                    u64::from(self.cols),
+                ],
             )?;
             r.launch(
                 gpu,
                 &update,
                 grid,
                 self.block,
-                &[src, dc, din, dis, djw, dje, u64::from(self.rows), u64::from(self.cols), dst],
+                &[
+                    src,
+                    dc,
+                    din,
+                    dis,
+                    djw,
+                    dje,
+                    u64::from(self.rows),
+                    u64::from(self.cols),
+                    dst,
+                ],
             )?;
             std::mem::swap(&mut src, &mut dst);
         }
@@ -301,7 +330,7 @@ mod tests {
         let (rows, cols) = (w.rows as usize, w.cols as usize);
         let img = gen::image(cols, rows, 0x5EAD);
         let want = Srad::reference_iter(&img, rows, cols);
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         w.run(&mut gpu).unwrap();
         // One iteration writes into `out`, the second allocation.
         let a_bytes = ((rows * cols * 4) as u64).div_ceil(128) * 128;

@@ -42,13 +42,21 @@ pub fn loop_begin(
     bound: impl Into<Operand>,
 ) -> LoopCtx {
     let counter = b.reg();
-    b.push(gcl_ptx::Op::Mov { ty: Type::U32, dst: counter, src: init.into() });
+    b.push(gcl_ptx::Op::Mov {
+        ty: Type::U32,
+        dst: counter,
+        src: init.into(),
+    });
     let head = b.new_label();
     let exit = b.new_label();
     b.place(head);
     let done = b.setp(CmpOp::Ge, Type::U32, counter, bound);
     b.bra_if(done, exit);
-    LoopCtx { counter, head, exit }
+    LoopCtx {
+        counter,
+        head,
+        exit,
+    }
 }
 
 /// Close a loop: increment the counter and branch back.
@@ -89,7 +97,11 @@ pub fn add_assign(b: &mut KernelBuilder, dst: Reg, v: impl Into<Operand>) {
 
 /// Overwrite a register: `dst = v` (u32 move onto an existing register).
 pub fn mov_into(b: &mut KernelBuilder, ty: Type, dst: Reg, v: impl Into<Operand>) {
-    b.push(gcl_ptx::Op::Mov { ty, dst, src: v.into() });
+    b.push(gcl_ptx::Op::Mov {
+        ty,
+        dst,
+        src: v.into(),
+    });
 }
 
 /// A CTA-cooperative shared-memory tree reduction (f32 sum) over
@@ -97,7 +109,10 @@ pub fn mov_into(b: &mut KernelBuilder, ty: Type, dst: Reg, v: impl Into<Operand>
 /// `smem[0]`; all threads synchronize before and after each step.
 /// `n_threads` must be a power of two.
 pub fn shared_reduce_f32(b: &mut KernelBuilder, tid: Reg, n_threads: u32) {
-    assert!(n_threads.is_power_of_two(), "reduction width must be a power of two");
+    assert!(
+        n_threads.is_power_of_two(),
+        "reduction width must be a power of two"
+    );
     let mut stride = n_threads / 2;
     while stride > 0 {
         b.bar();
@@ -137,8 +152,8 @@ mod tests {
         b.st_global(Type::U32, a, acc);
         b.exit();
         let k = b.build().unwrap();
-        let mut gpu = Gpu::new(GpuConfig::small());
-        let out = gpu.mem().alloc_array(Type::U32, 32);
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
+        let out = gpu.mem().alloc_array(Type::U32, 32).unwrap();
         let params = pack_params(&k, &[out]);
         gpu.launch(&k, Dim3::x(1), Dim3::x(32), &params).unwrap();
         assert!(gpu.mem().read_u32_slice(out, 32).iter().all(|&v| v == 20));
@@ -157,8 +172,8 @@ mod tests {
         b.st_global(Type::U32, a, 1i64);
         b.exit();
         let k = b.build().unwrap();
-        let mut gpu = Gpu::new(GpuConfig::small());
-        let out = gpu.mem().alloc_array(Type::U32, 32);
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
+        let out = gpu.mem().alloc_array(Type::U32, 32).unwrap();
         let params = pack_params(&k, &[out, 10]);
         gpu.launch(&k, Dim3::x(1), Dim3::x(32), &params).unwrap();
         let v = gpu.mem().read_u32_slice(out, 32);
@@ -189,8 +204,8 @@ mod tests {
         b.place(skip);
         b.exit();
         let k = b.build().unwrap();
-        let mut gpu = Gpu::new(GpuConfig::small());
-        let out = gpu.mem().alloc_array(Type::F32, 1);
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
+        let out = gpu.mem().alloc_array(Type::F32, 1).unwrap();
         let params = pack_params(&k, &[out]);
         gpu.launch(&k, Dim3::x(1), Dim3::x(nt), &params).unwrap();
         let want: f32 = (0..nt).map(|v| v as f32).sum();

@@ -21,9 +21,10 @@
 //! use gcl_sim::{Gpu, GpuConfig};
 //! use gcl_workloads::{linear::Spmv, Workload};
 //!
-//! let mut gpu = Gpu::new(GpuConfig::small());
-//! let result = Spmv::tiny().run(&mut gpu).unwrap();
+//! let mut gpu = Gpu::new(GpuConfig::small())?;
+//! let result = Spmv::tiny().run(&mut gpu)?;
 //! assert!(result.stats.nondet_load_fraction() > 0.0);
+//! # Ok::<(), gcl_sim::SimError>(())
 //! ```
 
 #![warn(missing_docs)]

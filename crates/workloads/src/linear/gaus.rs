@@ -119,8 +119,8 @@ impl Workload for Gaus {
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let n = self.n as usize;
         let a = gen::dense_matrix(n, n, 0x6A05);
-        let da = upload_f32(gpu, &a);
-        let dm = gpu.mem().alloc_array(Type::F32, n as u64);
+        let da = upload_f32(gpu, &a)?;
+        let dm = gpu.mem().alloc_array(Type::F32, n as u64)?;
         let fan1 = Gaus::fan1();
         let fan2 = Gaus::fan2();
         let mut r = Runner::new();
@@ -128,11 +128,23 @@ impl Workload for Gaus {
         for k in 0..self.n - 1 {
             let remaining = self.n - k - 1;
             let grid1 = remaining.div_ceil(block);
-            r.launch(gpu, &fan1, grid1, block, &[da, dm, u64::from(self.n), u64::from(k)])?;
+            r.launch(
+                gpu,
+                &fan1,
+                grid1,
+                block,
+                &[da, dm, u64::from(self.n), u64::from(k)],
+            )?;
             let cols = self.n - k;
             let grid2 = Dim3::xy(cols.div_ceil(block), remaining.div_ceil(4));
             let block2 = Dim3::xy(block, 4);
-            r.launch(gpu, &fan2, grid2, block2, &[da, dm, u64::from(self.n), u64::from(k)])?;
+            r.launch(
+                gpu,
+                &fan2,
+                grid2,
+                block2,
+                &[da, dm, u64::from(self.n), u64::from(k)],
+            )?;
         }
         Ok(r.finish(self.name()))
     }
@@ -156,7 +168,7 @@ mod tests {
     fn elimination_matches_reference() {
         let w = Gaus::tiny();
         let n = w.n as usize;
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         w.run(&mut gpu).unwrap();
         let mut want = gen::dense_matrix(n, n, 0x6A05);
         Gaus::reference(&mut want, n);

@@ -139,8 +139,7 @@ impl Grm {
     pub fn q_is_orthonormal(q: &[f32], n: usize, tol: f32) -> bool {
         for i in 0..n {
             for j in i..n {
-                let dot: f32 =
-                    (0..n).map(|r| q[i * n + r] * q[j * n + r]).sum();
+                let dot: f32 = (0..n).map(|r| q[i * n + r] * q[j * n + r]).sum();
                 let want = if i == j { 1.0 } else { 0.0 };
                 if (dot - want).abs() > tol {
                     return false;
@@ -164,16 +163,28 @@ impl Workload for Grm {
         let n = self.n as usize;
         // Column-major matrix.
         let a = gen::dense_matrix(n, n, 0x9233);
-        let da = upload_f32(gpu, &a);
-        let dq = gpu.mem().alloc_array(Type::F32, (n * n) as u64);
+        let da = upload_f32(gpu, &a)?;
+        let dq = gpu.mem().alloc_array(Type::F32, (n * n) as u64)?;
         let norm = Grm::norm_kernel();
         let ortho = Grm::ortho_kernel();
         let mut r = Runner::new();
         for k in 0..self.n {
-            r.launch(gpu, &norm, 1u32, BLOCK, &[da, dq, u64::from(self.n), u64::from(k)])?;
+            r.launch(
+                gpu,
+                &norm,
+                1u32,
+                BLOCK,
+                &[da, dq, u64::from(self.n), u64::from(k)],
+            )?;
             if k + 1 < self.n {
                 let cols = self.n - k - 1;
-                r.launch(gpu, &ortho, cols, BLOCK, &[da, dq, u64::from(self.n), u64::from(k)])?;
+                r.launch(
+                    gpu,
+                    &ortho,
+                    cols,
+                    BLOCK,
+                    &[da, dq, u64::from(self.n), u64::from(k)],
+                )?;
             }
         }
         Ok(r.finish(self.name()))
@@ -198,19 +209,22 @@ mod tests {
     fn produces_orthonormal_q() {
         let w = Grm::tiny();
         let n = w.n as usize;
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         w.run(&mut gpu).unwrap();
         // Q is the second allocation: A occupies n*n f32 rounded to 128.
         let a_bytes = ((n * n * 4) as u64).div_ceil(128) * 128;
         let dq = HEAP_BASE + a_bytes;
         let q = gpu.mem_ref().read_f32_slice(dq, n * n);
-        assert!(Grm::q_is_orthonormal(&q, n, 2e-2), "Q not orthonormal: {q:?}");
+        assert!(
+            Grm::q_is_orthonormal(&q, n, 2e-2),
+            "Q not orthonormal: {q:?}"
+        );
     }
 
     #[test]
     fn uses_shared_memory_heavily() {
         let w = Grm::tiny();
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         let res = w.run(&mut gpu).unwrap();
         assert!(res.stats.sm.shared_load_warps > 0);
     }

@@ -115,17 +115,29 @@ impl Workload for Lu {
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let n = self.n as usize;
         let a = gen::dense_matrix(n, n, 0x1001);
-        let da = upload_f32(gpu, &a);
+        let da = upload_f32(gpu, &a)?;
         let scale = Lu::scale_kernel();
         let update = Lu::update_kernel();
         let mut r = Runner::new();
         let block = 32u32;
         for k in 0..self.n - 1 {
             let rem = self.n - k - 1;
-            r.launch(gpu, &scale, rem.div_ceil(block), block, &[da, u64::from(self.n), u64::from(k)])?;
+            r.launch(
+                gpu,
+                &scale,
+                rem.div_ceil(block),
+                block,
+                &[da, u64::from(self.n), u64::from(k)],
+            )?;
             let grid = Dim3::xy(rem.div_ceil(block), rem.div_ceil(8));
             let blk = Dim3::xy(block, 8);
-            r.launch(gpu, &update, grid, blk, &[da, u64::from(self.n), u64::from(k)])?;
+            r.launch(
+                gpu,
+                &update,
+                grid,
+                blk,
+                &[da, u64::from(self.n), u64::from(k)],
+            )?;
         }
         Ok(r.finish(self.name()))
     }
@@ -148,7 +160,7 @@ mod tests {
     fn decomposition_matches_reference() {
         let w = Lu::tiny();
         let n = w.n as usize;
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         w.run(&mut gpu).unwrap();
         let mut want = gen::dense_matrix(n, n, 0x1001);
         Lu::reference(&mut want, n);

@@ -1,8 +1,8 @@
 //! `2mm` — two chained dense matrix multiplications (PolyBench):
 //! `D = A·B`, then `E = D·C`. Fully deterministic, fully coalesced loads.
 
-use crate::kutil::{exit_if_ge, fma_acc, gid_x, gid_y, loop_begin, loop_end};
 use crate::gen;
+use crate::kutil::{exit_if_ge, fma_acc, gid_x, gid_y, loop_begin, loop_end};
 use crate::workload::{upload_f32, Category, RunResult, Runner, Workload};
 use gcl_ptx::{Kernel, KernelBuilder, Type};
 use gcl_sim::{Dim3, Gpu, SimError};
@@ -71,7 +71,7 @@ impl Mm2 {
             for j in 0..n {
                 let mut acc = 0.0f32;
                 for k in 0..n {
-                    acc = a[i * n + k] * bm[k * n + j] + acc;
+                    acc += a[i * n + k] * bm[k * n + j];
                 }
                 c[i * n + j] = acc;
             }
@@ -93,11 +93,11 @@ impl Workload for Mm2 {
         let n = self.n as usize;
         let a = gen::dense_matrix(n, n, 0x2001);
         let c = gen::dense_matrix(n, n, 0x2002);
-        let da = upload_f32(gpu, &a);
-        let db = upload_f32(gpu, &gen::dense_matrix(n, n, 0x2003));
-        let dc = upload_f32(gpu, &c);
-        let dd = gpu.mem().alloc_array(Type::F32, (n * n) as u64);
-        let de = gpu.mem().alloc_array(Type::F32, (n * n) as u64);
+        let da = upload_f32(gpu, &a)?;
+        let db = upload_f32(gpu, &gen::dense_matrix(n, n, 0x2003))?;
+        let dc = upload_f32(gpu, &c)?;
+        let dd = gpu.mem().alloc_array(Type::F32, (n * n) as u64)?;
+        let de = gpu.mem().alloc_array(Type::F32, (n * n) as u64)?;
 
         let kernel = Mm2::kernel();
         let gdim = self.n.div_ceil(self.tile);
@@ -128,7 +128,7 @@ mod tests {
     fn matches_host_reference() {
         let w = Mm2::tiny();
         let n = w.n as usize;
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         let res = w.run(&mut gpu).unwrap();
         assert_eq!(res.stats.launches, 2);
         // Reconstruct the inputs exactly as run() does and compare E.
@@ -158,12 +158,17 @@ mod tests {
     #[test]
     fn loads_coalesce_well() {
         let w = Mm2::tiny();
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         let res = w.run(&mut gpu).unwrap();
         let d = res.stats.class(gcl_core::LoadClass::Deterministic);
         // Row-major b[k*n+col] is fully coalesced; a[row*n+k] broadcasts.
         // Either way ≤ 2 requests per warp on average.
         assert!(d.requests_per_warp() <= 2.0, "{}", d.requests_per_warp());
-        assert_eq!(res.stats.class(gcl_core::LoadClass::NonDeterministic).warp_loads, 0);
+        assert_eq!(
+            res.stats
+                .class(gcl_core::LoadClass::NonDeterministic)
+                .warp_loads,
+            0
+        );
     }
 }

@@ -24,14 +24,22 @@ pub struct Spmv {
 
 impl Default for Spmv {
     fn default() -> Spmv {
-        Spmv { n: 4096, nnz_per_row: 24, block: 192 }
+        Spmv {
+            n: 4096,
+            nnz_per_row: 24,
+            block: 192,
+        }
     }
 }
 
 impl Spmv {
     /// A tiny instance for tests.
     pub fn tiny() -> Spmv {
-        Spmv { n: 96, nnz_per_row: 4, block: 32 }
+        Spmv {
+            n: 96,
+            nnz_per_row: 4,
+            block: 32,
+        }
     }
 
     /// The CSR `y = A·x` kernel.
@@ -87,7 +95,7 @@ impl Spmv {
                 let hi = csr.row_ptr[r + 1] as usize;
                 let mut acc = 0.0f32;
                 for j in lo..hi {
-                    acc = vals[j] * x[csr.col_idx[j] as usize] + acc;
+                    acc += vals[j] * x[csr.col_idx[j] as usize];
                 }
                 acc
             })
@@ -108,14 +116,20 @@ impl Workload for Spmv {
         let csr = self.matrix();
         let vals = gen::dense_vector(csr.m(), 0.1, 1.0, 0x57B8);
         let x = gen::dense_vector(csr.n(), 0.1, 1.0, 0x57B9);
-        let drp = upload_u32(gpu, &csr.row_ptr);
-        let dci = upload_u32(gpu, &csr.col_idx);
-        let dval = upload_f32(gpu, &vals);
-        let dx = upload_f32(gpu, &x);
-        let dy = gpu.mem().alloc_array(Type::F32, csr.n() as u64);
+        let drp = upload_u32(gpu, &csr.row_ptr)?;
+        let dci = upload_u32(gpu, &csr.col_idx)?;
+        let dval = upload_f32(gpu, &vals)?;
+        let dx = upload_f32(gpu, &x)?;
+        let dy = gpu.mem().alloc_array(Type::F32, csr.n() as u64)?;
         let k = Spmv::kernel();
         let mut r = Runner::new();
-        r.launch(gpu, &k, self.n.div_ceil(self.block), self.block, &[drp, dci, dval, dx, dy, u64::from(self.n)])?;
+        r.launch(
+            gpu,
+            &k,
+            self.n.div_ceil(self.block),
+            self.block,
+            &[drp, dci, dval, dx, dy, u64::from(self.n)],
+        )?;
         Ok(r.finish(self.name()))
     }
 }
@@ -142,7 +156,7 @@ mod tests {
         let vals = gen::dense_vector(csr.m(), 0.1, 1.0, 0x57B8);
         let x = gen::dense_vector(csr.n(), 0.1, 1.0, 0x57B9);
         let want = Spmv::reference(&csr, &vals, &x);
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         let res = w.run(&mut gpu).unwrap();
         // y is the last allocation; recompute its address by sizes.
         let align = |x: u64| x.div_ceil(128) * 128;
@@ -158,7 +172,10 @@ mod tests {
         let dy = align(addr);
         let got = gpu.mem_ref().read_f32_slice(dy, csr.n());
         for (i, (g, w_)) in got.iter().zip(want.iter()).enumerate() {
-            assert!((g - w_).abs() <= w_.abs() * 1e-4 + 1e-4, "y[{i}] = {g}, want {w_}");
+            assert!(
+                (g - w_).abs() <= w_.abs() * 1e-4 + 1e-4,
+                "y[{i}] = {g}, want {w_}"
+            );
         }
         // Dynamic execution saw both load classes.
         assert!(res.stats.class(LoadClass::Deterministic).warp_loads > 0);
@@ -168,10 +185,16 @@ mod tests {
     #[test]
     fn nondet_loads_generate_more_requests_per_warp() {
         let w = Spmv::tiny();
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         let res = w.run(&mut gpu).unwrap();
-        let d = res.stats.class(LoadClass::Deterministic).requests_per_warp();
-        let n = res.stats.class(LoadClass::NonDeterministic).requests_per_warp();
+        let d = res
+            .stats
+            .class(LoadClass::Deterministic)
+            .requests_per_warp();
+        let n = res
+            .stats
+            .class(LoadClass::NonDeterministic)
+            .requests_per_warp();
         assert!(n > d, "N {n} should exceed D {d}");
     }
 }

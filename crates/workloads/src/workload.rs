@@ -3,11 +3,10 @@
 
 use gcl_ptx::Kernel;
 use gcl_sim::{pack_params, Dim3, Gpu, LaunchStats, SimError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The paper's three application categories (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Linear-algebra kernels (2mm, gaus, grm, lu, spmv).
     Linear,
@@ -109,27 +108,47 @@ impl Runner {
 }
 
 /// Upload a `u32` slice to device memory; returns its address.
-pub fn upload_u32(gpu: &mut Gpu, data: &[u32]) -> u64 {
-    let addr = gpu.mem().alloc_array(gcl_ptx::Type::U32, data.len() as u64);
+///
+/// # Errors
+///
+/// Fails if the device allocation is rejected ([`gcl_sim::AllocError`]).
+pub fn upload_u32(gpu: &mut Gpu, data: &[u32]) -> Result<u64, SimError> {
+    let addr = gpu
+        .mem()
+        .alloc_array(gcl_ptx::Type::U32, data.len() as u64)?;
     gpu.mem().write_u32_slice(addr, data);
-    addr
+    Ok(addr)
 }
 
 /// Upload an `f32` slice to device memory; returns its address.
-pub fn upload_f32(gpu: &mut Gpu, data: &[f32]) -> u64 {
-    let addr = gpu.mem().alloc_array(gcl_ptx::Type::F32, data.len() as u64);
+///
+/// # Errors
+///
+/// Fails if the device allocation is rejected ([`gcl_sim::AllocError`]).
+pub fn upload_f32(gpu: &mut Gpu, data: &[f32]) -> Result<u64, SimError> {
+    let addr = gpu
+        .mem()
+        .alloc_array(gcl_ptx::Type::F32, data.len() as u64)?;
     gpu.mem().write_f32_slice(addr, data);
-    addr
+    Ok(addr)
 }
 
 /// Allocate `n` zeroed `u32` words on the device.
-pub fn alloc_u32(gpu: &mut Gpu, n: u64) -> u64 {
-    gpu.mem().alloc_array(gcl_ptx::Type::U32, n)
+///
+/// # Errors
+///
+/// Fails if the device allocation is rejected ([`gcl_sim::AllocError`]).
+pub fn alloc_u32(gpu: &mut Gpu, n: u64) -> Result<u64, SimError> {
+    Ok(gpu.mem().alloc_array(gcl_ptx::Type::U32, n)?)
 }
 
 /// Allocate `n` zeroed `f32` words on the device.
-pub fn alloc_f32(gpu: &mut Gpu, n: u64) -> u64 {
-    gpu.mem().alloc_array(gcl_ptx::Type::F32, n)
+///
+/// # Errors
+///
+/// Fails if the device allocation is rejected ([`gcl_sim::AllocError`]).
+pub fn alloc_f32(gpu: &mut Gpu, n: u64) -> Result<u64, SimError> {
+    Ok(gpu.mem().alloc_array(gcl_ptx::Type::F32, n)?)
 }
 
 #[cfg(test)]
@@ -149,8 +168,8 @@ mod tests {
         b.exit();
         let k = b.build().unwrap();
 
-        let mut gpu = Gpu::new(GpuConfig::small());
-        let buf = alloc_u32(&mut gpu, 64);
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
+        let buf = alloc_u32(&mut gpu, 64).unwrap();
         let mut r = Runner::new();
         r.launch(&mut gpu, &k, 2u32, 32u32, &[buf]).unwrap();
         r.launch(&mut gpu, &k, 2u32, 32u32, &[buf]).unwrap();
@@ -164,10 +183,10 @@ mod tests {
 
     #[test]
     fn upload_round_trips() {
-        let mut gpu = Gpu::new(GpuConfig::small());
-        let a = upload_u32(&mut gpu, &[5, 6, 7]);
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
+        let a = upload_u32(&mut gpu, &[5, 6, 7]).unwrap();
         assert_eq!(gpu.mem().read_u32_slice(a, 3), vec![5, 6, 7]);
-        let f = upload_f32(&mut gpu, &[1.5, 2.5]);
+        let f = upload_f32(&mut gpu, &[1.5, 2.5]).unwrap();
         assert_eq!(gpu.mem().read_f32_slice(f, 2), vec![1.5, 2.5]);
     }
 }

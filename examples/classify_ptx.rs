@@ -67,8 +67,12 @@ DONE:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = parse_kernel(BFS_PTX)?;
-    println!("parsed `{}`: {} instructions, {} params", kernel.name(), kernel.insts().len(),
-             kernel.params().len());
+    println!(
+        "parsed `{}`: {} instructions, {} params",
+        kernel.name(),
+        kernel.insts().len(),
+        kernel.params().len()
+    );
 
     let classes = classify(&kernel);
     let (d, n) = classes.global_load_counts();
@@ -76,7 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for load in classes.global_loads() {
         let inst = &kernel.insts()[load.pc];
-        println!("pc {:>2}  {:<34} -> {}", load.pc, inst.to_string(), load.class);
+        println!(
+            "pc {:>2}  {:<34} -> {}",
+            load.pc,
+            inst.to_string(),
+            load.class
+        );
         if !load.witness.is_empty() {
             let chain: Vec<String> = load
                 .witness

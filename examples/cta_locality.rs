@@ -44,13 +44,20 @@ fn windowed_kernel() -> Kernel {
 fn run(policy: CtaSchedPolicy, iters: u32) -> (LaunchStats, f64) {
     let mut cfg = GpuConfig::fermi();
     cfg.cta_sched = policy;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::new(cfg).expect("fermi config is valid");
     let half = 128u32;
     let n_ctas = 256u32;
     let n = half * (n_ctas + 1);
-    let input = gpu.mem().alloc_array(Type::F32, u64::from(n));
-    gpu.mem().write_f32_slice(input, &(0..n).map(|v| v as f32).collect::<Vec<_>>());
-    let out = gpu.mem().alloc_array(Type::F32, u64::from(half * n_ctas));
+    let input = gpu
+        .mem()
+        .alloc_array(Type::F32, u64::from(n))
+        .expect("device allocation");
+    gpu.mem()
+        .write_f32_slice(input, &(0..n).map(|v| v as f32).collect::<Vec<_>>());
+    let out = gpu
+        .mem()
+        .alloc_array(Type::F32, u64::from(half * n_ctas))
+        .expect("device allocation");
     let kernel = windowed_kernel();
     let mut merged = LaunchStats::default();
     for _ in 0..iters {
@@ -61,8 +68,12 @@ fn run(policy: CtaSchedPolicy, iters: u32) -> (LaunchStats, f64) {
         merged.merge(&stats);
     }
     // Reuse = accesses that found their line present or in flight.
-    let reuse = merged.l1.outcome_class(AccessOutcome::Hit, ClassTag::Deterministic)
-        + merged.l1.outcome_class(AccessOutcome::HitReserved, ClassTag::Deterministic);
+    let reuse = merged
+        .l1
+        .outcome_class(AccessOutcome::Hit, ClassTag::Deterministic)
+        + merged
+            .l1
+            .outcome_class(AccessOutcome::HitReserved, ClassTag::Deterministic);
     let total = merged.l1.accepted(ClassTag::Deterministic);
     (merged, reuse as f64 / total as f64)
 }

@@ -12,9 +12,14 @@ use gcl::prelude::*;
 use gcl_workloads::graph_apps::Bfs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let workload = Bfs { scale: 11, edge_factor: 8, block: 512, source: 0 };
+    let workload = Bfs {
+        scale: 11,
+        edge_factor: 8,
+        block: 512,
+        source: 0,
+    };
     let cfg = GpuConfig::fermi();
-    let mut gpu = Gpu::new(cfg.clone());
+    let mut gpu = Gpu::new(cfg.clone())?;
     let run = workload.run(&mut gpu)?;
     let stats = &run.stats;
 
@@ -38,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Figure 3 view: where L1 cycles went.
     println!("\nL1 cache cycles:");
-    let total: u64 = AccessOutcome::ALL.iter().map(|o| stats.l1.outcome_total(*o)).sum();
+    let total: u64 = AccessOutcome::ALL
+        .iter()
+        .map(|o| stats.l1.outcome_total(*o))
+        .sum();
     for (o, label) in [
         (AccessOutcome::Hit, "hit"),
         (AccessOutcome::HitReserved, "hit reserved"),
@@ -82,14 +90,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figures 10–12 view: the hidden locality.
     let blocks = gpu.block_summary();
     println!("\ninter-CTA locality:");
-    println!("  cold-miss ratio            : {:>6.2}%", blocks.cold_miss_ratio * 100.0);
-    println!("  mean accesses per block    : {:>6.1}", blocks.mean_accesses_per_block);
-    println!("  blocks shared by 2+ CTAs   : {:>6.2}%", blocks.shared_block_ratio * 100.0);
-    println!("  accesses to shared blocks  : {:>6.2}%", blocks.shared_access_ratio * 100.0);
-    println!("  mean CTAs per shared block : {:>6.1}", blocks.mean_ctas_per_shared_block);
+    println!(
+        "  cold-miss ratio            : {:>6.2}%",
+        blocks.cold_miss_ratio * 100.0
+    );
+    println!(
+        "  mean accesses per block    : {:>6.1}",
+        blocks.mean_accesses_per_block
+    );
+    println!(
+        "  blocks shared by 2+ CTAs   : {:>6.2}%",
+        blocks.shared_block_ratio * 100.0
+    );
+    println!(
+        "  accesses to shared blocks  : {:>6.2}%",
+        blocks.shared_access_ratio * 100.0
+    );
+    println!(
+        "  mean CTAs per shared block : {:>6.1}",
+        blocks.mean_ctas_per_shared_block
+    );
 
     let hist = gpu.distance_histogram();
     let near: f64 = hist.iter().filter(|(d, _)| *d <= 4).map(|(_, f)| f).sum();
-    println!("  shared accesses at CTA distance ≤ 4: {:.2}%", near * 100.0);
+    println!(
+        "  shared accesses at CTA distance ≤ 4: {:.2}%",
+        near * 100.0
+    );
     Ok(())
 }

@@ -11,10 +11,15 @@ use gcl_workloads::linear::{Mm2, Spmv};
 
 fn report(name: &str, stats: &LaunchStats) {
     println!("\n{name}:");
-    println!("  cycles {:>8}   IPC {:>5.2}", stats.cycles,
-        stats.sm.warp_insts as f64 / stats.cycles as f64);
-    println!("  non-deterministic fraction of loads: {:>5.1}%",
-        stats.nondet_load_fraction() * 100.0);
+    println!(
+        "  cycles {:>8}   IPC {:>5.2}",
+        stats.cycles,
+        stats.sm.warp_insts as f64 / stats.cycles as f64
+    );
+    println!(
+        "  non-deterministic fraction of loads: {:>5.1}%",
+        stats.nondet_load_fraction() * 100.0
+    );
     for class in [LoadClass::Deterministic, LoadClass::NonDeterministic] {
         let a = stats.class(class);
         if a.warp_loads == 0 {
@@ -27,8 +32,12 @@ fn report(name: &str, stats: &LaunchStats) {
         );
     }
     let idle = stats.unit_idle_fractions();
-    println!("  unit idle: SP {:>4.1}%  SFU {:>4.1}%  LD/ST {:>4.1}%",
-        idle[0] * 100.0, idle[1] * 100.0, idle[2] * 100.0);
+    println!(
+        "  unit idle: SP {:>4.1}%  SFU {:>4.1}%  LD/ST {:>4.1}%",
+        idle[0] * 100.0,
+        idle[1] * 100.0,
+        idle[2] * 100.0
+    );
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,21 +46,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Dense: two chained matrix multiplies. All loads deterministic, all
     // coalesced; the memory system behaves.
     let dense = Mm2 { n: 64, tile: 16 };
-    let mut gpu = Gpu::new(cfg.clone());
+    let mut gpu = Gpu::new(cfg.clone())?;
     let dense_run = dense.run(&mut gpu)?;
     report("2mm (dense, regular)", &dense_run.stats);
 
     // Sparse: CSR SpMV. The column-index indirection makes most loads
     // non-deterministic, and the x-vector gather does not coalesce.
-    let sparse = Spmv { n: 4096, nnz_per_row: 24, block: 192 };
-    let mut gpu = Gpu::new(cfg);
+    let sparse = Spmv {
+        n: 4096,
+        nnz_per_row: 24,
+        block: 192,
+    };
+    let mut gpu = Gpu::new(cfg)?;
     let sparse_run = sparse.run(&mut gpu)?;
     report("spmv (sparse, irregular)", &sparse_run.stats);
 
     // The paper's claim, on our runs:
-    let dense_req = dense_run.stats.class(LoadClass::Deterministic).requests_per_warp();
-    let sparse_req =
-        sparse_run.stats.class(LoadClass::NonDeterministic).requests_per_warp();
+    let dense_req = dense_run
+        .stats
+        .class(LoadClass::Deterministic)
+        .requests_per_warp();
+    let sparse_req = sparse_run
+        .stats
+        .class(LoadClass::NonDeterministic)
+        .requests_per_warp();
     println!(
         "\nnon-deterministic spmv loads generate {:.1}x the requests per warp of 2mm's \
          deterministic loads",

@@ -40,21 +40,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for load in classes.global_loads() {
         println!(
             "  pc {:>2}: {:<17}  sources: {:?}",
-            load.pc, load.class.to_string(), load.sources
+            load.pc,
+            load.class.to_string(),
+            load.sources
         );
     }
 
     // --- Run it: a scattered index table makes the N load uncoalesced. ----
     let n_elems = 4096u32;
-    let mut gpu = Gpu::new(GpuConfig::fermi());
-    let idx_buf = gpu.mem().alloc_array(Type::U32, u64::from(n_elems));
+    let mut gpu = Gpu::new(GpuConfig::fermi())?;
+    let idx_buf = gpu.mem().alloc_array(Type::U32, u64::from(n_elems))?;
     // A pseudo-random permutation: idx[t] = (t * 1103515245 + 12345) % n.
-    let indices: Vec<u32> =
-        (0..n_elems).map(|t| t.wrapping_mul(1_103_515_245).wrapping_add(12_345) % n_elems).collect();
+    let indices: Vec<u32> = (0..n_elems)
+        .map(|t| t.wrapping_mul(1_103_515_245).wrapping_add(12_345) % n_elems)
+        .collect();
     gpu.mem().write_u32_slice(idx_buf, &indices);
-    let table_buf = gpu.mem().alloc_array(Type::U32, u64::from(n_elems));
-    gpu.mem().write_u32_slice(table_buf, &(0..n_elems).map(|v| v * 7).collect::<Vec<_>>());
-    let out_buf = gpu.mem().alloc_array(Type::U32, u64::from(n_elems));
+    let table_buf = gpu.mem().alloc_array(Type::U32, u64::from(n_elems))?;
+    gpu.mem()
+        .write_u32_slice(table_buf, &(0..n_elems).map(|v| v * 7).collect::<Vec<_>>());
+    let out_buf = gpu.mem().alloc_array(Type::U32, u64::from(n_elems))?;
 
     let params = pack_params(&kernel, &[idx_buf, table_buf, out_buf, u64::from(n_elems)]);
     let stats = gpu.launch(&kernel, Dim3::x(n_elems / 256), Dim3::x(256), &params)?;

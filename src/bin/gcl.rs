@@ -4,12 +4,15 @@
 //! gcl classify <kernel.ptx> [--json]       classify loads, print witnesses
 //! gcl disasm   <kernel.ptx>                parse and re-print (normalize)
 //! gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param V]...
+//!              [--memcheck] [--max-cycles N]
 //!                                          simulate one launch, print stats
-//! gcl suite    [--tiny]                    run the 15-benchmark suite
+//! gcl suite    [--tiny] [--force-fail NAME]
+//!                                          run the 15-benchmark suite
 //! ```
 
 use gcl::prelude::*;
-use gcl_core::LoadClass;
+use gcl_core::{AddressSource, Classification, LoadClass};
+use gcl_stats::Json;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -41,24 +44,28 @@ USAGE:
   gcl classify <kernel.ptx> [--json]
   gcl disasm   <kernel.ptx>
   gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param VALUE]...
-  gcl suite    [--tiny]
+               [--memcheck] [--max-cycles N]
+  gcl suite    [--tiny] [--force-fail NAME]
 
 `classify` runs the paper's backward-dataflow analysis and prints each
 global load's class and (for non-deterministic loads) the def-chain back to
 the tainting load. `run` simulates one launch on the Fermi configuration;
 each --alloc allocates a zeroed device buffer and passes its address as the
-next kernel parameter, each --param passes a raw integer.
+next kernel parameter, each --param passes a raw integer. With --memcheck,
+out-of-bounds device accesses abort the launch with a fault report naming
+the load's class and address def-chain. `suite` keeps going when a
+benchmark fails, prints a per-benchmark outcome table, and exits nonzero
+only if something failed; --force-fail caps the named benchmark's cycle
+budget to exercise that path.
 ";
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     parse_kernel(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn load_module(path: &str) -> Result<Vec<Kernel>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     gcl::ptx::parse_module(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -69,9 +76,7 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     for (i, kernel) in kernels.iter().enumerate() {
         let classes = classify(kernel);
         if json {
-            let out = serde_json::to_string_pretty(&classes)
-                .map_err(|e| format!("serialization failed: {e}"))?;
-            println!("{out}");
+            println!("{}", classification_to_json(&classes).render_pretty());
             continue;
         }
         if i > 0 {
@@ -101,6 +106,51 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Encode a [`Classification`] for `gcl classify --json`: one object per
+/// kernel with every load's pc, space, class letter, terminal sources and
+/// (for N loads) the def-chain witness.
+fn classification_to_json(classes: &Classification) -> Json {
+    let loads = classes
+        .loads()
+        .map(|l| {
+            Json::obj(vec![
+                ("pc", Json::UInt(l.pc as u64)),
+                ("space", Json::Str(l.space.to_string())),
+                ("class", Json::Str(l.class.letter().to_string())),
+                (
+                    "sources",
+                    Json::Arr(
+                        l.sources
+                            .iter()
+                            .map(|s| Json::Str(source_label(s)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "witness",
+                    Json::Arr(l.witness.iter().map(|&pc| Json::UInt(pc as u64)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("kernel", Json::Str(classes.kernel_name().to_string())),
+        ("loads", Json::Arr(loads)),
+    ])
+}
+
+fn source_label(s: &AddressSource) -> String {
+    match s {
+        AddressSource::Param { pc } => format!("param@{pc}"),
+        AddressSource::Const { pc } => format!("const@{pc}"),
+        AddressSource::Special(sp) => sp.to_string(),
+        AddressSource::Immediate => "imm".to_string(),
+        AddressSource::MemoryLoad { pc, space } => format!("load.{space}@{pc}"),
+        AddressSource::AtomicResult { pc } => format!("atom@{pc}"),
+        AddressSource::Uninitialized { reg } => format!("uninit:{reg}"),
+    }
+}
+
 fn cmd_disasm(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("disasm: missing <kernel.ptx>")?;
     for kernel in load_module(path)? {
@@ -118,13 +168,18 @@ fn parse_u64(s: &str) -> Result<u64, String> {
     v.map_err(|e| format!("bad integer `{s}`: {e}"))
 }
 
+enum ParamSpec {
+    Alloc(u64),
+    Value(u64),
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run: missing <kernel.ptx>")?;
     let kernel = load_kernel(path)?;
     let mut grid = 1u32;
     let mut block = 32u32;
-    let mut gpu = Gpu::new(GpuConfig::fermi());
-    let mut params: Vec<u64> = Vec::new();
+    let mut cfg = GpuConfig::fermi();
+    let mut specs: Vec<ParamSpec> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -139,15 +194,32 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--alloc" => {
                 i += 1;
                 let bytes = parse_u64(args.get(i).ok_or("--alloc needs a value")?)?;
-                params.push(gpu.mem().alloc(bytes, 128));
+                specs.push(ParamSpec::Alloc(bytes));
             }
             "--param" => {
                 i += 1;
-                params.push(parse_u64(args.get(i).ok_or("--param needs a value")?)?);
+                specs.push(ParamSpec::Value(parse_u64(
+                    args.get(i).ok_or("--param needs a value")?,
+                )?));
+            }
+            "--memcheck" => cfg.memcheck = true,
+            "--max-cycles" => {
+                i += 1;
+                cfg.max_cycles = parse_u64(args.get(i).ok_or("--max-cycles needs a value")?)?;
             }
             other => return Err(format!("run: unknown option `{other}`")),
         }
         i += 1;
+    }
+    let mut gpu = Gpu::new(cfg).map_err(|e| e.to_string())?;
+    let mut params: Vec<u64> = Vec::new();
+    for spec in specs {
+        match spec {
+            ParamSpec::Alloc(bytes) => {
+                params.push(gpu.mem().alloc(bytes, 128).map_err(|e| e.to_string())?);
+            }
+            ParamSpec::Value(v) => params.push(v),
+        }
     }
     if params.len() != kernel.params().len() {
         return Err(format!(
@@ -161,13 +233,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let stats = gpu
         .launch(&kernel, Dim3::x(grid), Dim3::x(block), &packed)
         .map_err(|e| e.to_string())?;
-    println!("kernel `{}`: {} CTAs x {} threads", kernel.name(), grid, block);
+    println!(
+        "kernel `{}`: {} CTAs x {} threads",
+        kernel.name(),
+        grid,
+        block
+    );
     println!("cycles             {}", stats.cycles);
     println!("warp instructions  {}", stats.sm.warp_insts);
-    println!("IPC                {:.3}", stats.sm.warp_insts as f64 / stats.cycles as f64);
+    println!(
+        "IPC                {:.3}",
+        stats.sm.warp_insts as f64 / stats.cycles as f64
+    );
     let p = stats.profiler();
-    println!("global load warps  {} (N fraction {:.1}%)",
-        p.gld_request, stats.nondet_load_fraction() * 100.0);
+    println!(
+        "global load warps  {} (N fraction {:.1}%)",
+        p.gld_request,
+        stats.nondet_load_fraction() * 100.0
+    );
     println!("L1 miss ratio      {:.1}%", p.l1_miss_ratio() * 100.0);
     for class in [LoadClass::Deterministic, LoadClass::NonDeterministic] {
         let a = stats.class(class);
@@ -185,31 +268,83 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_suite(args: &[String]) -> Result<(), String> {
     let tiny = args.iter().any(|a| a == "--tiny");
+    let force_fail = args
+        .iter()
+        .position(|a| a == "--force-fail")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or("--force-fail needs a benchmark name")
+        })
+        .transpose()?;
     let workloads = if tiny {
         gcl::workloads::tiny_workloads()
     } else {
         gcl::workloads::all_workloads()
     };
+    if let Some(name) = force_fail.as_deref() {
+        if !workloads.iter().any(|w| w.name() == name) {
+            return Err(format!("--force-fail: no benchmark named `{name}`"));
+        }
+    }
+    let total = workloads.len();
+    let mut failures: Vec<(&'static str, String)> = Vec::new();
     println!(
-        "{:6} {:7} {:>9} {:>11} {:>9} {:>6} {:>9}",
+        "{:6} {:7} {:>9} {:>11} {:>9} {:>6} {:>9}  outcome",
         "name", "cat", "cycles", "warp insts", "gld", "N%", "L1 miss%"
     );
     for w in workloads {
-        let mut gpu = Gpu::new(if tiny { GpuConfig::small() } else { GpuConfig::fermi() });
-        let run = w.run(&mut gpu).map_err(|e| format!("{}: {e}", w.name()))?;
-        let p = run.stats.profiler();
-        println!(
-            "{:6} {:7} {:>9} {:>11} {:>9} {:>5.1} {:>9.1}",
-            w.name(),
-            w.category().to_string(),
-            run.stats.cycles,
-            run.stats.sm.warp_insts,
-            p.gld_request,
-            run.stats.nondet_load_fraction() * 100.0,
-            p.l1_miss_ratio() * 100.0,
-        );
+        let mut cfg = if tiny {
+            GpuConfig::small()
+        } else {
+            GpuConfig::fermi()
+        };
+        if force_fail.as_deref() == Some(w.name()) {
+            // Starve the cycle budget so this benchmark times out: exercises
+            // the fail-soft path without corrupting any input.
+            cfg.max_cycles = 50;
+        }
+        let outcome = Gpu::new(cfg).and_then(|mut gpu| w.run(&mut gpu));
+        match outcome {
+            Ok(run) => {
+                let p = run.stats.profiler();
+                println!(
+                    "{:6} {:7} {:>9} {:>11} {:>9} {:>5.1} {:>9.1}  ok",
+                    w.name(),
+                    w.category().to_string(),
+                    run.stats.cycles,
+                    run.stats.sm.warp_insts,
+                    p.gld_request,
+                    run.stats.nondet_load_fraction() * 100.0,
+                    p.l1_miss_ratio() * 100.0,
+                );
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                let first = msg.lines().next().unwrap_or("failed").to_string();
+                println!(
+                    "{:6} {:7} {:>9} {:>11} {:>9} {:>6} {:>9}  FAILED: {first}",
+                    w.name(),
+                    w.category().to_string(),
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                );
+                failures.push((w.name(), msg));
+            }
+        }
     }
-    Ok(())
+    if failures.is_empty() {
+        println!("\n{total} of {total} benchmarks completed");
+        Ok(())
+    } else {
+        for (name, msg) in &failures {
+            eprintln!("\n`{name}` failed:\n{msg}");
+        }
+        Err(format!("{} of {total} benchmarks failed", failures.len()))
+    }
 }
 
 #[cfg(test)]

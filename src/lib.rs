@@ -38,14 +38,14 @@
 //! assert_eq!(classes.global_load_counts(), (1, 1));
 //!
 //! // 3. Run it on the simulated Fermi GPU and observe per-class behavior.
-//! let mut gpu = Gpu::new(GpuConfig::small());
-//! let idx_buf = gpu.mem().alloc_array(Type::U32, 64);
+//! let mut gpu = Gpu::new(GpuConfig::small())?;
+//! let idx_buf = gpu.mem().alloc_array(Type::U32, 64)?;
 //! gpu.mem().write_u32_slice(idx_buf, &(0..64).rev().collect::<Vec<_>>());
-//! let data_buf = gpu.mem().alloc_array(Type::U32, 64);
+//! let data_buf = gpu.mem().alloc_array(Type::U32, 64)?;
 //! let params = pack_params(&kernel, &[idx_buf, data_buf]);
-//! let stats = gpu.launch(&kernel, Dim3::x(2), Dim3::x(32), &params).unwrap();
+//! let stats = gpu.launch(&kernel, Dim3::x(2), Dim3::x(32), &params)?;
 //! assert!(stats.class(LoadClass::NonDeterministic).warp_loads > 0);
-//! # Ok::<(), gcl::ptx::ValidateError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! See `examples/` for larger programs and `crates/bench` for the harnesses

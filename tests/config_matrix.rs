@@ -9,18 +9,26 @@ use gcl_workloads::linear::Mm2;
 
 fn bfs_cost_signature(cfg: GpuConfig) -> u64 {
     let w = Bfs::tiny();
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::new(cfg).unwrap();
     w.run(&mut gpu).unwrap();
     // Hash all of device memory's bfs cost range indirectly via the block
     // summary access count + a sample of the cost array.
     let csr = gcl_workloads::graph::Csr::rmat(w.scale, w.edge_factor, 0xBF5);
     let align = |v: u64| v.div_ceil(128) * 128;
     let mut addr = gcl::sim::HEAP_BASE;
-    for words in [csr.row_ptr.len(), csr.col_idx.len(), csr.n(), csr.n(), csr.n()] {
+    for words in [
+        csr.row_ptr.len(),
+        csr.col_idx.len(),
+        csr.n(),
+        csr.n(),
+        csr.n(),
+    ] {
         addr = align(addr) + (words * 4) as u64;
     }
     let cost = gpu.mem_ref().read_u32_slice(align(addr), csr.n());
-    cost.iter().fold(0u64, |h, &v| h.wrapping_mul(1_000_003).wrapping_add(u64::from(v)))
+    cost.iter().fold(0u64, |h, &v| {
+        h.wrapping_mul(1_000_003).wrapping_add(u64::from(v))
+    })
 }
 
 fn base() -> GpuConfig {
@@ -85,7 +93,7 @@ fn narrow_warps() {
     cfg.warp_size = 16;
     let w = Mm2::tiny();
     let n = w.n as usize;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::new(cfg).unwrap();
     w.run(&mut gpu).unwrap();
     let a = gcl_workloads::gen::dense_matrix(n, n, 0x2001);
     let bm = gcl_workloads::gen::dense_matrix(n, n, 0x2003);
@@ -100,7 +108,10 @@ fn narrow_warps() {
     let dd = align(addr);
     let got = gpu.mem_ref().read_f32_slice(dd, n * n);
     for (i, (g, w_)) in got.iter().zip(want_d.iter()).enumerate() {
-        assert!((g - w_).abs() <= w_.abs() * 1e-4 + 1e-3, "D[{i}] = {g}, want {w_}");
+        assert!(
+            (g - w_).abs() <= w_.abs() * 1e-4 + 1e-3,
+            "D[{i}] = {g}, want {w_}"
+        );
     }
 }
 

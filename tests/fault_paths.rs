@@ -1,0 +1,197 @@
+//! Integration tests of the fault-aware simulation layer: memcheck on
+//! corrupted inputs, the forward-progress watchdog on a barrier deadlock,
+//! and the no-false-positives property over every tiny workload.
+
+use gcl_core::LoadClass;
+use gcl_sim::{pack_params, AccessKind, Dim3, Gpu, GpuConfig, SimError};
+use gcl_workloads::graph_apps::Bfs;
+use gcl_workloads::linear::Spmv;
+use gcl_workloads::{tiny_workloads, upload_u32, Workload};
+
+fn memcheck_gpu() -> Gpu {
+    let mut cfg = GpuConfig::small();
+    cfg.memcheck = true;
+    Gpu::new(cfg).expect("small config with memcheck is valid")
+}
+
+/// Corrupt bfs row offsets: vertex 0's edge range runs far past the edge
+/// array, so the non-deterministic `edges[i]` gather walks off the end of
+/// device memory. Memcheck must name that load, its class, and the
+/// def-chain back to the row-offset loads.
+#[test]
+fn corrupted_bfs_row_offsets_raise_a_memfault_on_an_n_load() {
+    let mut gpu = memcheck_gpu();
+    let n = 32u32;
+    let dmask = upload_u32(&mut gpu, &vec![1u32; n as usize]).unwrap();
+    let dupd = upload_u32(&mut gpu, &vec![0u32; n as usize]).unwrap();
+    let dvis = upload_u32(&mut gpu, &vec![0u32; n as usize]).unwrap();
+    let dcost = upload_u32(&mut gpu, &vec![0u32; n as usize]).unwrap();
+    // row_ptr[1] claims vertex 0 has 2^26 edges; the edge array has four.
+    let mut row_ptr = vec![0u32; n as usize + 1];
+    row_ptr[1] = 1 << 26;
+    let drp = upload_u32(&mut gpu, &row_ptr).unwrap();
+    let dedge = upload_u32(&mut gpu, &[0u32; 4]).unwrap();
+
+    let kernel = Bfs::expand_kernel();
+    let params = pack_params(
+        &kernel,
+        &[dmask, dupd, dvis, drp, dedge, dcost, u64::from(n)],
+    );
+    let err = gpu
+        .launch(&kernel, Dim3::x(1), Dim3::x(n), &params)
+        .expect_err("corrupted row offsets must fault");
+    match err {
+        SimError::MemFault(fault) => {
+            assert_eq!(fault.kernel, "bfs_expand");
+            assert_eq!(fault.violation.kind, AccessKind::Load);
+            assert_eq!(
+                fault.class,
+                Some(LoadClass::NonDeterministic),
+                "the faulting edge gather is an N load"
+            );
+            assert!(
+                !fault.witness.is_empty(),
+                "N loads carry a def-chain witness"
+            );
+            // The rendered report names pc, class and witness for the CLI.
+            let report = fault.to_string();
+            assert!(report.contains("out-of-bounds"), "{report}");
+            assert!(report.contains("non-deterministic"), "{report}");
+            assert!(report.contains("def-chain"), "{report}");
+        }
+        other => panic!("expected MemFault, got {other}"),
+    }
+    // The GPU stays usable after the fault: a clean launch still works.
+    let csr_run = Bfs::tiny();
+    csr_run
+        .run(&mut gpu)
+        .expect("gpu is reusable after a fault");
+}
+
+/// Corrupt spmv column indices: the gathered `x[col]` address is computed
+/// from loaded data, so a poisoned column sends the N-classified gather out
+/// of bounds.
+#[test]
+fn corrupted_spmv_columns_raise_a_memfault_on_the_gather() {
+    let mut gpu = memcheck_gpu();
+    let n = 32u32;
+    let mut row_ptr = vec![0u32; n as usize + 1];
+    for (i, rp) in row_ptr.iter_mut().enumerate() {
+        *rp = i as u32; // one nonzero per row
+    }
+    let mut col_idx = vec![0u32; n as usize];
+    col_idx[7] = 1 << 26; // poisoned column index
+    let drp = upload_u32(&mut gpu, &row_ptr).unwrap();
+    let dci = upload_u32(&mut gpu, &col_idx).unwrap();
+    let dval = upload_u32(&mut gpu, &vec![0u32; n as usize]).unwrap();
+    let dx = upload_u32(&mut gpu, &vec![0u32; n as usize]).unwrap();
+    let dy = upload_u32(&mut gpu, &vec![0u32; n as usize]).unwrap();
+
+    let kernel = Spmv::kernel();
+    let params = pack_params(&kernel, &[drp, dci, dval, dx, dy, u64::from(n)]);
+    let err = gpu
+        .launch(&kernel, Dim3::x(1), Dim3::x(n), &params)
+        .expect_err("poisoned column index must fault");
+    match err {
+        SimError::MemFault(fault) => {
+            assert_eq!(fault.kernel, "spmv_csr");
+            assert_eq!(fault.class, Some(LoadClass::NonDeterministic));
+            assert!(!fault.witness.is_empty());
+        }
+        other => panic!("expected MemFault, got {other}"),
+    }
+}
+
+/// Two warps of one CTA parked on *different* named barriers never release
+/// each other. The watchdog must report a hang shortly after the last
+/// retirement — not spin to the full `max_cycles` budget — and the report
+/// must show the stuck warps at their barriers.
+#[test]
+fn named_barrier_deadlock_is_reported_as_a_hang() {
+    use gcl_ptx::{CmpOp, KernelBuilder, Special, Type};
+
+    let mut b = KernelBuilder::new("bar_mismatch");
+    let tid = b.sreg(Special::TidX);
+    let hi = b.setp(CmpOp::Ge, Type::U32, tid, 32i64);
+    let other = b.new_label();
+    let done = b.new_label();
+    b.bra_if(hi, other);
+    b.bar_id(0); // warp 0 waits at barrier 0 ...
+    b.bra(done);
+    b.place(other);
+    b.bar_id(1); // ... warp 1 at barrier 1: nobody ever releases either.
+    b.place(done);
+    b.exit();
+    let kernel = b.build().unwrap();
+
+    let mut cfg = GpuConfig::small();
+    cfg.hang_cycles = 5_000;
+    cfg.max_cycles = 10_000_000;
+    let mut gpu = Gpu::new(cfg).unwrap();
+    let params = pack_params(&kernel, &[]);
+    let err = gpu
+        .launch(&kernel, Dim3::x(1), Dim3::x(64), &params)
+        .expect_err("mismatched barriers must deadlock");
+    match err {
+        SimError::Hang(report) => {
+            assert_eq!(report.hang_cycles, 5_000);
+            assert!(
+                report.cycle < 100_000,
+                "hang must be detected within hang_cycles of the last \
+                 retirement, not at the max_cycles budget (cycle {})",
+                report.cycle
+            );
+            assert!(!report.sms.is_empty(), "report snapshots the SMs");
+            let stuck: Vec<_> = report
+                .sms
+                .iter()
+                .flat_map(|sm| &sm.warps)
+                .filter(|w| w.at_barrier.is_some())
+                .collect();
+            assert_eq!(stuck.len(), 2, "both warps are parked at barriers");
+            let rendered = report.to_string();
+            assert!(rendered.contains("kernel hang"), "{rendered}");
+            assert!(rendered.contains("at barrier"), "{rendered}");
+        }
+        other => panic!("expected Hang, got {other}"),
+    }
+}
+
+/// Memcheck is a pure observer: every tiny workload, which only ever
+/// touches memory it allocated, must complete with zero faults.
+#[test]
+fn all_tiny_workloads_run_memcheck_clean() {
+    for w in tiny_workloads() {
+        let mut cfg = GpuConfig::small();
+        cfg.memcheck = true;
+        let mut gpu = Gpu::new(cfg).unwrap();
+        w.run(&mut gpu)
+            .unwrap_or_else(|e| panic!("{} must be memcheck-clean: {e}", w.name()));
+    }
+}
+
+/// Memcheck range checks cost under 10% wall-clock on the tiny suite.
+/// Timing-sensitive, so ignored by default; run with
+/// `cargo test --release -- --ignored memcheck_overhead`.
+#[test]
+#[ignore = "wall-clock measurement; run explicitly in release mode"]
+fn memcheck_overhead_is_under_ten_percent() {
+    fn sweep(memcheck: bool) -> std::time::Duration {
+        let start = std::time::Instant::now();
+        for w in tiny_workloads() {
+            let mut cfg = GpuConfig::small();
+            cfg.memcheck = memcheck;
+            let mut gpu = Gpu::new(cfg).unwrap();
+            w.run(&mut gpu).unwrap();
+        }
+        start.elapsed()
+    }
+    sweep(false); // warm up
+    let plain = (0..5).map(|_| sweep(false)).min().unwrap();
+    let checked = (0..5).map(|_| sweep(true)).min().unwrap();
+    let ratio = checked.as_secs_f64() / plain.as_secs_f64();
+    assert!(
+        ratio < 1.10,
+        "memcheck slowdown {ratio:.3}x exceeds 10% ({checked:?} vs {plain:?})"
+    );
+}

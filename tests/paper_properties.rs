@@ -7,8 +7,10 @@ use gcl_mem::{AccessOutcome, ClassTag};
 use gcl_workloads::{graph_apps, linear, tiny_workloads};
 
 fn run_tiny(w: &dyn Workload) -> (RunResult, gcl::sim::Gpu) {
-    let mut gpu = Gpu::new(GpuConfig::small());
-    let run = w.run(&mut gpu).unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+    let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
+    let run = w
+        .run(&mut gpu)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
     (run, gpu)
 }
 
@@ -20,7 +22,10 @@ fn run_tiny(w: &dyn Workload) -> (RunResult, gcl::sim::Gpu) {
 fn graph_kernels_keep_static_deterministic_loads() {
     let k = graph_apps::Bfs::expand_kernel();
     let (d, n) = gcl_core::classify(&k).global_load_counts();
-    assert!(d > n, "bfs expand: {d} deterministic vs {n} non-deterministic");
+    assert!(
+        d > n,
+        "bfs expand: {d} deterministic vs {n} non-deterministic"
+    );
     let k = graph_apps::Sssp::relax_kernel();
     let (d, n) = gcl_core::classify(&k).global_load_counts();
     assert!(d >= n - 1, "sssp relax: {d} vs {n}");
@@ -88,10 +93,18 @@ fn reservation_fails_come_from_nondet_loads() {
 /// anticipates).
 #[test]
 fn nondet_turnaround_exceeds_det_in_spmv() {
-    let w = linear::Spmv { n: 768, nnz_per_row: 16, block: 64 };
+    let w = linear::Spmv {
+        n: 768,
+        nnz_per_row: 16,
+        block: 64,
+    };
     let (run, _) = run_tiny(&w);
     let d = run.stats.class(LoadClass::Deterministic).turnaround.mean();
-    let n = run.stats.class(LoadClass::NonDeterministic).turnaround.mean();
+    let n = run
+        .stats
+        .class(LoadClass::NonDeterministic)
+        .turnaround
+        .mean();
     assert!(n > d, "spmv turnaround: N {n} should exceed D {d}");
 }
 
@@ -101,8 +114,14 @@ fn nondet_turnaround_exceeds_det_in_spmv() {
 fn graph_apps_share_blocks_across_ctas() {
     let (_, gpu) = run_tiny(&graph_apps::Ccl::tiny());
     let s = gpu.block_summary();
-    assert!(s.mean_accesses_per_block > 2.0, "blocks barely reused: {s:?}");
-    assert!(s.shared_block_ratio > 0.2, "little inter-CTA sharing: {s:?}");
+    assert!(
+        s.mean_accesses_per_block > 2.0,
+        "blocks barely reused: {s:?}"
+    );
+    assert!(
+        s.shared_block_ratio > 0.2,
+        "little inter-CTA sharing: {s:?}"
+    );
     assert!(s.cold_miss_ratio < 0.5, "cold misses dominate: {s:?}");
 }
 
@@ -137,9 +156,8 @@ fn profiler_counters_are_consistent() {
         let p = run.stats.profiler();
         // Every accepted L1 access came from some request of a global load.
         let accesses = p.l1_global_load_hit + p.l1_global_load_miss;
-        let requests =
-            run.stats.class(LoadClass::Deterministic).requests
-                + run.stats.class(LoadClass::NonDeterministic).requests;
+        let requests = run.stats.class(LoadClass::Deterministic).requests
+            + run.stats.class(LoadClass::NonDeterministic).requests;
         assert_eq!(accesses, requests, "{}: L1 accesses vs requests", w.name());
         // L2 sees no more read queries than L1 misses issued (merges only
         // reduce traffic).

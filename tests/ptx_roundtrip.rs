@@ -41,7 +41,12 @@ fn every_workload_kernel_round_trips() {
         let text = kernel.to_string();
         let parsed = parse_kernel(&text)
             .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", kernel.name()));
-        assert_eq!(parsed, kernel, "{} changed across round trip", kernel.name());
+        assert_eq!(
+            parsed,
+            kernel,
+            "{} changed across round trip",
+            kernel.name()
+        );
     }
 }
 
@@ -79,9 +84,10 @@ fn static_class_mix_by_category() {
     // Aggregate static classification per category — the Figure 1 static
     // view: graph kernels carry most of the non-deterministic loads.
     let count = |kernels: &[Kernel]| {
-        kernels.iter().map(|k| classify(k).global_load_counts()).fold((0, 0), |a, b| {
-            (a.0 + b.0, a.1 + b.1)
-        })
+        kernels
+            .iter()
+            .map(|k| classify(k).global_load_counts())
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
     };
     let (_, linear_n) = count(&[
         linear::Mm2::kernel(),
@@ -90,7 +96,10 @@ fn static_class_mix_by_category() {
         linear::Lu::scale_kernel(),
         linear::Lu::update_kernel(),
     ]);
-    assert_eq!(linear_n, 0, "dense linear algebra must be fully deterministic");
+    assert_eq!(
+        linear_n, 0,
+        "dense linear algebra must be fully deterministic"
+    );
     let (graph_d, graph_n) = count(&[
         graph_apps::Bfs::expand_kernel(),
         graph_apps::Sssp::relax_kernel(),
@@ -98,6 +107,9 @@ fn static_class_mix_by_category() {
         graph_apps::Mst::find_kernel(),
         graph_apps::Mis::select_kernel(),
     ]);
-    assert!(graph_n >= 10, "graph kernels: {graph_n} non-deterministic loads");
+    assert!(
+        graph_n >= 10,
+        "graph kernels: {graph_n} non-deterministic loads"
+    );
     assert!(graph_d > 0);
 }

@@ -13,7 +13,7 @@ use gcl_workloads::linear::Mm2;
 #[test]
 fn simulation_is_deterministic() {
     let run = || {
-        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
         Bfs::tiny().run(&mut gpu).unwrap().stats
     };
     let a = run();
@@ -36,19 +36,33 @@ fn caches_stay_warm_across_launches() {
     b.exit();
     let kernel = b.build().unwrap();
 
-    let mut gpu = Gpu::new(GpuConfig::small());
-    let buf = gpu.mem().alloc_array(Type::U32, 256);
+    let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
+    let buf = gpu.mem().alloc_array(Type::U32, 256).unwrap();
     let params = pack_params(&kernel, &[buf]);
-    let cold = gpu.launch(&kernel, Dim3::x(2), Dim3::x(128), &params).unwrap();
-    let warm = gpu.launch(&kernel, Dim3::x(2), Dim3::x(128), &params).unwrap();
+    let cold = gpu
+        .launch(&kernel, Dim3::x(2), Dim3::x(128), &params)
+        .unwrap();
+    let warm = gpu
+        .launch(&kernel, Dim3::x(2), Dim3::x(128), &params)
+        .unwrap();
     let hit = |s: &LaunchStats| {
         s.l1.outcome_class(
             gcl_mem::AccessOutcome::Hit,
             gcl_mem::ClassTag::Deterministic,
         )
     };
-    assert!(hit(&warm) > hit(&cold), "warm {} vs cold {}", hit(&warm), hit(&cold));
-    assert!(warm.cycles < cold.cycles, "warm {} vs cold {}", warm.cycles, cold.cycles);
+    assert!(
+        hit(&warm) > hit(&cold),
+        "warm {} vs cold {}",
+        hit(&warm),
+        hit(&cold)
+    );
+    assert!(
+        warm.cycles < cold.cycles,
+        "warm {} vs cold {}",
+        warm.cycles,
+        cold.cycles
+    );
 }
 
 /// Functional results are identical under every scheduler / topology /
@@ -59,7 +73,11 @@ fn config_knobs_do_not_change_results() {
 
     let mut clustered = GpuConfig::small();
     clustered.cta_sched = CtaSchedPolicy::Clustered { group: 2 };
-    assert_eq!(sssp_distances(clustered), baseline_dist, "clustered CTA sched");
+    assert_eq!(
+        sssp_distances(clustered),
+        baseline_dist,
+        "clustered CTA sched"
+    );
 
     let mut semi = GpuConfig::small();
     semi.l2_topology = L2Topology::Clustered { clusters: 2 };
@@ -76,7 +94,7 @@ fn config_knobs_do_not_change_results() {
 
 fn sssp_distances(cfg: GpuConfig) -> Vec<u32> {
     let w = Sssp::tiny();
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::new(cfg).unwrap();
     w.run(&mut gpu).unwrap();
     // dist is the 4th allocation; recompute from graph sizes.
     let csr = gcl_workloads::graph::Csr::rmat(w.scale, w.edge_factor, 0x555A);
@@ -95,7 +113,7 @@ fn warp_split_preserves_request_counts() {
     let run = |split: Option<usize>| {
         let mut cfg = GpuConfig::small();
         cfg.warp_split_nd = split;
-        let mut gpu = Gpu::new(cfg);
+        let mut gpu = Gpu::new(cfg).unwrap();
         Sssp::tiny().run(&mut gpu).unwrap().stats
     };
     let base = run(None);
@@ -111,7 +129,7 @@ fn warp_split_preserves_request_counts() {
 fn gto_scheduler_completes_workloads() {
     let mut cfg = GpuConfig::small();
     cfg.warp_sched = gcl::sim::WarpSchedPolicy::Gto;
-    let mut gpu = Gpu::new(cfg);
+    let mut gpu = Gpu::new(cfg).unwrap();
     let run = Mm2::tiny().run(&mut gpu).unwrap();
     assert!(run.stats.cycles > 0);
     assert_eq!(run.stats.nondet_load_fraction(), 0.0);
@@ -130,8 +148,10 @@ fn runaway_kernel_times_out() {
     let kernel = b.build().unwrap();
     let mut cfg = GpuConfig::small();
     cfg.max_cycles = 5_000;
-    let mut gpu = Gpu::new(cfg);
-    let err = gpu.launch(&kernel, Dim3::x(1), Dim3::x(32), &[]).unwrap_err();
+    let mut gpu = Gpu::new(cfg).unwrap();
+    let err = gpu
+        .launch(&kernel, Dim3::x(1), Dim3::x(32), &[])
+        .unwrap_err();
     assert!(matches!(err, gcl::sim::SimError::Timeout { .. }), "{err}");
 }
 
@@ -141,7 +161,12 @@ fn oversized_cta_is_rejected() {
     let mut b = KernelBuilder::new("big");
     b.exit();
     let kernel = b.build().unwrap();
-    let mut gpu = Gpu::new(GpuConfig::small());
-    let err = gpu.launch(&kernel, Dim3::x(1), Dim3::x(512), &[]).unwrap_err();
-    assert!(matches!(err, gcl::sim::SimError::CtaTooLarge { .. }), "{err}");
+    let mut gpu = Gpu::new(GpuConfig::small()).unwrap();
+    let err = gpu
+        .launch(&kernel, Dim3::x(1), Dim3::x(512), &[])
+        .unwrap_err();
+    assert!(
+        matches!(err, gcl::sim::SimError::CtaTooLarge { .. }),
+        "{err}"
+    );
 }
