@@ -5,17 +5,6 @@
 //! cargo run --release -p gcl-bench --bin critical_loads [workload] [--tiny]
 //! ```
 
-use gcl_bench::figures::critical_loads;
-use gcl_bench::harness::{completed, run_all, save_json, Scale};
-use gcl_sim::GpuConfig;
-
 fn main() {
-    let workload = std::env::args()
-        .nth(1)
-        .filter(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| "bfs".to_string());
-    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
-    let t = critical_loads(&results, &workload);
-    println!("{t}");
-    save_json(&format!("critical_loads_{workload}"), &t.to_json());
+    gcl_bench::driver::figure_main("critical_loads");
 }

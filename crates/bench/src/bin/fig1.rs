@@ -1,12 +1,5 @@
 //! Regenerates Figure 1 of the paper.
 
-use gcl_bench::figures::fig1;
-use gcl_bench::harness::{completed, run_all, save_json, Scale};
-use gcl_sim::GpuConfig;
-
 fn main() {
-    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
-    let fig = fig1(&results);
-    println!("{fig}");
-    save_json("fig1", &fig.to_json());
+    gcl_bench::driver::figure_main("fig1");
 }

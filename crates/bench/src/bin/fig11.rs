@@ -1,12 +1,5 @@
 //! Regenerates Figure 11 of the paper.
 
-use gcl_bench::figures::fig11;
-use gcl_bench::harness::{completed, run_all, save_json, Scale};
-use gcl_sim::GpuConfig;
-
 fn main() {
-    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
-    let fig = fig11(&results);
-    println!("{fig}");
-    save_json("fig11", &fig.to_json());
+    gcl_bench::driver::figure_main("fig11");
 }

@@ -1,20 +1,6 @@
 //! Regenerates Figure 12: CTA-distance distribution of shared-block
 //! accesses, one panel per category.
 
-use gcl_bench::figures::fig12;
-use gcl_bench::harness::{completed, run_all, save_json, Scale};
-use gcl_sim::GpuConfig;
-use gcl_workloads::Category;
-
 fn main() {
-    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
-    for (panel, cat) in [
-        ("a", Category::Linear),
-        ("b", Category::Image),
-        ("c", Category::Graph),
-    ] {
-        let fig = fig12(&results, cat);
-        println!("{fig}");
-        save_json(&format!("fig12{panel}"), &fig.to_json());
-    }
+    gcl_bench::driver::figure_main("fig12");
 }

@@ -1,13 +1,5 @@
 //! Regenerates Figure 5: average turnaround-time breakdown per load class.
 
-use gcl_bench::figures::fig5;
-use gcl_bench::harness::{completed, run_all, save_json, Scale};
-use gcl_sim::GpuConfig;
-
 fn main() {
-    let cfg = GpuConfig::fermi();
-    let results = completed(&run_all(&cfg, Scale::from_args()));
-    let fig = fig5(&results, cfg.unloaded_miss_latency());
-    println!("{fig}");
-    save_json("fig5", &fig.to_json());
+    gcl_bench::driver::figure_main("fig5");
 }

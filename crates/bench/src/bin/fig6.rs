@@ -1,13 +1,6 @@
 //! Regenerates Figure 6: turnaround vs generated requests for selected
 //! loads of bfs, sssp and spmv.
 
-use gcl_bench::figures::fig6;
-use gcl_bench::harness::{completed, run_all, save_json, Scale};
-use gcl_sim::GpuConfig;
-
 fn main() {
-    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
-    let fig = fig6(&results, &["bfs", "sssp", "spmv"]);
-    println!("{fig}");
-    save_json("fig6", &fig.to_json());
+    gcl_bench::driver::figure_main("fig6");
 }

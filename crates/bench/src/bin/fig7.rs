@@ -1,14 +1,6 @@
 //! Regenerates Figure 7: per-request-count turnaround breakdown for the
 //! busiest non-deterministic load of bfs.
 
-use gcl_bench::figures::fig7;
-use gcl_bench::harness::{completed, run_all, save_json, Scale};
-use gcl_sim::GpuConfig;
-
 fn main() {
-    let cfg = GpuConfig::fermi();
-    let results = completed(&run_all(&cfg, Scale::from_args()));
-    let fig = fig7(&results, "bfs", cfg.unloaded_miss_latency());
-    println!("{fig}");
-    save_json("fig7", &fig.to_json());
+    gcl_bench::driver::figure_main("fig7");
 }

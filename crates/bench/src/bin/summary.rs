@@ -1,28 +1,5 @@
 //! One-line-per-workload summary of a full harness run.
 
-use gcl_bench::harness::{completed, run_all, Scale};
-use gcl_sim::GpuConfig;
-
 fn main() {
-    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
-    println!(
-        "{:6} {:7} {:>9} {:>10} {:>9} {:>6} {:>8} {:>6} {:>6} {:>6}",
-        "name", "cat", "cycles", "warp insts", "gld", "N%", "L1miss%", "ipc", "simd%", "bdiv%"
-    );
-    for r in &results {
-        let p = r.stats.profiler();
-        println!(
-            "{:6} {:7} {:>9} {:>10} {:>9} {:>5.1} {:>8.1} {:>6.2} {:>6.1} {:>6.1}",
-            r.name,
-            r.category.to_string(),
-            r.stats.cycles,
-            r.stats.sm.warp_insts,
-            p.gld_request,
-            r.stats.nondet_load_fraction() * 100.0,
-            p.l1_miss_ratio() * 100.0,
-            r.stats.sm.warp_insts as f64 / r.stats.cycles as f64,
-            r.stats.simd_utilization(32) * 100.0,
-            r.stats.branch_divergence() * 100.0,
-        );
-    }
+    gcl_bench::driver::figure_main("summary");
 }

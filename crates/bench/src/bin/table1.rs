@@ -1,12 +1,5 @@
 //! Regenerates Table I of the paper (at our simulator input scales).
 
-use gcl_bench::figures::table1;
-use gcl_bench::harness::{completed, run_all, save_json, Scale};
-use gcl_sim::GpuConfig;
-
 fn main() {
-    let results = completed(&run_all(&GpuConfig::fermi(), Scale::from_args()));
-    let t = table1(&results);
-    println!("{t}");
-    save_json("table1", &t.to_json());
+    gcl_bench::driver::figure_main("table1");
 }

@@ -20,5 +20,6 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod driver;
 pub mod figures;
 pub mod harness;

@@ -442,6 +442,17 @@ impl Cache {
     pub fn inflight(&self) -> usize {
         self.mshr.len()
     }
+
+    /// Drop the MSHR entry for `block_addr` without releasing its waiters,
+    /// returning whether one existed. The reserved line is left dangling.
+    ///
+    /// **Fault-injection hook** (see [`Mshr::forget`]): models losing MSHR
+    /// bookkeeping so sanitizer tests can assert the conservation checker
+    /// reports the resulting response-without-request. Never called on the
+    /// normal simulation path.
+    pub fn forget_mshr(&mut self, block_addr: u64) -> bool {
+        self.mshr.forget(block_addr)
+    }
 }
 
 #[cfg(test)]

@@ -188,6 +188,16 @@ impl Icnt {
     pub fn transferred(&self) -> (u64, u64) {
         (self.req.transferred, self.resp.transferred)
     }
+
+    /// Packets currently buffered in each direction (requests, responses) —
+    /// a drainage diagnostic for the sanitizer's leak reports.
+    pub fn in_flight(&self) -> (usize, usize) {
+        let count = |x: &Xbar| {
+            x.inputs.iter().map(VecDeque::len).sum::<usize>()
+                + x.outputs.iter().map(VecDeque::len).sum::<usize>()
+        };
+        (count(&self.req), count(&self.resp))
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,24 @@ impl PartitionConfig {
     }
 }
 
+/// A partition-internal lifecycle event, surfaced for the sanitizer's
+/// request-conservation checker.
+///
+/// The conservation ledger lives outside the memory components, but two
+/// transitions happen *inside* the partition where the simulator cannot
+/// observe them: a miss entering the DRAM bank queues, and a write-through
+/// store retiring at DRAM. When sanitizing, the partition records them here
+/// (only for tagged requests, `san != 0`) and the simulator drains them via
+/// [`L2Partition::pop_event`]. When sanitizing is off no request carries a
+/// tag and the queue stays empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionEvent {
+    /// A request left the L2 miss queue and entered a DRAM bank queue.
+    DramEntered,
+    /// A write-through store finished at DRAM (its final stage).
+    WriteRetired,
+}
+
 /// One L2-slice + DRAM-channel memory partition.
 ///
 /// Requests enter via [`enqueue`](Self::enqueue) (from the interconnect),
@@ -45,6 +63,8 @@ pub struct L2Partition {
     /// Miss popped from the L2 that found DRAM full, retried next cycle.
     miss_retry: Option<MemRequest>,
     responses: VecDeque<(Cycle, MemRequest)>,
+    /// Sanitizer events for tagged requests (empty unless sanitizing).
+    events: VecDeque<(u64, PartitionEvent)>,
 }
 
 impl L2Partition {
@@ -58,6 +78,7 @@ impl L2Partition {
             retry: None,
             miss_retry: None,
             responses: VecDeque::new(),
+            events: VecDeque::new(),
         }
     }
 
@@ -81,6 +102,10 @@ impl L2Partition {
         while let Some(done) = self.dram.pop_ready(cycle) {
             if done.is_write {
                 // Write-through completion: nothing waits on it.
+                if done.san != 0 {
+                    self.events
+                        .push_back((done.san, PartitionEvent::WriteRetired));
+                }
                 continue;
             }
             let mut waiters = self.cache.fill(done.block_addr, cycle);
@@ -115,7 +140,12 @@ impl L2Partition {
 
         // 3. Move one queued miss into DRAM.
         if let Some(miss) = self.miss_retry.take().or_else(|| self.cache.pop_miss()) {
-            if !self.dram.try_push(miss, cycle) {
+            if self.dram.try_push(miss, cycle) {
+                if miss.san != 0 {
+                    self.events
+                        .push_back((miss.san, PartitionEvent::DramEntered));
+                }
+            } else {
                 self.miss_retry = Some(miss);
             }
         }
@@ -132,6 +162,18 @@ impl L2Partition {
             }
         }
         None
+    }
+
+    /// Pop a sanitizer lifecycle event for a tagged request, if any (see
+    /// [`PartitionEvent`]). Always empty when sanitizing is off.
+    pub fn pop_event(&mut self) -> Option<(u64, PartitionEvent)> {
+        self.events.pop_front()
+    }
+
+    /// The partition's L2 slice, for fault-injection hooks in sanitizer
+    /// tests (e.g. [`Cache::forget_mshr`]). Never used on the normal path.
+    pub fn cache_mut(&mut self) -> &mut Cache {
+        &mut self.cache
     }
 
     /// Whether the partition is fully drained.

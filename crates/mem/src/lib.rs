@@ -34,11 +34,13 @@ mod icnt;
 mod l2;
 mod mshr;
 mod request;
+mod san;
 
 pub use addrmap::{AddrMap, L2Topology};
 pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats};
 pub use dram::{DramChannel, DramConfig, DramStats};
 pub use icnt::{Icnt, IcntConfig};
-pub use l2::{L2Partition, PartitionConfig};
+pub use l2::{L2Partition, PartitionConfig, PartitionEvent};
 pub use mshr::Mshr;
 pub use request::{ClassTag, Cycle, MemRequest};
+pub use san::{ConservationKind, ConservationReport, ReqInfo, RequestLedger, SanStage};

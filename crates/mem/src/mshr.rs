@@ -82,6 +82,18 @@ impl Mshr {
         self.entries.remove(&block_addr).unwrap_or_default()
     }
 
+    /// Drop the entry for `block_addr` without releasing its waiters,
+    /// returning whether one existed.
+    ///
+    /// This is a **fault-injection hook** for sanitizer tests (see
+    /// `SanInject` in `gcl-sim`): it models a bookkeeping bug that loses an
+    /// MSHR entry, which the conservation checker must catch as a
+    /// response-without-request when the fill arrives. Never called on the
+    /// normal simulation path.
+    pub fn forget(&mut self, block_addr: u64) -> bool {
+        self.entries.remove(&block_addr).is_some()
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.entries.len()

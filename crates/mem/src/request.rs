@@ -55,6 +55,10 @@ pub struct MemRequest {
     pub class: ClassTag,
     /// Opaque producer metadata (e.g. in-flight-load table index).
     pub meta: u64,
+    /// Sanitizer tag: a launch-unique id assigned at coalescing when the
+    /// request-conservation checker is on (see [`crate::RequestLedger`]).
+    /// Zero means untracked; the memory system carries it but never reads it.
+    pub san: u64,
     /// Cycle the coalescer created the request.
     pub t_created: Cycle,
     /// Cycle the L1 accepted the request (hit, merge, or miss reservation).
@@ -85,6 +89,7 @@ impl MemRequest {
             sm_id,
             class,
             meta,
+            san: 0,
             t_created: cycle,
             t_l1_accepted: 0,
             t_icnt_inject: 0,

@@ -1,6 +1,7 @@
 //! GPU configuration (the paper's Table II, Tesla C2050-like defaults).
 
 use crate::fault::ConfigError;
+use crate::san::SanInject;
 use gcl_mem::{CacheConfig, IcntConfig, L2Topology, PartitionConfig};
 
 /// CTA-to-SM dispatch policy (Section X-B).
@@ -114,6 +115,16 @@ pub struct GpuConfig {
     /// dump. Must be positive; far larger than any legitimate memory
     /// round-trip.
     pub hang_cycles: u64,
+    /// `simsan` runtime sanitizer: request-lifecycle
+    /// conservation checking, shared-memory race detection, and a per-launch
+    /// determinism digest in
+    /// [`LaunchStats::digest`](crate::LaunchStats::digest). Violations fail
+    /// the launch with [`SimError::Sanitizer`](crate::SimError::Sanitizer).
+    /// Off by default; zero-cost when off.
+    pub sanitize: bool,
+    /// Sanitizer fault injection for tests (requires `sanitize`); see
+    /// [`SanInject`]. Always [`SanInject::None`] outside sanitizer tests.
+    pub san_inject: SanInject,
 }
 
 impl GpuConfig {
@@ -146,6 +157,8 @@ impl GpuConfig {
             max_cycles: 200_000_000,
             memcheck: false,
             hang_cycles: 2_000_000,
+            sanitize: false,
+            san_inject: SanInject::None,
         }
     }
 
@@ -250,6 +263,12 @@ impl GpuConfig {
         if self.hang_cycles == 0 {
             return err("hang_cycles", "hang watchdog threshold must be positive");
         }
+        if self.san_inject != SanInject::None && !self.sanitize {
+            return err(
+                "san_inject",
+                "sanitizer fault injection requires `sanitize` to be on",
+            );
+        }
         Ok(())
     }
 }
@@ -308,6 +327,22 @@ mod tests {
         let mut c = GpuConfig::small();
         c.memcheck = true;
         c.validate().expect("memcheck is a valid mode everywhere");
+    }
+
+    #[test]
+    fn sanitize_defaults_off_and_gates_injection() {
+        let c = GpuConfig::fermi();
+        assert!(!c.sanitize);
+        assert_eq!(c.san_inject, SanInject::None);
+        let mut c = GpuConfig::small();
+        c.sanitize = true;
+        c.validate().expect("sanitize is a valid mode everywhere");
+        c.san_inject = SanInject::DropIcntStore { nth: 1 };
+        c.validate().expect("injection under sanitize is valid");
+        c.sanitize = false;
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.field, "san_inject");
+        assert!(e.to_string().contains("requires `sanitize`"), "{e}");
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //! the cycle loop.
 
 use crate::fault::{AllocError, ConfigError, HangReport, MemFaultReport};
+use crate::san::{SanRun, SanitizerReport, TickError};
 use crate::sm::TickCtx;
 use crate::{
     BlockSummary, BlockTracker, CtaSchedPolicy, Dim3, GlobalMem, GpuConfig, LaunchStats, Sm,
 };
 use gcl_core::classify;
-use gcl_mem::{AddrMap, Icnt, L2Partition};
+use gcl_mem::{AddrMap, ConservationReport, Icnt, L2Partition, PartitionEvent, SanStage};
 use gcl_ptx::Kernel;
 use std::collections::VecDeque;
 use std::fmt;
@@ -40,6 +41,10 @@ pub enum SimError {
         /// The limiting resource.
         reason: &'static str,
     },
+    /// The simsan runtime sanitizer ([`GpuConfig::sanitize`]) caught a
+    /// violation: broken request conservation, a shared-memory race, or
+    /// digest divergence between runs.
+    Sanitizer(Box<SanitizerReport>),
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +63,7 @@ impl fmt::Display for SimError {
                     "CTA of {threads} threads does not fit on an SM: {reason}"
                 )
             }
+            SimError::Sanitizer(report) => write!(f, "sanitizer: {report}"),
         }
     }
 }
@@ -267,6 +273,10 @@ impl Gpu {
     ///   deadlock); carries a per-SM, per-warp state dump.
     /// * [`SimError::Timeout`] if the launch exceeds
     ///   [`GpuConfig::max_cycles`] while still making progress.
+    /// * [`SimError::Sanitizer`] if [`GpuConfig::sanitize`] is on and a
+    ///   checker fires: a request left the conservation state machine (or
+    ///   leaked past launch end), or two warps of a CTA raced on shared
+    ///   memory within one barrier epoch.
     ///
     /// Any error leaves the GPU reusable: L1 caches are reclaimed and the
     /// device clock advances past the failed launch.
@@ -308,6 +318,9 @@ impl Gpu {
         trace: &mut Option<crate::Trace>,
     ) -> Result<LaunchStats, SimError> {
         let cfg = self.cfg.clone();
+        // One sanitizer run per launch: the conservation ledger and the
+        // fault-injection counters both describe a single launch.
+        let mut san_run = cfg.sanitize.then(|| SanRun::new(cfg.san_inject));
         let ctas_per_sm = self.occupancy(kernel, block)?;
         let classification = classify(kernel);
         let cfg_ptx = gcl_ptx::Cfg::build(kernel);
@@ -365,7 +378,7 @@ impl Gpu {
             }
 
             // Cores.
-            let mut fault: Option<Box<MemFaultReport>> = None;
+            let mut fault: Option<TickError> = None;
             for sm in sms.iter_mut() {
                 let mut ctx = TickCtx {
                     cycle,
@@ -381,6 +394,7 @@ impl Gpu {
                     ntid: block,
                     nctaid: grid,
                     trace,
+                    san: san_run.as_mut(),
                 };
                 match sm.tick(&mut ctx) {
                     Ok(moved) => progress |= moved,
@@ -390,37 +404,81 @@ impl Gpu {
                     }
                 }
             }
-            if let Some(mut fault) = fault {
-                // Attach what the classifier knows about the faulting
-                // instruction: its D/N class and the def-chain witness of
-                // its address.
-                if let Some(load) = classification.load(fault.violation.pc) {
-                    fault.class = Some(load.class);
-                    fault.witness = load.witness.clone();
-                }
+            if let Some(fault) = fault {
                 self.abandon_launch(sms, cycle);
-                return Err(SimError::MemFault(fault));
+                return Err(match fault {
+                    TickError::Mem(mut fault) => {
+                        // Attach what the classifier knows about the faulting
+                        // instruction: its D/N class and the def-chain witness
+                        // of its address.
+                        if let Some(load) = classification.load(fault.violation.pc) {
+                            fault.class = Some(load.class);
+                            fault.witness = load.witness.clone();
+                        }
+                        SimError::MemFault(fault)
+                    }
+                    TickError::San(report) => SimError::Sanitizer(report),
+                });
             }
 
-            // Interconnect and memory partitions.
+            // Interconnect and memory partitions. Conservation transitions
+            // at every seam the simulator can observe; partition-internal
+            // ones arrive via `pop_event`. A violation is collected rather
+            // than returned mid-loop so every partition still ticks.
+            let mut san_fault: Option<Box<ConservationReport>> = None;
             self.icnt.tick(cycle);
             for (p, part) in self.partitions.iter_mut().enumerate() {
                 if part.can_enqueue() {
                     if let Some(req) = self.icnt.pop_request(p, cycle) {
+                        if req.san != 0 {
+                            if let Some(sr) = san_run.as_mut() {
+                                if let Err(r) = sr.ledger.transition(req.san, SanStage::L2, cycle) {
+                                    san_fault.get_or_insert(r);
+                                }
+                            }
+                        }
                         let ok = part.enqueue(req);
                         debug_assert!(ok);
                     }
                 }
                 part.tick(cycle);
+                if let Some(sr) = san_run.as_mut() {
+                    while let Some((id, ev)) = part.pop_event() {
+                        let res = match ev {
+                            PartitionEvent::DramEntered => {
+                                sr.ledger.transition(id, SanStage::Dram, cycle)
+                            }
+                            PartitionEvent::WriteRetired => sr.ledger.retire(id, cycle),
+                        };
+                        if let Err(r) = res {
+                            san_fault.get_or_insert(r);
+                        }
+                    }
+                }
                 while self.icnt.can_inject_response(p) {
                     match part.pop_response(cycle) {
                         Some(resp) => {
+                            if resp.san != 0 {
+                                if let Some(sr) = san_run.as_mut() {
+                                    if let Err(r) =
+                                        sr.ledger.transition(resp.san, SanStage::IcntResp, cycle)
+                                    {
+                                        san_fault.get_or_insert(r);
+                                    }
+                                }
+                            }
                             let ok = self.icnt.inject_response(p, resp);
                             debug_assert!(ok);
                         }
                         None => break,
                     }
                 }
+            }
+            if let Some(report) = san_fault {
+                self.abandon_launch(sms, cycle);
+                return Err(SimError::Sanitizer(Box::new(
+                    SanitizerReport::Conservation(*report),
+                )));
             }
 
             cycle += 1;
@@ -458,12 +516,49 @@ impl Gpu {
         }
         self.now = cycle;
 
+        // Success-path drain check: a completed launch must leave no
+        // residue in any per-launch structure (satellite of the sanitizer's
+        // conservation checker; always on in debug builds).
+        if cfg!(debug_assertions) {
+            for sm in &sms {
+                sm.assert_drained();
+            }
+        }
+        let mut digest = None;
+        if let Some(sr) = san_run.as_mut() {
+            if let Err(report) = sr.ledger.check_drained(cycle) {
+                self.abandon_launch(sms, cycle);
+                return Err(SimError::Sanitizer(Box::new(
+                    SanitizerReport::Conservation(*report),
+                )));
+            }
+            // Determinism digest: per-SM event digests folded in SM order,
+            // then the launch length. Any scheduling divergence between two
+            // runs of the same workload lands here.
+            let mut d = crate::san::FNV_OFFSET;
+            for sm in &sms {
+                d = crate::san::fnv_fold(d, sm.san_digest().unwrap_or(0));
+            }
+            d = crate::san::fnv_fold(d, cycle - start_cycle);
+            if sr.digest_noise() {
+                // DigestNoise injection: fold a process-global counter in so
+                // two otherwise-identical runs diverge.
+                static NOISE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                d = crate::san::fnv_fold(
+                    d,
+                    NOISE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                );
+            }
+            digest = Some(d);
+        }
+
         // Assemble stats.
         let mut stats = LaunchStats {
             name: kernel.name().to_string(),
             launches: 1,
             cycles: cycle - start_cycle,
             static_loads: classification.global_load_counts(),
+            digest,
             ..LaunchStats::default()
         };
         for (i, sm) in sms.into_iter().enumerate() {

@@ -57,8 +57,13 @@
 //! rejected configurations ([`ConfigError`]), failed allocations
 //! ([`AllocError`]), out-of-bounds device accesses caught by memcheck
 //! ([`MemFaultReport`], with the faulting load's D/N class and def-chain
-//! witness attached), and hangs caught by the forward-progress watchdog
-//! ([`HangReport`], with a per-warp state dump).
+//! witness attached), hangs caught by the forward-progress watchdog
+//! ([`HangReport`], with a per-warp state dump), and — with
+//! [`GpuConfig::sanitize`](GpuConfig) on — violations from the *simsan*
+//! runtime sanitizer ([`SanitizerReport`]): request-conservation breaks
+//! anywhere on the L1→icnt→L2→DRAM path, shared-memory races between warps
+//! of a CTA within one barrier epoch, and cross-run digest divergence from
+//! the determinism auditor (see [`check_digests`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -71,6 +76,7 @@ mod gmem;
 mod gpu;
 mod grid;
 mod loadtrack;
+mod san;
 mod scoreboard;
 mod simt;
 mod sm;
@@ -91,6 +97,10 @@ pub use gmem::{GlobalMem, HEAP_BASE};
 pub use gpu::{pack_params, Gpu, SimError};
 pub use grid::Dim3;
 pub use loadtrack::{ClassAgg, LoadTracker, PcReqAgg};
+pub use san::{
+    check_digests, fnv_fold, DeterminismReport, RaceAccess, RaceReport, SanInject, SanRun,
+    SanitizerReport, TickError, FNV_OFFSET,
+};
 pub use scoreboard::Scoreboard;
 pub use simt::{SimtEntry, SimtStack};
 pub use sm::{bank_conflict_degree, Sm, SmStats, TickCtx};
@@ -99,3 +109,5 @@ pub use trace::{Trace, TraceEvent};
 pub use value::{canon, eval_alu, eval_atom, eval_cmp, eval_cvt, eval_mad, eval_sfu, eval_unary};
 pub use warp::{lanes, ExecCtx, MemAccess, StepResult, Warp};
 pub use warp_sched::WarpScheduler;
+
+pub use gcl_mem::{ConservationKind, ConservationReport, RequestLedger, SanStage};

@@ -1,0 +1,539 @@
+//! `simsan` — the opt-in runtime sanitizer ([`GpuConfig::sanitize`]).
+//!
+//! Three checkers, all zero-cost when off:
+//!
+//! 1. **Request-lifecycle conservation** — every [`gcl_mem::MemRequest`] is
+//!    tagged with a launch-unique id at coalescing and driven through the
+//!    [`RequestLedger`](gcl_mem::RequestLedger) state machine at every
+//!    observable seam (L1 outcome, miss-queue drain, interconnect
+//!    inject/eject, partition enqueue, DRAM entry, response return). Illegal
+//!    transitions, double responses, responses without a waiting request,
+//!    and end-of-launch leaks raise
+//!    [`SimError::Sanitizer`](crate::SimError::Sanitizer).
+//! 2. **Shared-memory race detection** — per-CTA shadow state over shared
+//!    memory records last-writer / last-reader `(warp, pc)` pairs within a
+//!    barrier epoch; epochs reset at each `bar.sync N` release. Conflicting
+//!    accesses from different warps in one epoch produce a [`RaceReport`]
+//!    naming both pcs, the byte range, and the barrier id.
+//! 3. **Determinism audit** — a per-launch FNV-1a digest folded over issue,
+//!    writeback and response events, exposed as
+//!    [`LaunchStats::digest`](crate::LaunchStats::digest); running a
+//!    workload twice and comparing digests ([`check_digests`]) hard-fails
+//!    on divergence.
+//!
+//! Violations are *injectable* for testing via [`SanInject`]: documented
+//! chaos hooks that corrupt one request's bookkeeping so integration tests
+//! can assert each report kind fires (`tests/sanitizer_paths.rs`).
+//!
+//! [`GpuConfig::sanitize`]: crate::GpuConfig::sanitize
+
+use crate::fault::MemFaultReport;
+use gcl_mem::{ConservationReport, RequestLedger};
+use std::fmt;
+
+/// FNV-1a offset basis: the initial value of every determinism digest.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold one 64-bit value into an FNV-1a digest (little-endian bytes).
+pub fn fnv_fold(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One side of a shared-memory race: who touched the bytes, from where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceAccess {
+    /// Warp index within its CTA.
+    pub warp_in_cta: u32,
+    /// Instruction index of the shared-memory access.
+    pub pc: usize,
+    /// Whether the access was a store.
+    pub is_write: bool,
+}
+
+impl fmt::Display for RaceAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = if self.is_write { "write" } else { "read" };
+        write!(f, "{dir} by warp {} at pc {}", self.warp_in_cta, self.pc)
+    }
+}
+
+/// A shared-memory race: two warps of one CTA touched overlapping bytes
+/// within one barrier epoch, at least one of them writing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// SM the CTA ran on.
+    pub sm: u16,
+    /// Linear CTA id.
+    pub cta: u64,
+    /// Barrier epoch (0 before the first release, +1 per release).
+    pub epoch: u64,
+    /// The `bar.sync` id whose release opened this epoch (`None` for the
+    /// epoch before the CTA's first barrier).
+    pub barrier: Option<u32>,
+    /// First conflicting shared-memory byte offset.
+    pub byte_lo: u64,
+    /// One past the last byte of the conflicting access.
+    pub byte_hi: u64,
+    /// The earlier access recorded in the shadow state.
+    pub prev: RaceAccess,
+    /// The access that completed the race.
+    pub curr: RaceAccess,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shared-memory race in CTA {} on SM {}: {} conflicts with earlier {} \
+             on shared bytes [0x{:x}, 0x{:x})\n  barrier epoch {}",
+            self.cta, self.sm, self.curr, self.prev, self.byte_lo, self.byte_hi, self.epoch
+        )?;
+        match self.barrier {
+            Some(id) => write!(f, " (after release of bar.sync {id})"),
+            None => write!(f, " (before the CTA's first barrier)"),
+        }
+    }
+}
+
+/// Two runs of the same workload produced different event digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterminismReport {
+    /// The workload that diverged.
+    pub workload: String,
+    /// Digest of the first run.
+    pub first: u64,
+    /// Digest of the rerun.
+    pub second: u64,
+}
+
+impl fmt::Display for DeterminismReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "determinism violated for `{}`: launch digest {:#018x} on first run, \
+             {:#018x} on identical rerun",
+            self.workload, self.first, self.second
+        )
+    }
+}
+
+/// A structured violation from one of the three sanitizer checkers — the
+/// payload of [`SimError::Sanitizer`](crate::SimError::Sanitizer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SanitizerReport {
+    /// Request-lifecycle conservation broke (see [`ConservationReport`]).
+    Conservation(ConservationReport),
+    /// The shared-memory race detector fired.
+    Race(RaceReport),
+    /// The determinism audit found digest divergence.
+    Determinism(DeterminismReport),
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SanitizerReport::Conservation(r) => write!(f, "{r}"),
+            SanitizerReport::Race(r) => write!(f, "{r}"),
+            SanitizerReport::Determinism(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Compare the digests of two sanitized runs of `workload`.
+///
+/// # Errors
+///
+/// A [`SanitizerReport::Determinism`] if both digests are present and differ.
+/// Missing digests (unsanitized runs) compare clean.
+pub fn check_digests(
+    workload: &str,
+    first: Option<u64>,
+    second: Option<u64>,
+) -> Result<(), Box<SanitizerReport>> {
+    match (first, second) {
+        (Some(a), Some(b)) if a != b => {
+            Err(Box::new(SanitizerReport::Determinism(DeterminismReport {
+                workload: workload.to_string(),
+                first: a,
+                second: b,
+            })))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// What can go wrong inside one SM cycle: a memcheck fault or a sanitizer
+/// violation. The GPU maps these onto
+/// [`SimError::MemFault`](crate::SimError::MemFault) /
+/// [`SimError::Sanitizer`](crate::SimError::Sanitizer).
+#[derive(Debug)]
+pub enum TickError {
+    /// Memcheck caught an out-of-bounds device access.
+    Mem(Box<MemFaultReport>),
+    /// A sanitizer checker fired.
+    San(Box<SanitizerReport>),
+}
+
+impl From<Box<MemFaultReport>> for TickError {
+    fn from(r: Box<MemFaultReport>) -> TickError {
+        TickError::Mem(r)
+    }
+}
+
+impl From<Box<ConservationReport>> for TickError {
+    fn from(r: Box<ConservationReport>) -> TickError {
+        TickError::San(Box::new(SanitizerReport::Conservation(*r)))
+    }
+}
+
+impl From<Box<RaceReport>> for TickError {
+    fn from(r: Box<RaceReport>) -> TickError {
+        TickError::San(Box::new(SanitizerReport::Race(*r)))
+    }
+}
+
+/// Sanitizer fault injection: deliberately corrupt one request's
+/// bookkeeping so tests can assert the conservation checker reports it.
+///
+/// These are **documented chaos hooks**, compiled unconditionally (so
+/// integration tests outside the crate can reach them) but rejected by
+/// [`GpuConfig::validate`](crate::GpuConfig::validate) unless
+/// [`sanitize`](crate::GpuConfig::sanitize) is on, and never active on the
+/// default [`SanInject::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanInject {
+    /// No injection (the only setting valid outside tests).
+    #[default]
+    None,
+    /// Silently drop the `nth` (1-based) store at interconnect injection.
+    /// Stores are fire-and-forget, so nothing hangs and the launch
+    /// completes — only the end-of-launch drain check can catch the loss.
+    DropIcntStore {
+        /// Which store to drop (1-based).
+        nth: u64,
+    },
+    /// Deliver the `nth` read response twice, modeling a duplicated packet;
+    /// the second delivery must report a double response.
+    DuplicateResponse {
+        /// Which response to duplicate (1-based).
+        nth: u64,
+    },
+    /// Forget the L1 MSHR entry just before the `nth` fill, modeling lost
+    /// MSHR bookkeeping; the fill must report response-without-request.
+    DropMshrEntry {
+        /// Which fill to corrupt (1-based).
+        nth: u64,
+    },
+    /// Salt the launch digest with a process-global counter so two
+    /// otherwise identical runs diverge; the determinism audit must fail.
+    DigestNoise,
+}
+
+/// Per-launch sanitizer state shared across SMs: the conservation ledger
+/// and the fault-injection counters. Created by the GPU when
+/// [`GpuConfig::sanitize`](crate::GpuConfig::sanitize) is on and handed to
+/// each SM through [`TickCtx`](crate::TickCtx).
+#[derive(Debug)]
+pub struct SanRun {
+    /// The request-conservation ledger.
+    pub ledger: RequestLedger,
+    inject: SanInject,
+    seen: u64,
+    fired: bool,
+}
+
+impl SanRun {
+    /// Create the per-launch sanitizer state.
+    pub fn new(inject: SanInject) -> SanRun {
+        SanRun {
+            ledger: RequestLedger::new(),
+            inject,
+            seen: 0,
+            fired: false,
+        }
+    }
+
+    fn fire(&mut self, nth: u64) -> bool {
+        self.seen += 1;
+        if !self.fired && self.seen == nth {
+            self.fired = true;
+            return true;
+        }
+        false
+    }
+
+    /// Whether to silently drop this store at interconnect injection.
+    pub(crate) fn should_drop_store(&mut self, is_write: bool) -> bool {
+        match self.inject {
+            SanInject::DropIcntStore { nth } if is_write => self.fire(nth),
+            _ => false,
+        }
+    }
+
+    /// Whether to deliver this read response a second time.
+    pub(crate) fn should_duplicate_response(&mut self) -> bool {
+        match self.inject {
+            SanInject::DuplicateResponse { nth } => self.fire(nth),
+            _ => false,
+        }
+    }
+
+    /// Whether to forget the MSHR entry before this fill.
+    pub(crate) fn should_drop_mshr(&mut self) -> bool {
+        match self.inject {
+            SanInject::DropMshrEntry { nth } => self.fire(nth),
+            _ => false,
+        }
+    }
+
+    /// Whether the digest should be salted with process-global noise.
+    pub(crate) fn digest_noise(&self) -> bool {
+        self.inject == SanInject::DigestNoise
+    }
+}
+
+/// Per-byte shadow record of one CTA's shared memory within the current
+/// barrier epoch. Two reader slots are enough: the detector only needs to
+/// know *some* other-warp reader exists, and a warp already recorded never
+/// evicts another.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShadowByte {
+    /// Last writer `(warp_in_cta, pc)` this epoch.
+    writer: Option<(u32, u32)>,
+    /// Up to two distinct-warp readers `(warp_in_cta, pc)` this epoch.
+    readers: [Option<(u32, u32)>; 2],
+}
+
+#[derive(Debug)]
+struct SmemShadow {
+    epoch: u64,
+    barrier: Option<u32>,
+    bytes: Vec<ShadowByte>,
+}
+
+/// Per-SM sanitizer state: the determinism digest and the shared-memory
+/// shadow of each resident CTA.
+#[derive(Debug)]
+pub(crate) struct SmSan {
+    pub(crate) digest: u64,
+    shadows: Vec<SmemShadow>,
+}
+
+impl SmSan {
+    pub(crate) fn new(n_cta_slots: usize, shared_bytes: usize) -> SmSan {
+        SmSan {
+            digest: FNV_OFFSET,
+            shadows: (0..n_cta_slots)
+                .map(|_| SmemShadow {
+                    epoch: 0,
+                    barrier: None,
+                    bytes: vec![ShadowByte::default(); shared_bytes],
+                })
+                .collect(),
+        }
+    }
+
+    /// Fold one event value into the determinism digest.
+    pub(crate) fn fold(&mut self, v: u64) {
+        self.digest = fnv_fold(self.digest, v);
+    }
+
+    /// Reset the shadow for a freshly dispatched CTA.
+    pub(crate) fn clear_slot(&mut self, cta_slot: usize) {
+        let shadow = &mut self.shadows[cta_slot];
+        shadow.epoch = 0;
+        shadow.barrier = None;
+        shadow.bytes.fill(ShadowByte::default());
+    }
+
+    /// A `bar.sync barrier` released in this CTA: open a new epoch.
+    pub(crate) fn barrier_release(&mut self, cta_slot: usize, barrier: u32) {
+        let shadow = &mut self.shadows[cta_slot];
+        shadow.epoch += 1;
+        shadow.barrier = Some(barrier);
+        shadow.bytes.fill(ShadowByte::default());
+    }
+
+    /// Check one warp shared-memory access against the CTA's shadow state
+    /// and record it.
+    ///
+    /// # Errors
+    ///
+    /// A [`RaceReport`] if any touched byte was accessed by a different
+    /// warp within this barrier epoch with at least one side writing.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn check_shared(
+        &mut self,
+        cta_slot: usize,
+        sm: u16,
+        cta: u64,
+        warp_in_cta: u32,
+        pc: usize,
+        is_store: bool,
+        lane_addrs: &[(u32, u64)],
+        bytes: u32,
+    ) -> Result<(), Box<RaceReport>> {
+        let shadow = &mut self.shadows[cta_slot];
+        let pc32 = pc as u32;
+        for &(_lane, addr) in lane_addrs {
+            let lo = addr as usize;
+            let hi = (lo + bytes as usize).min(shadow.bytes.len());
+            for off in lo..hi {
+                let b = &mut shadow.bytes[off];
+                let conflict = if is_store {
+                    b.writer
+                        .filter(|&(w, _)| w != warp_in_cta)
+                        .map(|prev| (prev, true))
+                        .or_else(|| {
+                            b.readers
+                                .iter()
+                                .flatten()
+                                .find(|&&(w, _)| w != warp_in_cta)
+                                .map(|&prev| (prev, false))
+                        })
+                } else {
+                    b.writer
+                        .filter(|&(w, _)| w != warp_in_cta)
+                        .map(|prev| (prev, true))
+                };
+                if let Some(((pw, ppc), prev_write)) = conflict {
+                    return Err(Box::new(RaceReport {
+                        sm,
+                        cta,
+                        epoch: shadow.epoch,
+                        barrier: shadow.barrier,
+                        byte_lo: addr,
+                        byte_hi: addr + u64::from(bytes),
+                        prev: RaceAccess {
+                            warp_in_cta: pw,
+                            pc: ppc as usize,
+                            is_write: prev_write,
+                        },
+                        curr: RaceAccess {
+                            warp_in_cta,
+                            pc,
+                            is_write: is_store,
+                        },
+                    }));
+                }
+                if is_store {
+                    b.writer = Some((warp_in_cta, pc32));
+                } else if !b.readers.iter().flatten().any(|&(w, _)| w == warp_in_cta) {
+                    if let Some(slot) = b.readers.iter_mut().find(|r| r.is_none()) {
+                        *slot = Some((warp_in_cta, pc32));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_fold_is_deterministic_and_order_sensitive() {
+        let a = fnv_fold(fnv_fold(FNV_OFFSET, 1), 2);
+        let b = fnv_fold(fnv_fold(FNV_OFFSET, 1), 2);
+        let c = fnv_fold(fnv_fold(FNV_OFFSET, 2), 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, FNV_OFFSET);
+    }
+
+    #[test]
+    fn digests_compare_clean_unless_both_present_and_different() {
+        check_digests("w", None, None).unwrap();
+        check_digests("w", Some(1), None).unwrap();
+        check_digests("w", Some(7), Some(7)).unwrap();
+        let report = check_digests("w", Some(7), Some(8)).unwrap_err();
+        let SanitizerReport::Determinism(d) = report.as_ref() else {
+            panic!("wrong report kind: {report:?}");
+        };
+        assert_eq!((d.first, d.second), (7, 8));
+        assert!(report.to_string().contains("determinism violated"));
+    }
+
+    fn lanes(addr: u64) -> Vec<(u32, u64)> {
+        vec![(0, addr)]
+    }
+
+    #[test]
+    fn same_warp_accesses_never_race() {
+        let mut s = SmSan::new(1, 64);
+        s.check_shared(0, 0, 0, 3, 10, true, &lanes(0), 4).unwrap();
+        s.check_shared(0, 0, 0, 3, 11, false, &lanes(0), 4).unwrap();
+        s.check_shared(0, 0, 0, 3, 12, true, &lanes(2), 4).unwrap();
+    }
+
+    #[test]
+    fn cross_warp_write_read_races_with_both_pcs() {
+        let mut s = SmSan::new(1, 64);
+        s.check_shared(0, 1, 9, 0, 10, true, &lanes(8), 4).unwrap();
+        let r = s
+            .check_shared(0, 1, 9, 1, 20, false, &lanes(8), 4)
+            .unwrap_err();
+        assert_eq!(r.prev.pc, 10);
+        assert!(r.prev.is_write);
+        assert_eq!(r.curr.pc, 20);
+        assert!(!r.curr.is_write);
+        assert_eq!((r.byte_lo, r.byte_hi), (8, 12));
+        assert_eq!(r.barrier, None);
+        let text = r.to_string();
+        assert!(text.contains("shared-memory race"), "{text}");
+        assert!(text.contains("before the CTA's first barrier"), "{text}");
+    }
+
+    #[test]
+    fn barrier_release_separates_epochs() {
+        let mut s = SmSan::new(1, 64);
+        s.check_shared(0, 0, 0, 0, 10, true, &lanes(0), 4).unwrap();
+        s.barrier_release(0, 2);
+        // Same bytes, different warp, new epoch: clean.
+        s.check_shared(0, 0, 0, 1, 20, false, &lanes(0), 4).unwrap();
+        // But a write inside this epoch now races and names the barrier.
+        let r = s
+            .check_shared(0, 0, 0, 2, 30, true, &lanes(0), 4)
+            .unwrap_err();
+        assert_eq!(r.barrier, Some(2));
+        assert_eq!(r.epoch, 1);
+        assert!(!r.prev.is_write, "reader recorded in new epoch");
+        assert!(r.to_string().contains("bar.sync 2"), "{r}");
+    }
+
+    #[test]
+    fn reader_slots_keep_two_distinct_warps() {
+        let mut s = SmSan::new(1, 16);
+        for warp in 0..4 {
+            s.check_shared(0, 0, 0, warp, 10, false, &lanes(0), 4)
+                .unwrap();
+        }
+        // Any writer still conflicts with a recorded reader.
+        let r = s
+            .check_shared(0, 0, 0, 9, 50, true, &lanes(0), 4)
+            .unwrap_err();
+        assert!(!r.prev.is_write);
+    }
+
+    #[test]
+    fn injection_counters_fire_once_on_nth() {
+        let mut run = SanRun::new(SanInject::DuplicateResponse { nth: 2 });
+        assert!(!run.should_duplicate_response());
+        assert!(run.should_duplicate_response());
+        assert!(!run.should_duplicate_response());
+        let mut run = SanRun::new(SanInject::DropIcntStore { nth: 1 });
+        assert!(!run.should_drop_store(false), "reads never dropped");
+        assert!(run.should_drop_store(true));
+        assert!(!run.should_drop_store(true));
+        let mut none = SanRun::new(SanInject::None);
+        assert!(!none.should_drop_mshr());
+        assert!(!none.digest_noise());
+    }
+}

@@ -2,13 +2,16 @@
 //! coalescing and L1 access retry, writeback, barriers and CTA retirement.
 
 use crate::fault::{MemFaultReport, SmSnapshot, WarpSnapshot};
+use crate::san::{SanRun, SmSan, TickError};
 use crate::warp::{ExecCtx, MemAccess, StepResult, Warp};
 use crate::{
     coalesce, BlockTracker, Dim3, GlobalMem, GpuConfig, LoadTracker, Scoreboard, Trace,
     WarpScheduler,
 };
 use gcl_core::{Classification, LoadClass};
-use gcl_mem::{AccessOutcome, AddrMap, Cache, ClassTag, Cycle, Icnt, MemRequest};
+use gcl_mem::{
+    AccessOutcome, AddrMap, Cache, ClassTag, Cycle, Icnt, MemRequest, ReqInfo, SanStage,
+};
 use gcl_ptx::{Kernel, Reg, Space, Unit};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -173,6 +176,9 @@ pub struct TickCtx<'a> {
     pub nctaid: Dim3,
     /// Optional bounded issue trace.
     pub trace: &'a mut Option<Trace>,
+    /// Per-launch sanitizer state (ledger + injection), present when
+    /// [`GpuConfig::sanitize`] is on.
+    pub san: Option<&'a mut SanRun>,
 }
 
 /// One streaming multiprocessor.
@@ -197,6 +203,9 @@ pub struct Sm {
     stats: SmStats,
     next_seq: u64,
     issued_mem_this_cycle: bool,
+    /// Per-SM sanitizer state (digest + shared-memory shadow), present when
+    /// [`GpuConfig::sanitize`] is on.
+    san: Option<SmSan>,
 }
 
 impl Sm {
@@ -226,6 +235,9 @@ impl Sm {
             stats: SmStats::default(),
             next_seq: 0,
             issued_mem_this_cycle: false,
+            san: cfg
+                .sanitize
+                .then(|| SmSan::new(n_cta_slots, kernel.shared_bytes() as usize)),
         }
     }
 
@@ -241,6 +253,47 @@ impl Sm {
             && self.local_done.is_empty()
             && self.writebacks.is_empty()
             && self.l1.inflight() == 0
+    }
+
+    /// Assert that every per-launch structure has fully drained. Called on
+    /// the success path of a launch (debug builds): a completed launch with
+    /// residue here means a request or op-count leaked.
+    pub(crate) fn assert_drained(&self) {
+        assert!(
+            self.ldst_queue.is_empty(),
+            "SM{}: LD/ST queue not drained",
+            self.id
+        );
+        assert!(
+            self.local_done.is_empty(),
+            "SM{}: local-done heap not drained",
+            self.id
+        );
+        assert!(
+            self.local_reqs.is_empty(),
+            "SM{}: local request map not drained",
+            self.id
+        );
+        assert!(
+            self.writebacks.is_empty(),
+            "SM{}: writeback heap not drained",
+            self.id
+        );
+        assert_eq!(self.l1.inflight(), 0, "SM{}: L1 MSHRs not drained", self.id);
+        assert_eq!(
+            self.loadtrack.inflight_count(),
+            0,
+            "SM{}: load tracker not drained",
+            self.id
+        );
+        for (slot, &n) in self.pending_ops.iter().enumerate() {
+            assert_eq!(n, 0, "SM{}: warp slot {slot} has pending ops", self.id);
+        }
+    }
+
+    /// This SM's event digest for the launch, when sanitizing.
+    pub(crate) fn san_digest(&self) -> Option<u64> {
+        self.san.as_ref().map(|s| s.digest)
     }
 
     /// Place one CTA onto this SM.
@@ -288,6 +341,9 @@ impl Sm {
             self.pending_ops[slot] = 0;
         }
         self.smem[cta_slot].iter_mut().for_each(|b| *b = 0);
+        if let Some(s) = &mut self.san {
+            s.clear_slot(cta_slot);
+        }
         self.cta_slots[cta_slot] = Some(CtaState {
             warp_slots: free_slots,
         });
@@ -309,24 +365,26 @@ impl Sm {
     ///
     /// # Errors
     ///
-    /// Under [`GpuConfig::memcheck`], returns a partially attributed
-    /// [`MemFaultReport`] (placement filled in; classification context is
-    /// added by the GPU) on the first out-of-bounds device access.
-    pub fn tick(&mut self, ctx: &mut TickCtx<'_>) -> Result<bool, Box<MemFaultReport>> {
+    /// Under [`GpuConfig::memcheck`], returns [`TickError::Mem`] with a
+    /// partially attributed [`MemFaultReport`] (placement filled in;
+    /// classification context is added by the GPU) on the first
+    /// out-of-bounds device access. Under [`GpuConfig::sanitize`], returns
+    /// [`TickError::San`] when a sanitizer checker fires.
+    pub fn tick(&mut self, ctx: &mut TickCtx<'_>) -> Result<bool, TickError> {
         let cycle = ctx.cycle;
         self.stats.cycles += 1;
         self.issued_mem_this_cycle = false;
         let mut progress = false;
 
         progress |= self.process_writebacks(cycle);
-        progress |= self.process_responses(ctx);
-        progress |= self.process_local_done(cycle);
+        progress |= self.process_responses(ctx)?;
+        progress |= self.process_local_done(ctx)?;
         let (sp_issued, sfu_issued, any_issued) = self.issue(ctx)?;
         progress |= any_issued;
         self.release_barriers();
         let ldst_active = !self.ldst_queue.is_empty();
-        progress |= self.process_ldst(ctx);
-        self.drain_misses(ctx);
+        progress |= self.process_ldst(ctx)?;
+        self.drain_misses(ctx)?;
 
         if sp_issued {
             self.stats.unit_busy[0] += 1;
@@ -351,30 +409,85 @@ impl Sm {
             self.writebacks.pop();
             self.scoreboard.release(slot, reg);
             self.pending_ops[slot] -= 1;
+            if let Some(s) = &mut self.san {
+                s.fold(at);
+                s.fold(((slot as u64) << 32) | u64::from(reg.0));
+            }
             any = true;
         }
         any
     }
 
     /// Accept fills coming back from the interconnect.
-    fn process_responses(&mut self, ctx: &mut TickCtx<'_>) -> bool {
+    fn process_responses(&mut self, ctx: &mut TickCtx<'_>) -> Result<bool, TickError> {
         let cycle = ctx.cycle;
         let mut any = false;
         while let Some(resp) = ctx.icnt.pop_response(self.id.into(), cycle) {
             any = true;
-            if resp.is_write {
-                continue; // stores are fire-and-forget
-            }
-            let waiters = self.l1.fill(resp.block_addr, cycle);
-            debug_assert!(!waiters.is_empty(), "fill with no waiters");
-            for mut w in waiters {
-                w.t_icnt_inject = resp.t_icnt_inject;
-                w.t_l2_done = resp.t_l2_done;
-                w.t_returned = cycle;
-                self.finish_request(w, cycle);
+            let duplicate = ctx
+                .san
+                .as_deref_mut()
+                .is_some_and(SanRun::should_duplicate_response);
+            self.accept_response(resp, ctx)?;
+            if duplicate {
+                // Injected fault: the packet arrives a second time. The
+                // conservation checker must report a double response.
+                self.accept_response(resp, ctx)?;
             }
         }
-        any
+        Ok(any)
+    }
+
+    /// Handle one response from the interconnect: fill the L1 and release
+    /// its waiters.
+    fn accept_response(
+        &mut self,
+        resp: MemRequest,
+        ctx: &mut TickCtx<'_>,
+    ) -> Result<(), TickError> {
+        let cycle = ctx.cycle;
+        if resp.is_write {
+            return Ok(()); // stores are fire-and-forget
+        }
+        if let Some(s) = &mut self.san {
+            s.fold(cycle);
+            s.fold(resp.block_addr);
+        }
+        if let Some(sr) = ctx.san.as_deref_mut() {
+            if resp.san != 0 {
+                sr.ledger.transition(resp.san, SanStage::Returned, cycle)?;
+            }
+            if sr.should_drop_mshr() {
+                // Injected fault: lose the MSHR bookkeeping just before the
+                // fill; the empty fill below must be reported.
+                self.l1.forget_mshr(resp.block_addr);
+            }
+        }
+        let waiters = self.l1.fill(resp.block_addr, cycle);
+        if waiters.is_empty() {
+            if let Some(sr) = ctx.san.as_deref_mut() {
+                return Err(sr
+                    .ledger
+                    .response_without_request(resp.san, resp.block_addr, self.id, resp.class, cycle)
+                    .into());
+            }
+            if cfg!(debug_assertions) {
+                panic!("fill with no waiters");
+            }
+            return Ok(());
+        }
+        for mut w in waiters {
+            w.t_icnt_inject = resp.t_icnt_inject;
+            w.t_l2_done = resp.t_l2_done;
+            w.t_returned = cycle;
+            if w.san != 0 {
+                if let Some(sr) = ctx.san.as_deref_mut() {
+                    sr.ledger.retire(w.san, cycle)?;
+                }
+            }
+            self.finish_request(w, cycle);
+        }
+        Ok(())
     }
 
     fn finish_request(&mut self, req: MemRequest, cycle: Cycle) {
@@ -392,7 +505,8 @@ impl Sm {
         }
     }
 
-    fn process_local_done(&mut self, cycle: Cycle) -> bool {
+    fn process_local_done(&mut self, ctx: &mut TickCtx<'_>) -> Result<bool, TickError> {
+        let cycle = ctx.cycle;
         let mut any = false;
         while let Some(Reverse(head)) = self.local_done.peek() {
             if head.at > cycle {
@@ -405,6 +519,11 @@ impl Sm {
                 (Some(_meta), Some(MemRequestOrd(key))) => {
                     let mut req = self.local_reqs.remove(&key).expect("missing local request");
                     req.t_returned = cycle;
+                    if req.san != 0 {
+                        if let Some(sr) = ctx.san.as_deref_mut() {
+                            sr.ledger.retire(req.san, cycle)?;
+                        }
+                    }
                     self.finish_request(req, cycle);
                 }
                 // Shared/const load completion.
@@ -416,13 +535,13 @@ impl Sm {
                 }
             }
         }
-        any
+        Ok(any)
     }
 
     /// Issue up to one instruction per scheduler. Returns
     /// `(sp, sfu, any_issued)` flags for occupancy accounting and the hang
     /// watchdog.
-    fn issue(&mut self, ctx: &mut TickCtx<'_>) -> Result<(bool, bool, bool), Box<MemFaultReport>> {
+    fn issue(&mut self, ctx: &mut TickCtx<'_>) -> Result<(bool, bool, bool), TickError> {
         let n_sched = self.schedulers.len();
         let mut sp = false;
         let mut sfu = false;
@@ -475,11 +594,7 @@ impl Sm {
         Ok((sp, sfu, any))
     }
 
-    fn issue_warp(
-        &mut self,
-        slot: usize,
-        ctx: &mut TickCtx<'_>,
-    ) -> Result<(), Box<MemFaultReport>> {
+    fn issue_warp(&mut self, slot: usize, ctx: &mut TickCtx<'_>) -> Result<(), TickError> {
         let cycle = ctx.cycle;
         let mut warp = self.warps[slot].take().expect("issuing empty warp slot");
         let active_mask = warp.active_mask();
@@ -509,7 +624,7 @@ impl Sm {
                 // classification context.
                 let cta = warp.linear_cta;
                 self.warps[slot] = Some(warp);
-                return Err(Box::new(MemFaultReport {
+                return Err(TickError::Mem(Box::new(MemFaultReport {
                     kernel: ctx.kernel.name().to_string(),
                     sm: self.id,
                     warp_slot: slot,
@@ -517,11 +632,15 @@ impl Sm {
                     violation,
                     class: None,
                     witness: Vec::new(),
-                }));
+                })));
             }
         };
         self.stats.warp_insts += 1;
         self.stats.thread_insts += u64::from(active);
+        if let Some(s) = &mut self.san {
+            s.fold(cycle);
+            s.fold(((pc as u64) << 32) | u64::from(active_mask));
+        }
         let linear_cta = warp.linear_cta;
         if let Some(trace) = ctx.trace.as_mut() {
             trace.record(
@@ -550,7 +669,7 @@ impl Sm {
             }
             StepResult::Mem(access) => {
                 self.issued_mem_this_cycle = true;
-                self.dispatch_mem(slot, linear_cta, pc, access, ctx);
+                self.dispatch_mem(slot, linear_cta, pc, access, ctx)?;
             }
             StepResult::Branch { diverged } => {
                 self.stats.branches += 1;
@@ -571,7 +690,7 @@ impl Sm {
         pc: usize,
         access: MemAccess,
         ctx: &mut TickCtx<'_>,
-    ) {
+    ) -> Result<(), TickError> {
         let cycle = ctx.cycle;
         match access.space {
             Space::Param | Space::Const => {
@@ -586,6 +705,21 @@ impl Sm {
                 });
             }
             Space::Shared => {
+                if let Some(s) = &mut self.san {
+                    let w = self.warps[slot]
+                        .as_ref()
+                        .expect("warp resident at dispatch");
+                    s.check_shared(
+                        w.cta_slot,
+                        self.id,
+                        linear_cta,
+                        w.warp_in_cta,
+                        pc,
+                        access.is_store,
+                        &access.lane_addrs,
+                        access.bytes,
+                    )?;
+                }
                 if !access.is_store {
                     self.stats.shared_load_warps += 1;
                 }
@@ -637,6 +771,18 @@ impl Sm {
                         MemRequest::read(id, b, self.id, class_tag, meta.unwrap_or(0), cycle)
                     };
                     req.class = class_tag;
+                    if let Some(sr) = ctx.san.as_deref_mut() {
+                        req.san = sr.ledger.create(
+                            ReqInfo {
+                                pc: Some(pc),
+                                class: class_tag,
+                                is_write: is_store,
+                                block_addr: b,
+                                sm: self.id,
+                            },
+                            cycle,
+                        );
+                    }
                     pending.push_back(req);
                 }
                 let split = match (ctx.cfg.warp_split_nd, class_tag) {
@@ -653,10 +799,14 @@ impl Sm {
                 });
             }
         }
+        Ok(())
     }
 
     fn release_barriers(&mut self) {
-        for cta in self.cta_slots.iter().flatten() {
+        for idx in 0..self.cta_slots.len() {
+            let Some(cta) = &self.cta_slots[idx] else {
+                continue;
+            };
             // A barrier releases only when every live warp of the CTA waits
             // at the SAME named barrier. Warps parked on different ids never
             // release each other (the named-barrier deadlock the watchdog
@@ -688,6 +838,11 @@ impl Sm {
                         w.at_barrier = None;
                     }
                 }
+                // A barrier release opens a new race-detection epoch: accesses
+                // before the barrier can no longer conflict with accesses after.
+                if let Some(s) = &mut self.san {
+                    s.barrier_release(idx, barrier.unwrap_or(0));
+                }
             }
         }
     }
@@ -695,10 +850,10 @@ impl Sm {
     /// Process the head of the LD/ST queue: shared/const countdowns and L1
     /// access attempts for global requests. Returns whether the unit moved
     /// (countdown advanced or a request was accepted by the L1).
-    fn process_ldst(&mut self, ctx: &mut TickCtx<'_>) -> bool {
+    fn process_ldst(&mut self, ctx: &mut TickCtx<'_>) -> Result<bool, TickError> {
         let cycle = ctx.cycle;
         let Some(head) = self.ldst_queue.front_mut() else {
-            return false;
+            return Ok(false);
         };
         match head {
             LdstEntry::Const {
@@ -720,7 +875,7 @@ impl Sm {
                     self.local_done.push(Reverse(done));
                     self.ldst_queue.pop_front();
                 }
-                true
+                Ok(true)
             }
             LdstEntry::Shared {
                 warp_slot,
@@ -741,13 +896,13 @@ impl Sm {
                     self.local_done.push(Reverse(done));
                     self.ldst_queue.pop_front();
                 }
-                true
+                Ok(true)
             }
             LdstEntry::Global { .. } => self.process_global_head(ctx),
         }
     }
 
-    fn process_global_head(&mut self, ctx: &mut TickCtx<'_>) -> bool {
+    fn process_global_head(&mut self, ctx: &mut TickCtx<'_>) -> Result<bool, TickError> {
         let cycle = ctx.cycle;
         let hit_latency = Cycle::from(ctx.cfg.l1.hit_latency);
         let mut rotate = false;
@@ -778,6 +933,19 @@ impl Sm {
                 }
                 pending.pop_front();
                 accepted = true;
+                if req.san != 0 {
+                    if let Some(sr) = ctx.san.as_deref_mut() {
+                        // Stores only ever return MissIssued when accepted
+                        // (write-through), so the Hit/HitReserved arms are
+                        // load-only.
+                        let stage = match outcome {
+                            AccessOutcome::Hit => SanStage::L1Hit,
+                            AccessOutcome::HitReserved => SanStage::MshrMerged,
+                            _ => SanStage::MissQueue,
+                        };
+                        sr.ledger.transition(req.san, stage, cycle)?;
+                    }
+                }
                 if let Some(m) = meta {
                     self.loadtrack.note_accept(*m, cycle);
                 }
@@ -801,8 +969,40 @@ impl Sm {
                         cycle,
                     );
                     pf.meta = PREFETCH_META;
-                    if self.l1.access(pf, cycle) == AccessOutcome::MissIssued {
+                    if let Some(sr) = ctx.san.as_deref_mut() {
+                        // Tag before the access: on MissIssued/HitReserved the
+                        // MSHR stores a copy of `pf`, so the id must be set now.
+                        pf.san = sr.ledger.create(
+                            ReqInfo {
+                                pc: None,
+                                class: ClassTag::Other,
+                                is_write: false,
+                                block_addr: pf.block_addr,
+                                sm: self.id,
+                            },
+                            cycle,
+                        );
+                    }
+                    let pf_outcome = self.l1.access(pf, cycle);
+                    if pf_outcome == AccessOutcome::MissIssued {
                         self.stats.prefetches_issued += 1;
+                    }
+                    if pf.san != 0 {
+                        if let Some(sr) = ctx.san.as_deref_mut() {
+                            match pf_outcome {
+                                AccessOutcome::MissIssued => {
+                                    sr.ledger.transition(pf.san, SanStage::MissQueue, cycle)?;
+                                }
+                                // Merged into an existing MSHR entry: it will
+                                // come back with the fill, so it must stay live
+                                // or the fill would double-retire it.
+                                AccessOutcome::HitReserved => {
+                                    sr.ledger.transition(pf.san, SanStage::MshrMerged, cycle)?;
+                                }
+                                // Hit or reservation failure: dropped prefetch.
+                                _ => sr.ledger.retire(pf.san, cycle)?,
+                            }
+                        }
                     }
                 }
                 if let Some(k) = split {
@@ -842,19 +1042,35 @@ impl Sm {
             let entry = self.ldst_queue.pop_front().unwrap();
             self.ldst_queue.push_back(entry);
         }
-        accepted
+        Ok(accepted)
     }
 
     /// Move L1 misses into the interconnect.
-    fn drain_misses(&mut self, ctx: &mut TickCtx<'_>) {
+    fn drain_misses(&mut self, ctx: &mut TickCtx<'_>) -> Result<(), TickError> {
         let cycle = ctx.cycle;
         while self.l1.peek_miss().is_some() && ctx.icnt.can_inject_request(self.id.into()) {
             let mut req = self.l1.pop_miss().unwrap();
+            if ctx
+                .san
+                .as_deref_mut()
+                .is_some_and(|s| s.should_drop_store(req.is_write))
+            {
+                // Injected fault: the store vanishes between the L1 miss
+                // queue and the interconnect. Nothing waits on a store, so
+                // only the conservation ledger can notice.
+                continue;
+            }
+            if req.san != 0 {
+                if let Some(sr) = ctx.san.as_deref_mut() {
+                    sr.ledger.transition(req.san, SanStage::IcntReq, cycle)?;
+                }
+            }
             req.t_icnt_inject = cycle;
             let part = ctx.addrmap.partition_of(req.block_addr, self.id.into());
             let ok = ctx.icnt.inject_request(self.id.into(), part, req);
             debug_assert!(ok, "inject after can_inject check");
         }
+        Ok(())
     }
 
     /// Retire CTAs whose warps have finished and drained. Returns whether

@@ -48,6 +48,11 @@ pub struct LaunchStats {
     pub per_pc: Vec<(PcKey, PcReqAgg)>,
     /// Static load classification counts (deterministic, non-deterministic).
     pub static_loads: (usize, usize),
+    /// Per-launch event digest from the sanitizer's determinism auditor
+    /// (`Some` only when [`GpuConfig::sanitize`](crate::GpuConfig) is on).
+    /// Merging folds digests together so a workload's digest covers every
+    /// launch.
+    pub digest: Option<u64>,
 }
 
 impl LaunchStats {
@@ -167,6 +172,10 @@ impl LaunchStats {
         }
         self.static_loads.0 += other.static_loads.0;
         self.static_loads.1 += other.static_loads.1;
+        self.digest = match (self.digest, other.digest) {
+            (Some(a), Some(b)) => Some(crate::san::fnv_fold(a, b)),
+            (a, b) => a.or(b),
+        };
     }
 
     /// Merge one per-pc aggregate in by key.

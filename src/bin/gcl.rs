@@ -4,9 +4,9 @@
 //! gcl classify <kernel.ptx> [--json]       classify loads, print witnesses
 //! gcl disasm   <kernel.ptx>                parse and re-print (normalize)
 //! gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param V]...
-//!              [--memcheck] [--max-cycles N]
+//!              [--memcheck] [--sanitize] [--max-cycles N]
 //!                                          simulate one launch, print stats
-//! gcl suite    [--tiny] [--force-fail NAME]
+//! gcl suite    [--tiny] [--sanitize] [--force-fail NAME]
 //!                                          run the 15-benchmark suite
 //! ```
 
@@ -44,8 +44,8 @@ USAGE:
   gcl classify <kernel.ptx> [--json]
   gcl disasm   <kernel.ptx>
   gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param VALUE]...
-               [--memcheck] [--max-cycles N]
-  gcl suite    [--tiny] [--force-fail NAME]
+               [--memcheck] [--sanitize] [--max-cycles N]
+  gcl suite    [--tiny] [--sanitize] [--force-fail NAME]
 
 `classify` runs the paper's backward-dataflow analysis and prints each
 global load's class and (for non-deterministic loads) the def-chain back to
@@ -53,10 +53,13 @@ the tainting load. `run` simulates one launch on the Fermi configuration;
 each --alloc allocates a zeroed device buffer and passes its address as the
 next kernel parameter, each --param passes a raw integer. With --memcheck,
 out-of-bounds device accesses abort the launch with a fault report naming
-the load's class and address def-chain. `suite` keeps going when a
-benchmark fails, prints a per-benchmark outcome table, and exits nonzero
-only if something failed; --force-fail caps the named benchmark's cycle
-budget to exercise that path.
+the load's class and address def-chain. With --sanitize, the simsan runtime
+sanitizer checks request conservation through the memory hierarchy and
+shared-memory races between warps, and prints the launch's event digest.
+`suite` keeps going when a benchmark fails, prints a per-benchmark outcome
+table, and exits nonzero only if something failed; --force-fail caps the
+named benchmark's cycle budget to exercise that path; --sanitize runs each
+benchmark twice and fails it if the two event digests diverge.
 ";
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
@@ -203,6 +206,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 )?));
             }
             "--memcheck" => cfg.memcheck = true,
+            "--sanitize" => cfg.sanitize = true,
             "--max-cycles" => {
                 i += 1;
                 cfg.max_cycles = parse_u64(args.get(i).ok_or("--max-cycles needs a value")?)?;
@@ -263,11 +267,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             a.turnaround.mean()
         );
     }
+    if let Some(d) = stats.digest {
+        println!("event digest       0x{d:016x}");
+    }
     Ok(())
 }
 
 fn cmd_suite(args: &[String]) -> Result<(), String> {
     let tiny = args.iter().any(|a| a == "--tiny");
+    let sanitize = args.iter().any(|a| a == "--sanitize");
     let force_fail = args
         .iter()
         .position(|a| a == "--force-fail")
@@ -304,12 +312,30 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             // the fail-soft path without corrupting any input.
             cfg.max_cycles = 50;
         }
-        let outcome = Gpu::new(cfg).and_then(|mut gpu| w.run(&mut gpu));
+        cfg.sanitize = sanitize;
+        let mut outcome = Gpu::new(cfg.clone()).and_then(|mut gpu| w.run(&mut gpu));
+        if sanitize {
+            if let Ok(run) = outcome {
+                // Determinism audit: a second run from an identical initial
+                // state must produce an identical event digest.
+                outcome = Gpu::new(cfg)
+                    .and_then(|mut gpu| w.run(&mut gpu))
+                    .and_then(|second| {
+                        gcl_sim::check_digests(w.name(), run.stats.digest, second.stats.digest)
+                            .map_err(gcl_sim::SimError::Sanitizer)?;
+                        Ok(run)
+                    });
+            }
+        }
         match outcome {
             Ok(run) => {
                 let p = run.stats.profiler();
+                let digest = match run.stats.digest {
+                    Some(d) => format!("  0x{d:016x}"),
+                    None => String::new(),
+                };
                 println!(
-                    "{:6} {:7} {:>9} {:>11} {:>9} {:>5.1} {:>9.1}  ok",
+                    "{:6} {:7} {:>9} {:>11} {:>9} {:>5.1} {:>9.1}  ok{digest}",
                     w.name(),
                     w.category().to_string(),
                     run.stats.cycles,
