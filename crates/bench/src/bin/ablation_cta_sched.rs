@@ -3,8 +3,16 @@
 use gcl_bench::ablation::cta_sched;
 use gcl_bench::harness::{save_json, Scale};
 
-fn main() {
-    let t = cta_sched(Scale::from_args());
+fn main() -> std::process::ExitCode {
+    let scale = match Scale::from_args() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let t = cta_sched(scale);
     println!("{t}");
     save_json("ablation_cta_sched", &t.to_json());
+    std::process::ExitCode::SUCCESS
 }

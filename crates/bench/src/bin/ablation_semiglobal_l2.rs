@@ -3,8 +3,16 @@
 use gcl_bench::ablation::semiglobal_l2;
 use gcl_bench::harness::{save_json, Scale};
 
-fn main() {
-    let t = semiglobal_l2(Scale::from_args());
+fn main() -> std::process::ExitCode {
+    let scale = match Scale::from_args() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let t = semiglobal_l2(scale);
     println!("{t}");
     save_json("ablation_semiglobal_l2", &t.to_json());
+    std::process::ExitCode::SUCCESS
 }

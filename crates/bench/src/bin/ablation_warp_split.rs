@@ -4,8 +4,16 @@
 use gcl_bench::ablation::warp_split;
 use gcl_bench::harness::{save_json, Scale};
 
-fn main() {
-    let t = warp_split(Scale::from_args(), 4);
+fn main() -> std::process::ExitCode {
+    let scale = match Scale::from_args() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let t = warp_split(scale, 4);
     println!("{t}");
     save_json("ablation_warp_split", &t.to_json());
+    std::process::ExitCode::SUCCESS
 }

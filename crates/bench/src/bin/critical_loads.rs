@@ -5,6 +5,6 @@
 //! cargo run --release -p gcl-bench --bin critical_loads [workload] [--tiny]
 //! ```
 
-fn main() {
-    gcl_bench::driver::figure_main("critical_loads");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("critical_loads")
 }

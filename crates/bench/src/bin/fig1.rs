@@ -1,5 +1,5 @@
 //! Regenerates Figure 1 of the paper.
 
-fn main() {
-    gcl_bench::driver::figure_main("fig1");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("fig1")
 }

@@ -1,5 +1,5 @@
 //! Regenerates Figure 11 of the paper.
 
-fn main() {
-    gcl_bench::driver::figure_main("fig11");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("fig11")
 }

@@ -1,6 +1,6 @@
 //! Regenerates Figure 12: CTA-distance distribution of shared-block
 //! accesses, one panel per category.
 
-fn main() {
-    gcl_bench::driver::figure_main("fig12");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("fig12")
 }

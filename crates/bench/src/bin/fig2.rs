@@ -1,5 +1,5 @@
 //! Regenerates Figure 2 of the paper.
 
-fn main() {
-    gcl_bench::driver::figure_main("fig2");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("fig2")
 }

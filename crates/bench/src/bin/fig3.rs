@@ -1,5 +1,5 @@
 //! Regenerates Figure 3 of the paper.
 
-fn main() {
-    gcl_bench::driver::figure_main("fig3");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("fig3")
 }

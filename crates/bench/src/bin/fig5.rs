@@ -1,5 +1,5 @@
 //! Regenerates Figure 5: average turnaround-time breakdown per load class.
 
-fn main() {
-    gcl_bench::driver::figure_main("fig5");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("fig5")
 }

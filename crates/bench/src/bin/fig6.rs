@@ -1,6 +1,6 @@
 //! Regenerates Figure 6: turnaround vs generated requests for selected
 //! loads of bfs, sssp and spmv.
 
-fn main() {
-    gcl_bench::driver::figure_main("fig6");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("fig6")
 }

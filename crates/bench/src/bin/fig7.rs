@@ -1,6 +1,6 @@
 //! Regenerates Figure 7: per-request-count turnaround breakdown for the
 //! busiest non-deterministic load of bfs.
 
-fn main() {
-    gcl_bench::driver::figure_main("fig7");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("fig7")
 }

@@ -1,5 +1,5 @@
 //! Regenerates Figure 9 of the paper.
 
-fn main() {
-    gcl_bench::driver::figure_main("fig9");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("fig9")
 }

@@ -1,5 +1,5 @@
 //! One-line-per-workload summary of a full harness run.
 
-fn main() {
-    gcl_bench::driver::figure_main("summary");
+fn main() -> std::process::ExitCode {
+    gcl_bench::driver::figure_main("summary")
 }

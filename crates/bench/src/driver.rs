@@ -6,24 +6,57 @@
 //! their own mains — they sweep configurations, not figures.
 
 use crate::figures;
-use crate::harness::{completed, run_all, save_json, BenchResult, Scale};
+use crate::harness::{completed, parse_scale_args, run_all, save_json, BenchResult};
 use gcl_sim::GpuConfig;
 use gcl_workloads::Category;
+use std::process::ExitCode;
+
+/// Every artifact id [`figure_main`] can regenerate.
+pub const ARTIFACT_IDS: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table1",
+    "critical_loads",
+    "summary",
+];
 
 /// Run the benchmark sweep once and regenerate the named artifact
-/// (`"fig1"`..`"fig12"`, `"table1"`, `"summary"`, or `"critical_loads"`).
+/// (see [`ARTIFACT_IDS`]).
 ///
-/// Reads the process arguments the way every figure binary always has:
-/// `--tiny` selects the tiny scale, and `critical_loads` takes an optional
-/// leading workload name (default `bfs`).
-///
-/// # Panics
-///
-/// Panics on an unknown `id` — the ids are compiled into the binaries, so
-/// this is unreachable from the command line.
-pub fn figure_main(id: &str) {
+/// Parses the process arguments strictly: `--tiny` selects the tiny scale,
+/// `critical_loads` additionally takes one optional workload name (default
+/// `bfs`), and anything else — including an unknown `id` — is reported to
+/// stderr with a nonzero exit instead of being ignored or panicking.
+pub fn figure_main(id: &str) -> ExitCode {
+    match figure_main_inner(id) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn figure_main_inner(id: &str) -> Result<(), String> {
+    if !ARTIFACT_IDS.contains(&id) {
+        return Err(format!(
+            "no figure or table named `{id}` (valid: {})",
+            ARTIFACT_IDS.join(", ")
+        ));
+    }
+    let (scale, workload) = parse_scale_args(std::env::args().skip(1), id == "critical_loads")?;
     let cfg = GpuConfig::fermi();
-    let results = completed(&run_all(&cfg, Scale::from_args()));
+    let results = completed(&run_all(&cfg, scale));
     match id {
         "fig1" => emit(id, &figures::fig1(&results)),
         "fig2" => emit(id, &figures::fig2(&results)),
@@ -50,18 +83,16 @@ pub fn figure_main(id: &str) {
         }
         "table1" => emit(id, &figures::table1(&results)),
         "critical_loads" => {
-            let workload = std::env::args()
-                .nth(1)
-                .filter(|a| !a.starts_with("--"))
-                .unwrap_or_else(|| "bfs".to_string());
+            let workload = workload.unwrap_or_else(|| "bfs".to_string());
             emit(
                 &format!("critical_loads_{workload}"),
                 &figures::critical_loads(&results, &workload),
             );
         }
         "summary" => summary(&results),
-        other => panic!("no figure named `{other}`"),
+        other => unreachable!("id `{other}` validated against ARTIFACT_IDS"),
     }
+    Ok(())
 }
 
 /// Print one artifact and save its JSON form under `results/`.
@@ -108,5 +139,21 @@ fn summary(results: &[BenchResult]) {
             r.stats.simd_utilization(32) * 100.0,
             r.stats.branch_divergence() * 100.0,
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{figure_main_inner, ARTIFACT_IDS};
+
+    /// An unknown artifact id is a structured error naming every valid id,
+    /// not a panic.
+    #[test]
+    fn unknown_id_lists_valid_names() {
+        let err = figure_main_inner("fig99").unwrap_err();
+        assert!(err.contains("no figure or table named `fig99`"), "{err}");
+        for id in ARTIFACT_IDS {
+            assert!(err.contains(id), "error must list `{id}`: {err}");
+        }
     }
 }

@@ -35,14 +35,53 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parse from a CLI argument (`--tiny` selects [`Scale::Tiny`]).
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--tiny") {
-            Scale::Tiny
-        } else {
-            Scale::Full
+    /// Strictly parse the process arguments of an ablation/figure binary:
+    /// `--tiny` selects [`Scale::Tiny`], anything else is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first unknown flag or stray positional argument.
+    pub fn from_args() -> Result<Scale, String> {
+        let (scale, _) = parse_scale_args(std::env::args().skip(1), false)?;
+        Ok(scale)
+    }
+}
+
+/// Strictly parse a figure-binary command line: `--tiny`, plus — only when
+/// `allow_workload` — one optional positional workload name. Unknown flags
+/// and unexpected positionals are errors, never silently ignored.
+///
+/// # Errors
+///
+/// Describes the offending argument and what the binary accepts.
+pub fn parse_scale_args(
+    args: impl Iterator<Item = String>,
+    allow_workload: bool,
+) -> Result<(Scale, Option<String>), String> {
+    let accepts = if allow_workload {
+        "--tiny and one optional workload name"
+    } else {
+        "--tiny"
+    };
+    let mut scale = Scale::Full;
+    let mut workload = None;
+    for a in args {
+        match a.as_str() {
+            "--tiny" => scale = Scale::Tiny,
+            flag if flag.starts_with('-') => {
+                return Err(format!(
+                    "unknown option `{flag}` (this binary accepts {accepts})"
+                ));
+            }
+            name if allow_workload && workload.is_none() => workload = Some(name.to_string()),
+            other => {
+                return Err(format!(
+                    "unexpected argument `{other}` (this binary accepts {accepts})"
+                ));
+            }
         }
     }
+    Ok((scale, workload))
 }
 
 /// The outcome of attempting one workload end to end: either its results or
@@ -140,5 +179,41 @@ pub fn save_json(id: &str, json: &str) {
         if std::fs::write(&path, json).is_ok() {
             eprintln!("(wrote {})", path.display());
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{parse_scale_args, Scale};
+
+    fn args(list: &'static [&'static str]) -> impl Iterator<Item = String> {
+        list.iter().map(|s| s.to_string())
+    }
+
+    #[test]
+    fn tiny_flag_and_workload_parse() {
+        assert_eq!(
+            parse_scale_args(args(&[]), false).unwrap(),
+            (Scale::Full, None)
+        );
+        assert_eq!(
+            parse_scale_args(args(&["--tiny"]), false).unwrap(),
+            (Scale::Tiny, None)
+        );
+        assert_eq!(
+            parse_scale_args(args(&["bfs", "--tiny"]), true).unwrap(),
+            (Scale::Tiny, Some("bfs".to_string()))
+        );
+    }
+
+    /// Unknown flags and stray positionals are rejected, not ignored.
+    #[test]
+    fn unknown_arguments_rejected() {
+        let err = parse_scale_args(args(&["--huge"]), false).unwrap_err();
+        assert!(err.contains("unknown option `--huge`"), "{err}");
+        let err = parse_scale_args(args(&["bfs"]), false).unwrap_err();
+        assert!(err.contains("unexpected argument `bfs`"), "{err}");
+        let err = parse_scale_args(args(&["bfs", "sssp"]), true).unwrap_err();
+        assert!(err.contains("unexpected argument `sssp`"), "{err}");
     }
 }

@@ -6,6 +6,7 @@
 //! or a reservation failure by *tags*, *MSHRs* or *interconnect* (miss-queue
 //! space). Failed accesses are retried by the caller on a later cycle.
 
+use crate::wire::{Dec, Enc, WireError};
 use crate::{ClassTag, Cycle, MemRequest, Mshr};
 
 /// Geometry and resource limits of one cache.
@@ -452,6 +453,77 @@ impl Cache {
     /// normal simulation path.
     pub fn forget_mshr(&mut self, block_addr: u64) -> bool {
         self.mshr.forget(block_addr)
+    }
+
+    /// Checkpoint-encode the full cache state: tag array (with LRU stamps),
+    /// MSHRs, miss queue, statistics and the use tick.
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        e.seq(&self.lines, |e, line| {
+            e.u64(line.tag);
+            e.u8(match line.state {
+                LineState::Invalid => 0,
+                LineState::Reserved => 1,
+                LineState::Valid => 2,
+            });
+            e.u64(line.last_use);
+        });
+        self.mshr.ckpt_encode(e);
+        let mq: Vec<MemRequest> = self.miss_queue.iter().copied().collect();
+        e.seq(&mq, |e, r| r.ckpt_encode(e));
+        for row in &self.stats.attempts {
+            for &v in row {
+                e.u64(v);
+            }
+        }
+        e.u64(self.stats.fills);
+        e.u64(self.stats.writes_forwarded);
+        e.u64(self.use_tick);
+    }
+
+    /// Checkpoint-decode a cache written by [`ckpt_encode`](Self::ckpt_encode)
+    /// against the (already validated) configuration `cfg`.
+    pub fn ckpt_decode(d: &mut Dec<'_>, cfg: CacheConfig) -> Result<Cache, WireError> {
+        let lines = d.seq(|d| {
+            let tag = d.u64()?;
+            let state = match d.u8()? {
+                0 => LineState::Invalid,
+                1 => LineState::Reserved,
+                2 => LineState::Valid,
+                _ => return Err(WireError::Malformed("line state tag")),
+            };
+            let last_use = d.u64()?;
+            Ok(Line {
+                tag,
+                state,
+                last_use,
+            })
+        })?;
+        if lines.len() != cfg.sets * cfg.ways {
+            return Err(WireError::Malformed("tag array size mismatch"));
+        }
+        let mshr = Mshr::ckpt_decode(d, cfg.mshr_entries, cfg.mshr_max_merge)?;
+        let miss_queue: std::collections::VecDeque<MemRequest> =
+            d.seq(MemRequest::ckpt_decode)?.into();
+        if miss_queue.len() > cfg.miss_queue_len {
+            return Err(WireError::Malformed("miss queue overflow"));
+        }
+        let mut stats = CacheStats::default();
+        for row in &mut stats.attempts {
+            for v in row.iter_mut() {
+                *v = d.u64()?;
+            }
+        }
+        stats.fills = d.u64()?;
+        stats.writes_forwarded = d.u64()?;
+        let use_tick = d.u64()?;
+        Ok(Cache {
+            cfg,
+            lines,
+            mshr,
+            miss_queue,
+            stats,
+            use_tick,
+        })
     }
 }
 

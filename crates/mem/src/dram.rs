@@ -6,6 +6,7 @@
 //! latency and (b) bursty traffic queues behind busy banks and a
 //! bandwidth-limited bus, stretching the tail of multi-request loads.
 
+use crate::wire::{Dec, Enc, WireError};
 use crate::{Cycle, MemRequest};
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -184,6 +185,91 @@ impl DramChannel {
     /// Take and reset the statistics.
     pub fn take_stats(&mut self) -> DramStats {
         std::mem::take(&mut self.stats)
+    }
+
+    /// Checkpoint-encode the channel. The completion heap is written as a
+    /// vector sorted by `(ready, seq)` so the encoding is byte-stable; the
+    /// `finished` side table keeps its holes (completions reference entries
+    /// by index).
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        let q: Vec<(Cycle, MemRequest)> = self.queue.iter().copied().collect();
+        e.seq(&q, |e, (at, r)| {
+            e.u64(*at);
+            r.ckpt_encode(e);
+        });
+        e.seq(&self.bank_free_at, |e, &c| e.u64(c));
+        e.u64(self.bus_free_at);
+        let mut comps: Vec<&Completion> = self.completions.iter().collect();
+        comps.sort_unstable_by_key(|c| (c.ready, c.seq));
+        e.usize(comps.len());
+        for c in comps {
+            e.u64(c.ready);
+            e.u64(c.seq);
+            e.usize(c.req_index);
+        }
+        e.seq(&self.finished, |e, f| {
+            e.opt(f, |e, r| r.ckpt_encode(e));
+        });
+        e.u64(self.seq);
+        e.u64(self.stats.serviced);
+        e.u64(self.stats.total_latency);
+        e.usize(self.stats.peak_queue);
+    }
+
+    /// Checkpoint-decode a channel written by
+    /// [`ckpt_encode`](Self::ckpt_encode) against configuration `cfg`.
+    pub fn ckpt_decode(d: &mut Dec<'_>, cfg: DramConfig) -> Result<DramChannel, WireError> {
+        let queue: VecDeque<(Cycle, MemRequest)> = d
+            .seq(|d| {
+                let at = d.u64()?;
+                let r = MemRequest::ckpt_decode(d)?;
+                Ok((at, r))
+            })?
+            .into();
+        if queue.len() > cfg.queue_len {
+            return Err(WireError::Malformed("DRAM queue overflow"));
+        }
+        let bank_free_at = d.seq(|d| d.u64())?;
+        if bank_free_at.len() != cfg.banks {
+            return Err(WireError::Malformed("DRAM bank count mismatch"));
+        }
+        let bus_free_at = d.u64()?;
+        let n_comps = d.seq_len()?;
+        let mut completions = BinaryHeap::with_capacity(n_comps);
+        let mut comp_indices = Vec::with_capacity(n_comps);
+        for _ in 0..n_comps {
+            let ready = d.u64()?;
+            let seq = d.u64()?;
+            let req_index = d.usize()?;
+            comp_indices.push(req_index);
+            completions.push(Completion {
+                ready,
+                seq,
+                req_index,
+            });
+        }
+        let finished = d.seq(|d| d.opt(MemRequest::ckpt_decode))?;
+        for &i in &comp_indices {
+            if finished.get(i).is_none_or(Option::is_none) {
+                return Err(WireError::Malformed("DRAM completion index dangling"));
+            }
+        }
+        let seq = d.u64()?;
+        let stats = DramStats {
+            serviced: d.u64()?,
+            total_latency: d.u64()?,
+            peak_queue: d.usize()?,
+        };
+        Ok(DramChannel {
+            cfg,
+            queue,
+            bank_free_at,
+            bus_free_at,
+            completions,
+            finished,
+            seq,
+            stats,
+        })
     }
 }
 

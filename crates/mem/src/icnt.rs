@@ -7,6 +7,7 @@
 //! *reservation fail by interconnection* back-pressure, and the per-output
 //! serialization produces the Figure 7 "gap at L2-icnt" spread.
 
+use crate::wire::{Dec, Enc, WireError};
 use crate::{Cycle, MemRequest};
 use std::collections::VecDeque;
 
@@ -106,6 +107,83 @@ impl Xbar {
     fn is_empty(&self) -> bool {
         self.inputs.iter().all(VecDeque::is_empty) && self.outputs.iter().all(VecDeque::is_empty)
     }
+
+    fn ckpt_encode(&self, e: &mut Enc) {
+        e.usize(self.inputs.len());
+        for q in &self.inputs {
+            let v: Vec<(usize, MemRequest)> = q.iter().copied().collect();
+            e.seq(&v, |e, (dest, r)| {
+                e.usize(*dest);
+                r.ckpt_encode(e);
+            });
+        }
+        e.usize(self.outputs.len());
+        for q in &self.outputs {
+            let v: Vec<(Cycle, MemRequest)> = q.iter().copied().collect();
+            e.seq(&v, |e, (at, r)| {
+                e.u64(*at);
+                r.ckpt_encode(e);
+            });
+        }
+        e.seq(&self.rr, |e, &p| e.usize(p));
+        e.u64(self.transferred);
+    }
+
+    fn ckpt_decode(
+        d: &mut Dec<'_>,
+        cfg: IcntConfig,
+        n_in: usize,
+        n_out: usize,
+    ) -> Result<Xbar, WireError> {
+        let ni = d.seq_len()?;
+        if ni != n_in {
+            return Err(WireError::Malformed("xbar input port count mismatch"));
+        }
+        let mut inputs = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            let q: VecDeque<(usize, MemRequest)> = d
+                .seq(|d| {
+                    let dest = d.usize()?;
+                    if dest >= n_out {
+                        return Err(WireError::Malformed("xbar destination out of range"));
+                    }
+                    let r = MemRequest::ckpt_decode(d)?;
+                    Ok((dest, r))
+                })?
+                .into();
+            if q.len() > cfg.input_queue_len {
+                return Err(WireError::Malformed("xbar input queue overflow"));
+            }
+            inputs.push(q);
+        }
+        let no = d.seq_len()?;
+        if no != n_out {
+            return Err(WireError::Malformed("xbar output port count mismatch"));
+        }
+        let mut outputs = Vec::with_capacity(no);
+        for _ in 0..no {
+            let q: VecDeque<(Cycle, MemRequest)> = d
+                .seq(|d| {
+                    let at = d.u64()?;
+                    let r = MemRequest::ckpt_decode(d)?;
+                    Ok((at, r))
+                })?
+                .into();
+            outputs.push(q);
+        }
+        let rr = d.seq(|d| d.usize())?;
+        if rr.len() != n_out || rr.iter().any(|&p| p >= n_in) {
+            return Err(WireError::Malformed("xbar round-robin state invalid"));
+        }
+        let transferred = d.u64()?;
+        Ok(Xbar {
+            cfg,
+            inputs,
+            outputs,
+            rr,
+            transferred,
+        })
+    }
 }
 
 /// The full interconnect: SM→partition requests and partition→SM responses.
@@ -197,6 +275,27 @@ impl Icnt {
                 + x.outputs.iter().map(VecDeque::len).sum::<usize>()
         };
         (count(&self.req), count(&self.resp))
+    }
+
+    /// Checkpoint-encode both crossbar directions (queues, round-robin
+    /// pointers and transfer counters).
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        self.req.ckpt_encode(e);
+        self.resp.ckpt_encode(e);
+    }
+
+    /// Checkpoint-decode an interconnect written by
+    /// [`ckpt_encode`](Self::ckpt_encode) for the given topology.
+    pub fn ckpt_decode(
+        d: &mut Dec<'_>,
+        cfg: IcntConfig,
+        n_sms: usize,
+        n_parts: usize,
+    ) -> Result<Icnt, WireError> {
+        Ok(Icnt {
+            req: Xbar::ckpt_decode(d, cfg, n_sms, n_parts)?,
+            resp: Xbar::ckpt_decode(d, cfg, n_parts, n_sms)?,
+        })
     }
 }
 

@@ -1,5 +1,6 @@
 //! A memory partition: one L2 cache slice fronting one DRAM channel.
 
+use crate::wire::{Dec, Enc, WireError};
 use crate::{
     AccessOutcome, Cache, CacheConfig, CacheStats, Cycle, DramChannel, DramConfig, DramStats,
     MemRequest,
@@ -199,6 +200,71 @@ impl L2Partition {
     /// Take and reset both the L2 and DRAM statistics.
     pub fn take_stats(&mut self) -> (CacheStats, DramStats) {
         (self.cache.take_stats(), self.dram.take_stats())
+    }
+
+    /// Checkpoint-encode the partition: L2 slice, DRAM channel, input queue,
+    /// retry slots, response queue and pending sanitizer events.
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        self.cache.ckpt_encode(e);
+        self.dram.ckpt_encode(e);
+        let input: Vec<MemRequest> = self.input.iter().copied().collect();
+        e.seq(&input, |e, r| r.ckpt_encode(e));
+        e.opt(&self.retry, |e, r| r.ckpt_encode(e));
+        e.opt(&self.miss_retry, |e, r| r.ckpt_encode(e));
+        let responses: Vec<(Cycle, MemRequest)> = self.responses.iter().copied().collect();
+        e.seq(&responses, |e, (at, r)| {
+            e.u64(*at);
+            r.ckpt_encode(e);
+        });
+        let events: Vec<(u64, PartitionEvent)> = self.events.iter().copied().collect();
+        e.seq(&events, |e, (san, ev)| {
+            e.u64(*san);
+            e.u8(match ev {
+                PartitionEvent::DramEntered => 0,
+                PartitionEvent::WriteRetired => 1,
+            });
+        });
+    }
+
+    /// Checkpoint-decode a partition written by
+    /// [`ckpt_encode`](Self::ckpt_encode) against configuration `cfg`.
+    pub fn ckpt_decode(d: &mut Dec<'_>, cfg: PartitionConfig) -> Result<L2Partition, WireError> {
+        let cache = Cache::ckpt_decode(d, cfg.l2)?;
+        let dram = DramChannel::ckpt_decode(d, cfg.dram)?;
+        let input: VecDeque<MemRequest> = d.seq(MemRequest::ckpt_decode)?.into();
+        if input.len() > cfg.input_queue_len {
+            return Err(WireError::Malformed("partition input queue overflow"));
+        }
+        let retry = d.opt(MemRequest::ckpt_decode)?;
+        let miss_retry = d.opt(MemRequest::ckpt_decode)?;
+        let responses: VecDeque<(Cycle, MemRequest)> = d
+            .seq(|d| {
+                let at = d.u64()?;
+                let r = MemRequest::ckpt_decode(d)?;
+                Ok((at, r))
+            })?
+            .into();
+        let events: VecDeque<(u64, PartitionEvent)> = d
+            .seq(|d| {
+                let san = d.u64()?;
+                let ev = match d.u8()? {
+                    0 => PartitionEvent::DramEntered,
+                    1 => PartitionEvent::WriteRetired,
+                    _ => return Err(WireError::Malformed("partition event tag")),
+                };
+                Ok((san, ev))
+            })?
+            .into();
+        Ok(L2Partition {
+            cache,
+            dram,
+            input,
+            input_queue_len: cfg.input_queue_len,
+            retry,
+            miss_retry,
+            responses,
+            events,
+        })
     }
 }
 

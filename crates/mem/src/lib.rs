@@ -35,6 +35,7 @@ mod l2;
 mod mshr;
 mod request;
 mod san;
+pub mod wire;
 
 pub use addrmap::{AddrMap, L2Topology};
 pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats};
@@ -44,3 +45,4 @@ pub use l2::{L2Partition, PartitionConfig, PartitionEvent};
 pub use mshr::Mshr;
 pub use request::{ClassTag, Cycle, MemRequest};
 pub use san::{ConservationKind, ConservationReport, ReqInfo, RequestLedger, SanStage};
+pub use wire::{Dec, Enc, WireError};

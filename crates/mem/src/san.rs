@@ -18,6 +18,7 @@
 //! surfaces its two internal transitions — DRAM entry and write
 //! retirement — as [`PartitionEvent`](crate::PartitionEvent)s.
 
+use crate::wire::{Dec, Enc, WireError};
 use crate::{ClassTag, Cycle};
 use std::collections::HashMap;
 use std::fmt;
@@ -66,6 +67,32 @@ impl SanStage {
         // merged waiters straight from `MshrMerged`, hits from `L1Hit`);
         // writes retire at DRAM; dropped prefetches retire unaccepted.
         matches!(self, Coalesced | L1Hit | MshrMerged | Returned | Dram)
+    }
+
+    /// All stages, in the order used by the checkpoint encoding.
+    const ALL: [SanStage; 9] = [
+        SanStage::Coalesced,
+        SanStage::L1Hit,
+        SanStage::MshrMerged,
+        SanStage::MissQueue,
+        SanStage::IcntReq,
+        SanStage::L2,
+        SanStage::Dram,
+        SanStage::IcntResp,
+        SanStage::Returned,
+    ];
+
+    /// Checkpoint-encode this stage as one byte.
+    pub fn ckpt_encode(self, e: &mut Enc) {
+        e.u8(SanStage::ALL.iter().position(|s| *s == self).unwrap() as u8);
+    }
+
+    /// Checkpoint-decode a stage written by [`ckpt_encode`](Self::ckpt_encode).
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<SanStage, WireError> {
+        SanStage::ALL
+            .get(d.u8()? as usize)
+            .copied()
+            .ok_or(WireError::Malformed("sanitizer stage tag"))
     }
 }
 
@@ -370,6 +397,68 @@ impl RequestLedger {
             stage: t.stage,
             cycle: t.last_cycle,
         }))
+    }
+
+    /// Checkpoint-encode the ledger: live requests (in sorted tag order for
+    /// byte stability) plus the id and totals counters.
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        let mut ids: Vec<&u64> = self.live.keys().collect();
+        ids.sort_unstable();
+        e.usize(ids.len());
+        for id in ids {
+            let t = &self.live[id];
+            e.u64(*id);
+            e.opt(&t.info.pc, |e, &pc| e.usize(pc));
+            t.info.class.ckpt_encode(e);
+            e.bool(t.info.is_write);
+            e.u64(t.info.block_addr);
+            e.u16(t.info.sm);
+            t.stage.ckpt_encode(e);
+            e.u64(t.last_cycle);
+        }
+        e.u64(self.next_id);
+        e.u64(self.created);
+        e.u64(self.retired);
+    }
+
+    /// Checkpoint-decode a ledger written by
+    /// [`ckpt_encode`](Self::ckpt_encode).
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<RequestLedger, WireError> {
+        let n = d.seq_len()?;
+        let mut live = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = d.u64()?;
+            let pc = d.opt(|d| d.usize())?;
+            let class = ClassTag::ckpt_decode(d)?;
+            let is_write = d.bool()?;
+            let block_addr = d.u64()?;
+            let sm = d.u16()?;
+            let stage = SanStage::ckpt_decode(d)?;
+            let last_cycle = d.u64()?;
+            let tracked = Tracked {
+                info: ReqInfo {
+                    pc,
+                    class,
+                    is_write,
+                    block_addr,
+                    sm,
+                },
+                stage,
+                last_cycle,
+            };
+            if live.insert(id, tracked).is_some() {
+                return Err(WireError::Malformed("duplicate ledger id"));
+            }
+        }
+        let next_id = d.u64()?;
+        let created = d.u64()?;
+        let retired = d.u64()?;
+        Ok(RequestLedger {
+            live,
+            next_id,
+            created,
+            retired,
+        })
     }
 }
 

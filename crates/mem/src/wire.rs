@@ -1,0 +1,305 @@
+//! Minimal little-endian binary wire format for checkpoints.
+//!
+//! The simulator is dependency-free, so checkpoint serialization is a
+//! hand-rolled encoder/decoder pair. The format is deliberately simple:
+//! fixed-width little-endian integers, `u64` length prefixes for sequences,
+//! one tag byte for enums and `Option`s. Byte-stability matters more than
+//! compactness — two encodings of the same logical state must be identical
+//! so the checkpoint content checksum is meaningful, which is why callers
+//! serialize hash maps in sorted key order and heaps as sorted vectors.
+
+/// A decode failure. Encoding is infallible; decoding validates everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// A tag byte or structural invariant did not match any known value.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated input"),
+            WireError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only encoder writing the wire format into a byte vector.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Create an empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Consume the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64` (the format is 64-bit regardless of host).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Write an `f64` via its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Write a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Write an `Option` tag byte followed by the value when present.
+    pub fn opt<T>(&mut self, v: &Option<T>, mut f: impl FnMut(&mut Enc, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+
+    /// Write a `u64`-length-prefixed sequence.
+    pub fn seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Enc, &T)) {
+        self.usize(items.len());
+        for it in items {
+            f(self, it);
+        }
+    }
+}
+
+/// A bounds-checked cursor decoding the wire format from a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Create a decoder over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole buffer has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `usize` encoded as `u64`, rejecting values the host cannot
+    /// represent.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::Malformed("usize overflow"))
+    }
+
+    /// Read a sequence length, additionally bounded by the remaining input
+    /// so corrupt lengths cannot trigger huge allocations.
+    pub fn seq_len(&mut self) -> Result<usize, WireError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            // Every element takes at least one byte, so a length beyond the
+            // remaining byte count is structurally impossible.
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Read a bool, rejecting tag bytes other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool tag")),
+        }
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::Malformed("utf8 string"))
+    }
+
+    /// Read an `Option` written by [`Enc::opt`].
+    pub fn opt<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Dec<'a>) -> Result<T, WireError>,
+    ) -> Result<Option<T>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            _ => Err(WireError::Malformed("option tag")),
+        }
+    }
+
+    /// Read a sequence written by [`Enc::seq`] into a `Vec`.
+    pub fn seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Dec<'a>) -> Result<T, WireError>,
+    ) -> Result<Vec<T>, WireError> {
+        let n = self.seq_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut e = Enc::new();
+        e.u8(0xab);
+        e.u16(0x1234);
+        e.u32(0xdead_beef);
+        e.u64(0x0123_4567_89ab_cdef);
+        e.bool(true);
+        e.bool(false);
+        e.f64(-1.5);
+        e.str("hello");
+        e.opt(&Some(7u64), |e, v| e.u64(*v));
+        e.opt(&None::<u64>, |e, v| e.u64(*v));
+        e.seq(&[1u32, 2, 3], |e, v| e.u32(*v));
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xab);
+        assert_eq!(d.u16().unwrap(), 0x1234);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.f64().unwrap(), -1.5);
+        assert_eq!(d.str().unwrap(), "hello");
+        assert_eq!(d.opt(|d| d.u64()).unwrap(), Some(7));
+        assert_eq!(d.opt(|d| d.u64()).unwrap(), None);
+        assert_eq!(d.seq(|d| d.u32()).unwrap(), vec![1, 2, 3]);
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = Enc::new();
+        e.u64(42);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..5]);
+        assert_eq!(d.u64(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut d = Dec::new(&[2]);
+        assert_eq!(d.bool(), Err(WireError::Malformed("bool tag")));
+        let mut d = Dec::new(&[9]);
+        assert!(matches!(d.opt(|d| d.u8()), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn absurd_seq_len_rejected() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(d.seq(|d| d.u8()).is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! Data-block access tracking across CTAs: cold misses, reuse, and the
 //! hidden inter-CTA locality of the paper's Figures 10–12.
 
+use gcl_mem::{Dec, Enc, WireError};
 use std::collections::HashMap;
 
 /// Summary statistics extracted from a [`BlockTracker`].
@@ -107,6 +108,74 @@ impl BlockTracker {
             .collect();
         out.sort_unstable_by_key(|(d, _)| *d);
         out
+    }
+
+    /// Checkpoint-encode the tracker (all maps in sorted key order).
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        let mut addrs: Vec<&u64> = self.blocks.keys().collect();
+        addrs.sort_unstable();
+        e.usize(addrs.len());
+        for a in addrs {
+            let info = &self.blocks[a];
+            e.u64(*a);
+            e.u64(info.count);
+            let mut ctas: Vec<(&u64, &u64)> = info.ctas.iter().collect();
+            ctas.sort_unstable_by_key(|(c, _)| **c);
+            e.usize(ctas.len());
+            for (c, n) in ctas {
+                e.u64(*c);
+                e.u64(*n);
+            }
+            e.u64(info.last_cta);
+        }
+        e.u64(self.total_accesses);
+        let mut dist: Vec<(&u64, &u64)> = self.distance_hist.iter().collect();
+        dist.sort_unstable_by_key(|(d, _)| **d);
+        e.usize(dist.len());
+        for (dv, c) in dist {
+            e.u64(*dv);
+            e.u64(*c);
+        }
+    }
+
+    /// Checkpoint-decode a tracker written by
+    /// [`ckpt_encode`](Self::ckpt_encode).
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<BlockTracker, WireError> {
+        let n = d.seq_len()?;
+        let mut blocks = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let addr = d.u64()?;
+            let count = d.u64()?;
+            let nc = d.seq_len()?;
+            let mut ctas = HashMap::with_capacity(nc);
+            for _ in 0..nc {
+                let c = d.u64()?;
+                let v = d.u64()?;
+                ctas.insert(c, v);
+            }
+            let last_cta = d.u64()?;
+            blocks.insert(
+                addr,
+                BlockInfo {
+                    count,
+                    ctas,
+                    last_cta,
+                },
+            );
+        }
+        let total_accesses = d.u64()?;
+        let nd = d.seq_len()?;
+        let mut distance_hist = HashMap::with_capacity(nd);
+        for _ in 0..nd {
+            let dv = d.u64()?;
+            let c = d.u64()?;
+            distance_hist.insert(dv, c);
+        }
+        Ok(BlockTracker {
+            blocks,
+            total_accesses,
+            distance_hist,
+        })
     }
 }
 

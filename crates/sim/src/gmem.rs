@@ -6,6 +6,7 @@
 //! accesses that fall outside all allocations.
 
 use crate::fault::AllocError;
+use gcl_mem::{Dec, Enc, WireError};
 use gcl_ptx::Type;
 use std::collections::HashMap;
 
@@ -199,6 +200,53 @@ impl GlobalMem {
     /// Number of resident (written) pages, for memory-footprint sanity.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Checkpoint-encode the memory image: resident pages (in sorted page
+    /// order for byte stability), bump pointer and allocation table.
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        let mut page_ids: Vec<&u64> = self.pages.keys().collect();
+        page_ids.sort_unstable();
+        e.usize(page_ids.len());
+        for p in page_ids {
+            e.u64(*p);
+            e.bytes(&self.pages[p][..]);
+        }
+        e.u64(self.next_alloc);
+        e.seq(&self.allocs, |e, &(base, len)| {
+            e.u64(base);
+            e.u64(len);
+        });
+    }
+
+    /// Checkpoint-decode a memory image written by
+    /// [`ckpt_encode`](Self::ckpt_encode).
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<GlobalMem, WireError> {
+        let n = d.seq_len()?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = d.u64()?;
+            let bytes = d.bytes()?;
+            let arr: Box<[u8; PAGE_SIZE]> = bytes
+                .to_vec()
+                .into_boxed_slice()
+                .try_into()
+                .map_err(|_| WireError::Malformed("page size mismatch"))?;
+            if pages.insert(id, arr).is_some() {
+                return Err(WireError::Malformed("duplicate page"));
+            }
+        }
+        let next_alloc = d.u64()?;
+        let allocs = d.seq(|d| {
+            let base = d.u64()?;
+            let len = d.u64()?;
+            Ok((base, len))
+        })?;
+        Ok(GlobalMem {
+            pages,
+            next_alloc,
+            allocs,
+        })
     }
 }
 

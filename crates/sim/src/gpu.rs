@@ -1,16 +1,19 @@
 //! The whole GPU: SMs, interconnect, memory partitions, CTA dispatch, and
 //! the cycle loop.
 
+use crate::ckpt::{
+    config_fingerprint, kernel_fingerprint, CheckpointError, Snapshot, SNAPSHOT_VERSION,
+};
 use crate::fault::{AllocError, ConfigError, HangReport, MemFaultReport};
 use crate::san::{SanRun, SanitizerReport, TickError};
 use crate::sm::TickCtx;
 use crate::{
     BlockSummary, BlockTracker, CtaSchedPolicy, Dim3, GlobalMem, GpuConfig, LaunchStats, Sm,
 };
-use gcl_core::classify;
-use gcl_mem::{AddrMap, ConservationReport, Icnt, L2Partition, PartitionEvent, SanStage};
+use gcl_core::{classify, Classification};
+use gcl_mem::{AddrMap, ConservationReport, Dec, Enc, Icnt, L2Partition, PartitionEvent, SanStage};
 use gcl_ptx::Kernel;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 /// Everything that can go wrong constructing a [`Gpu`] or running a
@@ -45,6 +48,10 @@ pub enum SimError {
     /// violation: broken request conservation, a shared-memory race, or
     /// digest divergence between runs.
     Sanitizer(Box<SanitizerReport>),
+    /// A checkpoint could not be loaded, restored, or resumed: corrupted or
+    /// truncated image, format-version / configuration / kernel mismatch,
+    /// or an i/o failure (see [`CheckpointError`]).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for SimError {
@@ -64,6 +71,7 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Sanitizer(report) => write!(f, "sanitizer: {report}"),
+            SimError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -73,8 +81,15 @@ impl std::error::Error for SimError {
         match self {
             SimError::InvalidConfig(e) => Some(e),
             SimError::Alloc(e) => Some(e),
+            SimError::Checkpoint(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> SimError {
+        SimError::Checkpoint(e)
     }
 }
 
@@ -156,6 +171,59 @@ pub struct Gpu {
     /// Monotonic device clock: launches continue from where the previous
     /// one ended, so persistent component timestamps stay consistent.
     now: gcl_mem::Cycle,
+    /// The launch currently in flight (between [`Gpu::launch_begin`] and
+    /// completion), if any.
+    active: Option<LaunchState>,
+    /// Snapshot captured by the hang watchdog just before the launch was
+    /// torn down, retrievable via [`Gpu::take_hang_snapshot`].
+    hang_snapshot: Option<Snapshot>,
+    /// Testing hook: at this relative launch cycle, snapshot, serialize,
+    /// restore, and continue — proving resume equivalence in-process.
+    resume_selftest: Option<u64>,
+    selftest_done: bool,
+}
+
+/// Everything belonging to one in-flight launch. Serialized wholesale into
+/// mid-launch snapshots; `derived` holds state recomputed from the kernel
+/// (never serialized, verified against `kernel_fp` at resume).
+#[derive(Debug)]
+struct LaunchState {
+    kernel_name: String,
+    kernel_fp: u64,
+    grid: Dim3,
+    block: Dim3,
+    params: Vec<u8>,
+    /// The kernel's shared-memory footprint, recorded so SMs can be decoded
+    /// before the kernel is re-supplied at resume.
+    shared_bytes: u32,
+    san_run: Option<SanRun>,
+    sms: Vec<Sm>,
+    global_queue: VecDeque<u64>,
+    per_sm_queue: Vec<VecDeque<u64>>,
+    start_cycle: u64,
+    cycle: u64,
+    last_progress: u64,
+    derived: Option<Derived>,
+}
+
+/// Kernel-derived launch state, recomputed (not serialized) because it is a
+/// pure function of the kernel and configuration.
+#[derive(Debug)]
+struct Derived {
+    classification: Classification,
+    reconv: HashMap<usize, usize>,
+    addrmap: AddrMap,
+}
+
+/// How one simulated cycle ended (collected inside the borrow region of
+/// [`Gpu::step_inner`], handled after it).
+enum StepEnd {
+    Continue,
+    Done,
+    Fault(TickError),
+    SanFault(Box<ConservationReport>),
+    Hang(Box<HangReport>),
+    Timeout(u64),
 }
 
 impl Gpu {
@@ -182,6 +250,10 @@ impl Gpu {
             icnt,
             partitions,
             now: 0,
+            active: None,
+            hang_snapshot: None,
+            resume_selftest: None,
+            selftest_done: false,
         })
     }
 
@@ -247,8 +319,9 @@ impl Gpu {
     /// partitions are rebuilt empty, and the device clock advances past
     /// the failure. Warm-cache state is deliberately sacrificed — stale
     /// in-flight requests must never leak into the next launch.
-    fn abandon_launch(&mut self, sms: Vec<Sm>, cycle: u64) {
-        drop(sms);
+    fn abandon_launch(&mut self) {
+        let cycle = self.active.as_ref().map_or(self.now, |a| a.cycle);
+        self.active = None;
         for slot in self.l1s.iter_mut() {
             *slot = Some(gcl_mem::Cache::new(self.cfg.l1));
         }
@@ -317,16 +390,42 @@ impl Gpu {
         params: &[u8],
         trace: &mut Option<crate::Trace>,
     ) -> Result<LaunchStats, SimError> {
+        self.launch_begin(kernel, grid, block, params)?;
+        loop {
+            if let Some(stats) = self.step_inner(kernel, trace)? {
+                return Ok(stats);
+            }
+        }
+    }
+
+    /// Start a launch without running it: CTAs are queued, SMs built, and
+    /// the first cycle is ready to step. Drive it with [`Gpu::launch_step`]
+    /// or [`Gpu::launch_resume`].
+    ///
+    /// # Errors
+    ///
+    /// As the setup phase of [`Gpu::launch`] ([`SimError::CtaTooLarge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a launch is already active.
+    pub fn launch_begin(
+        &mut self,
+        kernel: &Kernel,
+        grid: Dim3,
+        block: Dim3,
+        params: &[u8],
+    ) -> Result<(), SimError> {
+        assert!(
+            self.active.is_none(),
+            "launch_begin while a launch is active"
+        );
         let cfg = self.cfg.clone();
+        let ctas_per_sm = self.occupancy(kernel, block)?;
         // One sanitizer run per launch: the conservation ledger and the
         // fault-injection counters both describe a single launch.
-        let mut san_run = cfg.sanitize.then(|| SanRun::new(cfg.san_inject));
-        let ctas_per_sm = self.occupancy(kernel, block)?;
-        let classification = classify(kernel);
-        let cfg_ptx = gcl_ptx::Cfg::build(kernel);
-        let reconv = cfg_ptx.reconvergence_pcs(kernel);
-
-        let mut sms: Vec<Sm> = (0..cfg.n_sms)
+        let san_run = cfg.sanitize.then(|| SanRun::new(cfg.san_inject));
+        let sms: Vec<Sm> = (0..cfg.n_sms)
             .map(|i| {
                 let l1 = self.l1s[i]
                     .take()
@@ -334,7 +433,6 @@ impl Gpu {
                 Sm::new(i as u16, &cfg, kernel, ctas_per_sm, l1)
             })
             .collect();
-        let addrmap = AddrMap::new(cfg.n_partitions, cfg.n_sms, cfg.l2_topology);
 
         // CTA work queues per dispatch policy.
         let n_ctas = grid.count();
@@ -353,12 +451,148 @@ impl Gpu {
         }
 
         let start_cycle = self.now;
-        let mut cycle: u64 = start_cycle;
-        // Forward-progress watchdog: the last cycle on which any SM issued
-        // an instruction, completed a memory op, or a CTA was dispatched or
-        // retired.
-        let mut last_progress = start_cycle;
+        self.active = Some(LaunchState {
+            kernel_name: kernel.name().to_string(),
+            kernel_fp: kernel_fingerprint(kernel),
+            grid,
+            block,
+            params: params.to_vec(),
+            shared_bytes: kernel.shared_bytes(),
+            san_run,
+            sms,
+            global_queue,
+            per_sm_queue,
+            start_cycle,
+            cycle: start_cycle,
+            last_progress: start_cycle,
+            derived: None,
+        });
+        self.selftest_done = false;
+        Ok(())
+    }
+
+    /// Advance the active launch by one cycle. Returns the final statistics
+    /// once the launch completes, `None` while it is still running.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::launch`], plus [`SimError::Checkpoint`] when no launch is
+    /// active or `kernel` differs from the kernel the launch was started
+    /// (or snapshotted) with.
+    pub fn launch_step(&mut self, kernel: &Kernel) -> Result<Option<LaunchStats>, SimError> {
+        self.step_inner(kernel, &mut None)
+    }
+
+    /// Run the active launch — typically one just restored from a
+    /// [`Snapshot`] — to completion.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::launch_step`].
+    pub fn launch_resume(&mut self, kernel: &Kernel) -> Result<LaunchStats, SimError> {
         loop {
+            if let Some(stats) = self.step_inner(kernel, &mut None)? {
+                return Ok(stats);
+            }
+        }
+    }
+
+    /// Whether a launch is currently in flight.
+    pub fn launch_active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Relative cycle of the active launch (0 at launch start), if any.
+    pub fn launch_cycle(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.cycle - a.start_cycle)
+    }
+
+    /// Name of the kernel the active launch is running, if any.
+    pub fn launch_kernel_name(&self) -> Option<&str> {
+        self.active.as_ref().map(|a| a.kernel_name.as_str())
+    }
+
+    /// Testing hook: at relative launch cycle `at`, serialize a snapshot,
+    /// restore the GPU from those bytes, and continue — an in-process proof
+    /// that interrupt-and-resume is digest-identical. Re-arms on each call;
+    /// fires at most once per arming.
+    pub fn set_resume_selftest(&mut self, at: Option<u64>) {
+        self.resume_selftest = at;
+        self.selftest_done = false;
+    }
+
+    /// The snapshot captured by the hang watchdog just before it tore the
+    /// launch down, if a hang fired since the last call.
+    pub fn take_hang_snapshot(&mut self) -> Option<Snapshot> {
+        self.hang_snapshot.take()
+    }
+
+    fn step_inner(
+        &mut self,
+        kernel: &Kernel,
+        trace: &mut Option<crate::Trace>,
+    ) -> Result<Option<LaunchStats>, SimError> {
+        // Resume self-test: prove interrupt-and-resume equivalence by
+        // round-tripping the complete state through snapshot bytes
+        // mid-launch and continuing from the decoded copy.
+        if let Some(at) = self.resume_selftest {
+            if !self.selftest_done && self.launch_cycle() == Some(at) {
+                self.selftest_done = true;
+                let snap = Snapshot::from_bytes(&self.snapshot().to_bytes())
+                    .map_err(SimError::Checkpoint)?;
+                self.restore(&snap)?;
+            }
+        }
+        let cfg = self.cfg.clone();
+        {
+            let Some(active) = self.active.as_mut() else {
+                return Err(SimError::Checkpoint(CheckpointError::Malformed(
+                    "no active launch to step",
+                )));
+            };
+            if active.derived.is_none() {
+                // First step since launch_begin or restore: verify the
+                // caller's kernel is the one the launch was started with
+                // before deriving per-kernel state from it. Checked only
+                // here — recomputing the fingerprint (a Debug-format of the
+                // whole kernel) every cycle would dominate the step cost.
+                let kfp = kernel_fingerprint(kernel);
+                if active.kernel_fp != kfp {
+                    return Err(SimError::Checkpoint(CheckpointError::KernelMismatch {
+                        found: active.kernel_fp,
+                        expected: kfp,
+                    }));
+                }
+                let classification = classify(kernel);
+                let cfg_ptx = gcl_ptx::Cfg::build(kernel);
+                let reconv = cfg_ptx.reconvergence_pcs(kernel);
+                active.derived = Some(Derived {
+                    classification,
+                    reconv,
+                    addrmap: AddrMap::new(cfg.n_partitions, cfg.n_sms, cfg.l2_topology),
+                });
+            }
+        }
+
+        let end = {
+            let active = self.active.as_mut().expect("active launch checked above");
+            let LaunchState {
+                grid,
+                block,
+                params,
+                san_run,
+                sms,
+                global_queue,
+                per_sm_queue,
+                start_cycle,
+                cycle,
+                last_progress,
+                derived,
+                ..
+            } = active;
+            let derived = derived.as_ref().expect("derived state ensured above");
+            let (grid, block, start_cycle) = (*grid, *block, *start_cycle);
+            let now_cycle = *cycle;
             let mut progress = false;
 
             // Dispatch CTAs to free slots (one per SM per cycle).
@@ -381,14 +615,14 @@ impl Gpu {
             let mut fault: Option<TickError> = None;
             for sm in sms.iter_mut() {
                 let mut ctx = TickCtx {
-                    cycle,
+                    cycle: now_cycle,
                     kernel,
-                    reconv: &reconv,
-                    classification: &classification,
+                    reconv: &derived.reconv,
+                    classification: &derived.classification,
                     params,
                     gmem: &mut self.gmem,
                     icnt: &mut self.icnt,
-                    addrmap: &addrmap,
+                    addrmap: &derived.addrmap,
                     blocktrack: &mut self.blocktrack,
                     cfg: &cfg,
                     ntid: block,
@@ -404,116 +638,168 @@ impl Gpu {
                     }
                 }
             }
-            if let Some(fault) = fault {
-                self.abandon_launch(sms, cycle);
-                return Err(match fault {
+            if let Some(f) = fault {
+                StepEnd::Fault(f)
+            } else {
+                // Interconnect and memory partitions. Conservation
+                // transitions at every seam the simulator can observe;
+                // partition-internal ones arrive via `pop_event`. A
+                // violation is collected rather than returned mid-loop so
+                // every partition still ticks.
+                let mut san_fault: Option<Box<ConservationReport>> = None;
+                self.icnt.tick(now_cycle);
+                for (p, part) in self.partitions.iter_mut().enumerate() {
+                    if part.can_enqueue() {
+                        if let Some(req) = self.icnt.pop_request(p, now_cycle) {
+                            if req.san != 0 {
+                                if let Some(sr) = san_run.as_mut() {
+                                    if let Err(r) =
+                                        sr.ledger.transition(req.san, SanStage::L2, now_cycle)
+                                    {
+                                        san_fault.get_or_insert(r);
+                                    }
+                                }
+                            }
+                            let ok = part.enqueue(req);
+                            debug_assert!(ok);
+                        }
+                    }
+                    part.tick(now_cycle);
+                    if let Some(sr) = san_run.as_mut() {
+                        while let Some((id, ev)) = part.pop_event() {
+                            let res = match ev {
+                                PartitionEvent::DramEntered => {
+                                    sr.ledger.transition(id, SanStage::Dram, now_cycle)
+                                }
+                                PartitionEvent::WriteRetired => sr.ledger.retire(id, now_cycle),
+                            };
+                            if let Err(r) = res {
+                                san_fault.get_or_insert(r);
+                            }
+                        }
+                    }
+                    while self.icnt.can_inject_response(p) {
+                        match part.pop_response(now_cycle) {
+                            Some(resp) => {
+                                if resp.san != 0 {
+                                    if let Some(sr) = san_run.as_mut() {
+                                        if let Err(r) = sr.ledger.transition(
+                                            resp.san,
+                                            SanStage::IcntResp,
+                                            now_cycle,
+                                        ) {
+                                            san_fault.get_or_insert(r);
+                                        }
+                                    }
+                                }
+                                let ok = self.icnt.inject_response(p, resp);
+                                debug_assert!(ok);
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                if let Some(report) = san_fault {
+                    StepEnd::SanFault(report)
+                } else {
+                    let next_cycle = now_cycle + 1;
+                    *cycle = next_cycle;
+                    // Forward-progress watchdog: the last cycle on which any
+                    // SM issued an instruction, completed a memory op, or a
+                    // CTA was dispatched or retired.
+                    if progress {
+                        *last_progress = next_cycle;
+                    }
+
+                    // Completion: all work dispatched, all SMs drained,
+                    // hierarchy empty.
+                    let work_left =
+                        !global_queue.is_empty() || per_sm_queue.iter().any(|q| !q.is_empty());
+                    if !work_left
+                        && sms.iter().all(Sm::is_idle)
+                        && self.icnt.is_empty()
+                        && self.partitions.iter().all(L2Partition::is_empty)
+                    {
+                        StepEnd::Done
+                    } else if next_cycle - *last_progress >= cfg.hang_cycles {
+                        StepEnd::Hang(Box::new(HangReport {
+                            cycle: next_cycle - start_cycle,
+                            last_progress: *last_progress - start_cycle,
+                            hang_cycles: cfg.hang_cycles,
+                            ctas_outstanding: global_queue.len() as u64
+                                + per_sm_queue.iter().map(|q| q.len() as u64).sum::<u64>(),
+                            sms: sms.iter().map(Sm::snapshot).collect(),
+                        }))
+                    } else if next_cycle - start_cycle >= cfg.max_cycles {
+                        StepEnd::Timeout(next_cycle - start_cycle)
+                    } else {
+                        StepEnd::Continue
+                    }
+                }
+            }
+        };
+
+        match end {
+            StepEnd::Continue => Ok(None),
+            StepEnd::Done => self.finish_launch(kernel).map(Some),
+            StepEnd::Fault(fault) => {
+                let classification = self
+                    .active
+                    .as_mut()
+                    .and_then(|a| a.derived.take())
+                    .map(|d| d.classification);
+                self.abandon_launch();
+                Err(match fault {
                     TickError::Mem(mut fault) => {
                         // Attach what the classifier knows about the faulting
                         // instruction: its D/N class and the def-chain witness
                         // of its address.
-                        if let Some(load) = classification.load(fault.violation.pc) {
+                        if let Some(load) = classification
+                            .as_ref()
+                            .and_then(|c| c.load(fault.violation.pc))
+                        {
                             fault.class = Some(load.class);
                             fault.witness = load.witness.clone();
                         }
                         SimError::MemFault(fault)
                     }
                     TickError::San(report) => SimError::Sanitizer(report),
-                });
+                })
             }
-
-            // Interconnect and memory partitions. Conservation transitions
-            // at every seam the simulator can observe; partition-internal
-            // ones arrive via `pop_event`. A violation is collected rather
-            // than returned mid-loop so every partition still ticks.
-            let mut san_fault: Option<Box<ConservationReport>> = None;
-            self.icnt.tick(cycle);
-            for (p, part) in self.partitions.iter_mut().enumerate() {
-                if part.can_enqueue() {
-                    if let Some(req) = self.icnt.pop_request(p, cycle) {
-                        if req.san != 0 {
-                            if let Some(sr) = san_run.as_mut() {
-                                if let Err(r) = sr.ledger.transition(req.san, SanStage::L2, cycle) {
-                                    san_fault.get_or_insert(r);
-                                }
-                            }
-                        }
-                        let ok = part.enqueue(req);
-                        debug_assert!(ok);
-                    }
-                }
-                part.tick(cycle);
-                if let Some(sr) = san_run.as_mut() {
-                    while let Some((id, ev)) = part.pop_event() {
-                        let res = match ev {
-                            PartitionEvent::DramEntered => {
-                                sr.ledger.transition(id, SanStage::Dram, cycle)
-                            }
-                            PartitionEvent::WriteRetired => sr.ledger.retire(id, cycle),
-                        };
-                        if let Err(r) = res {
-                            san_fault.get_or_insert(r);
-                        }
-                    }
-                }
-                while self.icnt.can_inject_response(p) {
-                    match part.pop_response(cycle) {
-                        Some(resp) => {
-                            if resp.san != 0 {
-                                if let Some(sr) = san_run.as_mut() {
-                                    if let Err(r) =
-                                        sr.ledger.transition(resp.san, SanStage::IcntResp, cycle)
-                                    {
-                                        san_fault.get_or_insert(r);
-                                    }
-                                }
-                            }
-                            let ok = self.icnt.inject_response(p, resp);
-                            debug_assert!(ok);
-                        }
-                        None => break,
-                    }
-                }
-            }
-            if let Some(report) = san_fault {
-                self.abandon_launch(sms, cycle);
-                return Err(SimError::Sanitizer(Box::new(
+            StepEnd::SanFault(report) => {
+                self.abandon_launch();
+                Err(SimError::Sanitizer(Box::new(
                     SanitizerReport::Conservation(*report),
-                )));
+                )))
             }
-
-            cycle += 1;
-            if progress {
-                last_progress = cycle;
+            StepEnd::Hang(report) => {
+                // Dump the complete mid-flight state for post-mortem
+                // inspection (surfaced by `gcl run` as a checkpoint file)
+                // before tearing the launch down.
+                self.hang_snapshot = Some(self.snapshot());
+                self.abandon_launch();
+                Err(SimError::Hang(report))
             }
-
-            // Completion: all work dispatched, all SMs drained, hierarchy
-            // empty.
-            let work_left = !global_queue.is_empty() || per_sm_queue.iter().any(|q| !q.is_empty());
-            if !work_left
-                && sms.iter().all(Sm::is_idle)
-                && self.icnt.is_empty()
-                && self.partitions.iter().all(L2Partition::is_empty)
-            {
-                break;
-            }
-            if cycle - last_progress >= cfg.hang_cycles {
-                let report = HangReport {
-                    cycle: cycle - start_cycle,
-                    last_progress: last_progress - start_cycle,
-                    hang_cycles: cfg.hang_cycles,
-                    ctas_outstanding: global_queue.len() as u64
-                        + per_sm_queue.iter().map(|q| q.len() as u64).sum::<u64>(),
-                    sms: sms.iter().map(Sm::snapshot).collect(),
-                };
-                self.abandon_launch(sms, cycle);
-                return Err(SimError::Hang(Box::new(report)));
-            }
-            if cycle - start_cycle >= cfg.max_cycles {
-                let cycles = cycle - start_cycle;
-                self.abandon_launch(sms, cycle);
-                return Err(SimError::Timeout { cycles });
+            StepEnd::Timeout(cycles) => {
+                self.abandon_launch();
+                Err(SimError::Timeout { cycles })
             }
         }
+    }
+
+    /// Success path of a completed launch: drain checks, determinism
+    /// digest, statistics assembly, and returning the warm L1s to their
+    /// slots.
+    fn finish_launch(&mut self, kernel: &Kernel) -> Result<LaunchStats, SimError> {
+        let active = self.active.take().expect("finishing without active launch");
+        let LaunchState {
+            sms,
+            mut san_run,
+            start_cycle,
+            cycle,
+            derived,
+            ..
+        } = active;
         self.now = cycle;
 
         // Success-path drain check: a completed launch must leave no
@@ -527,7 +813,7 @@ impl Gpu {
         let mut digest = None;
         if let Some(sr) = san_run.as_mut() {
             if let Err(report) = sr.ledger.check_drained(cycle) {
-                self.abandon_launch(sms, cycle);
+                self.abandon_launch();
                 return Err(SimError::Sanitizer(Box::new(
                     SanitizerReport::Conservation(*report),
                 )));
@@ -551,6 +837,10 @@ impl Gpu {
             }
             digest = Some(d);
         }
+        let classification = match derived {
+            Some(d) => d.classification,
+            None => classify(kernel),
+        };
 
         // Assemble stats.
         let mut stats = LaunchStats {
@@ -591,5 +881,206 @@ impl Gpu {
             stats.add_dram(&dram_stats);
         }
         Ok(stats)
+    }
+
+    /// Capture the complete simulator state — idle or mid-launch — as a
+    /// versioned, checksummed [`Snapshot`].
+    ///
+    /// Mid-launch snapshots include every SM's warp contexts, SIMT stacks,
+    /// scoreboards, register values, shared memory, L1 tag/MSHR arrays,
+    /// the interconnect and DRAM queues, the in-flight request ledger, and
+    /// all accumulated statistics, so a restored launch continues
+    /// cycle-exactly with an identical event digest. The issue trace of
+    /// [`Gpu::launch_traced`] is diagnostic-only and not captured.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut e = Enc::new();
+        self.gmem.ckpt_encode(&mut e);
+        self.blocktrack.ckpt_encode(&mut e);
+        e.u64(self.now);
+        self.icnt.ckpt_encode(&mut e);
+        e.usize(self.partitions.len());
+        for p in &self.partitions {
+            p.ckpt_encode(&mut e);
+        }
+        match &self.active {
+            Some(a) => {
+                e.bool(true);
+                e.str(&a.kernel_name);
+                e.u64(a.kernel_fp);
+                for v in [
+                    a.grid.x, a.grid.y, a.grid.z, a.block.x, a.block.y, a.block.z,
+                ] {
+                    e.u32(v);
+                }
+                e.bytes(&a.params);
+                e.u32(a.shared_bytes);
+                e.u64(a.start_cycle);
+                e.u64(a.cycle);
+                e.u64(a.last_progress);
+                e.usize(a.global_queue.len());
+                for &c in &a.global_queue {
+                    e.u64(c);
+                }
+                e.usize(a.per_sm_queue.len());
+                for q in &a.per_sm_queue {
+                    e.usize(q.len());
+                    for &c in q {
+                        e.u64(c);
+                    }
+                }
+                e.usize(a.sms.len());
+                for sm in &a.sms {
+                    sm.ckpt_encode(&mut e);
+                }
+                e.opt(&a.san_run, |e, s| s.ckpt_encode(e));
+            }
+            None => {
+                e.bool(false);
+                e.usize(self.l1s.len());
+                for l1 in &self.l1s {
+                    l1.as_ref()
+                        .expect("L1 present on an idle GPU")
+                        .ckpt_encode(&mut e);
+                }
+            }
+        }
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            config_fp: config_fingerprint(&self.cfg),
+            payload: e.into_bytes(),
+        }
+    }
+
+    /// Replace the simulator state with `snap`'s.
+    ///
+    /// The payload is decoded into temporaries and validated end to end
+    /// before any live state is touched: a rejected restore leaves the GPU
+    /// exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Checkpoint`] on a format-version mismatch, a
+    /// configuration-fingerprint mismatch, or a payload that fails
+    /// structural validation.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SimError> {
+        self.restore_inner(snap).map_err(SimError::Checkpoint)
+    }
+
+    fn restore_inner(&mut self, snap: &Snapshot) -> Result<(), CheckpointError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(CheckpointError::VersionMismatch {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let expected = config_fingerprint(&self.cfg);
+        if snap.config_fp != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                found: snap.config_fp,
+                expected,
+            });
+        }
+        let cfg = &self.cfg;
+        let mut d = Dec::new(&snap.payload);
+        let gmem = GlobalMem::ckpt_decode(&mut d)?;
+        let blocktrack = BlockTracker::ckpt_decode(&mut d)?;
+        let now = d.u64()?;
+        let icnt = Icnt::ckpt_decode(&mut d, cfg.icnt, cfg.n_sms, cfg.n_partitions)?;
+        let n_parts = d.seq_len()?;
+        if n_parts != cfg.n_partitions {
+            return Err(CheckpointError::Malformed("partition count mismatch"));
+        }
+        let mut partitions = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            partitions.push(L2Partition::ckpt_decode(&mut d, cfg.partition)?);
+        }
+        let (active, l1s) = if d.bool()? {
+            let kernel_name = d.str()?;
+            let kernel_fp = d.u64()?;
+            let grid = Dim3 {
+                x: d.u32()?,
+                y: d.u32()?,
+                z: d.u32()?,
+            };
+            let block = Dim3 {
+                x: d.u32()?,
+                y: d.u32()?,
+                z: d.u32()?,
+            };
+            let params = d.bytes()?.to_vec();
+            let shared_bytes = d.u32()?;
+            let start_cycle = d.u64()?;
+            let cycle = d.u64()?;
+            let last_progress = d.u64()?;
+            if cycle < start_cycle || last_progress < start_cycle || last_progress > cycle {
+                return Err(CheckpointError::Malformed("launch cycle ordering"));
+            }
+            let global_queue: VecDeque<u64> = d.seq(|d| d.u64())?.into();
+            let nq = d.seq_len()?;
+            if nq != cfg.n_sms {
+                return Err(CheckpointError::Malformed("per-SM queue count mismatch"));
+            }
+            let mut per_sm_queue: Vec<VecDeque<u64>> = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                per_sm_queue.push(d.seq(|d| d.u64())?.into());
+            }
+            let n_sms = d.seq_len()?;
+            if n_sms != cfg.n_sms {
+                return Err(CheckpointError::Malformed("SM count mismatch"));
+            }
+            let mut sms = Vec::with_capacity(n_sms);
+            for _ in 0..n_sms {
+                sms.push(Sm::ckpt_decode(&mut d, cfg, shared_bytes as usize)?);
+            }
+            let san_run = d.opt(|d| SanRun::ckpt_decode(d, cfg.san_inject))?;
+            if san_run.is_some() != cfg.sanitize {
+                return Err(CheckpointError::Malformed(
+                    "sanitizer run presence mismatch",
+                ));
+            }
+            let l1s = (0..cfg.n_sms).map(|_| None).collect();
+            (
+                Some(LaunchState {
+                    kernel_name,
+                    kernel_fp,
+                    grid,
+                    block,
+                    params,
+                    shared_bytes,
+                    san_run,
+                    sms,
+                    global_queue,
+                    per_sm_queue,
+                    start_cycle,
+                    cycle,
+                    last_progress,
+                    derived: None,
+                }),
+                l1s,
+            )
+        } else {
+            let n = d.seq_len()?;
+            if n != cfg.n_sms {
+                return Err(CheckpointError::Malformed("L1 count mismatch"));
+            }
+            let mut l1s = Vec::with_capacity(n);
+            for _ in 0..n {
+                l1s.push(Some(gcl_mem::Cache::ckpt_decode(&mut d, cfg.l1)?));
+            }
+            (None, l1s)
+        };
+        if !d.is_done() {
+            return Err(CheckpointError::Malformed("trailing bytes in payload"));
+        }
+        // Point of no return: everything decoded and validated, so the
+        // assignment below can no longer fail partway.
+        self.gmem = gmem;
+        self.blocktrack = blocktrack;
+        self.now = now;
+        self.icnt = icnt;
+        self.partitions = partitions;
+        self.l1s = l1s;
+        self.active = active;
+        Ok(())
     }
 }

@@ -69,6 +69,7 @@
 #![forbid(unsafe_code)]
 
 mod blocktrack;
+mod ckpt;
 mod coalesce;
 mod config;
 mod fault;
@@ -87,6 +88,10 @@ mod warp;
 mod warp_sched;
 
 pub use blocktrack::{BlockSummary, BlockTracker};
+pub use ckpt::{
+    config_fingerprint, kernel_fingerprint, CheckpointError, Snapshot, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use coalesce::coalesce;
 pub use config::{CtaSchedPolicy, GpuConfig, PrefetchFilter, WarpSchedPolicy};
 pub use fault::{

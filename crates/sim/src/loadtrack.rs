@@ -2,9 +2,34 @@
 //! (the paper's Figures 2, 5, 6 and 7).
 
 use gcl_core::LoadClass;
-use gcl_mem::{Cycle, MemRequest};
+use gcl_mem::{Cycle, Dec, Enc, MemRequest, WireError};
 use gcl_stats::{Accumulator, Histogram};
 use std::collections::HashMap;
+
+fn enc_acc(e: &mut Enc, a: &Accumulator) {
+    e.u64(a.count);
+    e.f64(a.sum);
+    e.f64(a.min);
+    e.f64(a.max);
+}
+
+fn dec_acc(d: &mut Dec<'_>) -> Result<Accumulator, WireError> {
+    Ok(Accumulator {
+        count: d.u64()?,
+        sum: d.f64()?,
+        min: d.f64()?,
+        max: d.f64()?,
+    })
+}
+
+fn enc_hist(e: &mut Enc, h: &Histogram) {
+    e.seq(h.raw_buckets(), |e, &b| e.u64(b));
+}
+
+fn dec_hist(d: &mut Dec<'_>) -> Result<Histogram, WireError> {
+    let buckets = d.seq(|d| d.u64())?;
+    Histogram::from_raw_buckets(buckets).ok_or(WireError::Malformed("bad histogram bucket count"))
+}
 
 /// Aggregated behavior of one load class (Figure 2 + Figure 5).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -245,6 +270,118 @@ impl LoadTracker {
     /// Consume the tracker, returning (per-class, per-pc) aggregates.
     pub fn into_parts(self) -> ([ClassAgg; 2], HashMap<(usize, u32), PcReqAgg>) {
         (self.per_class, self.per_pc)
+    }
+
+    /// Checkpoint-encode the tracker. Slot holes and free-list order are
+    /// preserved verbatim (slot indices live inside in-flight request
+    /// `meta` fields); maps are written in sorted key order.
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        e.seq(&self.inflight, |e, slot| {
+            e.opt(slot, |e, rec| {
+                e.usize(rec.pc);
+                e.u8(class_index(rec.class) as u8);
+                e.u32(rec.n_requests);
+                e.u64(rec.t_issue);
+                e.u32(rec.completed);
+                e.u64(rec.first_accept);
+                e.u64(rec.last_accept);
+                e.u64(rec.first_done);
+                e.u64(rec.last_done);
+                e.u64(rec.inject_delay_sum);
+                e.u32(rec.injected);
+                e.u32(rec.accepted);
+            });
+        });
+        e.seq(&self.free, |e, &i| e.usize(i));
+        for agg in &self.per_class {
+            e.u64(agg.warp_loads);
+            e.u64(agg.requests);
+            e.u64(agg.active_threads);
+            enc_acc(e, &agg.turnaround);
+            enc_acc(e, &agg.wait_prev_warps);
+            enc_acc(e, &agg.wait_current_warp);
+            enc_acc(e, &agg.memory_time);
+            enc_hist(e, &agg.turnaround_hist);
+        }
+        let mut keys: Vec<&(usize, u32)> = self.per_pc.keys().collect();
+        keys.sort_unstable();
+        e.usize(keys.len());
+        for k in keys {
+            let pa = &self.per_pc[k];
+            e.usize(k.0);
+            e.u32(k.1);
+            enc_acc(e, &pa.turnaround);
+            enc_acc(e, &pa.gap_l1d);
+            enc_acc(e, &pa.gap_icnt_l2);
+            enc_acc(e, &pa.gap_l2_icnt);
+        }
+    }
+
+    /// Checkpoint-decode a tracker written by
+    /// [`ckpt_encode`](Self::ckpt_encode).
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<LoadTracker, WireError> {
+        let inflight = d.seq(|d| {
+            d.opt(|d| {
+                let pc = d.usize()?;
+                let class = match d.u8()? {
+                    0 => LoadClass::Deterministic,
+                    1 => LoadClass::NonDeterministic,
+                    _ => return Err(WireError::Malformed("bad load class tag")),
+                };
+                Ok(InflightLoad {
+                    pc,
+                    class,
+                    n_requests: d.u32()?,
+                    t_issue: d.u64()?,
+                    completed: d.u32()?,
+                    first_accept: d.u64()?,
+                    last_accept: d.u64()?,
+                    first_done: d.u64()?,
+                    last_done: d.u64()?,
+                    inject_delay_sum: d.u64()?,
+                    injected: d.u32()?,
+                    accepted: d.u32()?,
+                })
+            })
+        })?;
+        let free = d.seq(|d| d.usize())?;
+        for &f in &free {
+            if f >= inflight.len() || inflight[f].is_some() {
+                return Err(WireError::Malformed("bad load-tracker free slot"));
+            }
+        }
+        let mut per_class: [ClassAgg; 2] = Default::default();
+        for agg in &mut per_class {
+            agg.warp_loads = d.u64()?;
+            agg.requests = d.u64()?;
+            agg.active_threads = d.u64()?;
+            agg.turnaround = dec_acc(d)?;
+            agg.wait_prev_warps = dec_acc(d)?;
+            agg.wait_current_warp = dec_acc(d)?;
+            agg.memory_time = dec_acc(d)?;
+            agg.turnaround_hist = dec_hist(d)?;
+        }
+        let n = d.seq_len()?;
+        let mut per_pc = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pc = d.usize()?;
+            let nr = d.u32()?;
+            let pa = PcReqAgg {
+                turnaround: dec_acc(d)?,
+                gap_l1d: dec_acc(d)?,
+                gap_icnt_l2: dec_acc(d)?,
+                gap_l2_icnt: dec_acc(d)?,
+            };
+            if per_pc.insert((pc, nr), pa).is_some() {
+                return Err(WireError::Malformed("duplicate per-pc key"));
+            }
+        }
+        Ok(LoadTracker {
+            inflight,
+            free,
+            per_class,
+            per_pc,
+        })
     }
 }
 

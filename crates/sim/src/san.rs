@@ -28,7 +28,7 @@
 //! [`GpuConfig::sanitize`]: crate::GpuConfig::sanitize
 
 use crate::fault::MemFaultReport;
-use gcl_mem::{ConservationReport, RequestLedger};
+use gcl_mem::{ConservationReport, Dec, Enc, RequestLedger, WireError};
 use std::fmt;
 
 /// FNV-1a offset basis: the initial value of every determinism digest.
@@ -39,6 +39,15 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// Fold one 64-bit value into an FNV-1a digest (little-endian bytes).
 pub fn fnv_fold(mut h: u64, v: u64) -> u64 {
     for b in v.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fold a byte slice into an FNV-1a digest (checkpoint checksums and
+/// config/kernel fingerprints).
+pub fn fnv_fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
         h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
     }
     h
@@ -295,6 +304,30 @@ impl SanRun {
     pub(crate) fn digest_noise(&self) -> bool {
         self.inject == SanInject::DigestNoise
     }
+
+    /// Checkpoint-encode the per-launch sanitizer state. The injection
+    /// setting comes from the configuration, so only the ledger and the
+    /// injection counters are written.
+    pub(crate) fn ckpt_encode(&self, e: &mut Enc) {
+        self.ledger.ckpt_encode(e);
+        e.u64(self.seen);
+        e.bool(self.fired);
+    }
+
+    /// Checkpoint-decode sanitizer state written by
+    /// [`ckpt_encode`](Self::ckpt_encode), with the injection setting
+    /// supplied by the configuration.
+    pub(crate) fn ckpt_decode(d: &mut Dec<'_>, inject: SanInject) -> Result<SanRun, WireError> {
+        let ledger = RequestLedger::ckpt_decode(d)?;
+        let seen = d.u64()?;
+        let fired = d.bool()?;
+        Ok(SanRun {
+            ledger,
+            inject,
+            seen,
+            fired,
+        })
+    }
 }
 
 /// Per-byte shadow record of one CTA's shared memory within the current
@@ -431,6 +464,67 @@ impl SmSan {
             }
         }
         Ok(())
+    }
+
+    /// Checkpoint-encode the per-SM sanitizer state.
+    pub(crate) fn ckpt_encode(&self, e: &mut Enc) {
+        e.u64(self.digest);
+        e.seq(&self.shadows, |e, shadow| {
+            e.u64(shadow.epoch);
+            e.opt(&shadow.barrier, |e, &b| e.u32(b));
+            e.seq(&shadow.bytes, |e, b| {
+                e.opt(&b.writer, |e, &(w, pc)| {
+                    e.u32(w);
+                    e.u32(pc);
+                });
+                for r in &b.readers {
+                    e.opt(r, |e, &(w, pc)| {
+                        e.u32(w);
+                        e.u32(pc);
+                    });
+                }
+            });
+        });
+    }
+
+    /// Checkpoint-decode per-SM sanitizer state written by
+    /// [`ckpt_encode`](Self::ckpt_encode), validated against the expected
+    /// CTA-slot count and shared-memory size.
+    pub(crate) fn ckpt_decode(
+        d: &mut Dec<'_>,
+        n_cta_slots: usize,
+        shared_bytes: usize,
+    ) -> Result<SmSan, WireError> {
+        let digest = d.u64()?;
+        let pair = |d: &mut Dec<'_>| -> Result<(u32, u32), WireError> {
+            let w = d.u32()?;
+            let pc = d.u32()?;
+            Ok((w, pc))
+        };
+        let shadows = d.seq(|d| {
+            let epoch = d.u64()?;
+            let barrier = d.opt(|d| d.u32())?;
+            let bytes = d.seq(|d| {
+                let writer = d.opt(pair)?;
+                let mut readers = [None; 2];
+                for r in &mut readers {
+                    *r = d.opt(pair)?;
+                }
+                Ok(ShadowByte { writer, readers })
+            })?;
+            if bytes.len() != shared_bytes {
+                return Err(WireError::Malformed("shadow byte count mismatch"));
+            }
+            Ok(SmemShadow {
+                epoch,
+                barrier,
+                bytes,
+            })
+        })?;
+        if shadows.len() != n_cta_slots {
+            return Err(WireError::Malformed("shadow CTA slot count mismatch"));
+        }
+        Ok(SmSan { digest, shadows })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Per-warp register scoreboard: blocks issue of instructions whose source
 //! or destination registers have writes in flight.
 
+use gcl_mem::{Dec, Enc, WireError};
 use gcl_ptx::{Instruction, Reg};
 
 /// Scoreboard for all warps of one SM running one kernel.
@@ -57,6 +58,31 @@ impl Scoreboard {
     /// Drop all reservations of `warp` (when a warp slot is recycled).
     pub fn clear(&mut self, warp: usize) {
         self.pending[warp].iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Checkpoint-encode the pending-write bitsets.
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        e.usize(self.words);
+        e.usize(self.pending.len());
+        for warp in &self.pending {
+            e.seq(warp, |e, &w| e.u64(w));
+        }
+    }
+
+    /// Checkpoint-decode a scoreboard written by
+    /// [`ckpt_encode`](Self::ckpt_encode).
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<Scoreboard, WireError> {
+        let words = d.usize()?;
+        let n = d.seq_len()?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            let warp = d.seq(|d| d.u64())?;
+            if warp.len() != words {
+                return Err(WireError::Malformed("scoreboard word count mismatch"));
+            }
+            pending.push(warp);
+        }
+        Ok(Scoreboard { pending, words })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Per-warp SIMT divergence stack with ipdom reconvergence.
 
+use gcl_mem::{Dec, Enc, WireError};
 use gcl_ptx::RECONV_EXIT;
 
 /// One stack entry: execute from `pc` with `mask` until `reconv`.
@@ -125,6 +126,30 @@ impl SimtStack {
             }
         }
         self.pop_reconverged();
+    }
+
+    /// Checkpoint-encode the stack entries, bottom to top.
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        e.seq(&self.entries, |e, entry| {
+            e.usize(entry.pc);
+            e.u32(entry.mask);
+            e.usize(entry.reconv);
+        });
+    }
+
+    /// Checkpoint-decode a stack written by
+    /// [`ckpt_encode`](Self::ckpt_encode).
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<SimtStack, WireError> {
+        let entries = d.seq(|d| {
+            let pc = d.usize()?;
+            let mask = d.u32()?;
+            let reconv = d.usize()?;
+            Ok(SimtEntry { pc, mask, reconv })
+        })?;
+        if entries.len() > MAX_DEPTH {
+            return Err(WireError::Malformed("SIMT stack too deep"));
+        }
+        Ok(SimtStack { entries })
     }
 
     fn pop_reconverged(&mut self) {

@@ -10,7 +10,8 @@ use crate::{
 };
 use gcl_core::{Classification, LoadClass};
 use gcl_mem::{
-    AccessOutcome, AddrMap, Cache, ClassTag, Cycle, Icnt, MemRequest, ReqInfo, SanStage,
+    AccessOutcome, AddrMap, Cache, ClassTag, Cycle, Dec, Enc, Icnt, MemRequest, ReqInfo, SanStage,
+    WireError,
 };
 use gcl_ptx::{Kernel, Reg, Space, Unit};
 use std::cmp::Reverse;
@@ -465,16 +466,30 @@ impl Sm {
         }
         let waiters = self.l1.fill(resp.block_addr, cycle);
         if waiters.is_empty() {
+            // A fill with no waiting request means MSHR bookkeeping was lost
+            // somewhere in the hierarchy. With the sanitizer on, the ledger
+            // attributes the violation; without it, surface a bare
+            // conservation report instead of panicking or silently dropping
+            // the response.
             if let Some(sr) = ctx.san.as_deref_mut() {
                 return Err(sr
                     .ledger
                     .response_without_request(resp.san, resp.block_addr, self.id, resp.class, cycle)
                     .into());
             }
-            if cfg!(debug_assertions) {
-                panic!("fill with no waiters");
-            }
-            return Ok(());
+            return Err(TickError::San(Box::new(
+                crate::san::SanitizerReport::Conservation(gcl_mem::ConservationReport {
+                    kind: gcl_mem::ConservationKind::ResponseWithoutRequest,
+                    san_id: resp.san,
+                    pc: None,
+                    class: resp.class,
+                    is_write: false,
+                    block_addr: resp.block_addr,
+                    sm: self.id,
+                    stage: SanStage::Returned,
+                    cycle,
+                }),
+            )));
         }
         for mut w in waiters {
             w.t_icnt_inject = resp.t_icnt_inject;
@@ -1145,6 +1160,298 @@ impl Sm {
     /// cache keeps its contents so it can stay warm across launches.
     pub fn into_parts(self) -> (SmStats, Cache, LoadTracker) {
         (self.stats, self.l1, self.loadtrack)
+    }
+
+    /// Checkpoint-encode the complete mid-launch state of this SM: warps,
+    /// CTA slots, shared memory, scoreboard, schedulers, LD/ST queue, local
+    /// completion heaps, writebacks, load tracker, statistics and (when
+    /// sanitizing) the per-SM sanitizer state. Heaps are written as sorted
+    /// vectors and hash maps in sorted key order so equal states produce
+    /// identical bytes.
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        e.u16(self.id);
+        self.l1.ckpt_encode(e);
+        e.seq(&self.warps, |e, w| e.opt(w, |e, w| w.ckpt_encode(e)));
+        e.seq(&self.warp_age, |e, &a| e.u64(a));
+        e.seq(&self.pending_ops, |e, &p| e.u32(p));
+        e.u64(self.next_age);
+        e.seq(&self.cta_slots, |e, slot| {
+            e.opt(slot, |e, cta| {
+                e.seq(&cta.warp_slots, |e, &s| e.usize(s));
+            });
+        });
+        e.seq(&self.smem, |e, mem| e.bytes(mem));
+        self.scoreboard.ckpt_encode(e);
+        e.seq(&self.schedulers, |e, s| s.ckpt_encode(e));
+        e.usize(self.ldst_queue.len());
+        for entry in &self.ldst_queue {
+            match entry {
+                LdstEntry::Global {
+                    warp_slot,
+                    meta,
+                    is_store,
+                    pending,
+                    split,
+                    accepted_since_rotate,
+                } => {
+                    e.u8(0);
+                    e.usize(*warp_slot);
+                    e.opt(meta, |e, &m| e.u64(m));
+                    e.bool(*is_store);
+                    e.usize(pending.len());
+                    for req in pending {
+                        req.ckpt_encode(e);
+                    }
+                    e.opt(split, |e, &k| e.usize(k));
+                    e.usize(*accepted_since_rotate);
+                }
+                LdstEntry::Shared {
+                    warp_slot,
+                    dst,
+                    cycles_left,
+                } => {
+                    e.u8(1);
+                    e.usize(*warp_slot);
+                    e.opt(dst, |e, d| e.u32(d.0));
+                    e.u32(*cycles_left);
+                }
+                LdstEntry::Const {
+                    warp_slot,
+                    dst,
+                    cycles_left,
+                } => {
+                    e.u8(2);
+                    e.usize(*warp_slot);
+                    e.opt(dst, |e, d| e.u32(d.0));
+                    e.u32(*cycles_left);
+                }
+            }
+        }
+        let mut done: Vec<&LocalDone> = self.local_done.iter().map(|r| &r.0).collect();
+        done.sort_unstable_by_key(|d| (d.at, d.seq));
+        e.usize(done.len());
+        for ld in done {
+            e.u64(ld.at);
+            e.u64(ld.seq);
+            e.opt(&ld.meta, |e, &m| e.u64(m));
+            e.opt(&ld.req, |e, r| e.u64(r.0));
+            e.usize(ld.warp_slot);
+            e.opt(&ld.dst, |e, d| e.u32(d.0));
+        }
+        let mut keys: Vec<&u64> = self.local_reqs.keys().collect();
+        keys.sort_unstable();
+        e.usize(keys.len());
+        for k in keys {
+            e.u64(*k);
+            self.local_reqs[k].ckpt_encode(e);
+        }
+        let mut wbs: Vec<(Cycle, usize, Reg)> = self.writebacks.iter().map(|r| r.0).collect();
+        wbs.sort_unstable();
+        e.usize(wbs.len());
+        for (at, slot, reg) in wbs {
+            e.u64(at);
+            e.usize(slot);
+            e.u32(reg.0);
+        }
+        self.loadtrack.ckpt_encode(e);
+        e.u64(self.stats.warp_insts);
+        e.u64(self.stats.thread_insts);
+        e.u64(self.stats.global_load_warps[0]);
+        e.u64(self.stats.global_load_warps[1]);
+        e.u64(self.stats.shared_load_warps);
+        for u in self.stats.unit_busy {
+            e.u64(u);
+        }
+        e.u64(self.stats.cycles);
+        e.u64(self.stats.bank_conflict_cycles);
+        e.u64(self.stats.ctas_retired);
+        e.u64(self.stats.prefetches_issued);
+        e.u64(self.stats.branches);
+        e.u64(self.stats.divergent_branches);
+        e.u64(self.next_seq);
+        e.bool(self.issued_mem_this_cycle);
+        e.opt(&self.san, |e, s| s.ckpt_encode(e));
+    }
+
+    /// Checkpoint-decode an SM written by
+    /// [`ckpt_encode`](Self::ckpt_encode), validating the state against the
+    /// configuration and the kernel's shared-memory footprint (recorded in
+    /// the snapshot, since the kernel itself is re-supplied only at resume).
+    pub fn ckpt_decode(
+        d: &mut Dec<'_>,
+        cfg: &GpuConfig,
+        shared_bytes: usize,
+    ) -> Result<Sm, WireError> {
+        let max_warps = (cfg.max_threads_per_sm / cfg.warp_size) as usize;
+        let id = d.u16()?;
+        let l1 = Cache::ckpt_decode(d, cfg.l1)?;
+        let warps = d.seq(|d| d.opt(Warp::ckpt_decode))?;
+        if warps.len() != max_warps {
+            return Err(WireError::Malformed("warp slot count mismatch"));
+        }
+        let warp_age = d.seq(|d| d.u64())?;
+        let pending_ops = d.seq(|d| d.u32())?;
+        if warp_age.len() != max_warps || pending_ops.len() != max_warps {
+            return Err(WireError::Malformed("warp side-table size mismatch"));
+        }
+        let next_age = d.u64()?;
+        let cta_slots = d.seq(|d| {
+            d.opt(|d| {
+                let warp_slots = d.seq(|d| d.usize())?;
+                if warp_slots.iter().any(|&s| s >= max_warps) {
+                    return Err(WireError::Malformed("CTA warp slot out of range"));
+                }
+                Ok(CtaState { warp_slots })
+            })
+        })?;
+        let smem = d.seq(|d| Ok(d.bytes()?.to_vec()))?;
+        if smem.len() != cta_slots.len() {
+            return Err(WireError::Malformed("shared-memory slot count mismatch"));
+        }
+        if smem.iter().any(|m| m.len() != shared_bytes) {
+            return Err(WireError::Malformed("shared-memory size mismatch"));
+        }
+        let scoreboard = Scoreboard::ckpt_decode(d)?;
+        let schedulers = d.seq(|d| WarpScheduler::ckpt_decode(d, cfg.warp_sched))?;
+        if schedulers.len() != cfg.n_schedulers {
+            return Err(WireError::Malformed("scheduler count mismatch"));
+        }
+        let n_ldst = d.seq_len()?;
+        let mut ldst_queue = VecDeque::with_capacity(n_ldst);
+        for _ in 0..n_ldst {
+            let entry = match d.u8()? {
+                0 => {
+                    let warp_slot = d.usize()?;
+                    let meta = d.opt(|d| d.u64())?;
+                    let is_store = d.bool()?;
+                    let n = d.seq_len()?;
+                    let mut pending = VecDeque::with_capacity(n);
+                    for _ in 0..n {
+                        pending.push_back(MemRequest::ckpt_decode(d)?);
+                    }
+                    let split = d.opt(|d| d.usize())?;
+                    let accepted_since_rotate = d.usize()?;
+                    LdstEntry::Global {
+                        warp_slot,
+                        meta,
+                        is_store,
+                        pending,
+                        split,
+                        accepted_since_rotate,
+                    }
+                }
+                1 => LdstEntry::Shared {
+                    warp_slot: d.usize()?,
+                    dst: d.opt(|d| Ok(Reg(d.u32()?)))?,
+                    cycles_left: d.u32()?,
+                },
+                2 => LdstEntry::Const {
+                    warp_slot: d.usize()?,
+                    dst: d.opt(|d| Ok(Reg(d.u32()?)))?,
+                    cycles_left: d.u32()?,
+                },
+                _ => return Err(WireError::Malformed("bad LD/ST entry tag")),
+            };
+            let slot = match &entry {
+                LdstEntry::Global { warp_slot, .. }
+                | LdstEntry::Shared { warp_slot, .. }
+                | LdstEntry::Const { warp_slot, .. } => *warp_slot,
+            };
+            if slot >= max_warps {
+                return Err(WireError::Malformed("LD/ST warp slot out of range"));
+            }
+            ldst_queue.push_back(entry);
+        }
+        let n_done = d.seq_len()?;
+        let mut local_done = BinaryHeap::with_capacity(n_done);
+        let mut done_keys = Vec::new();
+        for _ in 0..n_done {
+            let at = d.u64()?;
+            let seq = d.u64()?;
+            let meta = d.opt(|d| d.u64())?;
+            let req = d.opt(|d| Ok(MemRequestOrd(d.u64()?)))?;
+            let warp_slot = d.usize()?;
+            let dst = d.opt(|d| Ok(Reg(d.u32()?)))?;
+            if warp_slot >= max_warps {
+                return Err(WireError::Malformed("local-done warp slot out of range"));
+            }
+            if let Some(MemRequestOrd(k)) = req {
+                done_keys.push(k);
+            }
+            local_done.push(Reverse(LocalDone {
+                at,
+                seq,
+                meta,
+                req,
+                warp_slot,
+                dst,
+            }));
+        }
+        let n_reqs = d.seq_len()?;
+        let mut local_reqs = HashMap::with_capacity(n_reqs);
+        for _ in 0..n_reqs {
+            let k = d.u64()?;
+            let req = MemRequest::ckpt_decode(d)?;
+            if local_reqs.insert(k, req).is_some() {
+                return Err(WireError::Malformed("duplicate local request key"));
+            }
+        }
+        if done_keys.iter().any(|k| !local_reqs.contains_key(k)) {
+            return Err(WireError::Malformed("dangling local request key"));
+        }
+        let n_wb = d.seq_len()?;
+        let mut writebacks = BinaryHeap::with_capacity(n_wb);
+        for _ in 0..n_wb {
+            let at = d.u64()?;
+            let slot = d.usize()?;
+            let reg = Reg(d.u32()?);
+            if slot >= max_warps {
+                return Err(WireError::Malformed("writeback warp slot out of range"));
+            }
+            writebacks.push(Reverse((at, slot, reg)));
+        }
+        let loadtrack = LoadTracker::ckpt_decode(d)?;
+        let stats = SmStats {
+            warp_insts: d.u64()?,
+            thread_insts: d.u64()?,
+            global_load_warps: [d.u64()?, d.u64()?],
+            shared_load_warps: d.u64()?,
+            unit_busy: [d.u64()?, d.u64()?, d.u64()?],
+            cycles: d.u64()?,
+            bank_conflict_cycles: d.u64()?,
+            ctas_retired: d.u64()?,
+            prefetches_issued: d.u64()?,
+            branches: d.u64()?,
+            divergent_branches: d.u64()?,
+        };
+        let next_seq = d.u64()?;
+        let issued_mem_this_cycle = d.bool()?;
+        let n_cta_slots = cta_slots.len();
+        let san = d.opt(|d| SmSan::ckpt_decode(d, n_cta_slots, shared_bytes))?;
+        if san.is_some() != cfg.sanitize {
+            return Err(WireError::Malformed("sanitizer state presence mismatch"));
+        }
+        Ok(Sm {
+            id,
+            l1,
+            warps,
+            warp_age,
+            pending_ops,
+            next_age,
+            cta_slots,
+            smem,
+            scoreboard,
+            schedulers,
+            ldst_queue,
+            local_done,
+            local_reqs,
+            writebacks,
+            loadtrack,
+            stats,
+            next_seq,
+            issued_mem_this_cycle,
+            san,
+        })
     }
 }
 

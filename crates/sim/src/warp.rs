@@ -194,6 +194,70 @@ impl Warp {
         self.regs[r.index() * self.warp_size as usize + lane as usize] = v;
     }
 
+    /// Checkpoint-encode the full architectural state of this warp.
+    pub fn ckpt_encode(&self, e: &mut gcl_mem::Enc) {
+        e.usize(self.slot);
+        e.usize(self.cta_slot);
+        e.u64(self.linear_cta);
+        e.u32(self.warp_in_cta);
+        self.stack.ckpt_encode(e);
+        e.u32(self.exited);
+        e.u32(self.valid);
+        e.seq(&self.regs, |e, &r| e.u64(r));
+        e.seq(&self.lane_tid, |e, &(x, y, z)| {
+            e.u32(x);
+            e.u32(y);
+            e.u32(z);
+        });
+        e.u32(self.ctaid.0);
+        e.u32(self.ctaid.1);
+        e.u32(self.ctaid.2);
+        e.opt(&self.at_barrier, |e, &b| e.u32(b));
+        e.u32(self.warp_size);
+    }
+
+    /// Checkpoint-decode a warp written by
+    /// [`ckpt_encode`](Self::ckpt_encode).
+    pub fn ckpt_decode(d: &mut gcl_mem::Dec<'_>) -> Result<Warp, gcl_mem::WireError> {
+        let slot = d.usize()?;
+        let cta_slot = d.usize()?;
+        let linear_cta = d.u64()?;
+        let warp_in_cta = d.u32()?;
+        let stack = SimtStack::ckpt_decode(d)?;
+        let exited = d.u32()?;
+        let valid = d.u32()?;
+        let regs = d.seq(|d| d.u64())?;
+        let lane_tid = d.seq(|d| {
+            let x = d.u32()?;
+            let y = d.u32()?;
+            let z = d.u32()?;
+            Ok((x, y, z))
+        })?;
+        let ctaid = (d.u32()?, d.u32()?, d.u32()?);
+        let at_barrier = d.opt(|d| d.u32())?;
+        let warp_size = d.u32()?;
+        if warp_size == 0 || lane_tid.len() != warp_size as usize {
+            return Err(gcl_mem::WireError::Malformed("warp lane table size"));
+        }
+        if regs.len() % warp_size as usize != 0 {
+            return Err(gcl_mem::WireError::Malformed("warp register file size"));
+        }
+        Ok(Warp {
+            slot,
+            cta_slot,
+            linear_cta,
+            warp_in_cta,
+            stack,
+            exited,
+            valid,
+            regs,
+            lane_tid,
+            ctaid,
+            at_barrier,
+            warp_size,
+        })
+    }
+
     fn special(&self, lane: u32, s: Special, ctx: &ExecCtx<'_>) -> u64 {
         let (tx, ty_, tz) = self.lane_tid[lane as usize];
         let v = match s {

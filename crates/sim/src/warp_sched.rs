@@ -1,6 +1,7 @@
 //! Warp schedulers: loose round-robin and greedy-then-oldest.
 
 use crate::WarpSchedPolicy;
+use gcl_mem::{Dec, Enc, WireError};
 
 /// One warp scheduler's selection state. The SM owns one per scheduler and
 /// asks it to pick among the ready warps it supervises.
@@ -69,6 +70,23 @@ impl WarpScheduler {
             self.last = chosen;
         }
         chosen
+    }
+
+    /// Checkpoint-encode the selection state (the policy comes from the
+    /// configuration, so only `last` is written).
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        e.opt(&self.last, |e, &l| e.usize(l));
+    }
+
+    /// Checkpoint-decode a scheduler written by
+    /// [`ckpt_encode`](Self::ckpt_encode), with the policy from the
+    /// configuration.
+    pub fn ckpt_decode(
+        d: &mut Dec<'_>,
+        policy: WarpSchedPolicy,
+    ) -> Result<WarpScheduler, WireError> {
+        let last = d.opt(|d| d.usize())?;
+        Ok(WarpScheduler { policy, last })
     }
 }
 

@@ -80,6 +80,22 @@ impl Histogram {
         self.count += other.count;
     }
 
+    /// The raw per-bucket counts (64 log2 buckets), for serialization.
+    pub fn raw_buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from raw bucket counts written by
+    /// [`raw_buckets`](Self::raw_buckets). Returns `None` unless exactly 64
+    /// buckets are given; the sample count is recomputed from them.
+    pub fn from_raw_buckets(buckets: Vec<u64>) -> Option<Histogram> {
+        if buckets.len() != 64 {
+            return None;
+        }
+        let count = buckets.iter().sum();
+        Some(Histogram { buckets, count })
+    }
+
     /// The non-empty buckets as `(bucket_upper_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets

@@ -5,15 +5,18 @@
 //! gcl disasm   <kernel.ptx>                parse and re-print (normalize)
 //! gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param V]...
 //!              [--memcheck] [--sanitize] [--max-cycles N]
+//!              [--checkpoint-every N --checkpoint-file P] [--resume P]
 //!                                          simulate one launch, print stats
 //! gcl suite    [--tiny] [--sanitize] [--force-fail NAME]
-//!                                          run the 15-benchmark suite
+//!              [--resume] [--retries N]    run the 15-benchmark suite
 //! ```
 
 use gcl::prelude::*;
 use gcl_core::{AddressSource, Classification, LoadClass};
 use gcl_stats::Json;
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,7 +48,8 @@ USAGE:
   gcl disasm   <kernel.ptx>
   gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param VALUE]...
                [--memcheck] [--sanitize] [--max-cycles N]
-  gcl suite    [--tiny] [--sanitize] [--force-fail NAME]
+               [--checkpoint-every N --checkpoint-file PATH] [--resume PATH]
+  gcl suite    [--tiny] [--sanitize] [--force-fail NAME] [--resume] [--retries N]
 
 `classify` runs the paper's backward-dataflow analysis and prints each
 global load's class and (for non-deterministic loads) the def-chain back to
@@ -56,10 +60,18 @@ out-of-bounds device accesses abort the launch with a fault report naming
 the load's class and address def-chain. With --sanitize, the simsan runtime
 sanitizer checks request conservation through the memory hierarchy and
 shared-memory races between warps, and prints the launch's event digest.
+With --checkpoint-every N, the complete simulator state is written to
+--checkpoint-file every N cycles (and on a hang, the watchdog's mid-flight
+snapshot is dumped there); --resume PATH restores such a checkpoint and
+continues the interrupted launch — same kernel, same flags — finishing with
+the identical event digest as an uninterrupted run.
 `suite` keeps going when a benchmark fails, prints a per-benchmark outcome
 table, and exits nonzero only if something failed; --force-fail caps the
 named benchmark's cycle budget to exercise that path; --sanitize runs each
-benchmark twice and fails it if the two event digests diverge.
+benchmark twice and fails it if the two event digests diverge. Progress is
+persisted to results/run.json after every benchmark: `suite --resume` skips
+the benchmarks already recorded as ok, and --retries N re-runs each failure
+up to N extra times with capped exponential backoff.
 ";
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
@@ -183,27 +195,35 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut block = 32u32;
     let mut cfg = GpuConfig::fermi();
     let mut specs: Vec<ParamSpec> = Vec::new();
+    let mut launch_flags = false;
+    let mut ckpt_every = 0u64;
+    let mut ckpt_file: Option<String> = None;
+    let mut resume: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--grid" => {
                 i += 1;
                 grid = parse_u64(args.get(i).ok_or("--grid needs a value")?)? as u32;
+                launch_flags = true;
             }
             "--block" => {
                 i += 1;
                 block = parse_u64(args.get(i).ok_or("--block needs a value")?)? as u32;
+                launch_flags = true;
             }
             "--alloc" => {
                 i += 1;
                 let bytes = parse_u64(args.get(i).ok_or("--alloc needs a value")?)?;
                 specs.push(ParamSpec::Alloc(bytes));
+                launch_flags = true;
             }
             "--param" => {
                 i += 1;
                 specs.push(ParamSpec::Value(parse_u64(
                     args.get(i).ok_or("--param needs a value")?,
                 )?));
+                launch_flags = true;
             }
             "--memcheck" => cfg.memcheck = true,
             "--sanitize" => cfg.sanitize = true,
@@ -211,38 +231,90 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 cfg.max_cycles = parse_u64(args.get(i).ok_or("--max-cycles needs a value")?)?;
             }
+            "--checkpoint-every" => {
+                i += 1;
+                ckpt_every = parse_u64(args.get(i).ok_or("--checkpoint-every needs a value")?)?;
+                if ckpt_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_string());
+                }
+            }
+            "--checkpoint-file" => {
+                i += 1;
+                ckpt_file = Some(
+                    args.get(i)
+                        .ok_or("--checkpoint-file needs a path")?
+                        .to_string(),
+                );
+            }
+            "--resume" => {
+                i += 1;
+                resume = Some(args.get(i).ok_or("--resume needs a path")?.to_string());
+            }
             other => return Err(format!("run: unknown option `{other}`")),
         }
         i += 1;
     }
+    if ckpt_every > 0 && ckpt_file.is_none() {
+        return Err("--checkpoint-every requires --checkpoint-file".to_string());
+    }
+    if resume.is_some() && launch_flags {
+        return Err(
+            "--resume restores the checkpoint's own grid, block, memory and parameters; \
+             it cannot be combined with --grid/--block/--alloc/--param"
+                .to_string(),
+        );
+    }
     let mut gpu = Gpu::new(cfg).map_err(|e| e.to_string())?;
-    let mut params: Vec<u64> = Vec::new();
-    for spec in specs {
-        match spec {
-            ParamSpec::Alloc(bytes) => {
-                params.push(gpu.mem().alloc(bytes, 128).map_err(|e| e.to_string())?);
+    match resume.as_deref() {
+        Some(ckpt) => {
+            let snap = Snapshot::read_file(ckpt).map_err(|e| e.to_string())?;
+            gpu.restore(&snap).map_err(|e| e.to_string())?;
+            if !gpu.launch_active() {
+                return Err(format!(
+                    "`{ckpt}` is an idle snapshot: there is no interrupted launch to resume"
+                ));
             }
-            ParamSpec::Value(v) => params.push(v),
+            eprintln!(
+                "(resuming `{}` at cycle {} from {ckpt})",
+                gpu.launch_kernel_name().unwrap_or("?"),
+                gpu.launch_cycle().unwrap_or(0),
+            );
+        }
+        None => {
+            let mut params: Vec<u64> = Vec::new();
+            for spec in specs {
+                match spec {
+                    ParamSpec::Alloc(bytes) => {
+                        params.push(gpu.mem().alloc(bytes, 128).map_err(|e| e.to_string())?);
+                    }
+                    ParamSpec::Value(v) => params.push(v),
+                }
+            }
+            if params.len() != kernel.params().len() {
+                return Err(format!(
+                    "kernel `{}` takes {} parameters; {} provided (use --alloc/--param)",
+                    kernel.name(),
+                    kernel.params().len(),
+                    params.len()
+                ));
+            }
+            let packed = pack_params(&kernel, &params);
+            gpu.launch_begin(&kernel, Dim3::x(grid), Dim3::x(block), &packed)
+                .map_err(|e| e.to_string())?;
         }
     }
-    if params.len() != kernel.params().len() {
-        return Err(format!(
-            "kernel `{}` takes {} parameters; {} provided (use --alloc/--param)",
+    let resumed = resume.is_some();
+    let stats = drive_launch(&mut gpu, &kernel, ckpt_every, ckpt_file.as_deref())?;
+    if resumed {
+        println!("kernel `{}` (resumed)", kernel.name());
+    } else {
+        println!(
+            "kernel `{}`: {} CTAs x {} threads",
             kernel.name(),
-            kernel.params().len(),
-            params.len()
-        ));
+            grid,
+            block
+        );
     }
-    let packed = pack_params(&kernel, &params);
-    let stats = gpu
-        .launch(&kernel, Dim3::x(grid), Dim3::x(block), &packed)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "kernel `{}`: {} CTAs x {} threads",
-        kernel.name(),
-        grid,
-        block
-    );
     println!("cycles             {}", stats.cycles);
     println!("warp instructions  {}", stats.sm.warp_insts);
     println!(
@@ -273,18 +345,216 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_suite(args: &[String]) -> Result<(), String> {
-    let tiny = args.iter().any(|a| a == "--tiny");
-    let sanitize = args.iter().any(|a| a == "--sanitize");
-    let force_fail = args
-        .iter()
-        .position(|a| a == "--force-fail")
-        .map(|i| {
-            args.get(i + 1)
-                .cloned()
-                .ok_or("--force-fail needs a benchmark name")
+/// Step the active launch to completion, writing a checkpoint to `file`
+/// every `every` cycles (when `every > 0`), and dumping the hang watchdog's
+/// mid-flight snapshot to `file` if the launch wedges.
+fn drive_launch(
+    gpu: &mut Gpu,
+    kernel: &Kernel,
+    every: u64,
+    file: Option<&str>,
+) -> Result<LaunchStats, String> {
+    let mut written = 0u64;
+    loop {
+        match gpu.launch_step(kernel) {
+            Ok(Some(stats)) => {
+                if written > 0 {
+                    let f = file.unwrap_or("?");
+                    eprintln!("(wrote {written} checkpoints to {f})");
+                }
+                return Ok(stats);
+            }
+            Ok(None) => {
+                if every > 0 {
+                    if let (Some(f), Some(c)) = (file, gpu.launch_cycle()) {
+                        if c > 0 && c % every == 0 {
+                            gpu.snapshot().write_file(f).map_err(|e| e.to_string())?;
+                            written += 1;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                if matches!(e, SimError::Hang(_)) {
+                    if let (Some(f), Some(snap)) = (file, gpu.take_hang_snapshot()) {
+                        match snap.write_file(f) {
+                            Ok(()) => eprintln!("(hang: dumped mid-flight snapshot to {f})"),
+                            Err(w) => eprintln!("(hang: snapshot dump failed: {w})"),
+                        }
+                    }
+                }
+                return Err(e.to_string());
+            }
+        }
+    }
+}
+
+/// Where `gcl suite` persists its run manifest.
+const MANIFEST_PATH: &str = "results/run.json";
+const MANIFEST_VERSION: u64 = 1;
+
+/// Per-workload progress record in the suite manifest.
+struct ManifestEntry {
+    name: String,
+    /// `pending` | `running` | `retried` | `ok` | `failed`.
+    status: String,
+    attempts: u64,
+    wall_ms: f64,
+    digest: Option<u64>,
+    error: Option<String>,
+}
+
+/// The persisted state of one suite run: rewritten after every status
+/// change, atomically, so a killed suite leaves a manifest `--resume` can
+/// pick up.
+struct Manifest {
+    scale: String,
+    sanitize: bool,
+    entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    fn to_json(&self) -> Json {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("name", Json::Str(e.name.clone())),
+                    ("status", Json::Str(e.status.clone())),
+                    ("attempts", Json::UInt(e.attempts)),
+                    ("wall_ms", Json::Float(e.wall_ms)),
+                    (
+                        "digest",
+                        match e.digest {
+                            Some(d) => Json::Str(format!("0x{d:016x}")),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "error",
+                        match &e.error {
+                            Some(m) => Json::Str(m.clone()),
+                            None => Json::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("version", Json::UInt(MANIFEST_VERSION)),
+            ("scale", Json::Str(self.scale.clone())),
+            ("sanitize", Json::Bool(self.sanitize)),
+            ("workloads", Json::Arr(entries)),
+        ])
+    }
+
+    fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        // Write-then-rename: a suite killed mid-save never leaves a torn
+        // manifest under the final name.
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json().render_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+    }
+
+    fn load(path: &Path) -> Result<Manifest, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            format!(
+                "cannot read {}: {e} (run without --resume first)",
+                path.display()
+            )
+        })?;
+        let j = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let bad = || format!("{}: not a suite manifest", path.display());
+        if j.get("version").and_then(Json::as_u64) != Some(MANIFEST_VERSION) {
+            return Err(format!(
+                "{}: unsupported manifest version (this build reads {MANIFEST_VERSION})",
+                path.display()
+            ));
+        }
+        let scale = j
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or_else(bad)?
+            .to_string();
+        let sanitize = match j.get("sanitize") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(bad()),
+        };
+        let mut entries = Vec::new();
+        for w in j.get("workloads").and_then(Json::as_arr).ok_or_else(bad)? {
+            let digest = match w.get("digest").and_then(Json::as_str) {
+                Some(s) => Some(
+                    u64::from_str_radix(s.trim_start_matches("0x"), 16)
+                        .map_err(|_| format!("{}: bad digest `{s}`", path.display()))?,
+                ),
+                None => None,
+            };
+            entries.push(ManifestEntry {
+                name: w
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(bad)?
+                    .to_string(),
+                status: w
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .ok_or_else(bad)?
+                    .to_string(),
+                attempts: w.get("attempts").and_then(Json::as_u64).unwrap_or(0),
+                wall_ms: w.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                digest,
+                error: w.get("error").and_then(Json::as_str).map(str::to_string),
+            });
+        }
+        Ok(Manifest {
+            scale,
+            sanitize,
+            entries,
         })
-        .transpose()?;
+    }
+}
+
+/// Backoff before retry `attempt` (1-based): 50ms doubling, capped at 2s.
+fn backoff_ms(attempt: u64) -> u64 {
+    50u64
+        .saturating_mul(1 << attempt.saturating_sub(1).min(6))
+        .min(2_000)
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let mut tiny = false;
+    let mut sanitize = false;
+    let mut force_fail: Option<String> = None;
+    let mut resume = false;
+    let mut retries = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tiny" => tiny = true,
+            "--sanitize" => sanitize = true,
+            "--resume" => resume = true,
+            "--force-fail" => {
+                i += 1;
+                force_fail = Some(
+                    args.get(i)
+                        .ok_or("--force-fail needs a benchmark name")?
+                        .to_string(),
+                );
+            }
+            "--retries" => {
+                i += 1;
+                retries = parse_u64(args.get(i).ok_or("--retries needs a value")?)?;
+            }
+            other => return Err(format!("suite: unknown option `{other}`")),
+        }
+        i += 1;
+    }
     let workloads = if tiny {
         gcl::workloads::tiny_workloads()
     } else {
@@ -295,13 +565,83 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             return Err(format!("--force-fail: no benchmark named `{name}`"));
         }
     }
+    let scale = if tiny { "tiny" } else { "full" };
+    let manifest_path = Path::new(MANIFEST_PATH);
+
+    // Start from the persisted manifest when resuming; everything not
+    // recorded `ok` there (pending, running, retried, failed — and any
+    // workload the old manifest never saw) runs again.
+    let prior = if resume {
+        let m = Manifest::load(manifest_path)?;
+        if m.scale != scale || m.sanitize != sanitize {
+            return Err(format!(
+                "{}: manifest was written by `suite{}{}` — resume with the same flags \
+                 or start over without --resume",
+                manifest_path.display(),
+                if m.scale == "tiny" { " --tiny" } else { "" },
+                if m.sanitize { " --sanitize" } else { "" },
+            ));
+        }
+        m.entries
+    } else {
+        Vec::new()
+    };
+    let mut manifest = Manifest {
+        scale: scale.to_string(),
+        sanitize,
+        entries: workloads
+            .iter()
+            .map(|w| {
+                prior
+                    .iter()
+                    .find(|e| e.name == w.name() && e.status == "ok")
+                    .map(|e| ManifestEntry {
+                        name: e.name.clone(),
+                        status: "ok".to_string(),
+                        attempts: e.attempts,
+                        wall_ms: e.wall_ms,
+                        digest: e.digest,
+                        error: None,
+                    })
+                    .unwrap_or_else(|| ManifestEntry {
+                        name: w.name().to_string(),
+                        status: "pending".to_string(),
+                        attempts: 0,
+                        wall_ms: 0.0,
+                        digest: None,
+                        error: None,
+                    })
+            })
+            .collect(),
+    };
+    manifest.save(manifest_path)?;
+
     let total = workloads.len();
     let mut failures: Vec<(&'static str, String)> = Vec::new();
+    let mut skipped = 0usize;
     println!(
         "{:6} {:7} {:>9} {:>11} {:>9} {:>6} {:>9}  outcome",
         "name", "cat", "cycles", "warp insts", "gld", "N%", "L1 miss%"
     );
-    for w in workloads {
+    for (wi, w) in workloads.iter().enumerate() {
+        if manifest.entries[wi].status == "ok" {
+            let digest = match manifest.entries[wi].digest {
+                Some(d) => format!("  0x{d:016x}"),
+                None => String::new(),
+            };
+            println!(
+                "{:6} {:7} {:>9} {:>11} {:>9} {:>6} {:>9}  skipped (ok in manifest){digest}",
+                w.name(),
+                w.category().to_string(),
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+            );
+            skipped += 1;
+            continue;
+        }
         let mut cfg = if tiny {
             GpuConfig::small()
         } else {
@@ -313,20 +653,42 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             cfg.max_cycles = 50;
         }
         cfg.sanitize = sanitize;
-        let mut outcome = Gpu::new(cfg.clone()).and_then(|mut gpu| w.run(&mut gpu));
-        if sanitize {
-            if let Ok(run) = outcome {
-                // Determinism audit: a second run from an identical initial
-                // state must produce an identical event digest.
-                outcome = Gpu::new(cfg)
-                    .and_then(|mut gpu| w.run(&mut gpu))
-                    .and_then(|second| {
-                        gcl_sim::check_digests(w.name(), run.stats.digest, second.stats.digest)
-                            .map_err(gcl_sim::SimError::Sanitizer)?;
-                        Ok(run)
-                    });
+        manifest.entries[wi].status = "running".to_string();
+        manifest.save(manifest_path)?;
+        let t0 = Instant::now();
+        let mut attempt = 0u64;
+        let outcome = loop {
+            attempt += 1;
+            let mut outcome = Gpu::new(cfg.clone()).and_then(|mut gpu| w.run(&mut gpu));
+            if sanitize {
+                if let Ok(run) = outcome {
+                    // Determinism audit: a second run from an identical
+                    // initial state must produce an identical event digest.
+                    outcome = Gpu::new(cfg.clone())
+                        .and_then(|mut gpu| w.run(&mut gpu))
+                        .and_then(|second| {
+                            gcl_sim::check_digests(w.name(), run.stats.digest, second.stats.digest)
+                                .map_err(gcl_sim::SimError::Sanitizer)?;
+                            Ok(run)
+                        });
+                }
             }
-        }
+            match outcome {
+                Ok(run) => break Ok(run),
+                Err(e) => {
+                    if attempt > retries {
+                        break Err(e);
+                    }
+                    manifest.entries[wi].status = "retried".to_string();
+                    manifest.entries[wi].attempts = attempt;
+                    manifest.entries[wi].error = Some(e.to_string());
+                    manifest.save(manifest_path)?;
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
+                }
+            }
+        };
+        manifest.entries[wi].attempts = attempt;
+        manifest.entries[wi].wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         match outcome {
             Ok(run) => {
                 let p = run.stats.profiler();
@@ -334,8 +696,13 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
                     Some(d) => format!("  0x{d:016x}"),
                     None => String::new(),
                 };
+                let retried = if attempt > 1 {
+                    format!(" (attempt {attempt})")
+                } else {
+                    String::new()
+                };
                 println!(
-                    "{:6} {:7} {:>9} {:>11} {:>9} {:>5.1} {:>9.1}  ok{digest}",
+                    "{:6} {:7} {:>9} {:>11} {:>9} {:>5.1} {:>9.1}  ok{digest}{retried}",
                     w.name(),
                     w.category().to_string(),
                     run.stats.cycles,
@@ -344,6 +711,9 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
                     run.stats.nondet_load_fraction() * 100.0,
                     p.l1_miss_ratio() * 100.0,
                 );
+                manifest.entries[wi].status = "ok".to_string();
+                manifest.entries[wi].digest = run.stats.digest;
+                manifest.entries[wi].error = None;
             }
             Err(e) => {
                 let msg = e.to_string();
@@ -358,18 +728,31 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
                     "-",
                     "-",
                 );
+                manifest.entries[wi].status = "failed".to_string();
+                manifest.entries[wi].error = Some(msg.clone());
                 failures.push((w.name(), msg));
             }
         }
+        manifest.save(manifest_path)?;
     }
     if failures.is_empty() {
-        println!("\n{total} of {total} benchmarks completed");
+        if skipped > 0 {
+            println!("\n{total} of {total} benchmarks completed ({skipped} from manifest)");
+        } else {
+            println!("\n{total} of {total} benchmarks completed");
+        }
         Ok(())
     } else {
         for (name, msg) in &failures {
             eprintln!("\n`{name}` failed:\n{msg}");
         }
-        Err(format!("{} of {total} benchmarks failed", failures.len()))
+        Err(format!(
+            "{} of {total} benchmarks failed (re-run with `gcl suite{}{} --resume --retries N` \
+             to retry just the failures)",
+            failures.len(),
+            if tiny { " --tiny" } else { "" },
+            if sanitize { " --sanitize" } else { "" },
+        ))
     }
 }
 

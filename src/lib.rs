@@ -67,7 +67,9 @@ pub mod prelude {
     pub use gcl_ptx::{
         parse_kernel, Cfg, CmpOp, Kernel, KernelBuilder, Operand, Reg, Space, Special, Type,
     };
-    pub use gcl_sim::{pack_params, Dim3, Gpu, GpuConfig, LaunchStats};
+    pub use gcl_sim::{
+        pack_params, CheckpointError, Dim3, Gpu, GpuConfig, LaunchStats, SimError, Snapshot,
+    };
     pub use gcl_stats::{FigureSeries, Series, Table};
     pub use gcl_workloads::{Category, RunResult, Workload};
 }

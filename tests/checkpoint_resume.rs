@@ -1,0 +1,53 @@
+//! Resume-equivalence over the whole benchmark suite: snapshotting any
+//! tiny workload mid-launch, serialising the snapshot to bytes, restoring
+//! it and continuing must reproduce the exact event digest of an
+//! uninterrupted run. This is the correctness anchor of the checkpoint
+//! subsystem — a checkpoint that loses any timing-relevant state shows up
+//! here as a digest mismatch on at least one workload.
+
+use gcl::prelude::*;
+use gcl::workloads::tiny_workloads;
+
+fn sanitized_cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::small();
+    cfg.sanitize = true;
+    cfg
+}
+
+/// Every tiny workload, interrupted at several cycle offsets (the snapshot
+/// round-trips through bytes each time, on every launch the workload
+/// performs), finishes with the digest, cycle count and output of an
+/// uninterrupted run.
+#[test]
+fn every_tiny_workload_resumes_digest_identical() {
+    for w in tiny_workloads() {
+        let mut gpu = Gpu::new(sanitized_cfg()).expect("small config is valid");
+        let reference = w.run(&mut gpu).expect("uninterrupted run completes");
+        let ref_digest = reference.stats.digest.expect("sanitize produces a digest");
+
+        // Cycle 0 (before the first step), cycle 1, mid-run, and one cycle
+        // before the end of the longest launch. Offsets past a launch's
+        // length simply never fire for that launch; offset 0 fires for all.
+        let cycles = reference.stats.cycles;
+        let offsets = [0, 1, cycles / 2, cycles.saturating_sub(1)];
+        for at in offsets {
+            let mut gpu = Gpu::new(sanitized_cfg()).expect("small config is valid");
+            gpu.set_resume_selftest(Some(at));
+            let run = w
+                .run(&mut gpu)
+                .unwrap_or_else(|e| panic!("{} interrupted at cycle {at}: {e}", w.name()));
+            assert_eq!(
+                run.stats.digest,
+                Some(ref_digest),
+                "{} resumed at cycle {at} diverged from the uninterrupted run",
+                w.name()
+            );
+            assert_eq!(
+                run.stats.cycles,
+                reference.stats.cycles,
+                "{} resumed at cycle {at} took a different number of cycles",
+                w.name()
+            );
+        }
+    }
+}
