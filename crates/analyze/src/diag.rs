@@ -1,0 +1,48 @@
+//! Structured diagnostics emitted by the verifier and the divergence
+//! analysis.
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but executable (dead code, unreachable blocks).
+    Warning,
+    /// The kernel is wrong or hazardous (use-before-def, type mismatch,
+    /// divergent barrier, missing exit).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Instruction index the finding is anchored to.
+    pub pc: usize,
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable code (`use-before-def`, `dead-store`, ...).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// The offending instruction, rendered via `gcl_ptx`'s display format.
+    pub inst: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] pc {}: {}\n    {}",
+            self.severity, self.code, self.pc, self.message, self.inst
+        )
+    }
+}

@@ -1,0 +1,201 @@
+//! `gcl-analyze` — static analysis suite over the PTX subset.
+//!
+//! Three analyses run over [`gcl_ptx`]'s CFG on a shared dataflow framework
+//! ([`dataflow`]):
+//!
+//! * a **verifier** ([`verify`]) with structural lints — use-before-def,
+//!   type/width mismatches, unreachable blocks, dead stores/loads, missing
+//!   `exit`;
+//! * a **divergence analysis** ([`divergence`]) that annotates each branch
+//!   uniform/divergent and statically flags barriers reachable under
+//!   divergent control flow (which hang the simulator's watchdog at
+//!   runtime);
+//! * a **tid-affine address analysis** ([`affine`]) that predicts, per
+//!   static load, the coalescer request count (global) or bank-conflict
+//!   degree (shared), cross-validated against dynamic measurement in the
+//!   test suite.
+//!
+//! [`analyze`] runs all three and bundles the result in a [`Report`] with
+//! human-readable ([`std::fmt::Display`]) and CSV output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod dataflow;
+pub mod diag;
+pub mod divergence;
+pub mod verify;
+
+pub use affine::{affine_loads, Affine, AffineVal, LoadPrediction, Prediction};
+pub use diag::{Diagnostic, Severity};
+pub use divergence::{divergence, BranchDivergence, DivergenceInfo};
+pub use verify::verify;
+
+use gcl_core::{address_sources, classify, LoadClass};
+use gcl_ptx::{Cfg, Kernel};
+use std::fmt;
+
+/// One load in a [`Report`]: static prediction joined with the paper's
+/// D/N classification.
+#[derive(Debug, Clone)]
+pub struct ReportLoad {
+    /// The static prediction (pc, space, affine form, requests/banks).
+    pub prediction: LoadPrediction,
+    /// The D/N class of the load (deterministic addresses tend to coalesce).
+    pub class: LoadClass,
+    /// The load instruction, rendered.
+    pub inst: String,
+}
+
+/// Combined result of all three analyses over one kernel.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Kernel name.
+    pub kernel: String,
+    /// Verifier and divergence findings, sorted by (pc, code).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Conditional branches annotated uniform/divergent.
+    pub branches: Vec<BranchDivergence>,
+    /// Data loads with class and prediction.
+    pub loads: Vec<ReportLoad>,
+}
+
+impl Report {
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether the kernel passed every lint.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Header row for [`Report::csv_rows`].
+    pub fn csv_header() -> &'static str {
+        "kernel,pc,space,class,affine,prediction"
+    }
+
+    /// One CSV row per analyzed load.
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.loads
+            .iter()
+            .map(|l| {
+                let affine = match &l.prediction.affine {
+                    Some(v) => v.to_string(),
+                    None => "-".to_string(),
+                };
+                format!(
+                    "{},{},{},{},{},{}",
+                    self.kernel,
+                    l.prediction.pc,
+                    l.prediction.space,
+                    l.class.letter(),
+                    affine,
+                    l.prediction.prediction.label()
+                )
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let divergent = self.branches.iter().filter(|b| b.divergent).count();
+        writeln!(
+            f,
+            "kernel `{}`: {} error(s), {} warning(s), {} branch(es) ({} divergent), {} load(s)",
+            self.kernel,
+            self.error_count(),
+            self.warning_count(),
+            self.branches.len(),
+            divergent,
+            self.loads.len()
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        for b in &self.branches {
+            writeln!(
+                f,
+                "  branch pc {}: {}",
+                b.pc,
+                if b.divergent { "divergent" } else { "uniform" }
+            )?;
+        }
+        for l in &self.loads {
+            let affine = match &l.prediction.affine {
+                Some(v) => format!("addr = {v}"),
+                None => "addr not affine".to_string(),
+            };
+            writeln!(
+                f,
+                "  load pc {} ({}, {}): {} -> {}",
+                l.prediction.pc,
+                l.prediction.space,
+                l.class.letter(),
+                affine,
+                l.prediction.prediction.label()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the verifier, the divergence analysis and the affine address
+/// analysis over one kernel.
+pub fn analyze(kernel: &Kernel) -> Report {
+    let cfg = Cfg::build(kernel);
+    let mut diagnostics = verify::verify(kernel, &cfg);
+    let div = divergence::divergence(kernel, &cfg);
+    diagnostics.extend(div.diagnostics.iter().cloned());
+    diagnostics.sort_by(|a, b| (a.pc, a.code).cmp(&(b.pc, b.code)));
+
+    let classification = classify(kernel);
+    let insts = kernel.insts();
+    let loads = affine_loads(kernel)
+        .into_iter()
+        .map(|p| {
+            // Shared loads are not classification subjects in gcl-core;
+            // derive their class from the same provenance terminals.
+            let class = classification
+                .loads()
+                .find(|l| l.pc == p.pc)
+                .map(|l| l.class)
+                .unwrap_or_else(|| {
+                    let deterministic = match insts[p.pc].op.addr().and_then(|a| a.base) {
+                        Some(base) => address_sources(kernel, p.pc, base)
+                            .iter()
+                            .all(|s| s.is_parameterized()),
+                        None => true,
+                    };
+                    if deterministic {
+                        LoadClass::Deterministic
+                    } else {
+                        LoadClass::NonDeterministic
+                    }
+                });
+            ReportLoad {
+                inst: insts[p.pc].to_string(),
+                class,
+                prediction: p,
+            }
+        })
+        .collect();
+
+    Report {
+        kernel: kernel.name().to_string(),
+        diagnostics,
+        branches: div.branches,
+        loads,
+    }
+}

@@ -1,0 +1,171 @@
+//! Headline cross-validation: the static coalescing predictions of
+//! `gcl-analyze` against dynamic measurement in the simulator's load
+//! tracker, over all 15 workloads (Fig. 2-style static/dynamic agreement).
+//!
+//! * every load predicted **coalesced** (1 request/warp) must measure at
+//!   most ~2 requests/warp (the slack covers warps at the tail of the index
+//!   space whose base is not 128-byte aligned);
+//! * a load predicted **serialized** must measure well above 1 — the corpus
+//!   has none by construction (the workloads index by `4·tid`), so a
+//!   synthetic `tid·128`-stride kernel keeps that direction non-vacuous.
+
+use gcl_analyze::{affine_loads, analyze, Prediction};
+use gcl_ptx::{parse_kernel, KernelBuilder, Space, Special, Type};
+use gcl_sim::{pack_params, Gpu, GpuConfig, LaunchStats, SimError};
+use gcl_workloads::tiny_workloads;
+use std::collections::HashMap;
+
+/// Measured mean requests/warp per (kernel, pc) from the load tracker.
+fn measured(stats: &LaunchStats) -> HashMap<(String, usize), f64> {
+    let mut acc: HashMap<(String, usize), (f64, f64)> = HashMap::new();
+    for (key, agg) in &stats.per_pc {
+        let e = acc
+            .entry((key.kernel.clone(), key.pc))
+            .or_insert((0.0, 0.0));
+        let n = agg.turnaround.count as f64;
+        e.0 += f64::from(key.n_requests) * n;
+        e.1 += n;
+    }
+    acc.into_iter()
+        .filter(|(_, (_, n))| *n > 0.0)
+        .map(|(k, (w, n))| (k, w / n))
+        .collect()
+}
+
+#[test]
+fn coalesced_predictions_hold_across_all_workloads() {
+    let mut checked = 0usize;
+    for w in tiny_workloads() {
+        let mut gpu = Gpu::new(GpuConfig::small()).expect("gpu");
+        let run = w
+            .run(&mut gpu)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let meas = measured(&run.stats);
+        for k in &run.kernels {
+            for p in affine_loads(k) {
+                // The load tracker only follows global-backed loads.
+                if matches!(p.space, Space::Shared) {
+                    continue;
+                }
+                let Some(&m) = meas.get(&(k.name().to_string(), p.pc)) else {
+                    continue;
+                };
+                match p.prediction {
+                    Prediction::Requests(1) => {
+                        assert!(
+                            m <= 2.0,
+                            "{} {} pc {}: predicted coalesced, measured {m:.2} req/warp",
+                            w.name(),
+                            k.name(),
+                            p.pc
+                        );
+                        checked += 1;
+                    }
+                    Prediction::Requests(n) if n >= 16 => {
+                        assert!(
+                            m >= 4.0,
+                            "{} {} pc {}: predicted serialized({n}), measured {m:.2}",
+                            w.name(),
+                            k.name(),
+                            p.pc
+                        );
+                        checked += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(
+        checked >= 10,
+        "cross-validation is vacuous: only {checked} loads checked"
+    );
+}
+
+#[test]
+fn serialized_prediction_measures_serialized() {
+    // addr = buf + tid.x * 128: every lane its own 128 B line.
+    let mut b = KernelBuilder::new("stride128");
+    let pb = b.param("buf", Type::U64);
+    let base = b.ld_param(Type::U64, pb);
+    let tid = b.sreg(Special::TidX);
+    let a = b.index64(base, tid, 128);
+    let v = b.ld_global(Type::U32, a);
+    b.st_global(Type::U32, a, v);
+    b.exit();
+    let k = b.build().expect("valid");
+
+    let loads = affine_loads(&k);
+    assert_eq!(loads.len(), 1);
+    assert_eq!(loads[0].prediction, Prediction::Requests(32));
+
+    let mut gpu = Gpu::new(GpuConfig::small()).expect("gpu");
+    let buf = gpu.mem().alloc_array(Type::U32, 32 * 32).expect("alloc");
+    let packed = pack_params(&k, &[buf]);
+    let stats = gpu
+        .launch(&k, 1u32.into(), 32u32.into(), &packed)
+        .expect("launch");
+    let meas = measured(&stats);
+    let m = meas[&("stride128".to_string(), loads[0].pc)];
+    assert!(
+        m >= 16.0,
+        "predicted serialized(32), measured {m:.2} req/warp"
+    );
+}
+
+#[test]
+fn unit_stride_prediction_measures_coalesced() {
+    // The mirror-image control: addr = buf + tid.x * 4 must measure ~1.
+    let mut b = KernelBuilder::new("stride4");
+    let pb = b.param("buf", Type::U64);
+    let base = b.ld_param(Type::U64, pb);
+    let tid = b.sreg(Special::TidX);
+    let a = b.index64(base, tid, 4);
+    let v = b.ld_global(Type::U32, a);
+    b.st_global(Type::U32, a, v);
+    b.exit();
+    let k = b.build().expect("valid");
+
+    let loads = affine_loads(&k);
+    assert_eq!(loads[0].prediction, Prediction::Requests(1));
+
+    let mut gpu = Gpu::new(GpuConfig::small()).expect("gpu");
+    let buf = gpu.mem().alloc_array(Type::U32, 32).expect("alloc");
+    let packed = pack_params(&k, &[buf]);
+    let stats = gpu
+        .launch(&k, 1u32.into(), 32u32.into(), &packed)
+        .expect("launch");
+    let meas = measured(&stats);
+    let m = meas[&("stride4".to_string(), loads[0].pc)];
+    assert!(m <= 1.5, "predicted coalesced, measured {m:.2} req/warp");
+}
+
+#[test]
+fn static_analysis_flags_what_the_watchdog_only_hangs_on() {
+    // Acceptance criterion: a divergent `bar.sync` that previously only
+    // manifested as a forward-progress watchdog hang is now flagged
+    // statically, before any launch.
+    let src = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/lint_corpus/divergent_bar.ptx"),
+    )
+    .unwrap();
+    let k = parse_kernel(&src).unwrap();
+
+    // Static: the analyzer names the barrier and the branch that splits it.
+    let report = analyze(&k);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == "divergent-barrier"));
+
+    // Dynamic: with two warps the taken path parks at bar 0 and the
+    // fall-through at bar 1 — the simulator can only report a hang.
+    let mut gpu = Gpu::new(GpuConfig::small()).expect("gpu");
+    let packed = pack_params(&k, &[64]);
+    let res = gpu.launch(&k, 1u32.into(), 64u32.into(), &packed);
+    assert!(
+        matches!(res, Err(SimError::Hang(_))),
+        "expected a watchdog hang, got {res:?}"
+    );
+}

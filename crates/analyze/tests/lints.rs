@@ -1,0 +1,113 @@
+//! Golden-diagnostic corpus: intentionally-broken PTX files must produce
+//! exactly the expected structured diagnostics, and every shipped kernel
+//! (the 15 workloads plus the example PTX) must be verifier-clean.
+
+use gcl_analyze::{analyze, Severity};
+use gcl_ptx::parse_kernel;
+use gcl_workloads::all_workloads;
+use std::fs;
+use std::path::Path;
+
+fn corpus(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_corpus")
+        .join(name);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+#[test]
+fn use_before_def_corpus() {
+    let k = parse_kernel(&corpus("use_before_def.ptx")).unwrap();
+    let r = analyze(&k);
+    assert_eq!(r.diagnostics.len(), 1, "{r}");
+    let d = &r.diagnostics[0];
+    assert_eq!(d.code, "use-before-def");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.pc, 1);
+    assert_eq!(d.message, "%r7 is read but no definition reaches this use");
+    assert_eq!(d.inst, "st.global.u32 [%r8], %r7;");
+}
+
+#[test]
+fn divergent_bar_corpus() {
+    let k = parse_kernel(&corpus("divergent_bar.ptx")).unwrap();
+    let r = analyze(&k);
+    let bars: Vec<_> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "divergent-barrier")
+        .collect();
+    assert_eq!(bars.len(), 1, "{r}");
+    let d = bars[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.pc, 3);
+    assert_eq!(d.inst, "bar.sync 0;");
+    assert!(
+        d.message.contains("divergent branch at pc 2"),
+        "{}",
+        d.message
+    );
+    // The barrier after reconvergence is NOT flagged.
+    assert!(!r.diagnostics.iter().any(|d| d.pc == 5), "{r}");
+    // And the branch itself is annotated divergent.
+    assert_eq!(r.branches.len(), 1);
+    assert!(r.branches[0].divergent);
+}
+
+#[test]
+fn dead_store_corpus() {
+    let k = parse_kernel(&corpus("dead_store.ptx")).unwrap();
+    let r = analyze(&k);
+    assert_eq!(r.diagnostics.len(), 1, "{r}");
+    let d = &r.diagnostics[0];
+    assert_eq!(d.code, "dead-store");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.pc, 1);
+    assert_eq!(d.message, "the value written to %r1 is never read");
+    assert_eq!(d.inst, "mov.u32 %r1, 5;");
+}
+
+#[test]
+fn type_mismatch_corpus() {
+    let k = parse_kernel(&corpus("type_mismatch.ptx")).unwrap();
+    let r = analyze(&k);
+    assert_eq!(r.diagnostics.len(), 1, "{r}");
+    let d = &r.diagnostics[0];
+    assert_eq!(d.code, "type-mismatch");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.pc, 2);
+    assert_eq!(
+        d.message,
+        "%r1 is defined as 32-bit at pc 1 but used as 64-bit"
+    );
+}
+
+#[test]
+fn workload_corpus_is_verifier_clean() {
+    for w in all_workloads() {
+        for k in w.kernels() {
+            let r = analyze(&k);
+            assert!(
+                r.is_clean(),
+                "workload {} kernel {} has diagnostics:\n{r}",
+                w.name(),
+                k.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn example_ptx_is_verifier_clean() {
+    let src =
+        fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/gather.ptx"))
+            .unwrap();
+    let k = parse_kernel(&src).unwrap();
+    let r = analyze(&k);
+    assert!(r.is_clean(), "{r}");
+    // The gather load is correctly predicted: idx[tid] coalesced, data[i]
+    // unknown (load-derived address).
+    assert_eq!(r.loads.len(), 2);
+    assert_eq!(r.loads[0].prediction.prediction.label(), "coalesced");
+    assert_eq!(r.loads[1].prediction.prediction.label(), "unknown");
+}

@@ -390,23 +390,45 @@ pub fn fig12(results: &[BenchResult], category: gcl_workloads::Category) -> Figu
 /// The "critical loads" report of the paper's title: every static load of a
 /// workload, joined with its dynamic impact — executions, mean requests per
 /// warp, mean turnaround, and its share of the workload's total load
-/// latency. Non-deterministic loads near the top of this table are the
-/// paper's critical loads.
+/// latency — plus the static side of the story: the classifier's provenance
+/// trace (the terminal sources the address derives from) and `gcl-analyze`'s
+/// coalescing prediction. Non-deterministic loads near the top of this table
+/// are the paper's critical loads.
 pub fn critical_loads(results: &[BenchResult], workload: &str) -> gcl_stats::Table {
+    const COLUMNS: [&str; 9] = [
+        "kernel",
+        "pc",
+        "class",
+        "execs",
+        "req/warp",
+        "mean turnaround",
+        "share",
+        "sources",
+        "static",
+    ];
     let Some(r) = results.iter().find(|r| r.name == workload) else {
         return gcl_stats::Table::new(
             format!("Critical loads unavailable: `{workload}` did not complete"),
-            vec![
-                "kernel",
-                "pc",
-                "class",
-                "execs",
-                "req/warp",
-                "mean turnaround",
-                "share",
-            ],
+            COLUMNS.to_vec(),
         );
     };
+
+    // Static columns, joined by (kernel, pc): the classifier's terminal
+    // sources and the affine analysis's request-count prediction.
+    let mut sources: std::collections::BTreeMap<(String, usize), String> =
+        std::collections::BTreeMap::new();
+    let mut predictions: std::collections::BTreeMap<(String, usize), String> =
+        std::collections::BTreeMap::new();
+    for k in &r.kernels {
+        let name = k.name().to_string();
+        for l in gcl_core::classify(k).loads() {
+            let trace: Vec<String> = l.sources.iter().map(|s| s.to_string()).collect();
+            sources.insert((name.clone(), l.pc), trace.join(" "));
+        }
+        for p in gcl_analyze::affine_loads(k) {
+            predictions.insert((name.clone(), p.pc), p.prediction.label());
+        }
+    }
 
     // Aggregate per (kernel, pc) over request counts.
     #[derive(Default)]
@@ -432,18 +454,11 @@ pub fn critical_loads(results: &[BenchResult], workload: &str) -> gcl_stats::Tab
 
     let mut t = gcl_stats::Table::new(
         format!("Critical loads of `{workload}` (by total turnaround share)"),
-        vec![
-            "kernel",
-            "pc",
-            "class",
-            "execs",
-            "req/warp",
-            "mean turnaround",
-            "share",
-        ],
+        COLUMNS.to_vec(),
     );
     for ((kernel, pc), row) in sorted {
         let class = row.class.expect("row without class");
+        let key = (kernel.clone(), pc);
         t.row(vec![
             kernel.into(),
             format!("0x{pc:x}").into(),
@@ -456,6 +471,12 @@ pub fn critical_loads(results: &[BenchResult], workload: &str) -> gcl_stats::Tab
             } else {
                 row.turnaround_sum / total_turnaround
             }),
+            sources.get(&key).cloned().unwrap_or_default().into(),
+            predictions
+                .get(&key)
+                .cloned()
+                .unwrap_or_else(|| "-".to_string())
+                .into(),
         ]);
     }
     t

@@ -1,6 +1,7 @@
 //! Shared harness: run every workload on a configured GPU and collect the
 //! per-workload results every figure draws from.
 
+use gcl_ptx::Kernel;
 use gcl_sim::{BlockSummary, Gpu, GpuConfig, LaunchStats, SimError};
 use gcl_workloads::{all_workloads, tiny_workloads, Category, Workload};
 
@@ -19,6 +20,10 @@ pub struct BenchResult {
     pub threads_per_cta: u32,
     /// Static classification counts over the workload's kernels (D, N).
     pub static_loads: (usize, usize),
+    /// The distinct kernels the run launched — the subjects the static
+    /// analyses (classification provenance, affine coalescing prediction)
+    /// join against when a figure needs per-load static columns.
+    pub kernels: Vec<Kernel>,
     /// Block-locality summary (Figures 10–11).
     pub blocks: BlockSummary,
     /// CTA-distance histogram (Figure 12).
@@ -161,6 +166,7 @@ pub fn run_one(w: &dyn Workload, cfg: &GpuConfig) -> Result<BenchResult, SimErro
         total_ctas: run.total_ctas,
         threads_per_cta: run.threads_per_cta,
         static_loads,
+        kernels: run.kernels,
         blocks: gpu.block_summary(),
         distance_hist: gpu.distance_histogram(),
     })

@@ -46,6 +46,7 @@ fn fake_result(name: &'static str, category: Category) -> BenchResult {
         total_ctas: 16,
         threads_per_cta: 128,
         static_loads: (3, 2),
+        kernels: Vec::new(),
         blocks: BlockSummary {
             blocks: 100,
             accesses: 1000,
@@ -153,10 +154,14 @@ fn fig12_buckets_by_category() {
 #[test]
 fn critical_loads_ranks_by_share() {
     let t = figures::critical_loads(&fakes(), "beta");
+    assert_eq!(t.headers.len(), 9);
     assert_eq!(t.rows.len(), 1);
     // Single synthetic load owns 100% of the turnaround.
     assert_eq!(t.rows[0][2], gcl_stats::Cell::Text("N".into()));
     assert_eq!(t.rows[0][6], gcl_stats::Cell::Percent(1.0));
+    // The fake result carries no kernels, so the static columns are empty.
+    assert_eq!(t.rows[0][7], gcl_stats::Cell::Text(String::new()));
+    assert_eq!(t.rows[0][8], gcl_stats::Cell::Text("-".into()));
 }
 
 /// End-to-end smoke: the tiny harness feeds every builder without panics
@@ -193,4 +198,19 @@ fn tiny_harness_feeds_every_builder() {
         let f12 = figures::fig12(&results, cat);
         assert_eq!(f12.series.len(), 5);
     }
+    // Real kernels flowed through: the static columns are populated.
+    let cl = figures::critical_loads(&results, "spmv");
+    assert!(!cl.rows.is_empty());
+    assert!(
+        cl.rows
+            .iter()
+            .any(|r| matches!(&r[7], gcl_stats::Cell::Text(t) if t.contains("param@"))),
+        "no provenance trace in {cl}"
+    );
+    assert!(
+        cl.rows
+            .iter()
+            .any(|r| matches!(&r[8], gcl_stats::Cell::Text(t) if t == "coalesced")),
+        "no coalescing prediction in {cl}"
+    );
 }

@@ -96,6 +96,20 @@ impl AddressSource {
     }
 }
 
+impl fmt::Display for AddressSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressSource::Param { pc } => write!(f, "param@{pc}"),
+            AddressSource::Const { pc } => write!(f, "const@{pc}"),
+            AddressSource::Special(sp) => write!(f, "{sp}"),
+            AddressSource::Immediate => write!(f, "imm"),
+            AddressSource::MemoryLoad { pc, space } => write!(f, "load.{space}@{pc}"),
+            AddressSource::AtomicResult { pc } => write!(f, "atom@{pc}"),
+            AddressSource::Uninitialized { reg } => write!(f, "uninit:{reg}"),
+        }
+    }
+}
+
 /// Classification result for one load instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadInfo {
@@ -204,6 +218,18 @@ impl Classification {
 /// [`Classification::global_loads`].
 pub fn classify(kernel: &Kernel) -> Classification {
     Classifier::new(kernel).run()
+}
+
+/// Terminal provenance sources of `reg` as used at `use_pc`: the same
+/// backward def-chain trace [`classify`] runs for load addresses, exposed
+/// for downstream analyses (e.g. the static coalescing predictor of
+/// `gcl-analyze`, which bails to "unknown" as soon as a non-parameterized
+/// terminal appears).
+///
+/// An empty reaching-definition set yields `{Uninitialized}`, exactly as in
+/// classification.
+pub fn address_sources(kernel: &Kernel, use_pc: usize, reg: Reg) -> BTreeSet<AddressSource> {
+    Classifier::new(kernel).sources_of_use(use_pc, reg)
 }
 
 struct Classifier<'k> {

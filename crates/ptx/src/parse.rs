@@ -29,13 +29,55 @@ use std::fmt;
 pub struct ParseError {
     /// 1-based source line of the error.
     pub line: usize,
+    /// 1-based column of the offending token (0 when unknown, e.g. for
+    /// whole-kernel validation errors).
+    pub col: usize,
+    /// The offending source line, verbatim (empty when unknown).
+    pub snippet: String,
     /// Human-readable description.
     pub msg: String,
 }
 
+impl ParseError {
+    fn at(line: usize, col: usize, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col,
+            snippet: String::new(),
+            msg: msg.into(),
+        }
+    }
+
+    /// Attach the offending source line (and thereby the caret rendering in
+    /// `Display`) by looking `line` up in `src`.
+    fn with_snippet(mut self, src: &str) -> ParseError {
+        if self.line > 0 {
+            if let Some(text) = src.lines().nth(self.line - 1) {
+                self.snippet = text.trim_end().to_string();
+            }
+        }
+        self
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.msg)
+        match (self.line, self.col) {
+            (0, _) => write!(f, "parse error: {}", self.msg)?,
+            (_, 0) => write!(f, "parse error at line {}: {}", self.line, self.msg)?,
+            _ => write!(
+                f,
+                "parse error at line {}:{}: {}",
+                self.line, self.col, self.msg
+            )?,
+        }
+        if !self.snippet.is_empty() {
+            write!(f, "\n  | {}", self.snippet)?;
+            if self.col > 0 && self.col <= self.snippet.chars().count() + 1 {
+                write!(f, "\n  | {}^", " ".repeat(self.col - 1))?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -43,10 +85,7 @@ impl std::error::Error for ParseError {}
 
 impl From<ValidateError> for ParseError {
     fn from(e: ValidateError) -> ParseError {
-        ParseError {
-            line: 0,
-            msg: format!("invalid kernel: {e}"),
-        }
+        ParseError::at(0, 0, format!("invalid kernel: {e}"))
     }
 }
 
@@ -99,19 +138,25 @@ impl fmt::Display for Tok {
     }
 }
 
-fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+/// One lexed token with its 1-based source line and column.
+type Spanned = (Tok, usize, usize);
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
     let mut toks = Vec::new();
     let mut line = 1usize;
+    let mut line_start = 0usize;
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0;
     let n = bytes.len();
     let is_word_char = |c: char| c.is_alphanumeric() || c == '_' || c == '.';
     while i < n {
         let c = bytes[i];
+        let col = i - line_start + 1;
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => i += 1,
             '/' if i + 1 < n && bytes[i + 1] == '/' => {
@@ -120,51 +165,51 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 }
             }
             '(' => {
-                toks.push((Tok::LParen, line));
+                toks.push((Tok::LParen, line, col));
                 i += 1;
             }
             ')' => {
-                toks.push((Tok::RParen, line));
+                toks.push((Tok::RParen, line, col));
                 i += 1;
             }
             '{' => {
-                toks.push((Tok::LBrace, line));
+                toks.push((Tok::LBrace, line, col));
                 i += 1;
             }
             '}' => {
-                toks.push((Tok::RBrace, line));
+                toks.push((Tok::RBrace, line, col));
                 i += 1;
             }
             '[' => {
-                toks.push((Tok::LBracket, line));
+                toks.push((Tok::LBracket, line, col));
                 i += 1;
             }
             ']' => {
-                toks.push((Tok::RBracket, line));
+                toks.push((Tok::RBracket, line, col));
                 i += 1;
             }
             ',' => {
-                toks.push((Tok::Comma, line));
+                toks.push((Tok::Comma, line, col));
                 i += 1;
             }
             ';' => {
-                toks.push((Tok::Semi, line));
+                toks.push((Tok::Semi, line, col));
                 i += 1;
             }
             ':' => {
-                toks.push((Tok::Colon, line));
+                toks.push((Tok::Colon, line, col));
                 i += 1;
             }
             '@' => {
-                toks.push((Tok::At, line));
+                toks.push((Tok::At, line, col));
                 i += 1;
             }
             '!' => {
-                toks.push((Tok::Bang, line));
+                toks.push((Tok::Bang, line, col));
                 i += 1;
             }
             '+' => {
-                toks.push((Tok::Plus, line));
+                toks.push((Tok::Plus, line, col));
                 i += 1;
             }
             '%' => {
@@ -174,12 +219,9 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     i += 1;
                 }
                 if i == start {
-                    return Err(ParseError {
-                        line,
-                        msg: "dangling `%`".into(),
-                    });
+                    return Err(ParseError::at(line, col, "dangling `%`"));
                 }
-                toks.push((Tok::Percent(bytes[start..i].iter().collect()), line));
+                toks.push((Tok::Percent(bytes[start..i].iter().collect()), line, col));
             }
             '.' => {
                 i += 1;
@@ -188,22 +230,16 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     i += 1;
                 }
                 if i == start {
-                    return Err(ParseError {
-                        line,
-                        msg: "dangling `.`".into(),
-                    });
+                    return Err(ParseError::at(line, col, "dangling `.`"));
                 }
-                toks.push((Tok::DotWord(bytes[start..i].iter().collect()), line));
+                toks.push((Tok::DotWord(bytes[start..i].iter().collect()), line, col));
             }
             '-' | '0'..='9' => {
                 let neg = c == '-';
                 if neg {
                     i += 1;
                     if i >= n || !bytes[i].is_ascii_digit() {
-                        return Err(ParseError {
-                            line,
-                            msg: "dangling `-`".into(),
-                        });
+                        return Err(ParseError::at(line, col, "dangling `-`"));
                     }
                 }
                 let start = i;
@@ -215,16 +251,14 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         i += 1;
                     }
                     let hex: String = bytes[hstart..i].iter().collect();
-                    let bits = u64::from_str_radix(&hex, 16).map_err(|e| ParseError {
-                        line,
-                        msg: format!("bad float bits: {e}"),
-                    })?;
+                    let bits = u64::from_str_radix(&hex, 16)
+                        .map_err(|e| ParseError::at(line, col, format!("bad float bits: {e}")))?;
                     let bits = if neg {
                         (-f64::from_bits(bits)).to_bits()
                     } else {
                         bits
                     };
-                    toks.push((Tok::Float(bits), line));
+                    toks.push((Tok::Float(bits), line, col));
                     continue;
                 }
                 // 0x<hex> integer.
@@ -235,11 +269,9 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         i += 1;
                     }
                     let hex: String = bytes[hstart..i].iter().collect();
-                    let v = i64::from_str_radix(&hex, 16).map_err(|e| ParseError {
-                        line,
-                        msg: format!("bad hex literal: {e}"),
-                    })?;
-                    toks.push((Tok::Int(if neg { -v } else { v }), line));
+                    let v = i64::from_str_radix(&hex, 16)
+                        .map_err(|e| ParseError::at(line, col, format!("bad hex literal: {e}")))?;
+                    toks.push((Tok::Int(if neg { -v } else { v }), line, col));
                     continue;
                 }
                 let mut is_float = false;
@@ -258,17 +290,15 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 if is_float {
-                    let v: f64 = text.parse().map_err(|e| ParseError {
-                        line,
-                        msg: format!("bad float: {e}"),
-                    })?;
-                    toks.push((Tok::Float(if neg { -v } else { v }.to_bits()), line));
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|e| ParseError::at(line, col, format!("bad float: {e}")))?;
+                    toks.push((Tok::Float(if neg { -v } else { v }.to_bits()), line, col));
                 } else {
-                    let v: i64 = text.parse().map_err(|e| ParseError {
-                        line,
-                        msg: format!("bad integer: {e}"),
-                    })?;
-                    toks.push((Tok::Int(if neg { -v } else { v }), line));
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|e| ParseError::at(line, col, format!("bad integer: {e}")))?;
+                    toks.push((Tok::Int(if neg { -v } else { v }), line, col));
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -276,13 +306,14 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 while i < n && is_word_char(bytes[i]) {
                     i += 1;
                 }
-                toks.push((Tok::Word(bytes[start..i].iter().collect()), line));
+                toks.push((Tok::Word(bytes[start..i].iter().collect()), line, col));
             }
             other => {
-                return Err(ParseError {
+                return Err(ParseError::at(
                     line,
-                    msg: format!("unexpected character `{other}`"),
-                })
+                    col,
+                    format!("unexpected character `{other}`"),
+                ))
             }
         }
     }
@@ -290,7 +321,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
 }
 
 struct Parser {
-    toks: Vec<(Tok, usize)>,
+    toks: Vec<Spanned>,
     pos: usize,
     regs: HashMap<String, u32>,
     next_reg: u32,
@@ -299,28 +330,28 @@ struct Parser {
 
 impl Parser {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos).map(|(t, _)| t)
+        self.toks.get(self.pos).map(|(t, _, _)| t)
     }
 
-    fn line(&self) -> usize {
+    /// Line and column of the token at the current position (clamped to the
+    /// last token at end of input).
+    fn span(&self) -> (usize, usize) {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+            .map(|(_, l, c)| (*l, *c))
+            .unwrap_or((0, 0))
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError {
-            line: self.line(),
-            msg: msg.into(),
-        }
+        let (line, col) = self.span();
+        ParseError::at(line, col, msg)
     }
 
     fn next(&mut self) -> Result<Tok, ParseError> {
         let t = self
             .toks
             .get(self.pos)
-            .map(|(t, _)| t.clone())
+            .map(|(t, _, _)| t.clone())
             .ok_or_else(|| self.err("unexpected end of input"))?;
         self.pos += 1;
         Ok(t)
@@ -509,10 +540,11 @@ pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
     let kernels = parse_module(src)?;
     match kernels.len() {
         1 => Ok(kernels.into_iter().next().unwrap()),
-        n => Err(ParseError {
-            line: 0,
-            msg: format!("expected one kernel, found {n}"),
-        }),
+        n => Err(ParseError::at(
+            0,
+            0,
+            format!("expected one kernel, found {n}"),
+        )),
     }
 }
 
@@ -536,6 +568,10 @@ pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
 /// # Ok::<(), gcl_ptx::ParseError>(())
 /// ```
 pub fn parse_module(src: &str) -> Result<Vec<Kernel>, ParseError> {
+    parse_module_inner(src).map_err(|e| e.with_snippet(src))
+}
+
+fn parse_module_inner(src: &str) -> Result<Vec<Kernel>, ParseError> {
     let toks = lex(src)?;
     let mut kernels = Vec::new();
     let mut pos = 0;
@@ -545,25 +581,19 @@ pub fn parse_module(src: &str) -> Result<Vec<Kernel>, ParseError> {
         pos = next;
     }
     if kernels.is_empty() {
-        return Err(ParseError {
-            line: 0,
-            msg: "module contains no kernels".into(),
-        });
+        return Err(ParseError::at(0, 0, "module contains no kernels"));
     }
     Ok(kernels)
 }
 
-fn parse_one_kernel(
-    all_toks: &[(Tok, usize)],
-    start: usize,
-) -> Result<(Kernel, usize), ParseError> {
+fn parse_one_kernel(all_toks: &[Spanned], start: usize) -> Result<(Kernel, usize), ParseError> {
     let toks = all_toks[start..].to_vec();
     // Numeric registers (`%rN`) claim their own ids; pre-scan them so that
     // named registers (`%p1`, `%rd3`, ...) are interned above every numeric
     // id and can never collide.
     let max_numeric = toks
         .iter()
-        .filter_map(|(t, _)| match t {
+        .filter_map(|(t, _, _)| match t {
             Tok::Percent(name) => name.strip_prefix('r').and_then(|s| s.parse::<u32>().ok()),
             _ => None,
         })
@@ -643,7 +673,8 @@ fn parse_one_kernel(
     // Body: instructions with symbolic labels, resolved afterwards.
     let mut insts: Vec<Instruction> = Vec::new();
     let mut labels: HashMap<String, usize> = HashMap::new();
-    let mut branch_fixups: Vec<(usize, String, usize)> = Vec::new(); // (pc, label, line)
+    // (pc, label, line, col) of every `bra` awaiting label resolution.
+    let mut branch_fixups: Vec<(usize, String, usize, usize)> = Vec::new();
 
     loop {
         match p.peek() {
@@ -657,7 +688,7 @@ fn parse_one_kernel(
 
         // Label? `IDENT :`
         if let Some(Tok::Word(w)) = p.peek() {
-            if p.toks.get(p.pos + 1).map(|(t, _)| t) == Some(&Tok::Colon) {
+            if p.toks.get(p.pos + 1).map(|(t, _, _)| t) == Some(&Tok::Colon) {
                 let w = w.clone();
                 p.next()?;
                 p.next()?;
@@ -682,20 +713,19 @@ fn parse_one_kernel(
             guard = Some(Guard { pred, negate });
         }
 
-        let line = p.line();
+        let (line, col) = p.span();
         let mnemonic = p.expect_word()?;
         let parts: Vec<&str> = mnemonic.split('.').collect();
-        let op = parse_op(&mut p, &parts, line, &mut branch_fixups, insts.len())?;
+        let op = parse_op(&mut p, &parts, (line, col), &mut branch_fixups, insts.len())?;
         p.expect(Tok::Semi)?;
         insts.push(Instruction { op, guard });
     }
 
     // Resolve labels.
-    for (pc, label, line) in branch_fixups {
-        let target = *labels.get(&label).ok_or(ParseError {
-            line,
-            msg: format!("undefined label `{label}`"),
-        })?;
+    for (pc, label, line, col) in branch_fixups {
+        let target = *labels
+            .get(&label)
+            .ok_or_else(|| ParseError::at(line, col, format!("undefined label `{label}`")))?;
         if let Op::Bra { target: t } = &mut insts[pc].op {
             *t = target;
         }
@@ -710,8 +740,8 @@ fn parse_one_kernel(
 fn parse_op(
     p: &mut Parser,
     parts: &[&str],
-    line: usize,
-    branch_fixups: &mut Vec<(usize, String, usize)>,
+    (line, col): (usize, usize),
+    branch_fixups: &mut Vec<(usize, String, usize, usize)>,
     pc: usize,
 ) -> Result<Op, ParseError> {
     let head = parts[0];
@@ -851,10 +881,11 @@ fn parse_op(
                 Some(&"gt") => CmpOp::Gt,
                 Some(&"ge") => CmpOp::Ge,
                 other => {
-                    return Err(ParseError {
+                    return Err(ParseError::at(
                         line,
-                        msg: format!("setp: unknown comparison {other:?}"),
-                    })
+                        col,
+                        format!("setp: unknown comparison {other:?}"),
+                    ))
                 }
             };
             let ty = p.parse_type(parts.get(2))?;
@@ -884,7 +915,7 @@ fn parse_op(
         }
         "bra" => {
             let label = p.expect_word()?;
-            branch_fixups.push((pc, label, line));
+            branch_fixups.push((pc, label, line, col));
             Ok(Op::Bra { target: usize::MAX })
         }
         "bar" => {
@@ -906,10 +937,11 @@ fn parse_op(
                 Some(&"and") => AtomOp::And,
                 Some(&"or") => AtomOp::Or,
                 other => {
-                    return Err(ParseError {
+                    return Err(ParseError::at(
                         line,
-                        msg: format!("atom: unknown op {other:?}"),
-                    })
+                        col,
+                        format!("atom: unknown op {other:?}"),
+                    ))
                 }
             };
             let ty = p.parse_type(parts.get(3))?;
@@ -927,10 +959,11 @@ fn parse_op(
             })
         }
         "exit" | "ret" => Ok(Op::Exit),
-        other => Err(ParseError {
+        other => Err(ParseError::at(
             line,
-            msg: format!("unknown mnemonic `{other}`"),
-        }),
+            col,
+            format!("unknown mnemonic `{other}`"),
+        )),
     }
 }
 
@@ -1184,5 +1217,28 @@ mod tests {
         let src = ".entry k ()\n{\n  mov.u32 %r1, 1;\n  bogus.u32 %r2, 2;\n  exit;\n}";
         let err = parse_kernel(src).unwrap_err();
         assert_eq!(err.line, 4);
+    }
+
+    /// The rendered error carries line:column, the offending source line,
+    /// and a caret pointing at the offending token.
+    #[test]
+    fn error_renders_column_and_snippet() {
+        let src = ".entry k ()\n{\n  mov.u32 %r1, 1;\n  bogus.u32 %r2, 2;\n  exit;\n}";
+        let err = parse_kernel(src).unwrap_err();
+        assert_eq!((err.line, err.col), (4, 3));
+        assert_eq!(err.snippet, "  bogus.u32 %r2, 2;");
+        let rendered = err.to_string();
+        assert_eq!(
+            rendered,
+            "parse error at line 4:3: unknown mnemonic `bogus`\n\
+             \x20 |   bogus.u32 %r2, 2;\n\
+             \x20 |   ^"
+        );
+        // Mid-line errors point at the offending token, not the mnemonic.
+        let src = ".entry k ()\n{\n  mov.u32 %r1, ];\n  exit;\n}";
+        let err = parse_kernel(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.col, 16, "column of the `]`: {err}");
+        assert!(err.snippet.contains("mov.u32"), "{err}");
     }
 }

@@ -169,6 +169,10 @@ impl Workload for Bfs {
         Category::Graph
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Bfs::expand_kernel(), Bfs::commit_kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.graph();
         let n = csr.n() as u32;

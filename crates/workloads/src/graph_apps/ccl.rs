@@ -130,6 +130,10 @@ impl Workload for Ccl {
         Category::Graph
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Ccl::propagate_kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.graph();
         let n = csr.n() as u32;

@@ -92,8 +92,13 @@ impl Mis {
         let gt = b.setp(CmpOp::Gt, Type::U32, np, my_p);
         let eq = b.setp(CmpOp::Eq, Type::U32, np, my_p);
         let id_gt = b.setp(CmpOp::Gt, Type::U32, nb, tid);
-        let tie = b.and(Type::U32, eq, id_gt);
-        let beaten = b.or(Type::U32, gt, tie);
+        // Materialize the predicates before the integer logic (predicate
+        // registers cannot feed and.u32/or.u32 directly).
+        let gt_i = b.selp(Type::U32, 1i64, 0i64, gt);
+        let eq_i = b.selp(Type::U32, 1i64, 0i64, eq);
+        let id_gt_i = b.selp(Type::U32, 1i64, 0i64, id_gt);
+        let tie = b.and(Type::U32, eq_i, id_gt_i);
+        let beaten = b.or(Type::U32, gt_i, tie);
         let zero_best = b.setp(CmpOp::Ne, Type::U32, beaten, 0i64);
         let keep = b.new_label();
         b.bra_unless(zero_best, keep);
@@ -194,6 +199,10 @@ impl Workload for Mis {
 
     fn category(&self) -> Category {
         Category::Graph
+    }
+
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Mis::select_kernel(), Mis::remove_kernel()]
     }
 
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {

@@ -184,6 +184,10 @@ impl Workload for Mst {
         Category::Graph
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Mst::find_kernel(), Mst::merge_kernel(), Mst::jump_kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.graph();
         let n = csr.n() as u32;

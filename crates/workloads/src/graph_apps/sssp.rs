@@ -134,6 +134,10 @@ impl Workload for Sssp {
         Category::Graph
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Sssp::relax_kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.graph();
         let n = csr.n() as u32;

@@ -188,6 +188,10 @@ impl Workload for Bpr {
         Category::Image
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Bpr::forward_kernel(), Bpr::adjust_kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let (in_n, hid_n) = (self.in_n as usize, self.hid_n as usize);
         let input = gen::dense_vector(in_n, -0.5, 0.5, 0xB201);

@@ -168,6 +168,10 @@ impl Workload for Dwt {
         Category::Image
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Dwt::row_kernel(), Dwt::col_kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let (w, h) = (self.w as usize, self.h as usize);
         let img = gen::image(w, h, 0xD317);

@@ -166,6 +166,10 @@ impl Workload for Htw {
         Category::Image
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Htw::kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let (w, h) = (self.w as usize, self.h as usize);
         let img = gen::image(w, h, 0x4713);

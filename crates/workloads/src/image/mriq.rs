@@ -118,6 +118,10 @@ impl Workload for Mriq {
         Category::Image
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Mriq::kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let m = self.n_samples as usize;
         let n = self.n_voxels as usize;

@@ -251,6 +251,10 @@ impl Workload for Srad {
         Category::Image
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Srad::coeff_kernel(), Srad::update_kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let (rows, cols) = (self.rows as usize, self.cols as usize);
         let img = gen::image(cols, rows, 0x5EAD);

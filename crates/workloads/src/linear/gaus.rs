@@ -116,6 +116,10 @@ impl Workload for Gaus {
         Category::Linear
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Gaus::fan1(), Gaus::fan2()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let n = self.n as usize;
         let a = gen::dense_matrix(n, n, 0x6A05);

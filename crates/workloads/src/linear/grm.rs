@@ -159,6 +159,10 @@ impl Workload for Grm {
         Category::Linear
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Grm::norm_kernel(), Grm::ortho_kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let n = self.n as usize;
         // Column-major matrix.

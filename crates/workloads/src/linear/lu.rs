@@ -112,6 +112,10 @@ impl Workload for Lu {
         Category::Linear
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Lu::scale_kernel(), Lu::update_kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let n = self.n as usize;
         let a = gen::dense_matrix(n, n, 0x1001);

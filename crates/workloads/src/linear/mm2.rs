@@ -89,6 +89,10 @@ impl Workload for Mm2 {
         Category::Linear
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Mm2::kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let n = self.n as usize;
         let a = gen::dense_matrix(n, n, 0x2001);

@@ -112,6 +112,10 @@ impl Workload for Spmv {
         Category::Linear
     }
 
+    fn kernels(&self) -> Vec<Kernel> {
+        vec![Spmv::kernel()]
+    }
+
     fn run(&self, gpu: &mut Gpu) -> Result<RunResult, SimError> {
         let csr = self.matrix();
         let vals = gen::dense_vector(csr.m(), 0.1, 1.0, 0x57B8);

@@ -45,6 +45,10 @@ pub trait Workload {
     fn name(&self) -> &'static str;
     /// The application category.
     fn category(&self) -> Category;
+    /// The distinct kernels this workload launches, constructible without
+    /// running the simulator — the subjects of `gcl-analyze`'s static
+    /// pre-flight.
+    fn kernels(&self) -> Vec<Kernel>;
     /// Run to completion on `gpu`.
     ///
     /// # Errors

@@ -2,17 +2,19 @@
 //!
 //! ```text
 //! gcl classify <kernel.ptx> [--json]       classify loads, print witnesses
+//! gcl analyze  <kernel.ptx|workload|all> [--csv]
+//!                                          static lints, divergence, coalescing
 //! gcl disasm   <kernel.ptx>                parse and re-print (normalize)
 //! gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param V]...
 //!              [--memcheck] [--sanitize] [--max-cycles N]
 //!              [--checkpoint-every N --checkpoint-file P] [--resume P]
 //!                                          simulate one launch, print stats
-//! gcl suite    [--tiny] [--sanitize] [--force-fail NAME]
+//! gcl suite    [--tiny] [--sanitize] [--analyze] [--force-fail NAME]
 //!              [--resume] [--retries N]    run the 15-benchmark suite
 //! ```
 
 use gcl::prelude::*;
-use gcl_core::{AddressSource, Classification, LoadClass};
+use gcl_core::{Classification, LoadClass};
 use gcl_stats::Json;
 use std::path::Path;
 use std::process::ExitCode;
@@ -22,6 +24,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("classify") => cmd_classify(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
@@ -45,15 +48,22 @@ gcl — GPU critical-load classification and simulation
 
 USAGE:
   gcl classify <kernel.ptx> [--json]
+  gcl analyze  <kernel.ptx|workload|all> [--csv]
   gcl disasm   <kernel.ptx>
   gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param VALUE]...
                [--memcheck] [--sanitize] [--max-cycles N]
                [--checkpoint-every N --checkpoint-file PATH] [--resume PATH]
-  gcl suite    [--tiny] [--sanitize] [--force-fail NAME] [--resume] [--retries N]
+  gcl suite    [--tiny] [--sanitize] [--analyze] [--force-fail NAME]
+               [--resume] [--retries N]
 
 `classify` runs the paper's backward-dataflow analysis and prints each
 global load's class and (for non-deterministic loads) the def-chain back to
-the tainting load. `run` simulates one launch on the Fermi configuration;
+the tainting load. `analyze` runs the static-analysis suite — verifier
+lints, divergence analysis (flagging `bar.sync` under divergent control
+flow), and per-load coalescing/bank-conflict prediction from the tid-affine
+address form — over a PTX file, one named workload's kernels, or `all`;
+--csv emits one row per load, and the exit code is nonzero if any kernel
+has diagnostics. `run` simulates one launch on the Fermi configuration;
 each --alloc allocates a zeroed device buffer and passes its address as the
 next kernel parameter, each --param passes a raw integer. With --memcheck,
 out-of-bounds device accesses abort the launch with a fault report naming
@@ -66,7 +76,9 @@ snapshot is dumped there); --resume PATH restores such a checkpoint and
 continues the interrupted launch — same kernel, same flags — finishing with
 the identical event digest as an uninterrupted run.
 `suite` keeps going when a benchmark fails, prints a per-benchmark outcome
-table, and exits nonzero only if something failed; --force-fail caps the
+table, and exits nonzero only if something failed; --analyze runs the
+static pre-flight over every benchmark's kernels first (fail-soft: findings
+are printed but never stop the run); --force-fail caps the
 named benchmark's cycle budget to exercise that path; --sanitize runs each
 benchmark twice and fails it if the two event digests diverge. Progress is
 persisted to results/run.json after every benchmark: `suite --resume` skips
@@ -134,12 +146,7 @@ fn classification_to_json(classes: &Classification) -> Json {
                 ("class", Json::Str(l.class.letter().to_string())),
                 (
                     "sources",
-                    Json::Arr(
-                        l.sources
-                            .iter()
-                            .map(|s| Json::Str(source_label(s)))
-                            .collect(),
-                    ),
+                    Json::Arr(l.sources.iter().map(|s| Json::Str(s.to_string())).collect()),
                 ),
                 (
                     "witness",
@@ -154,15 +161,75 @@ fn classification_to_json(classes: &Classification) -> Json {
     ])
 }
 
-fn source_label(s: &AddressSource) -> String {
-    match s {
-        AddressSource::Param { pc } => format!("param@{pc}"),
-        AddressSource::Const { pc } => format!("const@{pc}"),
-        AddressSource::Special(sp) => sp.to_string(),
-        AddressSource::Immediate => "imm".to_string(),
-        AddressSource::MemoryLoad { pc, space } => format!("load.{space}@{pc}"),
-        AddressSource::AtomicResult { pc } => format!("atom@{pc}"),
-        AddressSource::Uninitialized { reg } => format!("uninit:{reg}"),
+/// Resolve the `gcl analyze` target: a PTX file path, a workload name, or
+/// `all` for every benchmark's kernels.
+fn analyze_targets(target: &str) -> Result<Vec<Kernel>, String> {
+    if target == "all" {
+        return Ok(gcl::workloads::all_workloads()
+            .iter()
+            .flat_map(|w| w.kernels())
+            .collect());
+    }
+    if target.ends_with(".ptx") || Path::new(target).is_file() {
+        return load_module(target);
+    }
+    let workloads = gcl::workloads::all_workloads();
+    match workloads.iter().find(|w| w.name() == target) {
+        Some(w) => Ok(w.kernels()),
+        None => {
+            let names: Vec<&str> = workloads.iter().map(|w| w.name()).collect();
+            Err(format!(
+                "analyze: `{target}` is neither a PTX file nor a workload \
+                 (expected a .ptx path, `all`, or one of: {})",
+                names.join(", ")
+            ))
+        }
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let target = args
+        .first()
+        .ok_or("analyze: missing <kernel.ptx|workload|all>")?;
+    let mut csv = false;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--csv" => csv = true,
+            other => return Err(format!("analyze: unknown option `{other}`")),
+        }
+    }
+    let kernels = analyze_targets(target)?;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    if csv {
+        println!("{}", Report::csv_header());
+    }
+    for (i, kernel) in kernels.iter().enumerate() {
+        let report = analyze(kernel);
+        errors += report.error_count();
+        warnings += report.warning_count();
+        if csv {
+            for row in report.csv_rows() {
+                println!("{row}");
+            }
+            // CSV carries only the loads; keep findings visible on stderr.
+            for d in &report.diagnostics {
+                eprintln!("{}: {d}", report.kernel);
+            }
+        } else {
+            if i > 0 {
+                println!();
+            }
+            print!("{report}");
+        }
+    }
+    if errors + warnings > 0 {
+        Err(format!(
+            "analyze: {errors} error(s), {warnings} warning(s) across {} kernel(s)",
+            kernels.len()
+        ))
+    } else {
+        Ok(())
     }
 }
 
@@ -530,6 +597,7 @@ fn backoff_ms(attempt: u64) -> u64 {
 fn cmd_suite(args: &[String]) -> Result<(), String> {
     let mut tiny = false;
     let mut sanitize = false;
+    let mut analyze_first = false;
     let mut force_fail: Option<String> = None;
     let mut resume = false;
     let mut retries = 0u64;
@@ -538,6 +606,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "--tiny" => tiny = true,
             "--sanitize" => sanitize = true,
+            "--analyze" => analyze_first = true,
             "--resume" => resume = true,
             "--force-fail" => {
                 i += 1;
@@ -564,6 +633,36 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         if !workloads.iter().any(|w| w.name() == name) {
             return Err(format!("--force-fail: no benchmark named `{name}`"));
         }
+    }
+    if analyze_first {
+        // Fail-soft static pre-flight: surface lint/divergence findings for
+        // every kernel the suite is about to launch, then run regardless.
+        println!("static pre-flight (gcl-analyze):");
+        let mut findings = 0usize;
+        for w in &workloads {
+            for kernel in w.kernels() {
+                let report = analyze(&kernel);
+                if report.is_clean() {
+                    println!("  {:6} `{}`: clean", w.name(), kernel.name());
+                } else {
+                    findings += report.diagnostics.len();
+                    println!(
+                        "  {:6} `{}`: {} error(s), {} warning(s)",
+                        w.name(),
+                        kernel.name(),
+                        report.error_count(),
+                        report.warning_count()
+                    );
+                    for d in &report.diagnostics {
+                        println!("    {d}");
+                    }
+                }
+            }
+        }
+        if findings > 0 {
+            println!("  ({findings} finding(s) — continuing, pre-flight is advisory)");
+        }
+        println!();
     }
     let scale = if tiny { "tiny" } else { "full" };
     let manifest_path = Path::new(MANIFEST_PATH);

@@ -8,6 +8,7 @@
 //! |--------|-------|----------|
 //! | [`ptx`] | `gcl-ptx` | PTX-subset ISA, kernel builder/parser, CFG analyses |
 //! | [`load_class`] | `gcl-core` | **the paper's contribution**: backward-dataflow load classification |
+//! | [`analyze`] | `gcl-analyze` | static verifier, divergence analysis, affine coalescing prediction |
 //! | [`mem`] | `gcl-mem` | caches with reservation semantics, interconnect, L2, DRAM |
 //! | [`sim`] | `gcl-sim` | cycle-level SIMT GPU simulator (GPGPU-Sim's role) |
 //! | [`workloads`] | `gcl-workloads` | the 15 benchmarks of Table I, rebuilt |
@@ -54,6 +55,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use gcl_analyze as analyze;
 pub use gcl_core as load_class;
 pub use gcl_mem as mem;
 pub use gcl_ptx as ptx;
@@ -63,6 +65,7 @@ pub use gcl_workloads as workloads;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use gcl_analyze::{affine_loads, analyze, Prediction, Report, Severity};
     pub use gcl_core::{classify, AddressSource, Classification, LoadClass};
     pub use gcl_ptx::{
         parse_kernel, Cfg, CmpOp, Kernel, KernelBuilder, Operand, Reg, Space, Special, Type,
