@@ -42,7 +42,7 @@ fn bench_figures() {
     // One shared tiny-scale harness run; the builders are then benchmarked
     // on its results.
     let cfg = GpuConfig::small();
-    let results = completed(&run_all(&cfg, Scale::Tiny));
+    let results = completed(&run_all(&cfg, Scale::Tiny, 1));
     let unloaded = cfg.unloaded_miss_latency();
     bench("figures/table1", 200, || {
         black_box(figures::table1(&results));

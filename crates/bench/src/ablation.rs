@@ -5,13 +5,37 @@
 use crate::harness::{run_one, BenchResult, Scale};
 use gcl_mem::{AccessOutcome, ClassTag, L2Topology};
 use gcl_sim::{CtaSchedPolicy, GpuConfig, PrefetchFilter};
-use gcl_stats::Table;
+use gcl_stats::{Cell, Table};
 use gcl_workloads::{all_workloads, tiny_workloads, Workload};
 
 fn workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
     match scale {
         Scale::Full => all_workloads(),
         Scale::Tiny => tiny_workloads(),
+    }
+}
+
+/// Evaluate `per_workload` for every benchmark on `jobs` worker threads and
+/// append the produced rows to `t` in Table I order (identical for any
+/// `jobs`). A workload whose closure returns `None` (a failed attempt,
+/// already warned about) is omitted; a panicking closure is isolated to its
+/// workload and reported as a warning.
+fn sweep_rows(
+    scale: Scale,
+    jobs: usize,
+    t: &mut Table,
+    per_workload: impl Fn(&dyn Workload) -> Option<Vec<Cell>> + Sync,
+) {
+    let names: Vec<&'static str> = workloads(scale).iter().map(|w| w.name()).collect();
+    let rows = gcl_exec::parallel_map(jobs, workloads(scale), |w| per_workload(w.as_ref()));
+    for (name, row) in names.into_iter().zip(rows) {
+        match row {
+            Ok(Some(cells)) => {
+                t.row(cells);
+            }
+            Ok(None) => {}
+            Err(panic) => eprintln!("warning: ablation row for {name} panicked: {panic}"),
+        }
     }
 }
 
@@ -58,7 +82,7 @@ fn overall_l1_miss(r: &BenchResult) -> f64 {
 /// A1 (Section X-B): round-robin vs. clustered CTA scheduling. Neighboring
 /// CTAs share data (Figure 12); co-locating them on an SM should improve L1
 /// locality.
-pub fn cta_sched(scale: Scale) -> Table {
+pub fn cta_sched(scale: Scale, jobs: usize) -> Table {
     let mut t = Table::new(
         "Ablation A1 — CTA scheduling: round-robin vs clustered (group=2)",
         vec![
@@ -70,32 +94,28 @@ pub fn cta_sched(scale: Scale) -> Table {
             "speedup",
         ],
     );
-    for w in workloads(scale) {
+    sweep_rows(scale, jobs, &mut t, |w| {
         let base_cfg = GpuConfig::fermi();
         let mut clustered_cfg = GpuConfig::fermi();
         clustered_cfg.cta_sched = CtaSchedPolicy::Clustered { group: 2 };
-        let (Some(base), Some(clus)) = (
-            attempt(w.as_ref(), &base_cfg),
-            attempt(w.as_ref(), &clustered_cfg),
-        ) else {
-            continue;
-        };
-        t.row(vec![
+        let base = attempt(w, &base_cfg)?;
+        let clus = attempt(w, &clustered_cfg)?;
+        Some(vec![
             w.name().into(),
-            gcl_stats::Cell::Percent(overall_l1_miss(&base)),
-            gcl_stats::Cell::Percent(overall_l1_miss(&clus)),
+            Cell::Percent(overall_l1_miss(&base)),
+            Cell::Percent(overall_l1_miss(&clus)),
             base.stats.cycles.into(),
             clus.stats.cycles.into(),
             (base.stats.cycles as f64 / clus.stats.cycles as f64).into(),
-        ]);
-    }
+        ])
+    });
     t
 }
 
 /// A2 (Section X-C): unified vs. semi-global (clustered) L2. Each cluster of
 /// SMs gets a private slice group; locality improves, aggregate capacity
 /// per SM shrinks.
-pub fn semiglobal_l2(scale: Scale) -> Table {
+pub fn semiglobal_l2(scale: Scale, jobs: usize) -> Table {
     let mut t = Table::new(
         "Ablation A2 — L2 topology: unified vs semi-global (2 clusters)",
         vec![
@@ -107,16 +127,12 @@ pub fn semiglobal_l2(scale: Scale) -> Table {
             "speedup",
         ],
     );
-    for w in workloads(scale) {
+    sweep_rows(scale, jobs, &mut t, |w| {
         let base_cfg = GpuConfig::fermi();
         let mut semi_cfg = GpuConfig::fermi();
         semi_cfg.l2_topology = L2Topology::Clustered { clusters: 2 };
-        let (Some(base), Some(semi)) = (
-            attempt(w.as_ref(), &base_cfg),
-            attempt(w.as_ref(), &semi_cfg),
-        ) else {
-            continue;
-        };
+        let base = attempt(w, &base_cfg)?;
+        let semi = attempt(w, &semi_cfg)?;
         let l2_miss = |r: &BenchResult| {
             let hits = r
                 .stats
@@ -133,22 +149,22 @@ pub fn semiglobal_l2(scale: Scale) -> Table {
                 1.0 - hits as f64 / total as f64
             }
         };
-        t.row(vec![
+        Some(vec![
             w.name().into(),
-            gcl_stats::Cell::Percent(l2_miss(&base)),
-            gcl_stats::Cell::Percent(l2_miss(&semi)),
+            Cell::Percent(l2_miss(&base)),
+            Cell::Percent(l2_miss(&semi)),
             base.stats.dram_mean_latency().into(),
             semi.stats.dram_mean_latency().into(),
             (base.stats.cycles as f64 / semi.stats.cycles as f64).into(),
-        ]);
-    }
+        ])
+    });
     t
 }
 
 /// A3 (Section X-A): split non-deterministic loads into sub-warp request
 /// chunks to de-burst the L1. Measures reservation failures and the mean
 /// N-load turnaround.
-pub fn warp_split(scale: Scale, chunk: usize) -> Table {
+pub fn warp_split(scale: Scale, chunk: usize, jobs: usize) -> Table {
     let mut t = Table::new(
         format!("Ablation A3 — warp splitting of N loads (chunk={chunk})"),
         vec![
@@ -160,26 +176,22 @@ pub fn warp_split(scale: Scale, chunk: usize) -> Table {
             "speedup",
         ],
     );
-    for w in workloads(scale) {
+    sweep_rows(scale, jobs, &mut t, |w| {
         let base_cfg = GpuConfig::fermi();
         let mut split_cfg = GpuConfig::fermi();
         split_cfg.warp_split_nd = Some(chunk);
-        let (Some(base), Some(split)) = (
-            attempt(w.as_ref(), &base_cfg),
-            attempt(w.as_ref(), &split_cfg),
-        ) else {
-            continue;
-        };
+        let base = attempt(w, &base_cfg)?;
+        let split = attempt(w, &split_cfg)?;
         let nd = gcl_core::LoadClass::NonDeterministic;
-        t.row(vec![
+        Some(vec![
             w.name().into(),
             total_reservation_fails(&base).into(),
             total_reservation_fails(&split).into(),
             base.stats.class(nd).turnaround.mean().into(),
             split.stats.class(nd).turnaround.mean().into(),
             (base.stats.cycles as f64 / split.stats.cycles as f64).into(),
-        ]);
-    }
+        ])
+    });
     t
 }
 
@@ -188,7 +200,7 @@ pub fn warp_split(scale: Scale, chunk: usize) -> Table {
 /// The paper argues prefetchers should be load-class aware; this compares
 /// no prefetch, prefetch-on-D-miss, prefetch-on-N-miss, and class-oblivious
 /// prefetch.
-pub fn prefetch(scale: Scale) -> Table {
+pub fn prefetch(scale: Scale, jobs: usize) -> Table {
     let mut t = Table::new(
         "Ablation A4 — class-selective next-line L1 prefetch",
         vec![
@@ -201,7 +213,7 @@ pub fn prefetch(scale: Scale) -> Table {
             "prefetches (D-only)",
         ],
     );
-    for w in workloads(scale) {
+    sweep_rows(scale, jobs, &mut t, |w| {
         let mut cycles = Vec::new();
         let mut d_prefetches = 0;
         for filter in [
@@ -212,18 +224,13 @@ pub fn prefetch(scale: Scale) -> Table {
         ] {
             let mut cfg = GpuConfig::fermi();
             cfg.prefetch = filter;
-            let Some(r) = attempt(w.as_ref(), &cfg) else {
-                break;
-            };
+            let r = attempt(w, &cfg)?;
             if filter == PrefetchFilter::DeterministicOnly {
                 d_prefetches = r.stats.sm.prefetches_issued;
             }
             cycles.push(r.stats.cycles);
         }
-        if cycles.len() != 4 {
-            continue;
-        }
-        t.row(vec![
+        Some(vec![
             w.name().into(),
             cycles[0].into(),
             cycles[1].into(),
@@ -231,7 +238,7 @@ pub fn prefetch(scale: Scale) -> Table {
             cycles[3].into(),
             (cycles[0] as f64 / cycles[1] as f64).into(),
             d_prefetches.into(),
-        ]);
-    }
+        ])
+    });
     t
 }

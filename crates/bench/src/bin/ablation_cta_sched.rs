@@ -1,17 +1,17 @@
 //! Ablation A1: clustered CTA scheduling (paper Section X-B).
 
 use gcl_bench::ablation::cta_sched;
-use gcl_bench::harness::{save_json, Scale};
+use gcl_bench::harness::{save_json, BenchArgs};
 
 fn main() -> std::process::ExitCode {
-    let scale = match Scale::from_args() {
-        Ok(s) => s,
+    let args = match BenchArgs::from_env(false) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return std::process::ExitCode::FAILURE;
         }
     };
-    let t = cta_sched(scale);
+    let t = cta_sched(args.scale, args.jobs);
     println!("{t}");
     save_json("ablation_cta_sched", &t.to_json());
     std::process::ExitCode::SUCCESS

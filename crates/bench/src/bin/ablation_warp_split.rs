@@ -2,17 +2,17 @@
 //! Section X-A).
 
 use gcl_bench::ablation::warp_split;
-use gcl_bench::harness::{save_json, Scale};
+use gcl_bench::harness::{save_json, BenchArgs};
 
 fn main() -> std::process::ExitCode {
-    let scale = match Scale::from_args() {
-        Ok(s) => s,
+    let args = match BenchArgs::from_env(false) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return std::process::ExitCode::FAILURE;
         }
     };
-    let t = warp_split(scale, 4);
+    let t = warp_split(args.scale, 4, args.jobs);
     println!("{t}");
     save_json("ablation_warp_split", &t.to_json());
     std::process::ExitCode::SUCCESS

@@ -34,9 +34,11 @@ pub const ARTIFACT_IDS: &[&str] = &[
 /// (see [`ARTIFACT_IDS`]).
 ///
 /// Parses the process arguments strictly: `--tiny` selects the tiny scale,
-/// `critical_loads` additionally takes one optional workload name (default
-/// `bfs`), and anything else — including an unknown `id` — is reported to
-/// stderr with a nonzero exit instead of being ignored or panicking.
+/// `--jobs N` fans the workload sweep out over N worker threads (results
+/// and artifacts are identical for any N), `critical_loads` additionally
+/// takes one optional workload name (default `bfs`), and anything else —
+/// including an unknown `id` — is reported to stderr with a nonzero exit
+/// instead of being ignored or panicking.
 pub fn figure_main(id: &str) -> ExitCode {
     match figure_main_inner(id) {
         Ok(()) => ExitCode::SUCCESS,
@@ -54,9 +56,9 @@ fn figure_main_inner(id: &str) -> Result<(), String> {
             ARTIFACT_IDS.join(", ")
         ));
     }
-    let (scale, workload) = parse_scale_args(std::env::args().skip(1), id == "critical_loads")?;
+    let args = parse_scale_args(std::env::args().skip(1), id == "critical_loads")?;
     let cfg = GpuConfig::fermi();
-    let results = completed(&run_all(&cfg, scale));
+    let results = completed(&run_all(&cfg, args.scale, args.jobs));
     match id {
         "fig1" => emit(id, &figures::fig1(&results)),
         "fig2" => emit(id, &figures::fig2(&results)),
@@ -83,7 +85,7 @@ fn figure_main_inner(id: &str) -> Result<(), String> {
         }
         "table1" => emit(id, &figures::table1(&results)),
         "critical_loads" => {
-            let workload = workload.unwrap_or_else(|| "bfs".to_string());
+            let workload = args.workload.unwrap_or_else(|| "bfs".to_string());
             emit(
                 &format!("critical_loads_{workload}"),
                 &figures::critical_loads(&results, &workload),

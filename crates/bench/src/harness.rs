@@ -39,22 +39,32 @@ pub enum Scale {
     Tiny,
 }
 
-impl Scale {
-    /// Strictly parse the process arguments of an ablation/figure binary:
-    /// `--tiny` selects [`Scale::Tiny`], anything else is rejected.
+/// Parsed command line of a figure/ablation binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Input-size selection (`--tiny`).
+    pub scale: Scale,
+    /// Optional positional workload name (only some binaries accept one).
+    pub workload: Option<String>,
+    /// Worker threads for the workload sweep (`--jobs N`, default 1).
+    pub jobs: usize,
+}
+
+impl BenchArgs {
+    /// Strictly parse the process arguments of an ablation/figure binary.
     ///
     /// # Errors
     ///
     /// Describes the first unknown flag or stray positional argument.
-    pub fn from_args() -> Result<Scale, String> {
-        let (scale, _) = parse_scale_args(std::env::args().skip(1), false)?;
-        Ok(scale)
+    pub fn from_env(allow_workload: bool) -> Result<BenchArgs, String> {
+        parse_scale_args(std::env::args().skip(1), allow_workload)
     }
 }
 
-/// Strictly parse a figure-binary command line: `--tiny`, plus — only when
-/// `allow_workload` — one optional positional workload name. Unknown flags
-/// and unexpected positionals are errors, never silently ignored.
+/// Strictly parse a figure-binary command line: `--tiny`, `--jobs N`, plus
+/// — only when `allow_workload` — one optional positional workload name.
+/// Unknown flags and unexpected positionals are errors, never silently
+/// ignored.
 ///
 /// # Errors
 ///
@@ -62,17 +72,27 @@ impl Scale {
 pub fn parse_scale_args(
     args: impl Iterator<Item = String>,
     allow_workload: bool,
-) -> Result<(Scale, Option<String>), String> {
+) -> Result<BenchArgs, String> {
     let accepts = if allow_workload {
-        "--tiny and one optional workload name"
+        "--tiny, --jobs N, and one optional workload name"
     } else {
-        "--tiny"
+        "--tiny and --jobs N"
     };
     let mut scale = Scale::Full;
     let mut workload = None;
-    for a in args {
+    let mut jobs = 1usize;
+    let mut args = args;
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--tiny" => scale = Scale::Tiny,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!(
                     "unknown option `{flag}` (this binary accepts {accepts})"
@@ -86,12 +106,17 @@ pub fn parse_scale_args(
             }
         }
     }
-    Ok((scale, workload))
+    Ok(BenchArgs {
+        scale,
+        workload,
+        jobs,
+    })
 }
 
 /// The outcome of attempting one workload end to end: either its results or
-/// the structured [`SimError`] that stopped it. One failed benchmark never
-/// takes down a harness sweep.
+/// why it stopped (a rendered [`SimError`], or a panic message when the
+/// workload crashed outright — worker panics are isolated per workload).
+/// One failed benchmark never takes down a harness sweep.
 #[derive(Debug)]
 pub struct BenchRun {
     /// Workload name (Table I).
@@ -99,7 +124,7 @@ pub struct BenchRun {
     /// Application category.
     pub category: Category,
     /// The workload's results, or why it failed.
-    pub outcome: Result<BenchResult, SimError>,
+    pub outcome: Result<BenchResult, String>,
 }
 
 impl BenchRun {
@@ -109,21 +134,29 @@ impl BenchRun {
     }
 }
 
-/// Run every workload of the paper on `cfg`, each on a fresh GPU. Failures
-/// are captured per workload, never panicked: the remaining benchmarks
-/// still run and the caller decides how to report the casualties (see
-/// [`completed`]).
-pub fn run_all(cfg: &GpuConfig, scale: Scale) -> Vec<BenchRun> {
+/// Run every workload of the paper on `cfg`, each on a fresh GPU, fanned
+/// out over `jobs` worker threads (results stay in Table I order for any
+/// `jobs`; 1 reproduces the serial sweep). Failures are captured per
+/// workload — a [`SimError`] structurally, a panic as a failure message —
+/// never panicked: the remaining benchmarks still run and the caller
+/// decides how to report the casualties (see [`completed`]).
+pub fn run_all(cfg: &GpuConfig, scale: Scale, jobs: usize) -> Vec<BenchRun> {
     let workloads = match scale {
         Scale::Full => all_workloads(),
         Scale::Tiny => tiny_workloads(),
     };
-    workloads
-        .iter()
-        .map(|w| BenchRun {
-            name: w.name(),
-            category: w.category(),
-            outcome: run_one(w.as_ref(), cfg),
+    let meta: Vec<(&'static str, Category)> =
+        workloads.iter().map(|w| (w.name(), w.category())).collect();
+    gcl_exec::parallel_map(jobs, workloads, |w| run_one(w.as_ref(), cfg))
+        .into_iter()
+        .zip(meta)
+        .map(|(outcome, (name, category))| BenchRun {
+            name,
+            category,
+            outcome: match outcome {
+                Ok(r) => r.map_err(|e| e.to_string()),
+                Err(panic) => Err(format!("workload panicked: {panic}")),
+            },
         })
         .collect()
 }
@@ -190,29 +223,42 @@ pub fn save_json(id: &str, json: &str) {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_scale_args, Scale};
+    use super::{parse_scale_args, BenchArgs, Scale};
 
     fn args(list: &'static [&'static str]) -> impl Iterator<Item = String> {
         list.iter().map(|s| s.to_string())
     }
 
     #[test]
-    fn tiny_flag_and_workload_parse() {
+    fn tiny_flag_jobs_and_workload_parse() {
         assert_eq!(
             parse_scale_args(args(&[]), false).unwrap(),
-            (Scale::Full, None)
+            BenchArgs {
+                scale: Scale::Full,
+                workload: None,
+                jobs: 1
+            }
         );
         assert_eq!(
-            parse_scale_args(args(&["--tiny"]), false).unwrap(),
-            (Scale::Tiny, None)
+            parse_scale_args(args(&["--tiny", "--jobs", "4"]), false).unwrap(),
+            BenchArgs {
+                scale: Scale::Tiny,
+                workload: None,
+                jobs: 4
+            }
         );
         assert_eq!(
             parse_scale_args(args(&["bfs", "--tiny"]), true).unwrap(),
-            (Scale::Tiny, Some("bfs".to_string()))
+            BenchArgs {
+                scale: Scale::Tiny,
+                workload: Some("bfs".to_string()),
+                jobs: 1
+            }
         );
     }
 
-    /// Unknown flags and stray positionals are rejected, not ignored.
+    /// Unknown flags, stray positionals and bad --jobs values are rejected,
+    /// not ignored.
     #[test]
     fn unknown_arguments_rejected() {
         let err = parse_scale_args(args(&["--huge"]), false).unwrap_err();
@@ -221,5 +267,9 @@ mod tests {
         assert!(err.contains("unexpected argument `bfs`"), "{err}");
         let err = parse_scale_args(args(&["bfs", "sssp"]), true).unwrap_err();
         assert!(err.contains("unexpected argument `sssp`"), "{err}");
+        let err = parse_scale_args(args(&["--jobs", "0"]), false).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        let err = parse_scale_args(args(&["--jobs"]), false).unwrap_err();
+        assert!(err.contains("--jobs needs a value"), "{err}");
     }
 }

@@ -169,7 +169,9 @@ fn critical_loads_ranks_by_share() {
 #[test]
 fn tiny_harness_feeds_every_builder() {
     let cfg = GpuConfig::small();
-    let runs = run_all(&cfg, Scale::Tiny);
+    // Exercise the parallel sweep path: results must be Table I-ordered
+    // and complete exactly as in a serial run.
+    let runs = run_all(&cfg, Scale::Tiny, 4);
     assert_eq!(runs.len(), 15);
     let results = completed(&runs);
     assert_eq!(results.len(), 15, "every tiny workload completes");

@@ -1,0 +1,248 @@
+//! Content-addressed result cache.
+//!
+//! Launches are deterministic (PR 2's digest audit proves it), so a
+//! simulation's complete statistics are a pure function of the
+//! [`SpecFingerprint`](crate::SpecFingerprint): configuration fingerprint,
+//! kernel fingerprint, workload parameters, and format version. Entries
+//! live under `results/cache/<key>.bin` in a self-validating container
+//! mirroring the checkpoint format (`ckpt.rs`):
+//!
+//! ```text
+//! magic "GCLEXEC1"  (8 bytes)
+//! version           (u32 LE)
+//! cache key         (u64 LE)
+//! payload length    (u64 LE)
+//! payload           (fingerprint fields + wall_ms + wire-encoded stats)
+//! checksum          (u64 LE, FNV-1a over all preceding bytes)
+//! ```
+//!
+//! Every rejection — absent, truncated, corrupt checksum, version skew,
+//! key or fingerprint mismatch, malformed payload — is a silent cache
+//! *miss*: the job recomputes and rewrites the entry. A broken cache can
+//! cost time but never correctness, mirroring the checkpoint rejection
+//! matrix. [`ResultCache::load_checked`] exposes the precise miss reason
+//! for tests and diagnostics.
+
+use crate::job::SpecFingerprint;
+use gcl_mem::{Dec, Enc, WireError};
+use gcl_sim::{fnv_fold_bytes, LaunchStats, FNV_OFFSET};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Leading magic of every cache entry.
+pub const CACHE_MAGIC: [u8; 8] = *b"GCLEXEC1";
+
+/// Cache format version; part of both the container header and the cache
+/// key, so bumping it orphans (rather than misreads) old entries.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Why a lookup did not produce a result. Every variant is handled the same
+/// way — recompute and rewrite — but tests pin each path down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheMiss {
+    /// No entry file for this key.
+    Absent,
+    /// The entry ends before the declared payload and checksum.
+    Truncated,
+    /// The file does not start with the cache magic.
+    BadMagic,
+    /// The trailing checksum does not match the entry contents.
+    ChecksumMismatch,
+    /// The entry was written by a different format version.
+    VersionSkew {
+        /// Version found in the entry.
+        found: u32,
+    },
+    /// The key recorded in the entry is not the key it was filed under.
+    KeyMismatch,
+    /// The entry's full fingerprint differs from the requested spec's: a
+    /// 64-bit key collision, detected instead of served.
+    FingerprintCollision,
+    /// The payload failed structural validation while decoding.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CacheMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheMiss::Absent => write!(f, "no cache entry"),
+            CacheMiss::Truncated => write!(f, "cache entry truncated"),
+            CacheMiss::BadMagic => write!(f, "not a cache entry (bad magic)"),
+            CacheMiss::ChecksumMismatch => write!(f, "cache entry checksum mismatch"),
+            CacheMiss::VersionSkew { found } => write!(
+                f,
+                "cache entry format version {found} (this build writes {CACHE_VERSION})"
+            ),
+            CacheMiss::KeyMismatch => write!(f, "cache entry filed under the wrong key"),
+            CacheMiss::FingerprintCollision => {
+                write!(f, "cache key collision (fingerprints differ)")
+            }
+            CacheMiss::Malformed(what) => write!(f, "cache entry malformed: {what}"),
+        }
+    }
+}
+
+impl From<WireError> for CacheMiss {
+    fn from(e: WireError) -> CacheMiss {
+        match e {
+            WireError::Truncated => CacheMiss::Truncated,
+            WireError::Malformed(what) => CacheMiss::Malformed(what),
+        }
+    }
+}
+
+/// A cached simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResult {
+    /// The complete statistics of the original run.
+    pub stats: LaunchStats,
+    /// Wall-clock milliseconds the original simulation took.
+    pub wall_ms: f64,
+}
+
+/// A directory of content-addressed result entries.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> ResultCache {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The conventional location: `results/cache` under the working
+    /// directory, next to the suite's `results/run.json` manifest.
+    pub fn default_dir() -> ResultCache {
+        ResultCache::new("results/cache")
+    }
+
+    /// The directory entries live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key`.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.bin"))
+    }
+
+    /// Look up `fp`, reporting exactly why a miss missed.
+    ///
+    /// # Errors
+    ///
+    /// The [`CacheMiss`] reason; callers on the hot path use [`load`]
+    /// (any miss is simply "recompute").
+    ///
+    /// [`load`]: Self::load
+    pub fn load_checked(&self, fp: &SpecFingerprint) -> Result<CachedResult, CacheMiss> {
+        let key = fp.key();
+        let bytes = std::fs::read(self.entry_path(key)).map_err(|_| CacheMiss::Absent)?;
+        const HEADER: usize = 8 + 4 + 8 + 8;
+        if bytes.len() < 8 {
+            return Err(CacheMiss::Truncated);
+        }
+        if bytes[..8] != CACHE_MAGIC {
+            return Err(CacheMiss::BadMagic);
+        }
+        if bytes.len() < HEADER + 8 {
+            return Err(CacheMiss::Truncated);
+        }
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored_sum = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte split"));
+        if fnv_fold_bytes(FNV_OFFSET, body) != stored_sum {
+            // Distinguish clean truncation from in-place corruption by the
+            // declared payload length, as the checkpoint container does.
+            let declared =
+                u64::from_le_bytes(bytes[20..28].try_into().expect("header slice")) as usize;
+            if body.len() - HEADER < declared {
+                return Err(CacheMiss::Truncated);
+            }
+            return Err(CacheMiss::ChecksumMismatch);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("header slice"));
+        if version != CACHE_VERSION {
+            return Err(CacheMiss::VersionSkew { found: version });
+        }
+        let stored_key = u64::from_le_bytes(bytes[12..20].try_into().expect("header slice"));
+        if stored_key != key {
+            return Err(CacheMiss::KeyMismatch);
+        }
+        let payload_len =
+            u64::from_le_bytes(bytes[20..28].try_into().expect("header slice")) as usize;
+        let payload = &body[HEADER..];
+        if payload.len() != payload_len {
+            return Err(CacheMiss::Malformed("payload length mismatch"));
+        }
+        let mut d = Dec::new(payload);
+        let stored_fp = SpecFingerprint {
+            workload: d.str()?,
+            tiny: d.bool()?,
+            config_fp: d.u64()?,
+            kernels_fp: d.u64()?,
+        };
+        if stored_fp != *fp {
+            return Err(CacheMiss::FingerprintCollision);
+        }
+        let wall_ms = d.f64()?;
+        let stats = LaunchStats::ckpt_decode(&mut d)?;
+        if !d.is_done() {
+            return Err(CacheMiss::Malformed("trailing bytes"));
+        }
+        Ok(CachedResult { stats, wall_ms })
+    }
+
+    /// Look up `fp`; any rejection is a plain miss.
+    pub fn load(&self, fp: &SpecFingerprint) -> Option<CachedResult> {
+        self.load_checked(fp).ok()
+    }
+
+    /// Store a fresh result under `fp`'s key, atomically (write-then-rename
+    /// in the cache directory, so a crash mid-store never leaves a torn
+    /// entry under the final name — it would be rejected anyway).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on i/o failure. Callers treat store
+    /// failures as a warning: the cache is an accelerator, not a ledger.
+    pub fn store(
+        &self,
+        fp: &SpecFingerprint,
+        stats: &LaunchStats,
+        wall_ms: f64,
+    ) -> Result<(), String> {
+        let key = fp.key();
+        let mut enc = Enc::new();
+        enc.str(&fp.workload);
+        enc.bool(fp.tiny);
+        enc.u64(fp.config_fp);
+        enc.u64(fp.kernels_fp);
+        enc.f64(wall_ms);
+        stats.ckpt_encode(&mut enc);
+        let payload = enc.into_bytes();
+        let mut out = Vec::with_capacity(payload.len() + 36);
+        out.extend_from_slice(&CACHE_MAGIC);
+        out.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+        out.extend_from_slice(&key.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let sum = fnv_fold_bytes(FNV_OFFSET, &out);
+        out.extend_from_slice(&sum.to_le_bytes());
+
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
+        let path = self.entry_path(key);
+        // Unique temp name per writer: two workers storing the same key
+        // concurrently each rename a complete image, either of which is
+        // valid, instead of interleaving writes into one temp file.
+        static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{key:016x}.tmp.{}.{}",
+            std::process::id(),
+            WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &out).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+    }
+}

@@ -1,0 +1,41 @@
+//! # gcl-exec — parallel job engine, result cache, and serving daemon
+//!
+//! The execution layer of the `gcl` toolkit: everything between "a list of
+//! simulations to run" and "their results, fast, in order". Three layers,
+//! each usable without the ones above it:
+//!
+//! * **Jobs** ([`job`]): a [`JobSpec`] names a workload, an input scale,
+//!   and a complete [`GpuConfig`](gcl_sim::GpuConfig); [`run_job`] executes
+//!   it with panic isolation, so a crashing simulation becomes a failed
+//!   [`JobResult`] instead of a dead thread.
+//! * **Pool + cache** ([`pool`], [`cache`]): [`run_pool`] fans specs out
+//!   over a fixed set of worker threads with deterministic (submission-
+//!   index) result ordering, seeded-jitter retry backoff, and a single
+//!   event stream so exactly one thread owns shared output. The
+//!   [`ResultCache`] is content-addressed by the spec's fingerprint;
+//!   because launches are deterministic (the sanitizer's digest audit
+//!   proves it), a warm cache replays a whole suite without simulating
+//!   anything. Corrupt, truncated or version-skewed entries are silent
+//!   misses, never errors.
+//! * **Serving** ([`serve`]): `gcl serve` wraps the pool in a TCP daemon
+//!   speaking newline-delimited JSON (submit / status / result /
+//!   shutdown), with a bounded queue that rejects submits under
+//!   backpressure and drains gracefully on shutdown.
+//!
+//! The invariant the whole crate is built around: **parallel execution
+//! never changes results**. Suite digests from `--jobs 8` are
+//! byte-identical to `--jobs 1`, and a cache hit returns the same
+//! [`LaunchStats`](gcl_sim::LaunchStats) the original simulation produced.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod job;
+pub mod pool;
+pub mod serve;
+
+pub use cache::{CacheMiss, CachedResult, ResultCache, CACHE_MAGIC, CACHE_VERSION};
+pub use job::{run_job, ExecError, JobOutput, JobResult, JobSpec, SpecFingerprint};
+pub use pool::{backoff_ms, parallel_map, run_pool, JobEvent, PoolConfig};
+pub use serve::{ServeOptions, Server};

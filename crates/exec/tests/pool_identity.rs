@@ -1,0 +1,122 @@
+//! The pool's load-bearing promise: parallel execution never changes
+//! results. Every tiny workload's event digest from a `jobs = 4` run is
+//! identical to the serial run's, and a warm cache replays the whole sweep
+//! with zero simulations.
+
+use gcl_exec::{run_pool, JobEvent, JobSpec, PoolConfig, ResultCache};
+use gcl_sim::GpuConfig;
+use gcl_workloads::tiny_workloads;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gcl-exec-pool-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// One sanitized spec per tiny workload (sanitize makes each run carry an
+/// event digest, the strongest equality we can ask for).
+fn sanitized_specs() -> Vec<JobSpec> {
+    let mut cfg = GpuConfig::small();
+    cfg.sanitize = true;
+    tiny_workloads()
+        .iter()
+        .map(|w| JobSpec::new(w.name(), true, cfg.clone()))
+        .collect()
+}
+
+#[test]
+fn parallel_digests_match_serial_across_all_workloads() {
+    let specs = sanitized_specs();
+    assert_eq!(specs.len(), 15, "the paper's Table I has 15 benchmarks");
+
+    let serial = run_pool(
+        &specs,
+        &PoolConfig {
+            jobs: 1,
+            ..PoolConfig::default()
+        },
+        |_| {},
+    );
+    let parallel = run_pool(
+        &specs,
+        &PoolConfig {
+            jobs: 4,
+            ..PoolConfig::default()
+        },
+        |_| {},
+    );
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.spec, p.spec, "results keep submission order");
+        let sd = s.digest().expect("sanitized run must carry a digest");
+        let pd = p.digest().expect("sanitized run must carry a digest");
+        assert_eq!(
+            sd, pd,
+            "digest of `{}` differs between -j1 and -j4",
+            s.spec.workload
+        );
+        // Not just the digest: the full statistics are byte-identical.
+        assert_eq!(
+            s.outcome.as_ref().unwrap().stats,
+            p.outcome.as_ref().unwrap().stats,
+            "stats of `{}` differ between -j1 and -j4",
+            s.spec.workload
+        );
+    }
+}
+
+#[test]
+fn warm_cache_replays_the_sweep_with_zero_simulations() {
+    let specs = sanitized_specs();
+    let cache = ResultCache::new(scratch("warm"));
+
+    let cold = run_pool(
+        &specs,
+        &PoolConfig {
+            jobs: 4,
+            cache: Some(cache.clone()),
+            ..PoolConfig::default()
+        },
+        |_| {},
+    );
+    for r in &cold {
+        assert!(
+            !r.outcome.as_ref().unwrap().cached,
+            "`{}` must simulate on a cold cache",
+            r.spec.workload
+        );
+    }
+
+    // Warm rerun: every job is a hit; `attempts == 0` proves no simulation
+    // ran (a fresh simulation always costs at least one attempt).
+    let mut started = 0usize;
+    let warm = run_pool(
+        &specs,
+        &PoolConfig {
+            jobs: 4,
+            cache: Some(cache),
+            ..PoolConfig::default()
+        },
+        |event| {
+            if matches!(event, JobEvent::Started { .. }) {
+                started += 1;
+            }
+        },
+    );
+    assert_eq!(started, specs.len(), "every job still reports lifecycle");
+    for (c, w) in cold.iter().zip(&warm) {
+        let out = w.outcome.as_ref().unwrap();
+        assert!(out.cached, "`{}` must hit the warm cache", w.spec.workload);
+        assert_eq!(w.attempts, 0, "`{}` must not simulate", w.spec.workload);
+        assert_eq!(
+            out.stats,
+            c.outcome.as_ref().unwrap().stats,
+            "cached stats of `{}` must round-trip exactly",
+            w.spec.workload
+        );
+        assert_eq!(w.digest(), c.digest());
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end exercise of the `gcl serve` daemon: a real TCP client
+//! submits jobs as newline-delimited JSON, polls status and results, sees
+//! backpressure when the bounded queue fills, and shuts the server down
+//! gracefully.
+
+use gcl_exec::{ServeOptions, Server};
+use gcl_stats::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to serve daemon");
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    /// Send one request object, read one response line.
+    fn call(&mut self, request: &Json) -> Json {
+        let mut line = request.render_compact();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("send");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        Json::parse(response.trim()).expect("response is valid JSON")
+    }
+}
+
+fn ok(j: &Json) -> bool {
+    matches!(j.get("ok"), Some(Json::Bool(true)))
+}
+
+fn submit(workload: &str) -> Json {
+    Json::obj(vec![
+        ("op", Json::Str("submit".into())),
+        ("workload", Json::Str(workload.into())),
+        ("tiny", Json::Bool(true)),
+        ("sanitize", Json::Bool(true)),
+    ])
+}
+
+/// Start a daemon on an ephemeral port, returning its address and the
+/// thread that runs it (joined to prove graceful shutdown terminates).
+fn start(opts: ServeOptions) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(opts).expect("bind ephemeral port");
+    let addr = server.addr().expect("read bound address");
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+    (addr, handle)
+}
+
+#[test]
+fn submit_poll_result_shutdown_roundtrip() {
+    let (addr, handle) = start(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        queue_cap: 16,
+        cache: None,
+    });
+    let mut c = Client::connect(addr);
+
+    // Bad requests are answered, not dropped.
+    let r = c.call(&Json::obj(vec![("op", Json::Str("dance".into()))]));
+    assert!(!ok(&r));
+    let r = c.call(&submit("no-such-workload"));
+    assert!(!ok(&r), "unknown workload is a submit-time error");
+
+    // Submit two real jobs; ids are distinct and sequential.
+    let r1 = c.call(&submit("bfs"));
+    assert!(ok(&r1), "{r1}");
+    let id1 = r1.get("id").and_then(Json::as_u64).expect("id");
+    let r2 = c.call(&submit("2mm"));
+    let id2 = r2.get("id").and_then(Json::as_u64).expect("id");
+    assert_ne!(id1, id2);
+
+    // Poll until both are done (tiny workloads: well under the deadline).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut done = Vec::new();
+    for id in [id1, id2] {
+        loop {
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            let r = c.call(&Json::obj(vec![
+                ("op", Json::Str("result".into())),
+                ("id", Json::UInt(id)),
+            ]));
+            assert!(ok(&r), "{r}");
+            match r.get("state").and_then(Json::as_str) {
+                Some("done") => {
+                    assert!(r.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+                    let digest = r.get("digest").and_then(Json::as_str).unwrap().to_string();
+                    assert!(digest.starts_with("0x"), "sanitized job has a digest");
+                    done.push(digest);
+                    break;
+                }
+                Some("failed") => panic!("job {id} failed: {r}"),
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+    assert_eq!(done.len(), 2);
+
+    // Status reflects the finished work and per-worker counters.
+    let s = c.call(&Json::obj(vec![("op", Json::Str("status".into()))]));
+    assert!(ok(&s), "{s}");
+    assert_eq!(
+        s.get("jobs")
+            .and_then(|j| j.get("done"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    let workers = s.get("workers").and_then(Json::as_arr).expect("workers");
+    assert_eq!(workers.len(), 2);
+    let total_run: u64 = workers
+        .iter()
+        .map(|w| w.get("jobs_run").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(total_run, 2);
+
+    // Graceful shutdown: acknowledged, then the server thread exits once
+    // we disconnect.
+    let r = c.call(&Json::obj(vec![("op", Json::Str("shutdown".into()))]));
+    assert!(ok(&r), "{r}");
+    // A submit after shutdown is refused while draining.
+    let r = c.call(&submit("bfs"));
+    assert!(!ok(&r), "submits during drain must be rejected: {r}");
+    drop(c);
+    handle.join().expect("serve thread exits after drain");
+}
+
+#[test]
+fn bounded_queue_rejects_submits_under_backpressure() {
+    // One worker, queue of one: a burst of submits must overflow. srad is
+    // the slowest tiny workload, so the first job pins the worker while
+    // the burst lands.
+    let (addr, handle) = start(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        queue_cap: 1,
+        cache: None,
+    });
+    let mut c = Client::connect(addr);
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..10 {
+        let r = c.call(&submit("srad"));
+        if ok(&r) {
+            accepted += 1;
+        } else {
+            let msg = r.get("error").and_then(Json::as_str).unwrap_or("");
+            assert!(msg.contains("queue full"), "unexpected rejection: {r}");
+            rejected += 1;
+        }
+    }
+    assert!(accepted >= 1, "the first submit always fits");
+    assert!(
+        rejected >= 1,
+        "a 10-burst into a 1-slot queue must see backpressure"
+    );
+    let r = c.call(&Json::obj(vec![("op", Json::Str("shutdown".into()))]));
+    assert!(ok(&r));
+    drop(c);
+    handle.join().expect("drain finishes the queued jobs");
+}

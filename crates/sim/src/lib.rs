@@ -103,8 +103,8 @@ pub use gpu::{pack_params, Gpu, SimError};
 pub use grid::Dim3;
 pub use loadtrack::{ClassAgg, LoadTracker, PcReqAgg};
 pub use san::{
-    check_digests, fnv_fold, DeterminismReport, RaceAccess, RaceReport, SanInject, SanRun,
-    SanitizerReport, TickError, FNV_OFFSET,
+    check_digests, fnv_fold, fnv_fold_bytes, DeterminismReport, RaceAccess, RaceReport, SanInject,
+    SanRun, SanitizerReport, TickError, FNV_OFFSET,
 };
 pub use scoreboard::Scoreboard;
 pub use simt::{SimtEntry, SimtStack};

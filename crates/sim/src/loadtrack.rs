@@ -56,6 +56,39 @@ pub struct ClassAgg {
 }
 
 impl ClassAgg {
+    /// Wire-encode this aggregate (used by both SM checkpoints and the
+    /// `gcl-exec` result cache; the byte layout is shared so equal
+    /// aggregates always produce identical bytes).
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        e.u64(self.warp_loads);
+        e.u64(self.requests);
+        e.u64(self.active_threads);
+        enc_acc(e, &self.turnaround);
+        enc_acc(e, &self.wait_prev_warps);
+        enc_acc(e, &self.wait_current_warp);
+        enc_acc(e, &self.memory_time);
+        enc_hist(e, &self.turnaround_hist);
+    }
+
+    /// Wire-decode an aggregate written by
+    /// [`ckpt_encode`](Self::ckpt_encode).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated or malformed input.
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<ClassAgg, WireError> {
+        Ok(ClassAgg {
+            warp_loads: d.u64()?,
+            requests: d.u64()?,
+            active_threads: d.u64()?,
+            turnaround: dec_acc(d)?,
+            wait_prev_warps: dec_acc(d)?,
+            wait_current_warp: dec_acc(d)?,
+            memory_time: dec_acc(d)?,
+            turnaround_hist: dec_hist(d)?,
+        })
+    }
+
     /// Mean memory requests per warp-level load.
     pub fn requests_per_warp(&self) -> f64 {
         if self.warp_loads == 0 {
@@ -103,6 +136,30 @@ pub struct PcReqAgg {
 }
 
 impl PcReqAgg {
+    /// Wire-encode this aggregate (shared by SM checkpoints and the
+    /// `gcl-exec` result cache).
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        enc_acc(e, &self.turnaround);
+        enc_acc(e, &self.gap_l1d);
+        enc_acc(e, &self.gap_icnt_l2);
+        enc_acc(e, &self.gap_l2_icnt);
+    }
+
+    /// Wire-decode an aggregate written by
+    /// [`ckpt_encode`](Self::ckpt_encode).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated or malformed input.
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<PcReqAgg, WireError> {
+        Ok(PcReqAgg {
+            turnaround: dec_acc(d)?,
+            gap_l1d: dec_acc(d)?,
+            gap_icnt_l2: dec_acc(d)?,
+            gap_l2_icnt: dec_acc(d)?,
+        })
+    }
+
     /// Merge another aggregate into this one.
     pub fn merge(&mut self, other: &PcReqAgg) {
         self.turnaround.merge(&other.turnaround);
@@ -294,26 +351,15 @@ impl LoadTracker {
         });
         e.seq(&self.free, |e, &i| e.usize(i));
         for agg in &self.per_class {
-            e.u64(agg.warp_loads);
-            e.u64(agg.requests);
-            e.u64(agg.active_threads);
-            enc_acc(e, &agg.turnaround);
-            enc_acc(e, &agg.wait_prev_warps);
-            enc_acc(e, &agg.wait_current_warp);
-            enc_acc(e, &agg.memory_time);
-            enc_hist(e, &agg.turnaround_hist);
+            agg.ckpt_encode(e);
         }
         let mut keys: Vec<&(usize, u32)> = self.per_pc.keys().collect();
         keys.sort_unstable();
         e.usize(keys.len());
         for k in keys {
-            let pa = &self.per_pc[k];
             e.usize(k.0);
             e.u32(k.1);
-            enc_acc(e, &pa.turnaround);
-            enc_acc(e, &pa.gap_l1d);
-            enc_acc(e, &pa.gap_icnt_l2);
-            enc_acc(e, &pa.gap_l2_icnt);
+            self.per_pc[k].ckpt_encode(e);
         }
     }
 
@@ -352,26 +398,14 @@ impl LoadTracker {
         }
         let mut per_class: [ClassAgg; 2] = Default::default();
         for agg in &mut per_class {
-            agg.warp_loads = d.u64()?;
-            agg.requests = d.u64()?;
-            agg.active_threads = d.u64()?;
-            agg.turnaround = dec_acc(d)?;
-            agg.wait_prev_warps = dec_acc(d)?;
-            agg.wait_current_warp = dec_acc(d)?;
-            agg.memory_time = dec_acc(d)?;
-            agg.turnaround_hist = dec_hist(d)?;
+            *agg = ClassAgg::ckpt_decode(d)?;
         }
         let n = d.seq_len()?;
         let mut per_pc = HashMap::with_capacity(n);
         for _ in 0..n {
             let pc = d.usize()?;
             let nr = d.u32()?;
-            let pa = PcReqAgg {
-                turnaround: dec_acc(d)?,
-                gap_l1d: dec_acc(d)?,
-                gap_icnt_l2: dec_acc(d)?,
-                gap_l2_icnt: dec_acc(d)?,
-            };
+            let pa = PcReqAgg::ckpt_decode(d)?;
             if per_pc.insert((pc, nr), pa).is_some() {
                 return Err(WireError::Malformed("duplicate per-pc key"));
             }

@@ -4,8 +4,30 @@
 use crate::loadtrack::{ClassAgg, PcReqAgg};
 use crate::SmStats;
 use gcl_core::LoadClass;
-use gcl_mem::{AccessOutcome, CacheStats, ClassTag, DramStats};
+use gcl_mem::{AccessOutcome, CacheStats, ClassTag, Dec, DramStats, Enc, WireError};
 use gcl_stats::ProfilerCounters;
+
+fn enc_cache_stats(e: &mut Enc, s: &CacheStats) {
+    for row in &s.attempts {
+        for &v in row {
+            e.u64(v);
+        }
+    }
+    e.u64(s.fills);
+    e.u64(s.writes_forwarded);
+}
+
+fn dec_cache_stats(d: &mut Dec<'_>) -> Result<CacheStats, WireError> {
+    let mut s = CacheStats::default();
+    for row in &mut s.attempts {
+        for v in row.iter_mut() {
+            *v = d.u64()?;
+        }
+    }
+    s.fills = d.u64()?;
+    s.writes_forwarded = d.u64()?;
+    Ok(s)
+}
 
 /// Identifies one static load at one dynamic request count, across merged
 /// launches.
@@ -152,6 +174,119 @@ impl LaunchStats {
         }
     }
 
+    /// Wire-encode the complete statistics (every field, including the
+    /// per-pc aggregates and digest) with the checkpoint codec. Equal stats
+    /// always produce identical bytes — `per_pc` keeps its insertion order,
+    /// which is deterministic because the simulator itself is — so the
+    /// `gcl-exec` result cache can checksum entries meaningfully.
+    pub fn ckpt_encode(&self, e: &mut Enc) {
+        e.str(&self.name);
+        e.u64(self.launches);
+        e.u64(self.cycles);
+        e.u64(self.sm.warp_insts);
+        e.u64(self.sm.thread_insts);
+        e.u64(self.sm.global_load_warps[0]);
+        e.u64(self.sm.global_load_warps[1]);
+        e.u64(self.sm.shared_load_warps);
+        for u in self.sm.unit_busy {
+            e.u64(u);
+        }
+        e.u64(self.sm.cycles);
+        e.u64(self.sm.bank_conflict_cycles);
+        e.u64(self.sm.ctas_retired);
+        e.u64(self.sm.prefetches_issued);
+        e.u64(self.sm.branches);
+        e.u64(self.sm.divergent_branches);
+        enc_cache_stats(e, &self.l1);
+        enc_cache_stats(e, &self.l2);
+        e.u64(self.dram_serviced);
+        e.u64(self.dram_total_latency);
+        for agg in &self.class_agg {
+            agg.ckpt_encode(e);
+        }
+        e.seq(&self.per_pc, |e, (k, v)| {
+            e.str(&k.kernel);
+            e.usize(k.pc);
+            e.u8(match k.class {
+                LoadClass::Deterministic => 0,
+                LoadClass::NonDeterministic => 1,
+            });
+            e.u32(k.n_requests);
+            v.ckpt_encode(e);
+        });
+        e.usize(self.static_loads.0);
+        e.usize(self.static_loads.1);
+        e.opt(&self.digest, |e, &d| e.u64(d));
+    }
+
+    /// Wire-decode stats written by [`ckpt_encode`](Self::ckpt_encode).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated or malformed input.
+    pub fn ckpt_decode(d: &mut Dec<'_>) -> Result<LaunchStats, WireError> {
+        let name = d.str()?;
+        let launches = d.u64()?;
+        let cycles = d.u64()?;
+        let sm = SmStats {
+            warp_insts: d.u64()?,
+            thread_insts: d.u64()?,
+            global_load_warps: [d.u64()?, d.u64()?],
+            shared_load_warps: d.u64()?,
+            unit_busy: [d.u64()?, d.u64()?, d.u64()?],
+            cycles: d.u64()?,
+            bank_conflict_cycles: d.u64()?,
+            ctas_retired: d.u64()?,
+            prefetches_issued: d.u64()?,
+            branches: d.u64()?,
+            divergent_branches: d.u64()?,
+        };
+        let l1 = dec_cache_stats(d)?;
+        let l2 = dec_cache_stats(d)?;
+        let dram_serviced = d.u64()?;
+        let dram_total_latency = d.u64()?;
+        let mut class_agg: [ClassAgg; 2] = Default::default();
+        for agg in &mut class_agg {
+            *agg = ClassAgg::ckpt_decode(d)?;
+        }
+        let per_pc = d.seq(|d| {
+            let kernel = d.str()?;
+            let pc = d.usize()?;
+            let class = match d.u8()? {
+                0 => LoadClass::Deterministic,
+                1 => LoadClass::NonDeterministic,
+                _ => return Err(WireError::Malformed("bad load class tag")),
+            };
+            let n_requests = d.u32()?;
+            let agg = PcReqAgg::ckpt_decode(d)?;
+            Ok((
+                PcKey {
+                    kernel,
+                    pc,
+                    class,
+                    n_requests,
+                },
+                agg,
+            ))
+        })?;
+        let static_loads = (d.usize()?, d.usize()?);
+        let digest = d.opt(|d| d.u64())?;
+        Ok(LaunchStats {
+            name,
+            launches,
+            cycles,
+            sm,
+            l1,
+            l2,
+            dram_serviced,
+            dram_total_latency,
+            class_agg,
+            per_pc,
+            static_loads,
+            digest,
+        })
+    }
+
     /// Merge another launch's stats into this one.
     pub fn merge(&mut self, other: &LaunchStats) {
         if self.name.is_empty() {
@@ -255,6 +390,63 @@ mod tests {
         // Merging the same key again accumulates rather than duplicating.
         a.merge(&b);
         assert_eq!(a.per_pc.len(), 1);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_everything() {
+        let mut s = LaunchStats {
+            name: "bfs".into(),
+            launches: 3,
+            cycles: 1234,
+            dram_serviced: 17,
+            dram_total_latency: 990,
+            static_loads: (4, 2),
+            digest: Some(0xfeed_beef),
+            ..Default::default()
+        };
+        s.sm.warp_insts = 100;
+        s.sm.unit_busy = [1, 2, 3];
+        s.l1.attempts[0][1] = 9;
+        s.l2.fills = 5;
+        s.class_agg[1].warp_loads = 6;
+        s.class_agg[1].turnaround.add(42.0);
+        s.per_pc.push((
+            PcKey {
+                kernel: "k".into(),
+                pc: 7,
+                class: LoadClass::NonDeterministic,
+                n_requests: 32,
+            },
+            PcReqAgg::default(),
+        ));
+        let mut e = Enc::new();
+        s.ckpt_encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = LaunchStats::ckpt_decode(&mut d).unwrap();
+        assert!(d.is_done());
+        assert_eq!(back, s);
+        // Byte stability: re-encoding the decoded value is identical.
+        let mut e2 = Enc::new();
+        back.ckpt_encode(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn wire_truncation_rejected() {
+        let s = LaunchStats {
+            name: "k".into(),
+            ..Default::default()
+        };
+        let mut e = Enc::new();
+        s.ckpt_encode(&mut e);
+        let bytes = e.into_bytes();
+        for n in 0..bytes.len() {
+            assert!(
+                LaunchStats::ckpt_decode(&mut Dec::new(&bytes[..n])).is_err(),
+                "truncation to {n} bytes accepted"
+            );
+        }
     }
 
     #[test]

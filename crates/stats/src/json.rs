@@ -94,6 +94,43 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no whitespace — the newline-delimited
+    /// JSON form the `gcl serve` protocol speaks.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars render identically in both forms.
+            other => other.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -455,6 +492,23 @@ mod tests {
             let text = v.render_pretty();
             assert_eq!(Json::parse(&text).unwrap(), v, "{text}");
         }
+    }
+
+    #[test]
+    fn compact_render_is_single_line_and_reparses() {
+        let v = Json::obj(vec![
+            ("op", Json::Str("submit".into())),
+            ("n", Json::UInt(3)),
+            ("list", Json::Arr(vec![Json::Bool(false), Json::Null])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let line = v.render_compact();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(
+            line,
+            r#"{"op":"submit","n":3,"list":[false,null],"empty":{}}"#
+        );
+        assert_eq!(Json::parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub struct RunResult {
 }
 
 /// A benchmark: owns its input sizes and drives its own host loop.
-pub trait Workload {
+///
+/// `Send + Sync` is a supertrait so `Box<dyn Workload>` can be fanned out
+/// across the `gcl-exec` worker pool; every implementation is a plain value
+/// type, so this costs nothing.
+pub trait Workload: Send + Sync {
     /// Short benchmark name as in the paper's Table I (`"bfs"`, `"2mm"`, ...).
     fn name(&self) -> &'static str;
     /// The application category.

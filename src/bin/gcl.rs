@@ -10,7 +10,10 @@
 //!              [--checkpoint-every N --checkpoint-file P] [--resume P]
 //!                                          simulate one launch, print stats
 //! gcl suite    [--tiny] [--sanitize] [--analyze] [--force-fail NAME]
-//!              [--resume] [--retries N]    run the 15-benchmark suite
+//!              [--resume] [--retries N] [--jobs N] [--no-cache]
+//!                                          run the 15-benchmark suite
+//! gcl serve    [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--no-cache]
+//!                                          simulation daemon (NDJSON over TCP)
 //! ```
 
 use gcl::prelude::*;
@@ -18,7 +21,6 @@ use gcl_core::{Classification, LoadClass};
 use gcl_stats::Json;
 use std::path::Path;
 use std::process::ExitCode;
-use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -54,7 +57,8 @@ USAGE:
                [--memcheck] [--sanitize] [--max-cycles N]
                [--checkpoint-every N --checkpoint-file PATH] [--resume PATH]
   gcl suite    [--tiny] [--sanitize] [--analyze] [--force-fail NAME]
-               [--resume] [--retries N]
+               [--resume] [--retries N] [--jobs N] [--no-cache]
+  gcl serve    [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--no-cache]
 
 `classify` runs the paper's backward-dataflow analysis and prints each
 global load's class and (for non-deterministic loads) the def-chain back to
@@ -83,7 +87,17 @@ named benchmark's cycle budget to exercise that path; --sanitize runs each
 benchmark twice and fails it if the two event digests diverge. Progress is
 persisted to results/run.json after every benchmark: `suite --resume` skips
 the benchmarks already recorded as ok, and --retries N re-runs each failure
-up to N extra times with capped exponential backoff.
+up to N extra times with capped, seeded-jitter exponential backoff.
+--jobs N fans the benchmarks out over N worker threads; results (and event
+digests) are identical to a serial run, in the same order. Completed
+results are stored in a content-addressed cache under results/cache keyed
+by configuration, kernels, and workload parameters — a warm rerun replays
+the whole suite without simulating anything; --no-cache bypasses it.
+`serve` runs the same job engine as a daemon: clients connect over TCP and
+speak newline-delimited JSON — {\"op\":\"submit\",\"workload\":\"bfs\",
+\"tiny\":true} to enqueue (rejected with an error when the bounded queue is
+full), {\"op\":\"status\"}, {\"op\":\"result\",\"id\":N}, and
+{\"op\":\"shutdown\"} to drain gracefully and exit.
 ";
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
@@ -477,6 +491,10 @@ struct ManifestEntry {
 struct Manifest {
     scale: String,
     sanitize: bool,
+    /// Worker threads of the run that wrote this manifest. Informational:
+    /// `--resume` deliberately ignores it — parallelism never changes
+    /// results, so resuming `-j1` progress with `-j4` is fine.
+    jobs: u64,
     entries: Vec<ManifestEntry>,
 }
 
@@ -512,6 +530,7 @@ impl Manifest {
             ("version", Json::UInt(MANIFEST_VERSION)),
             ("scale", Json::Str(self.scale.clone())),
             ("sanitize", Json::Bool(self.sanitize)),
+            ("jobs", Json::UInt(self.jobs)),
             ("workloads", Json::Arr(entries)),
         ])
     }
@@ -553,6 +572,7 @@ impl Manifest {
             Some(Json::Bool(b)) => *b,
             _ => return Err(bad()),
         };
+        let jobs = j.get("jobs").and_then(Json::as_u64).unwrap_or(1);
         let mut entries = Vec::new();
         for w in j.get("workloads").and_then(Json::as_arr).ok_or_else(bad)? {
             let digest = match w.get("digest").and_then(Json::as_str) {
@@ -582,16 +602,10 @@ impl Manifest {
         Ok(Manifest {
             scale,
             sanitize,
+            jobs,
             entries,
         })
     }
-}
-
-/// Backoff before retry `attempt` (1-based): 50ms doubling, capped at 2s.
-fn backoff_ms(attempt: u64) -> u64 {
-    50u64
-        .saturating_mul(1 << attempt.saturating_sub(1).min(6))
-        .min(2_000)
 }
 
 fn cmd_suite(args: &[String]) -> Result<(), String> {
@@ -601,6 +615,8 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     let mut force_fail: Option<String> = None;
     let mut resume = false;
     let mut retries = 0u64;
+    let mut jobs = 1usize;
+    let mut no_cache = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -608,6 +624,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             "--sanitize" => sanitize = true,
             "--analyze" => analyze_first = true,
             "--resume" => resume = true,
+            "--no-cache" => no_cache = true,
             "--force-fail" => {
                 i += 1;
                 force_fail = Some(
@@ -619,6 +636,13 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             "--retries" => {
                 i += 1;
                 retries = parse_u64(args.get(i).ok_or("--retries needs a value")?)?;
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = parse_u64(args.get(i).ok_or("--jobs needs a value")?)? as usize;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
             }
             other => return Err(format!("suite: unknown option `{other}`")),
         }
@@ -688,6 +712,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     let mut manifest = Manifest {
         scale: scale.to_string(),
         sanitize,
+        jobs: jobs as u64,
         entries: workloads
             .iter()
             .map(|w| {
@@ -715,15 +740,97 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     };
     manifest.save(manifest_path)?;
 
+    // Build one JobSpec per workload still to run; `spec_wi[i]` maps spec
+    // index back to workload index (ascending, so the result walk below can
+    // merge skipped and executed rows in workload order).
+    let mut spec_wi: Vec<usize> = Vec::new();
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        if manifest.entries[wi].status == "ok" {
+            continue;
+        }
+        let mut cfg = if tiny {
+            GpuConfig::small()
+        } else {
+            GpuConfig::fermi()
+        };
+        if force_fail.as_deref() == Some(w.name()) {
+            // Starve the cycle budget so this benchmark times out: exercises
+            // the fail-soft path without corrupting any input.
+            cfg.max_cycles = 50;
+        }
+        cfg.sanitize = sanitize;
+        spec_wi.push(wi);
+        specs.push(JobSpec::new(w.name(), tiny, cfg));
+    }
+
+    let pool_cfg = PoolConfig {
+        jobs,
+        retries,
+        cache: if no_cache {
+            None
+        } else {
+            Some(ResultCache::default_dir())
+        },
+        ..PoolConfig::default()
+    };
+    // The pool delivers every event on this thread, so this closure is the
+    // manifest's single writer — workers never touch results/run.json.
+    let mut save_err: Option<String> = None;
+    let results = run_pool(&specs, &pool_cfg, |event| {
+        match event {
+            JobEvent::Started { index } => {
+                manifest.entries[spec_wi[*index]].status = "running".to_string();
+            }
+            JobEvent::Retried {
+                index,
+                attempt,
+                error,
+                ..
+            } => {
+                let e = &mut manifest.entries[spec_wi[*index]];
+                e.status = "retried".to_string();
+                e.attempts = *attempt;
+                e.error = Some(error.clone());
+            }
+            JobEvent::Finished { index, result } => {
+                let e = &mut manifest.entries[spec_wi[*index]];
+                e.attempts = result.attempts;
+                match &result.outcome {
+                    Ok(out) => {
+                        e.status = "ok".to_string();
+                        e.wall_ms = out.wall_ms;
+                        e.digest = out.stats.digest;
+                        e.error = None;
+                    }
+                    Err(err) => {
+                        e.status = "failed".to_string();
+                        e.error = Some(err.to_string());
+                    }
+                }
+            }
+        }
+        if let Err(e) = manifest.save(manifest_path) {
+            save_err.get_or_insert(e);
+        }
+    });
+    if let Some(e) = save_err {
+        return Err(e);
+    }
+
+    // Results come back ordered by submission index regardless of which
+    // worker finished first, so this table is identical for any --jobs.
     let total = workloads.len();
     let mut failures: Vec<(&'static str, String)> = Vec::new();
     let mut skipped = 0usize;
+    let mut cached = 0usize;
     println!(
         "{:6} {:7} {:>9} {:>11} {:>9} {:>6} {:>9}  outcome",
         "name", "cat", "cycles", "warp insts", "gld", "N%", "L1 miss%"
     );
+    let mut ri = 0usize;
     for (wi, w) in workloads.iter().enumerate() {
-        if manifest.entries[wi].status == "ok" {
+        if spec_wi.get(ri) != Some(&wi) {
             let digest = match manifest.entries[wi].digest {
                 Some(d) => format!("  0x{d:016x}"),
                 None => String::new(),
@@ -741,78 +848,36 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             skipped += 1;
             continue;
         }
-        let mut cfg = if tiny {
-            GpuConfig::small()
-        } else {
-            GpuConfig::fermi()
-        };
-        if force_fail.as_deref() == Some(w.name()) {
-            // Starve the cycle budget so this benchmark times out: exercises
-            // the fail-soft path without corrupting any input.
-            cfg.max_cycles = 50;
-        }
-        cfg.sanitize = sanitize;
-        manifest.entries[wi].status = "running".to_string();
-        manifest.save(manifest_path)?;
-        let t0 = Instant::now();
-        let mut attempt = 0u64;
-        let outcome = loop {
-            attempt += 1;
-            let mut outcome = Gpu::new(cfg.clone()).and_then(|mut gpu| w.run(&mut gpu));
-            if sanitize {
-                if let Ok(run) = outcome {
-                    // Determinism audit: a second run from an identical
-                    // initial state must produce an identical event digest.
-                    outcome = Gpu::new(cfg.clone())
-                        .and_then(|mut gpu| w.run(&mut gpu))
-                        .and_then(|second| {
-                            gcl_sim::check_digests(w.name(), run.stats.digest, second.stats.digest)
-                                .map_err(gcl_sim::SimError::Sanitizer)?;
-                            Ok(run)
-                        });
-                }
-            }
-            match outcome {
-                Ok(run) => break Ok(run),
-                Err(e) => {
-                    if attempt > retries {
-                        break Err(e);
-                    }
-                    manifest.entries[wi].status = "retried".to_string();
-                    manifest.entries[wi].attempts = attempt;
-                    manifest.entries[wi].error = Some(e.to_string());
-                    manifest.save(manifest_path)?;
-                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms(attempt)));
-                }
-            }
-        };
-        manifest.entries[wi].attempts = attempt;
-        manifest.entries[wi].wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        match outcome {
-            Ok(run) => {
-                let p = run.stats.profiler();
-                let digest = match run.stats.digest {
+        let result = &results[ri];
+        ri += 1;
+        match &result.outcome {
+            Ok(out) => {
+                let p = out.stats.profiler();
+                let digest = match out.stats.digest {
                     Some(d) => format!("  0x{d:016x}"),
                     None => String::new(),
                 };
-                let retried = if attempt > 1 {
-                    format!(" (attempt {attempt})")
+                let retried = if result.attempts > 1 {
+                    format!(" (attempt {})", result.attempts)
                 } else {
                     String::new()
                 };
+                let from_cache = if out.cached {
+                    cached += 1;
+                    " (cached)"
+                } else {
+                    ""
+                };
                 println!(
-                    "{:6} {:7} {:>9} {:>11} {:>9} {:>5.1} {:>9.1}  ok{digest}{retried}",
+                    "{:6} {:7} {:>9} {:>11} {:>9} {:>5.1} {:>9.1}  ok{digest}{retried}{from_cache}",
                     w.name(),
                     w.category().to_string(),
-                    run.stats.cycles,
-                    run.stats.sm.warp_insts,
+                    out.stats.cycles,
+                    out.stats.sm.warp_insts,
                     p.gld_request,
-                    run.stats.nondet_load_fraction() * 100.0,
+                    out.stats.nondet_load_fraction() * 100.0,
                     p.l1_miss_ratio() * 100.0,
                 );
-                manifest.entries[wi].status = "ok".to_string();
-                manifest.entries[wi].digest = run.stats.digest;
-                manifest.entries[wi].error = None;
             }
             Err(e) => {
                 let msg = e.to_string();
@@ -827,18 +892,25 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
                     "-",
                     "-",
                 );
-                manifest.entries[wi].status = "failed".to_string();
-                manifest.entries[wi].error = Some(msg.clone());
                 failures.push((w.name(), msg));
             }
         }
-        manifest.save(manifest_path)?;
     }
     if failures.is_empty() {
+        let mut notes: Vec<String> = Vec::new();
         if skipped > 0 {
-            println!("\n{total} of {total} benchmarks completed ({skipped} from manifest)");
-        } else {
+            notes.push(format!("{skipped} from manifest"));
+        }
+        if cached > 0 {
+            notes.push(format!("{cached} from cache"));
+        }
+        if notes.is_empty() {
             println!("\n{total} of {total} benchmarks completed");
+        } else {
+            println!(
+                "\n{total} of {total} benchmarks completed ({})",
+                notes.join(", ")
+            );
         }
         Ok(())
     } else {
@@ -853,6 +925,42 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             if sanitize { " --sanitize" } else { "" },
         ))
     }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut opts = ServeOptions::default();
+    let mut no_cache = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                opts.addr = args.get(i).ok_or("--addr needs HOST:PORT")?.to_string();
+            }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = parse_u64(args.get(i).ok_or("--jobs needs a value")?)? as usize;
+            }
+            "--queue-cap" => {
+                i += 1;
+                opts.queue_cap =
+                    parse_u64(args.get(i).ok_or("--queue-cap needs a value")?)? as usize;
+            }
+            "--no-cache" => no_cache = true,
+            other => return Err(format!("serve: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if !no_cache {
+        opts.cache = Some(ResultCache::default_dir());
+    }
+    let (jobs, queue_cap) = (opts.jobs, opts.queue_cap);
+    let server = Server::bind(opts)?;
+    eprintln!(
+        "gcl serve: listening on {} ({jobs} worker(s), queue cap {queue_cap})",
+        server.addr()?
+    );
+    server.run()
 }
 
 #[cfg(test)]

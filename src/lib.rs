@@ -13,6 +13,7 @@
 //! | [`sim`] | `gcl-sim` | cycle-level SIMT GPU simulator (GPGPU-Sim's role) |
 //! | [`workloads`] | `gcl-workloads` | the 15 benchmarks of Table I, rebuilt |
 //! | [`stats`] | `gcl-stats` | profiler counters, tables, figure series |
+//! | [`exec`] | `gcl-exec` | parallel job pool, content-addressed result cache, `gcl serve` daemon |
 //!
 //! ## Thirty-second tour
 //!
@@ -57,6 +58,7 @@
 
 pub use gcl_analyze as analyze;
 pub use gcl_core as load_class;
+pub use gcl_exec as exec;
 pub use gcl_mem as mem;
 pub use gcl_ptx as ptx;
 pub use gcl_sim as sim;
@@ -67,6 +69,10 @@ pub use gcl_workloads as workloads;
 pub mod prelude {
     pub use gcl_analyze::{affine_loads, analyze, Prediction, Report, Severity};
     pub use gcl_core::{classify, AddressSource, Classification, LoadClass};
+    pub use gcl_exec::{
+        run_job, run_pool, JobEvent, JobResult, JobSpec, PoolConfig, ResultCache, ServeOptions,
+        Server,
+    };
     pub use gcl_ptx::{
         parse_kernel, Cfg, CmpOp, Kernel, KernelBuilder, Operand, Reg, Space, Special, Type,
     };

@@ -1,0 +1,118 @@
+//! Integration tests of the `gcl suite` CLI: the parallel job pool, the
+//! content-addressed result cache, and `--resume` composing with `--jobs`.
+//! Each test drives the real binary in its own scratch directory (the
+//! manifest and cache live under the working directory).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gcl-cli-suite-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn gcl(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gcl"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("run gcl binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The digest column of a suite table, in row order.
+fn digests(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|l| l.split_whitespace().find(|t| t.starts_with("0x")))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn parallel_suite_matches_serial_and_replays_from_cache() {
+    let dir = scratch("parallel");
+    // Cold parallel run (cache fills), then a serial run with the cache
+    // bypassed: same 15 digests in the same order.
+    let par = gcl(&dir, &["suite", "--tiny", "--sanitize", "--jobs", "4"]);
+    assert!(
+        par.status.success(),
+        "{}",
+        String::from_utf8_lossy(&par.stderr)
+    );
+    let par_digests = digests(&stdout(&par));
+    assert_eq!(par_digests.len(), 15);
+
+    let ser = gcl(&dir, &["suite", "--tiny", "--sanitize", "--no-cache"]);
+    assert!(ser.status.success());
+    assert_eq!(
+        digests(&stdout(&ser)),
+        par_digests,
+        "-j4 == -j1, digest for digest"
+    );
+
+    // Warm rerun: all 15 served from cache, zero simulations.
+    let warm = gcl(&dir, &["suite", "--tiny", "--sanitize", "--jobs", "4"]);
+    assert!(warm.status.success());
+    let text = stdout(&warm);
+    assert!(text.contains("(15 from cache)"), "{text}");
+    assert_eq!(
+        digests(&text),
+        par_digests,
+        "cached digests are the originals"
+    );
+}
+
+#[test]
+fn resume_composes_with_different_jobs() {
+    let dir = scratch("resume");
+    // Serial run with one forced failure: 14 ok, bfs failed, exit nonzero.
+    let first = gcl(
+        &dir,
+        &[
+            "suite",
+            "--tiny",
+            "--jobs",
+            "1",
+            "--no-cache",
+            "--force-fail",
+            "bfs",
+        ],
+    );
+    assert!(
+        !first.status.success(),
+        "forced failure must fail the suite"
+    );
+    let text = stdout(&first);
+    assert!(text.contains("FAILED"), "{text}");
+
+    // Resuming with a different --jobs is NOT a config mismatch: the
+    // parallelism of the recording run is irrelevant to its results. Only
+    // bfs reruns; the other 14 are skipped from the manifest.
+    let resumed = gcl(
+        &dir,
+        &["suite", "--tiny", "--resume", "--jobs", "4", "--no-cache"],
+    );
+    assert!(
+        resumed.status.success(),
+        "resume -j1 -> -j4 must work: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let text = stdout(&resumed);
+    assert_eq!(
+        text.matches("skipped (ok in manifest)").count(),
+        14,
+        "{text}"
+    );
+    assert!(text.contains("15 of 15 benchmarks completed"), "{text}");
+
+    // Scale and sanitize remain hard mismatches.
+    let wrong = gcl(&dir, &["suite", "--tiny", "--sanitize", "--resume"]);
+    assert!(!wrong.status.success());
+    let err = String::from_utf8_lossy(&wrong.stderr);
+    assert!(err.contains("resume with the same flags"), "{err}");
+}
