@@ -1,0 +1,288 @@
+//! A resilient NDJSON client for `gcl serve` daemons and the fleet
+//! coordinator.
+//!
+//! [`ServeClient`] owns one TCP connection and makes it look reliable:
+//!
+//! * **Reconnect-and-resume.** Every request/response round trip retries
+//!   over a fresh connection (capped-exponential backoff with seeded
+//!   jitter from [`gcl_rng::backoff`]) when the socket dies. The protocol
+//!   verbs are idempotent — `status`/`result` are reads, and `submit` is
+//!   deduplicated by cache key on the fleet coordinator — so replaying the
+//!   request after a reconnect resumes the session instead of corrupting
+//!   it.
+//! * **Backpressure retry.** [`ServeClient::submit`] treats a
+//!   `queue full` rejection as a signal, not a failure: it sleeps a
+//!   jittered backoff and resubmits, up to the configured attempt budget.
+//! * **Deadlines everywhere.** Reads and writes carry timeouts, so a
+//!   stalled server produces a structured error instead of a hung client.
+
+use crate::proto::{write_frame, FrameError, FrameReader};
+use crate::serve::QUEUE_FULL;
+use gcl_rng::{backoff::Backoff, Rng};
+use gcl_stats::Json;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How a [`ServeClient`] connects and retries.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Server or coordinator address, `HOST:PORT`.
+    pub addr: String,
+    /// Extra attempts for connects, dropped connections, and `queue full`
+    /// rejections (each class budgeted separately).
+    pub retries: u64,
+    /// Backoff policy between attempts.
+    pub backoff: Backoff,
+    /// Seed for the backoff jitter stream.
+    pub seed: u64,
+    /// Deadline for one response, in milliseconds.
+    pub response_timeout_ms: u64,
+    /// Largest response frame accepted.
+    pub max_frame: usize,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            addr: "127.0.0.1:7077".to_string(),
+            retries: 8,
+            backoff: Backoff::default(),
+            seed: 0x0066_6c74, // "flt"
+            response_timeout_ms: 120_000,
+            max_frame: crate::proto::MAX_FRAME,
+        }
+    }
+}
+
+struct Conn {
+    reader: FrameReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One logical session with a serve daemon or fleet coordinator; see the
+/// module docs for the reliability contract.
+pub struct ServeClient {
+    opts: ClientOptions,
+    conn: Option<Conn>,
+    rng: Rng,
+}
+
+impl ServeClient {
+    /// Connect to `opts.addr`, retrying with backoff.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message once the attempt budget is exhausted.
+    pub fn connect(opts: ClientOptions) -> Result<ServeClient, String> {
+        let rng = Rng::new(opts.seed);
+        let mut client = ServeClient {
+            opts,
+            conn: None,
+            rng,
+        };
+        client.ensure_conn()?;
+        Ok(client)
+    }
+
+    /// The configured server address.
+    pub fn addr(&self) -> &str {
+        &self.opts.addr
+    }
+
+    fn dial(&self) -> Result<Conn, String> {
+        let stream = TcpStream::connect(&self.opts.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.opts.addr))?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .map_err(|e| format!("cannot set read deadline: {e}"))?;
+        stream
+            .set_write_timeout(Some(Duration::from_millis(5_000)))
+            .map_err(|e| format!("cannot set write deadline: {e}"))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?;
+        Ok(Conn {
+            reader: FrameReader::new(stream, self.opts.max_frame),
+            writer,
+        })
+    }
+
+    fn ensure_conn(&mut self) -> Result<(), String> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut last = String::new();
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                let delay = self.opts.backoff.delay_ms(attempt, &mut self.rng);
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            match self.dial() {
+                Ok(conn) => {
+                    self.conn = Some(conn);
+                    return Ok(());
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(format!("{last} (after {} attempts)", self.opts.retries + 1))
+    }
+
+    /// One request/response round trip on the current connection.
+    fn roundtrip(&mut self, request: &Json) -> Result<Json, String> {
+        let conn = self.conn.as_mut().expect("ensure_conn ran");
+        write_frame(&mut conn.writer, request).map_err(|e| e.to_string())?;
+        let deadline = Instant::now() + Duration::from_millis(self.opts.response_timeout_ms.max(1));
+        loop {
+            match conn.reader.next_frame() {
+                Ok(line) => {
+                    return Json::parse(&line).map_err(|e| format!("bad response frame: {e}"))
+                }
+                Err(FrameError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "no response from {} within {} ms",
+                            self.opts.addr, self.opts.response_timeout_ms
+                        ));
+                    }
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+
+    /// Send `request`, returning the parsed response; reconnects (with
+    /// backoff) and replays the request when the connection drops.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message once the retry budget is exhausted.
+    pub fn call(&mut self, request: &Json) -> Result<Json, String> {
+        let mut last = String::new();
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                let delay = self.opts.backoff.delay_ms(attempt, &mut self.rng);
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            if let Err(e) = self.ensure_conn() {
+                last = e;
+                continue;
+            }
+            match self.roundtrip(request) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    // Anything that breaks the round trip invalidates the
+                    // stream; reconnect before the replay.
+                    self.conn = None;
+                    last = e;
+                }
+            }
+        }
+        Err(format!("{last} (after {} attempts)", self.opts.retries + 1))
+    }
+
+    /// Submit one job, honoring `queue full` backpressure with bounded
+    /// jittered retries. Returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// The server's structured rejection, or the backpressure budget
+    /// running out.
+    pub fn submit(&mut self, workload: &str, tiny: bool, sanitize: bool) -> Result<u64, String> {
+        let request = Json::obj(vec![
+            ("op", Json::Str("submit".into())),
+            ("workload", Json::Str(workload.into())),
+            ("tiny", Json::Bool(tiny)),
+            ("sanitize", Json::Bool(sanitize)),
+        ]);
+        let mut last = String::new();
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                let delay = self.opts.backoff.delay_ms(attempt, &mut self.rng);
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            let response = self.call(&request)?;
+            if matches!(response.get("ok"), Some(Json::Bool(true))) {
+                return response
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("submit response has no id: {response}"));
+            }
+            let error = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            if !error.starts_with(QUEUE_FULL) {
+                return Err(error);
+            }
+            last = error;
+        }
+        Err(format!(
+            "{last} (after {} backpressure retries)",
+            self.opts.retries
+        ))
+    }
+
+    /// Fetch the state of job `id` (`queued` / `running` / `done` /
+    /// `failed`) as the raw response object.
+    ///
+    /// # Errors
+    ///
+    /// The server's structured rejection or a transport failure.
+    pub fn result(&mut self, id: u64) -> Result<Json, String> {
+        let response = self.call(&Json::obj(vec![
+            ("op", Json::Str("result".into())),
+            ("id", Json::UInt(id)),
+        ]))?;
+        if matches!(response.get("ok"), Some(Json::Bool(true))) {
+            Ok(response)
+        } else {
+            Err(response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string())
+        }
+    }
+
+    /// Poll job `id` until it reaches `done` or `failed`, or `timeout`
+    /// elapses. Returns the terminal response object.
+    ///
+    /// # Errors
+    ///
+    /// A transport failure, a structured rejection, or the deadline.
+    pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<Json, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let response = self.result(id)?;
+            match response.get("state").and_then(Json::as_str) {
+                Some("done" | "failed") => return Ok(response),
+                _ => {
+                    if Instant::now() >= deadline {
+                        return Err(format!("job {id} did not finish within {timeout:?}"));
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    /// Fetch the server's status object.
+    ///
+    /// # Errors
+    ///
+    /// A transport failure or a structured rejection.
+    pub fn status(&mut self) -> Result<Json, String> {
+        self.call(&Json::obj(vec![("op", Json::Str("status".into()))]))
+    }
+
+    /// Request a graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// A transport failure.
+    pub fn shutdown(&mut self) -> Result<Json, String> {
+        self.call(&Json::obj(vec![("op", Json::Str("shutdown".into()))]))
+    }
+}

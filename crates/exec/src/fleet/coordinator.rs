@@ -1,0 +1,917 @@
+//! The fleet coordinator: `gcl coordinate --addr HOST:PORT`.
+//!
+//! One listener serves two populations. Workers dial in, send a `join`
+//! frame, and from then on hold a full-duplex connection over which the
+//! coordinator pushes `assign` frames and `ping` heartbeats and receives
+//! `done` / `fail` / `pong`. Clients speak the familiar single-node verbs
+//! (`submit` / `status` / `result` / `shutdown`); the first frame on a
+//! connection decides which role it plays.
+//!
+//! Supervision is two independent deadlines:
+//!
+//! * **Heartbeat.** Every [`CoordinatorOptions::heartbeat_ms`] the
+//!   coordinator pings each live worker; a worker whose last pong is older
+//!   than [`CoordinatorOptions::heartbeat_timeout_ms`] is declared dead
+//!   ([`WORKER_DEAD`]) and every lease it held returns to the front of the
+//!   queue. This catches crashes, partitions, and heartbeat loss alike.
+//! * **Lease.** Every assignment carries a deadline
+//!   ([`CoordinatorOptions::lease_ms`] out). A lease that expires —
+//!   typically a stalled worker — is reclaimed ([`LEASE_EXPIRED`]) and the
+//!   job reassigned, even if the worker still looks alive.
+//!
+//! Both paths give at-least-once execution; results are deduplicated by
+//! first-result-wins per job and by content-addressed cache key across
+//! submits, so duplicated work never changes an answer (see the
+//! [`crate::fleet`] module docs for the determinism argument).
+
+use crate::job::JobSpec;
+use crate::proto::{write_frame, FrameError, FrameReader};
+use crate::serve::{error_response, parse_submit, QUEUE_FULL};
+use gcl_sim::{fnv_fold, LaunchStats};
+use gcl_stats::{Accumulator, Json};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Reason logged when a heartbeat deadline declares a worker dead.
+pub const WORKER_DEAD: &str = "worker dead";
+
+/// Reason logged when a lease deadline reclaims a running job.
+pub const LEASE_EXPIRED: &str = "lease expired";
+
+/// How the coordinator runs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Address to bind, e.g. `127.0.0.1:7177` (port 0 picks a free port).
+    pub addr: String,
+    /// Maximum queued (not yet leased) jobs before submits are rejected
+    /// with [`QUEUE_FULL`] backpressure.
+    pub queue_cap: usize,
+    /// Lease duration per assignment; an expired lease is reassigned.
+    pub lease_ms: u64,
+    /// Ping interval for worker heartbeats.
+    pub heartbeat_ms: u64,
+    /// A worker whose last pong is older than this is dead.
+    pub heartbeat_timeout_ms: u64,
+    /// Largest frame accepted (result frames carry hex-encoded stats, so
+    /// this is larger than the single-node default).
+    pub max_frame: usize,
+    /// Per-connection write deadline.
+    pub write_timeout_ms: u64,
+    /// Print the per-worker outcome table on drain.
+    pub print_outcomes: bool,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> CoordinatorOptions {
+        CoordinatorOptions {
+            addr: "127.0.0.1:7177".to_string(),
+            queue_cap: 64,
+            lease_ms: 60_000,
+            heartbeat_ms: 500,
+            heartbeat_timeout_ms: 2_000,
+            max_frame: 1024 * 1024,
+            write_timeout_ms: 5_000,
+            print_outcomes: true,
+        }
+    }
+}
+
+/// A completed job's payload, as verified from a worker's `done` frame.
+#[derive(Debug, Clone)]
+struct FleetResult {
+    stats: LaunchStats,
+    wall_ms: f64,
+    cached: bool,
+    worker: String,
+}
+
+/// Lifecycle of one fleet job.
+#[derive(Debug)]
+enum FleetJobState {
+    Queued,
+    Leased { worker: usize, deadline: Instant },
+    Done(Box<FleetResult>),
+    Failed(String),
+}
+
+struct FleetJob {
+    spec: JobSpec,
+    key: u64,
+    state: FleetJobState,
+    /// Times this job has been assigned (> 1 means it was reassigned).
+    assigns: u64,
+    /// The worker that last held this job's lease. Rendezvous placement is
+    /// deterministic per (key, worker), so without anti-affinity a
+    /// reclaimed job would bounce back to the same straggler forever;
+    /// assignment avoids this worker whenever any other candidate exists.
+    last_worker: Option<usize>,
+}
+
+/// All jobs ever submitted, plus the dispatch queue and the cache-key
+/// dedup index.
+#[derive(Default)]
+struct JobTable {
+    map: HashMap<u64, FleetJob>,
+    /// Dispatch order; reclaimed jobs go to the *front* so recovery work
+    /// is not starved by a deep queue.
+    queue: VecDeque<u64>,
+    /// Cache key → job id: a resubmitted spec joins the existing job.
+    by_key: HashMap<u64, u64>,
+    next_id: u64,
+}
+
+/// One registered worker, live or dead.
+struct WorkerEntry {
+    name: String,
+    slots: usize,
+    /// Write half of the worker's connection; `None` once dead.
+    writer: Option<TcpStream>,
+    alive: bool,
+    last_pong: Instant,
+    last_ping: Instant,
+    ping_seq: u64,
+    /// Job ids currently leased to this worker.
+    leased: HashSet<u64>,
+    // Outcome counters for the drain-time table.
+    done: u64,
+    failed: u64,
+    corrupt: u64,
+    reassigned: u64,
+}
+
+/// Everything the accept loop, session handlers, and supervisor share.
+///
+/// Lock order: `jobs` before `workers`; never the reverse.
+struct CoordShared {
+    opts: CoordinatorOptions,
+    jobs: Mutex<JobTable>,
+    workers: Mutex<Vec<WorkerEntry>>,
+    draining: AtomicBool,
+    /// Set once the drain completes; accept and supervisor loops exit.
+    finished: AtomicBool,
+    /// Queue-depth samples, taken each supervisor tick.
+    depth: Mutex<Accumulator>,
+}
+
+/// A bound, not-yet-running coordinator. Binding is separated from running
+/// so callers (and tests) can learn the actual address before blocking.
+pub struct Coordinator {
+    listener: TcpListener,
+    shared: Arc<CoordShared>,
+}
+
+impl Coordinator {
+    /// Bind the listener and set up shared state.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message if the options are inconsistent or the
+    /// address cannot be bound.
+    pub fn bind(opts: CoordinatorOptions) -> Result<Coordinator, String> {
+        if opts.queue_cap == 0 {
+            return Err("coordinator needs a positive queue capacity".to_string());
+        }
+        if opts.lease_ms == 0 || opts.heartbeat_ms == 0 || opts.heartbeat_timeout_ms == 0 {
+            return Err("coordinator deadlines must be positive".to_string());
+        }
+        if opts.heartbeat_timeout_ms <= opts.heartbeat_ms {
+            return Err(format!(
+                "heartbeat timeout ({} ms) must exceed the ping interval ({} ms)",
+                opts.heartbeat_timeout_ms, opts.heartbeat_ms
+            ));
+        }
+        let listener =
+            TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+        let shared = Arc::new(CoordShared {
+            jobs: Mutex::new(JobTable::default()),
+            workers: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            depth: Mutex::new(Accumulator::default()),
+            opts,
+        });
+        Ok(Coordinator { listener, shared })
+    }
+
+    /// The actual bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message if the socket address cannot be read.
+    pub fn addr(&self) -> Result<std::net::SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))
+    }
+
+    /// Run until a `shutdown` request drains every job to a terminal
+    /// state. Blocks the calling thread; sessions and the supervisor run
+    /// on their own threads.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on listener failure.
+    pub fn run(self) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+        std::thread::scope(|scope| {
+            {
+                let shared = Arc::clone(&self.shared);
+                scope.spawn(move || supervisor_loop(&shared));
+            }
+            loop {
+                if self.shared.finished.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let shared = Arc::clone(&self.shared);
+                        scope.spawn(move || handle_session(stream, &shared));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => eprintln!("warning: accept failed: {e}"),
+                }
+            }
+        });
+        if self.shared.opts.print_outcomes {
+            print_outcome_table(&self.shared);
+        }
+        Ok(())
+    }
+}
+
+/// Print the per-worker outcome table a drain leaves behind: graceful
+/// degradation is only trustworthy when you can see who did what.
+fn print_outcome_table(shared: &CoordShared) {
+    let workers = shared.workers.lock().expect("workers poisoned");
+    eprintln!("fleet outcome ({} workers):", workers.len());
+    eprintln!("  worker            state  done  failed  corrupt  reassigned");
+    for w in workers.iter() {
+        eprintln!(
+            "  {:<16} {:>6}  {:>4}  {:>6}  {:>7}  {:>10}",
+            w.name,
+            if w.alive { "alive" } else { "dead" },
+            w.done,
+            w.failed,
+            w.corrupt,
+            w.reassigned
+        );
+    }
+    let depth = shared.depth.lock().expect("depth poisoned");
+    if depth.count > 0 {
+        eprintln!(
+            "  queue depth: mean {:.1}, max {:.0} over {} samples",
+            depth.mean(),
+            depth.max,
+            depth.count
+        );
+    }
+}
+
+/// Declare worker `idx` dead for `reason`: tear down its socket, return
+/// every lease it held to the front of the queue. Caller holds both locks
+/// (jobs first).
+fn mark_dead(jobs: &mut JobTable, workers: &mut [WorkerEntry], idx: usize, reason: &str) {
+    let w = &mut workers[idx];
+    if !w.alive {
+        return;
+    }
+    w.alive = false;
+    if let Some(writer) = w.writer.take() {
+        let _ = writer.shutdown(Shutdown::Both);
+    }
+    let leases: Vec<u64> = w.leased.drain().collect();
+    if !leases.is_empty() {
+        eprintln!(
+            "fleet: {reason}: `{}` loses {} lease(s), reassigning",
+            w.name,
+            leases.len()
+        );
+    } else {
+        eprintln!("fleet: {reason}: `{}`", w.name);
+    }
+    for id in leases {
+        w.reassigned += 1;
+        requeue_front(jobs, id);
+    }
+}
+
+/// Return a leased job to the front of the queue (if it has not already
+/// reached a terminal state through a late result).
+fn requeue_front(jobs: &mut JobTable, id: u64) {
+    if let Some(job) = jobs.map.get_mut(&id) {
+        if matches!(job.state, FleetJobState::Leased { .. }) {
+            job.state = FleetJobState::Queued;
+            jobs.queue.push_front(id);
+        }
+    }
+}
+
+/// The supervisor: heartbeats, deadline enforcement, assignment, drain.
+fn supervisor_loop(shared: &Arc<CoordShared>) {
+    let tick = Duration::from_millis(20);
+    loop {
+        if shared.finished.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        {
+            let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+            let mut workers = shared.workers.lock().expect("workers poisoned");
+
+            // Heartbeats: ping on schedule, bury on deadline.
+            let hb = Duration::from_millis(shared.opts.heartbeat_ms);
+            let hb_timeout = Duration::from_millis(shared.opts.heartbeat_timeout_ms);
+            for idx in 0..workers.len() {
+                if !workers[idx].alive {
+                    continue;
+                }
+                if now.duration_since(workers[idx].last_pong) > hb_timeout {
+                    mark_dead(&mut jobs, &mut workers, idx, WORKER_DEAD);
+                    continue;
+                }
+                if now.duration_since(workers[idx].last_ping) >= hb {
+                    workers[idx].ping_seq += 1;
+                    let seq = workers[idx].ping_seq;
+                    workers[idx].last_ping = now;
+                    let ping = Json::obj(vec![
+                        ("op", Json::Str("ping".into())),
+                        ("seq", Json::UInt(seq)),
+                    ]);
+                    if send_to_worker(&mut workers[idx], &ping).is_err() {
+                        mark_dead(&mut jobs, &mut workers, idx, WORKER_DEAD);
+                    }
+                }
+            }
+
+            // Leases: reclaim expired ones even from live workers — a
+            // straggler keeps its connection but loses the job.
+            let expired: Vec<(u64, usize)> = jobs
+                .map
+                .iter()
+                .filter_map(|(id, job)| match job.state {
+                    FleetJobState::Leased { worker, deadline } if now >= deadline => {
+                        Some((*id, worker))
+                    }
+                    _ => None,
+                })
+                .collect();
+            for (id, widx) in expired {
+                if let Some(w) = workers.get_mut(widx) {
+                    w.leased.remove(&id);
+                    w.reassigned += 1;
+                    eprintln!(
+                        "fleet: {LEASE_EXPIRED}: job {id} reclaimed from `{}`",
+                        w.name
+                    );
+                }
+                requeue_front(&mut jobs, id);
+            }
+
+            // Assignment: shard the queue across live workers with free
+            // slots, rendezvous-hashing on the content-addressed key so
+            // placement is deterministic for a fixed fleet.
+            let mut stuck = VecDeque::new();
+            while let Some(id) = jobs.queue.pop_front() {
+                let Some(job) = jobs.map.get(&id) else {
+                    continue;
+                };
+                if !matches!(job.state, FleetJobState::Queued) {
+                    continue;
+                }
+                let key = job.key;
+                let avoid = job.last_worker;
+                let free =
+                    |w: &WorkerEntry| w.alive && w.writer.is_some() && w.leased.len() < w.slots;
+                let candidates: Vec<usize> = workers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| free(w))
+                    .map(|(widx, _)| widx)
+                    .collect();
+                let chosen = candidates
+                    .iter()
+                    .copied()
+                    // Anti-affinity: never hand a reclaimed job straight
+                    // back to the worker it was just taken from, unless it
+                    // is the only one left.
+                    .filter(|widx| candidates.len() == 1 || Some(*widx) != avoid)
+                    .max_by_key(|widx| fnv_fold(key, *widx as u64));
+                let Some(widx) = chosen else {
+                    // No capacity (or no fleet yet): hold the job.
+                    stuck.push_back(id);
+                    continue;
+                };
+                let job = jobs.map.get_mut(&id).expect("job exists");
+                let assign = Json::obj(vec![
+                    ("op", Json::Str("assign".into())),
+                    ("job", Json::UInt(id)),
+                    ("workload", Json::Str(job.spec.workload.clone())),
+                    ("tiny", Json::Bool(job.spec.tiny)),
+                    ("sanitize", Json::Bool(job.spec.cfg.sanitize)),
+                ]);
+                if send_to_worker(&mut workers[widx], &assign).is_err() {
+                    mark_dead(&mut jobs, &mut workers, widx, WORKER_DEAD);
+                    // mark_dead may have requeued other jobs; this one is
+                    // still ours to put back.
+                    jobs.queue.push_front(id);
+                    continue;
+                }
+                let job = jobs.map.get_mut(&id).expect("job exists");
+                job.assigns += 1;
+                job.last_worker = Some(widx);
+                job.state = FleetJobState::Leased {
+                    worker: widx,
+                    deadline: now + Duration::from_millis(shared.opts.lease_ms),
+                };
+                workers[widx].leased.insert(id);
+            }
+            // Jobs with nowhere to go wait at the front, in order.
+            for id in stuck.into_iter().rev() {
+                jobs.queue.push_front(id);
+            }
+
+            shared
+                .depth
+                .lock()
+                .expect("depth poisoned")
+                .add(jobs.queue.len() as f64);
+
+            // Drain: once every job is terminal, dismiss the fleet.
+            if shared.draining.load(Ordering::SeqCst) {
+                let all_terminal = jobs
+                    .map
+                    .values()
+                    .all(|j| matches!(j.state, FleetJobState::Done(_) | FleetJobState::Failed(_)));
+                if all_terminal {
+                    let close = Json::obj(vec![("op", Json::Str("close".into()))]);
+                    for w in workers.iter_mut() {
+                        if w.alive {
+                            let _ = send_to_worker(w, &close);
+                        }
+                        if let Some(writer) = w.writer.take() {
+                            let _ = writer.shutdown(Shutdown::Both);
+                        }
+                    }
+                    shared.finished.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+fn send_to_worker(worker: &mut WorkerEntry, frame: &Json) -> Result<(), FrameError> {
+    let Some(writer) = worker.writer.as_mut() else {
+        return Err(FrameError::Closed);
+    };
+    write_frame(writer, frame)
+}
+
+/// First frame decides the role: `join` starts a worker session, anything
+/// else is a client request.
+fn handle_session(stream: TcpStream, shared: &Arc<CoordShared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+        shared.opts.write_timeout_ms.max(1),
+    )));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("warning: connection clone failed: {e}");
+            return;
+        }
+    };
+    let mut reader = FrameReader::new(stream, shared.opts.max_frame);
+    let first = loop {
+        match reader.next_frame() {
+            Ok(line) => break line,
+            Err(FrameError::Timeout) => {
+                if shared.finished.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(FrameError::TooLarge { limit }) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &error_response(format!("frame too large (cap {limit} bytes)")),
+                );
+                return;
+            }
+            Err(_) => return,
+        }
+    };
+    let request = match Json::parse(&first) {
+        Ok(j) => j,
+        Err(e) => {
+            let _ = write_frame(&mut writer, &error_response(format!("bad request: {e}")));
+            return;
+        }
+    };
+    if request.get("op").and_then(Json::as_str) == Some("join") {
+        worker_session(&request, reader, writer, shared);
+    } else {
+        client_session(&request, reader, writer, shared);
+    }
+}
+
+/// Register the worker and relay its frames until the connection ends.
+fn worker_session(
+    join: &Json,
+    mut reader: FrameReader<TcpStream>,
+    mut writer: TcpStream,
+    shared: &Arc<CoordShared>,
+) {
+    let name = join
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("worker")
+        .to_string();
+    let slots = join.get("slots").and_then(Json::as_u64).unwrap_or(1).max(1) as usize;
+    if shared.draining.load(Ordering::SeqCst) {
+        let _ = write_frame(&mut writer, &error_response("coordinator is draining"));
+        return;
+    }
+    let idx = {
+        let mut workers = shared.workers.lock().expect("workers poisoned");
+        let now = Instant::now();
+        workers.push(WorkerEntry {
+            name: name.clone(),
+            slots,
+            writer: Some(match writer.try_clone() {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("warning: worker stream clone failed: {e}");
+                    return;
+                }
+            }),
+            alive: true,
+            last_pong: now,
+            last_ping: now,
+            ping_seq: 0,
+            leased: HashSet::new(),
+            done: 0,
+            failed: 0,
+            corrupt: 0,
+            reassigned: 0,
+        });
+        workers.len() - 1
+    };
+    eprintln!("fleet: worker `{name}` joined with {slots} slot(s)");
+    if write_frame(&mut writer, &Json::obj(vec![("ok", Json::Bool(true))])).is_err() {
+        let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+        let mut workers = shared.workers.lock().expect("workers poisoned");
+        mark_dead(&mut jobs, &mut workers, idx, WORKER_DEAD);
+        return;
+    }
+    loop {
+        let line = match reader.next_frame() {
+            Ok(line) => line,
+            Err(FrameError::Timeout) => {
+                if shared.finished.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            // EOF or transport error: the worker is gone. (TooLarge from a
+            // worker means a result overflow — same recovery: bury it.)
+            Err(_) => {
+                let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+                let mut workers = shared.workers.lock().expect("workers poisoned");
+                mark_dead(&mut jobs, &mut workers, idx, WORKER_DEAD);
+                return;
+            }
+        };
+        let Ok(frame) = Json::parse(&line) else {
+            continue;
+        };
+        match frame.get("op").and_then(Json::as_str) {
+            Some("pong") => {
+                let mut workers = shared.workers.lock().expect("workers poisoned");
+                if let Some(w) = workers.get_mut(idx) {
+                    w.last_pong = Instant::now();
+                }
+            }
+            Some("done") => handle_done(&frame, idx, shared),
+            Some("fail") => handle_fail(&frame, idx, shared),
+            _ => {}
+        }
+    }
+}
+
+/// Verify and record a worker's `done` frame. A bad checksum or an
+/// undecodable payload is treated exactly like a lost worker's job: the
+/// corruption is counted and the job reassigned.
+fn handle_done(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
+    let Some(id) = frame.get("job").and_then(Json::as_u64) else {
+        return;
+    };
+    let verified = verify_result(frame);
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let mut workers = shared.workers.lock().expect("workers poisoned");
+    if let Some(w) = workers.get_mut(idx) {
+        w.leased.remove(&id);
+    }
+    let Some(job) = jobs.map.get_mut(&id) else {
+        return;
+    };
+    match verified {
+        Ok((stats, wall_ms, cached)) => {
+            // First result wins; a duplicate from a reassigned job carries
+            // identical bytes (the run is a pure function of the spec), so
+            // dropping it is sound.
+            if matches!(
+                job.state,
+                FleetJobState::Leased { .. } | FleetJobState::Queued
+            ) {
+                let worker_name = workers
+                    .get(idx)
+                    .map_or_else(String::new, |w| w.name.clone());
+                job.state = FleetJobState::Done(Box::new(FleetResult {
+                    stats,
+                    wall_ms,
+                    cached,
+                    worker: worker_name,
+                }));
+                // It may have been requeued by a pessimistic deadline;
+                // drop the stale queue entry lazily (assignment skips
+                // non-Queued ids).
+                if let Some(w) = workers.get_mut(idx) {
+                    w.done += 1;
+                }
+            }
+        }
+        Err(why) => {
+            eprintln!("fleet: corrupt result for job {id}: {why}; reassigning");
+            if let Some(w) = workers.get_mut(idx) {
+                w.corrupt += 1;
+                w.reassigned += 1;
+            }
+            requeue_front(&mut jobs, id);
+        }
+    }
+}
+
+/// Decode and checksum-verify the `stats` payload of a `done` frame.
+fn verify_result(frame: &Json) -> Result<(LaunchStats, f64, bool), String> {
+    let hex = frame
+        .get("stats")
+        .and_then(Json::as_str)
+        .ok_or("missing stats payload")?;
+    let sum_text = frame
+        .get("sum")
+        .and_then(Json::as_str)
+        .ok_or("missing checksum")?;
+    let stats = super::decode_stats_payload(hex, sum_text)?;
+    let wall_ms = frame.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let cached = frame.get("cached").and_then(Json::as_bool).unwrap_or(false);
+    Ok((stats, wall_ms, cached))
+}
+
+/// Record a worker's structured `fail` frame. Failures are deterministic
+/// (the simulation is a pure function of the spec), so a failed job is
+/// terminal — rerunning it elsewhere would fail identically.
+fn handle_fail(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
+    let Some(id) = frame.get("job").and_then(Json::as_u64) else {
+        return;
+    };
+    let error = frame
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown error")
+        .to_string();
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let mut workers = shared.workers.lock().expect("workers poisoned");
+    if let Some(w) = workers.get_mut(idx) {
+        w.leased.remove(&id);
+    }
+    if let Some(job) = jobs.map.get_mut(&id) {
+        if matches!(
+            job.state,
+            FleetJobState::Leased { .. } | FleetJobState::Queued
+        ) {
+            job.state = FleetJobState::Failed(error);
+            if let Some(w) = workers.get_mut(idx) {
+                w.failed += 1;
+            }
+        }
+    }
+}
+
+/// Serve client verbs on this connection until EOF or drain.
+fn client_session(
+    first: &Json,
+    mut reader: FrameReader<TcpStream>,
+    mut writer: TcpStream,
+    shared: &Arc<CoordShared>,
+) {
+    let mut request = first.clone();
+    loop {
+        let response = handle_client_request(&request, shared);
+        if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+        request = loop {
+            match reader.next_frame() {
+                Ok(line) => match Json::parse(&line) {
+                    Ok(j) => break j,
+                    Err(e) => {
+                        if write_frame(&mut writer, &error_response(format!("bad request: {e}")))
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                },
+                Err(FrameError::Timeout) => {
+                    if shared.finished.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(FrameError::TooLarge { limit }) => {
+                    let _ = write_frame(
+                        &mut writer,
+                        &error_response(format!("frame too large (cap {limit} bytes)")),
+                    );
+                    return;
+                }
+                Err(_) => return,
+            }
+        };
+    }
+}
+
+fn handle_client_request(request: &Json, shared: &Arc<CoordShared>) -> Json {
+    match request.get("op").and_then(Json::as_str) {
+        Some("submit") => handle_submit(request, shared),
+        Some("status") => handle_status(shared),
+        Some("result") => handle_result(request, shared),
+        Some("shutdown") => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let pending = {
+                let jobs = shared.jobs.lock().expect("jobs poisoned");
+                jobs.queue.len()
+            };
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("draining", Json::Bool(true)),
+                ("pending", Json::UInt(pending as u64)),
+            ])
+        }
+        Some(other) => error_response(format!(
+            "unknown op `{other}` (expected submit, status, result, shutdown)"
+        )),
+        None => error_response("missing `op` field"),
+    }
+}
+
+fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
+    if shared.draining.load(Ordering::SeqCst) {
+        return error_response("coordinator is draining (shutdown requested)");
+    }
+    let spec = match parse_submit(request) {
+        Ok(spec) => spec,
+        Err(e) => return error_response(e),
+    };
+    let key = match spec.fingerprint() {
+        Ok(fp) => fp.key(),
+        Err(e) => return error_response(e.to_string()),
+    };
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    // Dedup by content-addressed key: a resubmit of the same spec joins
+    // the existing job (unless that job failed — a client retrying a
+    // failure deserves a fresh attempt).
+    if let Some(&existing) = jobs.by_key.get(&key) {
+        if let Some(job) = jobs.map.get(&existing) {
+            if !matches!(job.state, FleetJobState::Failed(_)) {
+                return Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::UInt(existing)),
+                    ("deduped", Json::Bool(true)),
+                ]);
+            }
+        }
+    }
+    if jobs.queue.len() >= shared.opts.queue_cap {
+        return error_response(format!(
+            "{QUEUE_FULL} ({} pending, cap {})",
+            jobs.queue.len(),
+            shared.opts.queue_cap
+        ));
+    }
+    jobs.next_id += 1;
+    let id = jobs.next_id;
+    jobs.map.insert(
+        id,
+        FleetJob {
+            spec,
+            key,
+            state: FleetJobState::Queued,
+            assigns: 0,
+            last_worker: None,
+        },
+    );
+    jobs.queue.push_back(id);
+    jobs.by_key.insert(key, id);
+    Json::obj(vec![("ok", Json::Bool(true)), ("id", Json::UInt(id))])
+}
+
+fn count_states(jobs: &MutexGuard<'_, JobTable>) -> (u64, u64, u64, u64) {
+    let (mut queued, mut running, mut done, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for job in jobs.map.values() {
+        match job.state {
+            FleetJobState::Queued => queued += 1,
+            FleetJobState::Leased { .. } => running += 1,
+            FleetJobState::Done(_) => done += 1,
+            FleetJobState::Failed(_) => failed += 1,
+        }
+    }
+    (queued, running, done, failed)
+}
+
+fn handle_status(shared: &Arc<CoordShared>) -> Json {
+    let jobs = shared.jobs.lock().expect("jobs poisoned");
+    let workers = shared.workers.lock().expect("workers poisoned");
+    let (queued, running, done, failed) = count_states(&jobs);
+    let worker_rows = workers
+        .iter()
+        .map(|w| {
+            Json::obj(vec![
+                ("name", Json::Str(w.name.clone())),
+                ("alive", Json::Bool(w.alive)),
+                ("slots", Json::UInt(w.slots as u64)),
+                ("leased", Json::UInt(w.leased.len() as u64)),
+                ("done", Json::UInt(w.done)),
+                ("failed", Json::UInt(w.failed)),
+                ("corrupt", Json::UInt(w.corrupt)),
+                ("reassigned", Json::UInt(w.reassigned)),
+            ])
+        })
+        .collect();
+    let depth = shared.depth.lock().expect("depth poisoned");
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("queue_depth", Json::UInt(jobs.queue.len() as u64)),
+        (
+            "draining",
+            Json::Bool(shared.draining.load(Ordering::SeqCst)),
+        ),
+        (
+            "jobs",
+            Json::obj(vec![
+                ("queued", Json::UInt(queued)),
+                ("running", Json::UInt(running)),
+                ("done", Json::UInt(done)),
+                ("failed", Json::UInt(failed)),
+            ]),
+        ),
+        ("workers", Json::Arr(worker_rows)),
+        ("queue_depth_stats", depth.to_json()),
+    ])
+}
+
+fn handle_result(request: &Json, shared: &Arc<CoordShared>) -> Json {
+    let Some(id) = request.get("id").and_then(Json::as_u64) else {
+        return error_response("result needs a numeric `id` field");
+    };
+    let jobs = shared.jobs.lock().expect("jobs poisoned");
+    let Some(job) = jobs.map.get(&id) else {
+        return error_response(format!("no job with id {id}"));
+    };
+    let mut fields = vec![("ok", Json::Bool(true)), ("id", Json::UInt(id))];
+    match &job.state {
+        FleetJobState::Queued => fields.push(("state", Json::Str("queued".into()))),
+        FleetJobState::Leased { .. } => fields.push(("state", Json::Str("running".into()))),
+        FleetJobState::Failed(msg) => {
+            fields.push(("state", Json::Str("failed".into())));
+            fields.push(("error", Json::Str(msg.clone())));
+        }
+        FleetJobState::Done(result) => {
+            let (hex, sum) = super::encode_stats_payload(&result.stats);
+            fields.push(("state", Json::Str("done".into())));
+            fields.push(("workload", Json::Str(job.spec.workload.clone())));
+            fields.push(("cached", Json::Bool(result.cached)));
+            fields.push(("cycles", Json::UInt(result.stats.cycles)));
+            fields.push(("warp_insts", Json::UInt(result.stats.sm.warp_insts)));
+            fields.push(("wall_ms", Json::Float(result.wall_ms)));
+            fields.push((
+                "digest",
+                match result.stats.digest {
+                    Some(d) => Json::Str(format!("0x{d:016x}")),
+                    None => Json::Null,
+                },
+            ));
+            fields.push(("worker", Json::Str(result.worker.clone())));
+            fields.push(("assigns", Json::UInt(job.assigns)));
+            fields.push(("stats", Json::Str(hex)));
+            fields.push(("sum", Json::Str(sum)));
+        }
+    }
+    Json::obj(fields)
+}

@@ -1,0 +1,127 @@
+//! Chaos injection for the fleet, mirroring simsan's `SanInject`.
+//!
+//! Each field induces one distributed-systems failure mode on the *worker*
+//! side, so tests (and operators running game days) can prove the
+//! coordinator detects and recovers from it. All hooks are always
+//! compiled; a default [`FleetInject`] is inert.
+
+/// Worker-side fault injection. One field per failure class in the chaos
+/// matrix; see the module docs of [`crate::fleet`] for the recovery story
+/// each mode exercises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetInject {
+    /// Stop answering coordinator pings (the worker otherwise keeps
+    /// running jobs). Detected by the pong deadline; the worker is marked
+    /// dead and its leases reassigned.
+    pub drop_heartbeat: bool,
+    /// Sleep this long before starting every job, while holding its lease.
+    /// Detected by lease expiry; the job is reassigned to a faster worker
+    /// and the straggler's late result is deduplicated away.
+    pub stall_ms: u64,
+    /// Die abruptly — socket torn down mid-job, no result sent — when the
+    /// N-th assignment (1-based) arrives, like `kill -9`. Detected by EOF;
+    /// leases reassigned.
+    pub kill_after_assigns: Option<u64>,
+    /// Corrupt the payload of the first N result frames (the checksum
+    /// still describes the honest bytes). Detected by the coordinator's
+    /// frame checksum; the job is reassigned.
+    pub corrupt_results: u64,
+    /// Go silent — stop reading and writing, socket left open — this many
+    /// milliseconds after joining, as if the network partitioned. Detected
+    /// by the pong deadline (EOF never comes).
+    pub partition_after_ms: Option<u64>,
+    /// How long a partitioned worker holds its silent socket open before
+    /// exiting (long enough for the coordinator's deadline to fire).
+    pub partition_hold_ms: u64,
+}
+
+impl Default for FleetInject {
+    fn default() -> FleetInject {
+        FleetInject {
+            drop_heartbeat: false,
+            stall_ms: 0,
+            kill_after_assigns: None,
+            corrupt_results: 0,
+            partition_after_ms: None,
+            partition_hold_ms: 3_000,
+        }
+    }
+}
+
+impl FleetInject {
+    /// An inert injector (the default).
+    pub fn none() -> FleetInject {
+        FleetInject::default()
+    }
+
+    /// True when no fault is armed.
+    pub fn is_clean(&self) -> bool {
+        *self == FleetInject::default()
+    }
+
+    /// Parse a comma-separated chaos spec, e.g.
+    /// `drop-heartbeat,stall=500,kill-after=2,corrupt=1,partition-after=100`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the unknown or malformed directive.
+    pub fn parse(spec: &str) -> Result<FleetInject, String> {
+        let mut inject = FleetInject::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
+            let (name, value) = match part.split_once('=') {
+                Some((n, v)) => (n, Some(v)),
+                None => (part, None),
+            };
+            let ms = |v: Option<&str>| -> Result<u64, String> {
+                v.ok_or_else(|| format!("`{name}` needs =N"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("`{part}`: {e}"))
+            };
+            match name {
+                "drop-heartbeat" => inject.drop_heartbeat = true,
+                "stall" => inject.stall_ms = ms(value)?,
+                "kill-after" => inject.kill_after_assigns = Some(ms(value)?.max(1)),
+                "corrupt" => inject.corrupt_results = ms(value)?,
+                "partition-after" => inject.partition_after_ms = Some(ms(value)?),
+                "partition-hold" => inject.partition_hold_ms = ms(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown chaos directive `{other}` (expected drop-heartbeat, \
+                         stall=MS, kill-after=N, corrupt=N, partition-after=MS, \
+                         partition-hold=MS)"
+                    ))
+                }
+            }
+        }
+        Ok(inject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean_and_parse_round_trips() {
+        assert!(FleetInject::none().is_clean());
+        let inject = FleetInject::parse("drop-heartbeat,stall=500,kill-after=2,corrupt=1").unwrap();
+        assert!(inject.drop_heartbeat);
+        assert_eq!(inject.stall_ms, 500);
+        assert_eq!(inject.kill_after_assigns, Some(2));
+        assert_eq!(inject.corrupt_results, 1);
+        assert!(inject.partition_after_ms.is_none());
+        assert!(!inject.is_clean());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_malformed_directives() {
+        assert!(FleetInject::parse("explode").is_err());
+        assert!(FleetInject::parse("stall").is_err());
+        assert!(FleetInject::parse("stall=abc").is_err());
+        assert!(FleetInject::parse("").unwrap().is_clean());
+        let p = FleetInject::parse("partition-after=100,partition-hold=250").unwrap();
+        assert_eq!(p.partition_after_ms, Some(100));
+        assert_eq!(p.partition_hold_ms, 250);
+    }
+}

@@ -1,0 +1,90 @@
+//! Fleet mode: a coordinator supervising N serve workers.
+//!
+//! `gcl coordinate` turns the single-node job engine into a fault-tolerant
+//! fleet. Workers dial in with `gcl serve --join COORD:PORT` and hold one
+//! full-duplex NDJSON connection each; clients speak the familiar
+//! `submit` / `status` / `result` / `shutdown` verbs to the same port. The
+//! coordinator shards queued jobs across workers by content-addressed
+//! cache key, supervises them with heartbeats (ping/pong with a pong
+//! deadline) and per-job leases, and reassigns work from dead, partitioned
+//! or stalled workers — at-least-once execution whose results are deduped
+//! by cache key, so reassignment can never change an answer (each result
+//! is a pure function of its spec; the sanitizer's digest audit proves
+//! it). A sweep through the fleet is digest-identical to `gcl suite -j1`.
+//!
+//! The failure matrix is exercised, not hoped for: [`FleetInject`] is the
+//! fleet's chaos layer (mirroring simsan's `SanInject`), with one injected
+//! mode per failure class — drop-heartbeat, stall-worker, kill-mid-job,
+//! corrupt-result-frame, partition — and one test per mode proving both
+//! detection and recovery.
+
+mod coordinator;
+mod inject;
+mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorOptions, LEASE_EXPIRED, WORKER_DEAD};
+pub use inject::FleetInject;
+pub use worker::{run_worker, WorkerOptions, WorkerReport};
+
+use crate::proto::{hex_decode, hex_encode};
+use gcl_mem::{Dec, Enc};
+use gcl_sim::{fnv_fold_bytes, LaunchStats, FNV_OFFSET};
+
+/// Encode a result payload for the wire: the complete wire-format
+/// [`LaunchStats`] as hex, plus an FNV checksum over the bytes. The
+/// checksum is what lets the coordinator (and `suite --fleet` clients)
+/// reject a corrupted frame instead of recording a wrong result.
+pub fn encode_stats_payload(stats: &LaunchStats) -> (String, String) {
+    let mut enc = Enc::new();
+    stats.ckpt_encode(&mut enc);
+    let bytes = enc.into_bytes();
+    let sum = fnv_fold_bytes(FNV_OFFSET, &bytes);
+    (hex_encode(&bytes), format!("0x{sum:016x}"))
+}
+
+/// Decode and checksum-verify a result payload produced by
+/// [`encode_stats_payload`].
+///
+/// # Errors
+///
+/// A human-readable message on a checksum mismatch, bad hex, or an
+/// undecodable stats body — all treated by callers as frame corruption.
+pub fn decode_stats_payload(hex: &str, sum_text: &str) -> Result<LaunchStats, String> {
+    let sum = u64::from_str_radix(sum_text.trim_start_matches("0x"), 16)
+        .map_err(|e| format!("bad checksum field: {e}"))?;
+    let bytes = hex_decode(hex)?;
+    let actual = fnv_fold_bytes(FNV_OFFSET, &bytes);
+    if actual != sum {
+        return Err(format!(
+            "checksum mismatch (frame says 0x{sum:016x}, payload folds to 0x{actual:016x})"
+        ));
+    }
+    let mut dec = Dec::new(&bytes);
+    let stats =
+        LaunchStats::ckpt_decode(&mut dec).map_err(|e| format!("undecodable stats: {e}"))?;
+    if !dec.is_done() {
+        return Err("trailing bytes after stats payload".to_string());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod payload_tests {
+    use super::*;
+
+    #[test]
+    fn stats_payload_round_trips_and_detects_corruption() {
+        let stats = LaunchStats::default();
+        let (hex, sum) = encode_stats_payload(&stats);
+        let back = decode_stats_payload(&hex, &sum).unwrap();
+        assert_eq!(back, stats);
+        // Flip one payload byte: the checksum must catch it.
+        let mut corrupt = hex.into_bytes();
+        corrupt[0] = if corrupt[0] == b'0' { b'1' } else { b'0' };
+        let corrupt = String::from_utf8(corrupt).unwrap();
+        let err = decode_stats_payload(&corrupt, &sum).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(decode_stats_payload("zz", &sum).is_err());
+        assert!(decode_stats_payload("", "0xnope").is_err());
+    }
+}

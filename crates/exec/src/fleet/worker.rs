@@ -1,0 +1,325 @@
+//! The worker side of fleet mode: `gcl serve --join COORD:PORT`.
+//!
+//! A worker dials the coordinator (capped-backoff retry on connect),
+//! introduces itself with a `join` frame, and then serves one full-duplex
+//! NDJSON connection: it answers `ping` with `pong`, runs every `assign`
+//! on one of its runner threads (consulting the shared result cache when
+//! configured), and reports `done`/`fail` frames. The result payload is
+//! the complete wire-encoded `LaunchStats` plus an FNV checksum over the
+//! honest bytes, so the coordinator can tell a corrupt frame from a valid
+//! one.
+//!
+//! All [`FleetInject`] chaos modes act here — the worker is the component
+//! that fails in production, so it is the component the chaos layer
+//! breaks.
+
+use super::inject::FleetInject;
+use crate::cache::ResultCache;
+use crate::job::run_job;
+use crate::proto::{write_frame, FrameError, FrameReader, MAX_FRAME};
+use crate::serve::parse_submit;
+use gcl_rng::{backoff::Backoff, Rng};
+use gcl_stats::Json;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a worker joins and runs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address, `HOST:PORT`.
+    pub coord: String,
+    /// Name reported in the coordinator's per-worker outcome table.
+    pub name: String,
+    /// Concurrent jobs this worker runs (its advertised lease capacity).
+    pub slots: usize,
+    /// Consult (and fill) this result cache.
+    pub cache: Option<ResultCache>,
+    /// Chaos injection (inert by default).
+    pub inject: FleetInject,
+    /// Extra connect attempts before giving up on the coordinator.
+    pub connect_retries: u64,
+    /// Backoff policy between connect attempts.
+    pub backoff: Backoff,
+    /// Seed for the backoff jitter stream.
+    pub seed: u64,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> WorkerOptions {
+        WorkerOptions {
+            coord: "127.0.0.1:7177".to_string(),
+            name: "worker".to_string(),
+            slots: 1,
+            cache: None,
+            inject: FleetInject::none(),
+            connect_retries: 8,
+            backoff: Backoff::default(),
+            seed: 0x0077_726b, // "wrk"
+        }
+    }
+}
+
+/// What a worker did before its connection ended.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Jobs this worker completed (successfully or with a structured
+    /// failure) and reported.
+    pub jobs_run: u64,
+    /// The kill-mid-job injection fired.
+    pub killed: bool,
+    /// The partition injection fired.
+    pub partitioned: bool,
+}
+
+/// Everything runner threads share with the reader loop.
+struct WorkerState {
+    writer: Mutex<TcpStream>,
+    /// Suppress all writes: a partitioned or killed worker is silent.
+    silent: AtomicBool,
+    jobs_run: AtomicU64,
+    corrupt_budget: AtomicU64,
+    cache: Option<ResultCache>,
+    inject: FleetInject,
+    /// A second handle on the socket so a runner can tear it down abruptly
+    /// (the kill-mid-job injection).
+    sock: TcpStream,
+}
+
+fn dial(opts: &WorkerOptions, rng: &mut Rng) -> Result<TcpStream, String> {
+    let mut last = String::new();
+    for attempt in 0..=opts.connect_retries {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(opts.backoff.delay_ms(attempt, rng)));
+        }
+        match TcpStream::connect(&opts.coord) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = format!("cannot reach coordinator {}: {e}", opts.coord),
+        }
+    }
+    Err(format!(
+        "{last} (after {} attempts)",
+        opts.connect_retries + 1
+    ))
+}
+
+/// Join the coordinator at `opts.coord` and serve assignments until the
+/// coordinator closes the connection (or a chaos injection ends the worker
+/// first). Returns what happened, for tests and CLI logging.
+///
+/// # Errors
+///
+/// A human-readable message when the coordinator cannot be reached or the
+/// join handshake fails.
+pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, String> {
+    let mut rng = Rng::new(opts.seed);
+    let stream = dial(&opts, &mut rng)?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .map_err(|e| format!("cannot set read deadline: {e}"))?;
+    stream
+        .set_write_timeout(Some(Duration::from_millis(2_000)))
+        .map_err(|e| format!("cannot set write deadline: {e}"))?;
+    let writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    let sock = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    let mut reader = FrameReader::new(stream, MAX_FRAME);
+
+    // Handshake: introduce ourselves, wait (bounded) for the ack.
+    let state = WorkerState {
+        writer: Mutex::new(writer),
+        silent: AtomicBool::new(false),
+        jobs_run: AtomicU64::new(0),
+        corrupt_budget: AtomicU64::new(opts.inject.corrupt_results),
+        cache: opts.cache.clone(),
+        inject: opts.inject.clone(),
+        sock,
+    };
+    {
+        let mut w = state.writer.lock().expect("writer poisoned");
+        write_frame(
+            &mut *w,
+            &Json::obj(vec![
+                ("op", Json::Str("join".into())),
+                ("name", Json::Str(opts.name.clone())),
+                ("slots", Json::UInt(opts.slots.max(1) as u64)),
+            ]),
+        )
+        .map_err(|e| format!("join failed: {e}"))?;
+    }
+    let ack_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match reader.next_frame() {
+            Ok(line) => {
+                let ack = Json::parse(&line).map_err(|e| format!("bad join ack: {e}"))?;
+                if !matches!(ack.get("ok"), Some(Json::Bool(true))) {
+                    return Err(format!("coordinator refused join: {ack}"));
+                }
+                break;
+            }
+            Err(FrameError::Timeout) => {
+                if Instant::now() >= ack_deadline {
+                    return Err("coordinator never acknowledged join".to_string());
+                }
+            }
+            Err(e) => return Err(format!("join failed: {e}")),
+        }
+    }
+
+    // Serve: the main thread reads frames; `slots` runner threads execute
+    // assignments pulled off a local channel.
+    let (tx, rx) = mpsc::channel::<Assignment>();
+    let rx = Mutex::new(rx);
+    let killed = AtomicBool::new(false);
+    let mut partitioned = false;
+    let started = Instant::now();
+    let mut assigns = 0u64;
+    std::thread::scope(|scope| {
+        for _ in 0..opts.slots.max(1) {
+            scope.spawn(|| runner_loop(&state, &rx, &killed));
+        }
+        loop {
+            if let Some(after) = state.inject.partition_after_ms {
+                if !partitioned && started.elapsed() >= Duration::from_millis(after) {
+                    // Network partition: go silent with the socket still
+                    // open, so only a heartbeat deadline can unmask us.
+                    partitioned = true;
+                    state.silent.store(true, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(state.inject.partition_hold_ms));
+                    break;
+                }
+            }
+            let line = match reader.next_frame() {
+                Ok(line) => line,
+                Err(FrameError::Timeout) => continue,
+                Err(_) => break,
+            };
+            let Ok(frame) = Json::parse(&line) else {
+                continue;
+            };
+            match frame.get("op").and_then(Json::as_str) {
+                Some("ping") => {
+                    if state.inject.drop_heartbeat || state.silent.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    let seq = frame.get("seq").and_then(Json::as_u64).unwrap_or(0);
+                    let mut w = state.writer.lock().expect("writer poisoned");
+                    let _ = write_frame(
+                        &mut *w,
+                        &Json::obj(vec![
+                            ("op", Json::Str("pong".into())),
+                            ("seq", Json::UInt(seq)),
+                        ]),
+                    );
+                }
+                Some("assign") => {
+                    let Some(id) = frame.get("job").and_then(Json::as_u64) else {
+                        continue;
+                    };
+                    assigns += 1;
+                    let fatal = state.inject.kill_after_assigns == Some(assigns);
+                    match parse_submit(&frame) {
+                        Ok(spec) => {
+                            let _ = tx.send(Assignment { id, spec, fatal });
+                        }
+                        Err(e) => {
+                            let mut w = state.writer.lock().expect("writer poisoned");
+                            let _ = write_frame(
+                                &mut *w,
+                                &Json::obj(vec![
+                                    ("op", Json::Str("fail".into())),
+                                    ("job", Json::UInt(id)),
+                                    ("error", Json::Str(e)),
+                                ]),
+                            );
+                        }
+                    }
+                }
+                Some("close") => break,
+                _ => {}
+            }
+        }
+        // Closing the channel lets idle runners exit; busy ones finish
+        // their current job first (their writes fail harmlessly once the
+        // socket is gone).
+        drop(tx);
+    });
+    Ok(WorkerReport {
+        jobs_run: state.jobs_run.load(Ordering::SeqCst),
+        killed: killed.load(Ordering::SeqCst),
+        partitioned,
+    })
+}
+
+struct Assignment {
+    id: u64,
+    spec: crate::job::JobSpec,
+    fatal: bool,
+}
+
+fn runner_loop(state: &WorkerState, rx: &Mutex<mpsc::Receiver<Assignment>>, killed: &AtomicBool) {
+    loop {
+        let assignment = {
+            let rx = rx.lock().expect("assignment queue poisoned");
+            rx.recv()
+        };
+        let Ok(Assignment { id, spec, fatal }) = assignment else {
+            break;
+        };
+        if fatal {
+            // kill -9 mid-job: the lease is held, the job is "running",
+            // and the worker vanishes without a goodbye.
+            std::thread::sleep(Duration::from_millis(30));
+            state.silent.store(true, Ordering::SeqCst);
+            killed.store(true, Ordering::SeqCst);
+            let _ = state.sock.shutdown(Shutdown::Both);
+            break;
+        }
+        if state.inject.stall_ms > 0 {
+            // Straggle: hold the lease well past its deadline.
+            std::thread::sleep(Duration::from_millis(state.inject.stall_ms));
+        }
+        let result = run_job(&spec, state.cache.as_ref());
+        state.jobs_run.fetch_add(1, Ordering::SeqCst);
+        let frame = match result.outcome {
+            Ok(out) => {
+                // The checksum always describes the honest payload; the
+                // corrupt-result injection then flips a payload nibble,
+                // which is exactly what the coordinator's verification
+                // must catch.
+                let (mut hex, sum) = super::encode_stats_payload(&out.stats);
+                if state
+                    .corrupt_budget
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+                    .is_ok()
+                {
+                    let flipped = if hex.starts_with('0') { '1' } else { '0' };
+                    hex.replace_range(0..1, &flipped.to_string());
+                }
+                Json::obj(vec![
+                    ("op", Json::Str("done".into())),
+                    ("job", Json::UInt(id)),
+                    ("cached", Json::Bool(out.cached)),
+                    ("wall_ms", Json::Float(out.wall_ms)),
+                    ("stats", Json::Str(hex)),
+                    ("sum", Json::Str(sum)),
+                ])
+            }
+            Err(e) => Json::obj(vec![
+                ("op", Json::Str("fail".into())),
+                ("job", Json::UInt(id)),
+                ("error", Json::Str(e.to_string())),
+            ]),
+        };
+        if !state.silent.load(Ordering::SeqCst) {
+            let mut w = state.writer.lock().expect("writer poisoned");
+            if write_frame(&mut *w, &frame).is_err() {
+                break;
+            }
+        }
+    }
+}

@@ -26,6 +26,9 @@ pub enum ExecError {
     /// The simulation panicked; the payload is the panic message. The
     /// worker that ran it survives.
     Panic(String),
+    /// A fleet worker reported this failure over the wire; the payload is
+    /// its structured error message verbatim.
+    Remote(String),
 }
 
 impl fmt::Display for ExecError {
@@ -36,6 +39,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::Sim(e) => write!(f, "{e}"),
             ExecError::Panic(msg) => write!(f, "job panicked: {msg}"),
+            ExecError::Remote(msg) => write!(f, "{msg}"),
         }
     }
 }

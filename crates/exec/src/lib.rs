@@ -17,25 +17,45 @@
 //!   proves it), a warm cache replays a whole suite without simulating
 //!   anything. Corrupt, truncated or version-skewed entries are silent
 //!   misses, never errors.
-//! * **Serving** ([`serve`]): `gcl serve` wraps the pool in a TCP daemon
-//!   speaking newline-delimited JSON (submit / status / result /
-//!   shutdown), with a bounded queue that rejects submits under
-//!   backpressure and drains gracefully on shutdown.
+//! * **Serving** ([`serve`], [`proto`], [`client`]): `gcl serve` wraps the
+//!   pool in a TCP daemon speaking newline-delimited JSON (submit / status
+//!   / result / shutdown), with a bounded queue that rejects submits under
+//!   backpressure, read/write deadlines and a frame-size cap on every
+//!   connection, and a graceful drain on shutdown. [`ServeClient`] is the
+//!   matching resilient client: reconnect-and-replay on transport failure,
+//!   jittered-backoff retry on `queue full`.
+//! * **Fleet** ([`fleet`]): `gcl coordinate` turns the daemon into a
+//!   fault-tolerant fleet — workers join with `gcl serve --join`, the
+//!   coordinator shards jobs by content-addressed cache key, supervises
+//!   with heartbeats and per-job leases, and reassigns work from dead or
+//!   stalled workers. [`FleetInject`] is the chaos layer that proves every
+//!   failure mode is detected and recovered.
 //!
 //! The invariant the whole crate is built around: **parallel execution
 //! never changes results**. Suite digests from `--jobs 8` are
-//! byte-identical to `--jobs 1`, and a cache hit returns the same
-//! [`LaunchStats`](gcl_sim::LaunchStats) the original simulation produced.
+//! byte-identical to `--jobs 1`, a cache hit returns the same
+//! [`LaunchStats`](gcl_sim::LaunchStats) the original simulation produced,
+//! and a fleet sweep surviving injected kills, stalls and partitions is
+//! digest-identical to a serial run.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod client;
+pub mod fleet;
 pub mod job;
 pub mod pool;
+pub mod proto;
 pub mod serve;
 
 pub use cache::{CacheMiss, CachedResult, ResultCache, CACHE_MAGIC, CACHE_VERSION};
+pub use client::{ClientOptions, ServeClient};
+pub use fleet::{
+    run_worker, Coordinator, CoordinatorOptions, FleetInject, WorkerOptions, WorkerReport,
+    LEASE_EXPIRED, WORKER_DEAD,
+};
 pub use job::{run_job, ExecError, JobOutput, JobResult, JobSpec, SpecFingerprint};
 pub use pool::{backoff_ms, parallel_map, run_pool, JobEvent, PoolConfig};
-pub use serve::{ServeOptions, Server};
+pub use proto::{FrameError, FrameReader, MAX_FRAME};
+pub use serve::{ServeOptions, Server, QUEUE_FULL};

@@ -15,18 +15,10 @@ use gcl_rng::Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-/// Backoff before retry `attempt` (1-based): 50 ms doubling, capped at
-/// 2 s, with seeded jitter drawn uniformly from the upper half of the
-/// window (`[cap/2, cap]`). The jitter keeps N parallel workers that
-/// failed together from waking in lockstep; the seed keeps runs
-/// reproducible.
-pub fn backoff_ms(attempt: u64, rng: &mut Rng) -> u64 {
-    let cap = 50u64
-        .saturating_mul(1 << attempt.saturating_sub(1).min(6))
-        .min(2_000);
-    let half = cap / 2;
-    half + u64::from(rng.u32_below((cap - half + 1) as u32))
-}
+// The toolkit-wide retry schedule (50 ms doubling, 2 s cap, upper-half
+// seeded jitter) lives in `gcl_rng::backoff`; re-exported here because the
+// pool popularized it.
+pub use gcl_rng::backoff::backoff_ms;
 
 /// How a pool run executes.
 #[derive(Debug, Clone)]
@@ -220,38 +212,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn backoff_doubles_and_caps_with_upper_half_jitter() {
-        let mut rng = Rng::new(1);
-        for attempt in 1..=12 {
-            let cap = 50u64
-                .saturating_mul(1 << (attempt - 1).min(6))
-                .min(2_000u64);
-            for _ in 0..100 {
-                let b = backoff_ms(attempt, &mut rng);
-                assert!(b >= cap / 2, "attempt {attempt}: {b} below {}", cap / 2);
-                assert!(b <= cap, "attempt {attempt}: {b} above cap {cap}");
-            }
+    fn reexported_backoff_is_the_shared_schedule() {
+        // The pool's historical schedule and the shared helper are one
+        // function: identical draws from identical seeds.
+        let mut a = Rng::new(11);
+        let mut b = Rng::new(11);
+        for attempt in 1..=8 {
+            assert_eq!(
+                backoff_ms(attempt, &mut a),
+                gcl_rng::backoff::backoff_ms(attempt, &mut b)
+            );
         }
-        // The cap holds forever, even for absurd attempt numbers.
-        assert!(backoff_ms(u64::MAX, &mut Rng::new(2)) <= 2_000);
-    }
-
-    #[test]
-    fn backoff_is_seeded_and_jittered() {
-        // Same seed: same schedule. Different seeds: schedules diverge
-        // somewhere (workers that failed together don't wake in lockstep).
-        let schedule = |seed: u64| -> Vec<u64> {
-            let mut rng = Rng::new(seed);
-            (1..=8).map(|a| backoff_ms(a, &mut rng)).collect()
-        };
-        assert_eq!(schedule(7), schedule(7));
-        assert_ne!(schedule(7), schedule(8));
-        // And the jitter is real: some attempt draws distinct values
-        // across seeds within one attempt number.
-        let mut r1 = Rng::new(1);
-        let distinct: std::collections::HashSet<u64> =
-            (0..50).map(|_| backoff_ms(6, &mut r1)).collect();
-        assert!(distinct.len() > 1, "no jitter in backoff");
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Bounded, deadline-aware NDJSON framing shared by the serve daemon, the
+//! fleet coordinator/worker sockets, and the client.
+//!
+//! Every socket in the toolkit speaks the same wire form — one compact
+//! JSON object per line — but a raw `BufRead::lines()` loop has two
+//! robustness holes this module closes:
+//!
+//! * **Unbounded frames.** A malicious or broken peer can stream gigabytes
+//!   without a newline; `lines()` buffers it all. [`FrameReader`] caps the
+//!   bytes a single frame may occupy ([`MAX_FRAME`] by default) and
+//!   reports [`FrameError::TooLarge`] instead of growing without limit.
+//! * **Indefinite blocking.** With no read deadline a stalled peer wedges
+//!   the thread (and, during drain, the whole process) forever. Callers
+//!   set a read timeout on the socket; [`FrameReader`] surfaces the
+//!   resulting `WouldBlock`/`TimedOut` as [`FrameError::Timeout`] so the
+//!   loop can check a drain flag or an idle deadline and keep going —
+//!   partial frames survive across timeouts.
+//!
+//! Writes go through [`write_frame`]; with a write timeout set on the
+//! socket, a peer that stops reading (slow-loris) turns into a
+//! [`FrameError::Timeout`] instead of a hung thread. A timed-out write may
+//! have landed partially, so the only safe continuation is dropping the
+//! connection — callers do.
+
+use gcl_stats::Json;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+/// Default cap on one frame's size in bytes, newline included. Far above
+/// any request or result the protocol produces, far below a memory hazard.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Why a frame could not be read or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the connection (EOF at a frame boundary, or with a
+    /// partial frame outstanding — either way the stream is over).
+    Closed,
+    /// A read or write deadline elapsed. Reads may continue (partial frame
+    /// state is kept); a timed-out write leaves the stream unusable.
+    Timeout,
+    /// The incoming frame exceeded the size cap before its newline.
+    TooLarge {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
+    /// Any other socket error.
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Timeout => write!(f, "socket deadline elapsed"),
+            FrameError::TooLarge { limit } => {
+                write!(f, "frame too large (cap {limit} bytes)")
+            }
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn io_error(e: std::io::Error) -> FrameError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => FrameError::Timeout,
+        _ => FrameError::Io(e.to_string()),
+    }
+}
+
+/// A newline-delimited frame reader with a per-frame size cap.
+///
+/// Keeps partially-read frame bytes across [`FrameError::Timeout`] returns,
+/// so a read deadline on the underlying socket turns into a poll tick
+/// rather than data loss.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    carry: Vec<u8>,
+    max: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap `inner`, capping frames at `max` bytes.
+    pub fn new(inner: R, max: usize) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            carry: Vec::new(),
+            max: max.max(2),
+        }
+    }
+
+    /// Read the next non-empty line, trimmed, without its newline.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Timeout`] when the socket's read deadline elapses
+    /// (call again to continue), [`FrameError::Closed`] on EOF,
+    /// [`FrameError::TooLarge`] when a frame outgrows the cap (the stream
+    /// cannot be resynchronized afterwards), or [`FrameError::Io`].
+    pub fn next_frame(&mut self) -> Result<String, FrameError> {
+        loop {
+            if let Some(pos) = self.carry.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.carry.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line[..pos]).trim().to_string();
+                if text.is_empty() {
+                    continue;
+                }
+                return Ok(text);
+            }
+            if self.carry.len() >= self.max {
+                return Err(FrameError::TooLarge { limit: self.max });
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Err(FrameError::Closed),
+                Ok(n) => self.carry.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_error(e)),
+            }
+        }
+    }
+}
+
+/// Write one compact JSON frame and its trailing newline.
+///
+/// # Errors
+///
+/// [`FrameError::Timeout`] when the socket's write deadline elapses (the
+/// frame may be partially written — drop the connection), or the mapped
+/// socket error.
+pub fn write_frame(writer: &mut impl Write, frame: &Json) -> Result<(), FrameError> {
+    let mut line = frame.render_compact();
+    line.push('\n');
+    writer.write_all(line.as_bytes()).map_err(io_error)
+}
+
+/// Lower-hex encoding of arbitrary bytes, for carrying wire-encoded
+/// payloads (e.g. `LaunchStats`) inside a JSON frame.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decode [`hex_encode`] output.
+///
+/// # Errors
+///
+/// A human-readable message on odd length or non-hex characters.
+pub fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err(format!("odd hex length {}", text.len()));
+    }
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let s = std::str::from_utf8(pair).map_err(|_| "non-ascii hex".to_string())?;
+        out.push(u8::from_str_radix(s, 16).map_err(|_| format!("bad hex byte `{s}`"))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_split_on_newlines_and_skip_blanks() {
+        let data = b"{\"a\":1}\n\n  \n{\"b\":2}\n";
+        let mut r = FrameReader::new(Cursor::new(&data[..]), MAX_FRAME);
+        assert_eq!(r.next_frame().unwrap(), "{\"a\":1}");
+        assert_eq!(r.next_frame().unwrap(), "{\"b\":2}");
+        assert_eq!(r.next_frame().unwrap_err(), FrameError::Closed);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_not_buffered() {
+        let mut data = vec![b'x'; 4 * 1024];
+        data.push(b'\n');
+        let mut r = FrameReader::new(Cursor::new(data), 1024);
+        assert!(matches!(
+            r.next_frame().unwrap_err(),
+            FrameError::TooLarge { limit: 1024 }
+        ));
+    }
+
+    #[test]
+    fn a_frame_at_the_cap_still_parses() {
+        let body = "y".repeat(1023);
+        let data = format!("{body}\n");
+        let mut r = FrameReader::new(Cursor::new(data.into_bytes()), 1024);
+        assert_eq!(r.next_frame().unwrap(), body);
+    }
+
+    /// A reader that yields `WouldBlock` between chunks, like a socket with
+    /// a read timeout.
+    struct Chunky {
+        chunks: Vec<Vec<u8>>,
+        blocked: bool,
+    }
+
+    impl Read for Chunky {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.blocked {
+                self.blocked = true;
+                return Err(std::io::Error::from(ErrorKind::WouldBlock));
+            }
+            self.blocked = false;
+            match self.chunks.first() {
+                None => Ok(0),
+                Some(c) => {
+                    let n = c.len().min(buf.len());
+                    buf[..n].copy_from_slice(&c[..n]);
+                    let rest = c[n..].to_vec();
+                    if rest.is_empty() {
+                        self.chunks.remove(0);
+                    } else {
+                        self.chunks[0] = rest;
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_frames_survive_timeouts() {
+        let mut r = FrameReader::new(
+            Chunky {
+                chunks: vec![b"{\"op\":".to_vec(), b"\"ping\"}\n".to_vec()],
+                blocked: false,
+            },
+            MAX_FRAME,
+        );
+        let mut timeouts = 0;
+        loop {
+            match r.next_frame() {
+                Ok(frame) => {
+                    assert_eq!(frame, "{\"op\":\"ping\"}");
+                    break;
+                }
+                Err(FrameError::Timeout) => timeouts += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(timeouts >= 1, "the timeout path never ran");
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let text = hex_encode(&bytes);
+        assert_eq!(hex_decode(&text).unwrap(), bytes);
+        assert!(hex_decode("abc").is_err(), "odd length");
+        assert!(hex_decode("zz").is_err(), "non-hex");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -28,17 +28,32 @@
 //! callers see backpressure instead of unbounded memory growth. Shutdown
 //! is graceful: queued jobs finish, new submits are refused, and
 //! [`Server::run`] returns once the last worker drains.
+//!
+//! Connections are hardened against misbehaving clients: every socket
+//! carries read/write deadlines, frames larger than
+//! [`ServeOptions::max_frame`] are answered with a structured error and a
+//! close (never buffered without bound), idle connections are dropped
+//! after [`ServeOptions::idle_timeout_ms`], and a drain closes idle
+//! connections instead of waiting on them — a stalled or malicious client
+//! cannot wedge the daemon.
 
 use crate::cache::ResultCache;
 use crate::job::{run_job, JobOutput, JobSpec};
+use crate::proto::{write_frame, FrameError, FrameReader, MAX_FRAME};
 use gcl_sim::GpuConfig;
 use gcl_stats::Json;
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The error message prefix every bounded queue in the toolkit uses to
+/// signal backpressure; clients match on it to retry with backoff.
+pub const QUEUE_FULL: &str = "queue full";
+
+/// How often a blocked connection read wakes to check drain/idle deadlines.
+pub(crate) const READ_TICK_MS: u64 = 100;
 
 /// How the daemon runs.
 #[derive(Debug, Clone)]
@@ -52,6 +67,15 @@ pub struct ServeOptions {
     pub queue_cap: usize,
     /// Consult (and fill) this result cache.
     pub cache: Option<ResultCache>,
+    /// Largest request frame accepted, in bytes; oversized frames get a
+    /// structured error and the connection closes.
+    pub max_frame: usize,
+    /// Per-connection write deadline: a client that stops reading loses its
+    /// connection instead of parking a handler thread.
+    pub write_timeout_ms: u64,
+    /// Close a connection that sends nothing for this long (0 disables the
+    /// idle deadline; draining always closes idle connections).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -61,6 +85,9 @@ impl Default for ServeOptions {
             jobs: 2,
             queue_cap: 64,
             cache: None,
+            max_frame: MAX_FRAME,
+            write_timeout_ms: 5_000,
+            idle_timeout_ms: 300_000,
         }
     }
 }
@@ -226,8 +253,14 @@ fn set_state(shared: &Shared, id: u64, state: JobState) {
     }
 }
 
-/// One connection: read request lines until EOF, answering each.
+/// One connection: read bounded request frames under read/write deadlines,
+/// answering each, until EOF, an idle deadline, an oversized frame, or a
+/// drain.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(READ_TICK_MS)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+        shared.opts.write_timeout_ms.max(1),
+    )));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(e) => {
@@ -235,29 +268,68 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             return;
         }
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
+    let mut reader = FrameReader::new(stream, shared.opts.max_frame);
+    let mut last_activity = Instant::now();
+    loop {
+        let line = match reader.next_frame() {
+            Ok(line) => line,
+            Err(FrameError::Timeout) => {
+                // Idle tick: never let a silent client block a drain, and
+                // enforce the idle deadline when one is configured.
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                let idle = shared.opts.idle_timeout_ms;
+                if idle > 0 && last_activity.elapsed() >= Duration::from_millis(idle) {
+                    break;
+                }
+                continue;
+            }
+            Err(FrameError::TooLarge { limit }) => {
+                // The stream cannot be resynchronized after an unbounded
+                // line; answer with a structured error and hang up.
+                let _ = write_frame(
+                    &mut writer,
+                    &error_response(format!("frame too large (cap {limit} bytes)")),
+                );
+                break;
+            }
             Err(_) => break,
         };
-        if line.trim().is_empty() {
-            continue;
-        }
+        last_activity = Instant::now();
         let response = handle_request(&line, shared);
-        let mut text = response.render_compact();
-        text.push('\n');
-        if writer.write_all(text.as_bytes()).is_err() {
+        if write_frame(&mut writer, &response).is_err() {
             break;
         }
     }
 }
 
-fn error_response(msg: impl Into<String>) -> Json {
+pub(crate) fn error_response(msg: impl Into<String>) -> Json {
     Json::obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::Str(msg.into())),
     ])
+}
+
+/// Build and validate the [`JobSpec`] a submit-style request names; shared
+/// with the fleet coordinator, which speaks the same submit verb.
+pub(crate) fn parse_submit(request: &Json) -> Result<JobSpec, String> {
+    let Some(workload) = request.get("workload").and_then(Json::as_str) else {
+        return Err("submit needs a `workload` field".to_string());
+    };
+    let tiny = matches!(request.get("tiny"), Some(Json::Bool(true)));
+    let sanitize = matches!(request.get("sanitize"), Some(Json::Bool(true)));
+    let mut cfg = if tiny {
+        GpuConfig::small()
+    } else {
+        GpuConfig::fermi()
+    };
+    cfg.sanitize = sanitize;
+    let spec = JobSpec::new(workload, tiny, cfg);
+    // Validate the name up front so a typo is a submit error, not a
+    // queued-then-failed job.
+    spec.find_workload().map_err(|e| e.to_string())?;
+    Ok(spec)
 }
 
 /// Dispatch one request line.
@@ -282,27 +354,14 @@ fn handle_submit(request: &Json, shared: &Shared) -> Json {
     if shared.draining.load(Ordering::SeqCst) {
         return error_response("server is draining (shutdown requested)");
     }
-    let Some(workload) = request.get("workload").and_then(Json::as_str) else {
-        return error_response("submit needs a `workload` field");
+    let spec = match parse_submit(request) {
+        Ok(spec) => spec,
+        Err(e) => return error_response(e),
     };
-    let tiny = matches!(request.get("tiny"), Some(Json::Bool(true)));
-    let sanitize = matches!(request.get("sanitize"), Some(Json::Bool(true)));
-    let mut cfg = if tiny {
-        GpuConfig::small()
-    } else {
-        GpuConfig::fermi()
-    };
-    cfg.sanitize = sanitize;
-    let spec = JobSpec::new(workload, tiny, cfg);
-    // Validate the name up front so a typo is a submit error, not a
-    // queued-then-failed job.
-    if let Err(e) = spec.find_workload() {
-        return error_response(e.to_string());
-    }
     let mut queue = shared.queue.lock().expect("queue poisoned");
     if queue.len() >= shared.opts.queue_cap {
         return error_response(format!(
-            "queue full ({} pending, cap {})",
+            "{QUEUE_FULL} ({} pending, cap {})",
             queue.len(),
             shared.opts.queue_cap
         ));

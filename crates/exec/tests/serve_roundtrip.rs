@@ -3,7 +3,8 @@
 //! backpressure when the bounded queue fills, and shuts the server down
 //! gracefully.
 
-use gcl_exec::{ServeOptions, Server};
+use gcl_exec::{ClientOptions, ServeClient, ServeOptions, Server};
+use gcl_rng::Backoff;
 use gcl_stats::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -64,6 +65,7 @@ fn submit_poll_result_shutdown_roundtrip() {
         jobs: 2,
         queue_cap: 16,
         cache: None,
+        ..ServeOptions::default()
     });
     let mut c = Client::connect(addr);
 
@@ -145,6 +147,7 @@ fn bounded_queue_rejects_submits_under_backpressure() {
         jobs: 1,
         queue_cap: 1,
         cache: None,
+        ..ServeOptions::default()
     });
     let mut c = Client::connect(addr);
     let mut accepted = 0usize;
@@ -168,4 +171,106 @@ fn bounded_queue_rejects_submits_under_backpressure() {
     assert!(ok(&r));
     drop(c);
     handle.join().expect("drain finishes the queued jobs");
+}
+
+#[test]
+fn oversized_frame_gets_structured_error_and_close() {
+    let (addr, handle) = start(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        max_frame: 256,
+        ..ServeOptions::default()
+    });
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    // A single frame far past the cap, no newline needed — the reader
+    // must reject it while buffering, not after.
+    let huge = vec![b'x'; 4096];
+    writer.write_all(&huge).expect("send oversized frame");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("structured error");
+    let r = Json::parse(response.trim()).expect("error frame is valid JSON");
+    assert!(!ok(&r));
+    let msg = r.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(msg.contains("frame too large"), "got: {r}");
+    assert!(msg.contains("256"), "error names the cap: {r}");
+    // The connection is closed afterwards: the next read sees EOF.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("EOF"), 0);
+    // And the daemon itself is unharmed.
+    let mut c = Client::connect(addr);
+    let r = c.call(&Json::obj(vec![("op", Json::Str("status".into()))]));
+    assert!(ok(&r));
+    let r = c.call(&Json::obj(vec![("op", Json::Str("shutdown".into()))]));
+    assert!(ok(&r));
+    drop(c);
+    handle.join().expect("serve thread exits");
+}
+
+#[test]
+fn idle_client_does_not_block_drain() {
+    let (addr, handle) = start(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeOptions::default()
+    });
+    // A client that connects and then says nothing, held open across the
+    // shutdown: the drain must not wait for it.
+    let _silent = TcpStream::connect(addr).expect("connect silent client");
+    let mut c = Client::connect(addr);
+    let r = c.call(&Json::obj(vec![("op", Json::Str("shutdown".into()))]));
+    assert!(ok(&r));
+    drop(c);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut joined = false;
+    while Instant::now() < deadline {
+        if handle.is_finished() {
+            joined = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(joined, "drain completed despite the idle connection");
+    handle.join().expect("serve thread exits");
+}
+
+#[test]
+fn serve_client_rides_out_backpressure_with_retries() {
+    // One worker, queue of one, and a srad pinning the worker: direct
+    // submits overflow, but ServeClient::submit retries with backoff until
+    // capacity frees up.
+    let (addr, handle) = start(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        queue_cap: 1,
+        cache: None,
+        ..ServeOptions::default()
+    });
+    let mut client = ServeClient::connect(ClientOptions {
+        addr: addr.to_string(),
+        retries: 40,
+        backoff: Backoff::new(25, 250),
+        ..ClientOptions::default()
+    })
+    .expect("connect");
+    // Drive the queue past capacity: with one slot and one worker, a
+    // burst of 4 must hit `queue full` at least once, and every submit
+    // must nonetheless be accepted eventually.
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        ids.push(
+            client
+                .submit("srad", true, false)
+                .expect("backpressure retried"),
+        );
+    }
+    assert_eq!(ids.len(), 4);
+    for id in ids {
+        let r = client
+            .wait(id, Duration::from_secs(120))
+            .expect("job finishes");
+        assert_eq!(r.get("state").and_then(Json::as_str), Some("done"), "{r}");
+    }
+    client.shutdown().expect("drain");
+    drop(client);
+    handle.join().expect("serve thread exits");
 }

@@ -8,6 +8,11 @@
 //! construction `rand`'s `SmallRng` used on 64-bit targets — with the small
 //! range/float helpers the call sites need, and no dependencies.
 //!
+//! It also hosts [`backoff`], the toolkit's single implementation of
+//! capped-exponential-backoff-with-seeded-jitter, shared by the job pool's
+//! retry path, `gcl suite --retries`, the serve/fleet clients, and the
+//! fleet worker's reconnect loop.
+//!
 //! ```
 //! use gcl_rng::Rng;
 //!
@@ -138,6 +143,127 @@ impl Rng {
         &items[self.usize_below(items.len())]
     }
 }
+
+pub mod backoff {
+    //! Capped exponential backoff with seeded jitter.
+    //!
+    //! Every retry loop in the toolkit — pool job retries, `gcl suite
+    //! --retries`, serve/fleet client reconnects and queue-full submits,
+    //! fleet worker joins — draws its delays from one [`Backoff`] policy so
+    //! the schedule is defined (and unit-tested) exactly once. The delay
+    //! for attempt `n` (1-based) doubles a base window up to a cap, then
+    //! draws uniformly from the *upper half* of that window: the jitter
+    //! keeps N peers that failed together from waking in lockstep, while
+    //! the seeded [`Rng`] keeps any single run's schedule reproducible.
+
+    use crate::Rng;
+
+    /// A backoff policy: base delay window and its cap, in milliseconds.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Backoff {
+        /// Window for the first attempt, in milliseconds.
+        pub base_ms: u64,
+        /// Largest window any attempt can reach, in milliseconds.
+        pub cap_ms: u64,
+    }
+
+    /// The house default: 50 ms doubling, capped at 2 s — the schedule the
+    /// job pool has always used.
+    pub const DEFAULT: Backoff = Backoff {
+        base_ms: 50,
+        cap_ms: 2_000,
+    };
+
+    impl Default for Backoff {
+        fn default() -> Backoff {
+            DEFAULT
+        }
+    }
+
+    impl Backoff {
+        /// A policy with the given base and cap.
+        pub const fn new(base_ms: u64, cap_ms: u64) -> Backoff {
+            Backoff { base_ms, cap_ms }
+        }
+
+        /// The jittered delay before retry `attempt` (1-based): the window
+        /// is `base · 2^(attempt-1)` capped at `cap_ms`, and the delay is
+        /// drawn uniformly from `[window/2, window]`.
+        pub fn delay_ms(&self, attempt: u64, rng: &mut Rng) -> u64 {
+            let shift = attempt.saturating_sub(1).min(32) as u32;
+            let window = self
+                .base_ms
+                .saturating_mul(1u64 << shift)
+                .min(self.cap_ms)
+                // Keep the jitter draw inside u32 range whatever the cap.
+                .min(u64::from(u32::MAX) - 1);
+            let half = window / 2;
+            half + u64::from(rng.u32_below((window - half + 1) as u32))
+        }
+    }
+
+    /// The default schedule's delay before retry `attempt` (1-based).
+    pub fn backoff_ms(attempt: u64, rng: &mut Rng) -> u64 {
+        DEFAULT.delay_ms(attempt, rng)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn default_doubles_and_caps_with_upper_half_jitter() {
+            let mut rng = Rng::new(1);
+            for attempt in 1..=12u64 {
+                let cap = 50u64
+                    .saturating_mul(1 << (attempt - 1).min(6))
+                    .min(2_000u64);
+                for _ in 0..100 {
+                    let b = backoff_ms(attempt, &mut rng);
+                    assert!(b >= cap / 2, "attempt {attempt}: {b} below {}", cap / 2);
+                    assert!(b <= cap, "attempt {attempt}: {b} above cap {cap}");
+                }
+            }
+            // The cap holds forever, even for absurd attempt numbers.
+            assert!(backoff_ms(u64::MAX, &mut Rng::new(2)) <= 2_000);
+        }
+
+        #[test]
+        fn schedules_are_seeded_and_jittered() {
+            // Same seed: same schedule. Different seeds: schedules diverge
+            // somewhere (peers that failed together don't wake in lockstep).
+            let schedule = |seed: u64| -> Vec<u64> {
+                let mut rng = Rng::new(seed);
+                (1..=8).map(|a| backoff_ms(a, &mut rng)).collect()
+            };
+            assert_eq!(schedule(7), schedule(7));
+            assert_ne!(schedule(7), schedule(8));
+            // And the jitter is real: one attempt number draws distinct
+            // values across calls.
+            let mut r1 = Rng::new(1);
+            let distinct: std::collections::HashSet<u64> =
+                (0..50).map(|_| backoff_ms(6, &mut r1)).collect();
+            assert!(distinct.len() > 1, "no jitter in backoff");
+        }
+
+        #[test]
+        fn custom_policies_respect_base_and_cap() {
+            let fast = Backoff::new(5, 40);
+            let mut rng = Rng::new(3);
+            for attempt in 1..=10 {
+                let d = fast.delay_ms(attempt, &mut rng);
+                assert!(d <= 40, "attempt {attempt}: {d} above cap");
+            }
+            // First attempt stays inside the base window.
+            let first = fast.delay_ms(1, &mut Rng::new(4));
+            assert!(first <= 5, "first delay {first} above base");
+            // Degenerate zero policy never panics and never sleeps.
+            assert_eq!(Backoff::new(0, 0).delay_ms(9, &mut rng), 0);
+        }
+    }
+}
+
+pub use backoff::Backoff;
 
 /// Run `n` seeded pseudo-random cases of a property. Each case receives a
 /// generator derived from `seed` and the case index, so failures reproduce

@@ -115,6 +115,26 @@ impl Accumulator {
         }
     }
 
+    /// Render as a JSON object (`count`/`mean`/`min`/`max`), the shape the
+    /// serve and fleet `status` verbs report queue-depth and wait-time
+    /// samples in. An empty accumulator reports a `null` mean.
+    pub fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        Json::obj(vec![
+            ("count", Json::UInt(self.count)),
+            (
+                "mean",
+                if self.count == 0 {
+                    Json::Null
+                } else {
+                    Json::Float(self.mean())
+                },
+            ),
+            ("min", Json::Float(self.min)),
+            ("max", Json::Float(self.max)),
+        ])
+    }
+
     /// Merge another accumulator into this one.
     pub fn merge(&mut self, other: &Accumulator) {
         if other.count == 0 {
@@ -185,6 +205,21 @@ mod tests {
         assert_eq!(acc.min, 2.0);
         assert_eq!(acc.max, 6.0);
         assert!((acc.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_to_json_shape() {
+        use crate::Json;
+        let empty = Accumulator::default().to_json();
+        assert!(matches!(empty.get("mean"), Some(Json::Null)));
+        let mut acc = Accumulator::default();
+        acc.add(2.0);
+        acc.add(4.0);
+        let j = acc.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("mean").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(j.get("min").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("max").and_then(Json::as_f64), Some(4.0));
     }
 
     #[test]

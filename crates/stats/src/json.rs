@@ -49,6 +49,14 @@ impl Json {
         }
     }
 
+    /// Read as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Borrow as an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {

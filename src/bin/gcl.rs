@@ -11,9 +11,14 @@
 //!                                          simulate one launch, print stats
 //! gcl suite    [--tiny] [--sanitize] [--analyze] [--force-fail NAME]
 //!              [--resume] [--retries N] [--jobs N] [--no-cache]
-//!                                          run the 15-benchmark suite
+//!              [--fleet HOST:PORT]         run the 15-benchmark suite
 //! gcl serve    [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--no-cache]
+//!              [--join HOST:PORT --name NAME --inject SPEC]
 //!                                          simulation daemon (NDJSON over TCP)
+//!                                          or fleet worker (--join)
+//! gcl coordinate [--addr HOST:PORT] [--queue-cap N] [--lease-ms N]
+//!              [--heartbeat-ms N] [--heartbeat-timeout-ms N]
+//!                                          fleet coordinator
 //! ```
 
 use gcl::prelude::*;
@@ -31,6 +36,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("coordinate") => cmd_coordinate(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -58,7 +64,11 @@ USAGE:
                [--checkpoint-every N --checkpoint-file PATH] [--resume PATH]
   gcl suite    [--tiny] [--sanitize] [--analyze] [--force-fail NAME]
                [--resume] [--retries N] [--jobs N] [--no-cache]
+               [--fleet HOST:PORT]
   gcl serve    [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--no-cache]
+               [--join HOST:PORT] [--name NAME] [--inject SPEC]
+  gcl coordinate [--addr HOST:PORT] [--queue-cap N] [--lease-ms N]
+               [--heartbeat-ms N] [--heartbeat-timeout-ms N]
 
 `classify` runs the paper's backward-dataflow analysis and prints each
 global load's class and (for non-deterministic loads) the def-chain back to
@@ -97,7 +107,22 @@ the whole suite without simulating anything; --no-cache bypasses it.
 speak newline-delimited JSON — {\"op\":\"submit\",\"workload\":\"bfs\",
 \"tiny\":true} to enqueue (rejected with an error when the bounded queue is
 full), {\"op\":\"status\"}, {\"op\":\"result\",\"id\":N}, and
-{\"op\":\"shutdown\"} to drain gracefully and exit.
+{\"op\":\"shutdown\"} to drain gracefully and exit. Every connection
+carries read/write deadlines and a frame-size cap, so a stalled or
+misbehaving client cannot wedge the daemon.
+`coordinate` runs a fleet coordinator: `gcl serve --join COORD:PORT` on any
+number of machines registers workers (named with --name, --jobs slots
+each), and clients speak the same submit/status/result/shutdown verbs to
+the coordinator, which shards jobs across workers by content-addressed
+cache key, supervises them with heartbeats and per-job leases, and
+reassigns work from dead, partitioned or stalled workers — results are
+deduplicated by cache key, so a fleet sweep is digest-identical to a
+serial run. `suite --fleet COORD:PORT` runs the whole suite through a
+coordinator instead of local threads (incompatible with --jobs, --retries,
+--force-fail and --no-cache: parallelism, retry policy and caching belong
+to the fleet). `serve --inject SPEC` arms the worker-side chaos layer
+(drop-heartbeat, stall=MS, kill-after=N, corrupt=N, partition-after=MS)
+used by the fault-tolerance tests and CI game days.
 ";
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
@@ -615,8 +640,11 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     let mut force_fail: Option<String> = None;
     let mut resume = false;
     let mut retries = 0u64;
+    let mut retries_given = false;
     let mut jobs = 1usize;
+    let mut jobs_given = false;
     let mut no_cache = false;
+    let mut fleet: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -636,6 +664,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             "--retries" => {
                 i += 1;
                 retries = parse_u64(args.get(i).ok_or("--retries needs a value")?)?;
+                retries_given = true;
             }
             "--jobs" => {
                 i += 1;
@@ -643,10 +672,22 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
                 if jobs == 0 {
                     return Err("--jobs must be at least 1".to_string());
                 }
+                jobs_given = true;
+            }
+            "--fleet" => {
+                i += 1;
+                fleet = Some(args.get(i).ok_or("--fleet needs HOST:PORT")?.to_string());
             }
             other => return Err(format!("suite: unknown option `{other}`")),
         }
         i += 1;
+    }
+    if fleet.is_some() && (jobs_given || retries_given || force_fail.is_some() || no_cache) {
+        return Err(
+            "--fleet sends the suite to a coordinator; --jobs, --retries, --force-fail and \
+             --no-cache configure local execution and cannot be combined with it"
+                .to_string(),
+        );
     }
     let workloads = if tiny {
         gcl::workloads::tiny_workloads()
@@ -764,59 +805,65 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         specs.push(JobSpec::new(w.name(), tiny, cfg));
     }
 
-    let pool_cfg = PoolConfig {
-        jobs,
-        retries,
-        cache: if no_cache {
-            None
-        } else {
-            Some(ResultCache::default_dir())
-        },
-        ..PoolConfig::default()
-    };
-    // The pool delivers every event on this thread, so this closure is the
-    // manifest's single writer — workers never touch results/run.json.
-    let mut save_err: Option<String> = None;
-    let results = run_pool(&specs, &pool_cfg, |event| {
-        match event {
-            JobEvent::Started { index } => {
-                manifest.entries[spec_wi[*index]].status = "running".to_string();
-            }
-            JobEvent::Retried {
-                index,
-                attempt,
-                error,
-                ..
-            } => {
-                let e = &mut manifest.entries[spec_wi[*index]];
-                e.status = "retried".to_string();
-                e.attempts = *attempt;
-                e.error = Some(error.clone());
-            }
-            JobEvent::Finished { index, result } => {
-                let e = &mut manifest.entries[spec_wi[*index]];
-                e.attempts = result.attempts;
-                match &result.outcome {
-                    Ok(out) => {
-                        e.status = "ok".to_string();
-                        e.wall_ms = out.wall_ms;
-                        e.digest = out.stats.digest;
-                        e.error = None;
-                    }
-                    Err(err) => {
-                        e.status = "failed".to_string();
-                        e.error = Some(err.to_string());
+    let results = if let Some(addr) = fleet.as_deref() {
+        run_fleet_suite(addr, &specs, &spec_wi, &mut manifest, manifest_path)?
+    } else {
+        let pool_cfg = PoolConfig {
+            jobs,
+            retries,
+            cache: if no_cache {
+                None
+            } else {
+                Some(ResultCache::default_dir())
+            },
+            ..PoolConfig::default()
+        };
+        // The pool delivers every event on this thread, so this closure is
+        // the manifest's single writer — workers never touch
+        // results/run.json.
+        let mut save_err: Option<String> = None;
+        let results = run_pool(&specs, &pool_cfg, |event| {
+            match event {
+                JobEvent::Started { index } => {
+                    manifest.entries[spec_wi[*index]].status = "running".to_string();
+                }
+                JobEvent::Retried {
+                    index,
+                    attempt,
+                    error,
+                    ..
+                } => {
+                    let e = &mut manifest.entries[spec_wi[*index]];
+                    e.status = "retried".to_string();
+                    e.attempts = *attempt;
+                    e.error = Some(error.clone());
+                }
+                JobEvent::Finished { index, result } => {
+                    let e = &mut manifest.entries[spec_wi[*index]];
+                    e.attempts = result.attempts;
+                    match &result.outcome {
+                        Ok(out) => {
+                            e.status = "ok".to_string();
+                            e.wall_ms = out.wall_ms;
+                            e.digest = out.stats.digest;
+                            e.error = None;
+                        }
+                        Err(err) => {
+                            e.status = "failed".to_string();
+                            e.error = Some(err.to_string());
+                        }
                     }
                 }
             }
+            if let Err(e) = manifest.save(manifest_path) {
+                save_err.get_or_insert(e);
+            }
+        });
+        if let Some(e) = save_err {
+            return Err(e);
         }
-        if let Err(e) = manifest.save(manifest_path) {
-            save_err.get_or_insert(e);
-        }
-    });
-    if let Some(e) = save_err {
-        return Err(e);
-    }
+        results
+    };
 
     // Results come back ordered by submission index regardless of which
     // worker finished first, so this table is identical for any --jobs.
@@ -927,15 +974,103 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Run the suite's remaining specs through a fleet coordinator: submit
+/// everything (honoring queue-full backpressure), then collect each result
+/// in submission order, checksum-verifying the stats payload. The manifest
+/// is updated exactly as the local pool path does, so `--resume` composes
+/// with `--fleet`.
+fn run_fleet_suite(
+    addr: &str,
+    specs: &[JobSpec],
+    spec_wi: &[usize],
+    manifest: &mut Manifest,
+    manifest_path: &Path,
+) -> Result<Vec<JobResult>, String> {
+    let mut client = ServeClient::connect(ClientOptions {
+        addr: addr.to_string(),
+        // Result frames carry the full hex-encoded LaunchStats.
+        max_frame: 1024 * 1024,
+        ..ClientOptions::default()
+    })?;
+    let mut ids = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let id = client.submit(&spec.workload, spec.tiny, spec.cfg.sanitize)?;
+        ids.push(id);
+        manifest.entries[spec_wi[i]].status = "running".to_string();
+    }
+    manifest.save(manifest_path)?;
+    let mut results = Vec::with_capacity(specs.len());
+    for (i, (spec, id)) in specs.iter().zip(&ids).enumerate() {
+        let response = client.wait(*id, std::time::Duration::from_secs(600))?;
+        let attempts = response.get("assigns").and_then(Json::as_u64).unwrap_or(1);
+        let outcome = match response.get("state").and_then(Json::as_str) {
+            Some("done") => {
+                let hex = response
+                    .get("stats")
+                    .and_then(Json::as_str)
+                    .ok_or("fleet result missing stats payload")?;
+                let sum = response
+                    .get("sum")
+                    .and_then(Json::as_str)
+                    .ok_or("fleet result missing checksum")?;
+                let stats = gcl::exec::fleet::decode_stats_payload(hex, sum)
+                    .map_err(|e| format!("fleet result for `{}` corrupt: {e}", spec.workload))?;
+                Ok(JobOutput {
+                    stats,
+                    wall_ms: response
+                        .get("wall_ms")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0),
+                    cached: response.get("cached").and_then(Json::as_bool) == Some(true),
+                })
+            }
+            _ => Err(ExecError::Remote(
+                response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown fleet failure")
+                    .to_string(),
+            )),
+        };
+        let e = &mut manifest.entries[spec_wi[i]];
+        e.attempts = attempts;
+        match &outcome {
+            Ok(out) => {
+                e.status = "ok".to_string();
+                e.wall_ms = out.wall_ms;
+                e.digest = out.stats.digest;
+                e.error = None;
+            }
+            Err(err) => {
+                e.status = "failed".to_string();
+                e.error = Some(err.to_string());
+            }
+        }
+        manifest.save(manifest_path)?;
+        results.push(JobResult {
+            spec: spec.clone(),
+            outcome,
+            attempts,
+        });
+    }
+    Ok(results)
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut opts = ServeOptions::default();
     let mut no_cache = false;
+    let mut join: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut inject = FleetInject::none();
+    let mut addr_given = false;
+    let mut queue_cap_given = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => {
                 i += 1;
                 opts.addr = args.get(i).ok_or("--addr needs HOST:PORT")?.to_string();
+                addr_given = true;
             }
             "--jobs" => {
                 i += 1;
@@ -945,11 +1080,66 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 i += 1;
                 opts.queue_cap =
                     parse_u64(args.get(i).ok_or("--queue-cap needs a value")?)? as usize;
+                queue_cap_given = true;
             }
             "--no-cache" => no_cache = true,
+            "--join" => {
+                i += 1;
+                join = Some(args.get(i).ok_or("--join needs HOST:PORT")?.to_string());
+            }
+            "--name" => {
+                i += 1;
+                name = Some(args.get(i).ok_or("--name needs a value")?.to_string());
+            }
+            "--inject" => {
+                i += 1;
+                inject = FleetInject::parse(args.get(i).ok_or("--inject needs a chaos spec")?)?;
+            }
             other => return Err(format!("serve: unknown option `{other}`")),
         }
         i += 1;
+    }
+    if let Some(coord) = join {
+        // Fleet worker: dial the coordinator instead of binding a port.
+        if addr_given || queue_cap_given {
+            return Err(
+                "--join makes this a fleet worker; --addr and --queue-cap belong to the \
+                 coordinator"
+                    .to_string(),
+            );
+        }
+        let worker_opts = WorkerOptions {
+            coord,
+            name: name.unwrap_or_else(|| format!("worker-{}", std::process::id())),
+            slots: opts.jobs.max(1),
+            cache: if no_cache {
+                None
+            } else {
+                Some(ResultCache::default_dir())
+            },
+            inject,
+            ..WorkerOptions::default()
+        };
+        let label = worker_opts.name.clone();
+        eprintln!(
+            "gcl serve: joining fleet at {} as `{label}` ({} slot(s))",
+            worker_opts.coord, worker_opts.slots
+        );
+        let report = run_worker(worker_opts)?;
+        eprintln!(
+            "gcl serve: `{label}` done ({} job(s) run{}{})",
+            report.jobs_run,
+            if report.killed { ", killed" } else { "" },
+            if report.partitioned {
+                ", partitioned"
+            } else {
+                ""
+            },
+        );
+        return Ok(());
+    }
+    if name.is_some() || !inject.is_clean() {
+        return Err("--name and --inject only apply to fleet workers (--join)".to_string());
     }
     if !no_cache {
         opts.cache = Some(ResultCache::default_dir());
@@ -961,6 +1151,49 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         server.addr()?
     );
     server.run()
+}
+
+fn cmd_coordinate(args: &[String]) -> Result<(), String> {
+    let mut opts = CoordinatorOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                opts.addr = args.get(i).ok_or("--addr needs HOST:PORT")?.to_string();
+            }
+            "--queue-cap" => {
+                i += 1;
+                opts.queue_cap =
+                    parse_u64(args.get(i).ok_or("--queue-cap needs a value")?)? as usize;
+            }
+            "--lease-ms" => {
+                i += 1;
+                opts.lease_ms = parse_u64(args.get(i).ok_or("--lease-ms needs a value")?)?;
+            }
+            "--heartbeat-ms" => {
+                i += 1;
+                opts.heartbeat_ms = parse_u64(args.get(i).ok_or("--heartbeat-ms needs a value")?)?;
+            }
+            "--heartbeat-timeout-ms" => {
+                i += 1;
+                opts.heartbeat_timeout_ms =
+                    parse_u64(args.get(i).ok_or("--heartbeat-timeout-ms needs a value")?)?;
+            }
+            other => return Err(format!("coordinate: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    let summary = format!(
+        "queue cap {}, lease {} ms, heartbeat {} ms (timeout {} ms)",
+        opts.queue_cap, opts.lease_ms, opts.heartbeat_ms, opts.heartbeat_timeout_ms
+    );
+    let coordinator = Coordinator::bind(opts)?;
+    eprintln!(
+        "gcl coordinate: listening on {} ({summary})",
+        coordinator.addr()?
+    );
+    coordinator.run()
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! | [`sim`] | `gcl-sim` | cycle-level SIMT GPU simulator (GPGPU-Sim's role) |
 //! | [`workloads`] | `gcl-workloads` | the 15 benchmarks of Table I, rebuilt |
 //! | [`stats`] | `gcl-stats` | profiler counters, tables, figure series |
-//! | [`exec`] | `gcl-exec` | parallel job pool, content-addressed result cache, `gcl serve` daemon |
+//! | [`exec`] | `gcl-exec` | parallel job pool, content-addressed result cache, `gcl serve` daemon, fleet coordinator |
 //!
 //! ## Thirty-second tour
 //!
@@ -70,8 +70,9 @@ pub mod prelude {
     pub use gcl_analyze::{affine_loads, analyze, Prediction, Report, Severity};
     pub use gcl_core::{classify, AddressSource, Classification, LoadClass};
     pub use gcl_exec::{
-        run_job, run_pool, JobEvent, JobResult, JobSpec, PoolConfig, ResultCache, ServeOptions,
-        Server,
+        run_job, run_pool, run_worker, ClientOptions, Coordinator, CoordinatorOptions, ExecError,
+        FleetInject, JobEvent, JobOutput, JobResult, JobSpec, PoolConfig, ResultCache, ServeClient,
+        ServeOptions, Server, WorkerOptions,
     };
     pub use gcl_ptx::{
         parse_kernel, Cfg, CmpOp, Kernel, KernelBuilder, Operand, Reg, Space, Special, Type,
