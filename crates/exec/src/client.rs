@@ -59,6 +59,24 @@ struct Conn {
     writer: TcpStream,
 }
 
+fn dial_conn(opts: &ClientOptions) -> Result<Conn, String> {
+    let stream = TcpStream::connect(&opts.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.addr))?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .map_err(|e| format!("cannot set read deadline: {e}"))?;
+    stream
+        .set_write_timeout(Some(Duration::from_millis(5_000)))
+        .map_err(|e| format!("cannot set write deadline: {e}"))?;
+    let writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    Ok(Conn {
+        reader: FrameReader::new(stream, opts.max_frame),
+        writer,
+    })
+}
+
 /// One logical session with a serve daemon or fleet coordinator; see the
 /// module docs for the reliability contract.
 pub struct ServeClient {
@@ -89,24 +107,6 @@ impl ServeClient {
         &self.opts.addr
     }
 
-    fn dial(&self) -> Result<Conn, String> {
-        let stream = TcpStream::connect(&self.opts.addr)
-            .map_err(|e| format!("cannot connect to {}: {e}", self.opts.addr))?;
-        stream
-            .set_read_timeout(Some(Duration::from_millis(100)))
-            .map_err(|e| format!("cannot set read deadline: {e}"))?;
-        stream
-            .set_write_timeout(Some(Duration::from_millis(5_000)))
-            .map_err(|e| format!("cannot set write deadline: {e}"))?;
-        let writer = stream
-            .try_clone()
-            .map_err(|e| format!("cannot clone stream: {e}"))?;
-        Ok(Conn {
-            reader: FrameReader::new(stream, self.opts.max_frame),
-            writer,
-        })
-    }
-
     fn ensure_conn(&mut self) -> Result<(), String> {
         if self.conn.is_some() {
             return Ok(());
@@ -117,7 +117,7 @@ impl ServeClient {
                 let delay = self.opts.backoff.delay_ms(attempt, &mut self.rng);
                 std::thread::sleep(Duration::from_millis(delay));
             }
-            match self.dial() {
+            match dial_conn(&self.opts) {
                 Ok(conn) => {
                     self.conn = Some(conn);
                     return Ok(());
@@ -284,5 +284,335 @@ impl ServeClient {
     /// A transport failure.
     pub fn shutdown(&mut self) -> Result<Json, String> {
         self.call(&Json::obj(vec![("op", Json::Str("shutdown".into()))]))
+    }
+}
+
+/// What a session submit produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSubmit {
+    /// The coordinator's job id.
+    pub id: u64,
+    /// The submit joined an existing job instead of queueing a new one.
+    pub deduped: bool,
+}
+
+/// A streaming session with the fleet coordinator.
+///
+/// Where [`ServeClient`] polls, a `SessionClient` attaches with the
+/// `session` verb and receives the coordinator's NDJSON event stream —
+/// `queued` / `leased` / `reassigned` / `done` / `failed` per subscribed
+/// job, plus unsequenced `depth` heartbeats. Events carry a monotonic
+/// `seq`; the client tracks its cursor so a dropped connection re-attaches
+/// with `{"op":"session","id":…,"from":cursor}` and the coordinator
+/// replays everything missed from the session's event log. The same
+/// connection still accepts request verbs ([`SessionClient::call`]):
+/// responses are told apart from events by the absence of an `event`
+/// field, and any events that arrive while waiting are buffered for the
+/// next [`SessionClient::next_event`].
+pub struct SessionClient {
+    opts: ClientOptions,
+    conn: Option<Conn>,
+    rng: Rng,
+    session: Option<String>,
+    cursor: u64,
+    truncated: bool,
+    events: std::collections::VecDeque<Json>,
+}
+
+impl SessionClient {
+    /// Open a fresh session, or re-attach to `resume` and replay missed
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the coordinator cannot be reached,
+    /// refuses the attach (e.g. an unknown resume id), or the retry
+    /// budget runs out.
+    pub fn open(opts: ClientOptions, resume: Option<&str>) -> Result<SessionClient, String> {
+        let rng = Rng::new(opts.seed);
+        let mut client = SessionClient {
+            opts,
+            conn: None,
+            rng,
+            session: resume.map(str::to_string),
+            cursor: 0,
+            truncated: false,
+            events: std::collections::VecDeque::new(),
+        };
+        client.ensure_attached()?;
+        Ok(client)
+    }
+
+    /// The coordinator-assigned session id (stable across re-attaches).
+    pub fn id(&self) -> &str {
+        self.session.as_deref().unwrap_or("")
+    }
+
+    /// Whether any replay skipped events the coordinator had already
+    /// evicted from the session's bounded log.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    fn attach_once(&mut self) -> Result<(), String> {
+        let mut conn = dial_conn(&self.opts)?;
+        let mut fields = vec![("op", Json::Str("session".into()))];
+        if let Some(sid) = &self.session {
+            fields.push(("id", Json::Str(sid.clone())));
+            fields.push(("from", Json::UInt(self.cursor)));
+        }
+        write_frame(&mut conn.writer, &Json::obj(fields)).map_err(|e| e.to_string())?;
+        let deadline = Instant::now() + Duration::from_millis(self.opts.response_timeout_ms.max(1));
+        let ack = loop {
+            match conn.reader.next_frame() {
+                Ok(line) => break Json::parse(&line).map_err(|e| format!("bad session ack: {e}")),
+                Err(FrameError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        break Err(format!(
+                            "no session ack from {} within {} ms",
+                            self.opts.addr, self.opts.response_timeout_ms
+                        ));
+                    }
+                }
+                Err(e) => break Err(e.to_string()),
+            }
+        }?;
+        if !matches!(ack.get("ok"), Some(Json::Bool(true))) {
+            return Err(ack
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("coordinator refused session")
+                .to_string());
+        }
+        let sid = ack
+            .get("session")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("session ack has no id: {ack}"))?;
+        self.session = Some(sid.to_string());
+        if matches!(ack.get("truncated"), Some(Json::Bool(true))) {
+            self.truncated = true;
+        }
+        self.conn = Some(conn);
+        Ok(())
+    }
+
+    fn ensure_attached(&mut self) -> Result<(), String> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut last = String::new();
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                let delay = self.opts.backoff.delay_ms(attempt, &mut self.rng);
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            match self.attach_once() {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    // An attach rejection is final (bad resume id), but a
+                    // transport failure deserves the retry budget.
+                    if e.contains("unknown session") {
+                        return Err(e);
+                    }
+                    last = e;
+                }
+            }
+        }
+        Err(format!("{last} (after {} attempts)", self.opts.retries + 1))
+    }
+
+    /// Record an inbound frame as an event, advancing the replay cursor.
+    fn buffer_event(&mut self, frame: Json) {
+        if let Some(seq) = frame.get("seq").and_then(Json::as_u64) {
+            self.cursor = self.cursor.max(seq + 1);
+        }
+        self.events.push_back(frame);
+    }
+
+    /// Send a request verb on the session connection and return its
+    /// response; events that arrive first are buffered for
+    /// [`SessionClient::next_event`]. Reconnects (re-attaching with the
+    /// cursor) and replays on transport failure.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message once the retry budget is exhausted.
+    pub fn call(&mut self, request: &Json) -> Result<Json, String> {
+        let mut last = String::new();
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                let delay = self.opts.backoff.delay_ms(attempt, &mut self.rng);
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            if let Err(e) = self.ensure_attached() {
+                last = e;
+                continue;
+            }
+            match self.roundtrip(request) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    self.conn = None;
+                    last = e;
+                }
+            }
+        }
+        Err(format!("{last} (after {} attempts)", self.opts.retries + 1))
+    }
+
+    fn roundtrip(&mut self, request: &Json) -> Result<Json, String> {
+        {
+            let conn = self.conn.as_mut().expect("ensure_attached ran");
+            write_frame(&mut conn.writer, request).map_err(|e| e.to_string())?;
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.opts.response_timeout_ms.max(1));
+        loop {
+            let next = {
+                let conn = self.conn.as_mut().expect("ensure_attached ran");
+                conn.reader.next_frame()
+            };
+            match next {
+                Ok(line) => {
+                    let frame =
+                        Json::parse(&line).map_err(|e| format!("bad response frame: {e}"))?;
+                    if frame.get("event").is_some() {
+                        self.buffer_event(frame);
+                        continue;
+                    }
+                    return Ok(frame);
+                }
+                Err(FrameError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "no response from {} within {} ms",
+                            self.opts.addr, self.opts.response_timeout_ms
+                        ));
+                    }
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+
+    /// Pop the next event, waiting up to `timeout` for one to arrive.
+    /// Returns `Ok(None)` on a quiet timeout. Transparently re-attaches
+    /// (replaying missed events) when the connection drops mid-wait.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when reconnecting fails outright.
+    pub fn next_event(&mut self, timeout: Duration) -> Result<Option<Json>, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(event) = self.events.pop_front() {
+                return Ok(Some(event));
+            }
+            if self.conn.is_none() {
+                self.ensure_attached()?;
+            }
+            let next = {
+                let conn = self.conn.as_mut().expect("ensure_attached ran");
+                conn.reader.next_frame()
+            };
+            match next {
+                Ok(line) => {
+                    let Ok(frame) = Json::parse(&line) else {
+                        continue;
+                    };
+                    if frame.get("event").is_some() {
+                        self.buffer_event(frame);
+                    }
+                    // A response with no waiting request (stale reply from
+                    // before a reconnect) is dropped on the floor.
+                }
+                Err(FrameError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+                Err(_) => {
+                    // Stream died: force a re-attach on the next spin,
+                    // which replays anything we missed from the log.
+                    self.conn = None;
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Submit one job tagged with this session (its lifecycle events flow
+    /// into the stream), honoring shed backpressure with bounded jittered
+    /// retries.
+    ///
+    /// # Errors
+    ///
+    /// The coordinator's structured rejection, or the backpressure budget
+    /// running out.
+    pub fn submit(
+        &mut self,
+        workload: &str,
+        tiny: bool,
+        sanitize: bool,
+    ) -> Result<SessionSubmit, String> {
+        let sid = self.id().to_string();
+        let request = Json::obj(vec![
+            ("op", Json::Str("submit".into())),
+            ("workload", Json::Str(workload.into())),
+            ("tiny", Json::Bool(tiny)),
+            ("sanitize", Json::Bool(sanitize)),
+            ("session", Json::Str(sid)),
+        ]);
+        let mut last = String::new();
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                let delay = self.opts.backoff.delay_ms(attempt, &mut self.rng);
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            let response = self.call(&request)?;
+            if matches!(response.get("ok"), Some(Json::Bool(true))) {
+                let id = response
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("submit response has no id: {response}"))?;
+                let deduped = matches!(response.get("deduped"), Some(Json::Bool(true)));
+                return Ok(SessionSubmit { id, deduped });
+            }
+            let error = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            let shed = matches!(response.get("shed"), Some(Json::Bool(true)));
+            if !shed && !error.starts_with(QUEUE_FULL) {
+                return Err(error);
+            }
+            last = error;
+        }
+        Err(format!(
+            "{last} (after {} backpressure retries)",
+            self.opts.retries
+        ))
+    }
+
+    /// Fetch the state of job `id` on the session connection.
+    ///
+    /// # Errors
+    ///
+    /// The coordinator's structured rejection or a transport failure.
+    pub fn result(&mut self, id: u64) -> Result<Json, String> {
+        let response = self.call(&Json::obj(vec![
+            ("op", Json::Str("result".into())),
+            ("id", Json::UInt(id)),
+        ]))?;
+        if matches!(response.get("ok"), Some(Json::Bool(true))) {
+            Ok(response)
+        } else {
+            Err(response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string())
+        }
     }
 }

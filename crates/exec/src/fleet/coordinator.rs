@@ -25,8 +25,8 @@
 //! [`crate::fleet`] module docs for the determinism argument).
 
 use crate::job::JobSpec;
-use crate::proto::{write_frame, FrameError, FrameReader};
-use crate::serve::{error_response, parse_submit, QUEUE_FULL};
+use crate::proto::{encode_key, fetch_frame, store_frame, write_frame, FrameError, FrameReader};
+use crate::serve::{error_response, parse_submit, shed_response, ServeError, QUEUE_FULL};
 use gcl_sim::{fnv_fold, LaunchStats};
 use gcl_stats::{Accumulator, Json};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -40,6 +40,13 @@ pub const WORKER_DEAD: &str = "worker dead";
 
 /// Reason logged when a lease deadline reclaims a running job.
 pub const LEASE_EXPIRED: &str = "lease expired";
+
+/// Reason logged when a `decommission` verb retires a worker.
+pub const DECOMMISSIONED: &str = "decommissioned";
+
+/// Events a session's replay log retains; older events are truncated and
+/// a late re-attach learns it missed some (`"truncated":true` in the ack).
+const EVENT_LOG_CAP: usize = 8192;
 
 /// How the coordinator runs.
 #[derive(Debug, Clone)]
@@ -62,6 +69,16 @@ pub struct CoordinatorOptions {
     pub write_timeout_ms: u64,
     /// Print the per-worker outcome table on drain.
     pub print_outcomes: bool,
+    /// Replica-set size R: every verified result is fanned out to the top
+    /// R rendezvous-ranked live workers, so a key survives any node loss
+    /// short of its entire replica set dying.
+    pub replicas: usize,
+    /// How long a replica `fetch` probe may go unanswered before the
+    /// lookup advances to the next replica (or to recomputation).
+    pub probe_timeout_ms: u64,
+    /// Admission control: a session with this many unfinished submits gets
+    /// structured shed responses instead of deeper queueing (0 disables).
+    pub session_inflight_cap: u64,
 }
 
 impl Default for CoordinatorOptions {
@@ -75,15 +92,23 @@ impl Default for CoordinatorOptions {
             max_frame: 1024 * 1024,
             write_timeout_ms: 5_000,
             print_outcomes: true,
+            replicas: 2,
+            probe_timeout_ms: 2_000,
+            session_inflight_cap: 1_024,
         }
     }
 }
 
-/// A completed job's payload, as verified from a worker's `done` frame.
+/// A completed job's payload, as verified from a worker's `done` frame or
+/// decoded from a replica `fetched` hit.
 #[derive(Debug, Clone)]
 struct FleetResult {
     stats: LaunchStats,
     wall_ms: f64,
+    /// Wall time measured on the worker that executed the job, including
+    /// any stall injection — the fleet-side counterpart of the local
+    /// manifest's wall column (0 for replica hits; nothing executed).
+    worker_wall_ms: f64,
     cached: bool,
     worker: String,
 }
@@ -92,7 +117,17 @@ struct FleetResult {
 #[derive(Debug)]
 enum FleetJobState {
     Queued,
-    Leased { worker: usize, deadline: Instant },
+    /// A replica `fetch` is in flight at `worker` for replica-set rank
+    /// `rank`; a miss, a timeout or the worker's death advances the rank.
+    Probing {
+        worker: usize,
+        rank: usize,
+        deadline: Instant,
+    },
+    Leased {
+        worker: usize,
+        deadline: Instant,
+    },
     Done(Box<FleetResult>),
     Failed(String),
 }
@@ -108,6 +143,13 @@ struct FleetJob {
     /// reclaimed job would bounce back to the same straggler forever;
     /// assignment avoids this worker whenever any other candidate exists.
     last_worker: Option<usize>,
+    /// Next replica rank to probe for this job's key.
+    probe_rank: usize,
+    /// Every replica rank answered "miss" (or died): stop probing and
+    /// recompute.
+    probe_done: bool,
+    /// Sessions subscribed to this job's lifecycle events.
+    sessions: Vec<String>,
 }
 
 /// All jobs ever submitted, plus the dispatch queue and the cache-key
@@ -120,6 +162,9 @@ struct JobTable {
     queue: VecDeque<u64>,
     /// Cache key → job id: a resubmitted spec joins the existing job.
     by_key: HashMap<u64, u64>,
+    /// Keys whose payload was fanned out to a replica set at least once.
+    /// Only these are worth probing — a never-stored key can only miss.
+    stored: HashSet<u64>,
     next_id: u64,
 }
 
@@ -135,6 +180,8 @@ struct WorkerEntry {
     ping_seq: u64,
     /// Job ids currently leased to this worker.
     leased: HashSet<u64>,
+    /// Job ids with a replica probe in flight at this worker.
+    probing: HashSet<u64>,
     // Outcome counters for the drain-time table.
     done: u64,
     failed: u64,
@@ -142,13 +189,91 @@ struct WorkerEntry {
     reassigned: u64,
 }
 
+/// Fleet-wide cache and admission counters, exposed by `status` and
+/// asserted on by the chaos tests (recomputation accounting).
+#[derive(Debug, Default, Clone)]
+struct FleetCounters {
+    /// Accepted `done` results that were actually simulated (not served
+    /// from any cache) — the fleet's recomputation count.
+    sims: u64,
+    /// `store` frames successfully sent to replica holders.
+    stores: u64,
+    /// Replica hits answered by rank 0 (the key's primary).
+    primary_hits: u64,
+    /// Replica hits answered by a surviving non-primary replica.
+    read_through: u64,
+    /// Write-repair fan-outs triggered by a non-primary hit.
+    repairs: u64,
+    /// Stored keys whose entire replica set missed — truly lost.
+    misses: u64,
+    /// Submits answered by joining an existing job (cache-key dedup).
+    dedup_hits: u64,
+    /// Submits refused with a structured shed response.
+    sheds: u64,
+}
+
+/// One client session: a durable event log and an inflight count for
+/// admission control. Survives the connection that created it.
+#[derive(Debug, Default)]
+struct Session {
+    /// Replay log; `front()` has sequence number `base_seq`.
+    log: VecDeque<Json>,
+    base_seq: u64,
+    next_seq: u64,
+    /// Submitted-but-not-terminal jobs attributed to this session.
+    inflight: u64,
+}
+
+#[derive(Default)]
+struct SessionTable {
+    map: HashMap<String, Session>,
+    next: u64,
+}
+
+impl SessionTable {
+    /// Append one event (with a per-session sequence number) to every
+    /// subscribed session's log, truncating from the front at the cap.
+    fn log_event(&mut self, subscribers: &[String], kind: &str, fields: &[(&str, Json)]) {
+        for sid in subscribers {
+            let Some(s) = self.map.get_mut(sid) else {
+                continue;
+            };
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            let mut pairs = vec![
+                ("event", Json::Str(kind.to_string())),
+                ("seq", Json::UInt(seq)),
+            ];
+            pairs.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+            s.log.push_back(Json::obj(pairs));
+            while s.log.len() > EVENT_LOG_CAP {
+                s.log.pop_front();
+                s.base_seq += 1;
+            }
+        }
+    }
+}
+
+/// Decrement the inflight count of every session subscribed to a job that
+/// just reached a terminal state.
+fn settle_subscribers(sessions: &mut SessionTable, subscribers: &[String]) {
+    for sid in subscribers {
+        if let Some(s) = sessions.map.get_mut(sid) {
+            s.inflight = s.inflight.saturating_sub(1);
+        }
+    }
+}
+
 /// Everything the accept loop, session handlers, and supervisor share.
 ///
-/// Lock order: `jobs` before `workers`; never the reverse.
+/// Lock order: `jobs` → `workers` → `sessions` → `counters` → `depth`;
+/// never the reverse of any pair.
 struct CoordShared {
     opts: CoordinatorOptions,
     jobs: Mutex<JobTable>,
     workers: Mutex<Vec<WorkerEntry>>,
+    sessions: Mutex<SessionTable>,
+    counters: Mutex<FleetCounters>,
     draining: AtomicBool,
     /// Set once the drain completes; accept and supervisor loops exit.
     finished: AtomicBool,
@@ -168,26 +293,41 @@ impl Coordinator {
     ///
     /// # Errors
     ///
-    /// A human-readable message if the options are inconsistent or the
-    /// address cannot be bound.
-    pub fn bind(opts: CoordinatorOptions) -> Result<Coordinator, String> {
+    /// [`ServeError::Config`] if the options are inconsistent,
+    /// [`ServeError::Bind`] if the address cannot be bound.
+    pub fn bind(opts: CoordinatorOptions) -> Result<Coordinator, ServeError> {
         if opts.queue_cap == 0 {
-            return Err("coordinator needs a positive queue capacity".to_string());
-        }
-        if opts.lease_ms == 0 || opts.heartbeat_ms == 0 || opts.heartbeat_timeout_ms == 0 {
-            return Err("coordinator deadlines must be positive".to_string());
-        }
-        if opts.heartbeat_timeout_ms <= opts.heartbeat_ms {
-            return Err(format!(
-                "heartbeat timeout ({} ms) must exceed the ping interval ({} ms)",
-                opts.heartbeat_timeout_ms, opts.heartbeat_ms
+            return Err(ServeError::Config(
+                "coordinator needs a positive queue capacity".to_string(),
             ));
         }
-        let listener =
-            TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+        if opts.lease_ms == 0
+            || opts.heartbeat_ms == 0
+            || opts.heartbeat_timeout_ms == 0
+            || opts.probe_timeout_ms == 0
+        {
+            return Err(ServeError::Config(
+                "coordinator deadlines must be positive".to_string(),
+            ));
+        }
+        if opts.heartbeat_timeout_ms <= opts.heartbeat_ms {
+            return Err(ServeError::Config(format!(
+                "heartbeat timeout ({} ms) must exceed the ping interval ({} ms)",
+                opts.heartbeat_timeout_ms, opts.heartbeat_ms
+            )));
+        }
+        if opts.replicas == 0 {
+            return Err(ServeError::Config(
+                "coordinator needs at least one replica (--replicas 1)".to_string(),
+            ));
+        }
+        let listener = TcpListener::bind(&opts.addr)
+            .map_err(|e| ServeError::Bind(format!("cannot bind {}: {e}", opts.addr)))?;
         let shared = Arc::new(CoordShared {
             jobs: Mutex::new(JobTable::default()),
             workers: Mutex::new(Vec::new()),
+            sessions: Mutex::new(SessionTable::default()),
+            counters: Mutex::new(FleetCounters::default()),
             draining: AtomicBool::new(false),
             finished: AtomicBool::new(false),
             depth: Mutex::new(Accumulator::default()),
@@ -200,11 +340,11 @@ impl Coordinator {
     ///
     /// # Errors
     ///
-    /// A human-readable message if the socket address cannot be read.
-    pub fn addr(&self) -> Result<std::net::SocketAddr, String> {
+    /// [`ServeError::Bind`] if the socket address cannot be read.
+    pub fn addr(&self) -> Result<std::net::SocketAddr, ServeError> {
         self.listener
             .local_addr()
-            .map_err(|e| format!("cannot read bound address: {e}"))
+            .map_err(|e| ServeError::Bind(format!("cannot read bound address: {e}")))
     }
 
     /// Run until a `shutdown` request drains every job to a terminal
@@ -213,11 +353,11 @@ impl Coordinator {
     ///
     /// # Errors
     ///
-    /// A human-readable message on listener failure.
-    pub fn run(self) -> Result<(), String> {
+    /// [`ServeError::Net`] on listener failure.
+    pub fn run(self) -> Result<(), ServeError> {
         self.listener
             .set_nonblocking(true)
-            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+            .map_err(|e| ServeError::Net(format!("cannot set nonblocking accept: {e}")))?;
         std::thread::scope(|scope| {
             {
                 let shared = Arc::clone(&self.shared);
@@ -272,12 +412,32 @@ fn print_outcome_table(shared: &CoordShared) {
             depth.count
         );
     }
+    let c = shared.counters.lock().expect("counters poisoned").clone();
+    eprintln!(
+        "  cache: {} sims, {} stores, {} primary hits, {} read-through, \
+         {} repairs, {} lost, {} dedup, {} sheds",
+        c.sims,
+        c.stores,
+        c.primary_hits,
+        c.read_through,
+        c.repairs,
+        c.misses,
+        c.dedup_hits,
+        c.sheds
+    );
 }
 
 /// Declare worker `idx` dead for `reason`: tear down its socket, return
-/// every lease it held to the front of the queue. Caller holds both locks
-/// (jobs first).
-fn mark_dead(jobs: &mut JobTable, workers: &mut [WorkerEntry], idx: usize, reason: &str) {
+/// every lease it held to the front of the queue, advance every probe it
+/// owed past its rank. Caller holds jobs, workers and sessions locks (in
+/// that order).
+fn mark_dead(
+    jobs: &mut JobTable,
+    workers: &mut [WorkerEntry],
+    sessions: &mut SessionTable,
+    idx: usize,
+    reason: &str,
+) {
     let w = &mut workers[idx];
     if !w.alive {
         return;
@@ -287,6 +447,7 @@ fn mark_dead(jobs: &mut JobTable, workers: &mut [WorkerEntry], idx: usize, reaso
         let _ = writer.shutdown(Shutdown::Both);
     }
     let leases: Vec<u64> = w.leased.drain().collect();
+    let probes: Vec<u64> = w.probing.drain().collect();
     if !leases.is_empty() {
         eprintln!(
             "fleet: {reason}: `{}` loses {} lease(s), reassigning",
@@ -298,7 +459,23 @@ fn mark_dead(jobs: &mut JobTable, workers: &mut [WorkerEntry], idx: usize, reaso
     }
     for id in leases {
         w.reassigned += 1;
+        let subscribers = jobs
+            .map
+            .get(&id)
+            .map(|j| j.sessions.clone())
+            .unwrap_or_default();
+        sessions.log_event(
+            &subscribers,
+            "reassigned",
+            &[
+                ("job", Json::UInt(id)),
+                ("reason", Json::Str(reason.to_string())),
+            ],
+        );
         requeue_front(jobs, id);
+    }
+    for id in probes {
+        probe_requeue(jobs, id, idx);
     }
 }
 
@@ -313,6 +490,73 @@ fn requeue_front(jobs: &mut JobTable, id: u64) {
     }
 }
 
+/// Return a probing job to the queue front, advancing past the rank that
+/// was being probed at `worker` (miss, timeout, or a dead worker).
+fn probe_requeue(jobs: &mut JobTable, id: u64, worker: usize) {
+    if let Some(job) = jobs.map.get_mut(&id) {
+        if let FleetJobState::Probing {
+            worker: w, rank, ..
+        } = job.state
+        {
+            if w == worker {
+                job.probe_rank = rank + 1;
+                job.state = FleetJobState::Queued;
+                jobs.queue.push_front(id);
+            }
+        }
+    }
+}
+
+/// Live workers ranked by rendezvous weight for `key`, highest first. The
+/// top [`CoordinatorOptions::replicas`] entries are the key's replica set
+/// for the current fleet; the ranking degrades gracefully as workers die
+/// (survivors keep their relative order).
+fn ranked_live(workers: &[WorkerEntry], key: u64) -> Vec<usize> {
+    let mut live: Vec<usize> = workers
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.alive && w.writer.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    live.sort_by_key(|&i| std::cmp::Reverse(fnv_fold(key, i as u64)));
+    live
+}
+
+/// Fan a verified payload out to `key`'s replica set (minus `exclude`,
+/// which already holds it). Dead sends bury the worker; returns how many
+/// stores landed. Caller holds jobs, workers and sessions locks.
+#[allow(clippy::too_many_arguments)]
+fn fan_out_store(
+    jobs: &mut JobTable,
+    workers: &mut [WorkerEntry],
+    sessions: &mut SessionTable,
+    opts: &CoordinatorOptions,
+    key: u64,
+    hex: &str,
+    sum: &str,
+    wall_ms: f64,
+    exclude: Option<usize>,
+) -> u64 {
+    let targets: Vec<usize> = ranked_live(workers, key)
+        .into_iter()
+        .take(opts.replicas)
+        .filter(|widx| Some(*widx) != exclude)
+        .collect();
+    let frame = store_frame(key, hex, sum, wall_ms);
+    let mut sent = 0;
+    for widx in targets {
+        if send_to_worker(&mut workers[widx], &frame).is_err() {
+            mark_dead(jobs, workers, sessions, widx, WORKER_DEAD);
+        } else {
+            sent += 1;
+        }
+    }
+    if sent > 0 || exclude.is_some() {
+        jobs.stored.insert(key);
+    }
+    sent
+}
+
 /// The supervisor: heartbeats, deadline enforcement, assignment, drain.
 fn supervisor_loop(shared: &Arc<CoordShared>) {
     let tick = Duration::from_millis(20);
@@ -324,6 +568,7 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
         {
             let mut jobs = shared.jobs.lock().expect("jobs poisoned");
             let mut workers = shared.workers.lock().expect("workers poisoned");
+            let mut sessions = shared.sessions.lock().expect("sessions poisoned");
 
             // Heartbeats: ping on schedule, bury on deadline.
             let hb = Duration::from_millis(shared.opts.heartbeat_ms);
@@ -333,7 +578,7 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                     continue;
                 }
                 if now.duration_since(workers[idx].last_pong) > hb_timeout {
-                    mark_dead(&mut jobs, &mut workers, idx, WORKER_DEAD);
+                    mark_dead(&mut jobs, &mut workers, &mut sessions, idx, WORKER_DEAD);
                     continue;
                 }
                 if now.duration_since(workers[idx].last_ping) >= hb {
@@ -345,7 +590,7 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                         ("seq", Json::UInt(seq)),
                     ]);
                     if send_to_worker(&mut workers[idx], &ping).is_err() {
-                        mark_dead(&mut jobs, &mut workers, idx, WORKER_DEAD);
+                        mark_dead(&mut jobs, &mut workers, &mut sessions, idx, WORKER_DEAD);
                     }
                 }
             }
@@ -371,12 +616,46 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                         w.name
                     );
                 }
+                let subscribers = jobs
+                    .map
+                    .get(&id)
+                    .map(|j| j.sessions.clone())
+                    .unwrap_or_default();
+                sessions.log_event(
+                    &subscribers,
+                    "reassigned",
+                    &[
+                        ("job", Json::UInt(id)),
+                        ("reason", Json::Str(LEASE_EXPIRED.to_string())),
+                    ],
+                );
                 requeue_front(&mut jobs, id);
             }
 
-            // Assignment: shard the queue across live workers with free
-            // slots, rendezvous-hashing on the content-addressed key so
-            // placement is deterministic for a fixed fleet.
+            // Replica probes that never got an answer: advance the rank.
+            let stale_probes: Vec<(u64, usize)> = jobs
+                .map
+                .iter()
+                .filter_map(|(id, job)| match job.state {
+                    FleetJobState::Probing {
+                        worker, deadline, ..
+                    } if now >= deadline => Some((*id, worker)),
+                    _ => None,
+                })
+                .collect();
+            for (id, widx) in stale_probes {
+                if let Some(w) = workers.get_mut(widx) {
+                    w.probing.remove(&id);
+                }
+                eprintln!("fleet: replica probe for job {id} timed out; advancing");
+                probe_requeue(&mut jobs, id, widx);
+            }
+
+            // Dispatch: pop the queue; a key known to be replicated is
+            // probed (read-through) before costing a simulation, everything
+            // else is sharded across live workers with free slots,
+            // rendezvous-hashing on the content-addressed key so placement
+            // is deterministic for a fixed fleet.
             let mut stuck = VecDeque::new();
             while let Some(id) = jobs.queue.pop_front() {
                 let Some(job) = jobs.map.get(&id) else {
@@ -387,6 +666,33 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                 }
                 let key = job.key;
                 let avoid = job.last_worker;
+                let probe_rank = job.probe_rank;
+                let probe_pending = jobs.stored.contains(&key) && !job.probe_done;
+                if probe_pending {
+                    let ranked = ranked_live(&workers, key);
+                    let max_rank = shared.opts.replicas.min(ranked.len());
+                    if probe_rank < max_rank {
+                        let widx = ranked[probe_rank];
+                        if send_to_worker(&mut workers[widx], &fetch_frame(id, key)).is_err() {
+                            mark_dead(&mut jobs, &mut workers, &mut sessions, widx, WORKER_DEAD);
+                            jobs.queue.push_front(id);
+                            continue;
+                        }
+                        let job = jobs.map.get_mut(&id).expect("job exists");
+                        job.state = FleetJobState::Probing {
+                            worker: widx,
+                            rank: probe_rank,
+                            deadline: now + Duration::from_millis(shared.opts.probe_timeout_ms),
+                        };
+                        workers[widx].probing.insert(id);
+                        continue;
+                    }
+                    // Every replica rank missed or died: the key is truly
+                    // lost; fall through and recompute it.
+                    let job = jobs.map.get_mut(&id).expect("job exists");
+                    job.probe_done = true;
+                    shared.counters.lock().expect("counters poisoned").misses += 1;
+                }
                 let free =
                     |w: &WorkerEntry| w.alive && w.writer.is_some() && w.leased.len() < w.slots;
                 let candidates: Vec<usize> = workers
@@ -409,20 +715,32 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                     continue;
                 };
                 let job = jobs.map.get_mut(&id).expect("job exists");
-                let assign = Json::obj(vec![
+                let mut assign_fields = vec![
                     ("op", Json::Str("assign".into())),
                     ("job", Json::UInt(id)),
                     ("workload", Json::Str(job.spec.workload.clone())),
                     ("tiny", Json::Bool(job.spec.tiny)),
                     ("sanitize", Json::Bool(job.spec.cfg.sanitize)),
-                ]);
+                ];
+                // Non-default cycle budgets (loadgen variants) must survive
+                // the trip to the worker or the digest would differ.
+                let default_cycles = if job.spec.tiny {
+                    gcl_sim::GpuConfig::small().max_cycles
+                } else {
+                    gcl_sim::GpuConfig::fermi().max_cycles
+                };
+                if job.spec.cfg.max_cycles != default_cycles {
+                    assign_fields.push(("max_cycles", Json::UInt(job.spec.cfg.max_cycles)));
+                }
+                let assign = Json::obj(assign_fields);
                 if send_to_worker(&mut workers[widx], &assign).is_err() {
-                    mark_dead(&mut jobs, &mut workers, widx, WORKER_DEAD);
+                    mark_dead(&mut jobs, &mut workers, &mut sessions, widx, WORKER_DEAD);
                     // mark_dead may have requeued other jobs; this one is
                     // still ours to put back.
                     jobs.queue.push_front(id);
                     continue;
                 }
+                let wname = workers[widx].name.clone();
                 let job = jobs.map.get_mut(&id).expect("job exists");
                 job.assigns += 1;
                 job.last_worker = Some(widx);
@@ -430,7 +748,13 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                     worker: widx,
                     deadline: now + Duration::from_millis(shared.opts.lease_ms),
                 };
+                let subscribers = job.sessions.clone();
                 workers[widx].leased.insert(id);
+                sessions.log_event(
+                    &subscribers,
+                    "leased",
+                    &[("job", Json::UInt(id)), ("worker", Json::Str(wname))],
+                );
             }
             // Jobs with nowhere to go wait at the front, in order.
             for id in stuck.into_iter().rev() {
@@ -556,6 +880,7 @@ fn worker_session(
             last_ping: now,
             ping_seq: 0,
             leased: HashSet::new(),
+            probing: HashSet::new(),
             done: 0,
             failed: 0,
             corrupt: 0,
@@ -567,7 +892,8 @@ fn worker_session(
     if write_frame(&mut writer, &Json::obj(vec![("ok", Json::Bool(true))])).is_err() {
         let mut jobs = shared.jobs.lock().expect("jobs poisoned");
         let mut workers = shared.workers.lock().expect("workers poisoned");
-        mark_dead(&mut jobs, &mut workers, idx, WORKER_DEAD);
+        let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+        mark_dead(&mut jobs, &mut workers, &mut sessions, idx, WORKER_DEAD);
         return;
     }
     loop {
@@ -584,7 +910,8 @@ fn worker_session(
             Err(_) => {
                 let mut jobs = shared.jobs.lock().expect("jobs poisoned");
                 let mut workers = shared.workers.lock().expect("workers poisoned");
-                mark_dead(&mut jobs, &mut workers, idx, WORKER_DEAD);
+                let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+                mark_dead(&mut jobs, &mut workers, &mut sessions, idx, WORKER_DEAD);
                 return;
             }
         };
@@ -600,6 +927,7 @@ fn worker_session(
             }
             Some("done") => handle_done(&frame, idx, shared),
             Some("fail") => handle_fail(&frame, idx, shared),
+            Some("fetched") => handle_fetched(&frame, idx, shared),
             _ => {}
         }
     }
@@ -615,36 +943,79 @@ fn handle_done(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
     let verified = verify_result(frame);
     let mut jobs = shared.jobs.lock().expect("jobs poisoned");
     let mut workers = shared.workers.lock().expect("workers poisoned");
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
     if let Some(w) = workers.get_mut(idx) {
         w.leased.remove(&id);
     }
-    let Some(job) = jobs.map.get_mut(&id) else {
+    if !jobs.map.contains_key(&id) {
         return;
-    };
+    }
     match verified {
-        Ok((stats, wall_ms, cached)) => {
+        Ok((stats, wall_ms, worker_wall_ms, cached)) => {
             // First result wins; a duplicate from a reassigned job carries
             // identical bytes (the run is a pure function of the spec), so
             // dropping it is sound.
-            if matches!(
+            let job = jobs.map.get_mut(&id).expect("job exists");
+            if !matches!(
                 job.state,
                 FleetJobState::Leased { .. } | FleetJobState::Queued
             ) {
-                let worker_name = workers
-                    .get(idx)
-                    .map_or_else(String::new, |w| w.name.clone());
-                job.state = FleetJobState::Done(Box::new(FleetResult {
-                    stats,
+                return;
+            }
+            let worker_name = workers
+                .get(idx)
+                .map_or_else(String::new, |w| w.name.clone());
+            let key = job.key;
+            let workload = job.spec.workload.clone();
+            let subscribers = job.sessions.clone();
+            job.state = FleetJobState::Done(Box::new(FleetResult {
+                stats,
+                wall_ms,
+                worker_wall_ms,
+                cached,
+                worker: worker_name.clone(),
+            }));
+            // It may have been requeued by a pessimistic deadline; drop
+            // the stale queue entry lazily (assignment skips non-Queued
+            // ids).
+            if let Some(w) = workers.get_mut(idx) {
+                w.done += 1;
+            }
+            sessions.log_event(
+                &subscribers,
+                "done",
+                &[
+                    ("job", Json::UInt(id)),
+                    ("workload", Json::Str(workload)),
+                    ("cached", Json::Bool(cached)),
+                    ("wall_ms", Json::Float(wall_ms)),
+                    ("worker_wall_ms", Json::Float(worker_wall_ms)),
+                    ("worker", Json::Str(worker_name)),
+                ],
+            );
+            settle_subscribers(&mut sessions, &subscribers);
+            if !cached {
+                shared.counters.lock().expect("counters poisoned").sims += 1;
+            }
+            // Durability: fan the already-verified payload bytes out to
+            // the key's replica set; a later submit of this key can then
+            // be served by any surviving replica.
+            if let (Some(hex), Some(sum)) = (
+                frame.get("stats").and_then(Json::as_str),
+                frame.get("sum").and_then(Json::as_str),
+            ) {
+                let sent = fan_out_store(
+                    &mut jobs,
+                    &mut workers,
+                    &mut sessions,
+                    &shared.opts,
+                    key,
+                    hex,
+                    sum,
                     wall_ms,
-                    cached,
-                    worker: worker_name,
-                }));
-                // It may have been requeued by a pessimistic deadline;
-                // drop the stale queue entry lazily (assignment skips
-                // non-Queued ids).
-                if let Some(w) = workers.get_mut(idx) {
-                    w.done += 1;
-                }
+                    None,
+                );
+                shared.counters.lock().expect("counters poisoned").stores += sent;
             }
         }
         Err(why) => {
@@ -653,13 +1024,27 @@ fn handle_done(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
                 w.corrupt += 1;
                 w.reassigned += 1;
             }
+            let subscribers = jobs
+                .map
+                .get(&id)
+                .map(|j| j.sessions.clone())
+                .unwrap_or_default();
+            sessions.log_event(
+                &subscribers,
+                "reassigned",
+                &[
+                    ("job", Json::UInt(id)),
+                    ("reason", Json::Str("corrupt result".to_string())),
+                ],
+            );
             requeue_front(&mut jobs, id);
         }
     }
 }
 
 /// Decode and checksum-verify the `stats` payload of a `done` frame.
-fn verify_result(frame: &Json) -> Result<(LaunchStats, f64, bool), String> {
+/// Returns `(stats, wall_ms, worker_wall_ms, cached)`.
+fn verify_result(frame: &Json) -> Result<(LaunchStats, f64, f64, bool), String> {
     let hex = frame
         .get("stats")
         .and_then(Json::as_str)
@@ -670,8 +1055,113 @@ fn verify_result(frame: &Json) -> Result<(LaunchStats, f64, bool), String> {
         .ok_or("missing checksum")?;
     let stats = super::decode_stats_payload(hex, sum_text)?;
     let wall_ms = frame.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let worker_wall_ms = frame
+        .get("worker_wall_ms")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
     let cached = frame.get("cached").and_then(Json::as_bool).unwrap_or(false);
-    Ok((stats, wall_ms, cached))
+    Ok((stats, wall_ms, worker_wall_ms, cached))
+}
+
+/// A worker's answer to a replica probe. A verified hit completes the job
+/// from the replica store (and write-repairs the set when a non-primary
+/// answered); a miss or a corrupt payload advances to the next rank.
+fn handle_fetched(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
+    let Some(id) = frame.get("job").and_then(Json::as_u64) else {
+        return;
+    };
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let mut workers = shared.workers.lock().expect("workers poisoned");
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+    if let Some(w) = workers.get_mut(idx) {
+        w.probing.remove(&id);
+    }
+    let Some(job) = jobs.map.get_mut(&id) else {
+        return;
+    };
+    let (worker, rank) = match &job.state {
+        FleetJobState::Probing { worker, rank, .. } => (*worker, *rank),
+        // Stale answer: the probe already timed out and moved on.
+        _ => return,
+    };
+    if worker != idx {
+        return;
+    }
+    let hit = frame.get("hit").and_then(Json::as_bool).unwrap_or(false);
+    if hit {
+        let payload = match (
+            frame.get("stats").and_then(Json::as_str),
+            frame.get("sum").and_then(Json::as_str),
+        ) {
+            (Some(hex), Some(sum)) => super::decode_stats_payload(hex, sum)
+                .map(|stats| (stats, hex.to_string(), sum.to_string())),
+            _ => Err("fetched hit without payload".to_string()),
+        };
+        match payload {
+            Ok((stats, hex, sum)) => {
+                let wall_ms = frame.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                let worker_name = workers
+                    .get(idx)
+                    .map_or_else(String::new, |w| w.name.clone());
+                let key = job.key;
+                let workload = job.spec.workload.clone();
+                let subscribers = job.sessions.clone();
+                job.state = FleetJobState::Done(Box::new(FleetResult {
+                    stats,
+                    wall_ms,
+                    worker_wall_ms: 0.0,
+                    cached: true,
+                    worker: worker_name.clone(),
+                }));
+                sessions.log_event(
+                    &subscribers,
+                    "done",
+                    &[
+                        ("job", Json::UInt(id)),
+                        ("workload", Json::Str(workload)),
+                        ("cached", Json::Bool(true)),
+                        ("wall_ms", Json::Float(wall_ms)),
+                        ("worker_wall_ms", Json::Float(0.0)),
+                        ("worker", Json::Str(worker_name)),
+                    ],
+                );
+                settle_subscribers(&mut sessions, &subscribers);
+                {
+                    let mut c = shared.counters.lock().expect("counters poisoned");
+                    if rank == 0 {
+                        c.primary_hits += 1;
+                    } else {
+                        c.read_through += 1;
+                    }
+                }
+                if rank > 0 {
+                    // Write-repair: the primary is gone; re-replicate onto
+                    // the current replica set so the key survives the next
+                    // node loss too.
+                    let sent = fan_out_store(
+                        &mut jobs,
+                        &mut workers,
+                        &mut sessions,
+                        &shared.opts,
+                        key,
+                        &hex,
+                        &sum,
+                        wall_ms,
+                        Some(idx),
+                    );
+                    let mut c = shared.counters.lock().expect("counters poisoned");
+                    c.repairs += 1;
+                    c.stores += sent;
+                }
+            }
+            Err(why) => {
+                eprintln!("fleet: corrupt replica payload for job {id}: {why}; advancing");
+                probe_requeue(&mut jobs, id, idx);
+            }
+        }
+    } else {
+        probe_requeue(&mut jobs, id, idx);
+    }
 }
 
 /// Record a worker's structured `fail` frame. Failures are deterministic
@@ -688,6 +1178,7 @@ fn handle_fail(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
         .to_string();
     let mut jobs = shared.jobs.lock().expect("jobs poisoned");
     let mut workers = shared.workers.lock().expect("workers poisoned");
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
     if let Some(w) = workers.get_mut(idx) {
         w.leased.remove(&id);
     }
@@ -696,15 +1187,24 @@ fn handle_fail(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
             job.state,
             FleetJobState::Leased { .. } | FleetJobState::Queued
         ) {
-            job.state = FleetJobState::Failed(error);
+            let subscribers = job.sessions.clone();
+            job.state = FleetJobState::Failed(error.clone());
             if let Some(w) = workers.get_mut(idx) {
                 w.failed += 1;
             }
+            sessions.log_event(
+                &subscribers,
+                "failed",
+                &[("job", Json::UInt(id)), ("error", Json::Str(error))],
+            );
+            settle_subscribers(&mut sessions, &subscribers);
         }
     }
 }
 
-/// Serve client verbs on this connection until EOF or drain.
+/// Serve client verbs on this connection until EOF or drain. A `session`
+/// request upgrades the connection to an event stream (see
+/// [`session_stream`]); everything else is request/response.
 fn client_session(
     first: &Json,
     mut reader: FrameReader<TcpStream>,
@@ -713,9 +1213,32 @@ fn client_session(
 ) {
     let mut request = first.clone();
     loop {
-        let response = handle_client_request(&request, shared);
-        if write_frame(&mut writer, &response).is_err() {
-            return;
+        if request.get("op").and_then(Json::as_str) == Some("session") {
+            match session_attach(&request, shared) {
+                Ok((sid, start, truncated)) => {
+                    let ack = Json::obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("session", Json::Str(sid.clone())),
+                        ("from", Json::UInt(start)),
+                        ("truncated", Json::Bool(truncated)),
+                    ]);
+                    if write_frame(&mut writer, &ack).is_err() {
+                        return;
+                    }
+                    session_stream(&sid, start, &mut reader, &mut writer, shared);
+                    return;
+                }
+                Err(resp) => {
+                    if write_frame(&mut writer, &resp).is_err() {
+                        return;
+                    }
+                }
+            }
+        } else {
+            let response = handle_client_request(&request, shared);
+            if write_frame(&mut writer, &response).is_err() {
+                return;
+            }
         }
         request = loop {
             match reader.next_frame() {
@@ -747,11 +1270,132 @@ fn client_session(
     }
 }
 
+/// Resolve a `session` request: create a fresh session, or re-attach to an
+/// existing one at the requested replay position. Returns
+/// `(id, start_seq, truncated)`, or the error response to send.
+fn session_attach(request: &Json, shared: &Arc<CoordShared>) -> Result<(String, u64, bool), Json> {
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+    match request.get("id").and_then(Json::as_str) {
+        None => {
+            sessions.next += 1;
+            let sid = format!("s-{}", sessions.next);
+            sessions.map.insert(sid.clone(), Session::default());
+            Ok((sid, 0, false))
+        }
+        Some(sid) => {
+            let Some(s) = sessions.map.get(sid) else {
+                return Err(error_response(format!("unknown session `{sid}`")));
+            };
+            let from = request.get("from").and_then(Json::as_u64).unwrap_or(0);
+            // Events older than base_seq were truncated by the log cap;
+            // the client learns it missed some and starts at the cut.
+            let truncated = from < s.base_seq;
+            Ok((
+                sid.to_string(),
+                from.max(s.base_seq).min(s.next_seq),
+                truncated,
+            ))
+        }
+    }
+}
+
+/// A live-only (never logged, no sequence number) queue heartbeat event.
+fn depth_event(shared: &Arc<CoordShared>) -> Json {
+    let jobs = shared.jobs.lock().expect("jobs poisoned");
+    let (queued, probing, running, _, _) = count_states(&jobs);
+    Json::obj(vec![
+        ("event", Json::Str("depth".to_string())),
+        ("queue", Json::UInt(jobs.queue.len() as u64)),
+        ("queued", Json::UInt(queued + probing)),
+        ("running", Json::UInt(running)),
+        (
+            "draining",
+            Json::Bool(shared.draining.load(Ordering::SeqCst)),
+        ),
+    ])
+}
+
+/// Stream a session's events over this connection while still answering
+/// interleaved requests (responses carry `"ok"`, events carry `"event"`).
+/// Replays the log from `cursor`, then follows it live with queue-depth
+/// heartbeats; returns when the client disconnects (the session and its
+/// log survive for a later re-attach) or the coordinator finishes.
+fn session_stream(
+    sid: &str,
+    mut cursor: u64,
+    reader: &mut FrameReader<TcpStream>,
+    writer: &mut TcpStream,
+    shared: &Arc<CoordShared>,
+) {
+    let hb = Duration::from_millis(shared.opts.heartbeat_ms.max(100));
+    let mut last_beat = Instant::now();
+    let mut first_beat = true;
+    loop {
+        // Observe `finished` before draining the log: events are logged
+        // before the flag is set, so finished + an empty drain means the
+        // stream is complete.
+        let finished = shared.finished.load(Ordering::SeqCst);
+        let pending: Vec<Json> = {
+            let sessions = shared.sessions.lock().expect("sessions poisoned");
+            let Some(s) = sessions.map.get(sid) else {
+                return;
+            };
+            if cursor < s.base_seq {
+                cursor = s.base_seq;
+            }
+            let skip = (cursor - s.base_seq) as usize;
+            let out: Vec<Json> = s.log.iter().skip(skip).cloned().collect();
+            cursor = s.next_seq;
+            out
+        };
+        for event in &pending {
+            if write_frame(writer, event).is_err() {
+                return;
+            }
+        }
+        if first_beat || last_beat.elapsed() >= hb {
+            first_beat = false;
+            last_beat = Instant::now();
+            if write_frame(writer, &depth_event(shared)).is_err() {
+                return;
+            }
+        }
+        if finished && pending.is_empty() {
+            return;
+        }
+        match reader.next_frame() {
+            Ok(line) => {
+                let response = match Json::parse(&line) {
+                    Ok(request) => handle_client_request(&request, shared),
+                    Err(e) => error_response(format!("bad request: {e}")),
+                };
+                if write_frame(writer, &response).is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::Timeout) => {}
+            Err(FrameError::TooLarge { limit }) => {
+                let _ = write_frame(
+                    writer,
+                    &error_response(format!("frame too large (cap {limit} bytes)")),
+                );
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
 fn handle_client_request(request: &Json, shared: &Arc<CoordShared>) -> Json {
     match request.get("op").and_then(Json::as_str) {
         Some("submit") => handle_submit(request, shared),
         Some("status") => handle_status(shared),
         Some("result") => handle_result(request, shared),
+        Some("decommission") => handle_decommission(request, shared),
+        Some("reset") => handle_reset(shared),
+        // A `session` frame inside an already-streaming connection (the
+        // stream loop dispatches here) cannot re-upgrade.
+        Some("session") => error_response("session already active on this connection"),
         Some("shutdown") => {
             shared.draining.store(true, Ordering::SeqCst);
             let pending = {
@@ -765,10 +1409,58 @@ fn handle_client_request(request: &Json, shared: &Arc<CoordShared>) -> Json {
             ])
         }
         Some(other) => error_response(format!(
-            "unknown op `{other}` (expected submit, status, result, shutdown)"
+            "unknown op `{other}` (expected submit, status, result, session, \
+             decommission, reset, shutdown)"
         )),
         None => error_response("missing `op` field"),
     }
+}
+
+/// Administratively retire a live worker by name: exactly what a heartbeat
+/// death does, but deterministic — chaos tests use it to kill a specific
+/// replica holder without racing the failure detector.
+fn handle_decommission(request: &Json, shared: &Arc<CoordShared>) -> Json {
+    let Some(name) = request.get("worker").and_then(Json::as_str) else {
+        return error_response("decommission needs a `worker` field");
+    };
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let mut workers = shared.workers.lock().expect("workers poisoned");
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+    let Some(idx) = workers.iter().position(|w| w.alive && w.name == name) else {
+        return error_response(format!("no live worker named `{name}`"));
+    };
+    mark_dead(&mut jobs, &mut workers, &mut sessions, idx, DECOMMISSIONED);
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("worker", Json::Str(name.to_string())),
+    ])
+}
+
+/// Start a new measurement epoch on a warm fleet: clear the job table and
+/// dedup index while keeping workers, sessions, counters, and — crucially
+/// — the replica stores (`stored` keys), so the next sweep exercises the
+/// replicated cache instead of the dedup index.
+fn handle_reset(shared: &Arc<CoordShared>) -> Json {
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let busy = jobs
+        .map
+        .values()
+        .any(|j| !matches!(j.state, FleetJobState::Done(_) | FleetJobState::Failed(_)));
+    if busy {
+        return error_response("reset requires every job to be terminal");
+    }
+    let cleared = jobs.map.len() as u64;
+    jobs.map.clear();
+    jobs.queue.clear();
+    jobs.by_key.clear();
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+    for s in sessions.map.values_mut() {
+        s.inflight = 0;
+    }
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("cleared", Json::UInt(cleared)),
+    ])
 }
 
 fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
@@ -783,13 +1475,59 @@ fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
         Ok(fp) => fp.key(),
         Err(e) => return error_response(e.to_string()),
     };
+    let workload = spec.workload.clone();
+    let sid = request.get("session").and_then(Json::as_str);
     let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+    if let Some(sid) = sid {
+        if !sessions.map.contains_key(sid) {
+            return error_response(format!("unknown session `{sid}`"));
+        }
+    }
     // Dedup by content-addressed key: a resubmit of the same spec joins
     // the existing job (unless that job failed — a client retrying a
-    // failure deserves a fresh attempt).
+    // failure deserves a fresh attempt). A joining session still gets the
+    // job's lifecycle events; a job already terminal replays its outcome
+    // as synthetic events so the subscriber never waits on silence.
     if let Some(&existing) = jobs.by_key.get(&key) {
-        if let Some(job) = jobs.map.get(&existing) {
+        if let Some(job) = jobs.map.get_mut(&existing) {
             if !matches!(job.state, FleetJobState::Failed(_)) {
+                shared
+                    .counters
+                    .lock()
+                    .expect("counters poisoned")
+                    .dedup_hits += 1;
+                if let Some(sid) = sid {
+                    let subscriber = [sid.to_string()];
+                    sessions.log_event(
+                        &subscriber,
+                        "queued",
+                        &[
+                            ("job", Json::UInt(existing)),
+                            ("workload", Json::Str(workload.clone())),
+                            ("deduped", Json::Bool(true)),
+                        ],
+                    );
+                    if let FleetJobState::Done(result) = &job.state {
+                        sessions.log_event(
+                            &subscriber,
+                            "done",
+                            &[
+                                ("job", Json::UInt(existing)),
+                                ("workload", Json::Str(workload)),
+                                ("cached", Json::Bool(true)),
+                                ("wall_ms", Json::Float(result.wall_ms)),
+                                ("worker_wall_ms", Json::Float(result.worker_wall_ms)),
+                                ("worker", Json::Str(result.worker.clone())),
+                            ],
+                        );
+                    } else {
+                        job.sessions.push(sid.to_string());
+                        if let Some(s) = sessions.map.get_mut(sid) {
+                            s.inflight += 1;
+                        }
+                    }
+                }
                 return Json::obj(vec![
                     ("ok", Json::Bool(true)),
                     ("id", Json::UInt(existing)),
@@ -798,8 +1536,22 @@ fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
             }
         }
     }
+    // Admission control: per-session inflight bound, then the global
+    // queue bound. Both shed with a structured response so overloaded
+    // clients can tell deliberate backpressure from failure.
+    if let Some(sid) = sid {
+        let cap = shared.opts.session_inflight_cap;
+        let inflight = sessions.map.get(sid).map_or(0, |s| s.inflight);
+        if cap > 0 && inflight >= cap {
+            shared.counters.lock().expect("counters poisoned").sheds += 1;
+            return shed_response(format!(
+                "session inflight cap reached ({inflight} inflight, cap {cap})"
+            ));
+        }
+    }
     if jobs.queue.len() >= shared.opts.queue_cap {
-        return error_response(format!(
+        shared.counters.lock().expect("counters poisoned").sheds += 1;
+        return shed_response(format!(
             "{QUEUE_FULL} ({} pending, cap {})",
             jobs.queue.len(),
             shared.opts.queue_cap
@@ -815,30 +1567,50 @@ fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
             state: FleetJobState::Queued,
             assigns: 0,
             last_worker: None,
+            probe_rank: 0,
+            probe_done: false,
+            sessions: sid.map(|s| vec![s.to_string()]).unwrap_or_default(),
         },
     );
     jobs.queue.push_back(id);
     jobs.by_key.insert(key, id);
+    if let Some(sid) = sid {
+        let subscriber = [sid.to_string()];
+        sessions.log_event(
+            &subscriber,
+            "queued",
+            &[
+                ("job", Json::UInt(id)),
+                ("workload", Json::Str(workload)),
+                ("deduped", Json::Bool(false)),
+            ],
+        );
+        if let Some(s) = sessions.map.get_mut(sid) {
+            s.inflight += 1;
+        }
+    }
     Json::obj(vec![("ok", Json::Bool(true)), ("id", Json::UInt(id))])
 }
 
-fn count_states(jobs: &MutexGuard<'_, JobTable>) -> (u64, u64, u64, u64) {
-    let (mut queued, mut running, mut done, mut failed) = (0u64, 0u64, 0u64, 0u64);
+fn count_states(jobs: &MutexGuard<'_, JobTable>) -> (u64, u64, u64, u64, u64) {
+    let (mut queued, mut probing, mut running, mut done, mut failed) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     for job in jobs.map.values() {
         match job.state {
             FleetJobState::Queued => queued += 1,
+            FleetJobState::Probing { .. } => probing += 1,
             FleetJobState::Leased { .. } => running += 1,
             FleetJobState::Done(_) => done += 1,
             FleetJobState::Failed(_) => failed += 1,
         }
     }
-    (queued, running, done, failed)
+    (queued, probing, running, done, failed)
 }
 
 fn handle_status(shared: &Arc<CoordShared>) -> Json {
     let jobs = shared.jobs.lock().expect("jobs poisoned");
     let workers = shared.workers.lock().expect("workers poisoned");
-    let (queued, running, done, failed) = count_states(&jobs);
+    let (queued, probing, running, done, failed) = count_states(&jobs);
     let worker_rows = workers
         .iter()
         .map(|w| {
@@ -854,6 +1626,16 @@ fn handle_status(shared: &Arc<CoordShared>) -> Json {
             ])
         })
         .collect();
+    let sessions = shared.sessions.lock().expect("sessions poisoned");
+    let session_count = sessions.map.len() as u64;
+    drop(sessions);
+    let c = shared.counters.lock().expect("counters poisoned").clone();
+    let hits = c.primary_hits + c.read_through;
+    let hit_rate = if hits + c.sims > 0 {
+        hits as f64 / (hits + c.sims) as f64
+    } else {
+        0.0
+    };
     let depth = shared.depth.lock().expect("depth poisoned");
     Json::obj(vec![
         ("ok", Json::Bool(true)),
@@ -866,12 +1648,28 @@ fn handle_status(shared: &Arc<CoordShared>) -> Json {
             "jobs",
             Json::obj(vec![
                 ("queued", Json::UInt(queued)),
+                ("probing", Json::UInt(probing)),
                 ("running", Json::UInt(running)),
                 ("done", Json::UInt(done)),
                 ("failed", Json::UInt(failed)),
             ]),
         ),
         ("workers", Json::Arr(worker_rows)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("sims", Json::UInt(c.sims)),
+                ("stores", Json::UInt(c.stores)),
+                ("primary_hits", Json::UInt(c.primary_hits)),
+                ("read_through", Json::UInt(c.read_through)),
+                ("repairs", Json::UInt(c.repairs)),
+                ("misses", Json::UInt(c.misses)),
+                ("dedup_hits", Json::UInt(c.dedup_hits)),
+                ("hit_rate", Json::Float(hit_rate)),
+            ]),
+        ),
+        ("sheds", Json::UInt(c.sheds)),
+        ("sessions", Json::UInt(session_count)),
         ("queue_depth_stats", depth.to_json()),
     ])
 }
@@ -887,6 +1685,7 @@ fn handle_result(request: &Json, shared: &Arc<CoordShared>) -> Json {
     let mut fields = vec![("ok", Json::Bool(true)), ("id", Json::UInt(id))];
     match &job.state {
         FleetJobState::Queued => fields.push(("state", Json::Str("queued".into()))),
+        FleetJobState::Probing { .. } => fields.push(("state", Json::Str("probing".into()))),
         FleetJobState::Leased { .. } => fields.push(("state", Json::Str("running".into()))),
         FleetJobState::Failed(msg) => {
             fields.push(("state", Json::Str("failed".into())));
@@ -900,6 +1699,7 @@ fn handle_result(request: &Json, shared: &Arc<CoordShared>) -> Json {
             fields.push(("cycles", Json::UInt(result.stats.cycles)));
             fields.push(("warp_insts", Json::UInt(result.stats.sm.warp_insts)));
             fields.push(("wall_ms", Json::Float(result.wall_ms)));
+            fields.push(("worker_wall_ms", Json::Float(result.worker_wall_ms)));
             fields.push((
                 "digest",
                 match result.stats.digest {
@@ -909,6 +1709,14 @@ fn handle_result(request: &Json, shared: &Arc<CoordShared>) -> Json {
             ));
             fields.push(("worker", Json::Str(result.worker.clone())));
             fields.push(("assigns", Json::UInt(job.assigns)));
+            fields.push(("key", Json::Str(encode_key(job.key))));
+            let workers = shared.workers.lock().expect("workers poisoned");
+            let replicas = ranked_live(&workers, job.key)
+                .into_iter()
+                .take(shared.opts.replicas)
+                .map(|i| Json::Str(workers[i].name.clone()))
+                .collect();
+            fields.push(("replicas", Json::Arr(replicas)));
             fields.push(("stats", Json::Str(hex)));
             fields.push(("sum", Json::Str(sum)));
         }

@@ -17,12 +17,23 @@
 //! mode per failure class — drop-heartbeat, stall-worker, kill-mid-job,
 //! corrupt-result-frame, partition — and one test per mode proving both
 //! detection and recovery.
+//!
+//! Results are durable beyond the worker that computed them: on every
+//! accepted `done` the coordinator fans the checksummed payload out to an
+//! R-member replica set chosen by rendezvous hashing, and resubmits of a
+//! warm key probe that set (primary first, read-through from survivors,
+//! write-repair back to full strength) before ever re-running a
+//! simulation. Clients can open a `session` for an NDJSON event stream
+//! with resumable cursors, and the coordinator sheds structured errors
+//! under overload instead of stalling.
 
 mod coordinator;
 mod inject;
 mod worker;
 
-pub use coordinator::{Coordinator, CoordinatorOptions, LEASE_EXPIRED, WORKER_DEAD};
+pub use coordinator::{
+    Coordinator, CoordinatorOptions, DECOMMISSIONED, LEASE_EXPIRED, WORKER_DEAD,
+};
 pub use inject::FleetInject;
 pub use worker::{run_worker, WorkerOptions, WorkerReport};
 

@@ -16,10 +16,11 @@
 use super::inject::FleetInject;
 use crate::cache::ResultCache;
 use crate::job::run_job;
-use crate::proto::{write_frame, FrameError, FrameReader, MAX_FRAME};
+use crate::proto::{decode_key, fetched_frame, write_frame, FrameError, FrameReader, MAX_FRAME};
 use crate::serve::parse_submit;
 use gcl_rng::{backoff::Backoff, Rng};
 use gcl_stats::Json;
+use std::collections::{HashMap, VecDeque};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -44,6 +45,9 @@ pub struct WorkerOptions {
     pub backoff: Backoff,
     /// Seed for the backoff jitter stream.
     pub seed: u64,
+    /// Most replica payloads held for the coordinator's fleet cache
+    /// before FIFO eviction kicks in.
+    pub replica_cap: usize,
 }
 
 impl Default for WorkerOptions {
@@ -57,7 +61,44 @@ impl Default for WorkerOptions {
             connect_retries: 8,
             backoff: Backoff::default(),
             seed: 0x0077_726b, // "wrk"
+            replica_cap: 1024,
         }
+    }
+}
+
+/// Bounded key → checksummed-payload store a worker keeps on behalf of the
+/// coordinator's replicated fleet cache. FIFO eviction: the coordinator
+/// re-fans hot keys on every recomputation, so recency tracking buys
+/// little over insertion order here.
+struct ReplicaStore {
+    map: HashMap<u64, (String, String, f64)>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl ReplicaStore {
+    fn new(cap: usize) -> ReplicaStore {
+        ReplicaStore {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn insert(&mut self, key: u64, stats_hex: String, sum: String, wall_ms: f64) {
+        if self.map.insert(key, (stats_hex, sum, wall_ms)).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > self.cap {
+                let Some(evict) = self.order.pop_front() else {
+                    break;
+                };
+                self.map.remove(&evict);
+            }
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<&(String, String, f64)> {
+        self.map.get(&key)
     }
 }
 
@@ -82,6 +123,8 @@ struct WorkerState {
     corrupt_budget: AtomicU64,
     cache: Option<ResultCache>,
     inject: FleetInject,
+    /// Replica payloads held for the coordinator's fleet cache.
+    replica: Mutex<ReplicaStore>,
     /// A second handle on the socket so a runner can tear it down abruptly
     /// (the kill-mid-job injection).
     sock: TcpStream,
@@ -137,6 +180,7 @@ pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, String> {
         corrupt_budget: AtomicU64::new(opts.inject.corrupt_results),
         cache: opts.cache.clone(),
         inject: opts.inject.clone(),
+        replica: Mutex::new(ReplicaStore::new(opts.replica_cap)),
         sock,
     };
     {
@@ -239,6 +283,52 @@ pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, String> {
                         }
                     }
                 }
+                Some("store") => {
+                    // The coordinator fans a finished job's checksummed
+                    // payload to this worker as part of a replica set.
+                    // Store it verbatim — verification happens on the
+                    // coordinator when it reads the payload back.
+                    let key = frame
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .and_then(|t| decode_key(t).ok());
+                    let stats = frame.get("stats").and_then(Json::as_str);
+                    let sum = frame.get("sum").and_then(Json::as_str);
+                    let wall_ms = frame.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                    if let (Some(key), Some(stats), Some(sum)) = (key, stats, sum) {
+                        let mut store = state.replica.lock().expect("replica poisoned");
+                        store.insert(key, stats.to_string(), sum.to_string(), wall_ms);
+                    }
+                }
+                Some("fetch") => {
+                    let Some(job) = frame.get("job").and_then(Json::as_u64) else {
+                        continue;
+                    };
+                    let Some(key) = frame
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .and_then(|t| decode_key(t).ok())
+                    else {
+                        continue;
+                    };
+                    if state.silent.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    let reply = {
+                        let store = state.replica.lock().expect("replica poisoned");
+                        let hit = store
+                            .get(key)
+                            .map(|(stats, sum, wall_ms)| (stats.as_str(), sum.as_str(), *wall_ms));
+                        match hit {
+                            Some((stats, sum, wall_ms)) => {
+                                fetched_frame(job, key, Some((stats, sum, wall_ms)))
+                            }
+                            None => fetched_frame(job, key, None),
+                        }
+                    };
+                    let mut w = state.writer.lock().expect("writer poisoned");
+                    let _ = write_frame(&mut *w, &reply);
+                }
                 Some("close") => break,
                 _ => {}
             }
@@ -279,11 +369,15 @@ fn runner_loop(state: &WorkerState, rx: &Mutex<mpsc::Receiver<Assignment>>, kill
             let _ = state.sock.shutdown(Shutdown::Both);
             break;
         }
+        let lease_start = Instant::now();
         if state.inject.stall_ms > 0 {
             // Straggle: hold the lease well past its deadline.
             std::thread::sleep(Duration::from_millis(state.inject.stall_ms));
         }
         let result = run_job(&spec, state.cache.as_ref());
+        // Wall time the worker held the lease: the stall is deliberately
+        // included so straggler injection shows up in the timing column.
+        let worker_wall_ms = lease_start.elapsed().as_secs_f64() * 1_000.0;
         state.jobs_run.fetch_add(1, Ordering::SeqCst);
         let frame = match result.outcome {
             Ok(out) => {
@@ -305,6 +399,7 @@ fn runner_loop(state: &WorkerState, rx: &Mutex<mpsc::Receiver<Assignment>>, kill
                     ("job", Json::UInt(id)),
                     ("cached", Json::Bool(out.cached)),
                     ("wall_ms", Json::Float(out.wall_ms)),
+                    ("worker_wall_ms", Json::Float(worker_wall_ms)),
                     ("stats", Json::Str(hex)),
                     ("sum", Json::Str(sum)),
                 ])

@@ -28,7 +28,11 @@
 //!   fault-tolerant fleet — workers join with `gcl serve --join`, the
 //!   coordinator shards jobs by content-addressed cache key, supervises
 //!   with heartbeats and per-job leases, and reassigns work from dead or
-//!   stalled workers. [`FleetInject`] is the chaos layer that proves every
+//!   stalled workers. Results are replicated across an R-member replica
+//!   set (read-through with write-repair on node loss), clients can
+//!   stream progress over resumable sessions ([`SessionClient`]), and
+//!   [`loadgen`] measures the whole stack under thousands of concurrent
+//!   submitters. [`FleetInject`] is the chaos layer that proves every
 //!   failure mode is detected and recovered.
 //!
 //! The invariant the whole crate is built around: **parallel execution
@@ -45,17 +49,19 @@ pub mod cache;
 pub mod client;
 pub mod fleet;
 pub mod job;
+pub mod loadgen;
 pub mod pool;
 pub mod proto;
 pub mod serve;
 
 pub use cache::{CacheMiss, CachedResult, ResultCache, CACHE_MAGIC, CACHE_VERSION};
-pub use client::{ClientOptions, ServeClient};
+pub use client::{ClientOptions, ServeClient, SessionClient, SessionSubmit};
 pub use fleet::{
     run_worker, Coordinator, CoordinatorOptions, FleetInject, WorkerOptions, WorkerReport,
-    LEASE_EXPIRED, WORKER_DEAD,
+    DECOMMISSIONED, LEASE_EXPIRED, WORKER_DEAD,
 };
 pub use job::{run_job, ExecError, JobOutput, JobResult, JobSpec, SpecFingerprint};
+pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport};
 pub use pool::{backoff_ms, parallel_map, run_pool, JobEvent, PoolConfig};
 pub use proto::{FrameError, FrameReader, MAX_FRAME};
-pub use serve::{ServeOptions, Server, QUEUE_FULL};
+pub use serve::{ServeError, ServeOptions, Server, QUEUE_FULL};

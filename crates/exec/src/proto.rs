@@ -103,6 +103,13 @@ impl<R: Read> FrameReader<R> {
     pub fn next_frame(&mut self) -> Result<String, FrameError> {
         loop {
             if let Some(pos) = self.carry.iter().position(|&b| b == b'\n') {
+                if pos >= self.max {
+                    // An oversized frame whose newline arrived in the same
+                    // read burst as its body: the carry-length guard below
+                    // never fired, but the cap is a cap. Leave the carry
+                    // untouched — the stream is poisoned either way.
+                    return Err(FrameError::TooLarge { limit: self.max });
+                }
                 let line: Vec<u8> = self.carry.drain(..=pos).collect();
                 let text = String::from_utf8_lossy(&line[..pos]).trim().to_string();
                 if text.is_empty() {
@@ -135,6 +142,66 @@ pub fn write_frame(writer: &mut impl Write, frame: &Json) -> Result<(), FrameErr
     let mut line = frame.render_compact();
     line.push('\n');
     writer.write_all(line.as_bytes()).map_err(io_error)
+}
+
+/// Wire form of a 64-bit cache key: `0x`-prefixed, zero-padded lower hex.
+///
+/// Cache keys ride in `store`/`fetch` frames as strings because JSON
+/// numbers cannot carry a full u64 faithfully through every decoder.
+pub fn encode_key(key: u64) -> String {
+    format!("0x{key:016x}")
+}
+
+/// Decode [`encode_key`] output.
+///
+/// # Errors
+///
+/// A human-readable message when the prefix or hex digits are malformed.
+pub fn decode_key(text: &str) -> Result<u64, String> {
+    let digits = text
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("cache key `{text}` missing 0x prefix"))?;
+    u64::from_str_radix(digits, 16).map_err(|_| format!("bad cache key `{text}`"))
+}
+
+/// A `store` frame: the coordinator pushing one checksummed stats payload
+/// into a worker's replica store. `sum` is the `0x…` FNV checksum string
+/// produced alongside the hex payload, same as in `done` frames.
+pub fn store_frame(key: u64, stats_hex: &str, sum: &str, wall_ms: f64) -> Json {
+    Json::obj(vec![
+        ("op", Json::Str("store".into())),
+        ("key", Json::Str(encode_key(key))),
+        ("stats", Json::Str(stats_hex.into())),
+        ("sum", Json::Str(sum.into())),
+        ("wall_ms", Json::Float(wall_ms)),
+    ])
+}
+
+/// A `fetch` frame: the coordinator probing a worker's replica store for
+/// `key` on behalf of job `job`.
+pub fn fetch_frame(job: u64, key: u64) -> Json {
+    Json::obj(vec![
+        ("op", Json::Str("fetch".into())),
+        ("job", Json::UInt(job)),
+        ("key", Json::Str(encode_key(key))),
+    ])
+}
+
+/// A worker's reply to [`fetch_frame`]: a replica hit carrying the stored
+/// payload, or a miss.
+pub fn fetched_frame(job: u64, key: u64, hit: Option<(&str, &str, f64)>) -> Json {
+    let mut fields = vec![
+        ("op", Json::Str("fetched".into())),
+        ("job", Json::UInt(job)),
+        ("key", Json::Str(encode_key(key))),
+        ("hit", Json::Bool(hit.is_some())),
+    ];
+    if let Some((stats_hex, sum, wall_ms)) = hit {
+        fields.push(("stats", Json::Str(stats_hex.into())));
+        fields.push(("sum", Json::Str(sum.into())));
+        fields.push(("wall_ms", Json::Float(wall_ms)));
+    }
+    Json::obj(fields)
 }
 
 /// Lower-hex encoding of arbitrary bytes, for carrying wire-encoded
@@ -250,6 +317,43 @@ mod tests {
             }
         }
         assert!(timeouts >= 1, "the timeout path never ran");
+    }
+
+    #[test]
+    fn cache_keys_round_trip_and_reject_garbage() {
+        for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let text = encode_key(key);
+            assert_eq!(text.len(), 18, "{text}");
+            assert_eq!(decode_key(&text).unwrap(), key);
+        }
+        assert!(decode_key("12ab").is_err(), "missing prefix");
+        assert!(decode_key("0xzz").is_err(), "non-hex");
+        assert!(decode_key("0x").is_err(), "empty digits");
+    }
+
+    #[test]
+    fn store_and_fetch_frames_reparse_faithfully() {
+        let store = store_frame(42, "0abc", "0xdeadbeef", 1.5).render_compact();
+        let v = Json::parse(&store).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("store"));
+        assert_eq!(
+            v.get("key").and_then(Json::as_str).map(decode_key),
+            Some(Ok(42))
+        );
+        assert_eq!(v.get("sum").and_then(Json::as_str), Some("0xdeadbeef"));
+
+        let hit = fetched_frame(7, 42, Some(("0abc", "0x9", 2.0)));
+        let v = Json::parse(&hit.render_compact()).unwrap();
+        assert_eq!(v.get("hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("stats").and_then(Json::as_str), Some("0abc"));
+
+        let miss = fetched_frame(7, 42, None);
+        let v = Json::parse(&miss.render_compact()).unwrap();
+        assert_eq!(v.get("hit").and_then(Json::as_bool), Some(false));
+        assert!(v.get("stats").is_none());
+
+        let fetch = Json::parse(&fetch_frame(7, 42).render_compact()).unwrap();
+        assert_eq!(fetch.get("job").and_then(Json::as_u64), Some(7));
     }
 
     #[test]

@@ -43,6 +43,7 @@ use crate::proto::{write_frame, FrameError, FrameReader, MAX_FRAME};
 use gcl_sim::GpuConfig;
 use gcl_stats::Json;
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -51,6 +52,29 @@ use std::time::{Duration, Instant};
 /// The error message prefix every bounded queue in the toolkit uses to
 /// signal backpressure; clients match on it to retry with backoff.
 pub const QUEUE_FULL: &str = "queue full";
+
+/// Why a daemon (serve or coordinator) failed to start or run, split so
+/// the CLI can exit with distinct codes: misconfiguration, a bind that
+/// lost its address, or a protocol/socket failure after startup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Invalid options (zero workers, zero queue capacity, bad deadline).
+    Config(String),
+    /// The listener could not bind (or report) its address.
+    Bind(String),
+    /// A socket or protocol failure after the listener was up.
+    Net(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(m) | ServeError::Bind(m) | ServeError::Net(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// How often a blocked connection read wakes to check drain/idle deadlines.
 pub(crate) const READ_TICK_MS: u64 = 100;
@@ -137,16 +161,21 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// A human-readable message if the address cannot be bound.
-    pub fn bind(opts: ServeOptions) -> Result<Server, String> {
+    /// [`ServeError::Config`] for invalid options, [`ServeError::Bind`]
+    /// if the address cannot be bound.
+    pub fn bind(opts: ServeOptions) -> Result<Server, ServeError> {
         if opts.jobs == 0 {
-            return Err("serve needs at least one worker (--jobs 1)".to_string());
+            return Err(ServeError::Config(
+                "serve needs at least one worker (--jobs 1)".to_string(),
+            ));
         }
         if opts.queue_cap == 0 {
-            return Err("serve needs a positive queue capacity".to_string());
+            return Err(ServeError::Config(
+                "serve needs a positive queue capacity".to_string(),
+            ));
         }
-        let listener =
-            TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+        let listener = TcpListener::bind(&opts.addr)
+            .map_err(|e| ServeError::Bind(format!("cannot bind {}: {e}", opts.addr)))?;
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
@@ -163,11 +192,11 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// A human-readable message if the socket address cannot be read.
-    pub fn addr(&self) -> Result<std::net::SocketAddr, String> {
+    /// [`ServeError::Bind`] if the socket address cannot be read.
+    pub fn addr(&self) -> Result<std::net::SocketAddr, ServeError> {
         self.listener
             .local_addr()
-            .map_err(|e| format!("cannot read bound address: {e}"))
+            .map_err(|e| ServeError::Bind(format!("cannot read bound address: {e}")))
     }
 
     /// Serve until a `shutdown` request drains the queue. Blocks the
@@ -176,13 +205,13 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// A human-readable message on listener failure.
-    pub fn run(self) -> Result<(), String> {
+    /// [`ServeError::Net`] on listener failure.
+    pub fn run(self) -> Result<(), ServeError> {
         // Poll accept so the loop notices a drain promptly; 20 ms is
         // imperceptible next to any simulation.
         self.listener
             .set_nonblocking(true)
-            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+            .map_err(|e| ServeError::Net(format!("cannot set nonblocking accept: {e}")))?;
         std::thread::scope(|scope| {
             for worker in 0..self.shared.opts.jobs {
                 let shared = Arc::clone(&self.shared);
@@ -311,6 +340,18 @@ pub(crate) fn error_response(msg: impl Into<String>) -> Json {
     ])
 }
 
+/// A structured load-shedding rejection. `"shed":true` tells clients this
+/// is deliberate backpressure (retry later, count it) rather than a hard
+/// error; the message still carries the [`QUEUE_FULL`] prefix where the
+/// queue is the reason, for older clients that match on text.
+pub(crate) fn shed_response(msg: impl Into<String>) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("shed", Json::Bool(true)),
+        ("error", Json::Str(msg.into())),
+    ])
+}
+
 /// Build and validate the [`JobSpec`] a submit-style request names; shared
 /// with the fleet coordinator, which speaks the same submit verb.
 pub(crate) fn parse_submit(request: &Json) -> Result<JobSpec, String> {
@@ -325,6 +366,17 @@ pub(crate) fn parse_submit(request: &Json) -> Result<JobSpec, String> {
         GpuConfig::fermi()
     };
     cfg.sanitize = sanitize;
+    // Optional cycle-budget override; loadgen uses distinct budgets as
+    // cache-busting workload variants with distinct fingerprints.
+    if let Some(max_cycles) = request.get("max_cycles") {
+        let Some(v) = max_cycles.as_u64() else {
+            return Err("`max_cycles` must be a positive integer".to_string());
+        };
+        if v == 0 {
+            return Err("`max_cycles` must be a positive integer".to_string());
+        }
+        cfg.max_cycles = v;
+    }
     let spec = JobSpec::new(workload, tiny, cfg);
     // Validate the name up front so a typo is a submit error, not a
     // queued-then-failed job.
@@ -360,7 +412,7 @@ fn handle_submit(request: &Json, shared: &Shared) -> Json {
     };
     let mut queue = shared.queue.lock().expect("queue poisoned");
     if queue.len() >= shared.opts.queue_cap {
-        return error_response(format!(
+        return shed_response(format!(
             "{QUEUE_FULL} ({} pending, cap {})",
             queue.len(),
             shared.opts.queue_cap

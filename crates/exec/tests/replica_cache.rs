@@ -1,0 +1,380 @@
+//! Chaos tests for the replicated read-through fleet cache.
+//!
+//! The contract under test: every accepted result is fanned out to an
+//! R=2 replica set chosen by rendezvous hashing, a warm resubmit probes
+//! that set before ever re-running a simulation, and losing a node costs
+//! recomputation only for keys whose *entire* replica set died. Worker
+//! loss is injected deterministically with the `decommission` verb (the
+//! coordinator-side view of `kill -9`: the node is gone from the live
+//! set instantly, taking its replica payloads with it), and `reset`
+//! clears the job table while keeping the replica stores warm — i.e. "a
+//! new client shows up tomorrow with the same sweep".
+
+use gcl_exec::fleet::decode_stats_payload;
+use gcl_exec::{
+    run_job, run_worker, ClientOptions, Coordinator, CoordinatorOptions, FleetInject, JobSpec,
+    ServeClient, WorkerOptions, WorkerReport,
+};
+use gcl_sim::{GpuConfig, LaunchStats};
+use gcl_stats::Json;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+fn start_coordinator(
+    opts: CoordinatorOptions,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let coordinator = Coordinator::bind(CoordinatorOptions {
+        addr: "127.0.0.1:0".to_string(),
+        print_outcomes: false,
+        ..opts
+    })
+    .expect("bind coordinator");
+    let addr = coordinator.addr().expect("read bound address");
+    let handle = std::thread::spawn(move || coordinator.run().expect("coordinator loop"));
+    (addr, handle)
+}
+
+fn spawn_worker(
+    addr: std::net::SocketAddr,
+    name: &str,
+) -> std::thread::JoinHandle<Result<WorkerReport, String>> {
+    let opts = WorkerOptions {
+        coord: addr.to_string(),
+        name: name.to_string(),
+        slots: 2,
+        // No local result cache: every recomputation is a real simulation,
+        // so the coordinator's `sims` counter is exact.
+        cache: None,
+        inject: FleetInject::none(),
+        ..WorkerOptions::default()
+    };
+    std::thread::spawn(move || run_worker(opts))
+}
+
+fn client(addr: std::net::SocketAddr) -> ServeClient {
+    ServeClient::connect(ClientOptions {
+        addr: addr.to_string(),
+        max_frame: 1024 * 1024,
+        ..ClientOptions::default()
+    })
+    .expect("connect client")
+}
+
+fn await_workers(client: &mut ServeClient, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = client.status().expect("status");
+        let alive = status
+            .get("workers")
+            .and_then(Json::as_arr)
+            .map(|ws| {
+                ws.iter()
+                    .filter(|w| w.get("alive").and_then(Json::as_bool) == Some(true))
+                    .count() as u64
+            })
+            .unwrap_or(0);
+        if alive == n {
+            return;
+        }
+        assert!(Instant::now() < deadline, "never saw {n} workers: {status}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn cache_counter(client: &mut ServeClient, field: &str) -> u64 {
+    let status = client.status().expect("status");
+    status
+        .get("cache")
+        .and_then(|c| c.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("no cache counter `{field}` in {status}"))
+}
+
+fn wait_stats(client: &mut ServeClient, id: u64) -> LaunchStats {
+    let r = client
+        .wait(id, Duration::from_secs(300))
+        .unwrap_or_else(|e| panic!("job {id}: {e}"));
+    assert_eq!(
+        r.get("state").and_then(Json::as_str),
+        Some("done"),
+        "job {id} must succeed: {r}"
+    );
+    let hex = r.get("stats").and_then(Json::as_str).expect("stats");
+    let sum = r.get("sum").and_then(Json::as_str).expect("checksum");
+    decode_stats_payload(hex, sum).expect("payload verifies")
+}
+
+/// The replica set (`[primary, secondary]` worker names) the result verb
+/// reports for a done job.
+fn replica_set(client: &mut ServeClient, id: u64) -> Vec<String> {
+    let r = client.result(id).expect("result");
+    r.get("replicas")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("no replicas in {r}"))
+        .iter()
+        .map(|w| w.as_str().expect("worker name").to_string())
+        .collect()
+}
+
+fn decommission(client: &mut ServeClient, worker: &str) {
+    let r = client
+        .call(&Json::obj(vec![
+            ("op", Json::Str("decommission".into())),
+            ("worker", Json::Str(worker.into())),
+        ]))
+        .expect("decommission call");
+    assert_eq!(
+        r.get("ok"),
+        Some(&Json::Bool(true)),
+        "decommission {worker}: {r}"
+    );
+}
+
+fn reset(client: &mut ServeClient) {
+    let r = client
+        .call(&Json::obj(vec![("op", Json::Str("reset".into()))]))
+        .expect("reset call");
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "reset: {r}");
+}
+
+const SWEEP: &[&str] = &["2mm", "gaus", "lu", "spmv", "dwt", "bfs", "sssp", "mis"];
+
+/// The headline chaos property: warm-sweep after killing two of three
+/// nodes recomputes exactly the keys whose entire replica set died —
+/// no more (read-through works), no fewer (nothing pretends to have data
+/// it lost) — and every stat stays byte-identical to a serial run.
+#[test]
+fn killing_replica_holders_recomputes_only_fully_lost_keys() {
+    let (addr, _coord) = start_coordinator(CoordinatorOptions::default());
+    let workers: Vec<_> = ["alpha", "bravo", "charlie"]
+        .iter()
+        .map(|n| spawn_worker(addr, n))
+        .collect();
+    let mut c = client(addr);
+    await_workers(&mut c, 3);
+
+    // Cold sweep: everything simulates once, and every key fans out to
+    // its 2-member replica set.
+    let ids: Vec<u64> = SWEEP
+        .iter()
+        .map(|w| c.submit(w, true, false).expect("submit"))
+        .collect();
+    let cold: Vec<LaunchStats> = ids.iter().map(|&id| wait_stats(&mut c, id)).collect();
+    assert_eq!(cache_counter(&mut c, "sims"), SWEEP.len() as u64);
+    assert_eq!(cache_counter(&mut c, "stores"), 2 * SWEEP.len() as u64);
+    let replica_sets: Vec<Vec<String>> = ids.iter().map(|&id| replica_set(&mut c, id)).collect();
+    for set in &replica_sets {
+        assert_eq!(set.len(), 2, "R=2 replica set: {set:?}");
+    }
+
+    // Serial ground truth, for digest identity.
+    let serial: Vec<LaunchStats> = SWEEP
+        .iter()
+        .map(|w| {
+            run_job(&JobSpec::new(*w, true, GpuConfig::small()), None)
+                .outcome
+                .expect("serial run")
+                .stats
+        })
+        .collect();
+    assert_eq!(cold, serial, "cold fleet sweep matches serial");
+
+    // kill -9 two of three nodes (deterministically, from the
+    // coordinator's point of view). Their replica payloads are gone.
+    let killed: HashSet<&str> = ["alpha", "bravo"].into_iter().collect();
+    reset(&mut c);
+    decommission(&mut c, "alpha");
+    decommission(&mut c, "bravo");
+
+    let truly_lost = replica_sets
+        .iter()
+        .filter(|set| set.iter().all(|w| killed.contains(w.as_str())))
+        .count() as u64;
+
+    // Warm sweep: resubmit everything.
+    let warm_ids: Vec<u64> = SWEEP
+        .iter()
+        .map(|w| c.submit(w, true, false).expect("resubmit"))
+        .collect();
+    let warm: Vec<LaunchStats> = warm_ids.iter().map(|&id| wait_stats(&mut c, id)).collect();
+    assert_eq!(warm, serial, "warm sweep after node loss matches serial");
+
+    let sims = cache_counter(&mut c, "sims");
+    assert_eq!(
+        sims,
+        SWEEP.len() as u64 + truly_lost,
+        "exactly the fully-lost keys recompute (lost {truly_lost} of {})",
+        SWEEP.len()
+    );
+    let hits = cache_counter(&mut c, "primary_hits") + cache_counter(&mut c, "read_through");
+    assert_eq!(hits, SWEEP.len() as u64 - truly_lost, "survivors all hit");
+    assert_eq!(
+        cache_counter(&mut c, "misses"),
+        truly_lost,
+        "probe exhaustion only for fully-lost keys"
+    );
+
+    c.shutdown().expect("shutdown");
+    for w in workers {
+        // Decommissioned workers may see an abrupt close; liveness of the
+        // survivors is already proven by the warm sweep above.
+        let _ = w.join().expect("worker thread");
+    }
+}
+
+/// Read-through and write-repair, end to end: a new node that outranks
+/// the old replica set becomes the primary, misses its first probe, the
+/// old replica answers (read-through), the payload is re-fanned to the
+/// new primary (repair) — and after the *entire original replica set*
+/// is decommissioned, the repaired copy alone still serves the key.
+#[test]
+fn read_through_repairs_new_primary_after_membership_change() {
+    let (addr, _coord) = start_coordinator(CoordinatorOptions::default());
+    let w0 = spawn_worker(addr, "old-0");
+    let w1 = spawn_worker(addr, "old-1");
+    let mut c = client(addr);
+    await_workers(&mut c, 2);
+
+    // Find a workload variant whose key will rank a third worker (join
+    // index 2) as its new primary: rendezvous ranking is a pure function
+    // of (key, join index), so the test computes it the same way the
+    // coordinator does and picks a variant deterministically.
+    let rank0 = |key: u64, n: u64| -> u64 {
+        (0..n)
+            .max_by_key(|&i| gcl_sim::fnv_fold(key, i))
+            .expect("nonempty")
+    };
+    let base_cycles = 20_000_000u64; // GpuConfig::small().max_cycles
+    let (variant, key) = (0..64u64)
+        .find_map(|v| {
+            let mut cfg = GpuConfig::small();
+            cfg.max_cycles = base_cycles + v;
+            let key = JobSpec::new("bfs", true, cfg)
+                .fingerprint()
+                .expect("fingerprint")
+                .key();
+            (rank0(key, 3) == 2).then_some((v, key))
+        })
+        .expect("some variant ranks the third worker first");
+    let _ = key;
+
+    let submit_variant = |c: &mut ServeClient| -> u64 {
+        let mut req = vec![
+            ("op", Json::Str("submit".into())),
+            ("workload", Json::Str("bfs".into())),
+            ("tiny", Json::Bool(true)),
+            ("sanitize", Json::Bool(false)),
+        ];
+        if variant > 0 {
+            req.push(("max_cycles", Json::UInt(base_cycles + variant)));
+        }
+        let r = c.call(&Json::obj(req)).expect("submit");
+        r.get("id")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("no id in {r}"))
+    };
+
+    // Cold run on the two old nodes: both hold the payload.
+    let id = submit_variant(&mut c);
+    let cold = wait_stats(&mut c, id);
+    assert_eq!(cache_counter(&mut c, "sims"), 1);
+    assert_eq!(cache_counter(&mut c, "stores"), 2);
+
+    // Membership change: the new node joins and (by construction)
+    // outranks both old nodes for this key.
+    let w2 = spawn_worker(addr, "newcomer");
+    await_workers(&mut c, 3);
+    reset(&mut c);
+
+    // Warm resubmit: probe newcomer (miss) -> read-through from the
+    // highest-ranked old holder -> write-repair back onto newcomer.
+    let id = submit_variant(&mut c);
+    let warm = wait_stats(&mut c, id);
+    assert_eq!(warm, cold, "read-through returns the original stats");
+    assert_eq!(cache_counter(&mut c, "sims"), 1, "no recomputation");
+    assert_eq!(cache_counter(&mut c, "read_through"), 1);
+    assert_eq!(cache_counter(&mut c, "repairs"), 1);
+    assert_eq!(
+        cache_counter(&mut c, "stores"),
+        3,
+        "repair re-fans exactly the missing copy"
+    );
+
+    // Kill the entire original replica set. Only the repaired copy on
+    // the newcomer survives — and it must be enough.
+    reset(&mut c);
+    decommission(&mut c, "old-0");
+    decommission(&mut c, "old-1");
+    let id = submit_variant(&mut c);
+    let repaired = wait_stats(&mut c, id);
+    assert_eq!(repaired, cold, "repaired copy serves the key");
+    assert_eq!(
+        cache_counter(&mut c, "sims"),
+        1,
+        "write-repair made the key durable past its whole original set"
+    );
+    assert_eq!(cache_counter(&mut c, "primary_hits"), 1);
+
+    c.shutdown().expect("shutdown");
+    for w in [w0, w1, w2] {
+        let _ = w.join().expect("worker thread");
+    }
+}
+
+/// `reset` + resubmit with *no* chaos must serve everything from the
+/// replica tier: zero recomputation, all primary hits, and per-key
+/// `worker_wall_ms` surfaced as 0 for cached answers.
+#[test]
+fn warm_resubmit_hits_primary_replicas_without_simulating() {
+    let (addr, _coord) = start_coordinator(CoordinatorOptions::default());
+    let workers: Vec<_> = ["w0", "w1", "w2"]
+        .iter()
+        .map(|n| spawn_worker(addr, n))
+        .collect();
+    let mut c = client(addr);
+    await_workers(&mut c, 3);
+
+    let sweep = &SWEEP[..4];
+    let ids: Vec<u64> = sweep
+        .iter()
+        .map(|w| c.submit(w, true, false).expect("submit"))
+        .collect();
+    let cold: Vec<LaunchStats> = ids.iter().map(|&id| wait_stats(&mut c, id)).collect();
+    // Cold results carry the executing worker's wall time.
+    let mut worker_walls: HashMap<u64, f64> = HashMap::new();
+    for &id in &ids {
+        let r = c.result(id).expect("result");
+        worker_walls.insert(
+            id,
+            r.get("worker_wall_ms")
+                .and_then(Json::as_f64)
+                .expect("worker_wall_ms"),
+        );
+        assert!(r.get("worker").and_then(Json::as_str).is_some());
+    }
+    assert!(
+        worker_walls.values().any(|&ms| ms > 0.0),
+        "simulated jobs accrue worker wall time: {worker_walls:?}"
+    );
+
+    reset(&mut c);
+    let warm_ids: Vec<u64> = sweep
+        .iter()
+        .map(|w| c.submit(w, true, false).expect("resubmit"))
+        .collect();
+    let warm: Vec<LaunchStats> = warm_ids.iter().map(|&id| wait_stats(&mut c, id)).collect();
+    assert_eq!(warm, cold);
+    assert_eq!(cache_counter(&mut c, "sims"), sweep.len() as u64);
+    assert_eq!(cache_counter(&mut c, "primary_hits"), sweep.len() as u64);
+    assert_eq!(cache_counter(&mut c, "read_through"), 0);
+    assert_eq!(cache_counter(&mut c, "misses"), 0);
+    for &id in &warm_ids {
+        let r = c.result(id).expect("result");
+        assert_eq!(r.get("cached"), Some(&Json::Bool(true)), "{r}");
+    }
+
+    c.shutdown().expect("shutdown");
+    for w in workers {
+        w.join().expect("worker thread").expect("worker ran");
+    }
+}

@@ -189,11 +189,20 @@ pub mod backoff {
         /// The jittered delay before retry `attempt` (1-based): the window
         /// is `base · 2^(attempt-1)` capped at `cap_ms`, and the delay is
         /// drawn uniformly from `[window/2, window]`.
+        ///
+        /// Safe for unbounded attempt counts: a long-lived reconnect loop
+        /// can pass any `attempt` (including `u64::MAX`) and the doubling
+        /// saturates instead of overflowing the shift.
         pub fn delay_ms(&self, attempt: u64, rng: &mut Rng) -> u64 {
-            let shift = attempt.saturating_sub(1).min(32) as u32;
+            let shift = attempt.saturating_sub(1);
+            // `1u64 << shift` is undefined for shift >= 64, and a plain
+            // doubling would debug-overflow long before the cap bites on a
+            // small base. Saturate the factor explicitly; the cap and the
+            // u32 jitter clamp bound the window from there.
+            let doubling = if shift >= 64 { u64::MAX } else { 1u64 << shift };
             let window = self
                 .base_ms
-                .saturating_mul(1u64 << shift)
+                .saturating_mul(doubling)
                 .min(self.cap_ms)
                 // Keep the jitter draw inside u32 range whatever the cap.
                 .min(u64::from(u32::MAX) - 1);
@@ -244,6 +253,44 @@ pub mod backoff {
             let distinct: std::collections::HashSet<u64> =
                 (0..50).map(|_| backoff_ms(6, &mut r1)).collect();
             assert!(distinct.len() > 1, "no jitter in backoff");
+        }
+
+        #[test]
+        fn shift_saturates_at_overflow_boundary_attempts() {
+            // The doubling shift must not wrap or debug-overflow at the
+            // attempt counts where `1u64 << (attempt-1)` leaves u64 range.
+            // Pin the cap across every boundary: 32/33 (u32 shift width),
+            // 63/64/65 (u64 shift width), and u64::MAX.
+            let boundaries = [1u64, 31, 32, 33, 63, 64, 65, u64::MAX];
+            let policies = [
+                DEFAULT,
+                Backoff::new(1, u64::MAX),
+                Backoff::new(u64::MAX, u64::MAX),
+                Backoff::new(3, 1_000),
+            ];
+            for policy in policies {
+                for &attempt in &boundaries {
+                    let mut rng = Rng::new(attempt ^ policy.base_ms);
+                    let d = policy.delay_ms(attempt, &mut rng);
+                    let ceiling = policy.cap_ms.min(u64::from(u32::MAX) - 1);
+                    assert!(
+                        d <= ceiling,
+                        "base {} cap {} attempt {attempt}: delay {d} above {ceiling}",
+                        policy.base_ms,
+                        policy.cap_ms
+                    );
+                }
+            }
+            // Once the window saturates, deeper attempts draw from the same
+            // capped window: the lower bound (window/2) is still honored.
+            let mut rng = Rng::new(11);
+            for &attempt in &[33u64, 64, 65, u64::MAX] {
+                let d = DEFAULT.delay_ms(attempt, &mut rng);
+                assert!(
+                    (1_000..=2_000).contains(&d),
+                    "attempt {attempt}: saturated delay {d} outside [1000, 2000]"
+                );
+            }
         }
 
         #[test]

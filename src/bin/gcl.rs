@@ -18,7 +18,11 @@
 //!                                          or fleet worker (--join)
 //! gcl coordinate [--addr HOST:PORT] [--queue-cap N] [--lease-ms N]
 //!              [--heartbeat-ms N] [--heartbeat-timeout-ms N]
+//!              [--replicas N] [--session-inflight-cap N]
 //!                                          fleet coordinator
+//! gcl loadgen  [--addr HOST:PORT] [--submitters N] [--duration-ms N]
+//!              [--think-ms N] [--distinct N] [--out PATH]
+//!                                          closed-loop load generator
 //! ```
 
 use gcl::prelude::*;
@@ -27,27 +31,51 @@ use gcl_stats::Json;
 use std::path::Path;
 use std::process::ExitCode;
 
+/// Exit code for an address that cannot be bound (or dialed): the
+/// operator should fix the address or free the port.
+const EXIT_BIND: u8 = 2;
+/// Exit code for a protocol or transport failure after startup.
+const EXIT_NET: u8 = 3;
+
+/// A CLI failure: exit code plus message. Code 1 is the generic failure
+/// every legacy path maps to; `serve`/`coordinate` distinguish bind
+/// failures ([`EXIT_BIND`]) from protocol errors ([`EXIT_NET`]).
+type CliError = (u8, String);
+
+fn fail(e: String) -> CliError {
+    (1, e)
+}
+
+fn serve_exit(e: ServeError) -> CliError {
+    match e {
+        ServeError::Config(m) => (1, m),
+        ServeError::Bind(m) => (EXIT_BIND, m),
+        ServeError::Net(m) => (EXIT_NET, m),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("classify") => cmd_classify(&args[1..]),
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("disasm") => cmd_disasm(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("suite") => cmd_suite(&args[1..]),
+    let result: Result<(), CliError> = match args.first().map(String::as_str) {
+        Some("classify") => cmd_classify(&args[1..]).map_err(fail),
+        Some("analyze") => cmd_analyze(&args[1..]).map_err(fail),
+        Some("disasm") => cmd_disasm(&args[1..]).map_err(fail),
+        Some("run") => cmd_run(&args[1..]).map_err(fail),
+        Some("suite") => cmd_suite(&args[1..]).map_err(fail),
         Some("serve") => cmd_serve(&args[1..]),
         Some("coordinate") => cmd_coordinate(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]).map_err(fail),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        Some(other) => Err(fail(format!("unknown command `{other}`\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err((code, e)) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(code)
         }
     }
 }
@@ -67,8 +95,14 @@ USAGE:
                [--fleet HOST:PORT]
   gcl serve    [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--no-cache]
                [--join HOST:PORT] [--name NAME] [--inject SPEC]
+               [--connect-retries N]
   gcl coordinate [--addr HOST:PORT] [--queue-cap N] [--lease-ms N]
                [--heartbeat-ms N] [--heartbeat-timeout-ms N]
+               [--replicas N] [--probe-timeout-ms N]
+               [--session-inflight-cap N]
+  gcl loadgen  [--addr HOST:PORT] [--submitters N] [--duration-ms N]
+               [--think-ms N] [--distinct N] [--sample-ms N] [--seed N]
+               [--workloads A,B,...] [--full] [--out PATH]
 
 `classify` runs the paper's backward-dataflow analysis and prints each
 global load's class and (for non-deterministic loads) the def-chain back to
@@ -117,12 +151,31 @@ the coordinator, which shards jobs across workers by content-addressed
 cache key, supervises them with heartbeats and per-job leases, and
 reassigns work from dead, partitioned or stalled workers — results are
 deduplicated by cache key, so a fleet sweep is digest-identical to a
-serial run. `suite --fleet COORD:PORT` runs the whole suite through a
-coordinator instead of local threads (incompatible with --jobs, --retries,
---force-fail and --no-cache: parallelism, retry policy and caching belong
-to the fleet). `serve --inject SPEC` arms the worker-side chaos layer
-(drop-heartbeat, stall=MS, kill-after=N, corrupt=N, partition-after=MS)
-used by the fault-tolerance tests and CI game days.
+serial run. Finished results are fanned out to an R-member replica set of
+workers (--replicas, default 2) chosen by rendezvous hashing; a resubmit
+of a warm key probes the primary, reads through from a surviving replica,
+and write-repairs back to full strength — so losing a node costs only the
+keys whose entire replica set died. `suite --fleet COORD:PORT` runs the
+whole suite through a coordinator instead of local threads (incompatible
+with --jobs, --retries, --force-fail and --no-cache: parallelism, retry
+policy and caching belong to the fleet); it opens a streaming session and
+follows the coordinator's NDJSON event feed (queued / leased / reassigned
+/ done, plus queue-depth heartbeats) instead of polling, and `suite
+--fleet --resume` re-attaches to the manifest's recorded session, replaying
+any events missed while disconnected. `serve --inject SPEC` arms the
+worker-side chaos layer (drop-heartbeat, stall=MS, kill-after=N,
+corrupt=N, partition-after=MS) used by the fault-tolerance tests and CI
+game days.
+`loadgen` drives a serve daemon or coordinator with N concurrent
+closed-loop submitters (seeded think-time jitter) and writes a periodic
+JSON time series — p50/p99 submit latency, queue depth, cache-hit rate,
+shed and error counts — under results/load/. Sheds are data, not
+failures: an overloaded coordinator answers structured
+{\"ok\":false,\"shed\":true} responses (per-session inflight cap, queue
+cap) instead of stalling.
+`serve` and `coordinate` exit 2 when the address cannot be bound (or the
+worker cannot reach its coordinator) and 3 on a protocol failure after
+startup, so supervisors can tell configuration from runtime faults.
 ";
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
@@ -506,6 +559,11 @@ struct ManifestEntry {
     status: String,
     attempts: u64,
     wall_ms: f64,
+    /// Wall time the executing fleet worker held the lease (stall
+    /// included); 0 for local runs, where `wall_ms` is the same clock.
+    worker_wall_ms: f64,
+    /// Which fleet worker produced the result (local runs: none).
+    worker: Option<String>,
     digest: Option<u64>,
     error: Option<String>,
 }
@@ -520,6 +578,9 @@ struct Manifest {
     /// `--resume` deliberately ignores it — parallelism never changes
     /// results, so resuming `-j1` progress with `-j4` is fine.
     jobs: u64,
+    /// Streaming session id of a `--fleet` run; `--fleet --resume`
+    /// re-attaches to it and replays missed events.
+    session: Option<String>,
     entries: Vec<ManifestEntry>,
 }
 
@@ -534,6 +595,14 @@ impl Manifest {
                     ("status", Json::Str(e.status.clone())),
                     ("attempts", Json::UInt(e.attempts)),
                     ("wall_ms", Json::Float(e.wall_ms)),
+                    ("worker_wall_ms", Json::Float(e.worker_wall_ms)),
+                    (
+                        "worker",
+                        match &e.worker {
+                            Some(w) => Json::Str(w.clone()),
+                            None => Json::Null,
+                        },
+                    ),
                     (
                         "digest",
                         match e.digest {
@@ -556,6 +625,13 @@ impl Manifest {
             ("scale", Json::Str(self.scale.clone())),
             ("sanitize", Json::Bool(self.sanitize)),
             ("jobs", Json::UInt(self.jobs)),
+            (
+                "session",
+                match &self.session {
+                    Some(s) => Json::Str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
             ("workloads", Json::Arr(entries)),
         ])
     }
@@ -620,6 +696,11 @@ impl Manifest {
                     .to_string(),
                 attempts: w.get("attempts").and_then(Json::as_u64).unwrap_or(0),
                 wall_ms: w.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                worker_wall_ms: w
+                    .get("worker_wall_ms")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                worker: w.get("worker").and_then(Json::as_str).map(str::to_string),
                 digest,
                 error: w.get("error").and_then(Json::as_str).map(str::to_string),
             });
@@ -628,6 +709,7 @@ impl Manifest {
             scale,
             sanitize,
             jobs,
+            session: j.get("session").and_then(Json::as_str).map(str::to_string),
             entries,
         })
     }
@@ -735,7 +817,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     // Start from the persisted manifest when resuming; everything not
     // recorded `ok` there (pending, running, retried, failed — and any
     // workload the old manifest never saw) runs again.
-    let prior = if resume {
+    let (prior, prior_session) = if resume {
         let m = Manifest::load(manifest_path)?;
         if m.scale != scale || m.sanitize != sanitize {
             return Err(format!(
@@ -746,14 +828,15 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
                 if m.sanitize { " --sanitize" } else { "" },
             ));
         }
-        m.entries
+        (m.entries, m.session)
     } else {
-        Vec::new()
+        (Vec::new(), None)
     };
     let mut manifest = Manifest {
         scale: scale.to_string(),
         sanitize,
         jobs: jobs as u64,
+        session: None,
         entries: workloads
             .iter()
             .map(|w| {
@@ -765,6 +848,8 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
                         status: "ok".to_string(),
                         attempts: e.attempts,
                         wall_ms: e.wall_ms,
+                        worker_wall_ms: e.worker_wall_ms,
+                        worker: e.worker.clone(),
                         digest: e.digest,
                         error: None,
                     })
@@ -773,6 +858,8 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
                         status: "pending".to_string(),
                         attempts: 0,
                         wall_ms: 0.0,
+                        worker_wall_ms: 0.0,
+                        worker: None,
                         digest: None,
                         error: None,
                     })
@@ -806,7 +893,14 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     }
 
     let results = if let Some(addr) = fleet.as_deref() {
-        run_fleet_suite(addr, &specs, &spec_wi, &mut manifest, manifest_path)?
+        run_fleet_suite(
+            addr,
+            &specs,
+            &spec_wi,
+            &mut manifest,
+            manifest_path,
+            prior_session.as_deref(),
+        )?
     } else {
         let pool_cfg = PoolConfig {
             jobs,
@@ -974,158 +1068,282 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Run the suite's remaining specs through a fleet coordinator: submit
-/// everything (honoring queue-full backpressure), then collect each result
-/// in submission order, checksum-verifying the stats payload. The manifest
-/// is updated exactly as the local pool path does, so `--resume` composes
-/// with `--fleet`.
+/// Run the suite's remaining specs through a fleet coordinator over a
+/// streaming session: submit everything tagged with the session id, then
+/// follow the coordinator's event feed (queued / leased / reassigned /
+/// done / failed, plus depth heartbeats) instead of polling `result`. On a
+/// terminal event the full checksummed payload is fetched once. The
+/// session id is persisted in the manifest, so `--fleet --resume`
+/// re-attaches and replays whatever the client missed while away. The
+/// manifest is updated exactly as the local pool path does.
 fn run_fleet_suite(
     addr: &str,
     specs: &[JobSpec],
     spec_wi: &[usize],
     manifest: &mut Manifest,
     manifest_path: &Path,
+    prior_session: Option<&str>,
 ) -> Result<Vec<JobResult>, String> {
-    let mut client = ServeClient::connect(ClientOptions {
-        addr: addr.to_string(),
-        // Result frames carry the full hex-encoded LaunchStats.
-        max_frame: 1024 * 1024,
-        ..ClientOptions::default()
-    })?;
-    let mut ids = Vec::with_capacity(specs.len());
+    let mut session = SessionClient::open(
+        ClientOptions {
+            addr: addr.to_string(),
+            // Result frames carry the full hex-encoded LaunchStats.
+            max_frame: 1024 * 1024,
+            ..ClientOptions::default()
+        },
+        prior_session,
+    )?;
+    if prior_session.is_some() {
+        eprintln!(
+            "gcl suite: re-attached to session {}{}",
+            session.id(),
+            if session.truncated() {
+                " (some events were already evicted from the log)"
+            } else {
+                ""
+            }
+        );
+    }
+    manifest.session = Some(session.id().to_string());
+    // Submit everything up front; lifecycle events flow back on the
+    // session stream. `id_spec` routes a terminal event back to the spec
+    // that owns the job.
+    let mut id_spec: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
     for (i, spec) in specs.iter().enumerate() {
-        let id = client.submit(&spec.workload, spec.tiny, spec.cfg.sanitize)?;
-        ids.push(id);
+        let submit = session.submit(&spec.workload, spec.tiny, spec.cfg.sanitize)?;
+        id_spec.insert(submit.id, i);
         manifest.entries[spec_wi[i]].status = "running".to_string();
     }
     manifest.save(manifest_path)?;
-    let mut results = Vec::with_capacity(specs.len());
-    for (i, (spec, id)) in specs.iter().zip(&ids).enumerate() {
-        let response = client.wait(*id, std::time::Duration::from_secs(600))?;
-        let attempts = response.get("assigns").and_then(Json::as_u64).unwrap_or(1);
-        let outcome = match response.get("state").and_then(Json::as_str) {
-            Some("done") => {
-                let hex = response
-                    .get("stats")
-                    .and_then(Json::as_str)
-                    .ok_or("fleet result missing stats payload")?;
-                let sum = response
-                    .get("sum")
-                    .and_then(Json::as_str)
-                    .ok_or("fleet result missing checksum")?;
-                let stats = gcl::exec::fleet::decode_stats_payload(hex, sum)
-                    .map_err(|e| format!("fleet result for `{}` corrupt: {e}", spec.workload))?;
-                Ok(JobOutput {
-                    stats,
-                    wall_ms: response
-                        .get("wall_ms")
-                        .and_then(Json::as_f64)
-                        .unwrap_or(0.0),
-                    cached: response.get("cached").and_then(Json::as_bool) == Some(true),
-                })
+    let mut results: Vec<Option<JobResult>> = (0..specs.len()).map(|_| None).collect();
+    let mut pending = results.iter().filter(|r| r.is_none()).count();
+    // The stream replaces polling, but not deadlines: a fleet that goes
+    // quiet for this long (no events, no heartbeats) has lost its
+    // coordinator.
+    let quiet_limit = std::time::Duration::from_secs(600);
+    let mut last_event = std::time::Instant::now();
+    while pending > 0 {
+        let Some(event) = session.next_event(std::time::Duration::from_millis(500))? else {
+            if last_event.elapsed() >= quiet_limit {
+                return Err(format!(
+                    "no events from {addr} for {}s — coordinator lost?",
+                    quiet_limit.as_secs()
+                ));
             }
-            _ => Err(ExecError::Remote(
-                response
-                    .get("error")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unknown fleet failure")
-                    .to_string(),
-            )),
+            continue;
         };
-        let e = &mut manifest.entries[spec_wi[i]];
-        e.attempts = attempts;
-        match &outcome {
-            Ok(out) => {
-                e.status = "ok".to_string();
-                e.wall_ms = out.wall_ms;
-                e.digest = out.stats.digest;
-                e.error = None;
+        last_event = std::time::Instant::now();
+        let kind = event.get("event").and_then(Json::as_str).unwrap_or("");
+        let job = event.get("job").and_then(Json::as_u64);
+        match kind {
+            "leased" => {
+                if let (Some(id), Some(worker)) = (job, event.get("worker").and_then(Json::as_str))
+                {
+                    if let Some(&i) = id_spec.get(&id) {
+                        eprintln!("gcl suite: `{}` leased to {worker}", specs[i].workload);
+                    }
+                }
             }
-            Err(err) => {
-                e.status = "failed".to_string();
-                e.error = Some(err.to_string());
+            "reassigned" => {
+                if let Some(&i) = job.as_ref().and_then(|id| id_spec.get(id)) {
+                    eprintln!(
+                        "gcl suite: `{}` reassigned ({})",
+                        specs[i].workload,
+                        event.get("reason").and_then(Json::as_str).unwrap_or("?"),
+                    );
+                }
             }
+            "done" | "failed" => {
+                let Some(id) = job else { continue };
+                let Some(&i) = id_spec.get(&id) else { continue };
+                if results[i].is_some() {
+                    continue; // replayed event after a resume
+                }
+                let spec = &specs[i];
+                // Events are notifications; the payload (full stats +
+                // checksum) comes from one `result` call per job.
+                let response = session.result(id)?;
+                let attempts = response.get("assigns").and_then(Json::as_u64).unwrap_or(1);
+                let outcome = match response.get("state").and_then(Json::as_str) {
+                    Some("done") => {
+                        let hex = response
+                            .get("stats")
+                            .and_then(Json::as_str)
+                            .ok_or("fleet result missing stats payload")?;
+                        let sum = response
+                            .get("sum")
+                            .and_then(Json::as_str)
+                            .ok_or("fleet result missing checksum")?;
+                        let stats =
+                            gcl::exec::fleet::decode_stats_payload(hex, sum).map_err(|e| {
+                                format!("fleet result for `{}` corrupt: {e}", spec.workload)
+                            })?;
+                        Ok(JobOutput {
+                            stats,
+                            wall_ms: response
+                                .get("wall_ms")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(0.0),
+                            cached: response.get("cached").and_then(Json::as_bool) == Some(true),
+                        })
+                    }
+                    _ => Err(ExecError::Remote(
+                        response
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown fleet failure")
+                            .to_string(),
+                    )),
+                };
+                let e = &mut manifest.entries[spec_wi[i]];
+                e.attempts = attempts;
+                e.worker_wall_ms = response
+                    .get("worker_wall_ms")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                e.worker = response
+                    .get("worker")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                match &outcome {
+                    Ok(out) => {
+                        e.status = "ok".to_string();
+                        e.wall_ms = out.wall_ms;
+                        e.digest = out.stats.digest;
+                        e.error = None;
+                    }
+                    Err(err) => {
+                        e.status = "failed".to_string();
+                        e.error = Some(err.to_string());
+                    }
+                }
+                manifest.save(manifest_path)?;
+                results[i] = Some(JobResult {
+                    spec: spec.clone(),
+                    outcome,
+                    attempts,
+                });
+                pending -= 1;
+            }
+            _ => {} // queued acks, depth heartbeats
         }
-        manifest.save(manifest_path)?;
-        results.push(JobResult {
-            spec: spec.clone(),
-            outcome,
-            attempts,
-        });
     }
-    Ok(results)
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("all settled"))
+        .collect())
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let mut opts = ServeOptions::default();
-    let mut no_cache = false;
-    let mut join: Option<String> = None;
-    let mut name: Option<String> = None;
-    let mut inject = FleetInject::none();
-    let mut addr_given = false;
-    let mut queue_cap_given = false;
+/// Parsed `gcl serve` flags, before deciding daemon vs. fleet worker.
+struct ServeCli {
+    opts: ServeOptions,
+    no_cache: bool,
+    join: Option<String>,
+    name: Option<String>,
+    inject: FleetInject,
+    connect_retries: Option<u64>,
+    addr_given: bool,
+    queue_cap_given: bool,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeCli, String> {
+    let mut cli = ServeCli {
+        opts: ServeOptions::default(),
+        no_cache: false,
+        join: None,
+        name: None,
+        inject: FleetInject::none(),
+        connect_retries: None,
+        addr_given: false,
+        queue_cap_given: false,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => {
                 i += 1;
-                opts.addr = args.get(i).ok_or("--addr needs HOST:PORT")?.to_string();
-                addr_given = true;
+                cli.opts.addr = args.get(i).ok_or("--addr needs HOST:PORT")?.to_string();
+                cli.addr_given = true;
             }
             "--jobs" => {
                 i += 1;
-                opts.jobs = parse_u64(args.get(i).ok_or("--jobs needs a value")?)? as usize;
+                cli.opts.jobs = parse_u64(args.get(i).ok_or("--jobs needs a value")?)? as usize;
             }
             "--queue-cap" => {
                 i += 1;
-                opts.queue_cap =
+                cli.opts.queue_cap =
                     parse_u64(args.get(i).ok_or("--queue-cap needs a value")?)? as usize;
-                queue_cap_given = true;
+                cli.queue_cap_given = true;
             }
-            "--no-cache" => no_cache = true,
+            "--no-cache" => cli.no_cache = true,
             "--join" => {
                 i += 1;
-                join = Some(args.get(i).ok_or("--join needs HOST:PORT")?.to_string());
+                cli.join = Some(args.get(i).ok_or("--join needs HOST:PORT")?.to_string());
             }
             "--name" => {
                 i += 1;
-                name = Some(args.get(i).ok_or("--name needs a value")?.to_string());
+                cli.name = Some(args.get(i).ok_or("--name needs a value")?.to_string());
             }
             "--inject" => {
                 i += 1;
-                inject = FleetInject::parse(args.get(i).ok_or("--inject needs a chaos spec")?)?;
+                cli.inject = FleetInject::parse(args.get(i).ok_or("--inject needs a chaos spec")?)?;
+            }
+            "--connect-retries" => {
+                i += 1;
+                cli.connect_retries = Some(parse_u64(
+                    args.get(i).ok_or("--connect-retries needs a value")?,
+                )?);
             }
             other => return Err(format!("serve: unknown option `{other}`")),
         }
         i += 1;
     }
-    if let Some(coord) = join {
+    Ok(cli)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let cli = parse_serve_args(args).map_err(fail)?;
+    if let Some(coord) = cli.join {
         // Fleet worker: dial the coordinator instead of binding a port.
-        if addr_given || queue_cap_given {
-            return Err(
+        if cli.addr_given || cli.queue_cap_given {
+            return Err(fail(
                 "--join makes this a fleet worker; --addr and --queue-cap belong to the \
                  coordinator"
                     .to_string(),
-            );
+            ));
         }
-        let worker_opts = WorkerOptions {
+        let mut worker_opts = WorkerOptions {
             coord,
-            name: name.unwrap_or_else(|| format!("worker-{}", std::process::id())),
-            slots: opts.jobs.max(1),
-            cache: if no_cache {
+            name: cli
+                .name
+                .unwrap_or_else(|| format!("worker-{}", std::process::id())),
+            slots: cli.opts.jobs.max(1),
+            cache: if cli.no_cache {
                 None
             } else {
                 Some(ResultCache::default_dir())
             },
-            inject,
+            inject: cli.inject,
             ..WorkerOptions::default()
         };
+        if let Some(retries) = cli.connect_retries {
+            worker_opts.connect_retries = retries;
+        }
         let label = worker_opts.name.clone();
         eprintln!(
             "gcl serve: joining fleet at {} as `{label}` ({} slot(s))",
             worker_opts.coord, worker_opts.slots
         );
-        let report = run_worker(worker_opts)?;
+        // A worker that cannot reach its coordinator is the dial-side
+        // analogue of a bind failure; everything after the handshake is a
+        // protocol error.
+        let report = run_worker(worker_opts).map_err(|e| {
+            if e.contains("cannot reach coordinator") {
+                (EXIT_BIND, e)
+            } else {
+                (EXIT_NET, e)
+            }
+        })?;
         eprintln!(
             "gcl serve: `{label}` done ({} job(s) run{}{})",
             report.jobs_run,
@@ -1138,22 +1356,50 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
-    if name.is_some() || !inject.is_clean() {
-        return Err("--name and --inject only apply to fleet workers (--join)".to_string());
+    if cli.name.is_some() || !cli.inject.is_clean() {
+        return Err(fail(
+            "--name and --inject only apply to fleet workers (--join)".to_string(),
+        ));
     }
-    if !no_cache {
+    if cli.connect_retries.is_some() {
+        return Err(fail(
+            "--connect-retries only applies to fleet workers (--join)".to_string(),
+        ));
+    }
+    let mut opts = cli.opts;
+    if !cli.no_cache {
         opts.cache = Some(ResultCache::default_dir());
     }
     let (jobs, queue_cap) = (opts.jobs, opts.queue_cap);
-    let server = Server::bind(opts)?;
+    let server = Server::bind(opts).map_err(serve_exit)?;
     eprintln!(
         "gcl serve: listening on {} ({jobs} worker(s), queue cap {queue_cap})",
-        server.addr()?
+        server.addr().map_err(serve_exit)?
     );
-    server.run()
+    server.run().map_err(serve_exit)
 }
 
-fn cmd_coordinate(args: &[String]) -> Result<(), String> {
+fn cmd_coordinate(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_coordinate_args(args).map_err(fail)?;
+    let summary = format!(
+        "queue cap {}, lease {} ms, heartbeat {} ms (timeout {} ms), replicas {}, \
+         session inflight cap {}",
+        opts.queue_cap,
+        opts.lease_ms,
+        opts.heartbeat_ms,
+        opts.heartbeat_timeout_ms,
+        opts.replicas,
+        opts.session_inflight_cap,
+    );
+    let coordinator = Coordinator::bind(opts).map_err(serve_exit)?;
+    eprintln!(
+        "gcl coordinate: listening on {} ({summary})",
+        coordinator.addr().map_err(serve_exit)?
+    );
+    coordinator.run().map_err(serve_exit)
+}
+
+fn parse_coordinate_args(args: &[String]) -> Result<CoordinatorOptions, String> {
     let mut opts = CoordinatorOptions::default();
     let mut i = 0;
     while i < args.len() {
@@ -1180,20 +1426,95 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
                 opts.heartbeat_timeout_ms =
                     parse_u64(args.get(i).ok_or("--heartbeat-timeout-ms needs a value")?)?;
             }
+            "--replicas" => {
+                i += 1;
+                opts.replicas = parse_u64(args.get(i).ok_or("--replicas needs a value")?)? as usize;
+            }
+            "--probe-timeout-ms" => {
+                i += 1;
+                opts.probe_timeout_ms =
+                    parse_u64(args.get(i).ok_or("--probe-timeout-ms needs a value")?)?;
+            }
+            "--session-inflight-cap" => {
+                i += 1;
+                opts.session_inflight_cap =
+                    parse_u64(args.get(i).ok_or("--session-inflight-cap needs a value")?)?;
+            }
             other => return Err(format!("coordinate: unknown option `{other}`")),
         }
         i += 1;
     }
-    let summary = format!(
-        "queue cap {}, lease {} ms, heartbeat {} ms (timeout {} ms)",
-        opts.queue_cap, opts.lease_ms, opts.heartbeat_ms, opts.heartbeat_timeout_ms
-    );
-    let coordinator = Coordinator::bind(opts)?;
+    Ok(opts)
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let mut opts = LoadgenOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                opts.addr = args.get(i).ok_or("--addr needs HOST:PORT")?.to_string();
+            }
+            "--submitters" => {
+                i += 1;
+                opts.submitters =
+                    parse_u64(args.get(i).ok_or("--submitters needs a value")?)? as usize;
+            }
+            "--duration-ms" => {
+                i += 1;
+                opts.duration_ms = parse_u64(args.get(i).ok_or("--duration-ms needs a value")?)?;
+            }
+            "--think-ms" => {
+                i += 1;
+                opts.think_ms = parse_u64(args.get(i).ok_or("--think-ms needs a value")?)?;
+            }
+            "--distinct" => {
+                i += 1;
+                opts.distinct = parse_u64(args.get(i).ok_or("--distinct needs a value")?)? as usize;
+            }
+            "--sample-ms" => {
+                i += 1;
+                opts.sample_ms = parse_u64(args.get(i).ok_or("--sample-ms needs a value")?)?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_u64(args.get(i).ok_or("--seed needs a value")?)?;
+            }
+            "--workloads" => {
+                i += 1;
+                opts.workloads = args
+                    .get(i)
+                    .ok_or("--workloads needs a comma-separated list")?
+                    .split(',')
+                    .filter(|w| !w.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--full" => opts.tiny = false,
+            "--out" => {
+                i += 1;
+                opts.out = std::path::PathBuf::from(args.get(i).ok_or("--out needs a path")?);
+            }
+            other => return Err(format!("loadgen: unknown option `{other}`")),
+        }
+        i += 1;
+    }
     eprintln!(
-        "gcl coordinate: listening on {} ({summary})",
-        coordinator.addr()?
+        "gcl loadgen: {} submitter(s) against {} for {} ms (think {} ms, {} key variant(s))",
+        opts.submitters, opts.addr, opts.duration_ms, opts.think_ms, opts.distinct
     );
-    coordinator.run()
+    let report = run_loadgen(&opts)?;
+    println!(
+        "loadgen: {} submits ({} accepted, {} shed, {} errors), {} finished",
+        report.submits, report.accepted, report.sheds, report.errors, report.finished
+    );
+    println!(
+        "loadgen: submit latency p50 <= {} us, p99 <= {} us over {} sample(s)",
+        report.p50_us, report.p99_us, report.samples
+    );
+    println!("loadgen: time series written to {}", opts.out.display());
+    Ok(())
 }
 
 #[cfg(test)]

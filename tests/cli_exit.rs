@@ -1,0 +1,98 @@
+//! Exit-code contract of the long-running fleet commands: supervisors
+//! restarting `gcl coordinate` / `gcl serve` need to tell "the address is
+//! taken or unreachable" (exit 2 — retry elsewhere or wait) apart from
+//! "the protocol broke" (exit 3 — investigate) and plain usage errors
+//! (exit 1 — don't bother retrying).
+
+use std::net::TcpListener;
+use std::process::{Command, Output};
+
+fn gcl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gcl"))
+        .args(args)
+        .output()
+        .expect("run gcl binary")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn usage_errors_exit_one() {
+    let out = gcl(&["coordinate", "--no-such-flag"]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+
+    let out = gcl(&["coordinate", "--queue-cap", "0"]);
+    assert_eq!(
+        code(&out),
+        1,
+        "config errors are usage errors: {}",
+        stderr(&out)
+    );
+
+    let out = gcl(&["serve", "--connect-retries", "3"]);
+    assert_eq!(
+        code(&out),
+        1,
+        "--connect-retries without --join is a usage error: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn coordinator_bind_failure_exits_two() {
+    // Occupy a port, then ask the coordinator to bind it.
+    let holder = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr = holder.local_addr().expect("addr").to_string();
+    let out = gcl(&["coordinate", "--addr", &addr]);
+    assert_eq!(code(&out), 2, "bind conflict is exit 2: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("bind"),
+        "says what failed: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn worker_unreachable_coordinator_exits_two() {
+    // Nothing listens on the reserved-then-released port: connect refused.
+    let addr = {
+        let holder = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        holder.local_addr().expect("addr").to_string()
+    };
+    let out = gcl(&["serve", "--join", &addr, "--connect-retries", "0"]);
+    assert_eq!(
+        code(&out),
+        2,
+        "unreachable coordinator is exit 2: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn worker_protocol_failure_exits_three() {
+    // A listener that accepts the connection and slams it shut: the
+    // worker reaches the "coordinator", then the join handshake dies —
+    // a protocol failure, not a connectivity one.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("addr").to_string();
+    // The stub thread is deliberately not joined: it blocks in accept
+    // until the test process exits.
+    std::thread::spawn(move || {
+        while let Ok((conn, _)) = listener.accept() {
+            drop(conn)
+        }
+    });
+    let out = gcl(&["serve", "--join", &addr, "--connect-retries", "0"]);
+    assert_eq!(
+        code(&out),
+        3,
+        "broken handshake is exit 3: {}",
+        stderr(&out)
+    );
+}
