@@ -495,19 +495,42 @@ impl SessionClient {
 
     /// Pop the next event, waiting up to `timeout` for one to arrive.
     /// Returns `Ok(None)` on a quiet timeout. Transparently re-attaches
-    /// (replaying missed events) when the connection drops mid-wait.
+    /// (replaying missed events) when the connection drops mid-wait — a
+    /// coordinator restart shows up as quiet timeouts while it redials,
+    /// never as a transport error, so `gcl suite --fleet` rides out a
+    /// `kill -9` + `--recover` cycle on its quiet-limit budget alone.
     ///
     /// # Errors
     ///
-    /// A human-readable message when reconnecting fails outright.
+    /// The coordinator explicitly rejecting this session id (it restarted
+    /// without recovering the session log); plain connect failures are
+    /// retried until `timeout` instead.
     pub fn next_event(&mut self, timeout: Duration) -> Result<Option<Json>, String> {
         let deadline = Instant::now() + timeout;
+        let mut redial_attempt = 0u64;
         loop {
             if let Some(event) = self.events.pop_front() {
                 return Ok(Some(event));
             }
             if self.conn.is_none() {
-                self.ensure_attached()?;
+                match self.ensure_attached() {
+                    Ok(()) => redial_attempt = 0,
+                    // A coordinator that answers but disowns the session
+                    // can never deliver our events: that stays fatal.
+                    Err(e) if e.contains("unknown session") => return Err(e),
+                    Err(_) => {
+                        // Coordinator down or mid-restart: keep dialling
+                        // on the backoff schedule until the caller's
+                        // timeout, then report a quiet interval.
+                        if Instant::now() >= deadline {
+                            return Ok(None);
+                        }
+                        redial_attempt += 1;
+                        let delay = self.opts.backoff.delay_ms(redial_attempt, &mut self.rng);
+                        std::thread::sleep(Duration::from_millis(delay));
+                        continue;
+                    }
+                }
             }
             let next = {
                 let conn = self.conn.as_mut().expect("ensure_attached ran");

@@ -24,13 +24,22 @@
 //! submits, so duplicated work never changes an answer (see the
 //! [`crate::fleet`] module docs for the determinism argument).
 
+use super::journal::{
+    JCounter, Journal, JournalError, Record, RecoveredState, SnapCounters, SnapJob, SnapJobState,
+    SnapSession, SnapState,
+};
 use crate::job::JobSpec;
-use crate::proto::{encode_key, fetch_frame, store_frame, write_frame, FrameError, FrameReader};
+use crate::proto::{
+    decode_key, encode_key, fetch_frame, hex_decode, store_frame, write_frame, FrameError,
+    FrameReader,
+};
 use crate::serve::{error_response, parse_submit, shed_response, ServeError, QUEUE_FULL};
+use gcl_mem::Dec;
 use gcl_sim::{fnv_fold, LaunchStats};
 use gcl_stats::{Accumulator, Json};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -79,6 +88,26 @@ pub struct CoordinatorOptions {
     /// Admission control: a session with this many unfinished submits gets
     /// structured shed responses instead of deeper queueing (0 disables).
     pub session_inflight_cap: u64,
+    /// Write-ahead journal path; `None` keeps state purely in memory.
+    pub journal: Option<PathBuf>,
+    /// Replay the journal on startup instead of truncating it. Requires
+    /// `journal` to be set.
+    pub recover: bool,
+    /// Expose the destructive chaos verbs (`decommission`, `reset`) to
+    /// clients. Off by default: a production coordinator sheds them with a
+    /// structured error.
+    pub chaos_verbs: bool,
+    /// Interval for the proactive replica rebalancer, which re-fans
+    /// under-replicated keys back to R = `replicas` after any membership
+    /// change (0 disables; repair then only happens on a read miss).
+    pub rebalance_ms: u64,
+    /// Journal size that triggers compaction into a snapshot record.
+    pub journal_compact_bytes: u64,
+    /// After `--recover`, hold recovered non-terminal jobs this long
+    /// before dispatching, so re-joining workers can reconcile running
+    /// leases and replica inventories instead of the coordinator
+    /// re-running (or vainly probing) work that is still in flight.
+    pub recover_grace_ms: u64,
 }
 
 impl Default for CoordinatorOptions {
@@ -95,6 +124,12 @@ impl Default for CoordinatorOptions {
             replicas: 2,
             probe_timeout_ms: 2_000,
             session_inflight_cap: 1_024,
+            journal: None,
+            recover: false,
+            chaos_verbs: false,
+            rebalance_ms: 0,
+            journal_compact_bytes: 1024 * 1024,
+            recover_grace_ms: 3_000,
         }
     }
 }
@@ -150,6 +185,9 @@ struct FleetJob {
     probe_done: bool,
     /// Sessions subscribed to this job's lifecycle events.
     sessions: Vec<String>,
+    /// Recovery grace: dispatch skips this job until the deadline, giving
+    /// re-joining workers time to reclaim it via their `inventory` frame.
+    hold_until: Option<Instant>,
 }
 
 /// All jobs ever submitted, plus the dispatch queue and the cache-key
@@ -165,6 +203,9 @@ struct JobTable {
     /// Keys whose payload was fanned out to a replica set at least once.
     /// Only these are worth probing — a never-stored key can only miss.
     stored: HashSet<u64>,
+    /// Keys with a rebalance `fetch` probe in flight (value: its
+    /// deadline), so the rebalancer does not re-probe every tick.
+    rebalance_inflight: HashMap<u64, Instant>,
     next_id: u64,
 }
 
@@ -182,6 +223,12 @@ struct WorkerEntry {
     leased: HashSet<u64>,
     /// Job ids with a replica probe in flight at this worker.
     probing: HashSet<u64>,
+    /// Cache keys the coordinator believes this worker's replica store
+    /// holds: seeded from successful `store` sends, corrected by the
+    /// worker's own `inventory` frame (ground truth on rejoin) and by
+    /// `fetched` misses. The rebalancer reads this to find
+    /// under-replicated keys.
+    keys: HashSet<u64>,
     // Outcome counters for the drain-time table.
     done: u64,
     failed: u64,
@@ -210,6 +257,11 @@ struct FleetCounters {
     dedup_hits: u64,
     /// Submits refused with a structured shed response.
     sheds: u64,
+    /// Under-replicated keys proactively re-fanned by the rebalancer.
+    rebalances: u64,
+    /// Leases resumed from a re-joining worker's inventory after
+    /// `--recover` (work that kept running across a coordinator crash).
+    resumed: u64,
 }
 
 /// One client session: a durable event log and an inflight count for
@@ -266,8 +318,10 @@ fn settle_subscribers(sessions: &mut SessionTable, subscribers: &[String]) {
 
 /// Everything the accept loop, session handlers, and supervisor share.
 ///
-/// Lock order: `jobs` → `workers` → `sessions` → `counters` → `depth`;
-/// never the reverse of any pair.
+/// Lock order: `jobs` → `workers` → `sessions` → `counters` → `depth` →
+/// `journal`; never the reverse of any pair. The journal is innermost so
+/// any handler can append a record while holding whatever state locks it
+/// already has.
 struct CoordShared {
     opts: CoordinatorOptions,
     jobs: Mutex<JobTable>,
@@ -279,6 +333,31 @@ struct CoordShared {
     finished: AtomicBool,
     /// Queue-depth samples, taken each supervisor tick.
     depth: Mutex<Accumulator>,
+    /// Write-ahead journal, when `--journal` is set.
+    journal: Option<Mutex<Journal>>,
+}
+
+/// Append one record to the journal (no-op without `--journal`). Append
+/// failures are warned about, never fatal: the fleet keeps serving and
+/// the journal simply ends at its last good record.
+fn jlog(shared: &CoordShared, rec: &Record) {
+    if let Some(journal) = &shared.journal {
+        let mut j = journal.lock().expect("journal poisoned");
+        if let Err(e) = j.append(rec) {
+            eprintln!("warning: {e}");
+        }
+    }
+}
+
+/// Flush batched journal appends (fsync), once per supervisor tick and
+/// after accepting a submit.
+fn jsync(shared: &CoordShared) {
+    if let Some(journal) = &shared.journal {
+        let mut j = journal.lock().expect("journal poisoned");
+        if let Err(e) = j.sync() {
+            eprintln!("warning: {e}");
+        }
+    }
 }
 
 /// A bound, not-yet-running coordinator. Binding is separated from running
@@ -321,6 +400,23 @@ impl Coordinator {
                 "coordinator needs at least one replica (--replicas 1)".to_string(),
             ));
         }
+        // Open the journal before binding: an unusable journal is a
+        // config error the operator must fix, not something to retry.
+        let mut recovered: Option<RecoveredState> = None;
+        let journal = match (&opts.journal, opts.recover) {
+            (Some(path), true) => {
+                let (j, rec) = Journal::open_recover(path).map_err(journal_error)?;
+                recovered = Some(rec);
+                Some(Mutex::new(j))
+            }
+            (Some(path), false) => Some(Mutex::new(Journal::create(path).map_err(journal_error)?)),
+            (None, true) => {
+                return Err(ServeError::Config(
+                    "--recover needs --journal PATH".to_string(),
+                ))
+            }
+            (None, false) => None,
+        };
         let listener = TcpListener::bind(&opts.addr)
             .map_err(|e| ServeError::Bind(format!("cannot bind {}: {e}", opts.addr)))?;
         let shared = Arc::new(CoordShared {
@@ -331,8 +427,12 @@ impl Coordinator {
             draining: AtomicBool::new(false),
             finished: AtomicBool::new(false),
             depth: Mutex::new(Accumulator::default()),
+            journal,
             opts,
         });
+        if let Some(rec) = recovered {
+            restore_state(&shared, rec);
+        }
         Ok(Coordinator { listener, shared })
     }
 
@@ -386,6 +486,187 @@ impl Coordinator {
     }
 }
 
+/// Map a journal failure onto the exit-code scheme: a journal this build
+/// cannot read is a configuration error (exit 1 — fix the path, don't
+/// retry), while an I/O failure is an environment fault (exit 3).
+fn journal_error(e: JournalError) -> ServeError {
+    match e {
+        JournalError::Unrecoverable { .. } => ServeError::Config(e.to_string()),
+        JournalError::Io { .. } => ServeError::Net(e.to_string()),
+    }
+}
+
+/// Rebuild the in-memory tables from a replayed journal.
+///
+/// Recovered sessions restart their event numbering at the journal's
+/// per-session watermark (an upper bound on what was delivered pre-crash),
+/// so any cursor a surviving client holds is ≤ `base_seq` and a re-attach
+/// replays every post-recovery event. Each recovered job replays its
+/// lifecycle as synthetic events ("queued" plus a terminal event if it
+/// has one); non-terminal jobs are requeued under a grace hold so
+/// re-joining workers can resume still-running leases via `inventory`
+/// instead of the coordinator re-running them.
+fn restore_state(shared: &CoordShared, rec: RecoveredState) {
+    let now = Instant::now();
+    let grace = Duration::from_millis(shared.opts.recover_grace_ms);
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+    let mut counters = shared.counters.lock().expect("counters poisoned");
+    sessions.next = rec.state.session_next;
+    for s in &rec.state.sessions {
+        sessions.map.insert(
+            s.id.clone(),
+            Session {
+                log: VecDeque::new(),
+                base_seq: s.events,
+                next_seq: s.events,
+                inflight: 0,
+            },
+        );
+    }
+    jobs.next_id = rec.state.next_id;
+    let mut snap_jobs = rec.state.jobs;
+    snap_jobs.sort_by_key(|j| j.id);
+    let mut resumable = 0u64;
+    for sj in snap_jobs {
+        let mut cfg = if sj.tiny {
+            gcl_sim::GpuConfig::small()
+        } else {
+            gcl_sim::GpuConfig::fermi()
+        };
+        cfg.sanitize = sj.sanitize;
+        if let Some(mc) = sj.max_cycles {
+            cfg.max_cycles = mc;
+        }
+        let spec = JobSpec::new(sj.workload.clone(), sj.tiny, cfg);
+        let (state, was_leased) = match sj.state {
+            SnapJobState::Queued { was_leased } => (FleetJobState::Queued, was_leased),
+            SnapJobState::Done {
+                cached,
+                wall_ms,
+                worker_wall_ms,
+                worker,
+                payload,
+            } => {
+                let mut d = Dec::new(&payload);
+                match LaunchStats::ckpt_decode(&mut d) {
+                    Ok(stats) => (
+                        FleetJobState::Done(Box::new(FleetResult {
+                            stats,
+                            wall_ms,
+                            worker_wall_ms,
+                            cached,
+                            worker,
+                        })),
+                        false,
+                    ),
+                    // A payload the journal preserved but this build
+                    // cannot decode: recompute rather than refuse.
+                    Err(_) => (FleetJobState::Queued, false),
+                }
+            }
+            SnapJobState::Failed(msg) => (FleetJobState::Failed(msg), false),
+        };
+        let terminal = matches!(state, FleetJobState::Done(_) | FleetJobState::Failed(_));
+        if was_leased {
+            resumable += 1;
+        }
+        sessions.log_event(
+            &sj.sessions,
+            "queued",
+            &[
+                ("job", Json::UInt(sj.id)),
+                ("workload", Json::Str(sj.workload.clone())),
+                ("deduped", Json::Bool(false)),
+                ("recovered", Json::Bool(true)),
+            ],
+        );
+        match &state {
+            FleetJobState::Done(result) => {
+                sessions.log_event(
+                    &sj.sessions,
+                    "done",
+                    &[
+                        ("job", Json::UInt(sj.id)),
+                        ("workload", Json::Str(sj.workload.clone())),
+                        ("cached", Json::Bool(result.cached)),
+                        ("wall_ms", Json::Float(result.wall_ms)),
+                        ("worker_wall_ms", Json::Float(result.worker_wall_ms)),
+                        ("worker", Json::Str(result.worker.clone())),
+                    ],
+                );
+            }
+            FleetJobState::Failed(msg) => {
+                sessions.log_event(
+                    &sj.sessions,
+                    "failed",
+                    &[
+                        ("job", Json::UInt(sj.id)),
+                        ("error", Json::Str(msg.clone())),
+                    ],
+                );
+            }
+            _ => {
+                for sid in &sj.sessions {
+                    if let Some(s) = sessions.map.get_mut(sid) {
+                        s.inflight += 1;
+                    }
+                }
+            }
+        }
+        jobs.by_key.insert(sj.key, sj.id);
+        if !terminal {
+            jobs.queue.push_back(sj.id);
+        }
+        jobs.map.insert(
+            sj.id,
+            FleetJob {
+                spec,
+                key: sj.key,
+                state,
+                assigns: u64::from(terminal || was_leased),
+                last_worker: None,
+                probe_rank: 0,
+                probe_done: false,
+                sessions: sj.sessions,
+                hold_until: (!terminal).then_some(now + grace),
+            },
+        );
+    }
+    for key in rec.state.stored {
+        jobs.stored.insert(key);
+    }
+    let c = rec.state.counters;
+    *counters = FleetCounters {
+        sims: c.sims,
+        stores: c.stores,
+        primary_hits: c.primary_hits,
+        read_through: c.read_through,
+        repairs: c.repairs,
+        misses: c.misses,
+        dedup_hits: c.dedup_hits,
+        sheds: c.sheds,
+        rebalances: c.rebalances,
+        resumed: c.resumed,
+    };
+    let pending = jobs.queue.len();
+    eprintln!(
+        "fleet: recovered {} record(s): {} job(s) ({} pending, {} resumable), \
+         {} session(s), {} stored key(s){}",
+        rec.records,
+        jobs.map.len(),
+        pending,
+        resumable,
+        sessions.map.len(),
+        jobs.stored.len(),
+        if rec.truncated {
+            " — torn tail truncated"
+        } else {
+            ""
+        }
+    );
+}
+
 /// Print the per-worker outcome table a drain leaves behind: graceful
 /// degradation is only trustworthy when you can see who did what.
 fn print_outcome_table(shared: &CoordShared) {
@@ -415,7 +696,7 @@ fn print_outcome_table(shared: &CoordShared) {
     let c = shared.counters.lock().expect("counters poisoned").clone();
     eprintln!(
         "  cache: {} sims, {} stores, {} primary hits, {} read-through, \
-         {} repairs, {} lost, {} dedup, {} sheds",
+         {} repairs, {} lost, {} dedup, {} sheds, {} rebalances, {} resumed",
         c.sims,
         c.stores,
         c.primary_hits,
@@ -423,15 +704,18 @@ fn print_outcome_table(shared: &CoordShared) {
         c.repairs,
         c.misses,
         c.dedup_hits,
-        c.sheds
+        c.sheds,
+        c.rebalances,
+        c.resumed
     );
 }
 
 /// Declare worker `idx` dead for `reason`: tear down its socket, return
 /// every lease it held to the front of the queue, advance every probe it
 /// owed past its rank. Caller holds jobs, workers and sessions locks (in
-/// that order).
+/// that order); the journal (innermost) is taken per reclaim.
 fn mark_dead(
+    shared: &CoordShared,
     jobs: &mut JobTable,
     workers: &mut [WorkerEntry],
     sessions: &mut SessionTable,
@@ -446,6 +730,7 @@ fn mark_dead(
     if let Some(writer) = w.writer.take() {
         let _ = writer.shutdown(Shutdown::Both);
     }
+    w.keys.clear();
     let leases: Vec<u64> = w.leased.drain().collect();
     let probes: Vec<u64> = w.probing.drain().collect();
     if !leases.is_empty() {
@@ -464,6 +749,13 @@ fn mark_dead(
             .get(&id)
             .map(|j| j.sessions.clone())
             .unwrap_or_default();
+        jlog(
+            shared,
+            &Record::Reclaim {
+                id,
+                reason: reason.to_string(),
+            },
+        );
         sessions.log_event(
             &subscribers,
             "reassigned",
@@ -527,10 +819,10 @@ fn ranked_live(workers: &[WorkerEntry], key: u64) -> Vec<usize> {
 /// stores landed. Caller holds jobs, workers and sessions locks.
 #[allow(clippy::too_many_arguments)]
 fn fan_out_store(
+    shared: &CoordShared,
     jobs: &mut JobTable,
     workers: &mut [WorkerEntry],
     sessions: &mut SessionTable,
-    opts: &CoordinatorOptions,
     key: u64,
     hex: &str,
     sum: &str,
@@ -539,27 +831,36 @@ fn fan_out_store(
 ) -> u64 {
     let targets: Vec<usize> = ranked_live(workers, key)
         .into_iter()
-        .take(opts.replicas)
+        .take(shared.opts.replicas)
         .filter(|widx| Some(*widx) != exclude)
         .collect();
     let frame = store_frame(key, hex, sum, wall_ms);
     let mut sent = 0;
     for widx in targets {
         if send_to_worker(&mut workers[widx], &frame).is_err() {
-            mark_dead(jobs, workers, sessions, widx, WORKER_DEAD);
+            mark_dead(shared, jobs, workers, sessions, widx, WORKER_DEAD);
         } else {
+            workers[widx].keys.insert(key);
             sent += 1;
+        }
+    }
+    if let Some(holder) = exclude {
+        if let Some(w) = workers.get_mut(holder) {
+            w.keys.insert(key);
         }
     }
     if sent > 0 || exclude.is_some() {
         jobs.stored.insert(key);
+        jlog(shared, &Record::Stored { key, count: sent });
     }
     sent
 }
 
-/// The supervisor: heartbeats, deadline enforcement, assignment, drain.
+/// The supervisor: heartbeats, deadline enforcement, assignment,
+/// rebalancing, journal upkeep, drain.
 fn supervisor_loop(shared: &Arc<CoordShared>) {
     let tick = Duration::from_millis(20);
+    let mut next_rebalance = Instant::now();
     loop {
         if shared.finished.load(Ordering::SeqCst) {
             return;
@@ -578,7 +879,14 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                     continue;
                 }
                 if now.duration_since(workers[idx].last_pong) > hb_timeout {
-                    mark_dead(&mut jobs, &mut workers, &mut sessions, idx, WORKER_DEAD);
+                    mark_dead(
+                        shared,
+                        &mut jobs,
+                        &mut workers,
+                        &mut sessions,
+                        idx,
+                        WORKER_DEAD,
+                    );
                     continue;
                 }
                 if now.duration_since(workers[idx].last_ping) >= hb {
@@ -590,7 +898,14 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                         ("seq", Json::UInt(seq)),
                     ]);
                     if send_to_worker(&mut workers[idx], &ping).is_err() {
-                        mark_dead(&mut jobs, &mut workers, &mut sessions, idx, WORKER_DEAD);
+                        mark_dead(
+                            shared,
+                            &mut jobs,
+                            &mut workers,
+                            &mut sessions,
+                            idx,
+                            WORKER_DEAD,
+                        );
                     }
                 }
             }
@@ -621,6 +936,13 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                     .get(&id)
                     .map(|j| j.sessions.clone())
                     .unwrap_or_default();
+                jlog(
+                    shared,
+                    &Record::Reclaim {
+                        id,
+                        reason: LEASE_EXPIRED.to_string(),
+                    },
+                );
                 sessions.log_event(
                     &subscribers,
                     "reassigned",
@@ -664,6 +986,12 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                 if !matches!(job.state, FleetJobState::Queued) {
                     continue;
                 }
+                // Recovery grace: leave held jobs alone until the deadline
+                // so a re-joining worker's inventory can resume them.
+                if job.hold_until.is_some_and(|t| now < t) {
+                    stuck.push_back(id);
+                    continue;
+                }
                 let key = job.key;
                 let avoid = job.last_worker;
                 let probe_rank = job.probe_rank;
@@ -674,7 +1002,14 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                     if probe_rank < max_rank {
                         let widx = ranked[probe_rank];
                         if send_to_worker(&mut workers[widx], &fetch_frame(id, key)).is_err() {
-                            mark_dead(&mut jobs, &mut workers, &mut sessions, widx, WORKER_DEAD);
+                            mark_dead(
+                                shared,
+                                &mut jobs,
+                                &mut workers,
+                                &mut sessions,
+                                widx,
+                                WORKER_DEAD,
+                            );
                             jobs.queue.push_front(id);
                             continue;
                         }
@@ -691,6 +1026,13 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                     // lost; fall through and recompute it.
                     let job = jobs.map.get_mut(&id).expect("job exists");
                     job.probe_done = true;
+                    jlog(
+                        shared,
+                        &Record::Counter {
+                            counter: JCounter::Misses,
+                            delta: 1,
+                        },
+                    );
                     shared.counters.lock().expect("counters poisoned").misses += 1;
                 }
                 let free =
@@ -734,7 +1076,14 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                 }
                 let assign = Json::obj(assign_fields);
                 if send_to_worker(&mut workers[widx], &assign).is_err() {
-                    mark_dead(&mut jobs, &mut workers, &mut sessions, widx, WORKER_DEAD);
+                    mark_dead(
+                        shared,
+                        &mut jobs,
+                        &mut workers,
+                        &mut sessions,
+                        widx,
+                        WORKER_DEAD,
+                    );
                     // mark_dead may have requeued other jobs; this one is
                     // still ours to put back.
                     jobs.queue.push_front(id);
@@ -750,6 +1099,13 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                 };
                 let subscribers = job.sessions.clone();
                 workers[widx].leased.insert(id);
+                jlog(
+                    shared,
+                    &Record::Lease {
+                        id,
+                        worker: wname.clone(),
+                    },
+                );
                 sessions.log_event(
                     &subscribers,
                     "leased",
@@ -759,6 +1115,16 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
             // Jobs with nowhere to go wait at the front, in order.
             for id in stuck.into_iter().rev() {
                 jobs.queue.push_front(id);
+            }
+
+            // Proactive rebalancing: scan the replica directory and re-fan
+            // any under-replicated key back to R, without waiting for a
+            // read miss. The payload comes from a terminal job when one is
+            // still in the table, else it is fetched back from a surviving
+            // holder (the `fetched` handler finishes that fan-out).
+            if shared.opts.rebalance_ms > 0 && now >= next_rebalance {
+                next_rebalance = now + Duration::from_millis(shared.opts.rebalance_ms);
+                rebalance(shared, &mut jobs, &mut workers, &mut sessions, now);
             }
 
             shared
@@ -786,8 +1152,183 @@ fn supervisor_loop(shared: &Arc<CoordShared>) {
                     shared.finished.store(true, Ordering::SeqCst);
                 }
             }
+
+            // Journal upkeep: one batched fsync per tick, and compaction
+            // into a snapshot once the file outgrows its budget.
+            if let Some(journal) = &shared.journal {
+                let needs_compact = {
+                    let j = journal.lock().expect("journal poisoned");
+                    j.bytes() > shared.opts.journal_compact_bytes
+                };
+                if needs_compact {
+                    let snap = {
+                        let counters = shared.counters.lock().expect("counters poisoned");
+                        snapshot_state(&jobs, &sessions, &counters)
+                    };
+                    let mut j = journal.lock().expect("journal poisoned");
+                    let before = j.bytes();
+                    match j.compact(&snap) {
+                        Ok(()) => {
+                            eprintln!("fleet: journal compacted ({before} -> {} bytes)", j.bytes())
+                        }
+                        Err(e) => eprintln!("warning: journal compaction failed: {e}"),
+                    }
+                }
+            }
+            jsync(shared);
         }
         std::thread::sleep(tick);
+    }
+}
+
+/// Re-fan every under-replicated stored key toward R live replicas.
+/// Caller holds jobs, workers and sessions locks.
+fn rebalance(
+    shared: &CoordShared,
+    jobs: &mut JobTable,
+    workers: &mut [WorkerEntry],
+    sessions: &mut SessionTable,
+    now: Instant,
+) {
+    jobs.rebalance_inflight
+        .retain(|_, deadline| now < *deadline);
+    let stored: Vec<u64> = jobs.stored.iter().copied().collect();
+    for key in stored {
+        if jobs.rebalance_inflight.contains_key(&key) {
+            continue;
+        }
+        let targets: Vec<usize> = ranked_live(workers, key)
+            .into_iter()
+            .take(shared.opts.replicas)
+            .collect();
+        if targets.is_empty()
+            || targets
+                .iter()
+                .all(|widx| workers[*widx].keys.contains(&key))
+        {
+            continue;
+        }
+        // Prefer a payload still in the job table: re-fan it directly.
+        let payload = jobs
+            .by_key
+            .get(&key)
+            .and_then(|id| jobs.map.get(id))
+            .and_then(|j| match &j.state {
+                FleetJobState::Done(result) => Some((result.stats.clone(), result.wall_ms)),
+                _ => None,
+            });
+        if let Some((stats, wall_ms)) = payload {
+            let (hex, sum) = super::encode_stats_payload(&stats);
+            let sent = fan_out_store(
+                shared, jobs, workers, sessions, key, &hex, &sum, wall_ms, None,
+            );
+            if sent > 0 {
+                jlog(
+                    shared,
+                    &Record::Counter {
+                        counter: JCounter::Rebalances,
+                        delta: 1,
+                    },
+                );
+                let mut c = shared.counters.lock().expect("counters poisoned");
+                c.rebalances += 1;
+                c.stores += sent;
+            }
+            continue;
+        }
+        // The job table no longer has the bytes (reset, or recovery with
+        // the payload on a worker): fetch them back from the best-ranked
+        // surviving holder. Job id 0 marks the reply as a rebalance fetch.
+        let holder = ranked_live(workers, key)
+            .into_iter()
+            .find(|widx| workers[*widx].keys.contains(&key));
+        let Some(widx) = holder else {
+            continue;
+        };
+        if send_to_worker(&mut workers[widx], &fetch_frame(0, key)).is_err() {
+            mark_dead(shared, jobs, workers, sessions, widx, WORKER_DEAD);
+            continue;
+        }
+        jobs.rebalance_inflight.insert(
+            key,
+            now + Duration::from_millis(shared.opts.probe_timeout_ms),
+        );
+    }
+}
+
+/// Capture the complete durable state for a compaction snapshot. Caller
+/// holds the jobs, sessions and counters locks.
+fn snapshot_state(jobs: &JobTable, sessions: &SessionTable, counters: &FleetCounters) -> SnapState {
+    let mut snap_jobs: Vec<SnapJob> = jobs
+        .map
+        .iter()
+        .map(|(id, job)| {
+            let default_cycles = if job.spec.tiny {
+                gcl_sim::GpuConfig::small().max_cycles
+            } else {
+                gcl_sim::GpuConfig::fermi().max_cycles
+            };
+            let state = match &job.state {
+                FleetJobState::Queued | FleetJobState::Probing { .. } => {
+                    SnapJobState::Queued { was_leased: false }
+                }
+                FleetJobState::Leased { .. } => SnapJobState::Queued { was_leased: true },
+                FleetJobState::Done(result) => {
+                    let mut enc = gcl_mem::Enc::new();
+                    result.stats.ckpt_encode(&mut enc);
+                    SnapJobState::Done {
+                        cached: result.cached,
+                        wall_ms: result.wall_ms,
+                        worker_wall_ms: result.worker_wall_ms,
+                        worker: result.worker.clone(),
+                        payload: enc.into_bytes(),
+                    }
+                }
+                FleetJobState::Failed(msg) => SnapJobState::Failed(msg.clone()),
+            };
+            SnapJob {
+                id: *id,
+                key: job.key,
+                workload: job.spec.workload.clone(),
+                tiny: job.spec.tiny,
+                sanitize: job.spec.cfg.sanitize,
+                max_cycles: (job.spec.cfg.max_cycles != default_cycles)
+                    .then_some(job.spec.cfg.max_cycles),
+                sessions: job.sessions.clone(),
+                state,
+            }
+        })
+        .collect();
+    snap_jobs.sort_by_key(|j| j.id);
+    let mut stored: Vec<u64> = jobs.stored.iter().copied().collect();
+    stored.sort_unstable();
+    let mut snap_sessions: Vec<SnapSession> = sessions
+        .map
+        .iter()
+        .map(|(sid, s)| SnapSession {
+            id: sid.clone(),
+            events: s.next_seq,
+        })
+        .collect();
+    snap_sessions.sort_by(|a, b| a.id.cmp(&b.id));
+    SnapState {
+        next_id: jobs.next_id,
+        jobs: snap_jobs,
+        stored,
+        session_next: sessions.next,
+        sessions: snap_sessions,
+        counters: SnapCounters {
+            sims: counters.sims,
+            stores: counters.stores,
+            primary_hits: counters.primary_hits,
+            read_through: counters.read_through,
+            repairs: counters.repairs,
+            misses: counters.misses,
+            dedup_hits: counters.dedup_hits,
+            sheds: counters.sheds,
+            rebalances: counters.rebalances,
+            resumed: counters.resumed,
+        },
     }
 }
 
@@ -881,6 +1422,7 @@ fn worker_session(
             ping_seq: 0,
             leased: HashSet::new(),
             probing: HashSet::new(),
+            keys: HashSet::new(),
             done: 0,
             failed: 0,
             corrupt: 0,
@@ -893,7 +1435,14 @@ fn worker_session(
         let mut jobs = shared.jobs.lock().expect("jobs poisoned");
         let mut workers = shared.workers.lock().expect("workers poisoned");
         let mut sessions = shared.sessions.lock().expect("sessions poisoned");
-        mark_dead(&mut jobs, &mut workers, &mut sessions, idx, WORKER_DEAD);
+        mark_dead(
+            shared,
+            &mut jobs,
+            &mut workers,
+            &mut sessions,
+            idx,
+            WORKER_DEAD,
+        );
         return;
     }
     loop {
@@ -911,7 +1460,14 @@ fn worker_session(
                 let mut jobs = shared.jobs.lock().expect("jobs poisoned");
                 let mut workers = shared.workers.lock().expect("workers poisoned");
                 let mut sessions = shared.sessions.lock().expect("sessions poisoned");
-                mark_dead(&mut jobs, &mut workers, &mut sessions, idx, WORKER_DEAD);
+                mark_dead(
+                    shared,
+                    &mut jobs,
+                    &mut workers,
+                    &mut sessions,
+                    idx,
+                    WORKER_DEAD,
+                );
                 return;
             }
         };
@@ -928,8 +1484,87 @@ fn worker_session(
             Some("done") => handle_done(&frame, idx, shared),
             Some("fail") => handle_fail(&frame, idx, shared),
             Some("fetched") => handle_fetched(&frame, idx, shared),
+            Some("inventory") => handle_inventory(&frame, idx, shared),
             _ => {}
         }
+    }
+}
+
+/// Reconcile a (re-)joining worker's `inventory` frame: its replica-store
+/// keys become ground truth for the directory, and any job it reports
+/// still running has its lease resumed — a recovered coordinator then
+/// waits for the in-flight result instead of re-running the simulation.
+fn handle_inventory(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let mut workers = shared.workers.lock().expect("workers poisoned");
+    let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+    let keys: HashSet<u64> = match frame.get("keys") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(|k| k.as_str().and_then(|s| decode_key(s).ok()))
+            .collect(),
+        _ => HashSet::new(),
+    };
+    for key in &keys {
+        jobs.stored.insert(*key);
+    }
+    let name = match workers.get_mut(idx) {
+        Some(w) => {
+            w.keys = keys;
+            w.name.clone()
+        }
+        None => return,
+    };
+    let running: Vec<u64> = match frame.get("running") {
+        Some(Json::Arr(items)) => items.iter().filter_map(Json::as_u64).collect(),
+        _ => Vec::new(),
+    };
+    let now = Instant::now();
+    let mut resumed = 0u64;
+    for id in running {
+        let Some(job) = jobs.map.get_mut(&id) else {
+            continue;
+        };
+        if !matches!(job.state, FleetJobState::Queued) {
+            continue;
+        }
+        job.state = FleetJobState::Leased {
+            worker: idx,
+            deadline: now + Duration::from_millis(shared.opts.lease_ms),
+        };
+        job.hold_until = None;
+        job.last_worker = Some(idx);
+        job.assigns = job.assigns.max(1);
+        let subscribers = job.sessions.clone();
+        workers[idx].leased.insert(id);
+        jlog(
+            shared,
+            &Record::Lease {
+                id,
+                worker: name.clone(),
+            },
+        );
+        jlog(
+            shared,
+            &Record::Counter {
+                counter: JCounter::Resumed,
+                delta: 1,
+            },
+        );
+        sessions.log_event(
+            &subscribers,
+            "leased",
+            &[
+                ("job", Json::UInt(id)),
+                ("worker", Json::Str(name.clone())),
+                ("resumed", Json::Bool(true)),
+            ],
+        );
+        resumed += 1;
+    }
+    if resumed > 0 {
+        shared.counters.lock().expect("counters poisoned").resumed += resumed;
+        eprintln!("fleet: resumed {resumed} in-flight lease(s) from `{name}`'s inventory");
     }
 }
 
@@ -981,6 +1616,24 @@ fn handle_done(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
             if let Some(w) = workers.get_mut(idx) {
                 w.done += 1;
             }
+            // Journal before the event log: the per-session watermark the
+            // journal accumulates must never fall below what clients see.
+            let payload = frame
+                .get("stats")
+                .and_then(Json::as_str)
+                .and_then(|hex| hex_decode(hex).ok())
+                .unwrap_or_default();
+            jlog(
+                shared,
+                &Record::Done {
+                    id,
+                    cached,
+                    wall_ms,
+                    worker_wall_ms,
+                    worker: worker_name.clone(),
+                    payload,
+                },
+            );
             sessions.log_event(
                 &subscribers,
                 "done",
@@ -1005,10 +1658,10 @@ fn handle_done(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
                 frame.get("sum").and_then(Json::as_str),
             ) {
                 let sent = fan_out_store(
+                    shared,
                     &mut jobs,
                     &mut workers,
                     &mut sessions,
-                    &shared.opts,
                     key,
                     hex,
                     sum,
@@ -1029,6 +1682,13 @@ fn handle_done(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
                 .get(&id)
                 .map(|j| j.sessions.clone())
                 .unwrap_or_default();
+            jlog(
+                shared,
+                &Record::Reclaim {
+                    id,
+                    reason: "corrupt result".to_string(),
+                },
+            );
             sessions.log_event(
                 &subscribers,
                 "reassigned",
@@ -1076,6 +1736,11 @@ fn handle_fetched(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
     if let Some(w) = workers.get_mut(idx) {
         w.probing.remove(&id);
     }
+    // Job id 0 never exists: this is the rebalancer's fetch coming back.
+    if id == 0 {
+        handle_rebalance_fetched(frame, idx, shared, &mut jobs, &mut workers, &mut sessions);
+        return;
+    }
     let Some(job) = jobs.map.get_mut(&id) else {
         return;
     };
@@ -1113,6 +1778,31 @@ fn handle_fetched(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
                     cached: true,
                     worker: worker_name.clone(),
                 }));
+                if let Some(w) = workers.get_mut(idx) {
+                    w.keys.insert(key);
+                }
+                jlog(
+                    shared,
+                    &Record::Done {
+                        id,
+                        cached: true,
+                        wall_ms,
+                        worker_wall_ms: 0.0,
+                        worker: worker_name.clone(),
+                        payload: hex_decode(&hex).unwrap_or_default(),
+                    },
+                );
+                jlog(
+                    shared,
+                    &Record::Counter {
+                        counter: if rank == 0 {
+                            JCounter::PrimaryHits
+                        } else {
+                            JCounter::ReadThrough
+                        },
+                        delta: 1,
+                    },
+                );
                 sessions.log_event(
                     &subscribers,
                     "done",
@@ -1139,15 +1829,22 @@ fn handle_fetched(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
                     // the current replica set so the key survives the next
                     // node loss too.
                     let sent = fan_out_store(
+                        shared,
                         &mut jobs,
                         &mut workers,
                         &mut sessions,
-                        &shared.opts,
                         key,
                         &hex,
                         &sum,
                         wall_ms,
                         Some(idx),
+                    );
+                    jlog(
+                        shared,
+                        &Record::Counter {
+                            counter: JCounter::Repairs,
+                            delta: 1,
+                        },
                     );
                     let mut c = shared.counters.lock().expect("counters poisoned");
                     c.repairs += 1;
@@ -1160,7 +1857,95 @@ fn handle_fetched(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
             }
         }
     } else {
+        if let (Some(w), Some(key)) = (
+            workers.get_mut(idx),
+            frame
+                .get("key")
+                .and_then(Json::as_str)
+                .and_then(|s| decode_key(s).ok()),
+        ) {
+            // The probe said miss: correct the directory's view.
+            w.keys.remove(&key);
+        }
         probe_requeue(&mut jobs, id, idx);
+    }
+}
+
+/// Finish a rebalance fetch (job id 0): a verified hit is re-fanned to
+/// the key's current replica set; a miss corrects the directory so the
+/// next rebalance pass tries another holder (or gives the key up for
+/// lost — a later submit recomputes it).
+fn handle_rebalance_fetched(
+    frame: &Json,
+    idx: usize,
+    shared: &Arc<CoordShared>,
+    jobs: &mut JobTable,
+    workers: &mut [WorkerEntry],
+    sessions: &mut SessionTable,
+) {
+    let Some(key) = frame
+        .get("key")
+        .and_then(Json::as_str)
+        .and_then(|s| decode_key(s).ok())
+    else {
+        return;
+    };
+    jobs.rebalance_inflight.remove(&key);
+    let hit = frame.get("hit").and_then(Json::as_bool).unwrap_or(false);
+    if !hit {
+        if let Some(w) = workers.get_mut(idx) {
+            w.keys.remove(&key);
+        }
+        return;
+    }
+    let verified = match (
+        frame.get("stats").and_then(Json::as_str),
+        frame.get("sum").and_then(Json::as_str),
+    ) {
+        (Some(hex), Some(sum)) => {
+            super::decode_stats_payload(hex, sum).map(|_| (hex.to_string(), sum.to_string()))
+        }
+        _ => Err("fetched hit without payload".to_string()),
+    };
+    match verified {
+        Ok((hex, sum)) => {
+            let wall_ms = frame.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            if let Some(w) = workers.get_mut(idx) {
+                w.keys.insert(key);
+            }
+            let sent = fan_out_store(
+                shared,
+                jobs,
+                workers,
+                sessions,
+                key,
+                &hex,
+                &sum,
+                wall_ms,
+                Some(idx),
+            );
+            if sent > 0 {
+                jlog(
+                    shared,
+                    &Record::Counter {
+                        counter: JCounter::Rebalances,
+                        delta: 1,
+                    },
+                );
+                let mut c = shared.counters.lock().expect("counters poisoned");
+                c.rebalances += 1;
+                c.stores += sent;
+            }
+        }
+        Err(why) => {
+            eprintln!(
+                "fleet: corrupt rebalance payload for key {}: {why}",
+                encode_key(key)
+            );
+            if let Some(w) = workers.get_mut(idx) {
+                w.keys.remove(&key);
+            }
+        }
     }
 }
 
@@ -1192,6 +1977,13 @@ fn handle_fail(frame: &Json, idx: usize, shared: &Arc<CoordShared>) {
             if let Some(w) = workers.get_mut(idx) {
                 w.failed += 1;
             }
+            jlog(
+                shared,
+                &Record::Failed {
+                    id,
+                    error: error.clone(),
+                },
+            );
             sessions.log_event(
                 &subscribers,
                 "failed",
@@ -1226,6 +2018,12 @@ fn client_session(
                         return;
                     }
                     session_stream(&sid, start, &mut reader, &mut writer, shared);
+                    jlog(
+                        shared,
+                        &Record::SessionDetach {
+                            session: sid.clone(),
+                        },
+                    );
                     return;
                 }
                 Err(resp) => {
@@ -1280,6 +2078,12 @@ fn session_attach(request: &Json, shared: &Arc<CoordShared>) -> Result<(String, 
             sessions.next += 1;
             let sid = format!("s-{}", sessions.next);
             sessions.map.insert(sid.clone(), Session::default());
+            jlog(
+                shared,
+                &Record::SessionOpen {
+                    session: sid.clone(),
+                },
+            );
             Ok((sid, 0, false))
         }
         Some(sid) => {
@@ -1391,6 +2195,10 @@ fn handle_client_request(request: &Json, shared: &Arc<CoordShared>) -> Json {
         Some("submit") => handle_submit(request, shared),
         Some("status") => handle_status(shared),
         Some("result") => handle_result(request, shared),
+        // Destructive chaos-test verbs are opt-in: a production
+        // coordinator refuses them with a structured error.
+        Some("decommission") if !shared.opts.chaos_verbs => error_response("chaos verbs disabled"),
+        Some("reset") if !shared.opts.chaos_verbs => error_response("chaos verbs disabled"),
         Some("decommission") => handle_decommission(request, shared),
         Some("reset") => handle_reset(shared),
         // A `session` frame inside an already-streaming connection (the
@@ -1429,7 +2237,14 @@ fn handle_decommission(request: &Json, shared: &Arc<CoordShared>) -> Json {
     let Some(idx) = workers.iter().position(|w| w.alive && w.name == name) else {
         return error_response(format!("no live worker named `{name}`"));
     };
-    mark_dead(&mut jobs, &mut workers, &mut sessions, idx, DECOMMISSIONED);
+    mark_dead(
+        shared,
+        &mut jobs,
+        &mut workers,
+        &mut sessions,
+        idx,
+        DECOMMISSIONED,
+    );
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("worker", Json::Str(name.to_string())),
@@ -1453,6 +2268,7 @@ fn handle_reset(shared: &Arc<CoordShared>) -> Json {
     jobs.map.clear();
     jobs.queue.clear();
     jobs.by_key.clear();
+    jlog(shared, &Record::Reset);
     let mut sessions = shared.sessions.lock().expect("sessions poisoned");
     for s in sessions.map.values_mut() {
         s.inflight = 0;
@@ -1497,7 +2313,21 @@ fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
                     .lock()
                     .expect("counters poisoned")
                     .dedup_hits += 1;
+                jlog(
+                    shared,
+                    &Record::Counter {
+                        counter: JCounter::DedupHits,
+                        delta: 1,
+                    },
+                );
                 if let Some(sid) = sid {
+                    jlog(
+                        shared,
+                        &Record::Subscribe {
+                            id: existing,
+                            session: sid.to_string(),
+                        },
+                    );
                     let subscriber = [sid.to_string()];
                     sessions.log_event(
                         &subscriber,
@@ -1544,6 +2374,13 @@ fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
         let inflight = sessions.map.get(sid).map_or(0, |s| s.inflight);
         if cap > 0 && inflight >= cap {
             shared.counters.lock().expect("counters poisoned").sheds += 1;
+            jlog(
+                shared,
+                &Record::Counter {
+                    counter: JCounter::Sheds,
+                    delta: 1,
+                },
+            );
             return shed_response(format!(
                 "session inflight cap reached ({inflight} inflight, cap {cap})"
             ));
@@ -1551,6 +2388,13 @@ fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
     }
     if jobs.queue.len() >= shared.opts.queue_cap {
         shared.counters.lock().expect("counters poisoned").sheds += 1;
+        jlog(
+            shared,
+            &Record::Counter {
+                counter: JCounter::Sheds,
+                delta: 1,
+            },
+        );
         return shed_response(format!(
             "{QUEUE_FULL} ({} pending, cap {})",
             jobs.queue.len(),
@@ -1559,6 +2403,23 @@ fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
     }
     jobs.next_id += 1;
     let id = jobs.next_id;
+    let default_cycles = if spec.tiny {
+        gcl_sim::GpuConfig::small().max_cycles
+    } else {
+        gcl_sim::GpuConfig::fermi().max_cycles
+    };
+    jlog(
+        shared,
+        &Record::Submit {
+            id,
+            key,
+            workload: workload.clone(),
+            tiny: spec.tiny,
+            sanitize: spec.cfg.sanitize,
+            max_cycles: (spec.cfg.max_cycles != default_cycles).then_some(spec.cfg.max_cycles),
+            session: sid.map(str::to_string),
+        },
+    );
     jobs.map.insert(
         id,
         FleetJob {
@@ -1569,6 +2430,7 @@ fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
             last_worker: None,
             probe_rank: 0,
             probe_done: false,
+            hold_until: None,
             sessions: sid.map(|s| vec![s.to_string()]).unwrap_or_default(),
         },
     );
@@ -1589,6 +2451,9 @@ fn handle_submit(request: &Json, shared: &Arc<CoordShared>) -> Json {
             s.inflight += 1;
         }
     }
+    // The ack promises durability: flush the Submit record before the
+    // client can observe the job id.
+    jsync(shared);
     Json::obj(vec![("ok", Json::Bool(true)), ("id", Json::UInt(id))])
 }
 
@@ -1611,6 +2476,22 @@ fn handle_status(shared: &Arc<CoordShared>) -> Json {
     let jobs = shared.jobs.lock().expect("jobs poisoned");
     let workers = shared.workers.lock().expect("workers poisoned");
     let (queued, probing, running, done, failed) = count_states(&jobs);
+    // Replica convergence: a key is "full" when every member of its
+    // current top-R rendezvous set holds it (per worker inventory).
+    let replicas = shared.opts.replicas.max(1);
+    let full_keys = jobs
+        .stored
+        .iter()
+        .filter(|&&key| {
+            let ranked = ranked_live(&workers, key);
+            let targets: Vec<usize> = ranked.into_iter().take(replicas).collect();
+            !targets.is_empty() && targets.iter().all(|&w| workers[w].keys.contains(&key))
+        })
+        .count() as u64;
+    let replica_summary = Json::obj(vec![
+        ("keys", Json::UInt(jobs.stored.len() as u64)),
+        ("full", Json::UInt(full_keys)),
+    ]);
     let worker_rows = workers
         .iter()
         .map(|w| {
@@ -1665,9 +2546,12 @@ fn handle_status(shared: &Arc<CoordShared>) -> Json {
                 ("repairs", Json::UInt(c.repairs)),
                 ("misses", Json::UInt(c.misses)),
                 ("dedup_hits", Json::UInt(c.dedup_hits)),
+                ("rebalances", Json::UInt(c.rebalances)),
+                ("resumed", Json::UInt(c.resumed)),
                 ("hit_rate", Json::Float(hit_rate)),
             ]),
         ),
+        ("replicas", replica_summary),
         ("sheds", Json::UInt(c.sheds)),
         ("sessions", Json::UInt(session_count)),
         ("queue_depth_stats", depth.to_json()),

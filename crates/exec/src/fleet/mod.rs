@@ -26,15 +26,28 @@
 //! simulation. Clients can open a `session` for an NDJSON event stream
 //! with resumable cursors, and the coordinator sheds structured errors
 //! under overload instead of stalling.
+//!
+//! The coordinator itself is no longer a single point of data loss:
+//! `--journal PATH` appends every job-table transition to a checksummed
+//! write-ahead [`journal`](Journal), `--recover` replays it after a crash
+//! (tolerating a torn tail), re-joining workers reconcile held leases and
+//! replica inventories over a new `inventory` frame, and a background
+//! rebalancer (`--rebalance-ms`) proactively re-fans under-replicated
+//! keys back to full strength on any membership change.
 
 mod coordinator;
 mod inject;
+mod journal;
 mod worker;
 
 pub use coordinator::{
     Coordinator, CoordinatorOptions, DECOMMISSIONED, LEASE_EXPIRED, WORKER_DEAD,
 };
 pub use inject::FleetInject;
+pub use journal::{
+    JCounter, Journal, JournalError, Record, RecoveredState, SnapCounters, SnapJob, SnapJobState,
+    SnapSession, SnapState, JOURNAL_MAGIC, JOURNAL_VERSION,
+};
 pub use worker::{run_worker, WorkerOptions, WorkerReport};
 
 use crate::proto::{hex_decode, hex_encode};

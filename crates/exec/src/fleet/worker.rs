@@ -16,11 +16,13 @@
 use super::inject::FleetInject;
 use crate::cache::ResultCache;
 use crate::job::run_job;
-use crate::proto::{decode_key, fetched_frame, write_frame, FrameError, FrameReader, MAX_FRAME};
+use crate::proto::{
+    decode_key, fetched_frame, inventory_frame, write_frame, FrameError, FrameReader, MAX_FRAME,
+};
 use crate::serve::parse_submit;
 use gcl_rng::{backoff::Backoff, Rng};
 use gcl_stats::Json;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -48,6 +50,10 @@ pub struct WorkerOptions {
     /// Most replica payloads held for the coordinator's fleet cache
     /// before FIFO eviction kicks in.
     pub replica_cap: usize,
+    /// Redial and re-join when the coordinator connection drops, instead
+    /// of exiting. Held leases and replica keys are re-announced with an
+    /// `inventory` frame so a recovered coordinator resumes them.
+    pub rejoin: bool,
 }
 
 impl Default for WorkerOptions {
@@ -62,6 +68,7 @@ impl Default for WorkerOptions {
             backoff: Backoff::default(),
             seed: 0x0077_726b, // "wrk"
             replica_cap: 1024,
+            rejoin: false,
         }
     }
 }
@@ -100,6 +107,12 @@ impl ReplicaStore {
     fn get(&self, key: u64) -> Option<&(String, String, f64)> {
         self.map.get(&key)
     }
+
+    fn keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.map.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
 }
 
 /// What a worker did before its connection ended.
@@ -112,6 +125,9 @@ pub struct WorkerReport {
     pub killed: bool,
     /// The partition injection fired.
     pub partitioned: bool,
+    /// Times the worker redialled and re-joined after losing the
+    /// coordinator connection (always 0 without `--rejoin`).
+    pub rejoins: u64,
 }
 
 /// Everything runner threads share with the reader loop.
@@ -119,15 +135,23 @@ struct WorkerState {
     writer: Mutex<TcpStream>,
     /// Suppress all writes: a partitioned or killed worker is silent.
     silent: AtomicBool,
+    /// The worker is exiting for good: runners stop retrying reports.
+    closing: AtomicBool,
+    /// Rejoin mode: a runner whose report write fails retries on the
+    /// (re-dialled) socket instead of giving up.
+    rejoin: bool,
     jobs_run: AtomicU64,
     corrupt_budget: AtomicU64,
     cache: Option<ResultCache>,
     inject: FleetInject,
     /// Replica payloads held for the coordinator's fleet cache.
     replica: Mutex<ReplicaStore>,
+    /// Job ids accepted but not yet reported: what an `inventory` frame
+    /// re-announces as held leases after a reconnect.
+    running: Mutex<HashSet<u64>>,
     /// A second handle on the socket so a runner can tear it down abruptly
     /// (the kill-mid-job injection).
-    sock: TcpStream,
+    sock: Mutex<TcpStream>,
 }
 
 fn dial(opts: &WorkerOptions, rng: &mut Rng) -> Result<TcpStream, String> {
@@ -147,17 +171,13 @@ fn dial(opts: &WorkerOptions, rng: &mut Rng) -> Result<TcpStream, String> {
     ))
 }
 
-/// Join the coordinator at `opts.coord` and serve assignments until the
-/// coordinator closes the connection (or a chaos injection ends the worker
-/// first). Returns what happened, for tests and CLI logging.
-///
-/// # Errors
-///
-/// A human-readable message when the coordinator cannot be reached or the
-/// join handshake fails.
-pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, String> {
-    let mut rng = Rng::new(opts.seed);
-    let stream = dial(&opts, &mut rng)?;
+/// Dial, set socket deadlines, and run the join handshake. Returns the
+/// frame reader plus two extra handles on the socket (writer, teardown).
+fn connect_handshake(
+    opts: &WorkerOptions,
+    rng: &mut Rng,
+) -> Result<(FrameReader<TcpStream>, TcpStream, TcpStream), String> {
+    let stream = dial(opts, rng)?;
     stream
         .set_read_timeout(Some(Duration::from_millis(50)))
         .map_err(|e| format!("cannot set read deadline: {e}"))?;
@@ -171,22 +191,10 @@ pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, String> {
         .try_clone()
         .map_err(|e| format!("cannot clone stream: {e}"))?;
     let mut reader = FrameReader::new(stream, MAX_FRAME);
-
-    // Handshake: introduce ourselves, wait (bounded) for the ack.
-    let state = WorkerState {
-        writer: Mutex::new(writer),
-        silent: AtomicBool::new(false),
-        jobs_run: AtomicU64::new(0),
-        corrupt_budget: AtomicU64::new(opts.inject.corrupt_results),
-        cache: opts.cache.clone(),
-        inject: opts.inject.clone(),
-        replica: Mutex::new(ReplicaStore::new(opts.replica_cap)),
-        sock,
-    };
     {
-        let mut w = state.writer.lock().expect("writer poisoned");
+        let mut w = &writer;
         write_frame(
-            &mut *w,
+            &mut w,
             &Json::obj(vec![
                 ("op", Json::Str("join".into())),
                 ("name", Json::Str(opts.name.clone())),
@@ -213,136 +221,262 @@ pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, String> {
             Err(e) => return Err(format!("join failed: {e}")),
         }
     }
+    Ok((reader, writer, sock))
+}
+
+/// Re-announce held leases and replica inventory right after a join ack.
+fn send_inventory(state: &WorkerState) -> Result<(), String> {
+    let running: Vec<u64> = {
+        let running = state.running.lock().expect("running poisoned");
+        let mut ids: Vec<u64> = running.iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    };
+    let keys = state.replica.lock().expect("replica poisoned").keys();
+    let mut w = state.writer.lock().expect("writer poisoned");
+    write_frame(&mut *w, &inventory_frame(&running, &keys))
+        .map_err(|e| format!("inventory failed: {e}"))
+}
+
+/// Why one connection's reader loop ended.
+enum ConnEnd {
+    /// The coordinator said `close`: clean shutdown.
+    Close,
+    /// A chaos injection (partition) ended the worker deliberately.
+    Chaos,
+    /// The connection dropped (read error / coordinator death).
+    Dropped,
+}
+
+/// Join the coordinator at `opts.coord` and serve assignments until the
+/// coordinator closes the connection (or a chaos injection ends the worker
+/// first). With [`WorkerOptions::rejoin`], a dropped connection triggers a
+/// redial + re-join + `inventory` reconciliation instead of an exit.
+/// Returns what happened, for tests and CLI logging.
+///
+/// # Errors
+///
+/// A human-readable message when the coordinator cannot be reached or the
+/// join handshake fails.
+pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, String> {
+    let mut rng = Rng::new(opts.seed);
+    let (mut reader, writer, sock) = connect_handshake(&opts, &mut rng)?;
+    let state = WorkerState {
+        writer: Mutex::new(writer),
+        silent: AtomicBool::new(false),
+        closing: AtomicBool::new(false),
+        rejoin: opts.rejoin,
+        jobs_run: AtomicU64::new(0),
+        corrupt_budget: AtomicU64::new(opts.inject.corrupt_results),
+        cache: opts.cache.clone(),
+        inject: opts.inject.clone(),
+        replica: Mutex::new(ReplicaStore::new(opts.replica_cap)),
+        running: Mutex::new(HashSet::new()),
+        sock: Mutex::new(sock),
+    };
+    // The first inventory is empty but still sent: it tells the
+    // coordinator this worker speaks the reconciliation protocol, and a
+    // recovering coordinator needs it even from first-time joiners.
+    send_inventory(&state).map_err(|e| format!("join failed: {e}"))?;
 
     // Serve: the main thread reads frames; `slots` runner threads execute
-    // assignments pulled off a local channel.
+    // assignments pulled off a local channel. The channel (and the
+    // runners) survive reconnects — only the socket is replaced.
     let (tx, rx) = mpsc::channel::<Assignment>();
     let rx = Mutex::new(rx);
     let killed = AtomicBool::new(false);
     let mut partitioned = false;
+    let mut rejoins = 0u64;
     let started = Instant::now();
     let mut assigns = 0u64;
-    std::thread::scope(|scope| {
+    let served: Result<(), String> = std::thread::scope(|scope| {
         for _ in 0..opts.slots.max(1) {
             scope.spawn(|| runner_loop(&state, &rx, &killed));
         }
-        loop {
-            if let Some(after) = state.inject.partition_after_ms {
-                if !partitioned && started.elapsed() >= Duration::from_millis(after) {
-                    // Network partition: go silent with the socket still
-                    // open, so only a heartbeat deadline can unmask us.
-                    partitioned = true;
-                    state.silent.store(true, Ordering::SeqCst);
-                    std::thread::sleep(Duration::from_millis(state.inject.partition_hold_ms));
-                    break;
-                }
-            }
-            let line = match reader.next_frame() {
-                Ok(line) => line,
-                Err(FrameError::Timeout) => continue,
-                Err(_) => break,
-            };
-            let Ok(frame) = Json::parse(&line) else {
-                continue;
-            };
-            match frame.get("op").and_then(Json::as_str) {
-                Some("ping") => {
-                    if state.inject.drop_heartbeat || state.silent.load(Ordering::SeqCst) {
-                        continue;
+        let result = loop {
+            let end = serve_connection(
+                &state,
+                &mut reader,
+                &tx,
+                &started,
+                &mut partitioned,
+                &mut assigns,
+            );
+            match end {
+                ConnEnd::Close | ConnEnd::Chaos => break Ok(()),
+                ConnEnd::Dropped => {
+                    if !opts.rejoin || killed.load(Ordering::SeqCst) {
+                        break Ok(());
                     }
-                    let seq = frame.get("seq").and_then(Json::as_u64).unwrap_or(0);
-                    let mut w = state.writer.lock().expect("writer poisoned");
-                    let _ = write_frame(
-                        &mut *w,
-                        &Json::obj(vec![
-                            ("op", Json::Str("pong".into())),
-                            ("seq", Json::UInt(seq)),
-                        ]),
-                    );
-                }
-                Some("assign") => {
-                    let Some(id) = frame.get("job").and_then(Json::as_u64) else {
-                        continue;
-                    };
-                    assigns += 1;
-                    let fatal = state.inject.kill_after_assigns == Some(assigns);
-                    match parse_submit(&frame) {
-                        Ok(spec) => {
-                            let _ = tx.send(Assignment { id, spec, fatal });
-                        }
-                        Err(e) => {
-                            let mut w = state.writer.lock().expect("writer poisoned");
-                            let _ = write_frame(
-                                &mut *w,
-                                &Json::obj(vec![
-                                    ("op", Json::Str("fail".into())),
-                                    ("job", Json::UInt(id)),
-                                    ("error", Json::Str(e)),
-                                ]),
-                            );
-                        }
-                    }
-                }
-                Some("store") => {
-                    // The coordinator fans a finished job's checksummed
-                    // payload to this worker as part of a replica set.
-                    // Store it verbatim — verification happens on the
-                    // coordinator when it reads the payload back.
-                    let key = frame
-                        .get("key")
-                        .and_then(Json::as_str)
-                        .and_then(|t| decode_key(t).ok());
-                    let stats = frame.get("stats").and_then(Json::as_str);
-                    let sum = frame.get("sum").and_then(Json::as_str);
-                    let wall_ms = frame.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
-                    if let (Some(key), Some(stats), Some(sum)) = (key, stats, sum) {
-                        let mut store = state.replica.lock().expect("replica poisoned");
-                        store.insert(key, stats.to_string(), sum.to_string(), wall_ms);
-                    }
-                }
-                Some("fetch") => {
-                    let Some(job) = frame.get("job").and_then(Json::as_u64) else {
-                        continue;
-                    };
-                    let Some(key) = frame
-                        .get("key")
-                        .and_then(Json::as_str)
-                        .and_then(|t| decode_key(t).ok())
-                    else {
-                        continue;
-                    };
-                    if state.silent.load(Ordering::SeqCst) {
-                        continue;
-                    }
-                    let reply = {
-                        let store = state.replica.lock().expect("replica poisoned");
-                        let hit = store
-                            .get(key)
-                            .map(|(stats, sum, wall_ms)| (stats.as_str(), sum.as_str(), *wall_ms));
-                        match hit {
-                            Some((stats, sum, wall_ms)) => {
-                                fetched_frame(job, key, Some((stats, sum, wall_ms)))
+                    // Redial with a fresh retry budget, swap the socket
+                    // handles under the runners, and reconcile. The
+                    // handshake itself also gets the budget: a redial can
+                    // land in the dying coordinator's accept backlog and
+                    // be reset mid-join, which is the same transient as a
+                    // refused connect, not a reason to exit.
+                    let mut attempt = 0u64;
+                    let handshake = loop {
+                        match connect_handshake(&opts, &mut rng) {
+                            Ok(conn) => break Ok(conn),
+                            Err(e) => {
+                                attempt += 1;
+                                if attempt > opts.connect_retries {
+                                    break Err(e);
+                                }
+                                std::thread::sleep(Duration::from_millis(
+                                    opts.backoff.delay_ms(attempt, &mut rng),
+                                ));
                             }
-                            None => fetched_frame(job, key, None),
                         }
                     };
-                    let mut w = state.writer.lock().expect("writer poisoned");
-                    let _ = write_frame(&mut *w, &reply);
+                    match handshake {
+                        Ok((new_reader, new_writer, new_sock)) => {
+                            reader = new_reader;
+                            *state.writer.lock().expect("writer poisoned") = new_writer;
+                            *state.sock.lock().expect("sock poisoned") = new_sock;
+                            rejoins += 1;
+                            if let Err(e) = send_inventory(&state) {
+                                eprintln!("worker `{}`: {e}", opts.name);
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
                 }
-                Some("close") => break,
-                _ => {}
             }
-        }
+        };
         // Closing the channel lets idle runners exit; busy ones finish
-        // their current job first (their writes fail harmlessly once the
-        // socket is gone).
+        // their current job first. `closing` stops rejoin-mode runners
+        // from retrying reports forever against a dead fleet.
+        state.closing.store(true, Ordering::SeqCst);
         drop(tx);
+        result
     });
+    served?;
     Ok(WorkerReport {
         jobs_run: state.jobs_run.load(Ordering::SeqCst),
         killed: killed.load(Ordering::SeqCst),
         partitioned,
+        rejoins,
     })
+}
+
+/// Read and serve frames on the current connection until it ends.
+fn serve_connection(
+    state: &WorkerState,
+    reader: &mut FrameReader<TcpStream>,
+    tx: &mpsc::Sender<Assignment>,
+    started: &Instant,
+    partitioned: &mut bool,
+    assigns: &mut u64,
+) -> ConnEnd {
+    loop {
+        if let Some(after) = state.inject.partition_after_ms {
+            if !*partitioned && started.elapsed() >= Duration::from_millis(after) {
+                // Network partition: go silent with the socket still
+                // open, so only a heartbeat deadline can unmask us.
+                *partitioned = true;
+                state.silent.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(state.inject.partition_hold_ms));
+                return ConnEnd::Chaos;
+            }
+        }
+        let line = match reader.next_frame() {
+            Ok(line) => line,
+            Err(FrameError::Timeout) => continue,
+            Err(_) => return ConnEnd::Dropped,
+        };
+        let Ok(frame) = Json::parse(&line) else {
+            continue;
+        };
+        match frame.get("op").and_then(Json::as_str) {
+            Some("ping") => {
+                if state.inject.drop_heartbeat || state.silent.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let seq = frame.get("seq").and_then(Json::as_u64).unwrap_or(0);
+                let mut w = state.writer.lock().expect("writer poisoned");
+                let _ = write_frame(
+                    &mut *w,
+                    &Json::obj(vec![
+                        ("op", Json::Str("pong".into())),
+                        ("seq", Json::UInt(seq)),
+                    ]),
+                );
+            }
+            Some("assign") => {
+                let Some(id) = frame.get("job").and_then(Json::as_u64) else {
+                    continue;
+                };
+                *assigns += 1;
+                let fatal = state.inject.kill_after_assigns == Some(*assigns);
+                match parse_submit(&frame) {
+                    Ok(spec) => {
+                        state.running.lock().expect("running poisoned").insert(id);
+                        let _ = tx.send(Assignment { id, spec, fatal });
+                    }
+                    Err(e) => {
+                        let mut w = state.writer.lock().expect("writer poisoned");
+                        let _ = write_frame(
+                            &mut *w,
+                            &Json::obj(vec![
+                                ("op", Json::Str("fail".into())),
+                                ("job", Json::UInt(id)),
+                                ("error", Json::Str(e)),
+                            ]),
+                        );
+                    }
+                }
+            }
+            Some("store") => {
+                // The coordinator fans a finished job's checksummed
+                // payload to this worker as part of a replica set.
+                // Store it verbatim — verification happens on the
+                // coordinator when it reads the payload back.
+                let key = frame
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .and_then(|t| decode_key(t).ok());
+                let stats = frame.get("stats").and_then(Json::as_str);
+                let sum = frame.get("sum").and_then(Json::as_str);
+                let wall_ms = frame.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                if let (Some(key), Some(stats), Some(sum)) = (key, stats, sum) {
+                    let mut store = state.replica.lock().expect("replica poisoned");
+                    store.insert(key, stats.to_string(), sum.to_string(), wall_ms);
+                }
+            }
+            Some("fetch") => {
+                let Some(job) = frame.get("job").and_then(Json::as_u64) else {
+                    continue;
+                };
+                let Some(key) = frame
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .and_then(|t| decode_key(t).ok())
+                else {
+                    continue;
+                };
+                if state.silent.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let reply = {
+                    let store = state.replica.lock().expect("replica poisoned");
+                    let hit = store
+                        .get(key)
+                        .map(|(stats, sum, wall_ms)| (stats.as_str(), sum.as_str(), *wall_ms));
+                    match hit {
+                        Some((stats, sum, wall_ms)) => {
+                            fetched_frame(job, key, Some((stats, sum, wall_ms)))
+                        }
+                        None => fetched_frame(job, key, None),
+                    }
+                };
+                let mut w = state.writer.lock().expect("writer poisoned");
+                let _ = write_frame(&mut *w, &reply);
+            }
+            Some("close") => return ConnEnd::Close,
+            _ => {}
+        }
+    }
 }
 
 struct Assignment {
@@ -366,7 +500,11 @@ fn runner_loop(state: &WorkerState, rx: &Mutex<mpsc::Receiver<Assignment>>, kill
             std::thread::sleep(Duration::from_millis(30));
             state.silent.store(true, Ordering::SeqCst);
             killed.store(true, Ordering::SeqCst);
-            let _ = state.sock.shutdown(Shutdown::Both);
+            let _ = state
+                .sock
+                .lock()
+                .expect("sock poisoned")
+                .shutdown(Shutdown::Both);
             break;
         }
         let lease_start = Instant::now();
@@ -410,11 +548,26 @@ fn runner_loop(state: &WorkerState, rx: &Mutex<mpsc::Receiver<Assignment>>, kill
                 ("error", Json::Str(e.to_string())),
             ]),
         };
-        if !state.silent.load(Ordering::SeqCst) {
-            let mut w = state.writer.lock().expect("writer poisoned");
-            if write_frame(&mut *w, &frame).is_err() {
-                break;
+        let mut reported = state.silent.load(Ordering::SeqCst);
+        while !reported {
+            let sent = {
+                let mut w = state.writer.lock().expect("writer poisoned");
+                write_frame(&mut *w, &frame).is_ok()
+            };
+            if sent {
+                reported = true;
+            } else if !state.rejoin || state.closing.load(Ordering::SeqCst) {
+                // Without rejoin the socket is gone for good: the old
+                // behaviour (give up, let the lease be reclaimed).
+                state.running.lock().expect("running poisoned").remove(&id);
+                return;
+            } else {
+                // The reader loop is redialling; once it swaps the writer
+                // in, this report lands on the fresh connection — the job
+                // stays in `running` so the inventory re-announces it.
+                std::thread::sleep(Duration::from_millis(100));
             }
         }
+        state.running.lock().expect("running poisoned").remove(&id);
     }
 }

@@ -29,6 +29,14 @@ pub enum ExecError {
     /// A fleet worker reported this failure over the wire; the payload is
     /// its structured error message verbatim.
     Remote(String),
+    /// Reading or parsing a file failed; carries the path so the caller
+    /// can say *which* file without re-deriving it.
+    Io {
+        /// The file that failed to read or parse.
+        path: String,
+        /// What went wrong (I/O error or parse diagnostic).
+        error: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -40,6 +48,7 @@ impl fmt::Display for ExecError {
             ExecError::Sim(e) => write!(f, "{e}"),
             ExecError::Panic(msg) => write!(f, "job panicked: {msg}"),
             ExecError::Remote(msg) => write!(f, "{msg}"),
+            ExecError::Io { path, error } => write!(f, "{path}: {error}"),
         }
     }
 }

@@ -33,7 +33,12 @@
 //!   stream progress over resumable sessions ([`SessionClient`]), and
 //!   [`loadgen`] measures the whole stack under thousands of concurrent
 //!   submitters. [`FleetInject`] is the chaos layer that proves every
-//!   failure mode is detected and recovered.
+//!   failure mode is detected and recovered. The coordinator journals
+//!   every state transition to a checksummed write-ahead log
+//!   ([`fleet::Journal`]) and replays it on `--recover`, re-joining
+//!   workers reconcile leases and replica inventories, and [`soak`] is
+//!   the long-haul harness that `kill -9`s the whole fleet — coordinator
+//!   included — while proving no acknowledged job is ever lost.
 //!
 //! The invariant the whole crate is built around: **parallel execution
 //! never changes results**. Suite digests from `--jobs 8` are
@@ -53,6 +58,7 @@ pub mod loadgen;
 pub mod pool;
 pub mod proto;
 pub mod serve;
+pub mod soak;
 
 pub use cache::{CacheMiss, CachedResult, ResultCache, CACHE_MAGIC, CACHE_VERSION};
 pub use client::{ClientOptions, ServeClient, SessionClient, SessionSubmit};
@@ -61,7 +67,8 @@ pub use fleet::{
     DECOMMISSIONED, LEASE_EXPIRED, WORKER_DEAD,
 };
 pub use job::{run_job, ExecError, JobOutput, JobResult, JobSpec, SpecFingerprint};
-pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport};
+pub use loadgen::{read_series, run_loadgen, LoadgenOptions, LoadgenReport};
 pub use pool::{backoff_ms, parallel_map, run_pool, JobEvent, PoolConfig};
 pub use proto::{FrameError, FrameReader, MAX_FRAME};
 pub use serve::{ServeError, ServeOptions, Server, QUEUE_FULL};
+pub use soak::{run_soak, SoakOptions, SoakReport};

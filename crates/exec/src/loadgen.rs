@@ -16,6 +16,7 @@
 //! stalling, and the generator counts those separately from transport
 //! errors so the distinction is visible in the series.
 
+use crate::job::ExecError;
 use crate::proto::{write_frame, FrameError, FrameReader};
 use gcl_rng::Rng;
 use gcl_stats::{Histogram, Json};
@@ -353,6 +354,23 @@ fn write_series(
     Ok(())
 }
 
+/// Read back a series document produced by a loadgen (or soak) run.
+///
+/// # Errors
+///
+/// [`ExecError::Io`] naming the file on a read or parse failure, so
+/// callers report *which* artifact is missing or corrupt.
+pub fn read_series(path: &std::path::Path) -> Result<Json, ExecError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ExecError::Io {
+        path: path.display().to_string(),
+        error: e.to_string(),
+    })?;
+    Json::parse(&text).map_err(|e| ExecError::Io {
+        path: path.display().to_string(),
+        error: format!("bad series JSON: {e}"),
+    })
+}
+
 /// Run one load generation session against `opts.addr` and write the time
 /// series to `opts.out`.
 ///
@@ -464,10 +482,29 @@ mod tests {
         assert!(report.errors > 0, "connect failures must be counted");
         assert_eq!(report.accepted, 0);
         assert!(opts.out.exists(), "series file written even on failure");
-        let text = std::fs::read_to_string(&opts.out).unwrap();
-        let doc = Json::parse(&text).unwrap();
+        let doc = read_series(&opts.out).expect("series reads back");
         assert!(doc.get("samples").is_some());
         assert!(doc.get("totals").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_series_errors_carry_the_path() {
+        let dir = std::env::temp_dir().join(format!("gcl-series-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("nope.json");
+        let err = read_series(&missing).unwrap_err();
+        assert!(matches!(&err, ExecError::Io { path, .. } if path.contains("nope.json")));
+        assert!(err.to_string().contains("nope.json"), "{err}");
+
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "{not json").unwrap();
+        let err = read_series(&garbled).unwrap_err();
+        assert!(
+            matches!(&err, ExecError::Io { path, error }
+                if path.contains("garbled.json") && error.contains("bad series JSON")),
+            "{err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -204,6 +204,25 @@ pub fn fetched_frame(job: u64, key: u64, hit: Option<(&str, &str, f64)>) -> Json
     Json::obj(fields)
 }
 
+/// An `inventory` frame: a worker re-announcing, right after a (re-)join
+/// ack, the job ids it is still running and the cache keys its
+/// ReplicaStore holds. A recovering coordinator reconciles its journal
+/// state against this ground truth — leases resume instead of re-running,
+/// and the replica directory is rebuilt from what workers actually hold.
+pub fn inventory_frame(running: &[u64], keys: &[u64]) -> Json {
+    Json::obj(vec![
+        ("op", Json::Str("inventory".into())),
+        (
+            "running",
+            Json::Arr(running.iter().map(|&id| Json::UInt(id)).collect()),
+        ),
+        (
+            "keys",
+            Json::Arr(keys.iter().map(|&k| Json::Str(encode_key(k))).collect()),
+        ),
+    ])
+}
+
 /// Lower-hex encoding of arbitrary bytes, for carrying wire-encoded
 /// payloads (e.g. `LaunchStats`) inside a JSON frame.
 pub fn hex_encode(bytes: &[u8]) -> String {
@@ -354,6 +373,32 @@ mod tests {
 
         let fetch = Json::parse(&fetch_frame(7, 42).render_compact()).unwrap();
         assert_eq!(fetch.get("job").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn inventory_frames_reparse_faithfully() {
+        let inv = inventory_frame(&[3, 9], &[42, u64::MAX]);
+        let v = Json::parse(&inv.render_compact()).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("inventory"));
+        let running: Vec<u64> = match v.get("running") {
+            Some(Json::Arr(items)) => items.iter().filter_map(Json::as_u64).collect(),
+            other => panic!("bad running field: {other:?}"),
+        };
+        assert_eq!(running, vec![3, 9]);
+        let keys: Vec<u64> = match v.get("keys") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(Json::as_str)
+                .map(|t| decode_key(t).unwrap())
+                .collect(),
+            other => panic!("bad keys field: {other:?}"),
+        };
+        assert_eq!(keys, vec![42, u64::MAX]);
+
+        let empty = inventory_frame(&[], &[]);
+        let v = Json::parse(&empty.render_compact()).unwrap();
+        assert!(matches!(v.get("running"), Some(Json::Arr(a)) if a.is_empty()));
+        assert!(matches!(v.get("keys"), Some(Json::Arr(a)) if a.is_empty()));
     }
 
     #[test]

@@ -26,6 +26,9 @@ fn start_coordinator(
     let coordinator = Coordinator::bind(CoordinatorOptions {
         addr: "127.0.0.1:0".to_string(),
         print_outcomes: false,
+        // These tests steer replica placement with `decommission`/`reset`,
+        // which a production coordinator refuses without the chaos gate.
+        chaos_verbs: true,
         ..opts
     })
     .expect("bind coordinator");

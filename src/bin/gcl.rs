@@ -19,10 +19,13 @@
 //! gcl coordinate [--addr HOST:PORT] [--queue-cap N] [--lease-ms N]
 //!              [--heartbeat-ms N] [--heartbeat-timeout-ms N]
 //!              [--replicas N] [--session-inflight-cap N]
-//!                                          fleet coordinator
+//!              [--journal PATH] [--recover] [--rebalance-ms N]
+//!              [--chaos-verbs]              fleet coordinator
 //! gcl loadgen  [--addr HOST:PORT] [--submitters N] [--duration-ms N]
 //!              [--think-ms N] [--distinct N] [--out PATH]
 //!                                          closed-loop load generator
+//! gcl soak     [--duration-ms N] [--chaos] [--workers N] [--seed N]
+//!                                          fleet soak + chaos harness
 //! ```
 
 use gcl::prelude::*;
@@ -65,6 +68,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("coordinate") => cmd_coordinate(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]).map_err(fail),
+        Some("soak") => cmd_soak(&args[1..]).map_err(fail),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -95,14 +99,22 @@ USAGE:
                [--fleet HOST:PORT]
   gcl serve    [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--no-cache]
                [--join HOST:PORT] [--name NAME] [--inject SPEC]
-               [--connect-retries N]
+               [--connect-retries N] [--rejoin]
   gcl coordinate [--addr HOST:PORT] [--queue-cap N] [--lease-ms N]
                [--heartbeat-ms N] [--heartbeat-timeout-ms N]
                [--replicas N] [--probe-timeout-ms N]
                [--session-inflight-cap N]
+               [--journal PATH] [--recover] [--rebalance-ms N]
+               [--journal-compact-bytes N] [--chaos-verbs]
   gcl loadgen  [--addr HOST:PORT] [--submitters N] [--duration-ms N]
                [--think-ms N] [--distinct N] [--sample-ms N] [--seed N]
                [--workloads A,B,...] [--full] [--out PATH]
+  gcl soak     [--addr HOST:PORT] [--workers N] [--slots N]
+               [--duration-ms N] [--chaos] [--kill-coordinator-ms N]
+               [--kill-worker-ms N] [--submitters N] [--think-ms N]
+               [--distinct N] [--workloads A,B,...] [--seed N]
+               [--replicas N] [--rebalance-ms N] [--journal PATH]
+               [--out PATH]
 
 `classify` runs the paper's backward-dataflow analysis and prints each
 global load's class and (for non-deterministic loads) the def-chain back to
@@ -173,9 +185,31 @@ shed and error counts — under results/load/. Sheds are data, not
 failures: an overloaded coordinator answers structured
 {\"ok\":false,\"shed\":true} responses (per-session inflight cap, queue
 cap) instead of stalling.
+`coordinate --journal PATH` appends every job-table transition, session
+attach/detach and replica-directory change to a checksummed write-ahead
+journal (fsync-batched, compacted into a snapshot record once it outgrows
+--journal-compact-bytes); `--recover` replays the journal on startup —
+tolerating a torn tail by truncating to the last valid record — then
+reconciles with re-joining workers, which re-announce held leases and
+replica inventories so in-flight work resumes instead of re-running.
+`serve --join --rejoin` makes a worker redial and re-join after losing
+its coordinator instead of exiting. `--rebalance-ms N` arms a background
+rebalancer that proactively re-fans under-replicated keys back to R
+replicas on any membership change, instead of waiting for a read miss.
+The destructive chaos verbs (decommission, reset) are refused unless the
+coordinator runs with --chaos-verbs.
+`soak` is the long-haul proof: it spawns a journaled coordinator and N
+rejoin-capable workers as child processes, drives them with submitter
+threads, and with --chaos runs a seeded schedule that kill -9s workers
+and the coordinator itself (respawned with --recover) mid-sweep; it then
+audits that every acknowledged job reached `done`, that every result is
+byte-identical to a serial run, and that the replica directory converged
+back to full strength, writing a JSON report under results/soak/.
 `serve` and `coordinate` exit 2 when the address cannot be bound (or the
 worker cannot reach its coordinator) and 3 on a protocol failure after
-startup, so supervisors can tell configuration from runtime faults.
+startup, so supervisors can tell configuration from runtime faults; an
+unrecoverable journal (bad magic or a format version from a different
+build) is a configuration error, exit 1.
 ";
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
@@ -1242,6 +1276,7 @@ struct ServeCli {
     name: Option<String>,
     inject: FleetInject,
     connect_retries: Option<u64>,
+    rejoin: bool,
     addr_given: bool,
     queue_cap_given: bool,
 }
@@ -1254,6 +1289,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeCli, String> {
         name: None,
         inject: FleetInject::none(),
         connect_retries: None,
+        rejoin: false,
         addr_given: false,
         queue_cap_given: false,
     };
@@ -1294,6 +1330,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeCli, String> {
                     args.get(i).ok_or("--connect-retries needs a value")?,
                 )?);
             }
+            "--rejoin" => cli.rejoin = true,
             other => return Err(format!("serve: unknown option `{other}`")),
         }
         i += 1;
@@ -1324,6 +1361,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 Some(ResultCache::default_dir())
             },
             inject: cli.inject,
+            rejoin: cli.rejoin,
             ..WorkerOptions::default()
         };
         if let Some(retries) = cli.connect_retries {
@@ -1345,13 +1383,18 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             }
         })?;
         eprintln!(
-            "gcl serve: `{label}` done ({} job(s) run{}{})",
+            "gcl serve: `{label}` done ({} job(s) run{}{}{})",
             report.jobs_run,
             if report.killed { ", killed" } else { "" },
             if report.partitioned {
                 ", partitioned"
             } else {
                 ""
+            },
+            if report.rejoins > 0 {
+                format!(", {} rejoin(s)", report.rejoins)
+            } else {
+                String::new()
             },
         );
         return Ok(());
@@ -1364,6 +1407,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     if cli.connect_retries.is_some() {
         return Err(fail(
             "--connect-retries only applies to fleet workers (--join)".to_string(),
+        ));
+    }
+    if cli.rejoin {
+        return Err(fail(
+            "--rejoin only applies to fleet workers (--join)".to_string(),
         ));
     }
     let mut opts = cli.opts;
@@ -1383,13 +1431,26 @@ fn cmd_coordinate(args: &[String]) -> Result<(), CliError> {
     let opts = parse_coordinate_args(args).map_err(fail)?;
     let summary = format!(
         "queue cap {}, lease {} ms, heartbeat {} ms (timeout {} ms), replicas {}, \
-         session inflight cap {}",
+         session inflight cap {}{}{}",
         opts.queue_cap,
         opts.lease_ms,
         opts.heartbeat_ms,
         opts.heartbeat_timeout_ms,
         opts.replicas,
         opts.session_inflight_cap,
+        match &opts.journal {
+            Some(p) => format!(
+                ", journal {}{}",
+                p.display(),
+                if opts.recover { " (recover)" } else { "" }
+            ),
+            None => String::new(),
+        },
+        if opts.rebalance_ms > 0 {
+            format!(", rebalance every {} ms", opts.rebalance_ms)
+        } else {
+            String::new()
+        },
     );
     let coordinator = Coordinator::bind(opts).map_err(serve_exit)?;
     eprintln!(
@@ -1440,6 +1501,23 @@ fn parse_coordinate_args(args: &[String]) -> Result<CoordinatorOptions, String> 
                 opts.session_inflight_cap =
                     parse_u64(args.get(i).ok_or("--session-inflight-cap needs a value")?)?;
             }
+            "--journal" => {
+                i += 1;
+                opts.journal = Some(std::path::PathBuf::from(
+                    args.get(i).ok_or("--journal needs a path")?,
+                ));
+            }
+            "--recover" => opts.recover = true,
+            "--rebalance-ms" => {
+                i += 1;
+                opts.rebalance_ms = parse_u64(args.get(i).ok_or("--rebalance-ms needs a value")?)?;
+            }
+            "--journal-compact-bytes" => {
+                i += 1;
+                opts.journal_compact_bytes =
+                    parse_u64(args.get(i).ok_or("--journal-compact-bytes needs a value")?)?;
+            }
+            "--chaos-verbs" => opts.chaos_verbs = true,
             other => return Err(format!("coordinate: unknown option `{other}`")),
         }
         i += 1;
@@ -1514,6 +1592,119 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         report.p50_us, report.p99_us, report.samples
     );
     println!("loadgen: time series written to {}", opts.out.display());
+    Ok(())
+}
+
+fn cmd_soak(args: &[String]) -> Result<(), String> {
+    let mut opts = SoakOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                opts.addr = args.get(i).ok_or("--addr needs HOST:PORT")?.to_string();
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = parse_u64(args.get(i).ok_or("--workers needs a value")?)? as usize;
+            }
+            "--slots" => {
+                i += 1;
+                opts.slots = parse_u64(args.get(i).ok_or("--slots needs a value")?)? as usize;
+            }
+            "--duration-ms" => {
+                i += 1;
+                opts.duration_ms = parse_u64(args.get(i).ok_or("--duration-ms needs a value")?)?;
+            }
+            "--chaos" => opts.chaos = true,
+            "--kill-coordinator-ms" => {
+                i += 1;
+                opts.kill_coordinator_ms =
+                    parse_u64(args.get(i).ok_or("--kill-coordinator-ms needs a value")?)?;
+            }
+            "--kill-worker-ms" => {
+                i += 1;
+                opts.kill_worker_ms =
+                    parse_u64(args.get(i).ok_or("--kill-worker-ms needs a value")?)?;
+            }
+            "--submitters" => {
+                i += 1;
+                opts.submitters =
+                    parse_u64(args.get(i).ok_or("--submitters needs a value")?)? as usize;
+            }
+            "--think-ms" => {
+                i += 1;
+                opts.think_ms = parse_u64(args.get(i).ok_or("--think-ms needs a value")?)?;
+            }
+            "--distinct" => {
+                i += 1;
+                opts.distinct = parse_u64(args.get(i).ok_or("--distinct needs a value")?)? as usize;
+            }
+            "--workloads" => {
+                i += 1;
+                opts.workloads = args
+                    .get(i)
+                    .ok_or("--workloads needs a comma-separated list")?
+                    .split(',')
+                    .filter(|w| !w.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_u64(args.get(i).ok_or("--seed needs a value")?)?;
+            }
+            "--replicas" => {
+                i += 1;
+                opts.replicas = parse_u64(args.get(i).ok_or("--replicas needs a value")?)? as usize;
+            }
+            "--rebalance-ms" => {
+                i += 1;
+                opts.rebalance_ms = parse_u64(args.get(i).ok_or("--rebalance-ms needs a value")?)?;
+            }
+            "--journal" => {
+                i += 1;
+                opts.journal =
+                    std::path::PathBuf::from(args.get(i).ok_or("--journal needs a path")?);
+            }
+            "--out" => {
+                i += 1;
+                opts.out = std::path::PathBuf::from(args.get(i).ok_or("--out needs a path")?);
+            }
+            other => return Err(format!("soak: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    eprintln!(
+        "gcl soak: {} worker(s) x {} slot(s) for {} ms{}",
+        opts.workers,
+        opts.slots.max(1),
+        opts.duration_ms,
+        if opts.chaos {
+            format!(
+                " under chaos (kill coordinator every {} ms, a worker every {} ms)",
+                opts.kill_coordinator_ms, opts.kill_worker_ms
+            )
+        } else {
+            String::new()
+        },
+    );
+    let report = run_soak(&opts)?;
+    println!(
+        "soak: {} submit(s), {} acked, {} audited done, {} spec(s) serial-identical",
+        report.submits, report.acked, report.audited, report.digest_matches
+    );
+    println!(
+        "soak: {} coordinator kill(s), {} worker kill(s) survived; \
+         {} lease(s) resumed, {} rebalance(s)",
+        report.coordinator_kills, report.worker_kills, report.resumed, report.rebalances
+    );
+    println!(
+        "soak: replica directory converged at {}/{} keys full; report written to {}",
+        report.replica_full,
+        report.replica_keys,
+        opts.out.display()
+    );
     Ok(())
 }
 

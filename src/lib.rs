@@ -70,10 +70,10 @@ pub mod prelude {
     pub use gcl_analyze::{affine_loads, analyze, Prediction, Report, Severity};
     pub use gcl_core::{classify, AddressSource, Classification, LoadClass};
     pub use gcl_exec::{
-        run_job, run_loadgen, run_pool, run_worker, ClientOptions, Coordinator, CoordinatorOptions,
-        ExecError, FleetInject, JobEvent, JobOutput, JobResult, JobSpec, LoadgenOptions,
-        LoadgenReport, PoolConfig, ResultCache, ServeClient, ServeError, ServeOptions, Server,
-        SessionClient, SessionSubmit, WorkerOptions,
+        run_job, run_loadgen, run_pool, run_soak, run_worker, ClientOptions, Coordinator,
+        CoordinatorOptions, ExecError, FleetInject, JobEvent, JobOutput, JobResult, JobSpec,
+        LoadgenOptions, LoadgenReport, PoolConfig, ResultCache, ServeClient, ServeError,
+        ServeOptions, Server, SessionClient, SessionSubmit, SoakOptions, SoakReport, WorkerOptions,
     };
     pub use gcl_ptx::{
         parse_kernel, Cfg, CmpOp, Kernel, KernelBuilder, Operand, Reg, Space, Special, Type,

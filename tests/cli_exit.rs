@@ -4,8 +4,10 @@
 //! "the protocol broke" (exit 3 — investigate) and plain usage errors
 //! (exit 1 — don't bother retrying).
 
-use std::net::TcpListener;
-use std::process::{Command, Output};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
 
 fn gcl(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_gcl"))
@@ -72,6 +74,121 @@ fn worker_unreachable_coordinator_exits_two() {
         "unreachable coordinator is exit 2: {}",
         stderr(&out)
     );
+}
+
+#[test]
+fn unrecoverable_journal_exits_one() {
+    // A journal with a foreign magic is the operator pointing the
+    // coordinator at the wrong file: a configuration error (exit 1),
+    // not a network one — supervisors must not retry it.
+    let mut path = std::env::temp_dir();
+    path.push(format!("gcl-cli-badmagic-{}.journal", std::process::id()));
+    std::fs::write(&path, b"this is not a journal at all").expect("write bad journal");
+    let out = gcl(&[
+        "coordinate",
+        "--addr",
+        "127.0.0.1:0",
+        "--journal",
+        path.to_str().expect("utf8 path"),
+        "--recover",
+    ]);
+    assert_eq!(
+        code(&out),
+        1,
+        "unrecoverable journal is a config error: {}",
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("journal"),
+        "says what failed: {}",
+        stderr(&out)
+    );
+    std::fs::remove_file(&path).ok();
+
+    let out = gcl(&["coordinate", "--recover"]);
+    assert_eq!(
+        code(&out),
+        1,
+        "--recover without --journal is a usage error: {}",
+        stderr(&out)
+    );
+}
+
+/// Spawn a coordinator child on a fresh port and wait until it accepts.
+fn start_coordinator_child(extra: &[&str]) -> (Child, String) {
+    let addr = {
+        let holder = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        holder.local_addr().expect("addr").to_string()
+    };
+    let child = Command::new(env!("CARGO_BIN_EXE_gcl"))
+        .args(["coordinate", "--addr", &addr])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match TcpStream::connect(&addr) {
+            Ok(_) => return (child, addr),
+            Err(e) => {
+                assert!(Instant::now() < deadline, "never listened: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// One NDJSON round trip on a fresh connection.
+fn roundtrip(addr: &str, request: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("dial coordinator");
+    let mut writer = stream.try_clone().expect("clone stream");
+    writeln!(writer, "{request}").expect("send request");
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("read response");
+    line
+}
+
+#[test]
+fn chaos_verbs_refused_unless_enabled() {
+    // Default: `decommission` and `reset` answer a structured refusal.
+    let (mut child, addr) = start_coordinator_child(&[]);
+    for request in [
+        r#"{"op":"decommission","worker":"w0"}"#,
+        r#"{"op":"reset"}"#,
+    ] {
+        let response = roundtrip(&addr, request);
+        assert!(
+            response.contains(r#""ok":false"#),
+            "gated verb must fail: {response}"
+        );
+        assert!(
+            response.contains("chaos verbs disabled"),
+            "refusal names the gate: {response}"
+        );
+    }
+    let _ = roundtrip(&addr, r#"{"op":"shutdown"}"#);
+    let code = child.wait().expect("coordinator exit");
+    assert!(code.success(), "clean drain after refusals: {code}");
+
+    // Opted in: the same verbs reach their handlers (the decommission
+    // fails differently — there is no such worker — and reset succeeds).
+    let (mut child, addr) = start_coordinator_child(&["--chaos-verbs"]);
+    let response = roundtrip(&addr, r#"{"op":"decommission","worker":"w0"}"#);
+    assert!(
+        !response.contains("chaos verbs disabled"),
+        "gate is open: {response}"
+    );
+    let response = roundtrip(&addr, r#"{"op":"reset"}"#);
+    assert!(
+        response.contains(r#""ok":true"#),
+        "reset runs with the gate open: {response}"
+    );
+    let _ = roundtrip(&addr, r#"{"op":"shutdown"}"#);
+    let code = child.wait().expect("coordinator exit");
+    assert!(code.success(), "clean drain: {code}");
 }
 
 #[test]
