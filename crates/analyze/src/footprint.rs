@@ -1,0 +1,1310 @@
+//! Loop-aware footprint analysis: per-load per-CTA 128 B-block footprints
+//! and the static inter-CTA sharing they imply.
+//!
+//! This is the static side of the paper's "hidden data locality" result:
+//! CTAs of real kernels touch overlapping 128 B block sets, which clustered
+//! CTA scheduling and a semi-global L2 can exploit. The dynamic side
+//! (`gcl_sim`'s block tracker) *measures* that overlap; this module
+//! *predicts* it from the PTX alone, given only the launch geometry:
+//!
+//! 1. Every load address is evaluated to a [`SymAffine`] form over
+//!    `{tid.*, ctaid.*, %laneid, loop induction variables}` — the
+//!    [`crate::affine`] evaluator widened with CTA terms and natural-loop
+//!    induction-variable recognition over [`gcl_ptx::LoopForest`]. Loop trip
+//!    counts are recovered from the exit guard when the bound is a static
+//!    constant.
+//! 2. The per-CTA byte footprint is the Minkowski sum of one strided
+//!    [`ARange`] per non-CTA term; quantizing by 128 B gives the block
+//!    footprint. The CTA terms only *shift* that range, so inter-CTA overlap
+//!    reduces to intersecting one range with a shifted copy of itself —
+//!    one CRT intersection per distinct CTA-coordinate delta.
+//! 3. Per load, the deltas classify into a [`Sharing`] verdict; per kernel
+//!    they aggregate into a [`SharingMatrix`] and a suggested [`ClusterMap`]
+//!    (the smallest run of consecutive linear CTA ids that captures the
+//!    majority of predicted sharing — directly consumable by the
+//!    simulator's clustered CTA scheduler).
+//!
+//! Soundness: `Private` is only claimed from *over-approximate* disjointness
+//! and `Shared` only from *exact* nonempty intersections, so both verdicts
+//! survive the range arithmetic's approximations. Addresses that depend on
+//! loaded values (pointer chasing) report [`Sharing::Unbounded`] rather
+//! than a wrong range. Base pointers are assumed 128 B-aligned (the
+//! simulator's allocator guarantees it); when an address carries an unknown
+//! uniform addend the analysis falls back to byte-level reasoning with a
+//! full block of slack.
+
+use crate::symaff::{ARange, Coeff, LaunchCtx, SymAffine, SymVal, Term};
+use gcl_core::{address_sources, AddressSource, DefSite, ReachingDefs};
+use gcl_ptx::{
+    AluOp, Cfg, CmpOp, Kernel, LoopForest, Op, Operand, Reg, Space, Special, Type, UnaryOp,
+};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Block granularity of the footprint model (the simulator's L2 line).
+pub const BLOCK_BYTES: i64 = 128;
+
+/// Iteration cap when scanning a loop guard for its trip count.
+const MAX_TRIP_SCAN: i64 = 1 << 16;
+
+/// Per-dimension cap on the CTA-delta scan for very large grids.
+const MAX_DELTA: i64 = 32;
+
+/// Largest grid for which the full [`SharingMatrix`] is materialized.
+const MAX_MATRIX_CTAS: u64 = 256;
+
+/// Static inter-CTA sharing verdict for one load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharing {
+    /// Some grid dimension with more than one CTA has coefficient zero:
+    /// CTAs differing only along it read *identical* footprints.
+    Broadcast,
+    /// Some CTA pair provably shares at least one 128 B block.
+    Shared,
+    /// Every CTA pair provably touches disjoint blocks.
+    Private,
+    /// The address depends on loaded data (pointer chase); the footprint
+    /// is statically unbounded.
+    Unbounded,
+    /// The analysis could not decide (unknown coefficients, unknown trip
+    /// counts, or inexact ranges in the way).
+    Unknown,
+}
+
+impl Sharing {
+    /// Short lowercase label, stable for CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Sharing::Broadcast => "broadcast",
+            Sharing::Shared => "shared",
+            Sharing::Private => "private",
+            Sharing::Unbounded => "unbounded",
+            Sharing::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for Sharing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Footprint and sharing prediction for one global-backed load.
+#[derive(Debug, Clone)]
+pub struct LoadFootprint {
+    /// Instruction index of the load.
+    pub pc: usize,
+    /// State space accessed.
+    pub space: Space,
+    /// Access size in bytes.
+    pub bytes: u32,
+    /// Symbolic affine form of the address, when one was found.
+    pub sym: Option<SymAffine>,
+    /// Inter-CTA sharing verdict.
+    pub sharing: Sharing,
+    /// Per-CTA 128 B-block footprint (CTA 0, base taken as 0), when the
+    /// range is computable.
+    pub blocks: Option<ARange>,
+    /// Number of blocks in [`LoadFootprint::blocks`] (an upper bound when
+    /// the range is inexact).
+    pub block_count: Option<u64>,
+    /// Bytes between the footprints of x-adjacent CTAs, when known.
+    pub cta_stride_x: Option<i64>,
+    /// Whether the footprint claims are exact (unguarded load, exact
+    /// ranges, no unknown uniform addend).
+    pub exact: bool,
+}
+
+/// Symmetric CTA-pair sharing counts: entry `(i, j)` is the number of
+/// static loads predicted to share at least one block between linear CTAs
+/// `i` and `j`.
+#[derive(Debug, Clone)]
+pub struct SharingMatrix {
+    n: usize,
+    counts: Vec<u32>,
+}
+
+impl SharingMatrix {
+    fn new(n: usize) -> SharingMatrix {
+        SharingMatrix {
+            n,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Number of CTAs covered (0 when the grid was too large to
+    /// materialize the matrix).
+    pub fn n_ctas(&self) -> usize {
+        self.n
+    }
+
+    /// Sharing count for the unordered pair `(i, j)`.
+    pub fn at(&self, i: usize, j: usize) -> u32 {
+        self.counts[i * self.n + j]
+    }
+
+    fn bump(&mut self, i: usize, j: usize) {
+        self.counts[i * self.n + j] += 1;
+        if i != j {
+            self.counts[j * self.n + i] += 1;
+        }
+    }
+
+    /// Total sharing units over unordered pairs `i < j`.
+    pub fn total(&self) -> u64 {
+        let mut t = 0u64;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                t += u64::from(self.at(i, j));
+            }
+        }
+        t
+    }
+
+    /// Sharing units falling within clusters of `g` consecutive linear ids.
+    pub fn within(&self, g: usize) -> u64 {
+        let g = g.max(1);
+        let mut t = 0u64;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if i / g == j / g {
+                    t += u64::from(self.at(i, j));
+                }
+            }
+        }
+        t
+    }
+}
+
+/// Suggested clustered-CTA-scheduler group size derived from the
+/// [`SharingMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterMap {
+    /// Smallest group of consecutive linear CTA ids capturing at least
+    /// half of the predicted sharing (1 when there is no sharing to
+    /// capture).
+    pub group: u64,
+    /// Fraction of predicted sharing falling within those groups.
+    pub within_fraction: f64,
+}
+
+/// Locality analysis of one kernel under one launch geometry.
+#[derive(Debug, Clone)]
+pub struct KernelLocality {
+    /// Kernel name.
+    pub kernel: String,
+    /// The launch geometry analyzed.
+    pub launch: LaunchCtx,
+    /// Per-load footprints, in pc order.
+    pub loads: Vec<LoadFootprint>,
+    /// CTA-pair sharing counts (empty when the grid exceeds the matrix
+    /// cap).
+    pub matrix: SharingMatrix,
+    /// Suggested scheduler cluster size.
+    pub cluster: ClusterMap,
+}
+
+impl fmt::Display for KernelLocality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel `{}` locality over {}x{}x{} CTAs of {}x{}x{} threads:",
+            self.kernel,
+            self.launch.nctaid[0],
+            self.launch.nctaid[1],
+            self.launch.nctaid[2],
+            self.launch.ntid[0],
+            self.launch.ntid[1],
+            self.launch.ntid[2],
+        )?;
+        for l in &self.loads {
+            let sym = l
+                .sym
+                .as_ref()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let blocks = match (l.block_count, &l.blocks) {
+                (Some(n), Some(r)) => format!("{n} block(s) {r}"),
+                _ => "unbounded".to_string(),
+            };
+            writeln!(
+                f,
+                "  pc {:>3} {:<9} [{}] {} — {}{}",
+                l.pc,
+                l.sharing.label(),
+                sym,
+                blocks,
+                if l.exact { "exact" } else { "approx" },
+                match l.cta_stride_x {
+                    Some(s) => format!(", cta-stride-x {s} B"),
+                    None => String::new(),
+                },
+            )?;
+        }
+        let total = self.matrix.total();
+        writeln!(
+            f,
+            "  sharing pairs: {total} unit(s); suggested cluster group {} ({:.0}% within)",
+            self.cluster.group,
+            self.cluster.within_fraction * 100.0,
+        )
+    }
+}
+
+/// Per-CTA-pair sharing verdict, before aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairShare {
+    /// The two footprints are identical (all differing dims have zero
+    /// coefficient).
+    All,
+    /// Exactly intersecting block ranges: provably shares blocks.
+    Blocks,
+    /// Provably disjoint.
+    Disjoint,
+    /// Cannot tell.
+    Unknown,
+}
+
+/// Symbolic evaluator over reaching definitions, with natural-loop
+/// induction-variable recognition. Same traversal shape as
+/// [`crate::affine`]'s evaluator, but cycles that are not recognized
+/// induction variables go to [`SymVal::Top`] — footprints need the
+/// constants, not just the coefficients, so the affine evaluator's
+/// "init value wins" shortcut would be unsound here.
+struct SymEval<'k> {
+    kernel: &'k Kernel,
+    cfg: Cfg,
+    forest: LoopForest,
+    reaching: ReachingDefs,
+    ctx: LaunchCtx,
+    memo: HashMap<DefSite, SymVal>,
+    in_progress: HashSet<DefSite>,
+    trips: HashMap<usize, Option<u64>>,
+}
+
+impl<'k> SymEval<'k> {
+    fn new(kernel: &'k Kernel, ctx: LaunchCtx) -> SymEval<'k> {
+        let cfg = Cfg::build(kernel);
+        let forest = cfg.loop_forest();
+        SymEval {
+            kernel,
+            cfg,
+            forest,
+            reaching: ReachingDefs::compute(kernel),
+            ctx,
+            memo: HashMap::new(),
+            in_progress: HashSet::new(),
+            trips: HashMap::new(),
+        }
+    }
+
+    /// `i = i ± const` with `dst == reg`, unguarded: the step, if so.
+    fn iv_step(&self, pc: usize, reg: Reg) -> Option<i64> {
+        let inst = &self.kernel.insts()[pc];
+        if inst.guard.is_some() {
+            return None;
+        }
+        let Op::Alu { op, dst, a, b, .. } = &inst.op else {
+            return None;
+        };
+        if *dst != reg {
+            return None;
+        }
+        match (op, a, b) {
+            (AluOp::Add, Operand::Reg(r), Operand::Imm(c)) if *r == reg => Some(*c),
+            (AluOp::Add, Operand::Imm(c), Operand::Reg(r)) if *r == reg => Some(*c),
+            (AluOp::Sub, Operand::Reg(r), Operand::Imm(c)) if *r == reg => Some(-*c),
+            _ => None,
+        }
+    }
+
+    fn value_of_use(&mut self, use_pc: usize, reg: Reg) -> SymVal {
+        let defs = self.reaching.defs_reaching_use(self.kernel, use_pc, reg);
+        if defs.is_empty() {
+            return SymVal::Top;
+        }
+        // Induction-variable recognition: exactly one in-loop self-increment
+        // plus initializations from outside that loop, with the use inside
+        // it, evaluates to `init + step·iv` instead of chasing the cycle.
+        let use_block = self.cfg.block_of(use_pc);
+        let ivs: Vec<(DefSite, usize, i64)> = defs
+            .iter()
+            .filter_map(|d| {
+                let step = self.iv_step(d.pc, reg)?;
+                let l = self.forest.innermost_of(self.cfg.block_of(d.pc))?;
+                Some((*d, l, step))
+            })
+            .collect();
+        if let [(inc, l, step)] = ivs[..] {
+            let lp = &self.forest.loops()[l];
+            // Needs the init defs in the reaching set: a use that sees only
+            // the increment resolves through `value_of_def(inc)` instead,
+            // whose own operand use does see the {init, increment} pair.
+            if defs.len() > 1
+                && lp.contains(use_block)
+                && defs
+                    .iter()
+                    .all(|d| d.pc == inc.pc || !lp.contains(self.cfg.block_of(d.pc)))
+            {
+                let mut init = SymVal::Bottom;
+                for d in defs.iter().filter(|d| d.pc != inc.pc) {
+                    init = init.join(&self.value_of_def(*d));
+                }
+                return match init {
+                    SymVal::Val(v) => SymVal::Val(v.add(&SymAffine::term(Term::Iv(l)).scale(step))),
+                    _ => SymVal::Top,
+                };
+            }
+        }
+        let mut v = SymVal::Bottom;
+        for d in defs {
+            v = v.join(&self.value_of_def(d));
+        }
+        v
+    }
+
+    fn value_of_operand(&mut self, pc: usize, o: &Operand) -> SymVal {
+        match o {
+            Operand::Reg(r) => self.value_of_use(pc, *r),
+            Operand::Imm(v) => SymVal::Val(SymAffine::constant(*v)),
+            Operand::FImm(_) => SymVal::Val(SymAffine::unknown_uniform()),
+            Operand::Special(s) => match s {
+                Special::TidX => SymVal::Val(SymAffine::term(Term::TidX)),
+                Special::TidY => SymVal::Val(SymAffine::term(Term::TidY)),
+                Special::TidZ => SymVal::Val(SymAffine::term(Term::TidZ)),
+                Special::CtaIdX => SymVal::Val(SymAffine::term(Term::CtaIdX)),
+                Special::CtaIdY => SymVal::Val(SymAffine::term(Term::CtaIdY)),
+                Special::CtaIdZ => SymVal::Val(SymAffine::term(Term::CtaIdZ)),
+                Special::LaneId => SymVal::Val(SymAffine::term(Term::Lane)),
+                Special::NTidX => SymVal::Val(SymAffine::constant(i64::from(self.ctx.ntid[0]))),
+                Special::NTidY => SymVal::Val(SymAffine::constant(i64::from(self.ctx.ntid[1]))),
+                Special::NTidZ => SymVal::Val(SymAffine::constant(i64::from(self.ctx.ntid[2]))),
+                Special::NCtaIdX => SymVal::Val(SymAffine::constant(i64::from(self.ctx.nctaid[0]))),
+                Special::NCtaIdY => SymVal::Val(SymAffine::constant(i64::from(self.ctx.nctaid[1]))),
+                Special::NCtaIdZ => SymVal::Val(SymAffine::constant(i64::from(self.ctx.nctaid[2]))),
+                // Per-warp, not per-thread-affine in our terms.
+                Special::WarpId => SymVal::Top,
+            },
+        }
+    }
+
+    fn uniform_rule(&self, ops: &[SymVal]) -> SymVal {
+        if ops.iter().any(|o| matches!(o, SymVal::Bottom)) {
+            return SymVal::Bottom;
+        }
+        if ops
+            .iter()
+            .all(|o| matches!(o, SymVal::Val(v) if v.is_uniform()))
+        {
+            SymVal::Val(SymAffine::unknown_uniform())
+        } else {
+            SymVal::Top
+        }
+    }
+
+    fn mul(&self, a: &SymVal, b: &SymVal) -> SymVal {
+        match (a, b) {
+            (SymVal::Bottom, _) | (_, SymVal::Bottom) => SymVal::Bottom,
+            (SymVal::Val(x), SymVal::Val(y)) => {
+                if x.is_constant() {
+                    return SymVal::Val(y.scale(x.k));
+                }
+                if y.is_constant() {
+                    return SymVal::Val(x.scale(y.k));
+                }
+                // One side grid-uniform but unknown: the term support of the
+                // other side survives with unknown magnitudes.
+                if x.is_uniform() {
+                    return match y.scale_unknown() {
+                        Some(v) => SymVal::Val(v),
+                        None => SymVal::Top,
+                    };
+                }
+                if y.is_uniform() {
+                    return match x.scale_unknown() {
+                        Some(v) => SymVal::Val(v),
+                        None => SymVal::Top,
+                    };
+                }
+                SymVal::Top
+            }
+            _ => SymVal::Top,
+        }
+    }
+
+    fn add(&self, a: &SymVal, b: &SymVal) -> SymVal {
+        match (a, b) {
+            (SymVal::Bottom, _) | (_, SymVal::Bottom) => SymVal::Bottom,
+            (SymVal::Top, _) | (_, SymVal::Top) => SymVal::Top,
+            (SymVal::Val(x), SymVal::Val(y)) => SymVal::Val(x.add(y)),
+        }
+    }
+
+    fn value_of_def(&mut self, def: DefSite) -> SymVal {
+        if let Some(v) = self.memo.get(&def) {
+            return v.clone();
+        }
+        if !self.in_progress.insert(def) {
+            // Unrecognized recurrence: refuse, do not pretend.
+            return SymVal::Top;
+        }
+        let pc = def.pc;
+        let v = match &self.kernel.insts()[pc].op {
+            Op::Ld { space, addr, .. } => match space {
+                Space::Param => match addr.base {
+                    // A pointer-typed parameter at a declared offset is a
+                    // base; any other param read is an unknown uniform.
+                    None => self.param_value(addr.offset),
+                    Some(_) => SymVal::Val(SymAffine::unknown_uniform()),
+                },
+                Space::Const => SymVal::Val(SymAffine::unknown_uniform()),
+                _ => SymVal::Top,
+            },
+            Op::Atom { .. } => SymVal::Top,
+            Op::Mov { src, .. } | Op::Cvt { src, .. } => {
+                let s = *src;
+                self.value_of_operand(pc, &s)
+            }
+            Op::Unary { op, a, .. } => {
+                let a = *a;
+                let va = self.value_of_operand(pc, &a);
+                match (op, &va) {
+                    (UnaryOp::Neg, SymVal::Val(v)) => SymVal::Val(v.neg()),
+                    (UnaryOp::Neg, other) => other.clone(),
+                    _ => self.uniform_rule(&[va]),
+                }
+            }
+            Op::Alu { op, a, b, .. } => {
+                let (op, a, b) = (*op, *a, *b);
+                let va = self.value_of_operand(pc, &a);
+                let vb = self.value_of_operand(pc, &b);
+                match op {
+                    AluOp::Add => self.add(&va, &vb),
+                    AluOp::Sub => {
+                        let nb = match &vb {
+                            SymVal::Val(v) => SymVal::Val(v.neg()),
+                            other => other.clone(),
+                        };
+                        self.add(&va, &nb)
+                    }
+                    AluOp::Mul | AluOp::MulWide => self.mul(&va, &vb),
+                    AluOp::Shl => match &vb {
+                        SymVal::Val(s) if s.is_constant() && (0..=32).contains(&s.k) => match &va {
+                            SymVal::Val(v) => SymVal::Val(v.scale(1i64 << s.k)),
+                            other => other.clone(),
+                        },
+                        _ => self.uniform_rule(&[va, vb]),
+                    },
+                    _ => self.uniform_rule(&[va, vb]),
+                }
+            }
+            Op::Mad { a, b, c, .. } => {
+                let (a, b, c) = (*a, *b, *c);
+                let va = self.value_of_operand(pc, &a);
+                let vb = self.value_of_operand(pc, &b);
+                let vc = self.value_of_operand(pc, &c);
+                let prod = self.mul(&va, &vb);
+                self.add(&prod, &vc)
+            }
+            Op::Sfu { a, .. } => {
+                let a = *a;
+                let va = self.value_of_operand(pc, &a);
+                self.uniform_rule(&[va])
+            }
+            Op::Setp { a, b, .. } => {
+                let (a, b) = (*a, *b);
+                let va = self.value_of_operand(pc, &a);
+                let vb = self.value_of_operand(pc, &b);
+                self.uniform_rule(&[va, vb])
+            }
+            Op::Selp { a, b, pred, .. } => {
+                let (a, b, pred) = (*a, *b, *pred);
+                let va = self.value_of_operand(pc, &a);
+                let vb = self.value_of_operand(pc, &b);
+                let vp = self.value_of_use(pc, pred);
+                if va == vb {
+                    va
+                } else if matches!(&vp, SymVal::Val(p) if p.is_uniform()) {
+                    va.join(&vb)
+                } else {
+                    SymVal::Top
+                }
+            }
+            Op::St { .. } | Op::Bra { .. } | Op::Bar { .. } | Op::Exit => SymVal::Top,
+        };
+        self.in_progress.remove(&def);
+        self.memo.insert(def, v.clone());
+        v
+    }
+
+    fn param_value(&self, offset: i64) -> SymVal {
+        let Ok(off) = u32::try_from(offset) else {
+            return SymVal::Val(SymAffine::unknown_uniform());
+        };
+        for i in 0..self.kernel.params().len() {
+            if self.kernel.param_offset(i) == off {
+                if self.kernel.params()[i].ty == Type::U64 {
+                    return SymVal::Val(SymAffine::param(off));
+                }
+                break;
+            }
+        }
+        SymVal::Val(SymAffine::unknown_uniform())
+    }
+
+    /// Trip count of loop `l`, when the exit guard compares a recognized
+    /// induction variable against a static constant.
+    fn loop_trips(&mut self, l: usize) -> Option<u64> {
+        if let Some(t) = self.trips.get(&l) {
+            return *t;
+        }
+        self.trips.insert(l, None); // cut re-entrancy
+        let t = self.compute_trips(l);
+        self.trips.insert(l, t);
+        t
+    }
+
+    fn compute_trips(&mut self, l: usize) -> Option<u64> {
+        let (latches, exits) = {
+            let lp = &self.forest.loops()[l];
+            (lp.latches.clone(), lp.exit_edges.clone())
+        };
+        let (gb, exit_target) = *exits.first()?;
+        if !exits.iter().all(|e| e.0 == gb) {
+            return None;
+        }
+        let term_pc = self.cfg.blocks()[gb].terminator_pc();
+        let (target, guard) = match &self.kernel.insts()[term_pc] {
+            gcl_ptx::Instruction {
+                op: Op::Bra { target },
+                guard: Some(g),
+            } => (*target, *g),
+            _ => return None,
+        };
+        let branch_block = self.cfg.block_of(target);
+        if term_pc + 1 >= self.kernel.insts().len() {
+            return None;
+        }
+        let fall_block = self.cfg.block_of(term_pc + 1);
+        if branch_block == fall_block {
+            return None;
+        }
+        let exit_on_taken = exit_target == branch_block;
+        let defs = self
+            .reaching
+            .defs_reaching_use(self.kernel, term_pc, guard.pred);
+        let [pdef] = defs[..] else { return None };
+        let sp = pdef.pc;
+        let (cmp, a, b) = match &self.kernel.insts()[sp] {
+            gcl_ptx::Instruction {
+                op: Op::Setp { cmp, a, b, .. },
+                guard: None,
+            } => (*cmp, *a, *b),
+            _ => return None,
+        };
+        let va = self.value_of_operand(sp, &a);
+        let vb = self.value_of_operand(sp, &b);
+        let (ka, sa) = as_iv_line(&va, l)?;
+        let (kb, sb) = as_iv_line(&vb, l)?;
+        for j in 0..=MAX_TRIP_SCAN {
+            let taken = eval_cmp(cmp, ka + sa * j, kb + sb * j) != guard.negate;
+            let exits_now = if exit_on_taken { taken } else { !taken };
+            if exits_now {
+                // A latch guard (incl. a single-block do-while, where the
+                // header is its own latch) tests after the body ran, so
+                // iteration j executed; a pure header guard tests first.
+                let t = if latches.contains(&gb) { j + 1 } else { j };
+                return u64::try_from(t).ok();
+            }
+        }
+        None
+    }
+
+    /// The value domain of a non-CTA term: geometry for tids/lane, trip
+    /// count for induction variables.
+    fn term_domain(&mut self, t: Term) -> Option<u64> {
+        match t {
+            Term::Iv(l) => self.loop_trips(l),
+            other => self.ctx.term_domain(other),
+        }
+    }
+}
+
+/// `v` as `k + s·iv(l)` with everything else absent: `(k, s)`.
+fn as_iv_line(v: &SymVal, l: usize) -> Option<(i64, i64)> {
+    let f = v.val()?;
+    if !f.bases.is_empty() || f.ubase {
+        return None;
+    }
+    let mut s = 0i64;
+    for (t, c) in f.terms() {
+        match (t, c) {
+            (Term::Iv(tl), Coeff::Known(cs)) if tl == l => s = cs,
+            _ => return None,
+        }
+    }
+    Some((f.k, s))
+}
+
+fn eval_cmp(cmp: CmpOp, a: i64, b: i64) -> bool {
+    match cmp {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// Quantize a byte-offset range of `bytes`-wide accesses to 128 B block
+/// indices. Inexact results are supersets.
+fn blockify(r: &ARange, bytes: u32) -> ARange {
+    let s = i64::from(bytes.max(1));
+    let lo_b = r.lo.div_euclid(BLOCK_BYTES);
+    let hi_b = (r.hi + s - 1).div_euclid(BLOCK_BYTES);
+    if r.step <= BLOCK_BYTES {
+        // Consecutive accesses land at most one block apart: contiguous.
+        return ARange::new(lo_b, hi_b, 1, r.exact);
+    }
+    if r.step % BLOCK_BYTES == 0 {
+        let first = ARange::new(
+            lo_b,
+            r.hi.div_euclid(BLOCK_BYTES),
+            r.step / BLOCK_BYTES,
+            r.exact,
+        );
+        // Accesses straddling a block boundary touch the next block too.
+        if r.lo.rem_euclid(BLOCK_BYTES) + s > BLOCK_BYTES {
+            return first.merge(&first.shift(1));
+        }
+        return first;
+    }
+    ARange::new(lo_b, hi_b, 1, false)
+}
+
+/// Blocks that execute on every path from entry to an exit: a block
+/// dominating every exit-carrying block runs in every thread, so a load
+/// there carries *exact* footprint claims (no guard, predicate or branch
+/// can mask part of its index space off).
+fn always_executed(cfg: &Cfg) -> Vec<bool> {
+    let idom = cfg.immediate_dominators();
+    let dominates = |a: usize, b: usize| -> bool {
+        let mut cur = Some(b);
+        while let Some(c) = cur {
+            if c == a {
+                return true;
+            }
+            // The entry block is its own immediate dominator; stop there.
+            cur = idom[c].filter(|&d| d != c);
+        }
+        false
+    };
+    let exits: Vec<usize> = cfg
+        .blocks()
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.succs.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    (0..cfg.blocks().len())
+        .map(|b| !exits.is_empty() && exits.iter().all(|&e| dominates(b, e)))
+        .collect()
+}
+
+/// Whether the instruction at `pc` executes in every thread that enters
+/// the kernel: its block dominates every exit, or it sits in a counted
+/// loop (trip count recovered, >= 1) whose header does. In the latter case
+/// the block must dominate all the loop's latches, so it runs on every
+/// iteration rather than under a conditional inside the body.
+fn runs_unconditionally(eval: &mut SymEval<'_>, unconditional: &[bool], pc: usize) -> bool {
+    let idom = eval.cfg.immediate_dominators();
+    let dominates = |a: usize, t: usize| -> bool {
+        let mut cur = Some(t);
+        while let Some(c) = cur {
+            if c == a {
+                return true;
+            }
+            cur = idom[c].filter(|&d| d != c);
+        }
+        false
+    };
+    let mut b = eval.cfg.block_of(pc);
+    loop {
+        if unconditional[b] {
+            return true;
+        }
+        let Some(l) = eval.forest.innermost_of(b) else {
+            return false;
+        };
+        let (header, latches) = {
+            let lp = &eval.forest.loops()[l];
+            (lp.header, lp.latches.clone())
+        };
+        // Must run on every iteration, not under a conditional in the body
+        // (the header trivially dominates its latches).
+        if !latches.iter().all(|&lt| dominates(b, lt)) {
+            return false;
+        }
+        if !matches!(eval.loop_trips(l), Some(t) if t >= 1) {
+            return false;
+        }
+        // The loop body runs iff the loop is entered: continue from the
+        // header's immediate dominator, which sits outside the loop (the
+        // entry block is its own idom — stop if the header is the entry).
+        let Some(pre) = idom[header].filter(|&d| d != header) else {
+            return false;
+        };
+        b = pre;
+    }
+}
+
+/// Compute per-load footprints, the sharing matrix and the cluster map for
+/// `kernel` under launch geometry `ctx`.
+pub fn footprints(kernel: &Kernel, ctx: &LaunchCtx) -> KernelLocality {
+    let mut eval = SymEval::new(kernel, *ctx);
+    let unconditional = always_executed(&eval.cfg);
+    let mut loads = Vec::new();
+    let mut per_load_val: Vec<Option<SymAffine>> = Vec::new();
+    for (pc, inst) in kernel.insts().iter().enumerate() {
+        let Op::Ld {
+            space, ty, addr, ..
+        } = &inst.op
+        else {
+            continue;
+        };
+        if !matches!(space, Space::Global | Space::Local | Space::Tex) {
+            continue;
+        }
+        let bytes = ty.size_bytes();
+        let v = match addr.base {
+            Some(base) => match eval.value_of_use(pc, base) {
+                SymVal::Val(f) => SymVal::Val(f.add(&SymAffine::constant(addr.offset))),
+                other => other,
+            },
+            None => SymVal::Val(SymAffine::constant(addr.offset)),
+        };
+        // A load is guarded if predicated directly, or if its block is
+        // reachable only through a branch (some threads/CTAs may skip it).
+        // Loop bodies are an exception: with a recovered trip count >= 1
+        // the body runs whenever its header does, so the loop's own exit
+        // branch does not make the load conditional.
+        let guarded = inst.guard.is_some() || !runs_unconditionally(&mut eval, &unconditional, pc);
+        let (fp, form) = build_footprint(&mut eval, kernel, pc, *space, bytes, &v, guarded);
+        loads.push(fp);
+        per_load_val.push(form);
+    }
+
+    let n = ctx.n_ctas();
+    let matrix_n = if n <= MAX_MATRIX_CTAS { n as usize } else { 0 };
+    let mut matrix = SharingMatrix::new(matrix_n);
+    if matrix_n > 1 {
+        let coords = cta_coords(ctx);
+        for (li, form) in per_load_val.iter().enumerate() {
+            let Some(f) = form else { continue };
+            let f0 = footprint_bytes(&mut eval, f);
+            for i in 0..matrix_n {
+                for j in (i + 1)..matrix_n {
+                    let delta = [
+                        i64::from(coords[j][0]) - i64::from(coords[i][0]),
+                        i64::from(coords[j][1]) - i64::from(coords[i][1]),
+                        i64::from(coords[j][2]) - i64::from(coords[i][2]),
+                    ];
+                    if matches!(
+                        pair_share(f, &f0, delta, loads[li].bytes),
+                        PairShare::All | PairShare::Blocks
+                    ) {
+                        matrix.bump(i, j);
+                    }
+                }
+            }
+        }
+    }
+    let cluster = cluster_map(&matrix);
+
+    KernelLocality {
+        kernel: kernel.name().to_string(),
+        launch: *ctx,
+        loads,
+        matrix,
+        cluster,
+    }
+}
+
+/// Grid coordinates of every linear CTA id, x-major like the simulator.
+fn cta_coords(ctx: &LaunchCtx) -> Vec<[u32; 3]> {
+    let mut out = Vec::new();
+    for z in 0..ctx.nctaid[2].max(1) {
+        for y in 0..ctx.nctaid[1].max(1) {
+            for x in 0..ctx.nctaid[0].max(1) {
+                out.push([x, y, z]);
+            }
+        }
+    }
+    out
+}
+
+/// Per-CTA byte footprint (CTA terms excluded): the Minkowski sum of one
+/// strided range per non-CTA term, plus the constant. `None` when a
+/// coefficient or domain is unknown. The bool is the unknown-uniform flag.
+fn footprint_bytes(eval: &mut SymEval<'_>, f: &SymAffine) -> Option<(ARange, bool)> {
+    let mut r = ARange::singleton(f.k);
+    for (t, c) in f.terms() {
+        if matches!(t, Term::CtaIdX | Term::CtaIdY | Term::CtaIdZ) {
+            continue;
+        }
+        let Coeff::Known(c) = c else { return None };
+        if c == 0 {
+            continue;
+        }
+        let dom = eval.term_domain(t)?;
+        r = r.add(&ARange::strided(c, dom.max(1)));
+    }
+    Some((r, f.ubase))
+}
+
+/// Sharing verdict for one CTA-coordinate delta.
+fn pair_share(
+    f: &SymAffine,
+    f0: &Option<(ARange, bool)>,
+    delta: [i64; 3],
+    bytes: u32,
+) -> PairShare {
+    let dims = [Term::CtaIdX, Term::CtaIdY, Term::CtaIdZ];
+    let mut shift = 0i64;
+    let mut all_zero = true;
+    for (d, &dv) in dims.iter().zip(&delta) {
+        if dv == 0 {
+            continue;
+        }
+        match f.coeff(*d) {
+            Coeff::Known(0) => {}
+            Coeff::Known(c) => {
+                all_zero = false;
+                shift += c * dv;
+            }
+            Coeff::Unknown => return PairShare::Unknown,
+        }
+    }
+    if all_zero {
+        return PairShare::All;
+    }
+    let Some((r0, ubase)) = f0 else {
+        return PairShare::Unknown;
+    };
+    if shift == 0 {
+        // Distinct CTAs, same footprint start: identical ranges.
+        return PairShare::All;
+    }
+    let shifted = r0.shift(shift);
+    if *ubase {
+        // Unknown uniform addend: block alignment is unknowable, but byte
+        // identity survives (the addend shifts both CTAs equally).
+        if let Some(i) = r0.intersect(&shifted) {
+            if i.exact {
+                return PairShare::Blocks;
+            }
+            return PairShare::Unknown;
+        }
+        // Disjoint byte progressions may still share a block; only a full
+        // block of clearance rules it out.
+        let gap_clear = shifted.lo - r0.hi > i64::from(bytes) + BLOCK_BYTES
+            || r0.lo - shifted.hi > i64::from(bytes) + BLOCK_BYTES;
+        let dense = r0.step == 1 || r0.count() == 1;
+        if gap_clear && dense {
+            return PairShare::Disjoint;
+        }
+        return PairShare::Unknown;
+    }
+    let b0 = blockify(r0, bytes);
+    let bd = blockify(&shifted, bytes);
+    match b0.intersect(&bd) {
+        Some(i) if i.exact => PairShare::Blocks,
+        Some(_) => PairShare::Unknown,
+        // Supersets disjoint ⇒ the true block sets are disjoint.
+        None => PairShare::Disjoint,
+    }
+}
+
+fn build_footprint(
+    eval: &mut SymEval<'_>,
+    kernel: &Kernel,
+    pc: usize,
+    space: Space,
+    bytes: u32,
+    v: &SymVal,
+    guarded: bool,
+) -> (LoadFootprint, Option<SymAffine>) {
+    let ctx = eval.ctx;
+    let Some(f) = v.val() else {
+        // Not affine at all. Loaded-value addresses are the paper's
+        // pointer-chase pattern: statically unbounded footprint.
+        let chased = match &kernel.insts()[pc].op {
+            Op::Ld { addr, .. } => addr.base.is_some_and(|b| {
+                address_sources(kernel, pc, b)
+                    .iter()
+                    .any(|s| matches!(s, AddressSource::MemoryLoad { .. }))
+            }),
+            _ => false,
+        };
+        return (
+            LoadFootprint {
+                pc,
+                space,
+                bytes,
+                sym: None,
+                sharing: if chased {
+                    Sharing::Unbounded
+                } else {
+                    Sharing::Unknown
+                },
+                blocks: None,
+                block_count: None,
+                cta_stride_x: None,
+                exact: false,
+            },
+            None,
+        );
+    };
+    let f = f.clone();
+    let f0 = footprint_bytes(eval, &f);
+    let (blocks, block_count) = match &f0 {
+        Some((r, false)) => {
+            let b = blockify(r, bytes);
+            let c = b.count();
+            (Some(b), Some(c))
+        }
+        _ => (None, None),
+    };
+    let cta_stride_x = match f.coeff(Term::CtaIdX) {
+        Coeff::Known(c) => Some(c),
+        Coeff::Unknown => None,
+    };
+
+    let n = ctx.n_ctas();
+    let sharing = if n <= 1 {
+        Sharing::Private
+    } else {
+        classify_sharing(&f, &f0, &ctx, bytes)
+    };
+    let exact = !guarded
+        && !f.ubase
+        && match &f0 {
+            Some((r, _)) => r.exact,
+            None => false,
+        };
+    (
+        LoadFootprint {
+            pc,
+            space,
+            bytes,
+            sym: Some(f.clone()),
+            sharing,
+            blocks,
+            block_count,
+            cta_stride_x,
+            exact,
+        },
+        Some(f),
+    )
+}
+
+/// Aggregate per-delta verdicts into the load's [`Sharing`] label.
+fn classify_sharing(
+    f: &SymAffine,
+    f0: &Option<(ARange, bool)>,
+    ctx: &LaunchCtx,
+    bytes: u32,
+) -> Sharing {
+    // Broadcast: some dimension with >1 CTA has a zero coefficient — CTAs
+    // differing only along it read identical footprints. This survives
+    // unknown coefficients elsewhere (the mmXn `row*n` pattern).
+    let dims = [
+        (Term::CtaIdX, ctx.nctaid[0]),
+        (Term::CtaIdY, ctx.nctaid[1]),
+        (Term::CtaIdZ, ctx.nctaid[2]),
+    ];
+    if dims
+        .iter()
+        .any(|&(t, n)| n > 1 && f.coeff(t) == Coeff::Known(0))
+    {
+        return Sharing::Broadcast;
+    }
+
+    let mut any_shared = false;
+    let mut any_unknown = false;
+    let mut capped = false;
+    let lim = |n: u32| -> i64 {
+        let d = i64::from(n.max(1)) - 1;
+        if d > MAX_DELTA {
+            d.min(MAX_DELTA)
+        } else {
+            d
+        }
+    };
+    let (dx, dy, dz) = (lim(ctx.nctaid[0]), lim(ctx.nctaid[1]), lim(ctx.nctaid[2]));
+    capped |= i64::from(ctx.nctaid[0].max(1)) - 1 > dx
+        || i64::from(ctx.nctaid[1].max(1)) - 1 > dy
+        || i64::from(ctx.nctaid[2].max(1)) - 1 > dz;
+    for ddz in 0..=dz {
+        for ddy in -dy..=dy {
+            for ddx in -dx..=dx {
+                // Unordered pairs: skip the identity and mirrored deltas.
+                if ddz == 0 && (ddy < 0 || (ddy == 0 && ddx <= 0)) {
+                    continue;
+                }
+                match pair_share(f, f0, [ddx, ddy, ddz], bytes) {
+                    PairShare::All | PairShare::Blocks => any_shared = true,
+                    PairShare::Unknown => any_unknown = true,
+                    PairShare::Disjoint => {}
+                }
+            }
+        }
+    }
+    if any_shared {
+        Sharing::Shared
+    } else if any_unknown || capped {
+        Sharing::Unknown
+    } else {
+        Sharing::Private
+    }
+}
+
+/// Smallest consecutive-linear-id group capturing at least half of the
+/// predicted sharing.
+fn cluster_map(m: &SharingMatrix) -> ClusterMap {
+    let total = m.total();
+    if total == 0 || m.n_ctas() <= 1 {
+        return ClusterMap {
+            group: 1,
+            within_fraction: 1.0,
+        };
+    }
+    for g in 1..=m.n_ctas() {
+        let w = m.within(g);
+        if 2 * w >= total {
+            return ClusterMap {
+                group: g as u64,
+                within_fraction: w as f64 / total as f64,
+            };
+        }
+    }
+    ClusterMap {
+        group: m.n_ctas() as u64,
+        within_fraction: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_ptx::KernelBuilder;
+
+    fn ctx_1d(ntid: u32, nctaid: u32) -> LaunchCtx {
+        LaunchCtx::new([ntid, 1, 1], [nctaid, 1, 1])
+    }
+
+    /// addr = buf + gid.x * 4 — classic streaming kernel.
+    fn streaming_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("stream");
+        let p = b.param("buf", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let gid = b.thread_linear_id();
+        let a = b.index64(base, gid, 4);
+        let _ = b.ld_global(Type::U32, a);
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn streaming_load_is_private() {
+        let k = streaming_kernel();
+        let ctx = ctx_1d(64, 4);
+        let loc = footprints(&k, &ctx);
+        assert_eq!(loc.loads.len(), 1);
+        let l = &loc.loads[0];
+        assert_eq!(l.sharing, Sharing::Private, "form {:?}", l.sym);
+        // 64 threads * 4 B = 256 B = 2 blocks per CTA.
+        assert_eq!(l.block_count, Some(2));
+        assert_eq!(l.cta_stride_x, Some(256));
+        assert!(l.exact);
+        assert_eq!(loc.matrix.total(), 0);
+        assert_eq!(loc.cluster.group, 1);
+    }
+
+    /// addr = buf + tid.x * 4 — every CTA reads the same 256 B.
+    #[test]
+    fn tid_only_load_is_broadcast() {
+        let mut b = KernelBuilder::new("bcast");
+        let p = b.param("buf", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let tid = b.sreg(Special::TidX);
+        let a = b.index64(base, tid, 4);
+        let _ = b.ld_global(Type::U32, a);
+        b.exit();
+        let k = b.build().unwrap();
+        let loc = footprints(&k, &ctx_1d(64, 4));
+        assert_eq!(loc.loads[0].sharing, Sharing::Broadcast);
+        // All 6 CTA pairs share, for the single load.
+        assert_eq!(loc.matrix.total(), 6);
+    }
+
+    /// Halo pattern: addr = buf + (gid.x + tid.x_extent) — CTA footprints
+    /// offset by half a CTA overlap with their neighbor.
+    #[test]
+    fn overlapping_windows_are_shared() {
+        // addr = buf + 4*(ctaid.x*32 + tid.x), 64 threads: each CTA reads
+        // 256 B starting at ctaid.x*128 — adjacent CTAs overlap one block.
+        let mut b = KernelBuilder::new("halo");
+        let p = b.param("buf", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let cta = b.sreg(Special::CtaIdX);
+        let tid = b.sreg(Special::TidX);
+        let half = b.mul(Type::U32, cta, 32i64);
+        let idx = b.add(Type::U32, half, tid);
+        let a = b.index64(base, idx, 4);
+        let _ = b.ld_global(Type::U32, a);
+        b.exit();
+        let k = b.build().unwrap();
+        let loc = footprints(&k, &ctx_1d(64, 4));
+        let l = &loc.loads[0];
+        assert_eq!(l.sharing, Sharing::Shared, "form {:?}", l.sym);
+        assert_eq!(l.cta_stride_x, Some(128));
+        // Adjacent pairs share; the matrix should prefer small clusters.
+        assert!(loc.matrix.at(0, 1) > 0);
+        assert_eq!(loc.matrix.at(0, 3), 0);
+    }
+
+    /// Pointer chase: addr = *p — unbounded.
+    #[test]
+    fn pointer_chase_is_unbounded() {
+        let mut b = KernelBuilder::new("chase");
+        let p = b.param("head", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let next = b.ld_global(Type::U64, base);
+        let _ = b.ld_global(Type::U32, next);
+        b.exit();
+        let k = b.build().unwrap();
+        let loc = footprints(&k, &ctx_1d(32, 2));
+        assert_eq!(loc.loads[1].sharing, Sharing::Unbounded);
+        assert!(loc.loads[1].blocks.is_none());
+    }
+
+    /// Counted loop: for (i = 0; i < 8; i++) load buf[gid*8 + i].
+    #[test]
+    fn counted_loop_footprint_uses_trip_count() {
+        let mut b = KernelBuilder::new("looped");
+        let p = b.param("buf", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let gid = b.thread_linear_id();
+        let row = b.mul(Type::U32, gid, 8i64);
+        let i = b.reg();
+        b.push(Op::Mov {
+            ty: Type::U32,
+            dst: i,
+            src: 0i64.into(),
+        });
+        let head = b.new_label();
+        let done = b.new_label();
+        b.place(head);
+        let pr = b.setp(CmpOp::Ge, Type::U32, i, 8i64);
+        b.bra_if(pr, done);
+        let idx = b.add(Type::U32, row, i);
+        let a = b.index64(base, idx, 4);
+        let _ = b.ld_global(Type::U32, a);
+        b.push(Op::Alu {
+            op: AluOp::Add,
+            ty: Type::U32,
+            dst: i,
+            a: i.into(),
+            b: 1i64.into(),
+        });
+        b.bra(head);
+        b.place(done);
+        b.exit();
+        let k = b.build().unwrap();
+        let ctx = ctx_1d(32, 2);
+        let loc = footprints(&k, &ctx);
+        let l = &loc.loads[0];
+        let f = l.sym.as_ref().expect("affine form");
+        // 8 iterations * 4 B contiguous per thread, 32 threads per CTA:
+        // 32*8*4 = 1024 B = 8 blocks, private per CTA.
+        assert_eq!(l.block_count, Some(8), "form {f}");
+        assert_eq!(l.sharing, Sharing::Private);
+        assert!(l.exact);
+    }
+
+    /// Unknown trip count (bound from a scalar param) keeps broadcast
+    /// detection alive but blocks the footprint.
+    #[test]
+    fn unknown_trip_still_detects_broadcast() {
+        let mut b = KernelBuilder::new("mmrow");
+        let p = b.param("buf", Type::U64);
+        let pn = b.param("n", Type::U32);
+        let base = b.ld_param(Type::U64, p);
+        let n = b.ld_param(Type::U32, pn);
+        let i = b.reg();
+        b.push(Op::Mov {
+            ty: Type::U32,
+            dst: i,
+            src: 0i64.into(),
+        });
+        let head = b.new_label();
+        let done = b.new_label();
+        b.place(head);
+        let pr = b.setp(CmpOp::Ge, Type::U32, i, n);
+        b.bra_if(pr, done);
+        let a = b.index64(base, i, 4);
+        let _ = b.ld_global(Type::U32, a);
+        b.push(Op::Alu {
+            op: AluOp::Add,
+            ty: Type::U32,
+            dst: i,
+            a: i.into(),
+            b: 1i64.into(),
+        });
+        b.bra(head);
+        b.place(done);
+        b.exit();
+        let k = b.build().unwrap();
+        let loc = footprints(&k, &ctx_1d(32, 4));
+        let l = &loc.loads[0];
+        assert_eq!(l.sharing, Sharing::Broadcast, "form {:?}", l.sym);
+        assert_eq!(l.block_count, None);
+    }
+
+    /// Down-counting do-while loop: i = 8; do { ... i -= 1 } while (i > 0).
+    #[test]
+    fn down_counting_latch_loop_trip() {
+        let mut b = KernelBuilder::new("down");
+        let p = b.param("buf", Type::U64);
+        let base = b.ld_param(Type::U64, p);
+        let i = b.reg();
+        b.push(Op::Mov {
+            ty: Type::U32,
+            dst: i,
+            src: 8i64.into(),
+        });
+        let head = b.new_label();
+        b.place(head);
+        let a = b.index64(base, i, 4);
+        let _ = b.ld_global(Type::U32, a);
+        b.push(Op::Alu {
+            op: AluOp::Sub,
+            ty: Type::U32,
+            dst: i,
+            a: i.into(),
+            b: 1i64.into(),
+        });
+        let pr = b.setp(CmpOp::Gt, Type::U32, i, 0i64);
+        b.bra_if(pr, head);
+        b.exit();
+        let k = b.build().unwrap();
+        let loc = footprints(&k, &ctx_1d(1, 2));
+        let l = &loc.loads[0];
+        // i takes 8, 7, ..., 1 at the load: 8 words = 32 B, 1 block.
+        assert_eq!(l.block_count, Some(1), "form {:?}", l.sym);
+        assert_eq!(l.sharing, Sharing::Broadcast);
+    }
+}

@@ -22,19 +22,42 @@
 #![warn(missing_docs)]
 
 pub mod affine;
+pub mod critical;
 pub mod dataflow;
 pub mod diag;
 pub mod divergence;
+pub mod footprint;
+pub mod symaff;
 pub mod verify;
 
 pub use affine::{affine_loads, Affine, AffineVal, LoadPrediction, Prediction};
+pub use critical::{critical_loads, CriticalLoad};
 pub use diag::{Diagnostic, Severity};
 pub use divergence::{divergence, BranchDivergence, DivergenceInfo};
+pub use footprint::{
+    footprints, ClusterMap, KernelLocality, LoadFootprint, Sharing, SharingMatrix,
+};
+pub use symaff::{ARange, Coeff, LaunchCtx, SymAffine, SymVal, Term};
 pub use verify::verify;
 
 use gcl_core::{address_sources, classify, LoadClass};
 use gcl_ptx::{Cfg, Kernel};
 use std::fmt;
+
+/// Schema/version line emitted ahead of the CSV header so downstream
+/// consumers can detect column drift. Bump the version whenever
+/// [`Report::csv_header`] changes.
+pub const CSV_SCHEMA: &str = "#schema gcl-analyze csv v2";
+
+/// Optional analyses layered on top of [`analyze`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyzeOptions {
+    /// Compute per-load footprints and inter-CTA sharing under this launch
+    /// geometry ([`footprint::footprints`]).
+    pub locality: Option<LaunchCtx>,
+    /// Rank loads by static criticality ([`critical::critical_loads`]).
+    pub critical: bool,
+}
 
 /// One load in a [`Report`]: static prediction joined with the paper's
 /// D/N classification.
@@ -59,6 +82,12 @@ pub struct Report {
     pub branches: Vec<BranchDivergence>,
     /// Data loads with class and prediction.
     pub loads: Vec<ReportLoad>,
+    /// Footprint / inter-CTA sharing analysis, when requested via
+    /// [`AnalyzeOptions::locality`].
+    pub locality: Option<KernelLocality>,
+    /// Critical-load ranking, when requested via
+    /// [`AnalyzeOptions::critical`] (empty otherwise).
+    pub critical: Vec<CriticalLoad>,
 }
 
 impl Report {
@@ -80,28 +109,55 @@ impl Report {
         self.diagnostics.is_empty()
     }
 
-    /// Header row for [`Report::csv_rows`].
+    /// Header row for [`Report::csv_rows`]. The column order is part of
+    /// the [`CSV_SCHEMA`] contract and pinned by a golden-file test.
     pub fn csv_header() -> &'static str {
-        "kernel,pc,space,class,affine,prediction"
+        "kernel,pc,space,class,affine,prediction,sharing,blocks,cta_stride_x,crit_rank,crit_score"
     }
 
-    /// One CSV row per analyzed load.
+    /// One CSV row per analyzed load, `-` for columns whose analysis was
+    /// not requested or produced no value.
     pub fn csv_rows(&self) -> Vec<String> {
+        let dash = || "-".to_string();
         self.loads
             .iter()
             .map(|l| {
+                let pc = l.prediction.pc;
                 let affine = match &l.prediction.affine {
                     Some(v) => v.to_string(),
-                    None => "-".to_string(),
+                    None => dash(),
                 };
+                let fp = self
+                    .locality
+                    .as_ref()
+                    .and_then(|loc| loc.loads.iter().find(|f| f.pc == pc));
+                let sharing = fp
+                    .map(|f| f.sharing.label().to_string())
+                    .unwrap_or_else(dash);
+                let blocks = fp
+                    .and_then(|f| f.block_count)
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(dash);
+                let stride = fp
+                    .and_then(|f| f.cta_stride_x)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(dash);
+                let crit = self.critical.iter().find(|c| c.pc == pc);
+                let rank = crit.map(|c| c.rank.to_string()).unwrap_or_else(dash);
+                let score = crit.map(|c| c.score.to_string()).unwrap_or_else(dash);
                 format!(
-                    "{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{}",
                     self.kernel,
-                    l.prediction.pc,
+                    pc,
                     l.prediction.space,
                     l.class.letter(),
                     affine,
-                    l.prediction.prediction.label()
+                    l.prediction.prediction.label(),
+                    sharing,
+                    blocks,
+                    stride,
+                    rank,
+                    score,
                 )
             })
             .collect()
@@ -147,6 +203,25 @@ impl fmt::Display for Report {
                 l.prediction.prediction.label()
             )?;
         }
+        if let Some(loc) = &self.locality {
+            write!(f, "{loc}")?;
+        }
+        for c in &self.critical {
+            writeln!(
+                f,
+                "  critical #{}: pc {} ({}, {}) score {} — chain {}, slice {}, {} consumer(s), {} request(s){}",
+                c.rank,
+                c.pc,
+                c.space,
+                c.class.letter(),
+                c.score,
+                c.chain_depth,
+                c.slice_height,
+                c.consumers,
+                c.requests,
+                if c.divergent { ", divergent" } else { "" },
+            )?;
+        }
         Ok(())
     }
 }
@@ -154,11 +229,20 @@ impl fmt::Display for Report {
 /// Run the verifier, the divergence analysis and the affine address
 /// analysis over one kernel.
 pub fn analyze(kernel: &Kernel) -> Report {
+    analyze_with(kernel, &AnalyzeOptions::default())
+}
+
+/// [`analyze`], plus the optional locality and criticality layers.
+pub fn analyze_with(kernel: &Kernel, opts: &AnalyzeOptions) -> Report {
     let cfg = Cfg::build(kernel);
     let mut diagnostics = verify::verify(kernel, &cfg);
     let div = divergence::divergence(kernel, &cfg);
     diagnostics.extend(div.diagnostics.iter().cloned());
     diagnostics.sort_by(|a, b| (a.pc, a.code).cmp(&(b.pc, b.code)));
+    // Passes can anchor several findings of one kind to the same
+    // instruction (e.g. use-before-def once per undefined register);
+    // rendering each would double-report. Keep the first per (pc, code).
+    diagnostics.dedup_by(|a, b| (a.pc, a.code) == (b.pc, b.code));
 
     let classification = classify(kernel);
     let insts = kernel.insts();
@@ -197,5 +281,11 @@ pub fn analyze(kernel: &Kernel) -> Report {
         diagnostics,
         branches: div.branches,
         loads,
+        locality: opts.locality.map(|ctx| footprint::footprints(kernel, &ctx)),
+        critical: if opts.critical {
+            critical::critical_loads(kernel)
+        } else {
+            Vec::new()
+        },
     }
 }

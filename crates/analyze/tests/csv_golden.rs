@@ -1,0 +1,63 @@
+//! Golden-file pin of the CSV contract: the schema line, the column
+//! order, and the exact rows emitted for a fixed kernel. Downstream
+//! consumers key on these columns — any change must bump the version in
+//! [`gcl_analyze::CSV_SCHEMA`] and update this test deliberately.
+
+use gcl_analyze::{analyze, analyze_with, AnalyzeOptions, LaunchCtx, Report, CSV_SCHEMA};
+use gcl_ptx::parse_kernel;
+use std::fs;
+use std::path::Path;
+
+fn gather_kernel() -> gcl_ptx::Kernel {
+    let src =
+        fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/gather.ptx"))
+            .unwrap();
+    parse_kernel(&src).unwrap()
+}
+
+#[test]
+fn csv_schema_and_header_are_pinned() {
+    assert_eq!(CSV_SCHEMA, "#schema gcl-analyze csv v2");
+    assert_eq!(
+        Report::csv_header(),
+        "kernel,pc,space,class,affine,prediction,sharing,blocks,cta_stride_x,crit_rank,crit_score"
+    );
+    // The schema line must stay a comment to CSV readers.
+    assert!(CSV_SCHEMA.starts_with('#'));
+    // Header arity is the contract the rows must match.
+    assert_eq!(Report::csv_header().split(',').count(), 11);
+}
+
+#[test]
+fn gather_rows_with_locality_and_critical_are_golden() {
+    let k = gather_kernel();
+    let opts = AnalyzeOptions {
+        locality: Some(LaunchCtx::new([32, 1, 1], [4, 1, 1])),
+        critical: true,
+    };
+    let r = analyze_with(&k, &opts);
+    assert_eq!(
+        r.csv_rows(),
+        vec![
+            // idx[tid]: coalesced D-load, one block broadcast to all CTAs.
+            "gather,8,global,D,base + 4*tid.x,coalesced,broadcast,1,0,2,31".to_string(),
+            // data[idx[tid]]: chased N-load, unbounded, ranked most critical.
+            "gather,11,global,N,-,unknown,unbounded,-,-,1,81".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn gather_rows_without_options_use_dashes() {
+    let r = analyze(&gather_kernel());
+    let rows = r.csv_rows();
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        assert_eq!(row.split(',').count(), 11, "{row}");
+        // The locality and criticality columns are all absent.
+        let cols: Vec<&str> = row.split(',').collect();
+        for c in &cols[6..] {
+            assert_eq!(*c, "-", "{row}");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! exactly the expected structured diagnostics, and every shipped kernel
 //! (the 15 workloads plus the example PTX) must be verifier-clean.
 
-use gcl_analyze::{analyze, Severity};
+use gcl_analyze::{analyze, footprints, LaunchCtx, Severity, Sharing};
 use gcl_ptx::parse_kernel;
 use gcl_workloads::all_workloads;
 use std::fs;
@@ -80,6 +80,70 @@ fn type_mismatch_corpus() {
         d.message,
         "%r1 is defined as 32-bit at pc 1 but used as 64-bit"
     );
+}
+
+#[test]
+fn use_before_def_dual_corpus_deduplicates() {
+    // Two undefined registers on one instruction: the verifier proves both
+    // violations but reports one diagnostic per (pc, code).
+    let k = parse_kernel(&corpus("use_before_def_dual.ptx")).unwrap();
+    let r = analyze(&k);
+    assert_eq!(r.diagnostics.len(), 1, "{r}");
+    let d = &r.diagnostics[0];
+    assert_eq!(d.code, "use-before-def");
+    assert_eq!(d.pc, 0);
+}
+
+#[test]
+fn loop_down_corpus_recovers_trip_count() {
+    let k = parse_kernel(&corpus("loop_down.ptx")).unwrap();
+    let r = analyze(&k);
+    assert!(r.is_clean(), "{r}");
+    let loc = footprints(&k, &LaunchCtx::new([1, 1, 1], [2, 1, 1]));
+    assert_eq!(loc.loads.len(), 1);
+    let l = &loc.loads[0];
+    // i runs 8, 7, ..., 1 at the load: buf[1..=8], 32 B, one block — the
+    // down-counting latch guard must yield exactly 8 trips.
+    assert_eq!(l.block_count, Some(1), "form {:?}", l.sym);
+    // The CTA id never enters the address: identical across the grid.
+    assert_eq!(l.sharing, Sharing::Broadcast);
+    // A do-while body runs whenever the loop is entered: exact claims.
+    assert!(l.exact);
+}
+
+#[test]
+fn loop_tiled2d_corpus_is_private_and_exact() {
+    let k = parse_kernel(&corpus("loop_tiled2d.ptx")).unwrap();
+    let r = analyze(&k);
+    assert!(r.is_clean(), "{r}");
+    let loc = footprints(&k, &LaunchCtx::new([1, 1, 1], [4, 1, 1]));
+    assert_eq!(loc.loads.len(), 1);
+    let l = &loc.loads[0];
+    // 4 rows of 64 B tiled by 16 4-B columns: the inner range tiles the
+    // outer stride exactly, so the 256 B per-CTA window is exact — two
+    // 128 B blocks, disjoint across CTAs.
+    assert_eq!(l.block_count, Some(2), "form {:?}", l.sym);
+    assert_eq!(l.cta_stride_x, Some(256));
+    assert_eq!(l.sharing, Sharing::Private);
+    assert!(l.exact, "nested counted-loop body must stay unconditional");
+    assert_eq!(loc.matrix.total(), 0);
+}
+
+#[test]
+fn loop_chase_corpus_reports_unbounded() {
+    let k = parse_kernel(&corpus("loop_chase.ptx")).unwrap();
+    let r = analyze(&k);
+    assert!(r.is_clean(), "{r}");
+    let loc = footprints(&k, &LaunchCtx::new([1, 1, 1], [2, 1, 1]));
+    // The chased load's address comes from loaded data: even with the trip
+    // count known, no static bound exists.
+    let chase = loc
+        .loads
+        .iter()
+        .find(|l| l.sharing == Sharing::Unbounded)
+        .expect("pointer-chase load reported unbounded");
+    assert!(chase.blocks.is_none());
+    assert!(!chase.exact);
 }
 
 #[test]

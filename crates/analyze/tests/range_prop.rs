@@ -1,0 +1,159 @@
+//! Property tests for the strided-range arithmetic underneath the
+//! footprint analysis, against a concrete-enumeration oracle.
+//!
+//! The soundness contract of [`ARange`] is directional:
+//!
+//! * every operation's result must be a **superset** of the operation
+//!   applied pointwise to the concrete sets (the analysis may only ever
+//!   over-approximate — an under-approximation would let the footprint
+//!   analysis claim `private` for loads that actually share blocks);
+//! * whenever the result carries `exact = true` it must equal the
+//!   concrete set **exactly** (the `shared`/`exact`-footprint claims lean
+//!   on it);
+//! * `exact` must never survive an inexact input.
+//!
+//! Cases are generated from the repo's own deterministic generator
+//! ([`gcl_rng`]), so failures reproduce from the printed seed.
+
+use gcl_analyze::ARange;
+use gcl_rng::{cases, Rng};
+use std::collections::BTreeSet;
+
+/// Concrete elements of the progression (the oracle's ground truth).
+fn elems(r: &ARange) -> BTreeSet<i64> {
+    (0..r.count() as i64).map(|i| r.lo + i * r.step).collect()
+}
+
+/// A small random exact range: |lo| <= 64, up to 16 elements, step <= 12.
+fn arb_range(rng: &mut Rng) -> ARange {
+    let lo = i64::from(rng.u32_below(129)) - 64;
+    let n = i64::from(rng.u32_below(16)) + 1;
+    let step = i64::from(rng.u32_below(12)) + 1;
+    ARange::new(lo, lo + (n - 1) * step, step, true)
+}
+
+/// `sup` contains every element of `set` (set-level superset, using the
+/// progression's own membership test).
+fn assert_superset(sup: &ARange, set: &BTreeSet<i64>, what: &str) {
+    for &v in set {
+        assert!(sup.contains(v), "{what}: {sup} is missing element {v}");
+    }
+}
+
+#[test]
+fn construction_matches_enumeration() {
+    cases(0xA11CE, 500, |rng| {
+        let r = arb_range(rng);
+        let e = elems(&r);
+        assert_eq!(e.len() as u64, r.count(), "{r}");
+        assert_eq!(e.first().copied(), Some(r.lo), "{r}");
+        assert_eq!(e.last().copied(), Some(r.hi), "{r}");
+        // `contains` agrees with enumeration over a window past both ends.
+        for v in (r.lo - 3)..=(r.hi + 3) {
+            assert_eq!(r.contains(v), e.contains(&v), "{r} at {v}");
+        }
+    });
+}
+
+#[test]
+fn strided_matches_term_contribution() {
+    cases(0x57F1DE, 500, |rng| {
+        let c = i64::from(rng.u32_below(41)) - 20;
+        let n = u64::from(rng.u32_below(16)) + 1;
+        let r = ARange::strided(c, n);
+        let want: BTreeSet<i64> = (0..n as i64).map(|i| c * i).collect();
+        assert_eq!(elems(&r), want, "strided({c}, {n}) = {r}");
+        assert!(r.exact);
+    });
+}
+
+#[test]
+fn add_is_sound_and_exact_when_claimed() {
+    cases(0xADD, 1000, |rng| {
+        let a = arb_range(rng);
+        let b = arb_range(rng);
+        let r = a.add(&b);
+        let want: BTreeSet<i64> = elems(&a)
+            .iter()
+            .flat_map(|&x| elems(&b).iter().map(move |&y| x + y).collect::<Vec<_>>())
+            .collect();
+        assert_superset(&r, &want, "add");
+        if r.exact {
+            assert_eq!(elems(&r), want, "{a} + {b} = {r} claimed exact");
+        }
+    });
+}
+
+#[test]
+fn scale_and_shift_are_exact_bijections() {
+    cases(0x5CA1E, 500, |rng| {
+        let a = arb_range(rng);
+        let c = loop {
+            let c = i64::from(rng.u32_below(17)) - 8;
+            if c != 0 {
+                break c;
+            }
+        };
+        let scaled = a.scale(c);
+        let want: BTreeSet<i64> = elems(&a).iter().map(|&x| x * c).collect();
+        assert_eq!(elems(&scaled), want, "{a} * {c} = {scaled}");
+        assert!(scaled.exact);
+
+        let d = i64::from(rng.u32_below(201)) - 100;
+        let shifted = a.shift(d);
+        let want: BTreeSet<i64> = elems(&a).iter().map(|&x| x + d).collect();
+        assert_eq!(elems(&shifted), want, "{a} shifted {d} = {shifted}");
+    });
+}
+
+#[test]
+fn merge_is_sound_and_exact_when_claimed() {
+    cases(0x4E46E, 1000, |rng| {
+        let a = arb_range(rng);
+        let b = arb_range(rng);
+        let r = a.merge(&b);
+        let want: BTreeSet<i64> = elems(&a).union(&elems(&b)).copied().collect();
+        assert_superset(&r, &want, "merge");
+        if r.exact {
+            assert_eq!(elems(&r), want, "{a} merge {b} = {r} claimed exact");
+        }
+    });
+}
+
+#[test]
+fn intersect_is_sound_and_exact_on_exact_inputs() {
+    cases(0x1A7E45EC7, 1000, |rng| {
+        let a = arb_range(rng);
+        let b = arb_range(rng);
+        let want: BTreeSet<i64> = elems(&a).intersection(&elems(&b)).copied().collect();
+        match a.intersect(&b) {
+            None => assert!(
+                want.is_empty(),
+                "{a} ∩ {b} reported empty but contains {want:?}"
+            ),
+            Some(r) => {
+                assert_superset(&r, &want, "intersect");
+                // Exact inputs: the CRT solution is the exact intersection.
+                assert!(r.exact, "{a} ∩ {b} = {r} lost exactness");
+                assert_eq!(elems(&r), want, "{a} ∩ {b} = {r}");
+            }
+        }
+    });
+}
+
+#[test]
+fn inexactness_is_contagious() {
+    cases(0x10EBAC7, 500, |rng| {
+        let a = arb_range(rng);
+        let b = arb_range(rng);
+        // Poison one side; no operation may launder it back to exact.
+        let pa = ARange::new(a.lo, a.hi, a.step, false);
+        assert!(!pa.add(&b).exact, "{pa} + {b}");
+        assert!(!b.add(&pa).exact, "{b} + {pa}");
+        assert!(!pa.merge(&b).exact, "{pa} merge {b}");
+        assert!(!pa.scale(3).exact, "{pa} * 3");
+        if let Some(i) = pa.intersect(&b) {
+            assert!(!i.exact, "{pa} ∩ {b} = {i}");
+        }
+    });
+}

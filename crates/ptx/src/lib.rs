@@ -57,6 +57,7 @@ mod cfg;
 mod fmt;
 mod inst;
 mod kernel;
+mod loops;
 mod parse;
 mod reg;
 mod types;
@@ -67,6 +68,7 @@ pub use inst::{
     Address, AluOp, AtomOp, CmpOp, Guard, Instruction, Op, Operand, SfuOp, UnaryOp, Unit,
 };
 pub use kernel::{Kernel, ParamDecl, ValidateError};
+pub use loops::{Loop, LoopForest};
 pub use parse::{parse_kernel, parse_module, ParseError};
 pub use reg::{Reg, Special};
 pub use types::{Space, Type};

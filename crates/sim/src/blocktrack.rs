@@ -2,7 +2,7 @@
 //! hidden inter-CTA locality of the paper's Figures 10–12.
 
 use gcl_mem::{Dec, Enc, WireError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Summary statistics extracted from a [`BlockTracker`].
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +35,17 @@ pub struct BlockTracker {
     blocks: HashMap<u64, BlockInfo>,
     total_accesses: u64,
     distance_hist: HashMap<u64, u64>,
+    /// Interned kernel names of launches seen via
+    /// [`begin_launch`](Self::begin_launch).
+    kernels: Vec<String>,
+    /// Index into `kernels` for the launch in flight.
+    current_kernel: Option<u32>,
+    /// Current launch only: pc → block → CTAs. Folded into `per_pc` at the
+    /// next launch boundary, so CTA-id reuse across launches never counts
+    /// as sharing.
+    live: HashMap<u64, HashMap<u64, BTreeSet<u64>>>,
+    /// Aggregated per-(kernel, pc) sharing statistics.
+    per_pc: BTreeMap<(u32, u64), PcAgg>,
 }
 
 #[derive(Debug, Default)]
@@ -42,6 +53,44 @@ struct BlockInfo {
     count: u64,
     ctas: HashMap<u64, u64>,
     last_cta: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct PcAgg {
+    accesses: u64,
+    blocks: u64,
+    shared_blocks: u64,
+    max_ctas_per_block: u64,
+    pairs: BTreeMap<(u64, u64), u64>,
+}
+
+/// Measured inter-CTA sharing for one static load (one pc of one kernel),
+/// aggregated over launches but with CTA sets scoped *per launch* — two
+/// launches reusing CTA id 0 do not make a block "shared".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcSharing {
+    /// Kernel name the pc belongs to.
+    pub kernel: String,
+    /// Instruction index of the load.
+    pub pc: u64,
+    /// Memory requests recorded for this pc.
+    pub accesses: u64,
+    /// Block-launch instances touched (a block touched in two launches
+    /// counts twice).
+    pub blocks: u64,
+    /// Instances touched by ≥ 2 CTAs within one launch.
+    pub shared_blocks: u64,
+    /// Largest CTA count on a single instance.
+    pub max_ctas_per_block: u64,
+    /// Per unordered CTA pair `(i, j)`, `i < j`: instances both touched.
+    pub pairs: Vec<((u64, u64), u64)>,
+}
+
+impl PcSharing {
+    /// Fraction of this pc's block instances shared by ≥ 2 CTAs.
+    pub fn shared_ratio(&self) -> f64 {
+        ratio(self.shared_blocks, self.blocks)
+    }
 }
 
 impl BlockTracker {
@@ -62,6 +111,70 @@ impl BlockTracker {
         info.count += 1;
         info.last_cta = cta;
         *info.ctas.entry(cta).or_insert(0) += 1;
+    }
+
+    /// Start a new launch of `kernel`: folds the previous launch's per-PC
+    /// CTA sets into the aggregate and scopes subsequent
+    /// [`record_at`](Self::record_at) calls to this launch.
+    pub fn begin_launch(&mut self, kernel: &str) {
+        self.flush_live();
+        let id = match self.kernels.iter().position(|k| k == kernel) {
+            Some(i) => i as u32,
+            None => {
+                self.kernels.push(kernel.to_string());
+                (self.kernels.len() - 1) as u32
+            }
+        };
+        self.current_kernel = Some(id);
+    }
+
+    /// [`record`](Self::record), attributed to the static load at `pc` of
+    /// the kernel most recently passed to [`begin_launch`](Self::begin_launch).
+    pub fn record_at(&mut self, block_addr: u64, cta: u64, pc: u64) {
+        self.record(block_addr, cta);
+        let Some(k) = self.current_kernel else {
+            return;
+        };
+        self.per_pc.entry((k, pc)).or_default().accesses += 1;
+        self.live
+            .entry(pc)
+            .or_default()
+            .entry(block_addr)
+            .or_default()
+            .insert(cta);
+    }
+
+    fn flush_live(&mut self) {
+        let Some(k) = self.current_kernel else {
+            self.live.clear();
+            return;
+        };
+        for (pc, blocks) in std::mem::take(&mut self.live) {
+            let agg = self.per_pc.entry((k, pc)).or_default();
+            fold_launch(agg, &blocks);
+        }
+    }
+
+    /// Measured per-(kernel, pc) sharing, including the launch in flight,
+    /// sorted by kernel name then pc.
+    pub fn pc_sharing(&self) -> Vec<PcSharing> {
+        let mut agg = self.per_pc.clone();
+        if let Some(k) = self.current_kernel {
+            for (pc, blocks) in &self.live {
+                fold_launch(agg.entry((k, *pc)).or_default(), blocks);
+            }
+        }
+        agg.into_iter()
+            .map(|((k, pc), a)| PcSharing {
+                kernel: self.kernels[k as usize].clone(),
+                pc,
+                accesses: a.accesses,
+                blocks: a.blocks,
+                shared_blocks: a.shared_blocks,
+                max_ctas_per_block: a.max_ctas_per_block,
+                pairs: a.pairs.into_iter().collect(),
+            })
+            .collect()
     }
 
     /// Whether `block_addr` has been touched before (i.e. the next access
@@ -136,6 +249,42 @@ impl BlockTracker {
             e.u64(*dv);
             e.u64(*c);
         }
+        e.usize(self.kernels.len());
+        for k in &self.kernels {
+            e.str(k);
+        }
+        e.u32(self.current_kernel.map_or(u32::MAX, |k| k));
+        let mut live: Vec<(&u64, &HashMap<u64, BTreeSet<u64>>)> = self.live.iter().collect();
+        live.sort_unstable_by_key(|(pc, _)| **pc);
+        e.usize(live.len());
+        for (pc, blocks) in live {
+            e.u64(*pc);
+            let mut bs: Vec<(&u64, &BTreeSet<u64>)> = blocks.iter().collect();
+            bs.sort_unstable_by_key(|(b, _)| **b);
+            e.usize(bs.len());
+            for (b, ctas) in bs {
+                e.u64(*b);
+                e.usize(ctas.len());
+                for &c in ctas {
+                    e.u64(c);
+                }
+            }
+        }
+        e.usize(self.per_pc.len());
+        for ((k, pc), a) in &self.per_pc {
+            e.u32(*k);
+            e.u64(*pc);
+            e.u64(a.accesses);
+            e.u64(a.blocks);
+            e.u64(a.shared_blocks);
+            e.u64(a.max_ctas_per_block);
+            e.usize(a.pairs.len());
+            for ((i, j), n) in &a.pairs {
+                e.u64(*i);
+                e.u64(*j);
+                e.u64(*n);
+            }
+        }
     }
 
     /// Checkpoint-decode a tracker written by
@@ -171,11 +320,84 @@ impl BlockTracker {
             let c = d.u64()?;
             distance_hist.insert(dv, c);
         }
+        let nk = d.seq_len()?;
+        let mut kernels = Vec::with_capacity(nk);
+        for _ in 0..nk {
+            kernels.push(d.str()?);
+        }
+        let ck = d.u32()?;
+        let current_kernel = if ck == u32::MAX { None } else { Some(ck) };
+        let nl = d.seq_len()?;
+        let mut live = HashMap::with_capacity(nl);
+        for _ in 0..nl {
+            let pc = d.u64()?;
+            let nb = d.seq_len()?;
+            let mut bs = HashMap::with_capacity(nb);
+            for _ in 0..nb {
+                let b = d.u64()?;
+                let ncs = d.seq_len()?;
+                let mut ctas = BTreeSet::new();
+                for _ in 0..ncs {
+                    ctas.insert(d.u64()?);
+                }
+                bs.insert(b, ctas);
+            }
+            live.insert(pc, bs);
+        }
+        let np = d.seq_len()?;
+        let mut per_pc = BTreeMap::new();
+        for _ in 0..np {
+            let k = d.u32()?;
+            let pc = d.u64()?;
+            let accesses = d.u64()?;
+            let bcount = d.u64()?;
+            let shared_blocks = d.u64()?;
+            let max_ctas_per_block = d.u64()?;
+            let npairs = d.seq_len()?;
+            let mut pairs = BTreeMap::new();
+            for _ in 0..npairs {
+                let i = d.u64()?;
+                let j = d.u64()?;
+                let n = d.u64()?;
+                pairs.insert((i, j), n);
+            }
+            per_pc.insert(
+                (k, pc),
+                PcAgg {
+                    accesses,
+                    blocks: bcount,
+                    shared_blocks,
+                    max_ctas_per_block,
+                    pairs,
+                },
+            );
+        }
         Ok(BlockTracker {
             blocks,
             total_accesses,
             distance_hist,
+            kernels,
+            current_kernel,
+            live,
+            per_pc,
         })
+    }
+}
+
+/// Fold one launch's `block → CTA set` map for one pc into its aggregate.
+fn fold_launch(agg: &mut PcAgg, blocks: &HashMap<u64, BTreeSet<u64>>) {
+    for ctas in blocks.values() {
+        agg.blocks += 1;
+        agg.max_ctas_per_block = agg.max_ctas_per_block.max(ctas.len() as u64);
+        if ctas.len() >= 2 {
+            agg.shared_blocks += 1;
+            let list: Vec<u64> = ctas.iter().copied().collect();
+            for (n, &i) in list.iter().enumerate() {
+                for &j in &list[n + 1..] {
+                    *agg.pairs.entry((i, j)).or_insert(0) += 1;
+                }
+            }
+        }
     }
 }
 
@@ -242,6 +464,52 @@ mod tests {
         assert!(s.cold_miss_ratio.is_nan());
         assert!(t.distance_histogram().is_empty());
         assert!(!t.is_warm(0));
+    }
+
+    #[test]
+    fn per_pc_sharing_is_launch_scoped() {
+        let mut t = BlockTracker::new();
+        t.begin_launch("k");
+        t.record_at(0, 0, 7); // CTA 0 and 1 share block 0 at pc 7
+        t.record_at(0, 1, 7);
+        t.record_at(128, 0, 9); // pc 9 private
+                                // Second launch reuses CTA id 0 on the same block: NOT sharing.
+        t.begin_launch("k");
+        t.record_at(128, 0, 9);
+        let s = t.pc_sharing();
+        assert_eq!(s.len(), 2);
+        assert_eq!((s[0].pc, s[0].shared_blocks, s[0].blocks), (7, 1, 1));
+        assert_eq!(s[0].pairs, vec![((0, 1), 1)]);
+        assert_eq!(s[0].max_ctas_per_block, 2);
+        // pc 9: two block instances (one per launch), neither shared.
+        assert_eq!((s[1].pc, s[1].shared_blocks, s[1].blocks), (9, 0, 2));
+        assert!(s[1].pairs.is_empty());
+        // The flat tracker still sees one block with one CTA.
+        assert_eq!(t.summary().accesses, 4);
+    }
+
+    #[test]
+    fn per_pc_sharing_round_trips_through_checkpoint() {
+        let mut t = BlockTracker::new();
+        t.begin_launch("a");
+        t.record_at(0, 0, 1);
+        t.record_at(0, 3, 1);
+        t.begin_launch("b");
+        t.record_at(256, 2, 4); // left in the live map on purpose
+        let mut e = Enc::new();
+        t.ckpt_encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let t2 = BlockTracker::ckpt_decode(&mut d).expect("decode");
+        assert!(d.is_done());
+        assert_eq!(t.pc_sharing(), t2.pc_sharing());
+        // And the restored tracker keeps scoping new launches correctly.
+        let mut t2 = t2;
+        t2.begin_launch("a");
+        t2.record_at(256, 9, 4);
+        let s = t2.pc_sharing();
+        let b4 = s.iter().find(|p| p.kernel == "b" && p.pc == 4).unwrap();
+        assert_eq!(b4.shared_blocks, 0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GCLSNAP1";
 
 /// Current checkpoint format version. Bumped whenever the payload layout
 /// changes; restore rejects any other version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be loaded or restored. The payload of
 /// [`SimError::Checkpoint`](crate::SimError::Checkpoint).

@@ -283,6 +283,12 @@ impl Gpu {
         self.blocktrack.distance_histogram()
     }
 
+    /// Per-(kernel, pc) measured inter-CTA block sharing, for
+    /// cross-validating the static locality analysis load by load.
+    pub fn pc_sharing(&self) -> Vec<crate::blocktrack::PcSharing> {
+        self.blocktrack.pc_sharing()
+    }
+
     /// Resident CTAs per SM for this kernel/launch geometry.
     fn occupancy(&self, kernel: &Kernel, block: Dim3) -> Result<usize, SimError> {
         let threads = block.count();
@@ -450,6 +456,7 @@ impl Gpu {
             }
         }
 
+        self.blocktrack.begin_launch(kernel.name());
         let start_cycle = self.now;
         self.active = Some(LaunchState {
             kernel_name: kernel.name().to_string(),

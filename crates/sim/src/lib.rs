@@ -87,7 +87,7 @@ mod value;
 mod warp;
 mod warp_sched;
 
-pub use blocktrack::{BlockSummary, BlockTracker};
+pub use blocktrack::{BlockSummary, BlockTracker, PcSharing};
 pub use ckpt::{
     config_fingerprint, kernel_fingerprint, CheckpointError, Snapshot, SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,

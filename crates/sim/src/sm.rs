@@ -768,7 +768,7 @@ impl Sm {
                     let active = access.lane_addrs.len() as u32;
                     let meta = self.loadtrack.begin(pc, class, n_requests, active, cycle);
                     for &b in &blocks {
-                        ctx.blocktrack.record(b, linear_cta);
+                        ctx.blocktrack.record_at(b, linear_cta, pc as u64);
                     }
                     (Self::class_tag(class), Some(meta))
                 };

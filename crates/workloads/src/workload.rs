@@ -37,6 +37,10 @@ pub struct RunResult {
     pub threads_per_cta: u32,
     /// The distinct kernels the workload ran (for static classification).
     pub kernels: Vec<Kernel>,
+    /// Launch geometries in launch order: `(kernel name, grid, block)` —
+    /// the ground truth the locality cross-validation feeds to
+    /// `gcl-analyze`'s [`LaunchCtx`](gcl_sim::Dim3) construction.
+    pub geometries: Vec<(String, Dim3, Dim3)>,
 }
 
 /// A benchmark: owns its input sizes and drives its own host loop.
@@ -68,6 +72,7 @@ pub struct Runner {
     total_ctas: u64,
     threads_per_cta: u32,
     kernels: Vec<Kernel>,
+    geometries: Vec<(String, Dim3, Dim3)>,
 }
 
 impl Runner {
@@ -100,6 +105,8 @@ impl Runner {
         if !self.kernels.iter().any(|k| k.name() == kernel.name()) {
             self.kernels.push(kernel.clone());
         }
+        self.geometries
+            .push((kernel.name().to_string(), grid, block));
         Ok(())
     }
 
@@ -111,6 +118,7 @@ impl Runner {
             total_ctas: self.total_ctas,
             threads_per_cta: self.threads_per_cta,
             kernels: self.kernels,
+            geometries: self.geometries,
         }
     }
 }

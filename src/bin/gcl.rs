@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! gcl classify <kernel.ptx> [--json]       classify loads, print witnesses
-//! gcl analyze  <kernel.ptx|workload|all> [--csv]
-//!                                          static lints, divergence, coalescing
+//! gcl analyze  <kernel.ptx|workload|all> [--csv] [--locality] [--critical]
+//!              [--grid X[,Y[,Z]]] [--block X[,Y[,Z]]]
+//!                                          static lints, divergence, coalescing,
+//!                                          inter-CTA locality, critical loads
 //! gcl disasm   <kernel.ptx>                parse and re-print (normalize)
 //! gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param V]...
 //!              [--memcheck] [--sanitize] [--max-cycles N]
@@ -89,7 +91,8 @@ gcl — GPU critical-load classification and simulation
 
 USAGE:
   gcl classify <kernel.ptx> [--json]
-  gcl analyze  <kernel.ptx|workload|all> [--csv]
+  gcl analyze  <kernel.ptx|workload|all> [--csv] [--locality] [--critical]
+               [--grid X[,Y[,Z]]] [--block X[,Y[,Z]]]
   gcl disasm   <kernel.ptx>
   gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param VALUE]...
                [--memcheck] [--sanitize] [--max-cycles N]
@@ -122,8 +125,16 @@ the tainting load. `analyze` runs the static-analysis suite — verifier
 lints, divergence analysis (flagging `bar.sync` under divergent control
 flow), and per-load coalescing/bank-conflict prediction from the tid-affine
 address form — over a PTX file, one named workload's kernels, or `all`;
---csv emits one row per load, and the exit code is nonzero if any kernel
-has diagnostics. `run` simulates one launch on the Fermi configuration;
+--csv emits one row per load behind a `#schema` version line, and the exit
+code is nonzero if any kernel has diagnostics. --locality adds the
+loop-aware footprint analysis: per load, the set of 128-byte blocks each
+CTA touches (using recovered loop trip counts) and the inter-CTA sharing
+class — broadcast / shared / private / unbounded — plus a CTA-pair sharing
+matrix and its cluster map under the launch geometry given by --grid and
+--block (default 4x1x1 CTAs of 64x1x1 threads). --critical ranks each
+kernel's loads by static criticality (dependent-load chain depth, slice
+height, consumer count, divergence, predicted requests) so the top of the
+list is where optimization and validation effort should go. `run` simulates one launch on the Fermi configuration;
 each --alloc allocates a zeroed device buffer and passes its address as the
 next kernel parameter, each --param passes a raw integer. With --memcheck,
 out-of-bounds device accesses abort the launch with a fault report naming
@@ -313,25 +324,64 @@ fn analyze_targets(target: &str) -> Result<Vec<Kernel>, String> {
     }
 }
 
+/// Parse a `--grid`/`--block` dimension spec: `X`, `X,Y` or `X,Y,Z`.
+fn parse_dim3(s: &str) -> Result<[u32; 3], String> {
+    let mut out = [1u32; 3];
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.is_empty() || parts.len() > 3 {
+        return Err(format!("bad dimension `{s}` (expected X[,Y[,Z]])"));
+    }
+    for (i, p) in parts.iter().enumerate() {
+        out[i] = parse_u64(p)? as u32;
+        if out[i] == 0 {
+            return Err(format!("bad dimension `{s}` (components must be >= 1)"));
+        }
+    }
+    Ok(out)
+}
+
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let target = args
         .first()
         .ok_or("analyze: missing <kernel.ptx|workload|all>")?;
     let mut csv = false;
-    for a in &args[1..] {
-        match a.as_str() {
+    let mut locality = false;
+    let mut critical = false;
+    // The locality analysis needs a launch geometry; default to a small
+    // multi-CTA launch so inter-CTA sharing is observable.
+    let mut block = [64u32, 1, 1];
+    let mut grid = [4u32, 1, 1];
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
             "--csv" => csv = true,
+            "--locality" => locality = true,
+            "--critical" => critical = true,
+            "--block" => {
+                i += 1;
+                block = parse_dim3(args.get(i).ok_or("--block needs X[,Y[,Z]]")?)?;
+            }
+            "--grid" => {
+                i += 1;
+                grid = parse_dim3(args.get(i).ok_or("--grid needs X[,Y[,Z]]")?)?;
+            }
             other => return Err(format!("analyze: unknown option `{other}`")),
         }
+        i += 1;
     }
+    let opts = AnalyzeOptions {
+        locality: locality.then(|| LaunchCtx::new(block, grid)),
+        critical,
+    };
     let kernels = analyze_targets(target)?;
     let mut errors = 0usize;
     let mut warnings = 0usize;
     if csv {
+        println!("{CSV_SCHEMA}");
         println!("{}", Report::csv_header());
     }
     for (i, kernel) in kernels.iter().enumerate() {
-        let report = analyze(kernel);
+        let report = analyze_with(kernel, &opts);
         errors += report.error_count();
         warnings += report.warning_count();
         if csv {

@@ -67,7 +67,10 @@ pub use gcl_workloads as workloads;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use gcl_analyze::{affine_loads, analyze, Prediction, Report, Severity};
+    pub use gcl_analyze::{
+        affine_loads, analyze, analyze_with, critical_loads, footprints, AnalyzeOptions,
+        CriticalLoad, KernelLocality, LaunchCtx, Prediction, Report, Severity, Sharing, CSV_SCHEMA,
+    };
     pub use gcl_core::{classify, AddressSource, Classification, LoadClass};
     pub use gcl_exec::{
         run_job, run_loadgen, run_pool, run_soak, run_worker, ClientOptions, Coordinator,
