@@ -34,7 +34,10 @@ pub const CACHE_MAGIC: [u8; 8] = *b"GCLEXEC1";
 
 /// Cache format version; part of both the container header and the cache
 /// key, so bumping it orphans (rather than misreads) old entries.
-pub const CACHE_VERSION: u32 = 1;
+///
+/// Version 2: `LaunchStats` gained the debug-trace drop counter
+/// (`trace_dropped`) in its wire encoding.
+pub const CACHE_VERSION: u32 = 2;
 
 /// Why a lookup did not produce a result. Every variant is handled the same
 /// way — recompute and rewrite — but tests pin each path down.

@@ -15,11 +15,12 @@
 
 use super::inject::FleetInject;
 use crate::cache::ResultCache;
-use crate::job::run_job;
+use crate::job::run_job_from;
 use crate::proto::{
     decode_key, fetched_frame, inventory_frame, write_frame, FrameError, FrameReader, MAX_FRAME,
 };
 use crate::serve::parse_submit;
+use crate::trace_store::TraceStore;
 use gcl_rng::{backoff::Backoff, Rng};
 use gcl_stats::Json;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -39,6 +40,10 @@ pub struct WorkerOptions {
     pub slots: usize,
     /// Consult (and fill) this result cache.
     pub cache: Option<ResultCache>,
+    /// Serve assigned jobs by replaying shipped trace containers instead
+    /// of functional execution; absent or mismatched containers fail the
+    /// job structurally (reported as `fail` frames), never fall back.
+    pub traces: Option<TraceStore>,
     /// Chaos injection (inert by default).
     pub inject: FleetInject,
     /// Extra connect attempts before giving up on the coordinator.
@@ -63,6 +68,7 @@ impl Default for WorkerOptions {
             name: "worker".to_string(),
             slots: 1,
             cache: None,
+            traces: None,
             inject: FleetInject::none(),
             connect_retries: 8,
             backoff: Backoff::default(),
@@ -143,6 +149,7 @@ struct WorkerState {
     jobs_run: AtomicU64,
     corrupt_budget: AtomicU64,
     cache: Option<ResultCache>,
+    traces: Option<TraceStore>,
     inject: FleetInject,
     /// Replica payloads held for the coordinator's fleet cache.
     replica: Mutex<ReplicaStore>,
@@ -269,6 +276,7 @@ pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, String> {
         jobs_run: AtomicU64::new(0),
         corrupt_budget: AtomicU64::new(opts.inject.corrupt_results),
         cache: opts.cache.clone(),
+        traces: opts.traces.clone(),
         inject: opts.inject.clone(),
         replica: Mutex::new(ReplicaStore::new(opts.replica_cap)),
         running: Mutex::new(HashSet::new()),
@@ -512,7 +520,7 @@ fn runner_loop(state: &WorkerState, rx: &Mutex<mpsc::Receiver<Assignment>>, kill
             // Straggle: hold the lease well past its deadline.
             std::thread::sleep(Duration::from_millis(state.inject.stall_ms));
         }
-        let result = run_job(&spec, state.cache.as_ref());
+        let result = run_job_from(&spec, state.cache.as_ref(), state.traces.as_ref());
         // Wall time the worker held the lease: the stall is deliberately
         // included so straggler injection shows up in the timing column.
         let worker_wall_ms = lease_start.elapsed().as_secs_f64() * 1_000.0;

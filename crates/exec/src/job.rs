@@ -8,6 +8,7 @@
 //! a dead worker.
 
 use crate::cache::ResultCache;
+use crate::trace_store::TraceStore;
 use gcl_sim::{config_fingerprint, kernel_fingerprint, Gpu, GpuConfig, LaunchStats, SimError};
 use gcl_sim::{fnv_fold, FNV_OFFSET};
 use gcl_workloads::{all_workloads, tiny_workloads, Workload};
@@ -37,6 +38,25 @@ pub enum ExecError {
         /// What went wrong (I/O error or parse diagnostic).
         error: String,
     },
+    /// Replay was requested but the trace container is missing or fails
+    /// structural validation (truncated, corrupt, bad magic). The CLI maps
+    /// this to exit code 2.
+    TraceUnreadable {
+        /// The container that could not be read.
+        path: String,
+        /// The structural rejection.
+        error: String,
+    },
+    /// Replay was requested and the container is structurally sound, but it
+    /// does not match the spec: format version skew, configuration
+    /// fingerprint drift, or a captured kernel the workload no longer has.
+    /// The CLI maps this to exit code 3.
+    TraceMismatch {
+        /// The container that mismatched.
+        path: String,
+        /// Which fingerprint or version disagreed, and how.
+        error: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -49,6 +69,12 @@ impl fmt::Display for ExecError {
             ExecError::Panic(msg) => write!(f, "job panicked: {msg}"),
             ExecError::Remote(msg) => write!(f, "{msg}"),
             ExecError::Io { path, error } => write!(f, "{path}: {error}"),
+            ExecError::TraceUnreadable { path, error } => {
+                write!(f, "cannot replay {path}: {error}")
+            }
+            ExecError::TraceMismatch { path, error } => {
+                write!(f, "trace {path} does not match this spec: {error}")
+            }
         }
     }
 }
@@ -203,6 +229,18 @@ fn simulate(spec: &JobSpec) -> Result<LaunchStats, ExecError> {
 /// simulate on a miss, store the fresh result back, and convert panics into
 /// [`ExecError::Panic`] so the caller's thread always survives.
 pub fn run_job(spec: &JobSpec, cache: Option<&ResultCache>) -> JobResult {
+    run_job_from(spec, cache, None)
+}
+
+/// [`run_job`], optionally sourcing results from captured traces instead of
+/// functional execution. With a [`TraceStore`], a cache miss replays the
+/// spec's container (structured failure if it is absent or mismatched —
+/// never a silent fallback to execution); without one, it simulates.
+pub fn run_job_from(
+    spec: &JobSpec,
+    cache: Option<&ResultCache>,
+    traces: Option<&TraceStore>,
+) -> JobResult {
     let fp = match spec.fingerprint() {
         Ok(fp) => Some(fp),
         Err(e) => {
@@ -228,7 +266,10 @@ pub fn run_job(spec: &JobSpec, cache: Option<&ResultCache>) -> JobResult {
         }
     }
     let t0 = Instant::now();
-    let outcome = match catch_unwind(AssertUnwindSafe(|| simulate(spec))) {
+    let outcome = match catch_unwind(AssertUnwindSafe(|| match traces {
+        Some(store) => store.replay(spec),
+        None => simulate(spec),
+    })) {
         Ok(r) => r,
         Err(payload) => Err(ExecError::Panic(panic_message(payload.as_ref()))),
     };

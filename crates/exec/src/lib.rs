@@ -17,6 +17,13 @@
 //!   proves it), a warm cache replays a whole suite without simulating
 //!   anything. Corrupt, truncated or version-skewed entries are silent
 //!   misses, never errors.
+//! * **Trace store** ([`trace_store`]): captured `GCLTRACE1` containers
+//!   filed under the same content address as cached results. `gcl suite
+//!   --replay` resolves each job to its trace by fingerprint and drives
+//!   the timing model from the recorded instruction streams instead of
+//!   functional execution — same digests, same statistics, a fraction of
+//!   the wall-clock. An absent or mismatched container is a structured
+//!   job failure, never a silent fallback to execution.
 //! * **Serving** ([`serve`], [`proto`], [`client`]): `gcl serve` wraps the
 //!   pool in a TCP daemon speaking newline-delimited JSON (submit / status
 //!   / result / shutdown), with a bounded queue that rejects submits under
@@ -59,6 +66,7 @@ pub mod pool;
 pub mod proto;
 pub mod serve;
 pub mod soak;
+pub mod trace_store;
 
 pub use cache::{CacheMiss, CachedResult, ResultCache, CACHE_MAGIC, CACHE_VERSION};
 pub use client::{ClientOptions, ServeClient, SessionClient, SessionSubmit};
@@ -66,9 +74,10 @@ pub use fleet::{
     run_worker, Coordinator, CoordinatorOptions, FleetInject, WorkerOptions, WorkerReport,
     DECOMMISSIONED, LEASE_EXPIRED, WORKER_DEAD,
 };
-pub use job::{run_job, ExecError, JobOutput, JobResult, JobSpec, SpecFingerprint};
+pub use job::{run_job, run_job_from, ExecError, JobOutput, JobResult, JobSpec, SpecFingerprint};
 pub use loadgen::{read_series, run_loadgen, LoadgenOptions, LoadgenReport};
 pub use pool::{backoff_ms, parallel_map, run_pool, JobEvent, PoolConfig};
 pub use proto::{FrameError, FrameReader, MAX_FRAME};
 pub use serve::{ServeError, ServeOptions, Server, QUEUE_FULL};
 pub use soak::{run_soak, SoakOptions, SoakReport};
+pub use trace_store::{TraceStore, DEFAULT_CAPTURE_BUDGET};

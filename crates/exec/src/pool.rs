@@ -10,7 +10,8 @@
 //! no worker ever touches `results/run.json`.
 
 use crate::cache::ResultCache;
-use crate::job::{run_job, JobResult, JobSpec};
+use crate::job::{run_job_from, JobResult, JobSpec};
+use crate::trace_store::TraceStore;
 use gcl_rng::Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -34,6 +35,11 @@ pub struct PoolConfig {
     pub backoff_seed: u64,
     /// Consult (and fill) this result cache.
     pub cache: Option<ResultCache>,
+    /// Source results by replaying captured traces from this store instead
+    /// of functional execution (`gcl suite --replay`). A job whose
+    /// container is absent or mismatched fails structurally; replay never
+    /// silently falls back to execution.
+    pub traces: Option<TraceStore>,
 }
 
 impl Default for PoolConfig {
@@ -43,6 +49,7 @@ impl Default for PoolConfig {
             retries: 0,
             backoff_seed: 0x006c_6367, // "gcl"
             cache: None,
+            traces: None,
         }
     }
 }
@@ -89,7 +96,7 @@ fn run_with_retries(
     let mut rng = Rng::new(cfg.backoff_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut attempts = 0u64;
     loop {
-        let mut result = run_job(spec, cfg.cache.as_ref());
+        let mut result = run_job_from(spec, cfg.cache.as_ref(), cfg.traces.as_ref());
         attempts += result.attempts;
         result.attempts = attempts;
         match &result.outcome {

@@ -45,4 +45,4 @@ pub use l2::{L2Partition, PartitionConfig, PartitionEvent};
 pub use mshr::Mshr;
 pub use request::{ClassTag, Cycle, MemRequest};
 pub use san::{ConservationKind, ConservationReport, ReqInfo, RequestLedger, SanStage};
-pub use wire::{Dec, Enc, WireError};
+pub use wire::{unzigzag, zigzag, Dec, Enc, WireError};

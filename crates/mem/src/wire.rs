@@ -96,6 +96,13 @@ impl Enc {
         self.buf.extend_from_slice(v);
     }
 
+    /// Append raw bytes with no framing. For callers that assemble a
+    /// length-prefixed region from multiple pieces (write the total with
+    /// [`Enc::usize`], then the pieces with `raw`).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
     /// Write a length-prefixed UTF-8 string.
     pub fn str(&mut self, v: &str) {
         self.bytes(v.as_bytes());
@@ -119,6 +126,36 @@ impl Enc {
             f(self, it);
         }
     }
+
+    /// Write a `u64` as an LEB128-style varint: 7 value bits per byte,
+    /// high bit set on every byte but the last. Small values take one
+    /// byte; the trace columns lean on this for delta streams.
+    pub fn varint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8 & 0x7f) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
+    }
+
+    /// Write an `i64` as a zigzag-mapped varint (see [`zigzag`]), the
+    /// encoding of choice for deltas that hover around zero in either
+    /// direction.
+    pub fn svarint(&mut self, v: i64) {
+        self.varint(zigzag(v));
+    }
+}
+
+/// Map an `i64` onto a `u64` so that values near zero — of either sign —
+/// stay small: 0 → 0, -1 → 1, 1 → 2, -2 → 3, ... The inverse is
+/// [`unzigzag`].
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// A bounds-checked cursor decoding the wire format from a byte slice.
@@ -241,6 +278,30 @@ impl<'a> Dec<'a> {
         }
         Ok(out)
     }
+
+    /// Read a varint written by [`Enc::varint`]. Rejects encodings longer
+    /// than ten bytes and non-canonical trailing bits that would overflow
+    /// a `u64`.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            let payload = (b & 0x7f) as u64;
+            if shift == 63 && payload > 1 {
+                return Err(WireError::Malformed("varint overflow"));
+            }
+            v |= payload << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::Malformed("varint too long"))
+    }
+
+    /// Read a zigzag varint written by [`Enc::svarint`].
+    pub fn svarint(&mut self) -> Result<i64, WireError> {
+        Ok(unzigzag(self.varint()?))
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +353,78 @@ mod tests {
         assert_eq!(d.bool(), Err(WireError::Malformed("bool tag")));
         let mut d = Dec::new(&[9]);
         assert!(matches!(d.opt(|d| d.u8()), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        let pins: &[(u64, usize)] = &[
+            (0, 1),
+            (0x7f, 1),
+            (0x80, 2),
+            (0x3fff, 2),
+            (0x4000, 3),
+            (u64::MAX, 10),
+        ];
+        for &(v, len) in pins {
+            let mut e = Enc::new();
+            e.varint(v);
+            let bytes = e.into_bytes();
+            assert_eq!(bytes.len(), len, "encoded width of {v:#x}");
+            let mut d = Dec::new(&bytes);
+            assert_eq!(d.varint().unwrap(), v);
+            assert!(d.is_done());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_and_runon_rejected() {
+        // Ten continuation bytes: an eleventh byte would be required.
+        let mut d = Dec::new(&[0x80; 10]);
+        assert!(matches!(d.varint(), Err(WireError::Malformed(_))));
+        // Tenth byte carries more than the single bit a u64 has left.
+        let mut d = Dec::new(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02]);
+        assert!(matches!(d.varint(), Err(WireError::Malformed(_))));
+        // Truncated mid-value.
+        let mut d = Dec::new(&[0x80, 0x80]);
+        assert_eq!(d.varint(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn zigzag_pins() {
+        for (v, z) in [(0i64, 0u64), (-1, 1), (1, 2), (-2, 3), (2, 4)] {
+            assert_eq!(zigzag(v), z);
+            assert_eq!(unzigzag(z), v);
+        }
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+    }
+
+    /// Random values across the full magnitude range round-trip through
+    /// varint/svarint, including packed back-to-back in one buffer.
+    #[test]
+    fn varint_property_roundtrip() {
+        gcl_rng::cases(0x7a5e_11a9, 300, |rng| {
+            let n = rng.usize_below(20) + 1;
+            let mut vals = Vec::with_capacity(n);
+            let mut e = Enc::new();
+            for _ in 0..n {
+                // Bias toward small magnitudes with the occasional full
+                // 64-bit value so every byte-width gets exercised.
+                let shift = rng.u32_below(64);
+                let u = rng.next_u64() >> shift;
+                let s = unzigzag(rng.next_u64() >> shift);
+                e.varint(u);
+                e.svarint(s);
+                vals.push((u, s));
+            }
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            for (u, s) in vals {
+                assert_eq!(d.varint().unwrap(), u);
+                assert_eq!(d.svarint().unwrap(), s);
+            }
+            assert!(d.is_done());
+        });
     }
 
     #[test]

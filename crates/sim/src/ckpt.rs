@@ -32,8 +32,9 @@ use std::path::Path;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GCLSNAP1";
 
 /// Current checkpoint format version. Bumped whenever the payload layout
-/// changes; restore rejects any other version.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// changes; restore rejects any other version. Version 3 added the replay
+/// fingerprint and per-warp replay cursors (trace-driven launches).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a checkpoint could not be loaded or restored. The payload of
 /// [`SimError::Checkpoint`](crate::SimError::Checkpoint).

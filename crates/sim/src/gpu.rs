@@ -5,6 +5,7 @@ use crate::ckpt::{
     config_fingerprint, kernel_fingerprint, CheckpointError, Snapshot, SNAPSHOT_VERSION,
 };
 use crate::fault::{AllocError, ConfigError, HangReport, MemFaultReport};
+use crate::replay::{warps_per_cta, LaunchInfo, LaunchReplay, ReplayError, TraceSink};
 use crate::san::{SanRun, SanitizerReport, TickError};
 use crate::sm::TickCtx;
 use crate::{
@@ -52,6 +53,10 @@ pub enum SimError {
     /// truncated image, format-version / configuration / kernel mismatch,
     /// or an i/o failure (see [`CheckpointError`]).
     Checkpoint(CheckpointError),
+    /// A trace-driven replay was rejected: wrong kernel, wrong stream
+    /// count for the geometry, or a resumed replay given a different trace
+    /// (see [`ReplayError`]).
+    Replay(ReplayError),
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +77,7 @@ impl fmt::Display for SimError {
             }
             SimError::Sanitizer(report) => write!(f, "sanitizer: {report}"),
             SimError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            SimError::Replay(e) => write!(f, "replay: {e}"),
         }
     }
 }
@@ -82,6 +88,7 @@ impl std::error::Error for SimError {
             SimError::InvalidConfig(e) => Some(e),
             SimError::Alloc(e) => Some(e),
             SimError::Checkpoint(e) => Some(e),
+            SimError::Replay(e) => Some(e),
             _ => None,
         }
     }
@@ -90,6 +97,12 @@ impl std::error::Error for SimError {
 impl From<CheckpointError> for SimError {
     fn from(e: CheckpointError) -> SimError {
         SimError::Checkpoint(e)
+    }
+}
+
+impl From<ReplayError> for SimError {
+    fn from(e: ReplayError) -> SimError {
+        SimError::Replay(e)
     }
 }
 
@@ -181,6 +194,11 @@ pub struct Gpu {
     /// restore, and continue — proving resume equivalence in-process.
     resume_selftest: Option<u64>,
     selftest_done: bool,
+    /// Trace-capture sink observing every launch's issue stream, if armed.
+    sink: Option<Box<dyn TraceSink>>,
+    /// Bounded debug trace armed for the stepwise driver
+    /// ([`Gpu::launch_step`]); collected with [`Gpu::take_debug_trace`].
+    debug_trace: Option<crate::Trace>,
 }
 
 /// Everything belonging to one in-flight launch. Serialized wholesale into
@@ -204,6 +222,9 @@ struct LaunchState {
     cycle: u64,
     last_progress: u64,
     derived: Option<Derived>,
+    /// `Some(trace fingerprint)` when this launch is a trace-driven replay;
+    /// every step must re-supply a trace with this fingerprint.
+    replay_fp: Option<u64>,
 }
 
 /// Kernel-derived launch state, recomputed (not serialized) because it is a
@@ -254,7 +275,35 @@ impl Gpu {
             hang_snapshot: None,
             resume_selftest: None,
             selftest_done: false,
+            sink: None,
+            debug_trace: None,
         })
+    }
+
+    /// Attach (or detach, with `None`) a trace-capture sink. The sink
+    /// observes every subsequent launch: a `begin_launch`/`end_launch`
+    /// bracket per completed launch, `abort_launch` for abandoned ones, and
+    /// one `issue` call per issued warp instruction.
+    pub fn set_trace_sink(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        self.sink = sink;
+    }
+
+    /// Detach and return the trace-capture sink, if one was attached.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Arm a bounded debug trace for launches driven stepwise through
+    /// [`Gpu::launch_step`] / [`Gpu::launch_resume`] (the whole-launch
+    /// equivalent of [`Gpu::launch_traced`]). Collect it with
+    /// [`Gpu::take_debug_trace`] after the launch.
+    pub fn arm_trace(&mut self, capacity: usize) {
+        self.debug_trace = Some(crate::Trace::new(capacity));
+    }
+
+    /// Detach and return the armed debug trace, if any.
+    pub fn take_debug_trace(&mut self) -> Option<crate::Trace> {
+        self.debug_trace.take()
     }
 
     /// The configuration.
@@ -326,6 +375,9 @@ impl Gpu {
     /// the failure. Warm-cache state is deliberately sacrificed — stale
     /// in-flight requests must never leak into the next launch.
     fn abandon_launch(&mut self) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.abort_launch();
+        }
         let cycle = self.active.as_ref().map_or(self.now, |a| a.cycle);
         self.active = None;
         for slot in self.l1s.iter_mut() {
@@ -366,8 +418,13 @@ impl Gpu {
         block: Dim3,
         params: &[u8],
     ) -> Result<LaunchStats, SimError> {
-        let mut trace = None;
-        self.launch_inner(kernel, grid, block, params, &mut trace)
+        // An armed debug trace (see `Gpu::arm_trace`) records through this
+        // entry point too, so `Runner`-driven workloads can be traced
+        // without changing their launch plumbing.
+        let mut trace = self.debug_trace.take();
+        let r = self.launch_inner(kernel, grid, block, params, &mut trace);
+        self.debug_trace = trace;
+        r
     }
 
     /// Run one kernel, recording up to `capacity` issued instructions.
@@ -398,7 +455,104 @@ impl Gpu {
     ) -> Result<LaunchStats, SimError> {
         self.launch_begin(kernel, grid, block, params)?;
         loop {
-            if let Some(stats) = self.step_inner(kernel, trace)? {
+            if let Some(stats) = self.step_inner(kernel, trace, None)? {
+                return Ok(stats);
+            }
+        }
+    }
+
+    /// Run one recorded launch of `trace` through the timing model, with no
+    /// functional execution: pcs, active masks, and resolved per-lane
+    /// addresses come from the trace; scheduling, coalescing, the cache
+    /// hierarchy, DRAM, the sanitizer ledger, and the event digest all run
+    /// exactly as in [`Gpu::launch`]. A faithful replay of a trace captured
+    /// under this configuration reproduces the execution-driven cycle
+    /// count, statistics, and digest byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Replay`] if `kernel` is not the kernel the trace was
+    /// captured from or the trace's stream count contradicts its geometry;
+    /// timing-model errors as for [`Gpu::launch`].
+    pub fn launch_replay(
+        &mut self,
+        kernel: &Kernel,
+        rep: &LaunchReplay,
+    ) -> Result<LaunchStats, SimError> {
+        self.launch_replay_begin(kernel, rep)?;
+        self.launch_replay_resume(kernel, rep)
+    }
+
+    /// Start a replay launch without running it; drive it with
+    /// [`Gpu::launch_replay_step`] or [`Gpu::launch_replay_resume`].
+    ///
+    /// # Errors
+    ///
+    /// As the validation phase of [`Gpu::launch_replay`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a launch is already active.
+    pub fn launch_replay_begin(
+        &mut self,
+        kernel: &Kernel,
+        rep: &LaunchReplay,
+    ) -> Result<(), SimError> {
+        let kfp = kernel_fingerprint(kernel);
+        if rep.kernel_fp != kfp {
+            return Err(ReplayError::KernelMismatch {
+                found: rep.kernel_fp,
+                expected: kfp,
+            }
+            .into());
+        }
+        let expected = rep.grid.count() * warps_per_cta(rep.block, self.cfg.warp_size);
+        if rep.streams.len() as u64 != expected {
+            return Err(ReplayError::StreamCount {
+                found: rep.streams.len() as u64,
+                expected,
+            }
+            .into());
+        }
+        // The parameter block is never read during replay (no functional
+        // execution); launch with an empty one.
+        self.launch_begin(kernel, rep.grid, rep.block, &[])?;
+        self.active
+            .as_mut()
+            .expect("launch_begin just succeeded")
+            .replay_fp = Some(rep.fingerprint());
+        Ok(())
+    }
+
+    /// Advance the active replay launch by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::launch_replay`], plus [`SimError::Checkpoint`] when no
+    /// launch is active.
+    pub fn launch_replay_step(
+        &mut self,
+        kernel: &Kernel,
+        rep: &LaunchReplay,
+    ) -> Result<Option<LaunchStats>, SimError> {
+        self.step_inner(kernel, &mut None, Some(rep))
+    }
+
+    /// Run the active replay launch — possibly one just restored from a
+    /// [`Snapshot`] — to completion.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gpu::launch_replay_step`]. A restored replay additionally
+    /// rejects a trace whose fingerprint differs from the snapshot's
+    /// ([`ReplayError::TraceMismatch`]).
+    pub fn launch_replay_resume(
+        &mut self,
+        kernel: &Kernel,
+        rep: &LaunchReplay,
+    ) -> Result<LaunchStats, SimError> {
+        loop {
+            if let Some(stats) = self.step_inner(kernel, &mut None, Some(rep))? {
                 return Ok(stats);
             }
         }
@@ -458,9 +612,19 @@ impl Gpu {
 
         self.blocktrack.begin_launch(kernel.name());
         let start_cycle = self.now;
+        let kernel_fp = kernel_fingerprint(kernel);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.begin_launch(&LaunchInfo {
+                kernel_fp,
+                kernel_name: kernel.name().to_string(),
+                grid,
+                block,
+                n_streams: grid.count() * warps_per_cta(block, cfg.warp_size),
+            });
+        }
         self.active = Some(LaunchState {
             kernel_name: kernel.name().to_string(),
-            kernel_fp: kernel_fingerprint(kernel),
+            kernel_fp,
             grid,
             block,
             params: params.to_vec(),
@@ -473,6 +637,7 @@ impl Gpu {
             cycle: start_cycle,
             last_progress: start_cycle,
             derived: None,
+            replay_fp: None,
         });
         self.selftest_done = false;
         Ok(())
@@ -487,7 +652,10 @@ impl Gpu {
     /// active or `kernel` differs from the kernel the launch was started
     /// (or snapshotted) with.
     pub fn launch_step(&mut self, kernel: &Kernel) -> Result<Option<LaunchStats>, SimError> {
-        self.step_inner(kernel, &mut None)
+        let mut t = self.debug_trace.take();
+        let r = self.step_inner(kernel, &mut t, None);
+        self.debug_trace = t;
+        r
     }
 
     /// Run the active launch — typically one just restored from a
@@ -497,11 +665,16 @@ impl Gpu {
     ///
     /// As [`Gpu::launch_step`].
     pub fn launch_resume(&mut self, kernel: &Kernel) -> Result<LaunchStats, SimError> {
-        loop {
-            if let Some(stats) = self.step_inner(kernel, &mut None)? {
-                return Ok(stats);
+        let mut t = self.debug_trace.take();
+        let r = loop {
+            match self.step_inner(kernel, &mut t, None) {
+                Ok(Some(stats)) => break Ok(stats),
+                Ok(None) => {}
+                Err(e) => break Err(e),
             }
-        }
+        };
+        self.debug_trace = t;
+        r
     }
 
     /// Whether a launch is currently in flight.
@@ -538,6 +711,7 @@ impl Gpu {
         &mut self,
         kernel: &Kernel,
         trace: &mut Option<crate::Trace>,
+        replay: Option<&LaunchReplay>,
     ) -> Result<Option<LaunchStats>, SimError> {
         // Resume self-test: prove interrupt-and-resume equivalence by
         // round-tripping the complete state through snapshot bytes
@@ -557,6 +731,15 @@ impl Gpu {
                     "no active launch to step",
                 )));
             };
+            // Cheap per-step guard: a replay launch must be driven with its
+            // trace and an execution launch without one. The expensive
+            // fingerprint comparison happens once, in the derived-init
+            // block below.
+            match (active.replay_fp, replay) {
+                (Some(_), None) => return Err(ReplayError::MissingReplay.into()),
+                (None, Some(_)) => return Err(ReplayError::NotReplayLaunch.into()),
+                _ => {}
+            }
             if active.derived.is_none() {
                 // First step since launch_begin or restore: verify the
                 // caller's kernel is the one the launch was started with
@@ -569,6 +752,24 @@ impl Gpu {
                         found: active.kernel_fp,
                         expected: kfp,
                     }));
+                }
+                if let (Some(fp), Some(rep)) = (active.replay_fp, replay) {
+                    // First step of a replay launch (or first after a
+                    // restore): the trace the caller supplies must be the
+                    // trace the launch was started with — the snapshot
+                    // records only a fingerprint, so warp cursors need
+                    // relinking to live record streams here.
+                    let found = rep.fingerprint();
+                    if found != fp {
+                        return Err(ReplayError::TraceMismatch {
+                            found,
+                            expected: fp,
+                        }
+                        .into());
+                    }
+                    for sm in &mut active.sms {
+                        sm.relink_replay(rep).map_err(SimError::Checkpoint)?;
+                    }
                 }
                 let classification = classify(kernel);
                 let cfg_ptx = gcl_ptx::Cfg::build(kernel);
@@ -613,7 +814,7 @@ impl Gpu {
                 };
                 if let Some(cta) = next {
                     let (x, y, z) = grid.coords(cta);
-                    sm.dispatch_cta(cta, (x, y, z), block, &cfg, kernel);
+                    sm.dispatch_cta(cta, (x, y, z), block, &cfg, kernel, replay);
                     progress = true;
                 }
             }
@@ -635,6 +836,7 @@ impl Gpu {
                     ntid: block,
                     nctaid: grid,
                     trace,
+                    sink: &mut self.sink,
                     san: san_run.as_mut(),
                 };
                 match sm.tick(&mut ctx) {
@@ -748,7 +950,13 @@ impl Gpu {
 
         match end {
             StepEnd::Continue => Ok(None),
-            StepEnd::Done => self.finish_launch(kernel).map(Some),
+            StepEnd::Done => {
+                let mut stats = self.finish_launch(kernel)?;
+                if let Some(t) = trace.as_ref() {
+                    stats.trace_dropped = t.dropped();
+                }
+                Ok(Some(stats))
+            }
             StepEnd::Fault(fault) => {
                 let classification = self
                     .active
@@ -844,6 +1052,12 @@ impl Gpu {
             }
             digest = Some(d);
         }
+        // Capture hook: the launch completed cleanly, so the recorded
+        // stream set is complete — seal it. (Faulted launches go through
+        // `abandon_launch`, which discards the open capture instead.)
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.end_launch();
+        }
         let classification = match derived {
             Some(d) => d.classification,
             None => classify(kernel),
@@ -921,6 +1135,7 @@ impl Gpu {
                 }
                 e.bytes(&a.params);
                 e.u32(a.shared_bytes);
+                e.opt(&a.replay_fp, |e, &v| e.u64(v));
                 e.u64(a.start_cycle);
                 e.u64(a.cycle);
                 e.u64(a.last_progress);
@@ -1016,6 +1231,7 @@ impl Gpu {
             };
             let params = d.bytes()?.to_vec();
             let shared_bytes = d.u32()?;
+            let replay_fp = d.opt(|d| d.u64())?;
             let start_cycle = d.u64()?;
             let cycle = d.u64()?;
             let last_progress = d.u64()?;
@@ -1062,6 +1278,7 @@ impl Gpu {
                     cycle,
                     last_progress,
                     derived: None,
+                    replay_fp,
                 }),
                 l1s,
             )

@@ -77,6 +77,7 @@ mod gmem;
 mod gpu;
 mod grid;
 mod loadtrack;
+mod replay;
 mod san;
 mod scoreboard;
 mod simt;
@@ -102,6 +103,10 @@ pub use gmem::{GlobalMem, HEAP_BASE};
 pub use gpu::{pack_params, Gpu, SimError};
 pub use grid::Dim3;
 pub use loadtrack::{ClassAgg, LoadTracker, PcReqAgg};
+pub use replay::{
+    space_code, space_from_code, warps_per_cta, CapturedLaunch, LaunchInfo, LaunchReplay,
+    MemorySink, ReplayError, ReplayKind, ReplayRecord, TraceSink,
+};
 pub use san::{
     check_digests, fnv_fold, fnv_fold_bytes, DeterminismReport, RaceAccess, RaceReport, SanInject,
     SanRun, SanitizerReport, TickError, FNV_OFFSET,
@@ -112,7 +117,7 @@ pub use sm::{bank_conflict_degree, Sm, SmStats, TickCtx};
 pub use stats::{LaunchStats, PcKey};
 pub use trace::{Trace, TraceEvent};
 pub use value::{canon, eval_alu, eval_atom, eval_cmp, eval_cvt, eval_mad, eval_sfu, eval_unary};
-pub use warp::{lanes, ExecCtx, MemAccess, StepResult, Warp};
+pub use warp::{lanes, ExecCtx, MemAccess, ReplayCursor, StepResult, Warp};
 pub use warp_sched::WarpScheduler;
 
 pub use gcl_mem::{ConservationKind, ConservationReport, RequestLedger, SanStage};

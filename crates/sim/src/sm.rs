@@ -2,8 +2,9 @@
 //! coalescing and L1 access retry, writeback, barriers and CTA retirement.
 
 use crate::fault::{MemFaultReport, SmSnapshot, WarpSnapshot};
+use crate::replay::{warps_per_cta, LaunchReplay, ReplayKind, TraceSink};
 use crate::san::{SanRun, SmSan, TickError};
-use crate::warp::{ExecCtx, MemAccess, StepResult, Warp};
+use crate::warp::{ExecCtx, MemAccess, ReplayCursor, StepResult, Warp};
 use crate::{
     coalesce, BlockTracker, Dim3, GlobalMem, GpuConfig, LoadTracker, Scoreboard, Trace,
     WarpScheduler,
@@ -177,6 +178,8 @@ pub struct TickCtx<'a> {
     pub nctaid: Dim3,
     /// Optional bounded issue trace.
     pub trace: &'a mut Option<Trace>,
+    /// Optional trace-capture sink observing every issued instruction.
+    pub sink: &'a mut Option<Box<dyn TraceSink>>,
     /// Per-launch sanitizer state (ledger + injection), present when
     /// [`GpuConfig::sanitize`] is on.
     pub san: Option<&'a mut SanRun>,
@@ -297,6 +300,33 @@ impl Sm {
         self.san.as_ref().map(|s| s.digest)
     }
 
+    /// Re-attach stream contents to replay cursors decoded from a snapshot
+    /// (only the cursor position is serialized). Validates each cursor
+    /// against the supplied trace.
+    pub(crate) fn relink_replay(
+        &mut self,
+        rep: &LaunchReplay,
+    ) -> Result<(), crate::ckpt::CheckpointError> {
+        use crate::ckpt::CheckpointError;
+        for warp in self.warps.iter_mut().flatten() {
+            let Some(c) = &mut warp.replay else { continue };
+            if c.recs.is_some() {
+                continue;
+            }
+            let stream = rep
+                .streams
+                .get(c.stream as usize)
+                .ok_or(CheckpointError::Malformed("replay stream out of range"))?;
+            if c.pos > stream.len() {
+                return Err(CheckpointError::Malformed(
+                    "replay cursor past end of stream",
+                ));
+            }
+            c.recs = Some(stream.clone());
+        }
+        Ok(())
+    }
+
     /// Place one CTA onto this SM.
     ///
     /// # Panics
@@ -310,6 +340,7 @@ impl Sm {
         ntid: Dim3,
         cfg: &GpuConfig,
         kernel: &Kernel,
+        replay: Option<&LaunchReplay>,
     ) {
         let cta_slot = self
             .cta_slots
@@ -327,7 +358,7 @@ impl Sm {
             .collect();
         assert_eq!(free_slots.len(), n_warps, "not enough free warp slots");
         for (w, &slot) in free_slots.iter().enumerate() {
-            self.warps[slot] = Some(Warp::new(
+            let mut warp = Warp::new(
                 slot,
                 cta_slot,
                 linear_cta,
@@ -336,7 +367,16 @@ impl Sm {
                 ntid,
                 cfg.warp_size,
                 kernel.num_regs(),
-            ));
+            );
+            if let Some(rep) = replay {
+                let stream = linear_cta * warps_per_cta(ntid, cfg.warp_size) + w as u64;
+                warp.replay = Some(ReplayCursor {
+                    stream,
+                    pos: 0,
+                    recs: Some(rep.streams[stream as usize].clone()),
+                });
+            }
+            self.warps[slot] = Some(warp);
             self.warp_age[slot] = self.next_age;
             self.next_age += 1;
             self.pending_ops[slot] = 0;
@@ -617,7 +657,11 @@ impl Sm {
         let cta_slot = warp.cta_slot;
         let pc = warp.pc();
         let inst_unit = warp.next_inst(ctx.kernel).unwrap().op.unit();
-        let result = {
+        let result = if warp.replay.is_some() {
+            // Replay: re-inject the recorded step outcome; no functional
+            // execution (a recorded stream cannot fault).
+            Ok(warp.step_replay())
+        } else {
             let mut ectx = ExecCtx {
                 kernel: ctx.kernel,
                 reconv: ctx.reconv,
@@ -657,8 +701,8 @@ impl Sm {
             s.fold(((pc as u64) << 32) | u64::from(active_mask));
         }
         let linear_cta = warp.linear_cta;
-        if let Some(trace) = ctx.trace.as_mut() {
-            trace.record(
+        if ctx.trace.is_some() || ctx.sink.is_some() {
+            let ev = Trace::event(
                 cycle,
                 self.id,
                 slot as u16,
@@ -666,6 +710,15 @@ impl Sm {
                 pc as u32,
                 active_mask,
             );
+            if let Some(trace) = ctx.trace.as_mut() {
+                trace.record_event(ev);
+            }
+            if let Some(sink) = ctx.sink.as_deref_mut() {
+                let stream = linear_cta * warps_per_cta(ctx.ntid, ctx.cfg.warp_size)
+                    + u64::from(warp.warp_in_cta);
+                let kind = ReplayKind::of_step(&result, warp.at_barrier);
+                sink.issue(stream, &ev, &kind);
+            }
         }
         self.warps[slot] = Some(warp);
 

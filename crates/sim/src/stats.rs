@@ -75,6 +75,11 @@ pub struct LaunchStats {
     /// Merging folds digests together so a workload's digest covers every
     /// launch.
     pub digest: Option<u64>,
+    /// Events the armed debug trace (`gcl run --trace`) had dropped by the
+    /// end of this launch. The trace buffer persists across launches, so
+    /// the count is cumulative; merging keeps the maximum, which is the
+    /// final total.
+    pub trace_dropped: u64,
 }
 
 impl LaunchStats {
@@ -217,6 +222,7 @@ impl LaunchStats {
         e.usize(self.static_loads.0);
         e.usize(self.static_loads.1);
         e.opt(&self.digest, |e, &d| e.u64(d));
+        e.u64(self.trace_dropped);
     }
 
     /// Wire-decode stats written by [`ckpt_encode`](Self::ckpt_encode).
@@ -271,6 +277,7 @@ impl LaunchStats {
         })?;
         let static_loads = (d.usize()?, d.usize()?);
         let digest = d.opt(|d| d.u64())?;
+        let trace_dropped = d.u64()?;
         Ok(LaunchStats {
             name,
             launches,
@@ -284,6 +291,7 @@ impl LaunchStats {
             per_pc,
             static_loads,
             digest,
+            trace_dropped,
         })
     }
 
@@ -311,6 +319,7 @@ impl LaunchStats {
             (Some(a), Some(b)) => Some(crate::san::fnv_fold(a, b)),
             (a, b) => a.or(b),
         };
+        self.trace_dropped = self.trace_dropped.max(other.trace_dropped);
     }
 
     /// Merge one per-pc aggregate in by key.

@@ -51,6 +51,26 @@ impl Trace {
         }
     }
 
+    /// Build one issue event (the schema shared by the bounded debug trace
+    /// and the [`TraceSink`](crate::TraceSink) capture hook).
+    pub fn event(
+        cycle: Cycle,
+        sm: u16,
+        warp_slot: u16,
+        cta: u64,
+        pc: u32,
+        active: u32,
+    ) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            sm,
+            warp_slot,
+            cta,
+            pc,
+            active,
+        }
+    }
+
     /// Record one issue event.
     pub fn record(
         &mut self,
@@ -61,15 +81,13 @@ impl Trace {
         pc: u32,
         active: u32,
     ) {
+        self.record_event(Self::event(cycle, sm, warp_slot, cta, pc, active));
+    }
+
+    /// Record one already-built issue event.
+    pub fn record_event(&mut self, ev: TraceEvent) {
         if self.events.len() < self.capacity {
-            self.events.push(TraceEvent {
-                cycle,
-                sm,
-                warp_slot,
-                cta,
-                pc,
-                active,
-            });
+            self.events.push(ev);
         } else {
             self.dropped += 1;
         }

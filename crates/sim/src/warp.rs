@@ -9,6 +9,7 @@
 //! matching the synchronization the workloads actually use.
 
 use crate::fault::{AccessKind, MemViolation};
+use crate::replay::{mem_access_of_record, ReplayKind, ReplayRecord};
 use crate::value::{
     canon, eval_alu, eval_atom, eval_cmp, eval_cvt, eval_mad, eval_sfu, eval_unary,
 };
@@ -114,6 +115,32 @@ pub struct Warp {
     /// The named barrier this warp is waiting at, if any.
     pub at_barrier: Option<u32>,
     warp_size: u32,
+    /// Replay cursor: when set, this warp is timing-replayed from a
+    /// recorded stream instead of functionally executed.
+    pub replay: Option<ReplayCursor>,
+}
+
+/// Position of a replaying warp within its recorded stream.
+#[derive(Debug, Clone)]
+pub struct ReplayCursor {
+    /// Stream index within the launch's trace
+    /// (`linear_cta * warps_per_cta + warp_in_cta`).
+    pub stream: u64,
+    /// Next record to issue.
+    pub pos: usize,
+    /// The records. `None` only between checkpoint restore and the relink
+    /// performed on the first subsequent step (the stream contents are not
+    /// serialized into snapshots; the trace is re-supplied at resume and
+    /// validated by fingerprint).
+    pub recs: Option<std::sync::Arc<[ReplayRecord]>>,
+}
+
+impl ReplayCursor {
+    fn recs(&self) -> &[ReplayRecord] {
+        self.recs
+            .as_deref()
+            .expect("replay cursor used before relink")
+    }
 }
 
 impl Warp {
@@ -157,22 +184,32 @@ impl Warp {
             ctaid,
             at_barrier: None,
             warp_size,
+            replay: None,
         }
     }
 
-    /// Whether every lane has retired.
+    /// Whether every lane has retired (replay: the stream is exhausted).
     pub fn is_finished(&self) -> bool {
-        self.stack.is_empty()
+        match &self.replay {
+            Some(c) => c.pos >= c.recs().len(),
+            None => self.stack.is_empty(),
+        }
     }
 
     /// Current pc (only valid while not finished).
     pub fn pc(&self) -> usize {
-        self.stack.pc()
+        match &self.replay {
+            Some(c) => c.recs()[c.pos].pc as usize,
+            None => self.stack.pc(),
+        }
     }
 
     /// Lanes that would execute the next instruction.
     pub fn active_mask(&self) -> u32 {
-        self.stack.active_mask(self.exited)
+        match &self.replay {
+            Some(c) => c.recs()[c.pos].mask,
+            None => self.stack.active_mask(self.exited),
+        }
     }
 
     /// The next instruction to issue, or `None` if finished.
@@ -214,6 +251,12 @@ impl Warp {
         e.u32(self.ctaid.2);
         e.opt(&self.at_barrier, |e, &b| e.u32(b));
         e.u32(self.warp_size);
+        // Replay cursor position only; the stream contents are re-supplied
+        // (and fingerprint-validated) at resume, then relinked.
+        e.opt(&self.replay, |e, c| {
+            e.u64(c.stream);
+            e.u64(c.pos as u64);
+        });
     }
 
     /// Checkpoint-decode a warp written by
@@ -236,6 +279,15 @@ impl Warp {
         let ctaid = (d.u32()?, d.u32()?, d.u32()?);
         let at_barrier = d.opt(|d| d.u32())?;
         let warp_size = d.u32()?;
+        let replay = d.opt(|d| {
+            let stream = d.u64()?;
+            let pos = d.u64()? as usize;
+            Ok(ReplayCursor {
+                stream,
+                pos,
+                recs: None,
+            })
+        })?;
         if warp_size == 0 || lane_tid.len() != warp_size as usize {
             return Err(gcl_mem::WireError::Malformed("warp lane table size"));
         }
@@ -255,6 +307,7 @@ impl Warp {
             ctaid,
             at_barrier,
             warp_size,
+            replay,
         })
     }
 
@@ -570,6 +623,38 @@ impl Warp {
 
         self.stack.advance();
         Ok(result)
+    }
+
+    /// Issue the next recorded instruction of a replaying warp: consume one
+    /// [`ReplayRecord`] and rebuild the [`StepResult`] the SM's issue path
+    /// expects. No functional execution happens — registers and device
+    /// memory are untouched; only the timing-relevant payload (destination
+    /// register, resolved lane addresses, barrier id) is re-injected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp has no replay cursor, the cursor has not been
+    /// relinked after a restore, or the stream is exhausted.
+    pub fn step_replay(&mut self) -> StepResult {
+        let c = self.replay.as_mut().expect("step_replay without a cursor");
+        let recs = c.recs.as_deref().expect("replay cursor used before relink");
+        let rec = &recs[c.pos];
+        c.pos += 1;
+        match &rec.kind {
+            ReplayKind::Alu { dst } => StepResult::Alu { dst: *dst },
+            ReplayKind::Mem { .. } => StepResult::Mem(
+                mem_access_of_record(rec.pc, &rec.kind).expect("Mem record reconstructs"),
+            ),
+            ReplayKind::Branch { diverged } => StepResult::Branch {
+                diverged: *diverged,
+            },
+            ReplayKind::Barrier { id } => {
+                self.at_barrier = Some(*id);
+                StepResult::Barrier
+            }
+            ReplayKind::Exit => StepResult::Exit,
+            ReplayKind::Predicated => StepResult::Predicated,
+        }
     }
 }
 

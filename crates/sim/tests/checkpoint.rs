@@ -7,8 +7,10 @@
 
 use gcl_ptx::{CmpOp, Kernel, KernelBuilder, Special, Type};
 use gcl_sim::{
-    pack_params, CheckpointError, Dim3, Gpu, GpuConfig, SimError, Snapshot, SNAPSHOT_VERSION,
+    pack_params, CheckpointError, Dim3, Gpu, GpuConfig, MemorySink, SimError, Snapshot,
+    SNAPSHOT_VERSION,
 };
+use std::sync::{Arc, Mutex};
 
 const N: u32 = 256;
 
@@ -311,6 +313,54 @@ fn step_without_launch_is_an_error() {
         gpu.launch_resume(&kernel),
         Err(SimError::Checkpoint(CheckpointError::Malformed(_)))
     ));
+}
+
+/// Replay ∘ checkpoint composition, from the checkpoint side: a snapshot
+/// taken mid-flight through a *replay-driven* launch of the divergent
+/// gather workload must serialize the per-warp replay cursors through
+/// `to_bytes`/`from_bytes`, restore into a fresh GPU, and resume — with
+/// the original trace — to the digest and cycle count of the uninterrupted
+/// run. Divergent trip counts make the cursors genuinely non-uniform, which
+/// `replay.rs`'s uniform gather does not; the replay-side rejection matrix
+/// (wrong trace, mode confusion) lives there.
+#[test]
+fn replay_launch_checkpoints_like_an_execution_launch() {
+    let (ref_digest, ref_cycles, _) = reference();
+    let kernel = workload();
+    let (grid, block) = launch_dims();
+
+    // Capture the reference launch through a memory sink.
+    let (mut gpu, params, _) = setup(san_cfg());
+    let sink = Arc::new(Mutex::new(MemorySink::new()));
+    gpu.set_trace_sink(Some(Box::new(sink.clone())));
+    let stats = gpu.launch(&kernel, grid, block, &params).unwrap();
+    gpu.set_trace_sink(None);
+    assert_eq!(stats.digest.unwrap(), ref_digest, "capture is invisible");
+    let rep = Arc::try_unwrap(sink)
+        .expect("capture sink detached")
+        .into_inner()
+        .unwrap()
+        .into_replays()
+        .remove(0);
+
+    for off in [0, ref_cycles / 2, ref_cycles - 1] {
+        let (mut gpu, _, _) = setup(san_cfg());
+        gpu.launch_replay_begin(&kernel, &rep).unwrap();
+        while gpu.launch_cycle() != Some(off) {
+            assert!(
+                gpu.launch_replay_step(&kernel, &rep).unwrap().is_none(),
+                "replay completed before offset {off}"
+            );
+        }
+        let snap = Snapshot::from_bytes(&gpu.snapshot().to_bytes()).unwrap();
+
+        let (mut fresh, _, _) = setup(san_cfg());
+        fresh.restore(&snap).unwrap();
+        assert!(fresh.launch_active());
+        let stats = fresh.launch_replay_resume(&kernel, &rep).unwrap();
+        assert_eq!(stats.digest.unwrap(), ref_digest, "digest at offset {off}");
+        assert_eq!(stats.cycles, ref_cycles, "cycles at offset {off}");
+    }
 }
 
 /// The hang watchdog leaves a parseable snapshot of the wedged launch

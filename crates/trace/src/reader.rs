@@ -1,0 +1,170 @@
+//! Trace container reading: full structural validation — magic, version,
+//! whole-file checksum, per-section checksums, and every column decoded and
+//! bounds-checked — before any launch is handed to replay.
+
+use crate::codec::decode_stream;
+use crate::{TraceError, TRACE_MAGIC, TRACE_VERSION};
+use gcl_mem::Dec;
+use gcl_sim::{fnv_fold_bytes, Dim3, LaunchReplay, FNV_OFFSET};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A fully validated trace container.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    /// Configuration fingerprint of the capturing GPU
+    /// ([`gcl_sim::config_fingerprint`]); replay must run under a
+    /// configuration with the same fingerprint to reproduce timing.
+    pub config_fp: u64,
+    /// The container's trailing whole-file checksum — its content address.
+    pub file_fp: u64,
+    /// Captured launches, in capture order.
+    pub launches: Vec<TraceLaunch>,
+}
+
+impl TraceFile {
+    /// Warp instructions recorded across all launches.
+    pub fn n_records(&self) -> u64 {
+        self.launches.iter().map(|l| l.replay.n_records()).sum()
+    }
+}
+
+/// One captured launch.
+#[derive(Debug, Clone)]
+pub struct TraceLaunch {
+    /// Kernel name at capture (diagnostic; the fingerprint inside
+    /// [`LaunchReplay`] is authoritative).
+    pub kernel_name: String,
+    /// The replayable launch.
+    pub replay: LaunchReplay,
+}
+
+/// Read and validate a trace container from disk.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the file cannot be read; otherwise as
+/// [`parse_trace`].
+pub fn read_trace(path: impl AsRef<Path>) -> Result<TraceFile, TraceError> {
+    parse_trace(&std::fs::read(path)?)
+}
+
+/// Validate and decode a trace container from bytes.
+///
+/// # Errors
+///
+/// * [`TraceError::BadMagic`] — not a trace file.
+/// * [`TraceError::VersionMismatch`] — written by another format version.
+/// * [`TraceError::Truncated`] — bytes end before a declared structure.
+/// * [`TraceError::ChecksumMismatch`] — file or section checksum failed.
+/// * [`TraceError::Malformed`] — a structural invariant did not hold.
+pub fn parse_trace(bytes: &[u8]) -> Result<TraceFile, TraceError> {
+    if bytes.len() < 8 {
+        return Err(TraceError::Truncated);
+    }
+    if bytes[..8] != TRACE_MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    // Header + trailing checksum. Version is checked before the checksum so
+    // a future-format file reports the version skew, not a checksum error.
+    const HEADER: usize = 8 + 4 + 8 + 8;
+    if bytes.len() < HEADER + 8 {
+        return Err(TraceError::Truncated);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("header slice"));
+    if version != TRACE_VERSION {
+        return Err(TraceError::VersionMismatch {
+            found: version,
+            expected: TRACE_VERSION,
+        });
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let declared = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("tail slice"));
+    let file_fp = fnv_fold_bytes(FNV_OFFSET, body);
+    if declared != file_fp {
+        return Err(TraceError::ChecksumMismatch { what: "file" });
+    }
+    let config_fp = u64::from_le_bytes(bytes[12..20].try_into().expect("header slice"));
+    let n_launches = u64::from_le_bytes(bytes[20..28].try_into().expect("header slice"));
+    let mut rest = &body[HEADER..];
+    let mut launches = Vec::new();
+    for _ in 0..n_launches {
+        if rest.len() < 8 {
+            return Err(TraceError::Truncated);
+        }
+        let len = u64::from_le_bytes(rest[..8].try_into().expect("section slice"));
+        let len = usize::try_from(len).map_err(|_| TraceError::Malformed("section length"))?;
+        rest = &rest[8..];
+        if rest.len() < len + 8 {
+            return Err(TraceError::Truncated);
+        }
+        let payload = &rest[..len];
+        let declared = u64::from_le_bytes(rest[len..len + 8].try_into().expect("section slice"));
+        if fnv_fold_bytes(FNV_OFFSET, payload) != declared {
+            return Err(TraceError::ChecksumMismatch {
+                what: "launch section",
+            });
+        }
+        rest = &rest[len + 8..];
+        launches.push(decode_launch(payload)?);
+    }
+    if !rest.is_empty() {
+        return Err(TraceError::Malformed("trailing bytes after last section"));
+    }
+    Ok(TraceFile {
+        config_fp,
+        file_fp,
+        launches,
+    })
+}
+
+fn decode_launch(payload: &[u8]) -> Result<TraceLaunch, TraceError> {
+    let mut d = Dec::new(payload);
+    let kernel_fp = d.u64()?;
+    let kernel_name = d.str()?;
+    let grid = Dim3 {
+        x: d.u32()?,
+        y: d.u32()?,
+        z: d.u32()?,
+    };
+    let block = Dim3 {
+        x: d.u32()?,
+        y: d.u32()?,
+        z: d.u32()?,
+    };
+    let n_streams = d.u64()?;
+    let n_streams =
+        usize::try_from(n_streams).map_err(|_| TraceError::Malformed("stream count"))?;
+    // Each stream takes at least 5 bytes (count varint + four length
+    // prefixes... the prefixes alone are 32), so bound before allocating.
+    if n_streams > payload.len() {
+        return Err(TraceError::Malformed("stream count exceeds payload"));
+    }
+    let mut out = Vec::with_capacity(n_streams);
+    for _ in 0..n_streams {
+        let n = d.varint()?;
+        let pc_col = d.bytes()?;
+        let mask_col = d.bytes()?;
+        let tag_col = d.bytes()?;
+        let payload_col = d.bytes()?;
+        out.push(Arc::from(decode_stream(
+            n,
+            pc_col,
+            mask_col,
+            tag_col,
+            payload_col,
+        )?));
+    }
+    if !d.is_done() {
+        return Err(TraceError::Malformed("trailing bytes in launch payload"));
+    }
+    Ok(TraceLaunch {
+        kernel_name,
+        replay: LaunchReplay {
+            kernel_fp,
+            grid,
+            block,
+            streams: out,
+        },
+    })
+}

@@ -1,0 +1,373 @@
+//! Capacity-bounded trace capture: a [`TraceSink`] that encodes issued
+//! instructions straight into per-stream columns, spills column chunks to a
+//! scratch file when the in-memory budget is exceeded, seals each completed
+//! launch into a checksummed section on disk, and atomically publishes the
+//! final container on [`TraceWriter::finish`].
+
+use crate::codec::{encode_record, ColBufs, ColState};
+use crate::{TraceError, TRACE_MAGIC, TRACE_VERSION};
+use gcl_mem::Enc;
+use gcl_sim::{fnv_fold_bytes, LaunchInfo, ReplayKind, TraceEvent, TraceSink, FNV_OFFSET};
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// What a completed capture produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Final container path.
+    pub path: PathBuf,
+    /// Launches captured (aborted launches are discarded, not counted).
+    pub launches: u64,
+    /// Warp instructions recorded across all launches.
+    pub records: u64,
+    /// Container size in bytes.
+    pub bytes: u64,
+    /// The container's trailing whole-file checksum — a content address
+    /// for the trace (two captures of the same deterministic run produce
+    /// the same fingerprint).
+    pub file_fp: u64,
+}
+
+/// One launch being captured.
+#[derive(Debug)]
+struct CurLaunch {
+    info: LaunchInfo,
+    bufs: Vec<ColBufs>,
+    states: Vec<ColState>,
+    /// Records per stream, across spills.
+    totals: Vec<u64>,
+    buffered: usize,
+    spill: Option<BufWriter<File>>,
+}
+
+/// A [`TraceSink`] writing the `GCLTRACE1` container.
+///
+/// Memory is bounded during capture: when the per-launch column buffers
+/// exceed the configured capacity, they are spilled as chunks to a scratch
+/// file (`<out>.spill`); the per-stream delta predictors persist across
+/// spills, so sealing a launch only concatenates chunk columns. Completed
+/// launch sections stream to a second scratch file (`<out>.sections`), and
+/// [`finish`](TraceWriter::finish) assembles the final container next to it
+/// and renames it into place — a crash mid-capture never leaves a
+/// half-written container at the destination.
+///
+/// The [`TraceSink`] methods cannot return errors, so I/O failures are
+/// latched and surfaced by `finish` (subsequent events are dropped).
+#[derive(Debug)]
+pub struct TraceWriter {
+    out_path: PathBuf,
+    sections_path: PathBuf,
+    spill_path: PathBuf,
+    sections: Option<BufWriter<File>>,
+    config_fp: u64,
+    cap_bytes: usize,
+    launches: u64,
+    records: u64,
+    cur: Option<CurLaunch>,
+    err: Option<std::io::Error>,
+}
+
+impl TraceWriter {
+    /// Create a writer that will publish to `path` on `finish`.
+    ///
+    /// `config_fp` is the capturing GPU's configuration fingerprint
+    /// ([`gcl_sim::config_fingerprint`]); replay validates against it.
+    /// `cap_bytes` bounds the in-memory column buffers per launch (the
+    /// spill threshold); 0 spills after every event.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] when the scratch file cannot be created.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        config_fp: u64,
+        cap_bytes: usize,
+    ) -> Result<TraceWriter, TraceError> {
+        let out_path = path.into();
+        let sections_path = scratch_path(&out_path, "sections");
+        let spill_path = scratch_path(&out_path, "spill");
+        let sections = Some(BufWriter::new(rw_create(&sections_path)?));
+        Ok(TraceWriter {
+            out_path,
+            sections_path,
+            spill_path,
+            sections,
+            config_fp,
+            cap_bytes,
+            launches: 0,
+            records: 0,
+            cur: None,
+            err: None,
+        })
+    }
+
+    /// Spill every non-empty stream's columns as one chunk each, keeping
+    /// predictor state.
+    fn spill(&mut self) -> std::io::Result<()> {
+        let cur = self.cur.as_mut().expect("spill without open launch");
+        let spill = match cur.spill.as_mut() {
+            Some(s) => s,
+            None => {
+                cur.spill = Some(BufWriter::new(rw_create(&self.spill_path)?));
+                cur.spill.as_mut().expect("just created")
+            }
+        };
+        for (stream, bufs) in cur.bufs.iter_mut().enumerate() {
+            if bufs.n == 0 {
+                continue;
+            }
+            let taken = std::mem::take(bufs);
+            spill.write_all(&(stream as u64).to_le_bytes())?;
+            spill.write_all(&taken.n.to_le_bytes())?;
+            for col in [
+                taken.pc.into_bytes(),
+                taken.mask.into_bytes(),
+                taken.tag.into_bytes(),
+                taken.payload.into_bytes(),
+            ] {
+                spill.write_all(&(col.len() as u64).to_le_bytes())?;
+                spill.write_all(&col)?;
+            }
+        }
+        cur.buffered = 0;
+        Ok(())
+    }
+
+    /// Seal the open launch into one checksummed section on the sections
+    /// scratch file.
+    fn seal_launch(&mut self) -> std::io::Result<()> {
+        let spilled = self
+            .cur
+            .as_ref()
+            .expect("seal without open launch")
+            .spill
+            .is_some();
+        if spilled {
+            // Flush the tail, then regroup chunk columns per stream.
+            self.spill()?;
+        }
+        let cur = self.cur.take().expect("seal without open launch");
+        let mut e = Enc::new();
+        e.u64(cur.info.kernel_fp);
+        e.str(&cur.info.kernel_name);
+        for v in [
+            cur.info.grid.x,
+            cur.info.grid.y,
+            cur.info.grid.z,
+            cur.info.block.x,
+            cur.info.block.y,
+            cur.info.block.z,
+        ] {
+            e.u32(v);
+        }
+        e.u64(cur.info.n_streams);
+        if let Some(spill) = cur.spill {
+            let mut file = spill.into_inner().map_err(|e| e.into_error())?;
+            file.flush()?;
+            // Index the chunk file: per stream, the (offset, len) of each
+            // chunk's four columns, in chunk order.
+            let n_streams = cur.bufs.len();
+            let mut index: Vec<Vec<[(u64, u64); 4]>> = vec![Vec::new(); n_streams];
+            let end = file.seek(SeekFrom::End(0))?;
+            let mut pos = file.seek(SeekFrom::Start(0))?;
+            let mut head = [0u8; 16];
+            while pos < end {
+                file.read_exact(&mut head)?;
+                let stream = u64::from_le_bytes(head[..8].try_into().expect("slice"));
+                pos += 16;
+                let mut cols = [(0u64, 0u64); 4];
+                for c in &mut cols {
+                    let mut lenb = [0u8; 8];
+                    file.read_exact(&mut lenb)?;
+                    let len = u64::from_le_bytes(lenb);
+                    pos += 8;
+                    *c = (pos, len);
+                    pos = file.seek(SeekFrom::Start(pos + len))?;
+                }
+                index[usize::try_from(stream).expect("stream index")].push(cols);
+            }
+            // Emit each stream: record count, then the four columns as the
+            // in-order concatenation of its chunks — one column blob in
+            // memory at a time.
+            for (stream, chunks) in index.iter().enumerate() {
+                e.varint(cur.totals[stream]);
+                for col in 0..4 {
+                    let total: u64 = chunks.iter().map(|c| c[col].1).sum();
+                    e.usize(usize::try_from(total).expect("column size"));
+                    for c in chunks {
+                        let (off, len) = c[col];
+                        file.seek(SeekFrom::Start(off))?;
+                        let mut blob = vec![0u8; usize::try_from(len).expect("chunk size")];
+                        file.read_exact(&mut blob)?;
+                        e.raw(&blob);
+                    }
+                }
+            }
+            drop(file);
+            std::fs::remove_file(&self.spill_path)?;
+        } else {
+            for (stream, bufs) in cur.bufs.into_iter().enumerate() {
+                e.varint(cur.totals[stream]);
+                debug_assert_eq!(bufs.n, cur.totals[stream]);
+                for col in [
+                    bufs.pc.into_bytes(),
+                    bufs.mask.into_bytes(),
+                    bufs.tag.into_bytes(),
+                    bufs.payload.into_bytes(),
+                ] {
+                    e.bytes(&col);
+                }
+            }
+        }
+        let payload = e.into_bytes();
+        let fp = fnv_fold_bytes(FNV_OFFSET, &payload);
+        let sections = self.sections.as_mut().expect("sections live until finish");
+        sections.write_all(&(payload.len() as u64).to_le_bytes())?;
+        sections.write_all(&payload)?;
+        sections.write_all(&fp.to_le_bytes())?;
+        self.launches += 1;
+        self.records += cur.totals.iter().sum::<u64>();
+        Ok(())
+    }
+
+    fn guard(&mut self, f: impl FnOnce(&mut Self) -> std::io::Result<()>) {
+        if self.err.is_some() {
+            return;
+        }
+        if let Err(e) = f(self) {
+            self.err = Some(e);
+        }
+    }
+
+    /// Assemble and atomically publish the container, consuming the
+    /// writer. A launch still open (its run errored without reaching the
+    /// sink's `abort_launch`) is discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] — including any I/O failure latched during
+    /// capture; the destination is left untouched on error.
+    pub fn finish(mut self) -> Result<TraceSummary, TraceError> {
+        self.abort_launch();
+        if let Some(e) = self.err.take() {
+            return Err(TraceError::Io(e));
+        }
+        let tmp_path = scratch_path(&self.out_path, "tmp");
+        let mut out = BufWriter::new(File::create(&tmp_path)?);
+        let mut fp = FNV_OFFSET;
+        let mut bytes: u64 = 0;
+        let mut put = |out: &mut BufWriter<File>, b: &[u8]| -> std::io::Result<()> {
+            fp = fnv_fold_bytes(fp, b);
+            bytes += b.len() as u64;
+            out.write_all(b)
+        };
+        put(&mut out, &TRACE_MAGIC)?;
+        put(&mut out, &TRACE_VERSION.to_le_bytes())?;
+        put(&mut out, &self.config_fp.to_le_bytes())?;
+        put(&mut out, &self.launches.to_le_bytes())?;
+        let mut sections = self
+            .sections
+            .take()
+            .expect("sections live until finish")
+            .into_inner()
+            .map_err(|e| TraceError::Io(e.into_error()))?;
+        sections.flush()?;
+        sections.seek(SeekFrom::Start(0))?;
+        let mut chunk = vec![0u8; 1 << 16];
+        loop {
+            let n = sections.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            put(&mut out, &chunk[..n])?;
+        }
+        drop(sections);
+        let file_fp = fp;
+        out.write_all(&file_fp.to_le_bytes())?;
+        bytes += 8;
+        out.into_inner()
+            .map_err(|e| TraceError::Io(e.into_error()))?
+            .sync_all()?;
+        std::fs::rename(&tmp_path, &self.out_path)?;
+        let _ = std::fs::remove_file(&self.sections_path);
+        Ok(TraceSummary {
+            path: self.out_path.clone(),
+            launches: self.launches,
+            records: self.records,
+            bytes,
+            file_fp,
+        })
+    }
+}
+
+impl TraceSink for TraceWriter {
+    fn begin_launch(&mut self, info: &LaunchInfo) {
+        assert!(self.cur.is_none(), "begin_launch with a launch open");
+        let n = usize::try_from(info.n_streams).expect("stream count");
+        self.cur = Some(CurLaunch {
+            info: info.clone(),
+            bufs: (0..n).map(|_| ColBufs::default()).collect(),
+            states: vec![ColState::default(); n],
+            totals: vec![0; n],
+            buffered: 0,
+            spill: None,
+        });
+    }
+
+    fn issue(&mut self, stream: u64, ev: &TraceEvent, kind: &ReplayKind) {
+        if self.err.is_some() {
+            return;
+        }
+        let cap = self.cap_bytes;
+        let over = {
+            let cur = self.cur.as_mut().expect("issue without a launch");
+            let s = usize::try_from(stream).expect("stream index");
+            let before = cur.bufs[s].bytes();
+            encode_record(&mut cur.bufs[s], &mut cur.states[s], ev.pc, ev.active, kind);
+            cur.totals[s] += 1;
+            cur.buffered += cur.bufs[s].bytes() - before;
+            cur.buffered > cap
+        };
+        if over {
+            self.guard(TraceWriter::spill);
+        }
+    }
+
+    fn end_launch(&mut self) {
+        self.guard(TraceWriter::seal_launch);
+    }
+
+    fn abort_launch(&mut self) {
+        if self.cur.take().is_some() {
+            let _ = std::fs::remove_file(&self.spill_path);
+        }
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        // `finish` renames the scratch files away; if the writer is
+        // dropped without finishing, don't leave them behind.
+        let _ = std::fs::remove_file(&self.sections_path);
+        let _ = std::fs::remove_file(&self.spill_path);
+    }
+}
+
+/// Scratch files are written during capture and read back at seal/finish,
+/// so they need read+write.
+fn rw_create(path: &Path) -> std::io::Result<File> {
+    std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)
+}
+
+fn scratch_path(out: &Path, suffix: &str) -> PathBuf {
+    let mut name = out.file_name().unwrap_or_default().to_os_string();
+    name.push(".");
+    name.push(suffix);
+    out.with_file_name(name)
+}

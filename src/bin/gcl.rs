@@ -8,11 +8,17 @@
 //!                                          inter-CTA locality, critical loads
 //! gcl disasm   <kernel.ptx>                parse and re-print (normalize)
 //! gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param V]...
-//!              [--memcheck] [--sanitize] [--max-cycles N]
+//!              [--memcheck] [--sanitize] [--max-cycles N] [--trace]
+//!              [--trace-cap N]
 //!              [--checkpoint-every N --checkpoint-file P] [--resume P]
 //!                                          simulate one launch, print stats
+//! gcl trace    <workload|all> [--tiny] [--sanitize] [--out DIR]
+//!                                          capture execution traces
+//! gcl replay   <workload|all> [--tiny] [--sanitize] [--in DIR] [--verify]
+//!                                          replay captured traces
 //! gcl suite    [--tiny] [--sanitize] [--analyze] [--force-fail NAME]
 //!              [--resume] [--retries N] [--jobs N] [--no-cache]
+//!              [--replay] [--traces DIR]
 //!              [--fleet HOST:PORT]         run the 15-benchmark suite
 //! gcl serve    [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--no-cache]
 //!              [--join HOST:PORT --name NAME --inject SPEC]
@@ -41,6 +47,17 @@ use std::process::ExitCode;
 const EXIT_BIND: u8 = 2;
 /// Exit code for a protocol or transport failure after startup.
 const EXIT_NET: u8 = 3;
+/// Exit code for a trace container that cannot be read at all: absent,
+/// truncated, corrupt, or not a trace file. The file itself is the problem
+/// — recapture it. Shares the numeric slot with [`EXIT_BIND`]: both mean
+/// "the named resource is unusable".
+const EXIT_TRACE_UNREADABLE: u8 = 2;
+/// Exit code for a structurally sound trace that this build cannot replay:
+/// format version skew, configuration fingerprint drift, or a captured
+/// kernel the workload no longer has. The *pairing* of file and build is
+/// the problem. Shares the slot with [`EXIT_NET`]: both mean "the protocol
+/// between two healthy parties broke".
+const EXIT_TRACE_MISMATCH: u8 = 3;
 
 /// A CLI failure: exit code plus message. Code 1 is the generic failure
 /// every legacy path maps to; `serve`/`coordinate` distinguish bind
@@ -67,6 +84,8 @@ fn main() -> ExitCode {
         Some("disasm") => cmd_disasm(&args[1..]).map_err(fail),
         Some("run") => cmd_run(&args[1..]).map_err(fail),
         Some("suite") => cmd_suite(&args[1..]).map_err(fail),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("coordinate") => cmd_coordinate(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]).map_err(fail),
@@ -96,9 +115,13 @@ USAGE:
   gcl disasm   <kernel.ptx>
   gcl run      <kernel.ptx> --grid G --block B [--alloc BYTES | --param VALUE]...
                [--memcheck] [--sanitize] [--max-cycles N]
+               [--trace] [--trace-cap N]
                [--checkpoint-every N --checkpoint-file PATH] [--resume PATH]
+  gcl trace    <workload|all> [--tiny] [--sanitize] [--out DIR]
+  gcl replay   <workload|all> [--tiny] [--sanitize] [--in DIR] [--verify]
   gcl suite    [--tiny] [--sanitize] [--analyze] [--force-fail NAME]
                [--resume] [--retries N] [--jobs N] [--no-cache]
+               [--replay] [--traces DIR]
                [--fleet HOST:PORT]
   gcl serve    [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--no-cache]
                [--join HOST:PORT] [--name NAME] [--inject SPEC]
@@ -145,7 +168,23 @@ With --checkpoint-every N, the complete simulator state is written to
 --checkpoint-file every N cycles (and on a hang, the watchdog's mid-flight
 snapshot is dumped there); --resume PATH restores such a checkpoint and
 continues the interrupted launch — same kernel, same flags — finishing with
-the identical event digest as an uninterrupted run.
+the identical event digest as an uninterrupted run. With --trace, a bounded
+debug trace of issued warp instructions is armed (capacity --trace-cap,
+default 65536 events); when the launch issues more events than the buffer
+holds, a one-line warning reports how many were dropped.
+`trace` executes workloads with a capture sink attached and writes each
+one's complete instruction streams — per warp, delta-compressed, section-
+checksummed — to a GCLTRACE1 container under results/traces (or --out DIR),
+content-addressed by the same configuration + kernel + parameter
+fingerprint that keys the result cache. `replay` feeds those containers
+back through the timing model instead of functionally executing the
+workload: same per-launch event digests, cycle counts and statistics, at a
+fraction of the capture wall-clock; --verify re-runs each workload
+execution-driven and fails if replay and execution disagree anywhere.
+`replay` exits 2 when a container is missing or unreadable (truncated,
+corrupt, bad magic — recapture it) and 3 when a readable container does not
+match this build or spec (format version skew, configuration fingerprint
+drift, kernel mismatch — re-pair trace and binary).
 `suite` keeps going when a benchmark fails, prints a per-benchmark outcome
 table, and exits nonzero only if something failed; --analyze runs the
 static pre-flight over every benchmark's kernels first (fail-soft: findings
@@ -160,6 +199,11 @@ digests) are identical to a serial run, in the same order. Completed
 results are stored in a content-addressed cache under results/cache keyed
 by configuration, kernels, and workload parameters — a warm rerun replays
 the whole suite without simulating anything; --no-cache bypasses it.
+`suite --replay` sources every result by replaying the captured trace
+containers under results/traces (or --traces DIR) instead of functionally
+executing the workloads; a benchmark whose container is absent or
+mismatched fails structurally — replay never silently falls back to
+execution.
 `serve` runs the same job engine as a daemon: clients connect over TCP and
 speak newline-delimited JSON — {\"op\":\"submit\",\"workload\":\"bfs\",
 \"tiny\":true} to enqueue (rejected with an error when the bounded queue is
@@ -442,6 +486,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut ckpt_every = 0u64;
     let mut ckpt_file: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut trace = false;
+    let mut trace_cap = 65_536usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -470,6 +516,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
             "--memcheck" => cfg.memcheck = true,
             "--sanitize" => cfg.sanitize = true,
+            "--trace" => trace = true,
+            "--trace-cap" => {
+                i += 1;
+                trace_cap = parse_u64(args.get(i).ok_or("--trace-cap needs a value")?)? as usize;
+                if trace_cap == 0 {
+                    return Err("--trace-cap must be at least 1".to_string());
+                }
+                trace = true;
+            }
             "--max-cycles" => {
                 i += 1;
                 cfg.max_cycles = parse_u64(args.get(i).ok_or("--max-cycles needs a value")?)?;
@@ -508,6 +563,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         );
     }
     let mut gpu = Gpu::new(cfg).map_err(|e| e.to_string())?;
+    if trace {
+        gpu.arm_trace(trace_cap);
+    }
     match resume.as_deref() {
         Some(ckpt) => {
             let snap = Snapshot::read_file(ckpt).map_err(|e| e.to_string())?;
@@ -584,6 +642,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if let Some(d) = stats.digest {
         println!("event digest       0x{d:016x}");
+    }
+    if trace {
+        let events = gpu.take_debug_trace().map_or(0, |t| t.events().len());
+        println!("trace events       {events}");
+        if stats.trace_dropped > 0 {
+            eprintln!(
+                "warning: debug trace dropped {} event(s) past the {trace_cap}-event buffer \
+                 (raise --trace-cap)",
+                stats.trace_dropped
+            );
+        }
     }
     Ok(())
 }
@@ -811,6 +880,8 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     let mut jobs_given = false;
     let mut no_cache = false;
     let mut fleet: Option<String> = None;
+    let mut replay = false;
+    let mut traces_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -819,6 +890,11 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             "--analyze" => analyze_first = true,
             "--resume" => resume = true,
             "--no-cache" => no_cache = true,
+            "--replay" => replay = true,
+            "--traces" => {
+                i += 1;
+                traces_dir = Some(args.get(i).ok_or("--traces needs a directory")?.to_string());
+            }
             "--force-fail" => {
                 i += 1;
                 force_fail = Some(
@@ -852,6 +928,23 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         return Err(
             "--fleet sends the suite to a coordinator; --jobs, --retries, --force-fail and \
              --no-cache configure local execution and cannot be combined with it"
+                .to_string(),
+        );
+    }
+    if traces_dir.is_some() && !replay {
+        return Err("--traces only applies with --replay".to_string());
+    }
+    if replay && fleet.is_some() {
+        return Err(
+            "--replay sources results from local trace containers; a fleet worker's trace \
+             store is its own configuration (cannot be combined with --fleet)"
+                .to_string(),
+        );
+    }
+    if replay && force_fail.is_some() {
+        return Err(
+            "--force-fail starves a benchmark's cycle budget, which changes its configuration \
+             fingerprint — no captured trace can match it (cannot be combined with --replay)"
                 .to_string(),
         );
     }
@@ -994,6 +1087,10 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
             } else {
                 Some(ResultCache::default_dir())
             },
+            traces: replay.then(|| match traces_dir.as_deref() {
+                Some(dir) => TraceStore::new(dir),
+                None => TraceStore::default_dir(),
+            }),
             ..PoolConfig::default()
         };
         // The pool delivers every event on this thread, so this closure is
@@ -1316,6 +1413,170 @@ fn run_fleet_suite(
         .into_iter()
         .map(|r| r.expect("all settled"))
         .collect())
+}
+
+/// Shared flag parse for `gcl trace` / `gcl replay`: target workload(s),
+/// scale, sanitize, the store directory, and command-specific extras.
+struct TraceCli {
+    specs: Vec<JobSpec>,
+    store: TraceStore,
+    verify: bool,
+}
+
+fn parse_trace_args(
+    cmd: &str,
+    args: &[String],
+    dir_flag: &str,
+    default_dir: &str,
+    allow_verify: bool,
+) -> Result<TraceCli, String> {
+    let target = args
+        .first()
+        .ok_or_else(|| format!("{cmd}: missing <workload|all>"))?;
+    let mut tiny = false;
+    let mut sanitize = false;
+    let mut dir: Option<String> = None;
+    let mut verify = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tiny" => tiny = true,
+            "--sanitize" => sanitize = true,
+            "--verify" if allow_verify => verify = true,
+            flag if flag == dir_flag => {
+                i += 1;
+                dir = Some(
+                    args.get(i)
+                        .ok_or_else(|| format!("{dir_flag} needs a directory"))?
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("{cmd}: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    let workloads = if tiny {
+        gcl::workloads::tiny_workloads()
+    } else {
+        gcl::workloads::all_workloads()
+    };
+    let selected: Vec<String> = if target == "all" {
+        workloads.iter().map(|w| w.name().to_string()).collect()
+    } else if workloads.iter().any(|w| w.name() == target.as_str()) {
+        vec![target.to_string()]
+    } else {
+        let names: Vec<&str> = workloads.iter().map(|w| w.name()).collect();
+        return Err(format!(
+            "{cmd}: no workload named `{target}` (expected `all` or one of: {})",
+            names.join(", ")
+        ));
+    };
+    let specs = selected
+        .into_iter()
+        .map(|name| {
+            let mut cfg = if tiny {
+                GpuConfig::small()
+            } else {
+                GpuConfig::fermi()
+            };
+            cfg.sanitize = sanitize;
+            JobSpec::new(name, tiny, cfg)
+        })
+        .collect();
+    Ok(TraceCli {
+        specs,
+        store: TraceStore::new(dir.as_deref().unwrap_or(default_dir)),
+        verify,
+    })
+}
+
+/// Map a trace-layer job failure onto the exit-code contract: unreadable
+/// container → 2, version/fingerprint mismatch → 3 (including a replay the
+/// simulator itself rejects), anything else → 1.
+fn trace_exit(e: ExecError) -> CliError {
+    let msg = e.to_string();
+    match e {
+        ExecError::TraceUnreadable { .. } => (EXIT_TRACE_UNREADABLE, msg),
+        ExecError::TraceMismatch { .. } | ExecError::Sim(SimError::Replay(_)) => {
+            (EXIT_TRACE_MISMATCH, msg)
+        }
+        _ => (1, msg),
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let cli = parse_trace_args("trace", args, "--out", "results/traces", false).map_err(fail)?;
+    println!(
+        "{:6} {:>9} {:>9} {:>11} {:>9}  container",
+        "name", "launches", "records", "bytes", "wall ms"
+    );
+    for spec in &cli.specs {
+        let t0 = std::time::Instant::now();
+        let (stats, summary) = cli.store.capture(spec).map_err(trace_exit)?;
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let digest = match stats.digest {
+            Some(d) => format!("  digest 0x{d:016x}"),
+            None => String::new(),
+        };
+        println!(
+            "{:6} {:>9} {:>9} {:>11} {:>9.1}  {}{digest}",
+            spec.workload,
+            summary.launches,
+            summary.records,
+            summary.bytes,
+            wall_ms,
+            summary.path.display(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), CliError> {
+    let cli = parse_trace_args("replay", args, "--in", "results/traces", true).map_err(fail)?;
+    println!(
+        "{:6} {:>9} {:>11} {:>9}  outcome",
+        "name", "cycles", "warp insts", "wall ms"
+    );
+    let mut mismatches: Vec<String> = Vec::new();
+    for spec in &cli.specs {
+        let t0 = std::time::Instant::now();
+        let stats = cli.store.replay(spec).map_err(trace_exit)?;
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let digest = match stats.digest {
+            Some(d) => format!("  digest 0x{d:016x}"),
+            None => String::new(),
+        };
+        let verified = if cli.verify {
+            // Execution-driven reference: the workload simulated afresh
+            // under the identical configuration must agree with the replay
+            // in full — digest, cycles, every counter.
+            let w = spec.find_workload().map_err(trace_exit)?;
+            let run = Gpu::new(spec.cfg.clone())
+                .and_then(|mut gpu| w.run(&mut gpu))
+                .map_err(|e| fail(e.to_string()))?;
+            if run.stats == stats {
+                "  verified"
+            } else {
+                mismatches.push(format!(
+                    "`{}`: replay disagrees with execution (replay {} cycles, digest {:?}; \
+                     execution {} cycles, digest {:?})",
+                    spec.workload, stats.cycles, stats.digest, run.stats.cycles, run.stats.digest
+                ));
+                "  MISMATCH"
+            }
+        } else {
+            ""
+        };
+        println!(
+            "{:6} {:>9} {:>11} {:>9.1}  replayed{digest}{verified}",
+            spec.workload, stats.cycles, stats.sm.warp_insts, wall_ms,
+        );
+    }
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(fail(mismatches.join("\n")))
+    }
 }
 
 /// Parsed `gcl serve` flags, before deciding daemon vs. fleet worker.

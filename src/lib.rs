@@ -63,6 +63,7 @@ pub use gcl_mem as mem;
 pub use gcl_ptx as ptx;
 pub use gcl_sim as sim;
 pub use gcl_stats as stats;
+pub use gcl_trace as trace;
 pub use gcl_workloads as workloads;
 
 /// The most commonly used items, for glob import.
@@ -73,17 +74,20 @@ pub mod prelude {
     };
     pub use gcl_core::{classify, AddressSource, Classification, LoadClass};
     pub use gcl_exec::{
-        run_job, run_loadgen, run_pool, run_soak, run_worker, ClientOptions, Coordinator,
-        CoordinatorOptions, ExecError, FleetInject, JobEvent, JobOutput, JobResult, JobSpec,
-        LoadgenOptions, LoadgenReport, PoolConfig, ResultCache, ServeClient, ServeError,
-        ServeOptions, Server, SessionClient, SessionSubmit, SoakOptions, SoakReport, WorkerOptions,
+        run_job, run_job_from, run_loadgen, run_pool, run_soak, run_worker, ClientOptions,
+        Coordinator, CoordinatorOptions, ExecError, FleetInject, JobEvent, JobOutput, JobResult,
+        JobSpec, LoadgenOptions, LoadgenReport, PoolConfig, ResultCache, ServeClient, ServeError,
+        ServeOptions, Server, SessionClient, SessionSubmit, SoakOptions, SoakReport, TraceStore,
+        WorkerOptions,
     };
     pub use gcl_ptx::{
         parse_kernel, Cfg, CmpOp, Kernel, KernelBuilder, Operand, Reg, Space, Special, Type,
     };
     pub use gcl_sim::{
-        pack_params, CheckpointError, Dim3, Gpu, GpuConfig, LaunchStats, SimError, Snapshot,
+        pack_params, CheckpointError, Dim3, Gpu, GpuConfig, LaunchStats, ReplayError, SimError,
+        Snapshot,
     };
     pub use gcl_stats::{FigureSeries, Series, Table};
+    pub use gcl_trace::{parse_trace, read_trace, TraceError, TraceFile, TraceWriter};
     pub use gcl_workloads::{Category, RunResult, Workload};
 }

@@ -2,7 +2,10 @@
 //! restarting `gcl coordinate` / `gcl serve` need to tell "the address is
 //! taken or unreachable" (exit 2 — retry elsewhere or wait) apart from
 //! "the protocol broke" (exit 3 — investigate) and plain usage errors
-//! (exit 1 — don't bother retrying).
+//! (exit 1 — don't bother retrying). `gcl replay` reuses the same two
+//! slots: an unreadable trace container is exit 2 (fetch or recapture it),
+//! a version- or fingerprint-mismatched one is exit 3 (wrong artifact for
+//! this build — no amount of retrying helps).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -189,6 +192,75 @@ fn chaos_verbs_refused_unless_enabled() {
     let _ = roundtrip(&addr, r#"{"op":"shutdown"}"#);
     let code = child.wait().expect("coordinator exit");
     assert!(code.success(), "clean drain: {code}");
+}
+
+/// `gcl replay` exit codes, pinned end to end through the real binary:
+/// absent or corrupt container → 2 (resource unusable), version-skewed
+/// container with a *valid* checksum → 3 (protocol mismatch), intact
+/// container → 0. Replay never silently falls back to execution, so these
+/// codes are what a sweep supervisor scripts against.
+#[test]
+fn replay_trace_exit_codes() {
+    use gcl::sim::{fnv_fold_bytes, FNV_OFFSET};
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("gcl-cli-traces-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+    let dirs = dir.to_str().expect("utf8 path");
+
+    // No container captured yet: exit 2, with the path in the message.
+    let out = gcl(&["replay", "2mm", "--tiny", "--sanitize", "--in", dirs]);
+    assert_eq!(
+        code(&out),
+        2,
+        "absent container is exit 2: {}",
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("cannot replay"),
+        "says what failed: {}",
+        stderr(&out)
+    );
+
+    // Capture, then the happy path.
+    let out = gcl(&["trace", "2mm", "--tiny", "--sanitize", "--out", dirs]);
+    assert_eq!(code(&out), 0, "capture failed: {}", stderr(&out));
+    let container = std::fs::read_dir(&dir)
+        .expect("list trace dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "gcltrace"))
+        .expect("capture published a container");
+    let out = gcl(&["replay", "2mm", "--tiny", "--sanitize", "--in", dirs]);
+    assert_eq!(code(&out), 0, "valid replay: {}", stderr(&out));
+
+    // One flipped byte mid-payload: the container checksum catches it and
+    // the container is unusable — exit 2.
+    let good = std::fs::read(&container).expect("read container");
+    let mut bad = good.clone();
+    bad[good.len() / 2] ^= 0x40;
+    std::fs::write(&container, &bad).expect("write corrupt container");
+    let out = gcl(&["replay", "2mm", "--tiny", "--sanitize", "--in", dirs]);
+    assert_eq!(
+        code(&out),
+        2,
+        "corrupt container is exit 2: {}",
+        stderr(&out)
+    );
+
+    // Version skew with the trailing checksum *recomputed*: the file is
+    // structurally perfect, this build just speaks another format — the
+    // protocol slot, exit 3. (Version is the u32 at offset 8; the file
+    // checksum is the trailing u64.)
+    let mut skewed = good.clone();
+    skewed[8] ^= 0xff;
+    let n = skewed.len();
+    let sum = fnv_fold_bytes(FNV_OFFSET, &skewed[..n - 8]);
+    skewed[n - 8..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&container, &skewed).expect("write skewed container");
+    let out = gcl(&["replay", "2mm", "--tiny", "--sanitize", "--in", dirs]);
+    assert_eq!(code(&out), 3, "version skew is exit 3: {}", stderr(&out));
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
